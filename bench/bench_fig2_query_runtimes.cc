@@ -1,0 +1,45 @@
+// Figure 2: total and average single-core execution time of each IC query
+// (flat GES baseline), highlighting the long-running queries.
+//
+// Paper observation to reproduce: runtimes vary by orders of magnitude
+// across queries; IC5/IC9/IC10/IC14-style traversal-heavy queries dominate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+
+using namespace ges;
+using namespace ges::bench;
+
+int main() {
+  std::printf("== Figure 2: per-query runtime under the LDBC SNB interactive "
+              "workload (single core, flat GES baseline) ==\n");
+  double sf = EnvDouble("GES_SF", 0.05);
+  int params = EnvInt("GES_PARAMS", 20);
+  auto g = MakeGraph(sf);
+  GraphView view(&g->graph);
+  Executor exec(ExecMode::kFlat, ExecOptions{.collect_stats = false});
+
+  TextTable table({"query", "runs", "total", "avg"});
+  double grand_total = 0;
+  for (int k = 1; k <= 14; ++k) {
+    ParamGen gen(&g->graph, &g->data, 900 + k);
+    double total_ms = 0;
+    for (int i = 0; i < params; ++i) {
+      LdbcParams p = gen.Next();
+      Plan plan = BuildIC(k, g->ctx, p);
+      Timer t;
+      exec.Run(plan, view);
+      total_ms += t.ElapsedMillis();
+    }
+    grand_total += total_ms;
+    table.AddRow({"IC" + std::to_string(k), std::to_string(params),
+                  HumanMillis(total_ms), HumanMillis(total_ms / params)});
+  }
+  table.Print();
+  std::printf("total: %s\n", HumanMillis(grand_total).c_str());
+  std::printf("\nPaper shape check: a handful of long-running queries "
+              "(IC5/IC9-style multi-hop expansions) should dominate, with "
+              "100x+ spread between cheapest and costliest.\n");
+  return 0;
+}

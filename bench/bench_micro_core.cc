@@ -1,0 +1,126 @@
+// Microbenchmarks of the core factorized data structures (google-benchmark):
+// f-Tree enumeration, tuple-count DP, flat-vs-lazy expand, selection
+// filtering. These quantify the constant factors behind the macro results.
+#include <benchmark/benchmark.h>
+
+#include "datagen/snb_generator.h"
+#include "executor/executor.h"
+#include "executor/ftree.h"
+#include "queries/ldbc.h"
+
+namespace ges {
+namespace {
+
+// A fan-out tree: one root row, `fan1` children rows, each with `fan2`
+// grandchildren rows.
+std::unique_ptr<FTree> MakeFanTree(int fan1, int fan2) {
+  auto tree = std::make_unique<FTree>();
+  FTreeNode* r = tree->CreateRoot();
+  ValueVector root_ids(ValueType::kInt64);
+  root_ids.AppendInt(0);
+  r->block.AddColumn("a", std::move(root_ids));
+  tree->RegisterColumns(r);
+
+  FTreeNode* mid = tree->AddChild(r);
+  ValueVector mid_ids(ValueType::kInt64);
+  for (int i = 0; i < fan1; ++i) mid_ids.AppendInt(i);
+  mid->block.AddColumn("b", std::move(mid_ids));
+  mid->parent_index = {{0, static_cast<uint64_t>(fan1)}};
+  tree->RegisterColumns(mid);
+
+  FTreeNode* leaf = tree->AddChild(mid);
+  ValueVector leaf_ids(ValueType::kInt64);
+  for (int i = 0; i < fan1 * fan2; ++i) leaf_ids.AppendInt(i);
+  leaf->block.AddColumn("c", std::move(leaf_ids));
+  leaf->parent_index.resize(fan1);
+  for (int i = 0; i < fan1; ++i) {
+    leaf->parent_index[i] = IndexRange{static_cast<uint64_t>(i) * fan2,
+                                       static_cast<uint64_t>(i + 1) * fan2};
+  }
+  tree->RegisterColumns(leaf);
+  return tree;
+}
+
+void BM_TupleEnumeration(benchmark::State& state) {
+  auto tree = MakeFanTree(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TupleEnumerator e(*tree);
+    uint64_t n = 0;
+    while (e.Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_TupleEnumeration)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TupleCountDP(benchmark::State& state) {
+  auto tree = MakeFanTree(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->CountTuples());
+  }
+}
+BENCHMARK(BM_TupleCountDP)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Flatten(benchmark::State& state) {
+  auto tree = MakeFanTree(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Schema s;
+    s.Add("a", ValueType::kInt64);
+    s.Add("b", ValueType::kInt64);
+    s.Add("c", ValueType::kInt64);
+    FlatBlock out(s);
+    tree->Flatten({"a", "b", "c"}, &out);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_Flatten)->Arg(32)->Arg(128)->Arg(512);
+
+struct MicroGraph {
+  Graph graph;
+  SnbData data;
+  LdbcContext ctx;
+
+  static MicroGraph& Get() {
+    static MicroGraph* g = new MicroGraph();
+    return *g;
+  }
+
+ private:
+  MicroGraph() {
+    SnbConfig config;
+    config.scale_factor = 0.02;
+    data = GenerateSnb(config, &graph);
+    ctx = LdbcContext::Resolve(graph, data.schema);
+  }
+};
+
+void BM_ExpandIC9(benchmark::State& state) {
+  MicroGraph& g = MicroGraph::Get();
+  ExecMode mode = static_cast<ExecMode>(state.range(0));
+  Executor exec(mode, ExecOptions{.collect_stats = false});
+  ParamGen gen(&g.graph, &g.data, 42);
+  LdbcParams p = gen.Next();
+  GraphView view(&g.graph);
+  Plan plan = BuildIC(9, g.ctx, p);
+  for (auto _ : state) {
+    QueryResult r = exec.Run(plan, view);
+    benchmark::DoNotOptimize(r.table.NumRows());
+  }
+  state.SetLabel(ExecModeName(mode));
+}
+BENCHMARK(BM_ExpandIC9)
+    ->Arg(static_cast<int>(ExecMode::kVolcano))
+    ->Arg(static_cast<int>(ExecMode::kFlat))
+    ->Arg(static_cast<int>(ExecMode::kFactorized))
+    ->Arg(static_cast<int>(ExecMode::kFactorizedFused));
+
+}  // namespace
+}  // namespace ges
+
+BENCHMARK_MAIN();

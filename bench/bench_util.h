@@ -1,0 +1,91 @@
+// Shared setup for the experiment benches.
+//
+// Scale factors: the paper runs SF10..SF300 on a 96-vCPU cloud box; the
+// benches default to laptop-scale stand-ins (overridable via environment):
+//
+//   GES_SF        — single scale factor (default 0.05)
+//   GES_SF_LIST   — comma-separated list for multi-scale experiments
+//                   (default "0.01,0.03,0.1,0.3", standing in for the
+//                   paper's SF10/SF30/SF100/SF300)
+//   GES_PARAMS    — parameter draws per query (default 20)
+//   GES_SECONDS   — duration for timed runs
+#ifndef GES_BENCH_BENCH_UTIL_H_
+#define GES_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/snb_generator.h"
+#include "executor/executor.h"
+#include "harness/driver.h"
+#include "harness/report.h"
+#include "queries/ldbc.h"
+
+namespace ges::bench {
+
+struct BenchGraph {
+  Graph graph;
+  SnbData data;
+  LdbcContext ctx;
+};
+
+inline std::unique_ptr<BenchGraph> MakeGraph(double sf, uint64_t seed = 42) {
+  auto g = std::make_unique<BenchGraph>();
+  SnbConfig config;
+  config.scale_factor = sf;
+  config.seed = seed;
+  std::printf("# generating SNB graph: SF=%.3g (%zu persons)...\n", sf,
+              SnbPersonCount(sf));
+  std::fflush(stdout);
+  g->data = GenerateSnb(config, &g->graph);
+  g->ctx = LdbcContext::Resolve(g->graph, g->data.schema);
+  std::printf("# graph ready: %zu vertices, %zu edges, %s\n",
+              g->graph.NumVerticesTotal(), g->graph.NumEdgesTotal(),
+              HumanBytes(g->graph.MemoryBytes()).c_str());
+  std::fflush(stdout);
+  return g;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+inline std::vector<double> EnvSfList() {
+  const char* v = std::getenv("GES_SF_LIST");
+  std::string s = v == nullptr ? "0.01,0.03,0.1,0.3" : v;
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atof(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// Paper-scale labels for the default SF list, for readable output.
+inline std::string SfLabel(double sf) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "SF%.3g", sf);
+  return buf;
+}
+
+inline const std::vector<ExecMode>& VariantModes() {
+  static const auto& modes = *new std::vector<ExecMode>{
+      ExecMode::kFlat, ExecMode::kFactorized, ExecMode::kFactorizedFused};
+  return modes;
+}
+
+}  // namespace ges::bench
+
+#endif  // GES_BENCH_BENCH_UTIL_H_

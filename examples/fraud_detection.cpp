@@ -1,0 +1,130 @@
+// Fraud detection: a custom (non-SNB) schema showing that the engine is a
+// general LPG store, one of the anti-fraud scenarios the paper motivates.
+//
+// Accounts share devices; some accounts are flagged. We hunt for
+// "guilt-by-association" rings: accounts that share a device with a flagged
+// account, ranked by how many flagged accounts they touch, and we stream
+// new transactions in through MV2PL while querying.
+//
+//   $ ./build/examples/fraud_detection
+#include <cstdio>
+
+#include "common/random.h"
+#include "executor/executor.h"
+#include "harness/report.h"
+#include "storage/graph.h"
+
+using namespace ges;
+
+int main() {
+  Graph graph;
+  Catalog& catalog = graph.catalog();
+  LabelId account = catalog.AddVertexLabel("ACCOUNT");
+  LabelId device = catalog.AddVertexLabel("DEVICE");
+  LabelId merchant = catalog.AddVertexLabel("MERCHANT");
+  LabelId uses = catalog.AddEdgeLabel("USES");
+  LabelId pays = catalog.AddEdgeLabel("PAYS");
+  PropertyId acc_id = catalog.AddProperty(account, "id", ValueType::kInt64);
+  PropertyId flagged =
+      catalog.AddProperty(account, "flagged", ValueType::kBool);
+  PropertyId risk = catalog.AddProperty(account, "risk", ValueType::kDouble);
+  catalog.AddProperty(device, "id", ValueType::kInt64);
+  catalog.AddProperty(merchant, "id", ValueType::kInt64);
+  graph.RegisterRelation(account, uses, device);
+  graph.RegisterRelation(account, pays, merchant, /*has_stamp=*/true);
+
+  // Synthetic population: 4000 accounts, 1500 devices (shared by design),
+  // 200 merchants; 2% of accounts start flagged.
+  Rng rng(2024);
+  constexpr int kAccounts = 4000, kDevices = 1500, kMerchants = 200;
+  std::vector<VertexId> accounts, devices, merchants;
+  for (int i = 0; i < kAccounts; ++i) {
+    VertexId v = graph.AddVertexBulk(account, i);
+    graph.SetPropertyBulk(v, acc_id, Value::Int(i));
+    graph.SetPropertyBulk(v, flagged, Value::Bool(rng.Bernoulli(0.02)));
+    graph.SetPropertyBulk(v, risk, Value::Double(rng.NextDouble()));
+    accounts.push_back(v);
+  }
+  for (int i = 0; i < kDevices; ++i) {
+    VertexId v = graph.AddVertexBulk(device, i);
+    graph.SetPropertyBulk(v, catalog.Property("id"), Value::Int(i));
+    devices.push_back(v);
+  }
+  for (int i = 0; i < kMerchants; ++i) {
+    VertexId v = graph.AddVertexBulk(merchant, i);
+    graph.SetPropertyBulk(v, catalog.Property("id"), Value::Int(i));
+    merchants.push_back(v);
+  }
+  ZipfSampler device_zipf(kDevices, 0.8);  // fraud farms share few devices
+  for (int i = 0; i < kAccounts; ++i) {
+    int n = 1 + static_cast<int>(rng.Uniform(3));
+    for (int k = 0; k < n; ++k) {
+      graph.AddEdgeBulk(uses, accounts[i], devices[device_zipf.Sample(rng)]);
+    }
+    int tx = static_cast<int>(rng.Uniform(8));
+    for (int k = 0; k < tx; ++k) {
+      graph.AddEdgeBulk(pays, accounts[i],
+                        merchants[rng.Uniform(kMerchants)],
+                        static_cast<int64_t>(rng.Uniform(1000000)));
+    }
+  }
+  graph.FinalizeBulk();
+  std::printf("loaded %zu vertices, %zu edges\n", graph.NumVerticesTotal(),
+              graph.NumEdgesTotal());
+
+  RelationId acc_devices =
+      graph.FindRelation(account, uses, device, Direction::kOut);
+  RelationId device_accs =
+      graph.FindRelation(device, uses, account, Direction::kIn);
+
+  // Ring hunt: flagged account -> its devices -> co-users, scored by the
+  // number of flagged co-ownership paths. The pattern is a pure tree, so
+  // the factorized engine handles it natively end to end.
+  PlanBuilder b("ring-hunt");
+  b.ScanByLabel("bad", account)
+      .GetProperty("bad", flagged, ValueType::kBool, "is_flagged")
+      .Filter(Expr::Eq(Expr::Col("is_flagged"), Expr::Lit(Value::Bool(true))))
+      .Expand("bad", "dev", {acc_devices})
+      .Expand("dev", "peer", {device_accs})
+      .GetProperty("peer", flagged, ValueType::kBool, "peer_flagged")
+      .Filter(Expr::Eq(Expr::Col("peer_flagged"),
+                       Expr::Lit(Value::Bool(false))))
+      .GetProperty("peer", acc_id, ValueType::kInt64, "peer_id")
+      .Aggregate({"peer_id"}, {AggSpec{AggSpec::kCount, "", "paths"}})
+      .OrderBy({{"paths", false}, {"peer_id", true}}, 15)
+      .Output({"peer_id", "paths"});
+  Plan plan = b.Build();
+  GraphView view(&graph);
+
+  Executor fused(ExecMode::kFactorizedFused);
+  QueryResult result = fused.Run(plan, view);
+  std::printf("\naccounts most entangled with flagged accounts:\n");
+  for (const auto& row : result.table.rows()) {
+    std::printf("  account %-6ld flagged-paths %ld\n", row[0].AsInt(),
+                row[1].AsInt());
+  }
+
+  std::printf("\nengine comparison on the ring hunt:\n");
+  for (ExecMode mode : {ExecMode::kVolcano, ExecMode::kFlat,
+                        ExecMode::kFactorized, ExecMode::kFactorizedFused}) {
+    QueryResult r = Executor(mode).Run(plan, view);
+    std::printf("  %-8s %10s  peak intermediates %s\n", ExecModeName(mode),
+                HumanMillis(r.stats.total_millis).c_str(),
+                HumanBytes(r.stats.peak_intermediate_bytes).c_str());
+  }
+
+  // Live ingestion: flag an account and link it to a busy device inside an
+  // MV2PL transaction, then re-run the hunt on a fresh snapshot.
+  VertexId suspect = accounts[123];
+  {
+    auto txn = graph.BeginWrite({suspect, devices[0]});
+    txn->SetProperty(suspect, flagged, Value::Bool(true));
+    txn->AddEdge(uses, suspect, devices[0]);
+    txn->Commit();
+  }
+  QueryResult after = fused.Run(plan, GraphView(&graph));
+  std::printf("\nafter flagging account 123 (new snapshot): %zu ring "
+              "candidates (was %zu)\n",
+              after.table.NumRows(), result.table.NumRows());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// OLAP analytics: influencer detection, community structure and clustering
+// on the social network — the analytical side of the paper's workload
+// taxonomy, running on the same MV2PL snapshots as the interactive queries.
+//
+//   $ ./build/examples/graph_analytics [scale_factor]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "analytics/algorithms.h"
+#include "common/timer.h"
+#include "datagen/snb_generator.h"
+#include "harness/report.h"
+
+using namespace ges;
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.05;
+  SnbConfig config;
+  config.scale_factor = sf;
+  Graph graph;
+  std::printf("generating social network (SF=%.3g)...\n", sf);
+  SnbData data = GenerateSnb(config, &graph);
+  const SnbSchema& s = data.schema;
+  GraphView view(&graph);
+  RelationId knows =
+      graph.FindRelation(s.person, s.knows, s.person, Direction::kOut);
+
+  // --- influencers: PageRank over the friendship graph ---
+  Timer t;
+  PageRankResult pr = PageRank(view, s.person, {knows}, 20);
+  std::printf("\nPageRank over %zu persons in %s\n", pr.vertices.size(),
+              HumanMillis(t.ElapsedMillis()).c_str());
+  std::vector<size_t> order(pr.vertices.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pr.scores[a] > pr.scores[b];
+  });
+  std::printf("top influencers:\n");
+  for (size_t i = 0; i < std::min<size_t>(5, order.size()); ++i) {
+    VertexId v = pr.vertices[order[i]];
+    std::printf("  %-10s %-10s score %.5f (%u friends)\n",
+                view.Property(v, s.first_name).AsString().c_str(),
+                view.Property(v, s.last_name).AsString().c_str(),
+                pr.scores[order[i]], view.Neighbors(knows, v).size);
+  }
+
+  // --- communities ---
+  t.Restart();
+  WccResult wcc = WeaklyConnectedComponents(view, s.person, {knows});
+  std::map<VertexId, size_t> sizes;
+  for (VertexId c : wcc.component) ++sizes[c];
+  size_t largest = 0;
+  for (const auto& [c, n] : sizes) largest = std::max(largest, n);
+  std::printf("\nconnected components in %s: %zu components, largest %zu "
+              "persons (%.1f%%)\n",
+              HumanMillis(t.ElapsedMillis()).c_str(), wcc.num_components,
+              largest, 100.0 * largest / std::max<size_t>(1, wcc.vertices.size()));
+
+  // --- clustering ---
+  t.Restart();
+  uint64_t triangles = CountTriangles(view, s.person, knows);
+  std::printf("friendship triangles in %s: %llu\n",
+              HumanMillis(t.ElapsedMillis()).c_str(),
+              static_cast<unsigned long long>(triangles));
+
+  // --- degree structure ---
+  std::vector<uint64_t> hist = DegreeHistogram(view, s.person, knows);
+  uint64_t total = 0, acc = 0;
+  for (uint64_t h : hist) total += h;
+  std::printf("\ndegree distribution (friends per person):\n");
+  size_t max_deg = hist.size() - 1;
+  for (size_t d = 0; d < hist.size(); ++d) {
+    acc += hist[d];
+    if (d <= 2 || d == max_deg || acc * 10 / total != (acc - hist[d]) * 10 / total) {
+      std::printf("  degree %-4zu: %llu persons\n", d,
+                  static_cast<unsigned long long>(hist[d]));
+    }
+  }
+  std::printf("  max degree: %zu\n", max_deg);
+
+  // --- reach: BFS from the top influencer ---
+  if (!order.empty()) {
+    VertexId star = pr.vertices[order[0]];
+    auto dist = BfsDistances(view, {knows}, star, 3);
+    std::map<int, size_t> by_depth;
+    for (const auto& [v, d] : dist) ++by_depth[d];
+    std::printf("\nreach of the top influencer:\n");
+    for (const auto& [d, n] : by_depth) {
+      std::printf("  within %d hop(s): %zu persons\n", d, n);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Full LDBC SNB Interactive benchmark kit: generate a graph, fire the
+// official-style mix at a chosen engine variant, and print the per-query
+// report (count / mean / p50 / p99 / p99.9) plus overall throughput — the
+// in-process equivalent of an LDBC driver run.
+//
+//   $ ./build/examples/ldbc_benchmark [options]
+//       --sf <x>         scale factor              (default 0.05)
+//       --mode <m>       volcano|flat|f|fused      (default fused)
+//       --threads <n>    driver threads            (default 4)
+//       --seconds <s>    run duration              (default 10)
+//       --no-updates     read-only mix
+//       --seed <n>       workload seed             (default 7)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "datagen/snb_generator.h"
+#include "harness/driver.h"
+#include "harness/report.h"
+
+using namespace ges;
+
+int main(int argc, char** argv) {
+  double sf = 0.05;
+  ExecMode mode = ExecMode::kFactorizedFused;
+  int threads = 4;
+  double seconds = 10;
+  bool updates = true;
+  uint64_t seed = 7;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--sf") == 0) {
+      sf = std::atof(need_value("--sf"));
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      const char* m = need_value("--mode");
+      if (std::strcmp(m, "volcano") == 0) {
+        mode = ExecMode::kVolcano;
+      } else if (std::strcmp(m, "flat") == 0) {
+        mode = ExecMode::kFlat;
+      } else if (std::strcmp(m, "f") == 0) {
+        mode = ExecMode::kFactorized;
+      } else if (std::strcmp(m, "fused") == 0) {
+        mode = ExecMode::kFactorizedFused;
+      } else {
+        std::fprintf(stderr, "unknown mode '%s'\n", m);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      seconds = std::atof(need_value("--seconds"));
+    } else if (std::strcmp(argv[i], "--no-updates") == 0) {
+      updates = false;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<uint64_t>(std::atoll(need_value("--seed")));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Graph graph;
+  SnbConfig config;
+  config.scale_factor = sf;
+  std::printf("generating SNB graph: SF=%.3g (%zu persons)...\n", sf,
+              SnbPersonCount(sf));
+  SnbData data = GenerateSnb(config, &graph);
+  std::printf("graph: %zu vertices, %zu edges, %s\n",
+              graph.NumVerticesTotal(), graph.NumEdgesTotal(),
+              HumanBytes(graph.MemoryBytes()).c_str());
+
+  Driver driver(&graph, &data);
+  DriverConfig dc;
+  dc.mode = mode;
+  dc.options.collect_stats = false;
+  dc.threads = threads;
+  dc.duration_seconds = seconds;
+  dc.include_updates = updates;
+  dc.seed = seed;
+  std::printf("running %s for %.0fs on %d thread(s), updates %s...\n",
+              ExecModeName(mode), seconds, threads, updates ? "on" : "off");
+  DriverReport report = driver.Run(dc);
+
+  TextTable table({"query", "count", "mean", "p50", "p99", "p99.9", "max"});
+  for (const auto& [name, rec] : report.per_query) {
+    table.AddRow({name, std::to_string(rec.count()),
+                  HumanMillis(rec.Mean()), HumanMillis(rec.Percentile(50)),
+                  HumanMillis(rec.Percentile(99)),
+                  HumanMillis(rec.Percentile(99.9)),
+                  HumanMillis(rec.Max())});
+  }
+  table.Print();
+
+  for (QueryKind kind :
+       {QueryKind::kIC, QueryKind::kIS, QueryKind::kIU}) {
+    LatencyRecorder agg = report.Aggregate(kind);
+    if (agg.count() == 0) continue;
+    const char* label = kind == QueryKind::kIC   ? "IC"
+                        : kind == QueryKind::kIS ? "IS"
+                                                 : "IU";
+    std::printf("%s: %zu ops, mean %s, p99 %s\n", label, agg.count(),
+                HumanMillis(agg.Mean()).c_str(),
+                HumanMillis(agg.Percentile(99)).c_str());
+  }
+  std::printf("\noverall: %llu operations in %.2fs -> %.0f q/s (%s)\n",
+              static_cast<unsigned long long>(report.completed),
+              report.elapsed_seconds, report.throughput, ExecModeName(mode));
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "analytics/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ges {
+
+namespace {
+
+// Dense index of a label's vertices for array-based kernels.
+struct DenseIndex {
+  std::vector<VertexId> vertices;
+  std::unordered_map<VertexId, uint32_t> index;
+
+  explicit DenseIndex(const GraphView& view, LabelId label) {
+    view.ScanLabel(label, &vertices);
+    index.reserve(vertices.size());
+    for (uint32_t i = 0; i < vertices.size(); ++i) index[vertices[i]] = i;
+  }
+};
+
+}  // namespace
+
+PageRankResult PageRank(const GraphView& view, LabelId label,
+                        const std::vector<RelationId>& out_rels,
+                        int iterations, double damping) {
+  DenseIndex dense(view, label);
+  size_t n = dense.vertices.size();
+  PageRankResult result;
+  result.vertices = dense.vertices;
+  result.scores.assign(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+  if (n == 0) return result;
+
+  // Out-degrees restricted to in-label targets.
+  std::vector<uint32_t> out_degree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (RelationId rel : out_rels) {
+      AdjSpan span = view.Neighbors(rel, dense.vertices[i]);
+      for (uint32_t k = 0; k < span.size; ++k) {
+        if (span.ids[k] == kInvalidVertex) continue;
+        if (dense.index.count(span.ids[k]) != 0) ++out_degree[i];
+      }
+    }
+  }
+
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    double dangling = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (out_degree[i] == 0) dangling += result.scores[i];
+    }
+    double base = (1.0 - damping) / static_cast<double>(n) +
+                  damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (size_t i = 0; i < n; ++i) {
+      if (out_degree[i] == 0) continue;
+      double share =
+          damping * result.scores[i] / static_cast<double>(out_degree[i]);
+      for (RelationId rel : out_rels) {
+        AdjSpan span = view.Neighbors(rel, dense.vertices[i]);
+        for (uint32_t k = 0; k < span.size; ++k) {
+          auto it2 = dense.index.find(span.ids[k]);
+          if (it2 == dense.index.end()) continue;
+          next[it2->second] += share;
+        }
+      }
+    }
+    std::swap(result.scores, next);
+  }
+  return result;
+}
+
+WccResult WeaklyConnectedComponents(const GraphView& view, LabelId label,
+                                    const std::vector<RelationId>& rels) {
+  DenseIndex dense(view, label);
+  size_t n = dense.vertices.size();
+  WccResult result;
+  result.vertices = dense.vertices;
+  result.component.assign(n, kInvalidVertex);
+
+  for (size_t start = 0; start < n; ++start) {
+    if (result.component[start] != kInvalidVertex) continue;
+    // BFS labeling with the minimum VertexId of the component; the start
+    // has the smallest index not yet visited, but not necessarily the
+    // smallest id — track the minimum as we go, then relabel.
+    std::vector<uint32_t> members;
+    VertexId min_id = dense.vertices[start];
+    std::deque<uint32_t> queue{static_cast<uint32_t>(start)};
+    result.component[start] = 0;  // temporary "visited" mark
+    while (!queue.empty()) {
+      uint32_t u = queue.front();
+      queue.pop_front();
+      members.push_back(u);
+      min_id = std::min(min_id, dense.vertices[u]);
+      for (RelationId rel : rels) {
+        AdjSpan span = view.Neighbors(rel, dense.vertices[u]);
+        for (uint32_t k = 0; k < span.size; ++k) {
+          auto it = dense.index.find(span.ids[k]);
+          if (it == dense.index.end()) continue;
+          if (result.component[it->second] != kInvalidVertex) continue;
+          result.component[it->second] = 0;
+          queue.push_back(it->second);
+        }
+      }
+    }
+    for (uint32_t u : members) result.component[u] = min_id;
+    ++result.num_components;
+  }
+  return result;
+}
+
+uint64_t CountTriangles(const GraphView& view, LabelId label,
+                        RelationId symmetric_rel) {
+  DenseIndex dense(view, label);
+  size_t n = dense.vertices.size();
+  // Sorted neighbor lists restricted to higher-indexed vertices ("forward"
+  // edges); intersect forward lists of edge endpoints.
+  std::vector<std::vector<uint32_t>> fwd(n);
+  for (size_t i = 0; i < n; ++i) {
+    AdjSpan span = view.Neighbors(symmetric_rel, dense.vertices[i]);
+    for (uint32_t k = 0; k < span.size; ++k) {
+      auto it = dense.index.find(span.ids[k]);
+      if (it == dense.index.end()) continue;
+      if (it->second > i) fwd[i].push_back(it->second);
+    }
+    std::sort(fwd[i].begin(), fwd[i].end());
+    fwd[i].erase(std::unique(fwd[i].begin(), fwd[i].end()), fwd[i].end());
+  }
+  uint64_t triangles = 0;
+  for (size_t u = 0; u < n; ++u) {
+    for (uint32_t v : fwd[u]) {
+      // |fwd[u] ∩ fwd[v]| triangles through edge (u, v).
+      const auto& a = fwd[u];
+      const auto& b = fwd[v];
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (a[i] > b[j]) {
+          ++j;
+        } else {
+          ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::unordered_map<VertexId, int> BfsDistances(
+    const GraphView& view, const std::vector<RelationId>& rels,
+    VertexId source, int max_depth) {
+  std::unordered_map<VertexId, int> dist;
+  dist[source] = 0;
+  std::deque<VertexId> queue{source};
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    int d = dist[u];
+    if (max_depth >= 0 && d >= max_depth) continue;
+    for (RelationId rel : rels) {
+      AdjSpan span = view.Neighbors(rel, u);
+      for (uint32_t k = 0; k < span.size; ++k) {
+        VertexId w = span.ids[k];
+        if (w == kInvalidVertex || dist.count(w) != 0) continue;
+        dist[w] = d + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> DegreeHistogram(const GraphView& view, LabelId label,
+                                      RelationId rel) {
+  std::vector<VertexId> vertices;
+  view.ScanLabel(label, &vertices);
+  std::vector<uint64_t> histogram;
+  for (VertexId v : vertices) {
+    AdjSpan span = view.Neighbors(rel, v);
+    uint32_t degree = 0;
+    for (uint32_t k = 0; k < span.size; ++k) {
+      if (span.ids[k] != kInvalidVertex) ++degree;
+    }
+    if (histogram.size() <= degree) histogram.resize(degree + 1, 0);
+    ++histogram[degree];
+  }
+  return histogram;
+}
+
+}  // namespace ges

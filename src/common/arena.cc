@@ -1,0 +1,42 @@
+#include "common/arena.h"
+
+#include <cstdlib>
+
+namespace ges {
+
+Arena::Arena(size_t slab_bytes) : slab_bytes_(slab_bytes) {}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+  uintptr_t aligned = (cur + align - 1) & ~(align - 1);
+  size_t padding = aligned - cur;
+  if (cursor_ == nullptr ||
+      aligned + bytes > reinterpret_cast<uintptr_t>(limit_)) {
+    AddSlab(bytes + align);
+    cur = reinterpret_cast<uintptr_t>(cursor_);
+    aligned = (cur + align - 1) & ~(align - 1);
+    padding = aligned - cur;
+  }
+  cursor_ = reinterpret_cast<uint8_t*>(aligned + bytes);
+  bytes_allocated_ += bytes + padding;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::Reset() {
+  slabs_.clear();
+  cursor_ = nullptr;
+  limit_ = nullptr;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+void Arena::AddSlab(size_t min_bytes) {
+  size_t size = min_bytes > slab_bytes_ ? min_bytes : slab_bytes_;
+  slabs_.push_back(std::make_unique<uint8_t[]>(size));
+  cursor_ = slabs_.back().get();
+  limit_ = cursor_ + size;
+  bytes_reserved_ += size;
+}
+
+}  // namespace ges

@@ -1,0 +1,75 @@
+// Bump-pointer memory pool used by the copy-on-write version manager.
+//
+// The paper (Section 5, "Concurrency Control") pairs the copy-on-write
+// strategy with a memory pool so that frequent snapshot allocation does not
+// hit the OS allocator. Arena hands out aligned chunks from large slabs and
+// releases everything at once.
+#ifndef GES_COMMON_ARENA_H_
+#define GES_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ges {
+
+class Arena {
+ public:
+  // `slab_bytes` is the granularity of allocations requested from the OS.
+  explicit Arena(size_t slab_bytes = 1 << 20);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (power of two). Never
+  // returns nullptr; allocation failure aborts.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Releases all slabs. Invalidates every pointer previously returned.
+  void Reset();
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  void AddSlab(size_t min_bytes);
+
+  const size_t slab_bytes_;
+  std::vector<std::unique_ptr<uint8_t[]>> slabs_;
+  uint8_t* cursor_ = nullptr;
+  uint8_t* limit_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+// Arena with internal locking, shareable by concurrent writers.
+class ConcurrentArena {
+ public:
+  explicit ConcurrentArena(size_t slab_bytes = 1 << 20)
+      : arena_(slab_bytes) {}
+
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arena_.Allocate(bytes, align);
+  }
+
+  size_t bytes_allocated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arena_.bytes_allocated();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Arena arena_;
+};
+
+}  // namespace ges
+
+#endif  // GES_COMMON_ARENA_H_

@@ -1,0 +1,82 @@
+// Deterministic random number generation for datagen and workloads.
+#ifndef GES_COMMON_RANDOM_H_
+#define GES_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ges {
+
+// SplitMix64: tiny, fast, high-quality deterministic generator. Every
+// consumer (datagen, parameter curation, driver scheduling) derives its own
+// stream from a seed so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipf-distributed sampler over [0, n). Used to give the synthetic social
+// network the skewed degree distributions (few hubs, long tail) that drive
+// the intermediate-result blowup the paper measures.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta) : n_(n), theta_(theta) {
+    cdf_.reserve(n);
+    double sum = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      cdf_.push_back(sum);
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    size_t lo = 0;
+    size_t hi = n_;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < n_ ? lo : n_ - 1;
+  }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ges
+
+#endif  // GES_COMMON_RANDOM_H_

@@ -1,0 +1,46 @@
+// Lightweight error propagation without exceptions.
+#ifndef GES_COMMON_STATUS_H_
+#define GES_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ges {
+
+// A Status is either OK or carries an error message. Functions that can fail
+// return Status (or StatusOr-like out-parameters); exceptions are not used.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+  static Status InvalidArgument(std::string message) {
+    return Error("invalid argument: " + std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Error("not found: " + std::move(message));
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace ges
+
+#define GES_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::ges::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#endif  // GES_COMMON_STATUS_H_

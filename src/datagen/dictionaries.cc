@@ -1,0 +1,120 @@
+#include "datagen/dictionaries.h"
+
+namespace ges::dict {
+
+namespace {
+// Function-local static references so the dictionaries are initialized on
+// first use and never destroyed (trivial-destruction rule for globals).
+template <typename... Args>
+const std::vector<std::string_view>& Make(Args... args) {
+  static const auto& v = *new std::vector<std::string_view>{args...};
+  return v;
+}
+}  // namespace
+
+const std::vector<std::string_view>& FirstNames() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "Jan",     "Rahul",  "Maria",  "Chen",    "Ali",     "Yang",
+      "Ivan",    "Anna",   "Jose",   "Wei",     "Ahmed",   "Olga",
+      "Carlos",  "Mei",    "John",   "Fatima",  "Hans",    "Priya",
+      "Pedro",   "Elena",  "Omar",   "Julia",   "Ken",     "Amara",
+      "Lars",    "Nina",   "Paulo",  "Sofia",   "David",   "Lin",
+      "Mohamed", "Emma",   "Bruno",  "Aisha",   "Victor",  "Lena",
+      "Hugo",    "Zara",   "Felix",  "Iris",    "Otto",    "Mira",
+      "Abdul",   "Alba",   "Bilal",  "Clara",   "Diego",   "Dora",
+      "Emil",    "Faye",   "Gustav", "Hana",    "Igor",    "Jana",
+      "Karl",    "Kira",   "Luis",   "Luna",    "Milan",   "Nora"};
+  return v;
+}
+
+const std::vector<std::string_view>& LastNames() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "Smith",   "Zhang",    "Kumar",   "Muller",  "Garcia",  "Ivanov",
+      "Sato",    "Silva",    "Kim",     "Ali",     "Chen",    "Novak",
+      "Haddad",  "Petrov",   "Lopez",   "Wang",    "Brown",   "Khan",
+      "Dubois",  "Rossi",    "Yilmaz",  "Nakamura","Olsen",   "Costa",
+      "Jensen",  "Popescu",  "Farkas",  "Kovacs",  "OBrien",  "Svensson",
+      "Weber",   "Fischer",  "Moreau",  "Ricci",   "Santos",  "Dinh",
+      "Pham",    "Nguyen",   "Haas",    "Vargas",  "Castro",  "Reyes",
+      "Andersen","Virtanen", "Korhonen","Lindberg","Marino",  "Greco"};
+  return v;
+}
+
+const std::vector<std::string_view>& TagWords() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "rock",       "jazz",      "opera",      "football",  "chess",
+      "photography","cooking",   "travel",     "history",   "physics",
+      "astronomy",  "painting",  "cinema",     "poetry",    "hiking",
+      "sailing",    "gardening", "philosophy", "economics", "biology",
+      "robotics",   "karate",    "yoga",       "cycling",   "skiing",
+      "surfing",    "archery",   "fencing",    "ballet",    "sculpture",
+      "calligraphy","origami",   "aviation",   "geology",   "botany",
+      "zoology",    "cartography","linguistics","archaeology","mythology"};
+  return v;
+}
+
+const std::vector<std::string_view>& TagClassNames() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "Thing",      "Agent",     "Person",   "Artist",      "Musician",
+      "Place",      "Organisation", "Event", "CreativeWork","Song",
+      "Film",       "Book",      "Sport",    "Science",     "Technology",
+      "Hobby",      "Game",      "Politics", "Nature",      "Education"};
+  return v;
+}
+
+const std::vector<std::string_view>& Continents() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "Europe", "Asia", "Africa", "NorthAmerica", "SouthAmerica", "Oceania"};
+  return v;
+}
+
+const std::vector<std::string_view>& Countries() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "China",     "India",    "Germany",  "France",   "Brazil",
+      "Nigeria",   "Japan",    "Mexico",   "Egypt",    "Spain",
+      "Italy",     "Vietnam",  "Turkey",   "Kenya",    "Poland",
+      "Canada",    "Peru",     "Sweden",   "Norway",   "Greece",
+      "Hungary",   "Chile",    "Morocco",  "Thailand", "Portugal",
+      "Finland",   "Austria",  "Colombia", "Ghana",    "Australia"};
+  return v;
+}
+
+const std::vector<std::string_view>& Cities() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "Beijing",   "Shanghai",  "Mumbai",   "Delhi",     "Berlin",
+      "Munich",    "Paris",     "Lyon",     "SaoPaulo",  "Rio",
+      "Lagos",     "Abuja",     "Tokyo",    "Osaka",     "MexicoCity",
+      "Cairo",     "Madrid",    "Barcelona","Rome",      "Milan",
+      "Hanoi",     "Istanbul",  "Nairobi",  "Warsaw",    "Toronto",
+      "Lima",      "Stockholm", "Oslo",     "Athens",    "Budapest",
+      "Santiago",  "Rabat",     "Bangkok",  "Lisbon",    "Helsinki",
+      "Vienna",    "Bogota",    "Accra",    "Sydney",    "Melbourne",
+      "Guangzhou", "Chengdu",   "Pune",     "Chennai",   "Hamburg",
+      "Marseille", "Salvador",  "Kano",     "Kyoto",     "Puebla",
+      "Alexandria","Valencia",  "Naples",   "Saigon",    "Ankara",
+      "Mombasa",   "Krakow",    "Vancouver","Cusco",     "Gothenburg"};
+  return v;
+}
+
+const std::vector<std::string_view>& Browsers() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "Chrome", "Firefox", "Safari", "InternetExplorer", "Opera"};
+  return v;
+}
+
+const std::vector<std::string_view>& Languages() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "en", "zh", "es", "hi", "ar", "pt", "ru", "ja", "de", "fr"};
+  return v;
+}
+
+const std::vector<std::string_view>& ContentWords() {
+  static const auto& v = *new std::vector<std::string_view>{
+      "about", "the",   "new",    "trip",   "photo",  "great", "concert",
+      "game",  "match", "today",  "friend", "visit",  "city",  "music",
+      "movie", "book",  "amazing","weather","weekend","party", "dinner",
+      "beach", "museum","river",  "mountain","idea",  "plan",  "project"};
+  return v;
+}
+
+}  // namespace ges::dict

@@ -1,0 +1,24 @@
+// Name dictionaries backing the synthetic SNB generator.
+#ifndef GES_DATAGEN_DICTIONARIES_H_
+#define GES_DATAGEN_DICTIONARIES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace ges::dict {
+
+// Each accessor returns a fixed, deterministic dictionary.
+const std::vector<std::string_view>& FirstNames();
+const std::vector<std::string_view>& LastNames();
+const std::vector<std::string_view>& TagWords();
+const std::vector<std::string_view>& TagClassNames();
+const std::vector<std::string_view>& Continents();
+const std::vector<std::string_view>& Countries();
+const std::vector<std::string_view>& Cities();
+const std::vector<std::string_view>& Browsers();
+const std::vector<std::string_view>& Languages();
+const std::vector<std::string_view>& ContentWords();
+
+}  // namespace ges::dict
+
+#endif  // GES_DATAGEN_DICTIONARIES_H_

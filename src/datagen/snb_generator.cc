@@ -1,0 +1,534 @@
+#include "datagen/snb_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+#include <string>
+
+#include "datagen/dictionaries.h"
+
+namespace ges {
+
+namespace {
+
+using dict::Browsers;
+using dict::Cities;
+using dict::ContentWords;
+using dict::Continents;
+using dict::Countries;
+using dict::FirstNames;
+using dict::Languages;
+using dict::LastNames;
+using dict::TagClassNames;
+using dict::TagWords;
+
+std::string MakeContent(Rng& rng, int words) {
+  const auto& w = ContentWords();
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += w[rng.Uniform(w.size())];
+  }
+  return out;
+}
+
+// Power-law-ish per-entity count with the configured average: a zipf draw
+// over a small range scaled so the mean is ~avg.
+uint32_t SkewedCount(Rng& rng, const ZipfSampler& zipf, double avg,
+                     uint32_t max_factor = 20) {
+  // zipf.Sample over [0, n) returns small values often; map rank r to a
+  // count so that hubs (r==0) get ~max_factor*avg and the tail gets ~avg/2.
+  size_t r = zipf.Sample(rng);
+  double boost = 1.0 + (max_factor - 1.0) / (1.0 + static_cast<double>(r));
+  double mean = avg * boost / 2.2;  // 2.2 ~ E[boost] under theta ~0.7
+  uint32_t n = static_cast<uint32_t>(mean * (0.5 + rng.NextDouble()));
+  return n;
+}
+
+}  // namespace
+
+SnbSchema SnbSchema::Define(Graph* graph) {
+  Catalog& c = graph->catalog();
+  SnbSchema s;
+  s.person = c.AddVertexLabel("PERSON");
+  s.post = c.AddVertexLabel("POST");
+  s.comment = c.AddVertexLabel("COMMENT");
+  s.forum = c.AddVertexLabel("FORUM");
+  s.tag = c.AddVertexLabel("TAG");
+  s.tagclass = c.AddVertexLabel("TAGCLASS");
+  s.place = c.AddVertexLabel("PLACE");
+  s.organisation = c.AddVertexLabel("ORGANISATION");
+
+  s.knows = c.AddEdgeLabel("KNOWS");
+  s.has_creator = c.AddEdgeLabel("HAS_CREATOR");
+  s.likes = c.AddEdgeLabel("LIKES");
+  s.reply_of = c.AddEdgeLabel("REPLY_OF");
+  s.has_tag = c.AddEdgeLabel("HAS_TAG");
+  s.has_interest = c.AddEdgeLabel("HAS_INTEREST");
+  s.has_member = c.AddEdgeLabel("HAS_MEMBER");
+  s.has_moderator = c.AddEdgeLabel("HAS_MODERATOR");
+  s.container_of = c.AddEdgeLabel("CONTAINER_OF");
+  s.is_located_in = c.AddEdgeLabel("IS_LOCATED_IN");
+  s.is_part_of = c.AddEdgeLabel("IS_PART_OF");
+  s.has_type = c.AddEdgeLabel("HAS_TYPE");
+  s.is_subclass_of = c.AddEdgeLabel("IS_SUBCLASS_OF");
+  s.study_at = c.AddEdgeLabel("STUDY_AT");
+  s.work_at = c.AddEdgeLabel("WORK_AT");
+
+  // Property declarations per label.
+  auto add = [&](LabelId l, const char* name, ValueType t) {
+    return c.AddProperty(l, name, t);
+  };
+  s.id = add(s.person, "id", ValueType::kInt64);
+  s.first_name = add(s.person, "firstName", ValueType::kString);
+  s.last_name = add(s.person, "lastName", ValueType::kString);
+  s.gender = add(s.person, "gender", ValueType::kString);
+  s.birthday = add(s.person, "birthday", ValueType::kDate);
+  s.birthday_month = add(s.person, "birthdayMonth", ValueType::kInt64);
+  s.creation_date = add(s.person, "creationDate", ValueType::kDate);
+  s.browser_used = add(s.person, "browserUsed", ValueType::kString);
+  s.location_ip = add(s.person, "locationIP", ValueType::kString);
+
+  add(s.post, "id", ValueType::kInt64);
+  add(s.post, "creationDate", ValueType::kDate);
+  s.content = add(s.post, "content", ValueType::kString);
+  s.length = add(s.post, "length", ValueType::kInt64);
+  s.language = add(s.post, "language", ValueType::kString);
+  s.image_file = add(s.post, "imageFile", ValueType::kString);
+  add(s.post, "browserUsed", ValueType::kString);
+  add(s.post, "locationIP", ValueType::kString);
+
+  add(s.comment, "id", ValueType::kInt64);
+  add(s.comment, "creationDate", ValueType::kDate);
+  add(s.comment, "content", ValueType::kString);
+  add(s.comment, "length", ValueType::kInt64);
+  add(s.comment, "browserUsed", ValueType::kString);
+  add(s.comment, "locationIP", ValueType::kString);
+
+  add(s.forum, "id", ValueType::kInt64);
+  s.title = add(s.forum, "title", ValueType::kString);
+  add(s.forum, "creationDate", ValueType::kDate);
+
+  add(s.tag, "id", ValueType::kInt64);
+  s.name = add(s.tag, "name", ValueType::kString);
+  s.url = add(s.tag, "url", ValueType::kString);
+
+  add(s.tagclass, "id", ValueType::kInt64);
+  add(s.tagclass, "name", ValueType::kString);
+  add(s.tagclass, "url", ValueType::kString);
+
+  add(s.place, "id", ValueType::kInt64);
+  add(s.place, "name", ValueType::kString);
+  add(s.place, "url", ValueType::kString);
+  s.type = add(s.place, "type", ValueType::kString);
+
+  add(s.organisation, "id", ValueType::kInt64);
+  add(s.organisation, "name", ValueType::kString);
+  add(s.organisation, "url", ValueType::kString);
+  add(s.organisation, "type", ValueType::kString);
+
+  // Relations (both OUT and IN tables are created per call).
+  graph->RegisterRelation(s.person, s.knows, s.person, /*has_stamp=*/true);
+  graph->RegisterRelation(s.post, s.has_creator, s.person);
+  graph->RegisterRelation(s.comment, s.has_creator, s.person);
+  graph->RegisterRelation(s.person, s.likes, s.post, /*has_stamp=*/true);
+  graph->RegisterRelation(s.person, s.likes, s.comment, /*has_stamp=*/true);
+  graph->RegisterRelation(s.comment, s.reply_of, s.post);
+  graph->RegisterRelation(s.comment, s.reply_of, s.comment);
+  graph->RegisterRelation(s.post, s.has_tag, s.tag);
+  graph->RegisterRelation(s.comment, s.has_tag, s.tag);
+  graph->RegisterRelation(s.forum, s.has_tag, s.tag);
+  graph->RegisterRelation(s.person, s.has_interest, s.tag);
+  graph->RegisterRelation(s.forum, s.has_member, s.person,
+                          /*has_stamp=*/true);
+  graph->RegisterRelation(s.forum, s.has_moderator, s.person);
+  graph->RegisterRelation(s.forum, s.container_of, s.post);
+  graph->RegisterRelation(s.person, s.is_located_in, s.place);
+  graph->RegisterRelation(s.post, s.is_located_in, s.place);
+  graph->RegisterRelation(s.comment, s.is_located_in, s.place);
+  graph->RegisterRelation(s.organisation, s.is_located_in, s.place);
+  graph->RegisterRelation(s.place, s.is_part_of, s.place);
+  graph->RegisterRelation(s.tag, s.has_type, s.tagclass);
+  graph->RegisterRelation(s.tagclass, s.is_subclass_of, s.tagclass);
+  graph->RegisterRelation(s.person, s.study_at, s.organisation,
+                          /*has_stamp=*/true);  // classYear
+  graph->RegisterRelation(s.person, s.work_at, s.organisation,
+                          /*has_stamp=*/true);  // workFrom
+  return s;
+}
+
+size_t SnbPersonCount(double scale_factor) {
+  double n = 11000.0 * std::pow(scale_factor, 0.83);
+  return static_cast<size_t>(std::max(50.0, n));
+}
+
+SnbData GenerateSnb(const SnbConfig& config, Graph* graph) {
+  SnbData data;
+  data.config = config;
+  data.schema = SnbSchema::Define(graph);
+  const SnbSchema& s = data.schema;
+  Catalog& c = graph->catalog();
+  Rng rng(config.seed);
+
+  const size_t num_persons = SnbPersonCount(config.scale_factor);
+  const size_t num_tags = std::min<size_t>(400, 40 + num_persons / 10);
+  const size_t num_tagclasses = TagClassNames().size();
+  const size_t num_cities = Cities().size();
+  const size_t num_countries = Countries().size();
+  const size_t num_continents = Continents().size();
+  const size_t num_universities = 30;
+  const size_t num_companies = 50;
+
+  PropertyId p_id = c.Property("id");
+  PropertyId p_name = c.Property("name");
+  PropertyId p_url = c.Property("url");
+  PropertyId p_type = c.Property("type");
+  PropertyId p_creation = c.Property("creationDate");
+  PropertyId p_content = c.Property("content");
+  PropertyId p_length = c.Property("length");
+  PropertyId p_browser = c.Property("browserUsed");
+  PropertyId p_ip = c.Property("locationIP");
+  PropertyId p_title = c.Property("title");
+  PropertyId p_language = c.Property("language");
+  PropertyId p_image = c.Property("imageFile");
+
+  // ---- static hierarchy: places ----
+  data.num_cities = num_cities;
+  data.num_countries = num_countries;
+  for (size_t i = 0; i < num_cities + num_countries + num_continents; ++i) {
+    VertexId v = graph->AddVertexBulk(s.place, static_cast<int64_t>(i));
+    std::string name;
+    std::string type;
+    if (i < num_cities) {
+      name = std::string(Cities()[i]);
+      type = "city";
+    } else if (i < num_cities + num_countries) {
+      name = std::string(Countries()[i - num_cities]);
+      type = "country";
+    } else {
+      name = std::string(Continents()[i - num_cities - num_countries]);
+      type = "continent";
+    }
+    graph->SetPropertyBulk(v, p_id, Value::Int(static_cast<int64_t>(i)));
+    graph->SetPropertyBulk(v, p_name, Value::String(name));
+    graph->SetPropertyBulk(v, p_url, Value::String("place/" + name));
+    graph->SetPropertyBulk(v, p_type, Value::String(type));
+    data.places.push_back(v);
+  }
+  // city -> country, country -> continent.
+  for (size_t i = 0; i < num_cities; ++i) {
+    size_t country = num_cities + i % num_countries;
+    graph->AddEdgeBulk(s.is_part_of, data.places[i], data.places[country]);
+  }
+  for (size_t i = 0; i < num_countries; ++i) {
+    size_t cont = num_cities + num_countries + i % num_continents;
+    graph->AddEdgeBulk(s.is_part_of, data.places[num_cities + i],
+                       data.places[cont]);
+  }
+
+  // ---- tag classes (hierarchy) and tags ----
+  for (size_t i = 0; i < num_tagclasses; ++i) {
+    VertexId v = graph->AddVertexBulk(s.tagclass, static_cast<int64_t>(i));
+    std::string name(TagClassNames()[i]);
+    graph->SetPropertyBulk(v, p_id, Value::Int(static_cast<int64_t>(i)));
+    graph->SetPropertyBulk(v, p_name, Value::String(name));
+    graph->SetPropertyBulk(v, p_url, Value::String("tagclass/" + name));
+    data.tagclasses.push_back(v);
+    if (i > 0) {
+      size_t parent = rng.Uniform(i);
+      graph->AddEdgeBulk(s.is_subclass_of, v, data.tagclasses[parent]);
+    }
+  }
+  ZipfSampler tagclass_zipf(num_tagclasses, config.zipf_theta);
+  for (size_t i = 0; i < num_tags; ++i) {
+    VertexId v = graph->AddVertexBulk(s.tag, static_cast<int64_t>(i));
+    std::string name = std::string(TagWords()[i % TagWords().size()]);
+    if (i >= TagWords().size()) {
+      name += "_" + std::to_string(i / TagWords().size());
+    }
+    graph->SetPropertyBulk(v, p_id, Value::Int(static_cast<int64_t>(i)));
+    graph->SetPropertyBulk(v, p_name, Value::String(name));
+    graph->SetPropertyBulk(v, p_url, Value::String("tag/" + name));
+    data.tags.push_back(v);
+    graph->AddEdgeBulk(s.has_type, v,
+                       data.tagclasses[tagclass_zipf.Sample(rng)]);
+  }
+
+  // ---- organisations ----
+  data.num_universities = num_universities;
+  for (size_t i = 0; i < num_universities + num_companies; ++i) {
+    VertexId v =
+        graph->AddVertexBulk(s.organisation, static_cast<int64_t>(i));
+    bool is_univ = i < num_universities;
+    std::string name = (is_univ ? "Univ_" : "Co_") +
+                       std::string(Cities()[i % Cities().size()]) + "_" +
+                       std::to_string(i);
+    graph->SetPropertyBulk(v, p_id, Value::Int(static_cast<int64_t>(i)));
+    graph->SetPropertyBulk(v, p_name, Value::String(name));
+    graph->SetPropertyBulk(v, p_url, Value::String("org/" + name));
+    graph->SetPropertyBulk(v, p_type,
+                           Value::String(is_univ ? "university" : "company"));
+    data.organisations.push_back(v);
+    // Organisations live in cities (universities) or countries (companies).
+    size_t place = is_univ ? i % num_cities : num_cities + i % num_countries;
+    graph->AddEdgeBulk(s.is_located_in, v, data.places[place]);
+  }
+
+  // ---- persons ----
+  ZipfSampler person_zipf(std::max<size_t>(num_persons, 2),
+                          config.zipf_theta);
+  ZipfSampler tag_zipf(num_tags, config.zipf_theta);
+  data.persons.reserve(num_persons);
+  data.person_creation.reserve(num_persons);
+  for (size_t i = 0; i < num_persons; ++i) {
+    VertexId v = graph->AddVertexBulk(s.person, static_cast<int64_t>(i));
+    int64_t creation =
+        kSimStart + static_cast<int64_t>(rng.NextDouble() * 0.8 *
+                                         (kSimEnd - kSimStart));
+    // Birthday: 1950..1998, encoded as millis; month/day uniform.
+    int64_t day_of_year = static_cast<int64_t>(rng.Uniform(360));
+    int64_t birthday = -631152000000LL +  // 1950-01-01
+                       static_cast<int64_t>(rng.Uniform(48)) * 365 *
+                           kMillisPerDay +
+                       day_of_year * kMillisPerDay;
+    int64_t birthday_month = 1 + day_of_year / 30;
+    graph->SetPropertyBulk(v, s.id, Value::Int(static_cast<int64_t>(i)));
+    graph->SetPropertyBulk(
+        v, s.first_name,
+        Value::String(std::string(FirstNames()[rng.Uniform(FirstNames().size())])));
+    graph->SetPropertyBulk(
+        v, s.last_name,
+        Value::String(std::string(LastNames()[rng.Uniform(LastNames().size())])));
+    graph->SetPropertyBulk(v, s.gender,
+                           Value::String(rng.Bernoulli(0.5) ? "male" : "female"));
+    graph->SetPropertyBulk(v, s.birthday, Value::Date(birthday));
+    graph->SetPropertyBulk(v, s.birthday_month, Value::Int(birthday_month));
+    graph->SetPropertyBulk(v, s.creation_date, Value::Date(creation));
+    graph->SetPropertyBulk(
+        v, s.browser_used,
+        Value::String(std::string(Browsers()[rng.Uniform(Browsers().size())])));
+    graph->SetPropertyBulk(v, s.location_ip,
+                           Value::String("10." + std::to_string(rng.Uniform(256)) +
+                                         "." + std::to_string(rng.Uniform(256)) +
+                                         "." + std::to_string(rng.Uniform(256))));
+    data.persons.push_back(v);
+    data.person_creation.push_back(creation);
+    graph->AddEdgeBulk(s.is_located_in, v,
+                       data.places[rng.Uniform(num_cities)]);
+    // Interests: 4..16 tags, zipf over tags so some tags are very popular.
+    size_t interests = 4 + rng.Uniform(13);
+    for (size_t t = 0; t < interests; ++t) {
+      graph->AddEdgeBulk(s.has_interest, v, data.tags[tag_zipf.Sample(rng)]);
+    }
+    // Education / employment.
+    if (rng.Bernoulli(0.8)) {
+      graph->AddEdgeBulk(s.study_at, v,
+                         data.organisations[rng.Uniform(num_universities)],
+                         /*stamp=*/1995 + static_cast<int64_t>(rng.Uniform(18)));
+    }
+    size_t jobs = rng.Bernoulli(0.3) ? 2 : 1;
+    for (size_t j = 0; j < jobs; ++j) {
+      graph->AddEdgeBulk(
+          s.work_at, v,
+          data.organisations[num_universities + rng.Uniform(num_companies)],
+          /*stamp=*/1990 + static_cast<int64_t>(rng.Uniform(23)));
+    }
+  }
+
+  // ---- knows (symmetric, skewed degree, creation-consistent stamps) ----
+  {
+    ZipfSampler degree_zipf(64, config.zipf_theta);
+    std::unordered_set<uint64_t> seen;  // dedup: KNOWS is a set of pairs
+    for (size_t i = 0; i < num_persons; ++i) {
+      uint32_t deg = SkewedCount(rng, degree_zipf, config.avg_knows / 2, 16);
+      for (uint32_t k = 0; k < deg; ++k) {
+        // Mild locality: half the friends are "nearby" ids (shared city
+        // clusters in LDBC); the rest uniform or hub-biased.
+        size_t j;
+        if (rng.Bernoulli(0.5)) {
+          int64_t off = rng.UniformRange(-50, 50);
+          int64_t cand = static_cast<int64_t>(i) + off;
+          if (cand < 0 || cand >= static_cast<int64_t>(num_persons)) continue;
+          j = static_cast<size_t>(cand);
+        } else {
+          j = person_zipf.Sample(rng);
+        }
+        if (j == i || j >= num_persons) continue;
+        uint64_t key = i < j ? (uint64_t{static_cast<uint32_t>(i)} << 32 | j)
+                             : (uint64_t{static_cast<uint32_t>(j)} << 32 | i);
+        if (!seen.insert(key).second) continue;
+        int64_t stamp = std::max(data.person_creation[i],
+                                 data.person_creation[j]) +
+                        static_cast<int64_t>(rng.Uniform(90)) * kMillisPerDay;
+        graph->AddEdgeBulk(s.knows, data.persons[i], data.persons[j], stamp);
+        graph->AddEdgeBulk(s.knows, data.persons[j], data.persons[i], stamp);
+      }
+    }
+  }
+
+  // ---- forums, moderators, members ----
+  const size_t num_forums = std::max<size_t>(
+      4, static_cast<size_t>(num_persons * config.forums_per_person));
+  ZipfSampler member_zipf(64, config.zipf_theta);
+  std::vector<std::vector<uint32_t>> forum_members(num_forums);
+  for (size_t f = 0; f < num_forums; ++f) {
+    size_t moderator = person_zipf.Sample(rng);
+    VertexId v = graph->AddVertexBulk(s.forum, static_cast<int64_t>(f));
+    int64_t creation = data.person_creation[moderator] +
+                       static_cast<int64_t>(rng.Uniform(200)) * kMillisPerDay;
+    graph->SetPropertyBulk(v, p_id, Value::Int(static_cast<int64_t>(f)));
+    graph->SetPropertyBulk(v, p_title,
+                           Value::String("Forum_" + std::to_string(f)));
+    graph->SetPropertyBulk(v, p_creation, Value::Date(creation));
+    data.forums.push_back(v);
+    graph->AddEdgeBulk(s.has_moderator, v, data.persons[moderator]);
+    size_t forum_tags = 1 + rng.Uniform(3);
+    for (size_t t = 0; t < forum_tags; ++t) {
+      graph->AddEdgeBulk(s.has_tag, v, data.tags[rng.Uniform(num_tags)]);
+    }
+    uint32_t members =
+        SkewedCount(rng, member_zipf, config.members_per_forum, 20);
+    for (uint32_t m = 0; m < members; ++m) {
+      size_t p = person_zipf.Sample(rng);
+      int64_t join = std::max(creation, data.person_creation[p]) +
+                     static_cast<int64_t>(rng.Uniform(120)) * kMillisPerDay;
+      graph->AddEdgeBulk(s.has_member, v, data.persons[p], join);
+      forum_members[f].push_back(static_cast<uint32_t>(p));
+    }
+  }
+
+  // ---- posts (inside forums, written by members) ----
+  const size_t target_posts = static_cast<size_t>(
+      std::max(8.0, num_persons * config.posts_per_person));
+  ZipfSampler forum_zipf(num_forums, config.zipf_theta);
+  data.posts.reserve(target_posts);
+  data.post_creation.reserve(target_posts);
+  std::vector<uint32_t> post_creator;
+  post_creator.reserve(target_posts);
+  for (size_t i = 0; i < target_posts; ++i) {
+    size_t f = forum_zipf.Sample(rng);
+    size_t creator = forum_members[f].empty()
+                         ? person_zipf.Sample(rng)
+                         : forum_members[f][rng.Uniform(
+                               forum_members[f].size())];
+    VertexId v = graph->AddVertexBulk(s.post, static_cast<int64_t>(i));
+    int64_t creation = data.person_creation[creator] +
+                       static_cast<int64_t>(rng.Uniform(600)) * kMillisPerDay;
+    // Keep posts clear of the window end so reply timestamps can stay
+    // strictly greater while remaining inside the simulation window.
+    if (creation >= kSimEnd - 40 * kMillisPerDay) {
+      creation = kSimEnd - 40 * kMillisPerDay -
+                 static_cast<int64_t>(rng.Uniform(30)) * kMillisPerDay;
+    }
+    int64_t length = 20 + static_cast<int64_t>(rng.Uniform(230));
+    graph->SetPropertyBulk(v, p_id, Value::Int(static_cast<int64_t>(i)));
+    graph->SetPropertyBulk(v, p_creation, Value::Date(creation));
+    graph->SetPropertyBulk(v, p_content,
+                           Value::String(MakeContent(rng, 4 + rng.Uniform(6))));
+    graph->SetPropertyBulk(v, p_length, Value::Int(length));
+    graph->SetPropertyBulk(
+        v, p_language,
+        Value::String(std::string(Languages()[rng.Uniform(Languages().size())])));
+    graph->SetPropertyBulk(v, p_image, Value::String(""));
+    graph->SetPropertyBulk(
+        v, p_browser,
+        Value::String(std::string(Browsers()[rng.Uniform(Browsers().size())])));
+    graph->SetPropertyBulk(v, p_ip, Value::String("10.0.0.1"));
+    data.posts.push_back(v);
+    data.post_creation.push_back(creation);
+    post_creator.push_back(static_cast<uint32_t>(creator));
+    graph->AddEdgeBulk(s.has_creator, v, data.persons[creator]);
+    graph->AddEdgeBulk(s.container_of, data.forums[f], v);
+    graph->AddEdgeBulk(s.is_located_in, v,
+                       data.places[num_cities + rng.Uniform(num_countries)]);
+    size_t post_tags = 1 + rng.Uniform(3);
+    for (size_t t = 0; t < post_tags; ++t) {
+      graph->AddEdgeBulk(s.has_tag, v, data.tags[rng.Uniform(num_tags)]);
+    }
+  }
+
+  // ---- comments (reply trees under posts; repliers are friends-biased) ----
+  const size_t target_comments = static_cast<size_t>(
+      target_posts * config.comments_per_post);
+  ZipfSampler post_zipf(std::max<size_t>(target_posts, 2), config.zipf_theta);
+  data.comments.reserve(target_comments);
+  data.comment_creation.reserve(target_comments);
+  // For REPLY_OF chains: remember comments attached to each post.
+  std::vector<std::vector<uint32_t>> post_comments(target_posts);
+  for (size_t i = 0; i < target_comments; ++i) {
+    size_t post_idx = post_zipf.Sample(rng);
+    size_t creator = person_zipf.Sample(rng);
+    VertexId v = graph->AddVertexBulk(s.comment, static_cast<int64_t>(i));
+    // 30% of comments reply to an existing comment of the same post.
+    bool reply_to_comment =
+        !post_comments[post_idx].empty() && rng.Bernoulli(0.3);
+    int64_t parent_creation;
+    if (reply_to_comment) {
+      uint32_t parent =
+          post_comments[post_idx][rng.Uniform(post_comments[post_idx].size())];
+      graph->AddEdgeBulk(s.reply_of, v, data.comments[parent]);
+      parent_creation = data.comment_creation[parent];
+    } else {
+      graph->AddEdgeBulk(s.reply_of, v, data.posts[post_idx]);
+      parent_creation = data.post_creation[post_idx];
+    }
+    // Strictly after the parent (reply ordering invariant), allowed to
+    // spill slightly past the window end.
+    int64_t creation = std::max(parent_creation,
+                                data.person_creation[creator]) +
+                       1 + static_cast<int64_t>(rng.Uniform(30)) * kMillisPerDay;
+    int64_t length = 10 + static_cast<int64_t>(rng.Uniform(180));
+    graph->SetPropertyBulk(v, p_id, Value::Int(static_cast<int64_t>(i)));
+    graph->SetPropertyBulk(v, p_creation, Value::Date(creation));
+    graph->SetPropertyBulk(v, p_content,
+                           Value::String(MakeContent(rng, 2 + rng.Uniform(5))));
+    graph->SetPropertyBulk(v, p_length, Value::Int(length));
+    graph->SetPropertyBulk(
+        v, p_browser,
+        Value::String(std::string(Browsers()[rng.Uniform(Browsers().size())])));
+    graph->SetPropertyBulk(v, p_ip, Value::String("10.0.0.2"));
+    data.comments.push_back(v);
+    data.comment_creation.push_back(creation);
+    post_comments[post_idx].push_back(static_cast<uint32_t>(i));
+    graph->AddEdgeBulk(s.has_creator, v, data.persons[creator]);
+    graph->AddEdgeBulk(s.is_located_in, v,
+                       data.places[num_cities + rng.Uniform(num_countries)]);
+    if (rng.Bernoulli(0.4)) {
+      graph->AddEdgeBulk(s.has_tag, v, data.tags[rng.Uniform(num_tags)]);
+    }
+  }
+
+  // ---- likes ----
+  {
+    size_t target_likes = static_cast<size_t>(
+        (target_posts + target_comments) * config.likes_per_message);
+    for (size_t i = 0; i < target_likes; ++i) {
+      size_t p = person_zipf.Sample(rng);
+      bool like_post = data.comments.empty() || rng.Bernoulli(0.55);
+      if (like_post) {
+        size_t m = post_zipf.Sample(rng);
+        int64_t stamp = std::max(data.post_creation[m],
+                                 data.person_creation[p]) +
+                        1 + static_cast<int64_t>(rng.Uniform(60)) * kMillisPerDay;
+        graph->AddEdgeBulk(s.likes, data.persons[p], data.posts[m], stamp);
+      } else {
+        size_t m = rng.Uniform(data.comments.size());
+        int64_t stamp = std::max(data.comment_creation[m],
+                                 data.person_creation[p]) +
+                        1 + static_cast<int64_t>(rng.Uniform(60)) * kMillisPerDay;
+        graph->AddEdgeBulk(s.likes, data.persons[p], data.comments[m], stamp);
+      }
+    }
+  }
+
+  graph->FinalizeBulk();
+
+  data.next_person_ext = static_cast<int64_t>(num_persons);
+  data.next_post_ext = static_cast<int64_t>(target_posts);
+  data.next_comment_ext = static_cast<int64_t>(target_comments);
+  data.next_forum_ext = static_cast<int64_t>(num_forums);
+  return data;
+}
+
+}  // namespace ges

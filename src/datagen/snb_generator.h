@@ -1,0 +1,76 @@
+// Deterministic in-memory generator of an LDBC-SNB-like social network.
+//
+// This replaces the Hadoop-based LDBC Datagen the paper uses (see
+// DESIGN.md, substitutions). It preserves the schema shape and the skewed
+// degree distributions that drive the executor behaviour the paper
+// measures: power-law knows/membership/message degrees, correlated
+// timestamps (replies after parents, likes after messages), a place
+// hierarchy (city -> country -> continent) and a tag-class hierarchy.
+#ifndef GES_DATAGEN_SNB_GENERATOR_H_
+#define GES_DATAGEN_SNB_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/snb_schema.h"
+#include "storage/graph.h"
+
+namespace ges {
+
+struct SnbConfig {
+  // Continuous scale factor; #persons follows the paper's Table 1 curve
+  // (#persons ~= 11000 * SF^0.83). SF1 in the paper is ~1 GiB of graph data.
+  double scale_factor = 0.1;
+  uint64_t seed = 42;
+
+  // Density knobs (defaults approximate LDBC shape at laptop scale).
+  double avg_knows = 15.0;          // avg friendships per person
+  double posts_per_person = 12.0;   // wall+forum posts per person
+  double comments_per_post = 2.0;   // avg reply tree size
+  double likes_per_message = 1.5;   // avg likes
+  double forums_per_person = 1.5;
+  double members_per_forum = 12.0;  // avg forum membership
+  double zipf_theta = 0.7;          // skew of all power-law draws
+};
+
+// Handles into the generated graph, used by workload parameter generation.
+struct SnbData {
+  SnbSchema schema;
+  SnbConfig config;
+
+  std::vector<VertexId> persons;
+  std::vector<VertexId> posts;
+  std::vector<VertexId> comments;
+  std::vector<VertexId> forums;
+  std::vector<VertexId> tags;
+  std::vector<VertexId> tagclasses;
+  std::vector<VertexId> places;         // [cities..][countries..][continents..]
+  std::vector<VertexId> organisations;  // [universities..][companies..]
+  size_t num_cities = 0;
+  size_t num_countries = 0;
+  size_t num_universities = 0;
+
+  // Auxiliary columns aligned with the entity vectors above (used to draw
+  // realistic query parameters, mirroring the LDBC parameter curation).
+  std::vector<int64_t> person_creation;
+  std::vector<int64_t> post_creation;
+  std::vector<int64_t> comment_creation;
+
+  // External-id counters for the update (IU) workload.
+  int64_t next_person_ext = 0;
+  int64_t next_post_ext = 0;
+  int64_t next_comment_ext = 0;
+  int64_t next_forum_ext = 0;
+};
+
+// Generates the network into `graph` (which must be empty) and returns the
+// handles. Runs schema definition, bulk load and FinalizeBulk.
+SnbData GenerateSnb(const SnbConfig& config, Graph* graph);
+
+// Number of persons implied by a scale factor (the paper's Table 1 curve).
+size_t SnbPersonCount(double scale_factor);
+
+}  // namespace ges
+
+#endif  // GES_DATAGEN_SNB_GENERATOR_H_

@@ -1,0 +1,40 @@
+// LDBC SNB label-property-graph schema, resolved against a Graph catalog.
+#ifndef GES_DATAGEN_SNB_SCHEMA_H_
+#define GES_DATAGEN_SNB_SCHEMA_H_
+
+#include "common/types.h"
+#include "storage/graph.h"
+
+namespace ges {
+
+// Millisecond timestamps for the simulated social-network window.
+inline constexpr int64_t kMillisPerDay = 86'400'000LL;
+// 2010-01-01T00:00:00Z and 2013-01-01T00:00:00Z.
+inline constexpr int64_t kSimStart = 1'262'304'000'000LL;
+inline constexpr int64_t kSimEnd = 1'356'998'400'000LL;
+
+// All label / edge-label / property ids of the SNB schema. Posts and
+// comments are distinct labels (the LDBC "Message" supertype is expressed by
+// expanding over both relations); places and organisations each use a single
+// label with a `type` property (city/country/continent, university/company),
+// mirroring the LDBC static hierarchy.
+struct SnbSchema {
+  // Vertex labels.
+  LabelId person, post, comment, forum, tag, tagclass, place, organisation;
+  // Edge labels.
+  LabelId knows, has_creator, likes, reply_of, has_tag, has_interest,
+      has_member, has_moderator, container_of, is_located_in, is_part_of,
+      has_type, is_subclass_of, study_at, work_at;
+  // Property keys.
+  PropertyId id, first_name, last_name, gender, birthday, birthday_month,
+      creation_date, browser_used, location_ip, content, length, language,
+      image_file, title, name, url, type;
+
+  // Registers every label, property and relation on `graph` and returns the
+  // resolved ids. Must run before bulk load.
+  static SnbSchema Define(Graph* graph);
+};
+
+}  // namespace ges
+
+#endif  // GES_DATAGEN_SNB_SCHEMA_H_

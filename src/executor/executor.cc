@@ -1,0 +1,533 @@
+#include "executor/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "executor/executor_internal.h"
+#include "executor/optimizer.h"
+
+namespace ges {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kVolcano:
+      return "Volcano";
+    case ExecMode::kFlat:
+      return "GES";
+    case ExecMode::kFactorized:
+      return "GES_f";
+    case ExecMode::kFactorizedFused:
+      return "GES_f*";
+  }
+  return "?";
+}
+
+void CollectNeighbors(const GraphView& view,
+                      const std::vector<RelationId>& rels, VertexId src,
+                      int min_hops, int max_hops, bool distinct,
+                      bool exclude_start,
+                      std::vector<std::pair<VertexId, int>>* out,
+                      std::vector<int64_t>* stamps) {
+  if (max_hops == 1 && !distinct) {
+    for (RelationId rel : rels) {
+      AdjSpan span = view.Neighbors(rel, src);
+      for (uint32_t i = 0; i < span.size; ++i) {
+        VertexId id = span.ids[i];
+        if (id == kInvalidVertex) continue;
+        if (exclude_start && id == src) continue;
+        out->emplace_back(id, 1);
+        if (stamps != nullptr) {
+          stamps->push_back(span.stamps == nullptr ? 0 : span.stamps[i]);
+        }
+      }
+    }
+    return;
+  }
+  // Min-distance BFS with dedup; the source itself is never emitted
+  // (variable-length expansion in the workload always excludes the start).
+  std::unordered_set<VertexId> visited;
+  visited.insert(src);
+  std::vector<VertexId> frontier{src};
+  std::vector<VertexId> next;
+  for (int d = 1; d <= max_hops && !frontier.empty(); ++d) {
+    next.clear();
+    for (VertexId v : frontier) {
+      for (RelationId rel : rels) {
+        AdjSpan span = view.Neighbors(rel, v);
+        for (uint32_t i = 0; i < span.size; ++i) {
+          VertexId id = span.ids[i];
+          if (id == kInvalidVertex) continue;
+          if (!visited.insert(id).second) continue;
+          next.push_back(id);
+          if (d >= min_hops) {
+            out->emplace_back(id, d);
+            if (stamps != nullptr) {
+              stamps->push_back(span.stamps == nullptr ? 0 : span.stamps[i]);
+            }
+          }
+        }
+      }
+    }
+    std::swap(frontier, next);
+  }
+}
+
+namespace {
+
+using internal::GroupedAggregator;
+using internal::RowEq;
+using internal::RowHash;
+
+}  // namespace
+
+namespace internal {
+
+GroupedAggregator::GroupedAggregator(std::vector<ColumnDef> key_defs,
+                                     std::vector<AggSpec> aggs,
+                                     std::vector<ValueType> input_types)
+    : key_defs_(std::move(key_defs)),
+      aggs_(std::move(aggs)),
+      input_types_(std::move(input_types)) {}
+
+void GroupedAggregator::Add(std::vector<Value> key,
+                            const std::vector<Value>& inputs,
+                            int64_t multiplicity) {
+  auto [it, inserted] = index_.emplace(key, keys_.size());
+  if (inserted) {
+    keys_.push_back(std::move(key));
+    states_.emplace_back(aggs_.size());
+  }
+  std::vector<State>& st = states_[it->second];
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    State& s = st[a];
+    s.count += multiplicity;
+    if (aggs_[a].input.empty()) continue;
+    const Value& v = inputs[a];
+    switch (aggs_[a].fn) {
+      case AggSpec::kSum:
+      case AggSpec::kAvg:
+        s.sum_i += v.AsInt() * multiplicity;
+        s.sum_d += v.AsDouble() * multiplicity;
+        break;
+      case AggSpec::kMin:
+      case AggSpec::kMax:
+        if (!s.has_minmax) {
+          s.min = v;
+          s.max = v;
+          s.has_minmax = true;
+        } else {
+          if (v < s.min) s.min = v;
+          if (s.max < v) s.max = v;
+        }
+        break;
+      case AggSpec::kCountDistinct:
+        s.distinct.insert(v);
+        break;
+      case AggSpec::kCount:
+        break;
+    }
+  }
+}
+
+FlatBlock GroupedAggregator::Finish() {
+  Schema out_schema;
+  for (const ColumnDef& k : key_defs_) {
+    out_schema.Add(k.name, k.type);
+  }
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    ValueType t;
+    switch (aggs_[a].fn) {
+      case AggSpec::kAvg:
+        t = ValueType::kDouble;
+        break;
+      case AggSpec::kSum:
+      case AggSpec::kMin:
+      case AggSpec::kMax:
+        t = aggs_[a].input.empty() ? ValueType::kInt64 : input_types_[a];
+        break;
+      default:
+        t = ValueType::kInt64;
+    }
+    out_schema.Add(aggs_[a].output, t);
+  }
+
+  FlatBlock out(out_schema);
+  if (keys_.empty() && key_defs_.empty()) {
+    // Global aggregation of an empty relation: COUNT -> 0.
+    std::vector<Value> row;
+    for (const AggSpec& a : aggs_) {
+      row.push_back(a.fn == AggSpec::kAvg ? Value::Double(0) : Value::Int(0));
+    }
+    out.AppendRow(std::move(row));
+    return out;
+  }
+  for (size_t g = 0; g < keys_.size(); ++g) {
+    std::vector<Value> row = keys_[g];
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const State& s = states_[g][a];
+      switch (aggs_[a].fn) {
+        case AggSpec::kCount:
+          row.push_back(Value::Int(s.count));
+          break;
+        case AggSpec::kCountDistinct:
+          row.push_back(Value::Int(static_cast<int64_t>(s.distinct.size())));
+          break;
+        case AggSpec::kSum:
+          if (!aggs_[a].input.empty() &&
+              input_types_[a] == ValueType::kDouble) {
+            row.push_back(Value::Double(s.sum_d));
+          } else {
+            row.push_back(Value::Int(s.sum_i));
+          }
+          break;
+        case AggSpec::kAvg:
+          row.push_back(Value::Double(s.count == 0 ? 0 : s.sum_d / s.count));
+          break;
+        case AggSpec::kMin:
+          row.push_back(s.min);
+          break;
+        case AggSpec::kMax:
+          row.push_back(s.max);
+          break;
+      }
+    }
+    out.AppendRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace internal
+
+void SortAndLimit(FlatBlock* block, const std::vector<SortKey>& keys,
+                  uint64_t limit) {
+  std::vector<int> idx;
+  std::vector<bool> asc;
+  for (const SortKey& k : keys) {
+    int i = block->schema().IndexOf(k.column);
+    assert(i >= 0 && "sort key not in schema");
+    idx.push_back(i);
+    asc.push_back(k.ascending);
+  }
+  auto cmp = [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+    for (size_t k = 0; k < idx.size(); ++k) {
+      int c = a[idx[k]].Compare(b[idx[k]]);
+      if (c != 0) return asc[k] ? c < 0 : c > 0;
+    }
+    return false;
+  };
+  std::stable_sort(block->rows().begin(), block->rows().end(), cmp);
+  if (block->NumRows() > limit) {
+    block->rows().resize(limit);
+  }
+}
+
+FlatBlock HashAggregate(const FlatBlock& block,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<AggSpec>& aggs) {
+  const Schema& in = block.schema();
+  std::vector<ColumnDef> key_defs;
+  std::vector<int> key_idx;
+  for (const std::string& g : group_by) {
+    int i = in.IndexOf(g);
+    assert(i >= 0);
+    key_idx.push_back(i);
+    key_defs.push_back(ColumnDef{g, in[i].type});
+  }
+  std::vector<int> agg_idx;
+  std::vector<ValueType> input_types;
+  for (const AggSpec& a : aggs) {
+    int i = a.input.empty() ? -1 : in.IndexOf(a.input);
+    agg_idx.push_back(i);
+    input_types.push_back(i >= 0 ? in[i].type : ValueType::kInt64);
+  }
+
+  GroupedAggregator agg(std::move(key_defs), aggs, std::move(input_types));
+  std::vector<Value> inputs(aggs.size());
+  for (const auto& row : block.rows()) {
+    std::vector<Value> key;
+    key.reserve(key_idx.size());
+    for (int i : key_idx) key.push_back(row[i]);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (agg_idx[a] >= 0) inputs[a] = row[agg_idx[a]];
+    }
+    agg.Add(std::move(key), inputs);
+  }
+  return agg.Finish();
+}
+
+FlatBlock ProjectFlat(const FlatBlock& block, const PlanOp& op) {
+  const Schema& in = block.schema();
+  Schema out_schema;
+  std::vector<int> sel_idx;
+  if (op.selections.empty()) {
+    for (size_t i = 0; i < in.size(); ++i) {
+      out_schema.Add(in[i].name, in[i].type);
+      sel_idx.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& [col, as] : op.selections) {
+      int i = in.IndexOf(col);
+      assert(i >= 0);
+      out_schema.Add(as.empty() ? col : as, in[i].type);
+      sel_idx.push_back(i);
+    }
+  }
+  std::vector<BoundExpr> exprs;
+  for (const ComputedColumn& c : op.computed) {
+    out_schema.Add(c.name, c.type);
+    exprs.push_back(BoundExpr::Bind(*c.expr, in));
+  }
+  FlatBlock out(out_schema);
+  out.Reserve(block.NumRows());
+  for (const auto& row : block.rows()) {
+    std::vector<Value> r;
+    r.reserve(sel_idx.size() + exprs.size());
+    for (int i : sel_idx) r.push_back(row[i]);
+    for (const BoundExpr& e : exprs) r.push_back(e.EvalRow(row));
+    out.AppendRow(std::move(r));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Flat (block-based) operator implementations.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+FlatBlock FlatSeek(const PlanOp& op, const GraphView& view) {
+  Schema s;
+  s.Add(op.out_column, ValueType::kVertex);
+  FlatBlock out(s);
+  VertexId v = view.FindByExtId(op.label, op.seek_ext_id);
+  if (v != kInvalidVertex) {
+    out.AppendRow({Value::Vertex(v)});
+  }
+  return out;
+}
+
+FlatBlock FlatScan(const PlanOp& op, const GraphView& view) {
+  Schema s;
+  s.Add(op.out_column, ValueType::kVertex);
+  FlatBlock out(s);
+  std::vector<VertexId> ids;
+  view.ScanLabel(op.label, &ids);
+  out.Reserve(ids.size());
+  for (VertexId v : ids) out.AppendRow({Value::Vertex(v)});
+  return out;
+}
+
+FlatBlock FlatExpand(const FlatBlock& in, const PlanOp& op,
+                     const GraphView& view) {
+  int src_idx = in.schema().IndexOf(op.in_column);
+  assert(src_idx >= 0);
+  Schema s = in.schema();
+  s.Add(op.out_column, ValueType::kVertex);
+  bool want_dist = !op.distance_column.empty();
+  bool want_stamp = !op.stamp_column.empty();
+  if (want_dist) s.Add(op.distance_column, ValueType::kInt64);
+  if (want_stamp) s.Add(op.stamp_column, ValueType::kDate);
+  FlatBlock out(s);
+  std::vector<std::pair<VertexId, int>> nbrs;
+  std::vector<int64_t> stamps;
+  for (const auto& row : in.rows()) {
+    nbrs.clear();
+    stamps.clear();
+    CollectNeighbors(view, op.rels, row[src_idx].AsVertex(), op.min_hops,
+                     op.max_hops, op.distinct, op.exclude_start, &nbrs,
+                     want_stamp ? &stamps : nullptr);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      // Full tuple replication per neighbor — exactly the flat-representation
+      // cost the paper profiles (Figure 4).
+      std::vector<Value> r = row;
+      r.push_back(Value::Vertex(nbrs[i].first));
+      if (want_dist) r.push_back(Value::Int(nbrs[i].second));
+      if (want_stamp) r.push_back(Value::Date(stamps[i]));
+      out.AppendRow(std::move(r));
+    }
+  }
+  return out;
+}
+
+// Property fetch extends each row in place — block-based engines append a
+// column to the live block rather than rebuilding it.
+FlatBlock FlatGetProperty(FlatBlock in, const PlanOp& op,
+                          const GraphView& view) {
+  int src_idx = in.schema().IndexOf(op.in_column);
+  assert(src_idx >= 0);
+  in.mutable_schema()->Add(op.out_column, op.property_type);
+  for (auto& row : in.rows()) {
+    row.push_back(view.Property(row[src_idx].AsVertex(), op.property));
+  }
+  return in;
+}
+
+FlatBlock FlatFilter(const FlatBlock& in, const PlanOp& op) {
+  BoundExpr pred = BoundExpr::Bind(*op.predicate, in.schema());
+  FlatBlock out(in.schema());
+  for (const auto& row : in.rows()) {
+    if (pred.EvalRow(row).AsBool()) {
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+FlatBlock FlatDistinct(const FlatBlock& in) {
+  std::unordered_set<std::vector<Value>, RowHash, RowEq> seen;
+  FlatBlock out(in.schema());
+  for (const auto& row : in.rows()) {
+    if (seen.insert(row).second) out.AppendRow(row);
+  }
+  return out;
+}
+
+FlatBlock FlatExpandInto(const FlatBlock& in, const PlanOp& op,
+                         const GraphView& view) {
+  int a = in.schema().IndexOf(op.in_column);
+  int b = in.schema().IndexOf(op.other_column);
+  assert(a >= 0 && b >= 0);
+  FlatBlock out(in.schema());
+  for (const auto& row : in.rows()) {
+    bool has = view.HasEdge(op.rels, row[a].AsVertex(), row[b].AsVertex());
+    if (has != op.anti) out.AppendRow(row);
+  }
+  return out;
+}
+
+FlatBlock FlatLimit(const FlatBlock& in, uint64_t n) {
+  FlatBlock out(in.schema());
+  for (size_t i = 0; i < in.NumRows() && i < n; ++i) {
+    out.AppendRow(in.Row(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op,
+                      const GraphView& view) {
+  switch (op.type) {
+    case OpType::kNodeByIdSeek:
+      return FlatSeek(op, view);
+    case OpType::kScanByLabel:
+      return FlatScan(op, view);
+    case OpType::kExpand:
+      return FlatExpand(state, op, view);
+    case OpType::kGetProperty:
+      return FlatGetProperty(std::move(state), op, view);
+    case OpType::kFilter:
+      return FlatFilter(state, op);
+    case OpType::kProject:
+      // Computed-only projections extend rows in place.
+      if (op.selections.empty()) {
+        std::vector<BoundExpr> exprs;
+        for (const ComputedColumn& c : op.computed) {
+          exprs.push_back(BoundExpr::Bind(*c.expr, state.schema()));
+        }
+        for (auto& row : state.rows()) {
+          for (const BoundExpr& e : exprs) row.push_back(e.EvalRow(row));
+        }
+        for (const ComputedColumn& c : op.computed) {
+          state.mutable_schema()->Add(c.name, c.type);
+        }
+        return state;
+      }
+      return ProjectFlat(state, op);
+    case OpType::kOrderBy:
+    case OpType::kTopK:
+      SortAndLimit(&state, op.sort_keys, op.limit);
+      return state;
+    case OpType::kAggregate:
+      return HashAggregate(state, op.group_by, op.aggs);
+    case OpType::kLimit:
+      return FlatLimit(state, op.limit);
+    case OpType::kDistinct:
+      return FlatDistinct(state);
+    case OpType::kExpandInto:
+      return FlatExpandInto(state, op, view);
+    case OpType::kProcedure:
+      return op.procedure(view);
+    case OpType::kExpandFiltered: {
+      // Stepwise fallback: expand, fetch the fused property, filter.
+      state = FlatExpand(state, op, view);
+      PlanOp gp;
+      gp.type = OpType::kGetProperty;
+      gp.in_column = op.out_column;
+      gp.out_column = FusedPropertyColumn(op);
+      gp.property = op.property;
+      gp.property_type = op.property_type;
+      state = FlatGetProperty(std::move(state), gp, view);
+      PlanOp f;
+      f.type = OpType::kFilter;
+      f.predicate = op.predicate;
+      return FlatFilter(state, f);
+    }
+    case OpType::kAggProjectTop: {
+      state = HashAggregate(state, op.group_by, op.aggs);
+      if (!op.computed.empty() || !op.selections.empty()) {
+        state = ProjectFlat(state, op);
+      }
+      SortAndLimit(&state, op.sort_keys, op.limit);
+      return state;
+    }
+  }
+  return state;
+}
+
+FlatBlock ProjectOutput(const FlatBlock& in,
+                        const std::vector<std::string>& output) {
+  if (output.empty()) return in;
+  PlanOp op;
+  op.type = OpType::kProject;
+  for (const std::string& c : output) op.selections.emplace_back(c, c);
+  return ProjectFlat(in, op);
+}
+
+}  // namespace internal
+
+QueryResult Executor::RunFlat(const Plan& plan, const GraphView& view) const {
+  QueryResult result;
+  Timer total;
+  FlatBlock state;
+  for (const PlanOp& op : plan.ops) {
+    Timer t;
+    state = internal::ApplyFlatOp(std::move(state), op, view);
+    OpStats os;
+    os.op = OpTypeName(op.type);
+    os.millis = t.ElapsedMillis();
+    if (options_.collect_stats) {
+      os.intermediate_bytes = state.MemoryBytes();
+      os.rows = state.NumRows();
+      result.stats.peak_intermediate_bytes = std::max(
+          result.stats.peak_intermediate_bytes, os.intermediate_bytes);
+    }
+    result.stats.ops.push_back(std::move(os));
+  }
+  result.table = internal::ProjectOutput(state, plan.output);
+  result.stats.total_millis = total.ElapsedMillis();
+  return result;
+}
+
+QueryResult Executor::Run(const Plan& plan, const GraphView& view) const {
+  switch (mode_) {
+    case ExecMode::kVolcano:
+      return RunVolcano(plan, view);
+    case ExecMode::kFlat:
+      return RunFlat(plan, view);
+    case ExecMode::kFactorized:
+      return RunFactorized(plan, view);
+    case ExecMode::kFactorizedFused: {
+      Plan fused = OptimizePlan(plan, options_);
+      return RunFactorized(fused, view);
+    }
+  }
+  return QueryResult{};
+}
+
+}  // namespace ges

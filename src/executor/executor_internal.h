@@ -1,0 +1,90 @@
+// Internal helpers shared between the flat and factorized interpreters.
+// Not part of the public API.
+#ifndef GES_EXECUTOR_EXECUTOR_INTERNAL_H_
+#define GES_EXECUTOR_EXECUTOR_INTERNAL_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "executor/executor.h"
+
+namespace ges::internal {
+
+// Applies one plan operator to a flat state. Handles every OpType,
+// including fused operators (executed stepwise).
+FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op,
+                      const GraphView& view);
+
+// Final output projection (keeps all columns when `output` is empty).
+FlatBlock ProjectOutput(const FlatBlock& in,
+                        const std::vector<std::string>& output);
+
+// Hash/equality over value rows (grouping, distinct).
+struct RowHash {
+  size_t operator()(const std::vector<Value>& row) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : row) {
+      h = (h ^ v.Hash()) * 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+// In a fused kExpandFiltered op, the fetched property column is named by
+// `op.other_column` (reusing the field; see optimizer.cc).
+inline const std::string& FusedPropertyColumn(const PlanOp& op) {
+  return op.other_column;
+}
+
+// Incremental hash-grouped aggregation shared by the flat engine, the
+// direct (tuple-count DP) factorized path, and the streaming fused path.
+// Feed (key, inputs[, multiplicity]) triples; Finish() emits one row per
+// group in first-encounter order: group keys then aggregate outputs.
+class GroupedAggregator {
+ public:
+  // `key_defs` name/type the group-by output columns; `input_types` align
+  // with `aggs` (ignored for COUNT(*)).
+  GroupedAggregator(std::vector<ColumnDef> key_defs, std::vector<AggSpec> aggs,
+                    std::vector<ValueType> input_types);
+
+  // `inputs` aligns with the agg specs (the value is ignored for COUNT(*)).
+  void Add(std::vector<Value> key, const std::vector<Value>& inputs,
+           int64_t multiplicity = 1);
+
+  FlatBlock Finish();
+
+ private:
+  struct State {
+    int64_t count = 0;
+    int64_t sum_i = 0;
+    double sum_d = 0;
+    bool has_minmax = false;
+    Value min, max;
+    std::unordered_set<Value, ValueHash> distinct;
+  };
+
+  std::vector<ColumnDef> key_defs_;
+  std::vector<AggSpec> aggs_;
+  std::vector<ValueType> input_types_;
+  std::unordered_map<std::vector<Value>, size_t, RowHash, RowEq> index_;
+  std::vector<std::vector<Value>> keys_;
+  std::vector<std::vector<State>> states_;
+};
+
+}  // namespace ges::internal
+
+#endif  // GES_EXECUTOR_EXECUTOR_INTERNAL_H_

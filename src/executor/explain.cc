@@ -1,0 +1,248 @@
+#include "executor/explain.h"
+
+#include <set>
+#include <sstream>
+
+namespace ges {
+
+namespace {
+
+// Columns an operator introduces.
+std::vector<std::string> ProducedColumns(const PlanOp& op) {
+  std::vector<std::string> out;
+  switch (op.type) {
+    case OpType::kNodeByIdSeek:
+    case OpType::kScanByLabel:
+      out.push_back(op.out_column);
+      break;
+    case OpType::kExpand:
+      out.push_back(op.out_column);
+      if (!op.distance_column.empty()) out.push_back(op.distance_column);
+      if (!op.stamp_column.empty()) out.push_back(op.stamp_column);
+      break;
+    case OpType::kExpandFiltered:
+      out.push_back(op.out_column);
+      if (op.keep_property) out.push_back(op.other_column);
+      break;
+    case OpType::kGetProperty:
+      out.push_back(op.out_column);
+      break;
+    case OpType::kProject:
+      for (const auto& [col, as] : op.selections) {
+        if (!as.empty() && as != col) out.push_back(as);
+      }
+      for (const ComputedColumn& c : op.computed) out.push_back(c.name);
+      break;
+    case OpType::kAggregate:
+    case OpType::kAggProjectTop:
+      for (const AggSpec& a : op.aggs) out.push_back(a.output);
+      for (const ComputedColumn& c : op.computed) out.push_back(c.name);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+// Columns an operator consumes.
+std::vector<std::string> ConsumedColumns(const PlanOp& op) {
+  std::vector<std::string> out;
+  switch (op.type) {
+    case OpType::kExpand:
+    case OpType::kExpandFiltered:
+    case OpType::kGetProperty:
+      out.push_back(op.in_column);
+      break;
+    case OpType::kExpandInto:
+      out.push_back(op.in_column);
+      out.push_back(op.other_column);
+      break;
+    case OpType::kFilter:
+      op.predicate->CollectColumns(&out);
+      break;
+    case OpType::kProject:
+      for (const auto& [col, as] : op.selections) out.push_back(col);
+      for (const ComputedColumn& c : op.computed) {
+        c.expr->CollectColumns(&out);
+      }
+      break;
+    case OpType::kOrderBy:
+    case OpType::kTopK:
+      for (const SortKey& k : op.sort_keys) out.push_back(k.column);
+      break;
+    case OpType::kAggregate:
+    case OpType::kAggProjectTop:
+      for (const std::string& g : op.group_by) out.push_back(g);
+      for (const AggSpec& a : op.aggs) {
+        if (!a.input.empty()) out.push_back(a.input);
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+bool IsLeaf(OpType t) {
+  return t == OpType::kNodeByIdSeek || t == OpType::kScanByLabel ||
+         t == OpType::kProcedure;
+}
+
+std::string DescribeOp(const PlanOp& op) {
+  std::ostringstream os;
+  os << OpTypeName(op.type);
+  switch (op.type) {
+    case OpType::kNodeByIdSeek:
+      os << " label=" << op.label << " id=" << op.seek_ext_id;
+      break;
+    case OpType::kScanByLabel:
+      os << " label=" << op.label;
+      break;
+    case OpType::kExpand:
+    case OpType::kExpandFiltered: {
+      os << " " << op.in_column << " -[";
+      for (size_t i = 0; i < op.rels.size(); ++i) {
+        os << (i > 0 ? "," : "") << "rel" << op.rels[i];
+      }
+      os << "]-> " << op.out_column;
+      if (op.min_hops != 1 || op.max_hops != 1) {
+        os << " (*" << op.min_hops << ".." << op.max_hops << ")";
+      }
+      if (op.distinct) os << " distinct";
+      if (op.type == OpType::kExpandFiltered) {
+        os << " fused-filter(" << op.other_column << ")";
+      }
+      break;
+    }
+    case OpType::kGetProperty:
+      os << " " << op.in_column << ".#" << op.property << " -> "
+         << op.out_column;
+      break;
+    case OpType::kFilter:
+      os << " " << op.predicate->ToString();
+      break;
+    case OpType::kOrderBy:
+    case OpType::kTopK: {
+      os << " keys=[";
+      for (size_t i = 0; i < op.sort_keys.size(); ++i) {
+        os << (i > 0 ? ", " : "") << op.sort_keys[i].column
+           << (op.sort_keys[i].ascending ? " asc" : " desc");
+      }
+      os << "]";
+      if (op.limit != UINT64_MAX) os << " limit=" << op.limit;
+      break;
+    }
+    case OpType::kAggregate:
+    case OpType::kAggProjectTop: {
+      os << " group=[";
+      for (size_t i = 0; i < op.group_by.size(); ++i) {
+        os << (i > 0 ? ", " : "") << op.group_by[i];
+      }
+      os << "] aggs=[";
+      for (size_t i = 0; i < op.aggs.size(); ++i) {
+        os << (i > 0 ? ", " : "") << op.aggs[i].output;
+      }
+      os << "]";
+      if (op.type == OpType::kAggProjectTop) os << " limit=" << op.limit;
+      break;
+    }
+    case OpType::kLimit:
+      os << " " << op.limit;
+      break;
+    case OpType::kExpandInto:
+      os << " " << op.in_column << (op.anti ? " -!-> " : " --> ")
+         << op.other_column;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Plan& plan) {
+  std::ostringstream os;
+  os << "Plan";
+  if (!plan.name.empty()) os << " [" << plan.name << "]";
+  os << ":\n";
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    os << "  " << (i + 1) << ". " << DescribeOp(plan.ops[i]);
+    std::vector<std::string> produced = ProducedColumns(plan.ops[i]);
+    if (!produced.empty()) {
+      os << "  -> [";
+      for (size_t k = 0; k < produced.size(); ++k) {
+        os << (k > 0 ? ", " : "") << produced[k];
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  if (!plan.output.empty()) {
+    os << "  output: [";
+    for (size_t k = 0; k < plan.output.size(); ++k) {
+      os << (k > 0 ? ", " : "") << plan.output[k];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Status ValidatePlan(const Plan& plan) {
+  if (plan.ops.empty()) return Status::InvalidArgument("plan has no ops");
+  if (!IsLeaf(plan.ops[0].type)) {
+    return Status::InvalidArgument(
+        std::string("first operator must be a leaf, got ") +
+        OpTypeName(plan.ops[0].type));
+  }
+  std::set<std::string> live;
+  bool procedural = plan.ops[0].type == OpType::kProcedure;
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    const PlanOp& op = plan.ops[i];
+    if (i > 0 && IsLeaf(op.type) && op.type != OpType::kProcedure) {
+      return Status::InvalidArgument("leaf operator in pipeline position");
+    }
+    if (!procedural) {
+      for (const std::string& c : ConsumedColumns(op)) {
+        if (live.count(c) == 0) {
+          return Status::InvalidArgument(
+              "op " + std::to_string(i + 1) + " (" + OpTypeName(op.type) +
+              ") consumes unknown column '" + c + "'");
+        }
+      }
+    }
+    // Aggregations replace the live set with keys + outputs.
+    if (op.type == OpType::kAggregate || op.type == OpType::kAggProjectTop) {
+      std::set<std::string> next(op.group_by.begin(), op.group_by.end());
+      for (const std::string& c : ProducedColumns(op)) next.insert(c);
+      live = std::move(next);
+      continue;
+    }
+    // Projection with explicit selections also replaces the live set.
+    if (op.type == OpType::kProject && !op.selections.empty()) {
+      std::set<std::string> next;
+      for (const auto& [col, as] : op.selections) {
+        next.insert(as.empty() ? col : as);
+      }
+      for (const ComputedColumn& c : op.computed) next.insert(c.name);
+      live = std::move(next);
+      continue;
+    }
+    for (const std::string& c : ProducedColumns(op)) {
+      if (!live.insert(c).second) {
+        return Status::InvalidArgument("column '" + c + "' produced twice");
+      }
+    }
+  }
+  if (!procedural) {
+    for (const std::string& c : plan.output) {
+      if (live.count(c) == 0) {
+        return Status::InvalidArgument("output references unknown column '" +
+                                       c + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ges

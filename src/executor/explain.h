@@ -1,0 +1,29 @@
+// Plan inspection: EXPLAIN-style pretty printing and static validation.
+#ifndef GES_EXECUTOR_EXPLAIN_H_
+#define GES_EXECUTOR_EXPLAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "executor/plan.h"
+
+namespace ges {
+
+// Human-readable rendering of the pipeline, one operator per line, with the
+// columns each operator introduces. Example:
+//
+//   1. NodeByIdSeek label=0 id=5            -> [p]
+//   2. Expand p -[rel 0]-> f (1..2 hops)    -> [f]
+//   3. GetProperty f.#4                      -> [f_name]
+//   4. TopK keys=[f_name asc] limit=10
+std::string ExplainPlan(const Plan& plan);
+
+// Statically validates the pipeline: the first operator must be a leaf
+// (seek/scan/procedure), every consumed column must have been produced by
+// an earlier operator, sort/aggregate/output references must resolve, and
+// no column may be produced twice. Returns the first violation found.
+Status ValidatePlan(const Plan& plan);
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_EXPLAIN_H_

@@ -1,0 +1,129 @@
+#include "executor/expression.h"
+
+#include <cassert>
+#include <memory>
+
+namespace ges {
+
+namespace {
+std::shared_ptr<Expr> New(ExprOp op) {
+  auto e = std::make_shared<Expr>();
+  e->op = op;
+  return e;
+}
+}  // namespace
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = New(ExprOp::kColumn);
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = New(ExprOp::kConst);
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Cmp(ExprOp op, ExprPtr a, ExprPtr b) {
+  auto e = New(op);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr a, ExprPtr b) {
+  auto e = New(ExprOp::kAnd);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr a, ExprPtr b) {
+  auto e = New(ExprOp::kOr);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr a) {
+  auto e = New(ExprOp::kNot);
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::Add(ExprPtr a, ExprPtr b) {
+  auto e = New(ExprOp::kAdd);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::Sub(ExprPtr a, ExprPtr b) {
+  auto e = New(ExprOp::kSub);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::Mul(ExprPtr a, ExprPtr b) {
+  auto e = New(ExprOp::kMul);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr a, std::vector<Value> values) {
+  auto e = New(ExprOp::kIn);
+  e->args = {std::move(a)};
+  e->list = std::move(values);
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr a) {
+  auto e = New(ExprOp::kIsNull);
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::StartsWith(ExprPtr a, std::string prefix) {
+  auto e = New(ExprOp::kStartsWith);
+  e->args = {std::move(a)};
+  e->constant = Value::String(std::move(prefix));
+  return e;
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (op == ExprOp::kColumn) out->push_back(column);
+  for (const ExprPtr& a : args) a->CollectColumns(out);
+}
+
+std::string Expr::ToString() const {
+  switch (op) {
+    case ExprOp::kColumn:
+      return column;
+    case ExprOp::kConst:
+      return constant.ToString();
+    default: {
+      std::string s = "(op";
+      s += std::to_string(static_cast<int>(op));
+      for (const ExprPtr& a : args) {
+        s += " " + a->ToString();
+      }
+      s += ")";
+      return s;
+    }
+  }
+}
+
+BoundExpr BoundExpr::Bind(const Expr& expr, const Schema& schema) {
+  BoundExpr b;
+  b.op_ = expr.op;
+  b.constant_ = expr.constant;
+  b.list_ = expr.list;
+  if (expr.op == ExprOp::kColumn) {
+    b.col_index_ = schema.IndexOf(expr.column);
+    assert(b.col_index_ >= 0 && "column not bindable against schema");
+  }
+  b.args_.reserve(expr.args.size());
+  for (const ExprPtr& a : expr.args) {
+    b.args_.push_back(Bind(*a, schema));
+  }
+  return b;
+}
+
+}  // namespace ges

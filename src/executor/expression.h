@@ -1,0 +1,170 @@
+// Scalar expression trees for filters and computed projections.
+#ifndef GES_EXECUTOR_EXPRESSION_H_
+#define GES_EXECUTOR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "executor/schema.h"
+
+namespace ges {
+
+enum class ExprOp : uint8_t {
+  kColumn,
+  kConst,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kAdd,
+  kSub,
+  kMul,
+  kIn,          // column/expr value in constant list
+  kIsNull,
+  kStartsWith,  // string prefix match
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Immutable expression node. Built with the factory helpers below and
+// shared freely between plans.
+struct Expr {
+  ExprOp op;
+  std::string column;        // kColumn
+  Value constant;            // kConst
+  std::vector<Value> list;   // kIn
+  std::vector<ExprPtr> args;
+
+  static ExprPtr Col(std::string name);
+  static ExprPtr Lit(Value v);
+  static ExprPtr Cmp(ExprOp op, ExprPtr a, ExprPtr b);
+  static ExprPtr Eq(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kEq, a, b); }
+  static ExprPtr Ne(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kNe, a, b); }
+  static ExprPtr Lt(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kLt, a, b); }
+  static ExprPtr Le(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kLe, a, b); }
+  static ExprPtr Gt(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kGt, a, b); }
+  static ExprPtr Ge(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kGe, a, b); }
+  static ExprPtr And(ExprPtr a, ExprPtr b);
+  static ExprPtr Or(ExprPtr a, ExprPtr b);
+  static ExprPtr Not(ExprPtr a);
+  static ExprPtr Add(ExprPtr a, ExprPtr b);
+  static ExprPtr Sub(ExprPtr a, ExprPtr b);
+  static ExprPtr Mul(ExprPtr a, ExprPtr b);
+  static ExprPtr In(ExprPtr a, std::vector<Value> values);
+  static ExprPtr IsNull(ExprPtr a);
+  static ExprPtr StartsWith(ExprPtr a, std::string prefix);
+
+  // Appends every referenced column name (with duplicates) to `out`.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+};
+
+// An expression bound to a schema: column references are resolved to column
+// indices so evaluation is index-based.
+class BoundExpr {
+ public:
+  // Binds `expr` against `schema`. Aborts if a column is missing (planner
+  // bug); use Schema::IndexOf beforehand to route unbindable predicates.
+  static BoundExpr Bind(const Expr& expr, const Schema& schema);
+
+  // Evaluates with an accessor `get(col_index) -> Value`.
+  template <typename Getter>
+  Value Eval(const Getter& get) const {
+    switch (op_) {
+      case ExprOp::kColumn:
+        return get(col_index_);
+      case ExprOp::kConst:
+        return constant_;
+      case ExprOp::kAnd: {
+        for (const BoundExpr& a : args_) {
+          if (!a.Eval(get).AsBool()) return Value::Bool(false);
+        }
+        return Value::Bool(true);
+      }
+      case ExprOp::kOr: {
+        for (const BoundExpr& a : args_) {
+          if (a.Eval(get).AsBool()) return Value::Bool(true);
+        }
+        return Value::Bool(false);
+      }
+      case ExprOp::kNot:
+        return Value::Bool(!args_[0].Eval(get).AsBool());
+      case ExprOp::kIsNull:
+        return Value::Bool(args_[0].Eval(get).is_null());
+      case ExprOp::kIn: {
+        Value v = args_[0].Eval(get);
+        for (const Value& c : list_) {
+          if (v == c) return Value::Bool(true);
+        }
+        return Value::Bool(false);
+      }
+      case ExprOp::kStartsWith: {
+        Value v = args_[0].Eval(get);
+        const std::string& s = v.AsString();
+        const std::string& p = constant_.AsString();
+        return Value::Bool(s.size() >= p.size() &&
+                           s.compare(0, p.size(), p) == 0);
+      }
+      case ExprOp::kAdd:
+      case ExprOp::kSub:
+      case ExprOp::kMul: {
+        Value a = args_[0].Eval(get);
+        Value b = args_[1].Eval(get);
+        if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+          double x = a.AsDouble();
+          double y = b.AsDouble();
+          return Value::Double(op_ == ExprOp::kAdd   ? x + y
+                               : op_ == ExprOp::kSub ? x - y
+                                                     : x * y);
+        }
+        int64_t x = a.AsInt();
+        int64_t y = b.AsInt();
+        return Value::Int(op_ == ExprOp::kAdd   ? x + y
+                          : op_ == ExprOp::kSub ? x - y
+                                                : x * y);
+      }
+      default: {
+        int c = args_[0].Eval(get).Compare(args_[1].Eval(get));
+        switch (op_) {
+          case ExprOp::kEq:
+            return Value::Bool(c == 0);
+          case ExprOp::kNe:
+            return Value::Bool(c != 0);
+          case ExprOp::kLt:
+            return Value::Bool(c < 0);
+          case ExprOp::kLe:
+            return Value::Bool(c <= 0);
+          case ExprOp::kGt:
+            return Value::Bool(c > 0);
+          default:
+            return Value::Bool(c >= 0);
+        }
+      }
+    }
+  }
+
+  // Convenience for row-major evaluation.
+  Value EvalRow(const std::vector<Value>& row) const {
+    return Eval([&row](int i) -> Value { return row[i]; });
+  }
+
+ private:
+  ExprOp op_ = ExprOp::kConst;
+  int col_index_ = -1;
+  Value constant_;
+  std::vector<Value> list_;
+  std::vector<BoundExpr> args_;
+};
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_EXPRESSION_H_

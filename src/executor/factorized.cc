@@ -1,0 +1,749 @@
+// The factorized interpreter: operators run natively on the f-Tree and
+// de-factor ("flatten") only when the computation genuinely requires global
+// tuple-level information (Section 4.3 of the paper).
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <thread>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "executor/executor.h"
+#include "executor/executor_internal.h"
+#include "executor/ftree.h"
+
+namespace ges {
+
+namespace {
+
+using internal::ApplyFlatOp;
+using internal::FusedPropertyColumn;
+using internal::RowEq;
+using internal::RowHash;
+using internal::ValueHash;
+
+// Pipeline state: an f-Tree until some operator forces de-factoring, a flat
+// block afterwards ("seamlessly reverts to block-based execution").
+// Execution starts in tree mode (the leaf operator creates the root).
+struct FactState {
+  std::unique_ptr<FTree> tree;
+  FlatBlock flat;
+  bool flattened = false;
+  // Largest transient representation produced inside the current operator
+  // (e.g. the fully de-factored block consumed by a following aggregate);
+  // folded into the peak accounting, then reset.
+  size_t transient_bytes = 0;
+
+  bool is_tree() const { return !flattened; }
+
+  void SwitchToFlat(FlatBlock block) {
+    flat = std::move(block);
+    tree.reset();
+    flattened = true;
+    transient_bytes = std::max(transient_bytes, flat.MemoryBytes());
+  }
+
+  size_t MemoryBytes() const {
+    return is_tree() ? (tree == nullptr ? 0 : tree->MemoryBytes())
+                     : flat.MemoryBytes();
+  }
+};
+
+// All column names of the tree, preorder node order then block order.
+std::vector<std::string> AllTreeColumns(const FTree& tree) {
+  std::vector<std::string> cols;
+  for (const FTreeNode* n : tree.Preorder()) {
+    for (const ColumnDef& c : n->block.schema().columns()) {
+      cols.push_back(c.name);
+    }
+  }
+  return cols;
+}
+
+Schema TreeSchema(const FTree& tree) {
+  Schema s;
+  for (const FTreeNode* n : tree.Preorder()) {
+    for (const ColumnDef& c : n->block.schema().columns()) {
+      s.Add(c.name, c.type);
+    }
+  }
+  return s;
+}
+
+// De-factors the tree into the flat state (the "ultimate solution").
+void FlattenState(FactState* state, uint64_t limit = UINT64_MAX) {
+  assert(state->is_tree() && state->tree != nullptr);
+  FlatBlock out(TreeSchema(*state->tree));
+  state->tree->Flatten(AllTreeColumns(*state->tree), &out, limit);
+  state->SwitchToFlat(std::move(out));
+}
+
+// --- leaf creation -----------------------------------------------------
+
+void FactSeek(FactState* state, const PlanOp& op, const GraphView& view) {
+  state->tree = std::make_unique<FTree>();
+  FTreeNode* root = state->tree->CreateRoot();
+  ValueVector ids(ValueType::kVertex);
+  VertexId v = view.FindByExtId(op.label, op.seek_ext_id);
+  if (v != kInvalidVertex) ids.AppendVertex(v);
+  root->block.AddColumn(op.out_column, std::move(ids));
+  state->tree->RegisterColumns(root);
+}
+
+void FactScan(FactState* state, const PlanOp& op, const GraphView& view) {
+  state->tree = std::make_unique<FTree>();
+  FTreeNode* root = state->tree->CreateRoot();
+  std::vector<VertexId> vertices;
+  view.ScanLabel(op.label, &vertices);
+  ValueVector ids(ValueType::kVertex);
+  ids.Reserve(vertices.size());
+  for (VertexId v : vertices) ids.AppendVertex(v);
+  root->block.AddColumn(op.out_column, std::move(ids));
+  state->tree->RegisterColumns(root);
+}
+
+// --- Expand -------------------------------------------------------------
+
+// True if the lazy (pointer-based join) representation applies.
+bool CanExpandLazy(const PlanOp& op, const ExecOptions& options) {
+  return options.pointer_join && op.max_hops == 1 && !op.distinct &&
+         !op.exclude_start && op.distance_column.empty();
+}
+
+void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
+                const ExecOptions& options) {
+  FTree& tree = *state->tree;
+  FTreeNode* src = tree.NodeOfColumn(op.in_column);
+  assert(src != nullptr && "expand source column not in tree");
+  int src_col = src->block.schema().IndexOf(op.in_column);
+  size_t rows = src->block.NumRows();
+
+  FTreeNode* child = tree.AddChild(src);
+  child->parent_index.assign(rows, IndexRange{0, 0});
+
+  if (CanExpandLazy(op, options)) {
+    // Pointer-based join: store (ptr, len) per source row, never copying
+    // neighbor ids.
+    child->block.InitLazy(op.out_column);
+    uint64_t off = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      if (!src->RowValid(r)) continue;
+      VertexId v = src->block.GetValue(r, src_col).AsVertex();
+      if (v == kInvalidVertex) continue;
+      uint64_t begin = off;
+      for (RelationId rel : op.rels) {
+        AdjSpan span = view.Neighbors(rel, v);
+        if (span.size == 0) continue;
+        child->block.AppendSegment(span);
+        off += span.size;
+      }
+      child->parent_index[r] = IndexRange{begin, off};
+    }
+    if (!op.stamp_column.empty()) {
+      // Stamps are copied into an aligned column (they are consumed by
+      // filters/sorts and cannot stay behind the pointer).
+      ValueVector stamps(ValueType::kDate);
+      stamps.Reserve(child->block.NumRows());
+      for (size_t seg = 0; seg < child->block.NumSegments(); ++seg) {
+        const AdjSpan& s = child->block.Segment(seg);
+        for (uint32_t i = 0; i < s.size; ++i) {
+          stamps.AppendInt(s.stamps == nullptr ? 0 : s.stamps[i]);
+        }
+      }
+      child->block.AppendAlignedColumn(op.stamp_column, std::move(stamps));
+    }
+  } else {
+    bool want_dist = !op.distance_column.empty();
+    bool want_stamp = !op.stamp_column.empty();
+
+    // Per-partition expansion state; with one partition this is the plain
+    // sequential path, with several it is the intra-query-parallel path of
+    // the Runtime component (each worker expands a contiguous slice of the
+    // source rows, then the slices are stitched in order).
+    struct Part {
+      ValueVector ids{ValueType::kVertex};
+      ValueVector dist{ValueType::kInt64};
+      ValueVector stamps{ValueType::kDate};
+      std::vector<uint32_t> counts;  // per source row of the slice
+    };
+    int num_parts = options.intra_query_threads;
+    if (num_parts <= 1 || rows < 256) num_parts = 1;
+    std::vector<Part> parts(num_parts);
+
+    auto expand_slice = [&](size_t begin_row, size_t end_row, Part* part) {
+      std::vector<std::pair<VertexId, int>> nbrs;
+      std::vector<int64_t> st;
+      part->counts.reserve(end_row - begin_row);
+      for (size_t r = begin_row; r < end_row; ++r) {
+        VertexId v = src->RowValid(r)
+                         ? src->block.GetValue(r, src_col).AsVertex()
+                         : kInvalidVertex;
+        if (v == kInvalidVertex) {
+          part->counts.push_back(0);
+          continue;
+        }
+        nbrs.clear();
+        st.clear();
+        CollectNeighbors(view, op.rels, v, op.min_hops, op.max_hops,
+                         op.distinct, op.exclude_start, &nbrs,
+                         want_stamp ? &st : nullptr);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          part->ids.AppendVertex(nbrs[i].first);
+          if (want_dist) part->dist.AppendInt(nbrs[i].second);
+          if (want_stamp) part->stamps.AppendInt(st[i]);
+        }
+        part->counts.push_back(static_cast<uint32_t>(nbrs.size()));
+      }
+    };
+
+    if (num_parts == 1) {
+      expand_slice(0, rows, &parts[0]);
+    } else {
+      std::vector<std::thread> workers;
+      size_t chunk = (rows + num_parts - 1) / num_parts;
+      for (int t = 0; t < num_parts; ++t) {
+        size_t begin_row = t * chunk;
+        size_t end_row = std::min(rows, begin_row + chunk);
+        if (begin_row >= end_row) {
+          continue;
+        }
+        workers.emplace_back(expand_slice, begin_row, end_row, &parts[t]);
+      }
+      for (std::thread& w : workers) w.join();
+    }
+
+    // Stitch slices in source-row order.
+    ValueVector ids(ValueType::kVertex);
+    ValueVector dist(ValueType::kInt64);
+    ValueVector stamps(ValueType::kDate);
+    uint64_t off = 0;
+    size_t row = 0;
+    for (const Part& part : parts) {
+      if (!part.counts.empty()) {
+        ids.AppendRange(part.ids, 0, part.ids.size());
+        if (want_dist) dist.AppendRange(part.dist, 0, part.dist.size());
+        if (want_stamp) {
+          stamps.AppendRange(part.stamps, 0, part.stamps.size());
+        }
+      }
+      for (uint32_t n : part.counts) {
+        child->parent_index[row] = IndexRange{off, off + n};
+        off += n;
+        ++row;
+      }
+    }
+    child->block.AddColumn(op.out_column, std::move(ids));
+    if (want_dist) {
+      child->block.AppendAlignedColumn(op.distance_column, std::move(dist));
+    }
+    if (want_stamp) {
+      child->block.AppendAlignedColumn(op.stamp_column, std::move(stamps));
+    }
+  }
+  tree.RegisterColumns(child);
+}
+
+// Fused Expand+GetProperty+Filter (FilterPushDown): only surviving
+// neighbors and their property values are materialized.
+void FactExpandFiltered(FactState* state, const PlanOp& op,
+                        const GraphView& view) {
+  FTree& tree = *state->tree;
+  FTreeNode* src = tree.NodeOfColumn(op.in_column);
+  assert(src != nullptr);
+  int src_col = src->block.schema().IndexOf(op.in_column);
+  size_t rows = src->block.NumRows();
+
+  FTreeNode* child = tree.AddChild(src);
+  child->parent_index.assign(rows, IndexRange{0, 0});
+
+  const std::string& prop_col = FusedPropertyColumn(op);
+  Schema pred_schema;
+  pred_schema.Add(prop_col, op.property_type);
+  BoundExpr pred = BoundExpr::Bind(*op.predicate, pred_schema);
+
+  ValueVector ids(ValueType::kVertex);
+  ValueVector props(op.property_type);
+  uint64_t off = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (!src->RowValid(r)) continue;
+    VertexId v = src->block.GetValue(r, src_col).AsVertex();
+    if (v == kInvalidVertex) continue;
+    uint64_t begin = off;
+    for (RelationId rel : op.rels) {
+      AdjSpan span = view.Neighbors(rel, v);
+      for (uint32_t i = 0; i < span.size; ++i) {
+        VertexId id = span.ids[i];
+        if (id == kInvalidVertex) continue;
+        Value pv = view.Property(id, op.property);
+        if (!pred.Eval([&pv](int) -> Value { return pv; }).AsBool()) continue;
+        ids.AppendVertex(id);
+        props.AppendValue(pv);
+        ++off;
+      }
+    }
+    child->parent_index[r] = IndexRange{begin, off};
+  }
+  child->block.AddColumn(op.out_column, std::move(ids));
+  if (op.keep_property) {
+    child->block.AppendAlignedColumn(prop_col, std::move(props));
+  }
+  tree.RegisterColumns(child);
+}
+
+// --- Projection / property fetch ---------------------------------------
+
+void FactGetProperty(FactState* state, const PlanOp& op,
+                     const GraphView& view) {
+  FTree& tree = *state->tree;
+  FTreeNode* node = tree.NodeOfColumn(op.in_column);
+  assert(node != nullptr);
+  int col = node->block.schema().IndexOf(op.in_column);
+  size_t rows = node->block.NumRows();
+  ValueVector out(op.property_type);
+  out.Reserve(rows);
+  // Straightforward columnar append; invalid/tombstone rows receive a
+  // placeholder to keep row alignment (they are never enumerated).
+  if (col == 0) {
+    node->block.ForEachVertex([&](uint64_t row, VertexId v) {
+      if (v == kInvalidVertex || !node->RowValid(row)) {
+        out.AppendValue(Value::Null());
+      } else {
+        out.AppendValue(view.Property(v, op.property));
+      }
+    });
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      if (!node->RowValid(r)) {
+        out.AppendValue(Value::Null());
+        continue;
+      }
+      VertexId v = node->block.GetValue(r, col).AsVertex();
+      out.AppendValue(v == kInvalidVertex ? Value::Null()
+                                          : view.Property(v, op.property));
+    }
+  }
+  node->block.AppendAlignedColumn(op.out_column, std::move(out));
+  tree.RegisterColumns(node);
+}
+
+// Node containing every column in `cols`, or nullptr if they span nodes.
+FTreeNode* SingleNodeOf(const FTree& tree,
+                        const std::vector<std::string>& cols) {
+  FTreeNode* node = nullptr;
+  for (const std::string& c : cols) {
+    FTreeNode* n = tree.NodeOfColumn(c);
+    if (n == nullptr) return nullptr;
+    if (node == nullptr) {
+      node = n;
+    } else if (node != n) {
+      return nullptr;
+    }
+  }
+  return node;
+}
+
+// Vectorized filter kernel: a single comparison of an int-physical column
+// against a constant compiles to a branch-free pass over the raw column
+// data (auto-vectorizable; the "vectorization" optimization of Section 5).
+// Returns false if the predicate does not have that shape.
+bool TryVectorizedFilter(FTreeNode* node, const PlanOp& op) {
+  const Expr& e = *op.predicate;
+  bool cmp = e.op == ExprOp::kEq || e.op == ExprOp::kNe ||
+             e.op == ExprOp::kLt || e.op == ExprOp::kLe ||
+             e.op == ExprOp::kGt || e.op == ExprOp::kGe;
+  if (!cmp || e.args.size() != 2) return false;
+  if (e.args[0]->op != ExprOp::kColumn || e.args[1]->op != ExprOp::kConst) {
+    return false;
+  }
+  int col = node->block.schema().IndexOf(e.args[0]->column);
+  if (col < 0) return false;
+  ValueType t = node->block.schema()[col].type;
+  if (!IsIntegerPhysical(t)) return false;
+  if (node->block.lazy() && col == 0) return false;  // no raw array
+  const ValueVector& column = node->block.Column(col);
+  const int64_t* data = column.ints_data();
+  int64_t c = e.args[1]->constant.AsInt();
+  std::vector<uint8_t>& sel = node->MutableSel();
+  size_t rows = column.size();
+  switch (e.op) {
+    case ExprOp::kEq:
+      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] == c;
+      break;
+    case ExprOp::kNe:
+      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] != c;
+      break;
+    case ExprOp::kLt:
+      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] < c;
+      break;
+    case ExprOp::kLe:
+      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] <= c;
+      break;
+    case ExprOp::kGt:
+      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] > c;
+      break;
+    default:
+      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] >= c;
+      break;
+  }
+  return true;
+}
+
+// Filter: when the predicate's attributes live in one f-Tree node, update
+// that node's selection vector in place — no data movement at all.
+bool TryFactFilter(FactState* state, const PlanOp& op,
+                   const ExecOptions& options) {
+  std::vector<std::string> cols;
+  op.predicate->CollectColumns(&cols);
+  FTreeNode* node = SingleNodeOf(*state->tree, cols);
+  if (node == nullptr && !cols.empty()) return false;
+  if (node == nullptr) node = state->tree->root();
+  if (options.vectorized_filter && TryVectorizedFilter(node, op)) {
+    return true;
+  }
+  BoundExpr pred = BoundExpr::Bind(*op.predicate, node->block.schema());
+  std::vector<uint8_t>& sel = node->MutableSel();
+  size_t rows = node->block.NumRows();
+  for (size_t r = 0; r < rows; ++r) {
+    if (sel[r] == 0) continue;
+    auto getter = [&](int i) -> Value { return node->block.GetValue(r, i); };
+    if (!pred.Eval(getter).AsBool()) sel[r] = 0;
+  }
+  return true;
+}
+
+// Project: computed expressions whose inputs are confined to one node are
+// appended to that node's block (columnar append).
+bool TryFactProject(FactState* state, const PlanOp& op) {
+  if (!op.selections.empty()) return false;  // pruning => flatten
+  for (const ComputedColumn& c : op.computed) {
+    std::vector<std::string> cols;
+    c.expr->CollectColumns(&cols);
+    if (SingleNodeOf(*state->tree, cols) == nullptr) return false;
+  }
+  for (const ComputedColumn& c : op.computed) {
+    std::vector<std::string> cols;
+    c.expr->CollectColumns(&cols);
+    FTreeNode* node = SingleNodeOf(*state->tree, cols);
+    BoundExpr e = BoundExpr::Bind(*c.expr, node->block.schema());
+    size_t rows = node->block.NumRows();
+    ValueVector out(c.type);
+    out.Reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      auto getter = [&](int i) -> Value { return node->block.GetValue(r, i); };
+      out.AppendValue(e.Eval(getter));
+    }
+    node->block.AppendAlignedColumn(c.name, std::move(out));
+    state->tree->RegisterColumns(node);
+  }
+  return true;
+}
+
+// --- Aggregation --------------------------------------------------------
+
+// Direct factorized aggregation: when the group keys and all aggregate
+// inputs live in one node u, per-group results follow from the tuple-count
+// DP without enumerating tuples.
+bool TryFactAggregate(const FTree& tree, const std::vector<std::string>& group_by,
+                      const std::vector<AggSpec>& aggs, FlatBlock* out) {
+  // Locate the single node carrying all referenced columns.
+  std::vector<std::string> cols = group_by;
+  for (const AggSpec& a : aggs) {
+    if (!a.input.empty()) cols.push_back(a.input);
+  }
+  const FTreeNode* u;
+  if (cols.empty()) {
+    u = tree.root();
+  } else {
+    FTreeNode* n = SingleNodeOf(tree, cols);
+    if (n == nullptr) return false;
+    u = n;
+  }
+
+  std::vector<uint64_t> counts = tree.TupleCountsForNode(u);
+  const Schema& us = u->block.schema();
+  std::vector<ColumnDef> key_defs;
+  std::vector<int> key_idx;
+  for (const std::string& g : group_by) {
+    int i = us.IndexOf(g);
+    key_idx.push_back(i);
+    key_defs.push_back(ColumnDef{g, us[i].type});
+  }
+  std::vector<int> agg_idx;
+  std::vector<ValueType> input_types;
+  for (const AggSpec& a : aggs) {
+    int i = a.input.empty() ? -1 : us.IndexOf(a.input);
+    agg_idx.push_back(i);
+    input_types.push_back(i >= 0 ? us[i].type : ValueType::kInt64);
+  }
+
+  internal::GroupedAggregator agg(std::move(key_defs), aggs,
+                                  std::move(input_types));
+  std::vector<Value> inputs(aggs.size());
+  size_t rows = u->block.NumRows();
+  for (size_t r = 0; r < rows; ++r) {
+    if (counts[r] == 0) continue;
+    std::vector<Value> key;
+    key.reserve(key_idx.size());
+    for (int i : key_idx) key.push_back(u->block.GetValue(r, i));
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (agg_idx[a] >= 0) inputs[a] = u->block.GetValue(r, agg_idx[a]);
+    }
+    agg.Add(std::move(key), inputs, static_cast<int64_t>(counts[r]));
+  }
+  *out = agg.Finish();
+  return true;
+}
+
+// Streaming aggregation over the enumerator: used by the fused
+// AggregateProjectTop when the direct DP path does not apply. Tuples are
+// consumed one at a time and folded into the group states; memory stays
+// O(#groups) instead of O(#tuples).
+FlatBlock StreamingAggregate(const FTree& tree,
+                             const std::vector<std::string>& group_by,
+                             const std::vector<AggSpec>& aggs) {
+  TupleEnumerator e(tree);
+  struct Slot {
+    size_t node_idx;
+    size_t col_idx;
+    ValueType type;
+  };
+  auto resolve = [&](const std::string& name) {
+    const FTreeNode* node = tree.NodeOfColumn(name);
+    assert(node != nullptr);
+    int col = node->block.schema().IndexOf(name);
+    return Slot{e.IndexOf(node), static_cast<size_t>(col),
+                node->block.schema()[col].type};
+  };
+  std::vector<Slot> key_slots;
+  std::vector<ColumnDef> key_defs;
+  for (const std::string& g : group_by) {
+    Slot s = resolve(g);
+    key_slots.push_back(s);
+    key_defs.push_back(ColumnDef{g, s.type});
+  }
+  std::vector<Slot> input_slots;
+  std::vector<ValueType> input_types;
+  bool has_input = false;
+  for (const AggSpec& a : aggs) {
+    if (a.input.empty()) {
+      input_slots.push_back(Slot{0, 0, ValueType::kInt64});
+      input_types.push_back(ValueType::kInt64);
+    } else {
+      Slot s = resolve(a.input);
+      input_slots.push_back(s);
+      input_types.push_back(s.type);
+      has_input = true;
+    }
+  }
+
+  internal::GroupedAggregator agg(std::move(key_defs), aggs,
+                                  std::move(input_types));
+  std::vector<Value> inputs(aggs.size());
+  auto value_at = [&](const Slot& s) {
+    return e.nodes()[s.node_idx]->block.GetValue(e.RowAt(s.node_idx),
+                                                 s.col_idx);
+  };
+  while (e.Next()) {
+    std::vector<Value> key;
+    key.reserve(key_slots.size());
+    for (const Slot& s : key_slots) key.push_back(value_at(s));
+    if (has_input) {
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        if (!aggs[a].input.empty()) inputs[a] = value_at(input_slots[a]);
+      }
+    }
+    agg.Add(std::move(key), inputs);
+  }
+  return agg.Finish();
+}
+
+// Fused TopK: de-factors through the enumerator while keeping only the
+// current top `limit` tuples (bounded memory; Figure 8 step (vi)).
+FlatBlock StreamTopK(const FTree& tree, const std::vector<SortKey>& keys,
+                     uint64_t limit) {
+  Schema schema = TreeSchema(tree);
+  std::vector<int> idx;
+  std::vector<bool> asc;
+  for (const SortKey& k : keys) {
+    int i = schema.IndexOf(k.column);
+    assert(i >= 0);
+    idx.push_back(i);
+    asc.push_back(k.ascending);
+  }
+  auto cmp = [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+    for (size_t k = 0; k < idx.size(); ++k) {
+      int c = a[idx[k]].Compare(b[idx[k]]);
+      if (c != 0) return asc[k] ? c < 0 : c > 0;
+    }
+    return false;
+  };
+
+  TupleEnumerator e(tree);
+  std::vector<const FTreeNode*> nodes = e.nodes();
+  // Column slots in enumeration order = TreeSchema order.
+  struct Slot {
+    size_t node_idx;
+    size_t col_idx;
+  };
+  std::vector<Slot> slots;
+  for (size_t ni = 0; ni < nodes.size(); ++ni) {
+    for (size_t c = 0; c < nodes[ni]->block.schema().size(); ++c) {
+      slots.push_back(Slot{ni, c});
+    }
+  }
+
+  std::vector<std::vector<Value>> top;  // kept sorted ascending by cmp
+  while (e.Next()) {
+    std::vector<Value> row;
+    row.reserve(slots.size());
+    for (const Slot& s : slots) {
+      row.push_back(nodes[s.node_idx]->block.GetValue(e.RowAt(s.node_idx),
+                                                      s.col_idx));
+    }
+    if (top.size() >= limit && !cmp(row, top.back())) continue;
+    auto pos = std::upper_bound(top.begin(), top.end(), row, cmp);
+    top.insert(pos, std::move(row));
+    if (top.size() > limit) top.pop_back();
+  }
+  FlatBlock out(schema);
+  for (auto& row : top) out.AppendRow(std::move(row));
+  return out;
+}
+
+}  // namespace
+
+QueryResult Executor::RunFactorized(const Plan& plan,
+                                    const GraphView& view) const {
+  QueryResult result;
+  Timer total;
+  FactState state;
+
+  for (const PlanOp& op : plan.ops) {
+    Timer t;
+    if (!state.is_tree()) {
+      state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+    } else {
+      switch (op.type) {
+        case OpType::kNodeByIdSeek:
+          FactSeek(&state, op, view);
+          break;
+        case OpType::kScanByLabel:
+          FactScan(&state, op, view);
+          break;
+        case OpType::kExpand:
+          FactExpand(&state, op, view, options_);
+          break;
+        case OpType::kExpandFiltered:
+          FactExpandFiltered(&state, op, view);
+          break;
+        case OpType::kGetProperty:
+          FactGetProperty(&state, op, view);
+          break;
+        case OpType::kFilter:
+          if (!TryFactFilter(&state, op, options_)) {
+            FlattenState(&state);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+          }
+          break;
+        case OpType::kProject:
+          if (!TryFactProject(&state, op)) {
+            FlattenState(&state);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+          }
+          break;
+        case OpType::kAggregate: {
+          // GES_f handles only the "simplest case" natively (keys confined
+          // to a single-node tree); complex aggregations de-factor first.
+          // GES_f* aggregates directly on the tree via the tuple-count DP,
+          // or streams tuples into group states — never materializing the
+          // flat intermediate.
+          FlatBlock out;
+          bool fused_engine = mode_ == ExecMode::kFactorizedFused;
+          bool single_node = state.tree->root()->children.empty();
+          if ((fused_engine || single_node) &&
+              TryFactAggregate(*state.tree, op.group_by, op.aggs, &out)) {
+            state.SwitchToFlat(std::move(out));
+          } else if (fused_engine) {
+            state.SwitchToFlat(
+                StreamingAggregate(*state.tree, op.group_by, op.aggs));
+          } else {
+            FlattenState(&state);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+          }
+          break;
+        }
+        case OpType::kOrderBy:
+          // Order keys almost always span nodes; de-factor then sort.
+          FlattenState(&state);
+          SortAndLimit(&state.flat, op.sort_keys, op.limit);
+          break;
+        case OpType::kTopK:
+          state.SwitchToFlat(StreamTopK(*state.tree, op.sort_keys, op.limit));
+          break;
+        case OpType::kAggProjectTop: {
+          FlatBlock out;
+          if (!TryFactAggregate(*state.tree, op.group_by, op.aggs, &out)) {
+            out = StreamingAggregate(*state.tree, op.group_by, op.aggs);
+          }
+          if (!op.computed.empty() || !op.selections.empty()) {
+            out = ProjectFlat(out, op);
+          }
+          SortAndLimit(&out, op.sort_keys, op.limit);
+          state.SwitchToFlat(std::move(out));
+          break;
+        }
+        case OpType::kLimit:
+          FlattenState(&state, op.limit);
+          break;
+        case OpType::kDistinct:
+        case OpType::kExpandInto:
+          // Cyclic / global-dedup logic: revert to flat execution.
+          FlattenState(&state);
+          state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+          break;
+        case OpType::kProcedure:
+          state.SwitchToFlat(op.procedure(view));
+          break;
+      }
+    }
+    OpStats os;
+    os.op = OpTypeName(op.type);
+    os.millis = t.ElapsedMillis();
+    if (options_.collect_stats) {
+      os.intermediate_bytes =
+          std::max(state.MemoryBytes(), state.transient_bytes);
+      state.transient_bytes = 0;
+      os.rows = state.is_tree()
+                    ? (state.tree == nullptr ? 0 : state.tree->CountTuples())
+                    : state.flat.NumRows();
+      result.stats.peak_intermediate_bytes = std::max(
+          result.stats.peak_intermediate_bytes, os.intermediate_bytes);
+    }
+    result.stats.ops.push_back(std::move(os));
+  }
+
+  if (state.is_tree() && state.tree == nullptr) {
+    // Empty plan: nothing was executed.
+    result.stats.total_millis = total.ElapsedMillis();
+    return result;
+  }
+  if (state.is_tree()) {
+    const std::vector<std::string> cols =
+        plan.output.empty() ? AllTreeColumns(*state.tree) : plan.output;
+    Schema s;
+    for (const std::string& c : cols) {
+      const FTreeNode* n = state.tree->NodeOfColumn(c);
+      int ci = n->block.schema().IndexOf(c);
+      s.Add(c, n->block.schema()[ci].type);
+    }
+    FlatBlock shaped(s);
+    state.tree->Flatten(cols, &shaped);
+    result.table = std::move(shaped);
+  } else {
+    result.table = internal::ProjectOutput(state.flat, plan.output);
+  }
+  result.stats.total_millis = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace ges

@@ -1,0 +1,158 @@
+// f-Block: the cache-friendly, column-oriented factorized block (Section
+// 4.2 of the paper).
+//
+// An f-Block is a set of typed columns over a schema; every column has the
+// same cardinality N, and row i of all columns together forms the i-th
+// encoded tuple. Two physical flavors exist for the leading vertex column:
+//
+//  * materialized — a plain ValueVector of vertex ids;
+//  * lazy ("pointer-based join", Section 5) — a list of (ptr,len) segments
+//    pointing directly into the graph's adjacency arrays, plus prefix-sum
+//    offsets. Neighbor ids are never copied; they are read through the
+//    pointers, and only materialized if an operator genuinely needs a
+//    columnar copy.
+//
+// Non-leading columns (properties, distances, edge stamps) are always
+// materialized ValueVectors aligned with the logical row index.
+#ifndef GES_EXECUTOR_FBLOCK_H_
+#define GES_EXECUTOR_FBLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+#include "executor/schema.h"
+#include "storage/adjacency.h"
+
+namespace ges {
+
+class FBlock {
+ public:
+  FBlock() = default;
+
+  const Schema& schema() const { return schema_; }
+
+  // Number of logical rows (the shared cardinality N of all columns).
+  size_t NumRows() const {
+    if (lazy_) return seg_offsets_.empty() ? 0 : seg_offsets_.back();
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  bool lazy() const { return lazy_; }
+
+  // --- construction: materialized columns ---
+  // Adds a column; the first added column defines/extends the schema. All
+  // columns must end up with equal cardinality.
+  void AddColumn(const std::string& name, ValueVector column) {
+    schema_.Add(name, column.type());
+    columns_.push_back(std::move(column));
+  }
+
+  // --- construction: lazy vertex column ---
+  // Initializes this block as a lazy single-column block named `name`.
+  // Segments are appended with AppendSegment; logical rows are the
+  // concatenation of all segment entries (tombstones must be pre-filtered
+  // by the caller or tolerated downstream).
+  void InitLazy(const std::string& name) {
+    lazy_ = true;
+    schema_.Add(name, ValueType::kVertex);
+    seg_offsets_.push_back(0);
+  }
+  void AppendSegment(AdjSpan span) {
+    segments_.push_back(span);
+    seg_offsets_.push_back(seg_offsets_.back() + span.size);
+  }
+  size_t NumSegments() const { return segments_.size(); }
+  const AdjSpan& Segment(size_t i) const { return segments_[i]; }
+  // Logical row range [begin, end) covered by segment i.
+  uint64_t SegmentBegin(size_t i) const { return seg_offsets_[i]; }
+  uint64_t SegmentEnd(size_t i) const { return seg_offsets_[i + 1]; }
+
+  // --- row access ---
+  // Vertex id at logical row `row` of the leading column. For lazy blocks
+  // this resolves through the segment table (O(log #segments)).
+  VertexId VertexAt(uint64_t row) const {
+    if (!lazy_) return columns_[0].GetVertex(row);
+    size_t seg = SegmentIndexOf(row);
+    return segments_[seg].ids[row - seg_offsets_[seg]];
+  }
+  // Edge stamp parallel to the lazy vertex column (0 if absent).
+  int64_t StampAt(uint64_t row) const {
+    size_t seg = SegmentIndexOf(row);
+    const AdjSpan& s = segments_[seg];
+    return s.stamps == nullptr ? 0 : s.stamps[row - seg_offsets_[seg]];
+  }
+
+  Value GetValue(uint64_t row, size_t col) const {
+    if (lazy_ && col == 0) return Value::Vertex(VertexAt(row));
+    return columns_[ColumnStorageIndex(col)].GetValue(row);
+  }
+
+  // Materialized column accessor. For lazy blocks, schema column c > 0 maps
+  // to storage column c - 1.
+  const ValueVector& Column(size_t schema_col) const {
+    return columns_[ColumnStorageIndex(schema_col)];
+  }
+  ValueVector* MutableColumn(size_t schema_col) {
+    return &columns_[ColumnStorageIndex(schema_col)];
+  }
+
+  // Appends a materialized, row-aligned column (e.g. a fetched property).
+  void AppendAlignedColumn(const std::string& name, ValueVector column) {
+    schema_.Add(name, column.type());
+    columns_.push_back(std::move(column));
+  }
+
+  // Converts the lazy vertex column into a materialized one ("lazily
+  // copied via the stored pointer ... only if we have to do so").
+  void Materialize();
+
+  // Iterates logical rows sequentially, calling fn(row, vertex_id) —
+  // avoids per-row binary search on lazy blocks. Skips tombstones is NOT
+  // done here; tombstoned ids are passed through as kInvalidVertex.
+  template <typename Fn>
+  void ForEachVertex(Fn&& fn) const {
+    if (!lazy_) {
+      size_t n = columns_[0].size();
+      for (size_t i = 0; i < n; ++i) fn(i, columns_[0].GetVertex(i));
+      return;
+    }
+    uint64_t row = 0;
+    for (const AdjSpan& s : segments_) {
+      for (uint32_t k = 0; k < s.size; ++k) fn(row++, s.ids[k]);
+    }
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t ColumnStorageIndex(size_t schema_col) const {
+    return lazy_ ? schema_col - 1 : schema_col;
+  }
+
+  size_t SegmentIndexOf(uint64_t row) const {
+    // Cache-friendly: most access patterns are sequential.
+    size_t seg = last_seg_;
+    if (seg < segments_.size() && seg_offsets_[seg] <= row &&
+        row < seg_offsets_[seg + 1]) {
+      return seg;
+    }
+    auto it = std::upper_bound(seg_offsets_.begin(), seg_offsets_.end(), row);
+    seg = static_cast<size_t>(it - seg_offsets_.begin()) - 1;
+    last_seg_ = seg;
+    return seg;
+  }
+
+  Schema schema_;
+  std::vector<ValueVector> columns_;
+
+  bool lazy_ = false;
+  std::vector<AdjSpan> segments_;
+  std::vector<uint64_t> seg_offsets_;
+  mutable size_t last_seg_ = 0;
+};
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_FBLOCK_H_

@@ -1,0 +1,282 @@
+#include "executor/ftree.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace ges {
+
+FTreeNode* FTree::CreateRoot() {
+  assert(root_ == nullptr);
+  root_ = std::make_unique<FTreeNode>();
+  return root_.get();
+}
+
+FTreeNode* FTree::AddChild(FTreeNode* parent) {
+  parent->children.push_back(std::make_unique<FTreeNode>());
+  FTreeNode* child = parent->children.back().get();
+  child->parent = parent;
+  return child;
+}
+
+void FTree::RegisterColumns(FTreeNode* node) {
+  for (const ColumnDef& col : node->block.schema().columns()) {
+    column_owner_[col.name] = node;
+  }
+}
+
+FTreeNode* FTree::NodeOfColumn(const std::string& name) const {
+  auto it = column_owner_.find(name);
+  return it == column_owner_.end() ? nullptr : it->second;
+}
+
+namespace {
+void PreorderVisit(const FTreeNode* n, std::vector<const FTreeNode*>* out) {
+  out->push_back(n);
+  for (const auto& c : n->children) PreorderVisit(c.get(), out);
+}
+}  // namespace
+
+std::vector<const FTreeNode*> FTree::Preorder() const {
+  std::vector<const FTreeNode*> out;
+  if (root_ != nullptr) PreorderVisit(root_.get(), &out);
+  return out;
+}
+
+std::vector<FTreeNode*> FTree::PreorderMutable() {
+  std::vector<FTreeNode*> out;
+  for (const FTreeNode* n : Preorder()) {
+    out.push_back(const_cast<FTreeNode*>(n));
+  }
+  return out;
+}
+
+namespace {
+
+// Is row `row` of `node` usable at all (selection + tombstone check)?
+inline bool RowUsable(const FTreeNode* node, uint64_t row) {
+  if (!node->RowValid(row)) return false;
+  const FBlock& b = node->block;
+  if (b.schema().size() > 0 && b.schema()[0].type == ValueType::kVertex) {
+    return b.VertexAt(row) != kInvalidVertex;
+  }
+  return true;
+}
+
+// down[row] for `node`: number of valid subtree combinations rooted at this
+// row. Fills `down` (size = rows) and `cum` (size = rows + 1, prefix sums).
+void ComputeDown(
+    const FTreeNode* node,
+    std::unordered_map<const FTreeNode*, std::vector<uint64_t>>* down_map,
+    std::unordered_map<const FTreeNode*, std::vector<uint64_t>>* cum_map) {
+  for (const auto& c : node->children) {
+    ComputeDown(c.get(), down_map, cum_map);
+  }
+  size_t rows = node->block.NumRows();
+  std::vector<uint64_t> down(rows, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    if (!RowUsable(node, r)) continue;
+    uint64_t prod = 1;
+    for (const auto& c : node->children) {
+      const std::vector<uint64_t>& ccum = (*cum_map)[c.get()];
+      const IndexRange& range = c->parent_index[r];
+      uint64_t sum = ccum[range.end] - ccum[range.begin];
+      prod *= sum;
+      if (prod == 0) break;
+    }
+    down[r] = prod;
+  }
+  std::vector<uint64_t> cum(rows + 1, 0);
+  for (size_t r = 0; r < rows; ++r) cum[r + 1] = cum[r] + down[r];
+  (*down_map)[node] = std::move(down);
+  (*cum_map)[node] = std::move(cum);
+}
+
+}  // namespace
+
+uint64_t FTree::CountTuples() const {
+  if (root_ == nullptr) return 0;
+  std::unordered_map<const FTreeNode*, std::vector<uint64_t>> down, cum;
+  ComputeDown(root_.get(), &down, &cum);
+  return cum[root_.get()].back();
+}
+
+std::vector<uint64_t> FTree::TupleCountsForNode(
+    const FTreeNode* target) const {
+  std::unordered_map<const FTreeNode*, std::vector<uint64_t>> down, cum;
+  ComputeDown(root_.get(), &down, &cum);
+
+  // up[node][row]: combinations of the rest of the tree compatible with the
+  // row. Computed top-down (rerooting).
+  std::unordered_map<const FTreeNode*, std::vector<uint64_t>> up;
+  up[root_.get()] = std::vector<uint64_t>(root_->block.NumRows(), 1);
+  // BFS over the tree; parents before children (preorder works).
+  for (const FTreeNode* node : Preorder()) {
+    const std::vector<uint64_t>& node_up = up[node];
+    for (const auto& c : node->children) {
+      std::vector<uint64_t> cu(c->block.NumRows(), 0);
+      size_t rows = node->block.NumRows();
+      for (size_t r = 0; r < rows; ++r) {
+        if (!RowUsable(node, r) || node_up[r] == 0) continue;
+        // Product over siblings of c.
+        uint64_t w = node_up[r];
+        for (const auto& s : node->children) {
+          if (s.get() == c.get()) continue;
+          const std::vector<uint64_t>& scum = cum[s.get()];
+          const IndexRange& range = s->parent_index[r];
+          w *= scum[range.end] - scum[range.begin];
+          if (w == 0) break;
+        }
+        if (w == 0) continue;
+        const IndexRange& range = c->parent_index[r];
+        for (uint64_t j = range.begin; j < range.end; ++j) cu[j] += w;
+      }
+      up[c.get()] = std::move(cu);
+    }
+  }
+
+  const std::vector<uint64_t>& tdown = down[target];
+  const std::vector<uint64_t>& tup = up[target];
+  std::vector<uint64_t> counts(target->block.NumRows(), 0);
+  for (size_t r = 0; r < counts.size(); ++r) counts[r] = tdown[r] * tup[r];
+  return counts;
+}
+
+void FTree::Flatten(const std::vector<std::string>& columns, FlatBlock* out,
+                    uint64_t limit) const {
+  if (root_ == nullptr) return;
+  TupleEnumerator e(*this);
+  // Resolve columns once.
+  struct Slot {
+    size_t node_idx;
+    size_t col_idx;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(columns.size());
+  for (const std::string& name : columns) {
+    FTreeNode* node = NodeOfColumn(name);
+    assert(node != nullptr);
+    int col = node->block.schema().IndexOf(name);
+    assert(col >= 0);
+    slots.push_back(Slot{e.IndexOf(node), static_cast<size_t>(col)});
+  }
+  uint64_t n = 0;
+  while (n < limit && e.Next()) {
+    std::vector<Value> row;
+    row.reserve(slots.size());
+    for (const Slot& s : slots) {
+      row.push_back(
+          e.nodes()[s.node_idx]->block.GetValue(e.RowAt(s.node_idx), s.col_idx));
+    }
+    out->AppendRow(std::move(row));
+    ++n;
+  }
+}
+
+size_t FTree::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const FTreeNode* n : Preorder()) {
+    bytes += n->block.MemoryBytes() + n->sel.capacity() +
+             n->parent_index.capacity() * sizeof(IndexRange);
+  }
+  return bytes;
+}
+
+std::string FTree::DebugString() const {
+  std::ostringstream os;
+  for (const FTreeNode* n : Preorder()) {
+    int depth = 0;
+    for (const FTreeNode* p = n->parent; p != nullptr; p = p->parent) ++depth;
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << "node(rows=" << n->block.NumRows()
+       << (n->block.lazy() ? ", lazy" : "") << "):";
+    for (const ColumnDef& c : n->block.schema().columns()) {
+      os << " " << c.name;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TupleEnumerator
+// ---------------------------------------------------------------------------
+
+TupleEnumerator::TupleEnumerator(const FTree& tree) {
+  nodes_ = tree.Preorder();
+  for (size_t i = 0; i < nodes_.size(); ++i) index_of_[nodes_[i]] = i;
+  parent_idx_.resize(nodes_.size(), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    parent_idx_[i] =
+        nodes_[i]->parent == nullptr ? 0 : index_of_[nodes_[i]->parent];
+  }
+  cur_.resize(nodes_.size(), 0);
+  begin_.resize(nodes_.size(), 0);
+  end_.resize(nodes_.size(), 0);
+  done_ = nodes_.empty();
+}
+
+void TupleEnumerator::SetRange(size_t i) {
+  const FTreeNode* node = nodes_[i];
+  if (node->parent == nullptr) {
+    begin_[i] = 0;
+    end_[i] = node->block.NumRows();
+  } else {
+    const IndexRange& r = node->parent_index[cur_[parent_idx_[i]]];
+    begin_[i] = r.begin;
+    end_[i] = r.end;
+  }
+}
+
+uint64_t TupleEnumerator::FindValid(size_t i, uint64_t from) const {
+  const FTreeNode* node = nodes_[i];
+  uint64_t lo = from < begin_[i] ? begin_[i] : from;
+  for (uint64_t r = lo; r < end_[i]; ++r) {
+    if (RowUsable(node, r)) return r;
+  }
+  return kNone;
+}
+
+bool TupleEnumerator::Fill(size_t from) {
+  size_t m = nodes_.size();
+  size_t i = from;
+  while (i < m) {
+    SetRange(i);
+    uint64_t r = FindValid(i, begin_[i]);
+    while (r == kNone) {
+      if (i == 0) return false;
+      --i;
+      r = FindValid(i, cur_[i] + 1);
+    }
+    cur_[i] = r;
+    ++i;
+  }
+  return true;
+}
+
+bool TupleEnumerator::Next() {
+  if (done_) return false;
+  if (!started_) {
+    started_ = true;
+    if (!Fill(0)) {
+      done_ = true;
+      return false;
+    }
+    return true;
+  }
+  size_t i = nodes_.size();
+  while (i > 0) {
+    --i;
+    uint64_t r = FindValid(i, cur_[i] + 1);
+    if (r != kNone) {
+      cur_[i] = r;
+      if (Fill(i + 1)) return true;
+      // Fill backtracked and failed all the way: exhausted.
+      done_ = true;
+      return false;
+    }
+  }
+  done_ = true;
+  return false;
+}
+
+}  // namespace ges

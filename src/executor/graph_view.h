@@ -1,0 +1,58 @@
+// A read snapshot of the graph handed to executors (unified storage access
+// interface in Figure 1).
+#ifndef GES_EXECUTOR_GRAPH_VIEW_H_
+#define GES_EXECUTOR_GRAPH_VIEW_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/graph.h"
+
+namespace ges {
+
+class GraphView {
+ public:
+  GraphView(const Graph* graph, Version version)
+      : graph_(graph), version_(version) {}
+  // Snapshot at the current version.
+  explicit GraphView(const Graph* graph)
+      : GraphView(graph, graph->CurrentVersion()) {}
+
+  const Graph& graph() const { return *graph_; }
+  Version version() const { return version_; }
+
+  AdjSpan Neighbors(RelationId rel, VertexId v) const {
+    return graph_->Neighbors(rel, v, version_);
+  }
+  Value Property(VertexId v, PropertyId p) const {
+    return graph_->GetProperty(v, p, version_);
+  }
+  LabelId LabelOf(VertexId v) const { return graph_->LabelOf(v, version_); }
+  VertexId FindByExtId(LabelId label, int64_t ext_id) const {
+    return graph_->FindByExtId(label, ext_id, version_);
+  }
+  void ScanLabel(LabelId label, std::vector<VertexId>* out) const {
+    graph_->ScanLabel(label, version_, out);
+  }
+
+  // True if an edge v -> w exists in any of `rels` (tombstones skipped).
+  bool HasEdge(const std::vector<RelationId>& rels, VertexId v,
+               VertexId w) const {
+    for (RelationId rel : rels) {
+      AdjSpan span = Neighbors(rel, v);
+      for (uint32_t i = 0; i < span.size; ++i) {
+        if (span.ids[i] == w) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const Graph* graph_;
+  Version version_;
+};
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_GRAPH_VIEW_H_

@@ -1,0 +1,170 @@
+#include "executor/optimizer.h"
+
+#include <limits>
+
+namespace ges {
+
+namespace {
+
+// Largest LIMIT for which the bounded-insertion TopK is profitable.
+constexpr uint64_t kMaxTopK = 1024;
+
+bool PredicateUsesOnly(const Expr& pred, const std::string& column) {
+  std::vector<std::string> cols;
+  pred.CollectColumns(&cols);
+  for (const std::string& c : cols) {
+    if (c != column) return false;
+  }
+  return !cols.empty();
+}
+
+// Expand eligible for the filter fusion: plain single-hop expansion.
+bool ExpandFusable(const PlanOp& op) {
+  return op.type == OpType::kExpand && op.max_hops == 1 && !op.distinct &&
+         !op.exclude_start && op.distance_column.empty() &&
+         op.stamp_column.empty();
+}
+
+}  // namespace
+
+namespace {
+
+// Columns produced by `op` (subset needed for the pushdown rule).
+void CollectProduced(const PlanOp& op, std::vector<std::string>* out) {
+  switch (op.type) {
+    case OpType::kNodeByIdSeek:
+    case OpType::kScanByLabel:
+    case OpType::kExpand:
+    case OpType::kGetProperty:
+      out->push_back(op.out_column);
+      if (!op.distance_column.empty()) out->push_back(op.distance_column);
+      if (!op.stamp_column.empty()) out->push_back(op.stamp_column);
+      break;
+    default:
+      break;
+  }
+}
+
+bool IsStreamSafe(OpType t) {
+  // Operators a filter may hop over without changing results: they neither
+  // rename/remove columns nor depend on cardinality. (Aggregates, sorts,
+  // limits, distinct and projections act as barriers.)
+  return t == OpType::kExpand || t == OpType::kGetProperty ||
+         t == OpType::kFilter || t == OpType::kExpandInto ||
+         t == OpType::kExpandFiltered;
+}
+
+// Rule-based FilterPushDown (plan-level half): moves each Filter directly
+// behind the earliest operator that produces all of its columns, so
+// predicates prune intermediate results as early as possible and sit
+// adjacent to their Expand for the fusion rule below.
+void PushDownFilters(std::vector<PlanOp>* ops) {
+  for (size_t i = 1; i < ops->size(); ++i) {
+    if ((*ops)[i].type != OpType::kFilter) continue;
+    std::vector<std::string> needed;
+    (*ops)[i].predicate->CollectColumns(&needed);
+    // Earliest position (just after op `j`) where every needed column
+    // exists; the filter can only hop over stream-safe operators.
+    size_t target = i;
+    std::vector<std::string> available;
+    // Recompute availability from the front.
+    size_t have_all_after = ops->size();
+    for (size_t j = 0; j < i; ++j) {
+      CollectProduced((*ops)[j], &available);
+      bool all = true;
+      for (const std::string& c : needed) {
+        bool found = false;
+        for (const std::string& a : available) found |= a == c;
+        all &= found;
+      }
+      if (all) {
+        have_all_after = j;
+        break;
+      }
+    }
+    if (have_all_after == ops->size()) continue;  // columns appear at i only
+    // Walk the insertion point forward over non-stream-safe barriers.
+    target = have_all_after + 1;
+    for (size_t j = have_all_after + 1; j < i; ++j) {
+      if (!IsStreamSafe((*ops)[j].type)) target = j + 1;
+    }
+    if (target >= i) continue;
+    PlanOp filter = std::move((*ops)[i]);
+    ops->erase(ops->begin() + static_cast<std::ptrdiff_t>(i));
+    ops->insert(ops->begin() + static_cast<std::ptrdiff_t>(target),
+                std::move(filter));
+  }
+}
+
+}  // namespace
+
+Plan OptimizePlan(const Plan& plan, const ExecOptions& options) {
+  Plan out;
+  out.name = plan.name;
+  out.output = plan.output;
+
+  // Rule-based reordering first (always sound), then pattern fusion.
+  std::vector<PlanOp> reordered = plan.ops;
+  PushDownFilters(&reordered);
+  const std::vector<PlanOp>& ops = reordered;
+  size_t i = 0;
+  while (i < ops.size()) {
+    // --- FilterPushDown: Expand ; GetProperty ; Filter -> ExpandFiltered
+    if (options.fuse_filter_into_expand && i + 2 < ops.size() &&
+        ExpandFusable(ops[i]) && ops[i + 1].type == OpType::kGetProperty &&
+        ops[i + 1].in_column == ops[i].out_column &&
+        ops[i + 2].type == OpType::kFilter &&
+        PredicateUsesOnly(*ops[i + 2].predicate, ops[i + 1].out_column)) {
+      PlanOp fused = ops[i];
+      fused.type = OpType::kExpandFiltered;
+      fused.property = ops[i + 1].property;
+      fused.property_type = ops[i + 1].property_type;
+      fused.other_column = ops[i + 1].out_column;  // fused property column
+      fused.predicate = ops[i + 2].predicate;
+      fused.keep_property = true;
+      out.ops.push_back(std::move(fused));
+      i += 3;
+      continue;
+    }
+    // --- AggregateProjectTop: Aggregate ; [Project] ; OrderBy+Limit
+    if (options.fuse_agg_project_top && ops[i].type == OpType::kAggregate) {
+      size_t j = i + 1;
+      const PlanOp* project = nullptr;
+      if (j < ops.size() && ops[j].type == OpType::kProject) {
+        project = &ops[j];
+        ++j;
+      }
+      if (j < ops.size() && ops[j].type == OpType::kOrderBy &&
+          ops[j].limit != std::numeric_limits<uint64_t>::max()) {
+        PlanOp fused;
+        fused.type = OpType::kAggProjectTop;
+        fused.group_by = ops[i].group_by;
+        fused.aggs = ops[i].aggs;
+        if (project != nullptr) {
+          fused.selections = project->selections;
+          fused.computed = project->computed;
+        }
+        fused.sort_keys = ops[j].sort_keys;
+        fused.limit = ops[j].limit;
+        out.ops.push_back(std::move(fused));
+        i = j + 1;
+        continue;
+      }
+    }
+    // --- TopK: OrderBy with a small LIMIT
+    if (options.fuse_topk && ops[i].type == OpType::kOrderBy &&
+        ops[i].limit != std::numeric_limits<uint64_t>::max() &&
+        ops[i].limit <= kMaxTopK) {
+      PlanOp fused = ops[i];
+      fused.type = OpType::kTopK;
+      out.ops.push_back(std::move(fused));
+      ++i;
+      continue;
+    }
+    out.ops.push_back(ops[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace ges

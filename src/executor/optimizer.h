@@ -1,0 +1,27 @@
+// Operator-fusion plan rewrites (Section 4.3, "Operator Fusion").
+#ifndef GES_EXECUTOR_OPTIMIZER_H_
+#define GES_EXECUTOR_OPTIMIZER_H_
+
+#include "executor/executor.h"
+#include "executor/plan.h"
+
+namespace ges {
+
+// Applies the heuristic fusion rules enabled in `options` and returns the
+// rewritten plan:
+//
+//  * FilterPushDown — Expand ; GetProperty ; Filter  =>  ExpandFiltered
+//    (the predicate is evaluated while neighbors are generated, so unused
+//    neighbors and their properties are never listed);
+//  * AggregateProjectTop — Aggregate ; [Project] ; OrderBy+Limit  =>
+//    one fused operator that aggregates directly on the f-Tree (or streams
+//    tuples through group states) and keeps only the top-k rows;
+//  * TopK — OrderBy with a small LIMIT  =>  bounded-heap de-factoring.
+//
+// Rewrites preserve result semantics; the equivalence tests run every
+// query through fused and unfused plans.
+Plan OptimizePlan(const Plan& plan, const ExecOptions& options);
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_OPTIMIZER_H_

@@ -1,0 +1,172 @@
+// Physical plan representation shared by all engine variants.
+//
+// A Plan is a linear operator pipeline (the shape of every LDBC interactive
+// query after optimization; see Figure 8 of the paper) plus the output
+// projection. The same Plan is interpreted by the Volcano, flat and
+// factorized executors, which makes cross-engine result equivalence
+// directly testable.
+#ifndef GES_EXECUTOR_PLAN_H_
+#define GES_EXECUTOR_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "executor/expression.h"
+#include "executor/flatblock.h"
+#include "executor/graph_view.h"
+
+namespace ges {
+
+enum class OpType : uint8_t {
+  kNodeByIdSeek,   // locate one vertex by (label, external id)
+  kScanByLabel,    // all vertices of a label
+  kExpand,         // (multi-hop) neighbor expansion
+  kGetProperty,    // fetch a vertex property into a new column
+  kFilter,         // predicate filter
+  kProject,        // select / rename / compute columns
+  kOrderBy,        // sort (with optional limit)
+  kAggregate,      // group-by + aggregates
+  kLimit,
+  kDistinct,
+  kExpandInto,     // edge-existence (semi/anti join) between bound columns
+  kProcedure,      // stored-procedure escape hatch (IC13/IC14 path queries)
+  // Fused operators (emitted by the optimizer for GES_f*):
+  kExpandFiltered,  // Expand + GetProperty + Filter fused (FilterPushDown)
+  kTopK,            // OrderBy+Limit fused into de-factoring (bounded heap)
+  kAggProjectTop,   // Aggregate + Project + OrderBy/Limit fused
+};
+
+const char* OpTypeName(OpType t);
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+struct AggSpec {
+  enum Fn : uint8_t { kCount, kCountDistinct, kSum, kMin, kMax, kAvg };
+  Fn fn = kCount;
+  std::string input;   // empty for COUNT(*)
+  std::string output;  // result column name
+};
+
+// A computed output column (used by kProject and inside kAggProjectTop).
+struct ComputedColumn {
+  ExprPtr expr;
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+struct PlanOp {
+  OpType type;
+
+  // Common column naming.
+  std::string in_column;   // consumed column (e.g. expand source)
+  std::string out_column;  // produced column
+
+  // kNodeByIdSeek / kScanByLabel.
+  LabelId label = kInvalidLabel;
+  int64_t seek_ext_id = 0;
+
+  // kExpand / kExpandFiltered / kExpandInto: adjacency tables to union
+  // (e.g. HAS_CREATOR from both POST and COMMENT).
+  std::vector<RelationId> rels;
+  int min_hops = 1;
+  int max_hops = 1;
+  bool distinct = false;       // dedup neighbors per source (multi-hop)
+  bool exclude_start = false;  // drop the source vertex itself
+  std::string distance_column;  // optional hop-distance output
+  std::string stamp_column;     // optional edge-stamp output
+
+  // kGetProperty (+ fused property inside kExpandFiltered).
+  PropertyId property = kInvalidProperty;
+  ValueType property_type = ValueType::kNull;
+  bool keep_property = true;  // kExpandFiltered: keep the fetched column?
+
+  // kFilter / kExpandFiltered.
+  ExprPtr predicate;
+
+  // kOrderBy / kTopK / kLimit.
+  std::vector<SortKey> sort_keys;
+  uint64_t limit = std::numeric_limits<uint64_t>::max();
+
+  // kAggregate / kAggProjectTop.
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggs;
+
+  // kProject (select existing columns and/or computed expressions).
+  std::vector<std::pair<std::string, std::string>> selections;  // (col, as)
+  std::vector<ComputedColumn> computed;
+
+  // kExpandInto: checks edge existence between in_column and other_column.
+  std::string other_column;
+  bool anti = false;
+
+  // kProcedure.
+  std::function<FlatBlock(const GraphView&)> procedure;
+};
+
+struct Plan {
+  std::vector<PlanOp> ops;
+  // Final output column order (names must exist after the last op). When
+  // empty, every live column is returned, but the column ORDER is then
+  // engine-specific (the flat engine uses creation order, the factorized
+  // engine uses f-Tree preorder); set an explicit output for cross-engine
+  // comparable results.
+  std::vector<std::string> output;
+  std::string name;  // for reporting (e.g. "IC5")
+};
+
+// Fluent plan construction. Example (the paper's Figure 8 query):
+//   PlanBuilder b("example");
+//   b.NodeByIdSeek("p", person, p0)
+//    .Expand("p", "f", {knows_out}, 1, 2, /*distinct=*/true)
+//    .Expand("f", "msg", {creator_in_post, creator_in_comment})
+//    .GetProperty("msg", len_prop, ValueType::kInt64, "msg_len")
+//    .Filter(Expr::Gt(Expr::Col("msg_len"), Expr::Lit(Value::Int(125))))
+//    .OrderBy({{"msg_len", false}, {"f", true}}, 2)
+//    .Output({"f", "msg", "msg_len"});
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string name) { plan_.name = std::move(name); }
+
+  PlanBuilder& NodeByIdSeek(std::string out, LabelId label, int64_t ext_id);
+  PlanBuilder& ScanByLabel(std::string out, LabelId label);
+  PlanBuilder& Expand(std::string in, std::string out,
+                      std::vector<RelationId> rels, int min_hops = 1,
+                      int max_hops = 1, bool distinct = false,
+                      bool exclude_start = false);
+  // Expand emitting auxiliary columns (distance and/or edge stamp).
+  PlanBuilder& ExpandEx(std::string in, std::string out,
+                        std::vector<RelationId> rels, int min_hops,
+                        int max_hops, bool distinct, bool exclude_start,
+                        std::string distance_column,
+                        std::string stamp_column);
+  PlanBuilder& GetProperty(std::string vertex_col, PropertyId prop,
+                           ValueType type, std::string out);
+  PlanBuilder& Filter(ExprPtr predicate);
+  PlanBuilder& Project(std::vector<std::pair<std::string, std::string>> sel,
+                       std::vector<ComputedColumn> computed = {});
+  PlanBuilder& OrderBy(std::vector<SortKey> keys,
+                       uint64_t limit = std::numeric_limits<uint64_t>::max());
+  PlanBuilder& Aggregate(std::vector<std::string> group_by,
+                         std::vector<AggSpec> aggs);
+  PlanBuilder& Limit(uint64_t n);
+  PlanBuilder& Distinct();
+  PlanBuilder& ExpandInto(std::string a, std::string b,
+                          std::vector<RelationId> rels, bool anti);
+  PlanBuilder& Procedure(std::function<FlatBlock(const GraphView&)> fn);
+  PlanBuilder& Output(std::vector<std::string> columns);
+
+  Plan Build() { return std::move(plan_); }
+
+ private:
+  Plan plan_;
+};
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_PLAN_H_

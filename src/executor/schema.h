@@ -1,0 +1,47 @@
+// Column schemas for intermediate results.
+#ifndef GES_EXECUTOR_SCHEMA_H_
+#define GES_EXECUTOR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ges {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+// Ordered attribute list of a block. Attribute names are unique within a
+// query plan (the planner enforces it), which gives the f-Tree its
+// "disjoint schema partition" property for free.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+  size_t size() const { return cols_.size(); }
+  const ColumnDef& operator[](size_t i) const { return cols_[i]; }
+  const std::vector<ColumnDef>& columns() const { return cols_; }
+
+  void Add(std::string name, ValueType type) {
+    cols_.push_back(ColumnDef{std::move(name), type});
+  }
+
+  // Index of `name`, or -1.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (cols_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<ColumnDef> cols_;
+};
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_SCHEMA_H_

@@ -1,0 +1,636 @@
+#include "frontend/parser.h"
+
+#include <cctype>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace ges {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class Tok : uint8_t {
+  kIdent,
+  kInt,
+  kDouble,
+  kString,
+  kSymbol,  // single punctuation character
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t int_val = 0;
+  double dbl_val = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) { Advance(); }
+
+  const Token& cur() const { return cur_; }
+
+  void Advance() {
+    SkipSpace();
+    cur_ = Token{};
+    if (pos_ >= in_.size()) {
+      cur_.kind = Tok::kEnd;
+      return;
+    }
+    char c = in_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < in_.size() &&
+             (std::isalnum(static_cast<unsigned char>(in_[pos_])) ||
+              in_[pos_] == '_')) {
+        ++pos_;
+      }
+      cur_.kind = Tok::kIdent;
+      cur_.text = in_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      bool is_double = false;
+      while (pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+      // A '.' is a decimal point only when followed by a digit, so the
+      // hop-range operator `1..2` lexes as INT '.' '.' INT.
+      if (pos_ + 1 < in_.size() && in_[pos_] == '.' &&
+          std::isdigit(static_cast<unsigned char>(in_[pos_ + 1]))) {
+        is_double = true;
+        ++pos_;
+        while (pos_ < in_.size() &&
+               std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+          ++pos_;
+        }
+      }
+      cur_.text = in_.substr(start, pos_ - start);
+      if (is_double) {
+        cur_.kind = Tok::kDouble;
+        cur_.dbl_val = std::atof(cur_.text.c_str());
+      } else {
+        cur_.kind = Tok::kInt;
+        cur_.int_val = std::atoll(cur_.text.c_str());
+      }
+      return;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < in_.size() && in_[pos_] != quote) ++pos_;
+      cur_.kind = Tok::kString;
+      cur_.text = in_.substr(start, pos_ - start);
+      if (pos_ < in_.size()) ++pos_;  // closing quote
+      return;
+    }
+    cur_.kind = Tok::kSymbol;
+    cur_.text = std::string(1, c);
+    ++pos_;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+  Token cur_;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Parsed intermediate representation
+// ---------------------------------------------------------------------------
+
+struct NodePat {
+  std::string var;
+  std::string label;
+};
+
+struct EdgePat {
+  std::string type;
+  bool outgoing = true;
+  int min_hops = 1;
+  int max_hops = 1;
+};
+
+struct PropRef {
+  std::string var;
+  std::string prop;
+
+  std::string ColumnName() const { return var + "_" + prop; }
+  bool operator<(const PropRef& o) const {
+    return var != o.var ? var < o.var : prop < o.prop;
+  }
+};
+
+struct Comparison {
+  PropRef lhs;
+  ExprOp op = ExprOp::kEq;
+  // Exactly one of rhs_literal / rhs_prop is engaged.
+  std::optional<Value> rhs_literal;
+  std::optional<PropRef> rhs_prop;
+};
+
+struct ReturnItem {
+  std::string var;  // bare variable form
+  PropRef prop;     // var.prop form
+  bool is_prop = false;
+
+  std::string ColumnName() const { return is_prop ? prop.ColumnName() : var; }
+};
+
+struct SortItem {
+  ReturnItem item;
+  bool ascending = true;
+};
+
+struct ParsedQuery {
+  std::vector<NodePat> nodes;
+  std::vector<EdgePat> edges;
+  std::vector<Comparison> where;
+  std::map<std::string, int64_t> seeks;  // id(v) = N predicates
+  std::vector<ReturnItem> returns;
+  std::vector<SortItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser over the grammar in parser.h
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : lex_(input) {}
+
+  Status Parse(ParsedQuery* out) {
+    GES_RETURN_IF_ERROR(ExpectKeyword("MATCH"));
+    GES_RETURN_IF_ERROR(ParsePattern(out));
+    if (IsKeyword("WHERE")) {
+      lex_.Advance();
+      GES_RETURN_IF_ERROR(ParseWhere(out));
+    }
+    GES_RETURN_IF_ERROR(ExpectKeyword("RETURN"));
+    GES_RETURN_IF_ERROR(ParseReturn(out));
+    if (IsKeyword("ORDER")) {
+      lex_.Advance();
+      GES_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      GES_RETURN_IF_ERROR(ParseOrderBy(out));
+    }
+    if (IsKeyword("LIMIT")) {
+      lex_.Advance();
+      if (lex_.cur().kind != Tok::kInt) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      out->limit = static_cast<uint64_t>(lex_.cur().int_val);
+      lex_.Advance();
+    }
+    if (lex_.cur().kind != Tok::kEnd) {
+      return Status::InvalidArgument("unexpected trailing input: '" +
+                                     lex_.cur().text + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool IsKeyword(const char* kw) const {
+    return lex_.cur().kind == Tok::kIdent && Upper(lex_.cur().text) == kw;
+  }
+  bool IsSymbol(char c) const {
+    return lex_.cur().kind == Tok::kSymbol && lex_.cur().text[0] == c;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     ", got '" + lex_.cur().text + "'");
+    }
+    lex_.Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(char c) {
+    if (!IsSymbol(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "', got '" + lex_.cur().text + "'");
+    }
+    lex_.Advance();
+    return Status::OK();
+  }
+
+  Status ParseNode(NodePat* node) {
+    GES_RETURN_IF_ERROR(ExpectSymbol('('));
+    if (lex_.cur().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected node variable");
+    }
+    node->var = lex_.cur().text;
+    lex_.Advance();
+    if (IsSymbol(':')) {
+      lex_.Advance();
+      if (lex_.cur().kind != Tok::kIdent) {
+        return Status::InvalidArgument("expected node label");
+      }
+      node->label = Upper(lex_.cur().text);
+      lex_.Advance();
+    }
+    return ExpectSymbol(')');
+  }
+
+  // Parses `-[:TYPE*1..2]->` (outgoing) or `<-[:TYPE]-` (incoming).
+  Status ParseEdge(EdgePat* edge) {
+    bool leading_arrow = false;
+    if (IsSymbol('<')) {
+      leading_arrow = true;
+      lex_.Advance();
+    }
+    GES_RETURN_IF_ERROR(ExpectSymbol('-'));
+    GES_RETURN_IF_ERROR(ExpectSymbol('['));
+    if (IsSymbol(':')) {
+      lex_.Advance();
+      if (lex_.cur().kind != Tok::kIdent) {
+        return Status::InvalidArgument("expected edge type");
+      }
+      edge->type = Upper(lex_.cur().text);
+      lex_.Advance();
+    }
+    if (IsSymbol('*')) {
+      lex_.Advance();
+      if (lex_.cur().kind != Tok::kInt) {
+        return Status::InvalidArgument("expected min hop count");
+      }
+      edge->min_hops = static_cast<int>(lex_.cur().int_val);
+      lex_.Advance();
+      GES_RETURN_IF_ERROR(ExpectSymbol('.'));
+      GES_RETURN_IF_ERROR(ExpectSymbol('.'));
+      if (lex_.cur().kind != Tok::kInt) {
+        return Status::InvalidArgument("expected max hop count");
+      }
+      edge->max_hops = static_cast<int>(lex_.cur().int_val);
+      lex_.Advance();
+    }
+    GES_RETURN_IF_ERROR(ExpectSymbol(']'));
+    GES_RETURN_IF_ERROR(ExpectSymbol('-'));
+    if (leading_arrow) {
+      edge->outgoing = false;
+    } else {
+      GES_RETURN_IF_ERROR(ExpectSymbol('>'));
+      edge->outgoing = true;
+    }
+    return Status::OK();
+  }
+
+  Status ParsePattern(ParsedQuery* out) {
+    NodePat first;
+    GES_RETURN_IF_ERROR(ParseNode(&first));
+    out->nodes.push_back(first);
+    while (IsSymbol('-') || IsSymbol('<')) {
+      EdgePat edge;
+      GES_RETURN_IF_ERROR(ParseEdge(&edge));
+      NodePat node;
+      GES_RETURN_IF_ERROR(ParseNode(&node));
+      out->edges.push_back(edge);
+      out->nodes.push_back(node);
+    }
+    return Status::OK();
+  }
+
+  Status ParsePropRef(PropRef* ref) {
+    if (lex_.cur().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected variable");
+    }
+    ref->var = lex_.cur().text;
+    lex_.Advance();
+    GES_RETURN_IF_ERROR(ExpectSymbol('.'));
+    if (lex_.cur().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected property name");
+    }
+    ref->prop = lex_.cur().text;
+    lex_.Advance();
+    return Status::OK();
+  }
+
+  Status ParseLiteral(Value* out) {
+    switch (lex_.cur().kind) {
+      case Tok::kInt:
+        *out = Value::Int(lex_.cur().int_val);
+        break;
+      case Tok::kDouble:
+        *out = Value::Double(lex_.cur().dbl_val);
+        break;
+      case Tok::kString:
+        *out = Value::String(lex_.cur().text);
+        break;
+      default:
+        return Status::InvalidArgument("expected literal, got '" +
+                                       lex_.cur().text + "'");
+    }
+    lex_.Advance();
+    return Status::OK();
+  }
+
+  Status ParseCmpOp(ExprOp* op) {
+    if (IsSymbol('=')) {
+      lex_.Advance();
+      *op = ExprOp::kEq;
+      return Status::OK();
+    }
+    if (IsSymbol('<')) {
+      lex_.Advance();
+      if (IsSymbol('=')) {
+        lex_.Advance();
+        *op = ExprOp::kLe;
+      } else if (IsSymbol('>')) {
+        lex_.Advance();
+        *op = ExprOp::kNe;
+      } else {
+        *op = ExprOp::kLt;
+      }
+      return Status::OK();
+    }
+    if (IsSymbol('>')) {
+      lex_.Advance();
+      if (IsSymbol('=')) {
+        lex_.Advance();
+        *op = ExprOp::kGe;
+      } else {
+        *op = ExprOp::kGt;
+      }
+      return Status::OK();
+    }
+    return Status::InvalidArgument("expected comparison operator");
+  }
+
+  Status ParseWhere(ParsedQuery* out) {
+    while (true) {
+      if (IsKeyword("ID")) {
+        // Special form: id(v) = N (a NodeByIdSeek hint).
+        lex_.Advance();
+        GES_RETURN_IF_ERROR(ExpectSymbol('('));
+        if (lex_.cur().kind != Tok::kIdent) {
+          return Status::InvalidArgument("expected variable in id()");
+        }
+        std::string var = lex_.cur().text;
+        lex_.Advance();
+        GES_RETURN_IF_ERROR(ExpectSymbol(')'));
+        GES_RETURN_IF_ERROR(ExpectSymbol('='));
+        if (lex_.cur().kind != Tok::kInt) {
+          return Status::InvalidArgument("id() comparison expects integer");
+        }
+        out->seeks[var] = lex_.cur().int_val;
+        lex_.Advance();
+      } else {
+        Comparison cmp;
+        GES_RETURN_IF_ERROR(ParsePropRef(&cmp.lhs));
+        GES_RETURN_IF_ERROR(ParseCmpOp(&cmp.op));
+        if (lex_.cur().kind == Tok::kIdent) {
+          PropRef rhs;
+          GES_RETURN_IF_ERROR(ParsePropRef(&rhs));
+          cmp.rhs_prop = rhs;
+        } else {
+          Value lit;
+          GES_RETURN_IF_ERROR(ParseLiteral(&lit));
+          cmp.rhs_literal = lit;
+        }
+        out->where.push_back(std::move(cmp));
+      }
+      if (IsKeyword("AND")) {
+        lex_.Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseReturnItem(ReturnItem* item) {
+    if (lex_.cur().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected return item");
+    }
+    std::string var = lex_.cur().text;
+    lex_.Advance();
+    if (IsSymbol('.')) {
+      lex_.Advance();
+      if (lex_.cur().kind != Tok::kIdent) {
+        return Status::InvalidArgument("expected property name");
+      }
+      item->is_prop = true;
+      item->prop = PropRef{var, lex_.cur().text};
+      lex_.Advance();
+    } else {
+      item->var = var;
+    }
+    return Status::OK();
+  }
+
+  Status ParseReturn(ParsedQuery* out) {
+    while (true) {
+      ReturnItem item;
+      GES_RETURN_IF_ERROR(ParseReturnItem(&item));
+      out->returns.push_back(std::move(item));
+      if (!IsSymbol(',')) break;
+      lex_.Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrderBy(ParsedQuery* out) {
+    while (true) {
+      SortItem key;
+      GES_RETURN_IF_ERROR(ParseReturnItem(&key.item));
+      if (IsKeyword("ASC")) {
+        lex_.Advance();
+      } else if (IsKeyword("DESC")) {
+        key.ascending = false;
+        lex_.Advance();
+      }
+      out->order_by.push_back(std::move(key));
+      if (!IsSymbol(',')) break;
+      lex_.Advance();
+    }
+    return Status::OK();
+  }
+
+  Lexer lex_;
+};
+
+// ---------------------------------------------------------------------------
+// Plan compilation
+// ---------------------------------------------------------------------------
+
+class Compiler {
+ public:
+  Compiler(const ParsedQuery& q, const Graph& graph)
+      : q_(q), graph_(graph), catalog_(graph.catalog()) {}
+
+  Status Compile(Plan* plan) {
+    GES_RETURN_IF_ERROR(ResolveLabels());
+    PlanBuilder b("frontend");
+
+    // Leaf operator for the first pattern node.
+    const NodePat& first = q_.nodes[0];
+    auto seek = q_.seeks.find(first.var);
+    if (seek != q_.seeks.end()) {
+      b.NodeByIdSeek(first.var, labels_.at(first.var), seek->second);
+    } else {
+      b.ScanByLabel(first.var, labels_.at(first.var));
+    }
+    bound_.insert(first.var);
+    GES_RETURN_IF_ERROR(EmitVarPredicates(&b, first.var));
+
+    // Expansion chain. Single-variable predicates are pushed right behind
+    // the expansion that binds them (FilterPushDown fodder).
+    for (size_t i = 0; i < q_.edges.size(); ++i) {
+      const EdgePat& e = q_.edges[i];
+      const NodePat& from = q_.nodes[i];
+      const NodePat& to = q_.nodes[i + 1];
+      LabelId edge_label = catalog_.EdgeLabel(e.type);
+      if (edge_label == kInvalidLabel) {
+        return Status::NotFound("edge type " + e.type);
+      }
+      RelationId rel = graph_.FindRelation(
+          labels_.at(from.var), edge_label, labels_.at(to.var),
+          e.outgoing ? Direction::kOut : Direction::kIn);
+      if (rel == kInvalidRelation) {
+        return Status::NotFound("no relation " + from.label + "-[" + e.type +
+                                "]-" + to.label);
+      }
+      bool multi = e.max_hops > 1;
+      b.Expand(from.var, to.var, {rel}, e.min_hops, e.max_hops,
+               /*distinct=*/multi, /*exclude_start=*/multi);
+      bound_.insert(to.var);
+      GES_RETURN_IF_ERROR(EmitVarPredicates(&b, to.var));
+    }
+
+    // Cross-variable predicates after the chain.
+    for (const Comparison& cmp : q_.where) {
+      if (emitted_.count(&cmp) != 0) continue;
+      GES_RETURN_IF_ERROR(EmitProperty(&b, cmp.lhs));
+      if (cmp.rhs_prop.has_value()) {
+        GES_RETURN_IF_ERROR(EmitProperty(&b, *cmp.rhs_prop));
+      }
+      b.Filter(BuildCmpExpr(cmp));
+    }
+
+    // RETURN / ORDER BY property fetches and the final shape.
+    std::vector<std::string> output;
+    for (const ReturnItem& item : q_.returns) {
+      if (item.is_prop) {
+        GES_RETURN_IF_ERROR(EmitProperty(&b, item.prop));
+      } else if (bound_.count(item.var) == 0) {
+        return Status::NotFound("unbound variable " + item.var);
+      }
+      output.push_back(item.ColumnName());
+    }
+    std::vector<SortKey> keys;
+    for (const SortItem& key : q_.order_by) {
+      if (key.item.is_prop) {
+        GES_RETURN_IF_ERROR(EmitProperty(&b, key.item.prop));
+      }
+      keys.push_back(SortKey{key.item.ColumnName(), key.ascending});
+    }
+    if (!keys.empty()) {
+      b.OrderBy(std::move(keys),
+                q_.limit.value_or(std::numeric_limits<uint64_t>::max()));
+    } else if (q_.limit.has_value()) {
+      b.Limit(*q_.limit);
+    }
+    b.Output(std::move(output));
+    *plan = b.Build();
+    return Status::OK();
+  }
+
+ private:
+  Status ResolveLabels() {
+    for (const NodePat& n : q_.nodes) {
+      if (n.label.empty()) {
+        return Status::InvalidArgument("node " + n.var + " needs a :LABEL");
+      }
+      LabelId label = catalog_.VertexLabel(n.label);
+      if (label == kInvalidLabel) {
+        return Status::NotFound("vertex label " + n.label);
+      }
+      labels_[n.var] = label;
+    }
+    return Status::OK();
+  }
+
+  // Emits a GetProperty op for `ref` unless the column already exists.
+  Status EmitProperty(PlanBuilder* b, const PropRef& ref) {
+    if (fetched_.count(ref) != 0) return Status::OK();
+    if (bound_.count(ref.var) == 0) {
+      return Status::NotFound("unbound variable " + ref.var);
+    }
+    PropertyId prop = catalog_.Property(ref.prop);
+    if (prop == kInvalidProperty) {
+      return Status::NotFound("property " + ref.prop);
+    }
+    ValueType type = catalog_.PropertyType(labels_.at(ref.var), prop);
+    if (type == ValueType::kNull) {
+      return Status::NotFound("property " + ref.prop + " on label of '" +
+                              ref.var + "'");
+    }
+    b->GetProperty(ref.var, prop, type, ref.ColumnName());
+    fetched_.insert(ref);
+    return Status::OK();
+  }
+
+  ExprPtr BuildCmpExpr(const Comparison& cmp) {
+    ExprPtr lhs = Expr::Col(cmp.lhs.ColumnName());
+    ExprPtr rhs = cmp.rhs_prop.has_value()
+                      ? Expr::Col(cmp.rhs_prop->ColumnName())
+                      : Expr::Lit(*cmp.rhs_literal);
+    return Expr::Cmp(cmp.op, std::move(lhs), std::move(rhs));
+  }
+
+  Status EmitVarPredicates(PlanBuilder* b, const std::string& var) {
+    for (const Comparison& cmp : q_.where) {
+      if (emitted_.count(&cmp) != 0) continue;
+      if (cmp.lhs.var != var || cmp.rhs_prop.has_value()) continue;
+      GES_RETURN_IF_ERROR(EmitProperty(b, cmp.lhs));
+      b->Filter(BuildCmpExpr(cmp));
+      emitted_.insert(&cmp);
+    }
+    return Status::OK();
+  }
+
+  const ParsedQuery& q_;
+  const Graph& graph_;
+  const Catalog& catalog_;
+  std::map<std::string, LabelId> labels_;
+  std::set<std::string> bound_;
+  std::set<PropRef> fetched_;
+  std::set<const Comparison*> emitted_;
+};
+
+}  // namespace
+
+Status CompileQuery(const std::string& query, const Graph& graph,
+                    Plan* plan) {
+  ParsedQuery parsed;
+  Parser parser(query);
+  GES_RETURN_IF_ERROR(parser.Parse(&parsed));
+  if (parsed.nodes.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  Compiler compiler(parsed, graph);
+  return compiler.Compile(plan);
+}
+
+}  // namespace ges

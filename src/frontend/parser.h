@@ -1,0 +1,43 @@
+// A small declarative frontend: a Cypher-like pattern language compiled to
+// physical plans. This is the frontend-layer module of the composable
+// architecture (Figure 1): parse -> IR -> physical plan, handed to the
+// execution engine.
+//
+// Supported grammar (one linear MATCH chain):
+//
+//   query     := MATCH pattern [WHERE conj] RETURN items
+//                [ORDER BY keys] [LIMIT n]
+//   pattern   := node (edge node)*
+//   node      := '(' var [':' LABEL] ')'
+//   edge      := '-[' [':' TYPE] ['*' min '..' max] ']->' | '<-[...]-'
+//   conj      := cmp (AND cmp)*
+//   cmp       := operand op operand | id '(' var ')' '=' int
+//   operand   := var '.' prop | literal
+//   items     := item (',' item)*      item := var | var '.' prop
+//   keys      := key (',' key)*        key  := item [ASC|DESC]
+//
+// Example:
+//   MATCH (p:PERSON)-[:KNOWS*1..2]->(f:PERSON)<-[:HAS_CREATOR]-(m:POST)
+//   WHERE id(p) = 5 AND m.length > 100
+//   RETURN f.id, m.id, m.length
+//   ORDER BY m.length DESC, f.id ASC LIMIT 10
+#ifndef GES_FRONTEND_PARSER_H_
+#define GES_FRONTEND_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "executor/plan.h"
+#include "storage/graph.h"
+
+namespace ges {
+
+// Compiles `query` against `graph`'s catalog. On success fills `*plan`.
+// Filters referencing a single property adjacent to their producing Expand
+// are left for the optimizer to fuse; seeks are detected from `id(v) = N`
+// predicates on the first pattern node.
+Status CompileQuery(const std::string& query, const Graph& graph, Plan* plan);
+
+}  // namespace ges
+
+#endif  // GES_FRONTEND_PARSER_H_

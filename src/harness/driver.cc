@@ -1,0 +1,158 @@
+#include "harness/driver.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace ges {
+
+LatencyRecorder DriverReport::Aggregate(QueryKind kind) const {
+  const char* prefix = kind == QueryKind::kIC   ? "IC"
+                       : kind == QueryKind::kIS ? "IS"
+                                                : "IU";
+  LatencyRecorder agg;
+  for (const auto& [name, rec] : per_query) {
+    if (name.rfind(prefix, 0) == 0) agg.Merge(rec);
+  }
+  return agg;
+}
+
+Driver::Driver(Graph* graph, const SnbData* data)
+    : graph_(graph),
+      data_(data),
+      ctx_(LdbcContext::Resolve(*graph, data->schema)),
+      params_(graph, data, /*seed=*/0x5eed) {}
+
+DriverReport Driver::Run(const DriverConfig& config) {
+  std::vector<MixEntry> mix = config.mix.empty() ? DefaultMix() : config.mix;
+  if (!config.include_updates) {
+    std::vector<MixEntry> filtered;
+    for (const MixEntry& e : mix) {
+      if (e.query.kind != QueryKind::kIU) filtered.push_back(e);
+    }
+    mix = std::move(filtered);
+  }
+  MixSampler sampler(std::move(mix));
+  Executor executor(config.mode, config.options);
+
+  const bool timed = config.duration_seconds > 0;
+  const size_t num_windows =
+      config.trace_window_seconds > 0 && timed
+          ? static_cast<size_t>(config.duration_seconds /
+                                config.trace_window_seconds) +
+                2
+          : 0;
+
+  struct WindowCounters {
+    std::atomic<uint64_t> ic{0}, is{0}, iu{0};
+  };
+  std::vector<WindowCounters> windows(num_windows);
+
+  std::atomic<uint64_t> ops_budget{config.total_ops};
+  std::atomic<bool> stop{false};
+
+  struct WorkerResult {
+    std::map<std::string, LatencyRecorder> per_query;
+    uint64_t completed = 0;
+  };
+  std::vector<WorkerResult> results(config.threads);
+
+  Timer wall;
+  auto worker = [&](int tid) {
+    Rng rng(config.seed * 0x9e3779b9 + static_cast<uint64_t>(tid) + 1);
+    WorkerResult& res = results[tid];
+    uint64_t op_seed = config.seed + static_cast<uint64_t>(tid) * 1000003;
+    while (true) {
+      if (timed) {
+        if (wall.ElapsedSeconds() >= config.duration_seconds) break;
+      } else {
+        uint64_t remaining = ops_budget.load(std::memory_order_relaxed);
+        if (remaining == 0) break;
+        if (!ops_budget.compare_exchange_weak(remaining, remaining - 1)) {
+          continue;
+        }
+      }
+      if (stop.load(std::memory_order_relaxed)) break;
+
+      QueryRef q = sampler.Sample(rng);
+      Timer t;
+      switch (q.kind) {
+        case QueryKind::kIC: {
+          LdbcParams p = params_.Next();
+          Plan plan = BuildIC(q.number, ctx_, p);
+          GraphView view(graph_);
+          executor.Run(plan, view);
+          break;
+        }
+        case QueryKind::kIS: {
+          LdbcParams p = params_.Next();
+          Plan plan = BuildIS(q.number, ctx_, p);
+          GraphView view(graph_);
+          executor.Run(plan, view);
+          break;
+        }
+        case QueryKind::kIU: {
+          RunIU(q.number, ctx_, graph_, &params_, ++op_seed);
+          break;
+        }
+      }
+      double ms = t.ElapsedMillis();
+      res.per_query[q.Name()].Add(ms);
+      ++res.completed;
+      if (num_windows > 0) {
+        size_t w = static_cast<size_t>(wall.ElapsedSeconds() /
+                                       config.trace_window_seconds);
+        if (w < num_windows) {
+          switch (q.kind) {
+            case QueryKind::kIC:
+              windows[w].ic.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case QueryKind::kIS:
+              windows[w].is.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case QueryKind::kIU:
+              windows[w].iu.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.threads);
+  for (int t = 0; t < config.threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::thread& t : threads) t.join();
+
+  DriverReport report;
+  report.elapsed_seconds = wall.ElapsedSeconds();
+  for (const WorkerResult& res : results) {
+    report.completed += res.completed;
+    for (const auto& [name, rec] : res.per_query) {
+      report.per_query[name].Merge(rec);
+    }
+  }
+  report.throughput =
+      report.elapsed_seconds > 0
+          ? static_cast<double>(report.completed) / report.elapsed_seconds
+          : 0;
+  // Only full windows are reported (the run stops mid-window).
+  size_t full_windows =
+      num_windows == 0
+          ? 0
+          : std::min(num_windows,
+                     static_cast<size_t>(config.duration_seconds /
+                                         config.trace_window_seconds));
+  for (size_t w = 0; w < full_windows; ++w) {
+    report.trace.push_back(TraceWindow{windows[w].ic.load(),
+                                       windows[w].is.load(),
+                                       windows[w].iu.load()});
+  }
+  return report;
+}
+
+}  // namespace ges

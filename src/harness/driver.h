@@ -1,0 +1,74 @@
+// The benchmark driver: fires the LDBC mix at the engine from N worker
+// threads, collects per-query latency and windowed throughput.
+//
+// This is the in-process equivalent of the LDBC driver machine (see
+// DESIGN.md substitutions): queries are generated with curated parameters,
+// executed against a snapshot, validated to be non-empty where applicable,
+// and logged per query type.
+#ifndef GES_HARNESS_DRIVER_H_
+#define GES_HARNESS_DRIVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "executor/executor.h"
+#include "harness/stats.h"
+#include "harness/workload.h"
+#include "queries/ldbc.h"
+
+namespace ges {
+
+struct DriverConfig {
+  ExecMode mode = ExecMode::kFactorizedFused;
+  ExecOptions options;
+  int threads = 1;
+  // Run either a fixed number of operations...
+  uint64_t total_ops = 1000;
+  // ...or for a duration (takes precedence when > 0).
+  double duration_seconds = 0;
+  uint64_t seed = 7;
+  bool include_updates = true;
+  // Windowed throughput trace (Figure 14); 0 disables.
+  double trace_window_seconds = 0;
+  std::vector<MixEntry> mix;  // empty = DefaultMix()
+};
+
+struct TraceWindow {
+  uint64_t ic = 0;
+  uint64_t is = 0;
+  uint64_t iu = 0;
+  uint64_t total() const { return ic + is + iu; }
+};
+
+struct DriverReport {
+  double elapsed_seconds = 0;
+  uint64_t completed = 0;
+  double throughput = 0;  // ops/second
+  std::map<std::string, LatencyRecorder> per_query;
+  std::vector<TraceWindow> trace;
+
+  LatencyRecorder Aggregate(QueryKind kind) const;
+};
+
+class Driver {
+ public:
+  // `graph` must be bulk-loaded; updates run as MV2PL transactions against
+  // it while reads use snapshots.
+  Driver(Graph* graph, const SnbData* data);
+
+  DriverReport Run(const DriverConfig& config);
+
+  const LdbcContext& context() const { return ctx_; }
+  ParamGen& params() { return params_; }
+
+ private:
+  Graph* graph_;
+  const SnbData* data_;
+  LdbcContext ctx_;
+  ParamGen params_;
+};
+
+}  // namespace ges
+
+#endif  // GES_HARNESS_DRIVER_H_

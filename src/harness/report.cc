@@ -1,0 +1,73 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ges {
+
+std::string HumanBytes(size_t bytes) {
+  char buf[32];
+  double b = static_cast<double>(bytes);
+  if (b >= 1024.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB", b / (1024.0 * 1024 * 1024));
+  } else if (b >= 1024.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / (1024.0 * 1024));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+std::string HumanMillis(double ms) {
+  char buf[32];
+  if (ms >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ms / 1000);
+  } else if (ms >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
+  }
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << rows_[r][i];
+      for (size_t pad = rows_[r][i].size(); pad < width[i]; ++pad) os << ' ';
+    }
+    os << '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t i = 0; i < width.size(); ++i) {
+        total += width[i] + (i == 0 ? 0 : 2);
+      }
+      for (size_t i = 0; i < total; ++i) os << '-';
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace ges

@@ -1,0 +1,30 @@
+// Plain-text table formatting for bench output.
+#ifndef GES_HARNESS_REPORT_H_
+#define GES_HARNESS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ges {
+
+// "1.5 KB", "435.2 MB", ...
+std::string HumanBytes(size_t bytes);
+// "1.25 ms", "3.4 s", ...
+std::string HumanMillis(double ms);
+
+// Fixed-width table printer.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ges
+
+#endif  // GES_HARNESS_REPORT_H_

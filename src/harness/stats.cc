@@ -1,0 +1,47 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ges {
+
+double LatencyRecorder::Sum() const {
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double LatencyRecorder::Mean() const {
+  return samples_.empty() ? 0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Min() const {
+  return samples_.empty()
+             ? 0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyRecorder::Max() const {
+  return samples_.empty()
+             ? 0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+void LatencyRecorder::EnsureSorted() const {
+  if (sorted_) return;
+  auto* self = const_cast<LatencyRecorder*>(this);
+  std::sort(self->samples_.begin(), self->samples_.end());
+  self->sorted_ = true;
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace ges

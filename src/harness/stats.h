@@ -1,0 +1,41 @@
+// Latency statistics for benchmark reporting.
+#ifndef GES_HARNESS_STATS_H_
+#define GES_HARNESS_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ges {
+
+// Collects latency samples (milliseconds) and answers mean / percentile
+// queries. Not thread-safe; the driver keeps one per worker and merges.
+class LatencyRecorder {
+ public:
+  void Add(double ms) {
+    samples_.push_back(ms);
+    sorted_ = false;
+  }
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // p in [0, 100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace ges
+
+#endif  // GES_HARNESS_STATS_H_

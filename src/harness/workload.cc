@@ -1,0 +1,56 @@
+#include "harness/workload.h"
+
+namespace ges {
+
+std::string QueryRef::Name() const {
+  const char* prefix = kind == QueryKind::kIC   ? "IC"
+                       : kind == QueryKind::kIS ? "IS"
+                                                : "IU";
+  return prefix + std::to_string(number);
+}
+
+std::vector<MixEntry> DefaultMix() {
+  // Relative frequency factors of the complex reads from the LDBC SNB
+  // interactive spec ("1 in N operations"); larger factor = rarer query.
+  static const double kIcFactor[14] = {26,  37, 69, 36, 57, 129, 87,
+                                       45, 157, 30, 16, 44, 19,  49};
+  std::vector<MixEntry> mix;
+  // Complex reads: 25% of operations, split by inverse factor.
+  double ic_inv_sum = 0;
+  for (double f : kIcFactor) ic_inv_sum += 1.0 / f;
+  for (int k = 1; k <= 14; ++k) {
+    mix.push_back(MixEntry{QueryRef{QueryKind::kIC, k},
+                           0.25 * (1.0 / kIcFactor[k - 1]) / ic_inv_sum});
+  }
+  // Short reads: 65%, uniform.
+  for (int k = 1; k <= 7; ++k) {
+    mix.push_back(MixEntry{QueryRef{QueryKind::kIS, k}, 0.65 / 7});
+  }
+  // Updates: 10%, skewed toward likes/comments/posts as in the benchmark.
+  static const double kIuShare[8] = {0.02, 0.30, 0.20, 0.02,
+                                     0.06, 0.15, 0.20, 0.05};
+  for (int k = 1; k <= 8; ++k) {
+    mix.push_back(MixEntry{QueryRef{QueryKind::kIU, k}, 0.10 * kIuShare[k - 1]});
+  }
+  return mix;
+}
+
+MixSampler::MixSampler(std::vector<MixEntry> mix) : mix_(std::move(mix)) {
+  double total = 0;
+  for (const MixEntry& e : mix_) total += e.weight;
+  double acc = 0;
+  for (const MixEntry& e : mix_) {
+    acc += e.weight / total;
+    cumulative_.push_back(acc);
+  }
+}
+
+QueryRef MixSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  for (size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u <= cumulative_[i]) return mix_[i].query;
+  }
+  return mix_.back().query;
+}
+
+}  // namespace ges

@@ -1,0 +1,46 @@
+// The LDBC SNB Interactive query mix.
+#ifndef GES_HARNESS_WORKLOAD_H_
+#define GES_HARNESS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ges {
+
+enum class QueryKind : uint8_t { kIC, kIS, kIU };
+
+struct QueryRef {
+  QueryKind kind;
+  int number;  // IC: 1..14, IS: 1..7, IU: 1..8
+
+  std::string Name() const;
+};
+
+// One weighted entry of the mix.
+struct MixEntry {
+  QueryRef query;
+  double weight;
+};
+
+// The default operation mix, approximating the LDBC SNB Interactive
+// workload: short reads dominate the operation count, complex reads carry
+// the computational weight (individual IC frequencies follow the spec's
+// relative frequency factors), and ~10% of operations are updates.
+std::vector<MixEntry> DefaultMix();
+
+// Samples queries from a mix by cumulative weight.
+class MixSampler {
+ public:
+  explicit MixSampler(std::vector<MixEntry> mix);
+  QueryRef Sample(Rng& rng) const;
+
+ private:
+  std::vector<MixEntry> mix_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace ges
+
+#endif  // GES_HARNESS_WORKLOAD_H_

@@ -1,0 +1,466 @@
+// Interactive complex read queries IC1-IC14 (LDBC SNB Interactive v1,
+// adapted to the synthetic schema; see README for the documented
+// simplifications).
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "queries/ldbc.h"
+
+namespace ges {
+
+namespace {
+
+using E = Expr;
+
+Value Str(const std::string& s) { return Value::String(s); }
+Value I(int64_t v) { return Value::Int(v); }
+
+// IC1: friends (1..3 hops) with a given first name; profile sorted by
+// distance, last name, id.
+Plan IC1(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC1");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .ExpandEx("p", "f", {c.knows}, 1, 3, /*distinct=*/true,
+                /*exclude_start=*/true, "dist", "")
+      .GetProperty("f", c.s.first_name, ValueType::kString, "f_first")
+      .Filter(E::Eq(E::Col("f_first"), E::Lit(Str(p.first_name))))
+      .GetProperty("f", c.s.last_name, ValueType::kString, "f_last")
+      .GetProperty("f", c.p_id, ValueType::kInt64, "f_id")
+      .GetProperty("f", c.s.birthday, ValueType::kDate, "f_birthday")
+      .OrderBy({{"dist", true}, {"f_last", true}, {"f_id", true}}, 20)
+      .Output({"f_id", "f_last", "dist", "f_birthday"});
+  return b.Build();
+}
+
+// IC2: recent messages (<= maxDate) of direct friends; newest 20.
+Plan IC2(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC2");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows})
+      .Expand("f", "msg", {c.person_posts, c.person_comments})
+      .GetProperty("msg", c.p_creation, ValueType::kDate, "m_date")
+      .Filter(E::Le(E::Col("m_date"), E::Lit(Value::Date(p.max_date))))
+      .GetProperty("msg", c.p_id, ValueType::kInt64, "m_id")
+      .GetProperty("f", c.p_id, ValueType::kInt64, "f_id")
+      .OrderBy({{"m_date", false}, {"m_id", true}}, 20)
+      .Output({"f_id", "m_id", "m_date"});
+  return b.Build();
+}
+
+// IC3: friends (1..2 hops) whose messages in a window were located in
+// countries X and Y; counts per friend, both > 0. The country check makes
+// the pattern cyclic in spirit (two correlated counts), so the factorized
+// engine de-factors here — matching the paper's Table 2 note on IC3.
+Plan IC3(const LdbcContext& c, const LdbcParams& p) {
+  int64_t end = p.min_date + p.duration_days * kMillisPerDay;
+  PlanBuilder b("IC3");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows}, 1, 2, /*distinct=*/true,
+              /*exclude_start=*/true)
+      .Expand("f", "msg", {c.person_posts, c.person_comments})
+      .GetProperty("msg", c.p_creation, ValueType::kDate, "m_date")
+      .Filter(E::And(E::Ge(E::Col("m_date"), E::Lit(Value::Date(p.min_date))),
+                     E::Lt(E::Col("m_date"), E::Lit(Value::Date(end)))))
+      .Expand("msg", "country", {c.post_country, c.comment_country})
+      .GetProperty("country", c.p_name, ValueType::kString, "c_name")
+      .Filter(E::Or(E::Eq(E::Col("c_name"), E::Lit(Str(p.country_x))),
+                    E::Eq(E::Col("c_name"), E::Lit(Str(p.country_y)))))
+      .GetProperty("f", c.p_id, ValueType::kInt64, "f_id")
+      .Project({}, {ComputedColumn{
+                        E::Mul(E::Lit(I(1)),
+                               E::Eq(E::Col("c_name"), E::Lit(Str(p.country_x)))),
+                        "is_x", ValueType::kInt64},
+                    ComputedColumn{
+                        E::Mul(E::Lit(I(1)),
+                               E::Eq(E::Col("c_name"), E::Lit(Str(p.country_y)))),
+                        "is_y", ValueType::kInt64}})
+      .Aggregate({"f_id"}, {AggSpec{AggSpec::kSum, "is_x", "cnt_x"},
+                            AggSpec{AggSpec::kSum, "is_y", "cnt_y"}})
+      .Filter(E::And(E::Gt(E::Col("cnt_x"), E::Lit(I(0))),
+                     E::Gt(E::Col("cnt_y"), E::Lit(I(0)))))
+      .Project({{"f_id", "f_id"}, {"cnt_x", "cnt_x"}, {"cnt_y", "cnt_y"}},
+               {ComputedColumn{E::Add(E::Col("cnt_x"), E::Col("cnt_y")),
+                               "total", ValueType::kInt64}})
+      .OrderBy({{"total", false}, {"f_id", true}}, 20)
+      .Output({"f_id", "cnt_x", "cnt_y", "total"});
+  return b.Build();
+}
+
+// IC4: tags of posts created by direct friends inside a window; counts.
+Plan IC4(const LdbcContext& c, const LdbcParams& p) {
+  int64_t end = p.min_date + p.duration_days * kMillisPerDay;
+  PlanBuilder b("IC4");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows})
+      .Expand("f", "post", {c.person_posts})
+      .GetProperty("post", c.p_creation, ValueType::kDate, "p_date")
+      .Filter(E::And(E::Ge(E::Col("p_date"), E::Lit(Value::Date(p.min_date))),
+                     E::Lt(E::Col("p_date"), E::Lit(Value::Date(end)))))
+      .Expand("post", "tag", {c.post_tags})
+      .GetProperty("tag", c.p_name, ValueType::kString, "t_name")
+      .Aggregate({"t_name"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .OrderBy({{"cnt", false}, {"t_name", true}}, 10)
+      .Output({"t_name", "cnt"});
+  return b.Build();
+}
+
+// IC5: forums that friends (1..2 hops) joined after minDate; rank forums by
+// the number of posts in them (reached through the joining friends). This
+// is the paper's showcase for AggregateProjectTop fusion.
+Plan IC5(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC5");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows}, 1, 2, /*distinct=*/true,
+              /*exclude_start=*/true)
+      .ExpandEx("f", "forum", {c.person_member_of}, 1, 1, false, false, "",
+                "joinDate")
+      .Filter(E::Gt(E::Col("joinDate"), E::Lit(Value::Date(p.min_date))))
+      .Expand("forum", "post", {c.forum_posts})
+      .GetProperty("forum", c.p_id, ValueType::kInt64, "forum_id")
+      .Aggregate({"forum_id"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .OrderBy({{"cnt", false}, {"forum_id", true}}, 20)
+      .Output({"forum_id", "cnt"});
+  return b.Build();
+}
+
+// IC6: tags co-occurring with a given tag on posts of friends (1..2 hops).
+Plan IC6(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC6");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows}, 1, 2, /*distinct=*/true,
+              /*exclude_start=*/true)
+      .Expand("f", "post", {c.person_posts})
+      .Expand("post", "t1", {c.post_tags})
+      .GetProperty("t1", c.p_name, ValueType::kString, "t1_name")
+      .Filter(E::Eq(E::Col("t1_name"), E::Lit(Str(p.tag_name))))
+      .Expand("post", "t2", {c.post_tags})
+      .GetProperty("t2", c.p_name, ValueType::kString, "t2_name")
+      .Filter(E::Ne(E::Col("t2_name"), E::Lit(Str(p.tag_name))))
+      .Aggregate({"t2_name"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .OrderBy({{"cnt", false}, {"t2_name", true}}, 10)
+      .Output({"t2_name", "cnt"});
+  return b.Build();
+}
+
+// IC7: most recent likers of the person's messages.
+Plan IC7(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC7");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "msg", {c.person_posts, c.person_comments})
+      .ExpandEx("msg", "liker", {c.post_likers, c.comment_likers}, 1, 1,
+                false, false, "", "likeDate")
+      .GetProperty("liker", c.p_id, ValueType::kInt64, "liker_id")
+      .GetProperty("msg", c.p_id, ValueType::kInt64, "m_id")
+      .OrderBy({{"likeDate", false}, {"liker_id", true}}, 20)
+      .Output({"liker_id", "likeDate", "m_id"});
+  return b.Build();
+}
+
+// IC8: most recent replies to the person's messages.
+Plan IC8(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC8");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "msg", {c.person_posts, c.person_comments})
+      .Expand("msg", "reply", {c.post_replies, c.comment_replies})
+      .GetProperty("reply", c.p_creation, ValueType::kDate, "r_date")
+      .GetProperty("reply", c.p_id, ValueType::kInt64, "r_id")
+      .OrderBy({{"r_date", false}, {"r_id", true}}, 20)
+      .Output({"r_id", "r_date"});
+  return b.Build();
+}
+
+// IC9: recent messages (< maxDate) by friends within 2 hops; newest 20.
+// The paper's running example (Figure 8) has this shape.
+Plan IC9(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC9");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows}, 1, 2, /*distinct=*/true,
+              /*exclude_start=*/true)
+      .Expand("f", "msg", {c.person_posts, c.person_comments})
+      .GetProperty("msg", c.p_creation, ValueType::kDate, "m_date")
+      .Filter(E::Lt(E::Col("m_date"), E::Lit(Value::Date(p.max_date))))
+      .GetProperty("msg", c.p_id, ValueType::kInt64, "m_id")
+      .GetProperty("f", c.p_id, ValueType::kInt64, "f_id")
+      .OrderBy({{"m_date", false}, {"m_id", true}}, 20)
+      .Output({"f_id", "m_id", "m_date"});
+  return b.Build();
+}
+
+// IC10: friend recommendation — friends-of-friends born in the given month,
+// scored by how many of their posts carry one of the start person's
+// interest tags. The interest check is a cyclic edge test (ExpandInto), so
+// execution reverts to flat — matching the paper's note on IC10.
+Plan IC10(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC10");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "fof", {c.knows}, 2, 2, /*distinct=*/true,
+              /*exclude_start=*/true)
+      .GetProperty("fof", c.s.birthday_month, ValueType::kInt64, "b_month")
+      .Filter(E::Eq(E::Col("b_month"), E::Lit(I(p.month))))
+      .Expand("fof", "post", {c.person_posts})
+      .Expand("post", "tag", {c.post_tags})
+      .ExpandInto("p", "tag", {c.person_interests}, /*anti=*/false)
+      .GetProperty("fof", c.p_id, ValueType::kInt64, "fof_id")
+      .Aggregate({"fof_id"}, {AggSpec{AggSpec::kCount, "", "common"}})
+      .OrderBy({{"common", false}, {"fof_id", true}}, 10)
+      .Output({"fof_id", "common"});
+  return b.Build();
+}
+
+// IC11: friends (1..2 hops) who worked at a company in country X starting
+// before the given year.
+Plan IC11(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC11");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows}, 1, 2, /*distinct=*/true,
+              /*exclude_start=*/true)
+      .ExpandEx("f", "org", {c.person_work_at}, 1, 1, false, false, "",
+                "workFrom")
+      .Filter(E::Lt(E::Col("workFrom"), E::Lit(I(p.work_year))))
+      .Expand("org", "country", {c.org_place})
+      .GetProperty("country", c.p_name, ValueType::kString, "c_name")
+      .Filter(E::Eq(E::Col("c_name"), E::Lit(Str(p.country_x))))
+      .GetProperty("org", c.p_name, ValueType::kString, "o_name")
+      .GetProperty("f", c.p_id, ValueType::kInt64, "f_id")
+      .OrderBy({{"workFrom", true}, {"f_id", true}, {"o_name", false}}, 10)
+      .Output({"f_id", "o_name", "workFrom"});
+  return b.Build();
+}
+
+// IC12: expert search — direct friends whose comments reply to posts tagged
+// with a tag of the given tag class; count distinct comments per friend.
+Plan IC12(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC12");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "f", {c.knows})
+      .Expand("f", "cmt", {c.person_comments})
+      .Expand("cmt", "post", {c.comment_reply_of_post})
+      .Expand("post", "tag", {c.post_tags})
+      .Expand("tag", "cls", {c.tag_class})
+      .GetProperty("cls", c.p_name, ValueType::kString, "cls_name")
+      .Filter(E::Eq(E::Col("cls_name"), E::Lit(Str(p.tag_class))))
+      .GetProperty("f", c.p_id, ValueType::kInt64, "f_id")
+      .Aggregate({"f_id"}, {AggSpec{AggSpec::kCountDistinct, "cmt", "cnt"}})
+      .OrderBy({{"cnt", false}, {"f_id", true}}, 20)
+      .Output({"f_id", "cnt"});
+  return b.Build();
+}
+
+// --- IC13 / IC14: path queries, implemented as stored procedures (the
+// paper treats traversal operators the same way; their intermediate data is
+// not factorizable and is excluded from Table 2 accounting). ---
+
+// Unweighted BFS distance between two persons (-1 if unreachable).
+int BfsDistance(const GraphView& view, RelationId knows, VertexId a,
+                VertexId b, std::vector<VertexId>* parents_out = nullptr) {
+  if (a == b) return 0;
+  std::unordered_map<VertexId, VertexId> parent;
+  std::deque<std::pair<VertexId, int>> queue;
+  queue.emplace_back(a, 0);
+  parent[a] = a;
+  while (!queue.empty()) {
+    auto [v, d] = queue.front();
+    queue.pop_front();
+    AdjSpan span = view.Neighbors(knows, v);
+    for (uint32_t i = 0; i < span.size; ++i) {
+      VertexId w = span.ids[i];
+      if (w == kInvalidVertex || parent.count(w) != 0) continue;
+      parent[w] = v;
+      if (w == b) {
+        if (parents_out != nullptr) {
+          for (VertexId x = b; x != a; x = parent[x]) {
+            parents_out->push_back(x);
+          }
+          parents_out->push_back(a);
+          std::reverse(parents_out->begin(), parents_out->end());
+        }
+        return d + 1;
+      }
+      queue.emplace_back(w, d + 1);
+    }
+  }
+  return -1;
+}
+
+Plan IC13(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC13");
+  LdbcContext ctx = c;
+  int64_t p1 = p.person;
+  int64_t p2 = p.person2;
+  b.Procedure([ctx, p1, p2](const GraphView& view) {
+    Schema s;
+    s.Add("length", ValueType::kInt64);
+    FlatBlock out(s);
+    VertexId a = view.FindByExtId(ctx.s.person, p1);
+    VertexId bb = view.FindByExtId(ctx.s.person, p2);
+    int d = (a == kInvalidVertex || bb == kInvalidVertex)
+                ? -1
+                : BfsDistance(view, ctx.knows, a, bb);
+    out.AppendRow({Value::Int(d)});
+    return out;
+  });
+  b.Output({"length"});
+  return b.Build();
+}
+
+// IC14: all shortest paths between two persons (capped), each weighted by
+// the reply interactions along the path: a comment replying to a post adds
+// 1.0, a comment replying to a comment adds 0.5, counted in both directions
+// for every adjacent person pair.
+Plan IC14(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IC14");
+  LdbcContext ctx = c;
+  int64_t p1 = p.person;
+  int64_t p2 = p.person2;
+  b.Procedure([ctx, p1, p2](const GraphView& view) {
+    constexpr size_t kMaxPaths = 100;
+    Schema s;
+    s.Add("weight", ValueType::kDouble);
+    s.Add("length", ValueType::kInt64);
+    FlatBlock out(s);
+    VertexId src = view.FindByExtId(ctx.s.person, p1);
+    VertexId dst = view.FindByExtId(ctx.s.person, p2);
+    if (src == kInvalidVertex || dst == kInvalidVertex) return out;
+
+    // BFS layering with multi-parent tracking.
+    std::unordered_map<VertexId, int> dist;
+    std::unordered_map<VertexId, std::vector<VertexId>> preds;
+    std::deque<VertexId> queue{src};
+    dist[src] = 0;
+    int found_at = -1;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      int d = dist[v];
+      if (found_at >= 0 && d >= found_at) break;
+      AdjSpan span = view.Neighbors(ctx.knows, v);
+      for (uint32_t i = 0; i < span.size; ++i) {
+        VertexId w = span.ids[i];
+        if (w == kInvalidVertex) continue;
+        auto it = dist.find(w);
+        if (it == dist.end()) {
+          dist[w] = d + 1;
+          preds[w].push_back(v);
+          if (w == dst) found_at = d + 1;
+          queue.push_back(w);
+        } else if (it->second == d + 1) {
+          preds[w].push_back(v);
+        }
+      }
+    }
+    if (dist.count(dst) == 0) return out;
+
+    // Enumerate shortest paths (DFS over preds), capped.
+    std::vector<std::vector<VertexId>> paths;
+    std::vector<VertexId> cur{dst};
+    std::function<void(VertexId)> walk = [&](VertexId v) {
+      if (paths.size() >= kMaxPaths) return;
+      if (v == src) {
+        std::vector<VertexId> path(cur.rbegin(), cur.rend());
+        paths.push_back(std::move(path));
+        return;
+      }
+      for (VertexId u : preds[v]) {
+        cur.push_back(u);
+        walk(u);
+        cur.pop_back();
+      }
+    };
+    walk(dst);
+
+    // Interaction weight of an adjacent pair, cached.
+    std::unordered_map<uint64_t, double> pair_weight;
+    auto weight_of = [&](VertexId a, VertexId bb) {
+      uint64_t key = a < bb ? (a << 32 | bb) : (bb << 32 | a);
+      auto it = pair_weight.find(key);
+      if (it != pair_weight.end()) return it->second;
+      double w = 0;
+      for (auto [x, y] : {std::pair<VertexId, VertexId>{a, bb},
+                          std::pair<VertexId, VertexId>{bb, a}}) {
+        AdjSpan comments = view.Neighbors(ctx.person_comments, x);
+        for (uint32_t i = 0; i < comments.size; ++i) {
+          VertexId cmt = comments.ids[i];
+          if (cmt == kInvalidVertex) continue;
+          AdjSpan rp = view.Neighbors(ctx.comment_reply_of_post, cmt);
+          for (uint32_t j = 0; j < rp.size; ++j) {
+            if (rp.ids[j] == kInvalidVertex) continue;
+            AdjSpan creator = view.Neighbors(ctx.post_has_creator, rp.ids[j]);
+            for (uint32_t k = 0; k < creator.size; ++k) {
+              if (creator.ids[k] == y) w += 1.0;
+            }
+          }
+          AdjSpan rc = view.Neighbors(ctx.comment_reply_of_comment, cmt);
+          for (uint32_t j = 0; j < rc.size; ++j) {
+            if (rc.ids[j] == kInvalidVertex) continue;
+            AdjSpan creator =
+                view.Neighbors(ctx.comment_has_creator, rc.ids[j]);
+            for (uint32_t k = 0; k < creator.size; ++k) {
+              if (creator.ids[k] == y) w += 0.5;
+            }
+          }
+        }
+      }
+      pair_weight[key] = w;
+      return w;
+    };
+
+    std::vector<std::pair<double, int64_t>> rows;
+    for (const auto& path : paths) {
+      double w = 0;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        w += weight_of(path[i], path[i + 1]);
+      }
+      rows.emplace_back(w, static_cast<int64_t>(path.size() - 1));
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+    for (const auto& [w, len] : rows) {
+      out.AppendRow({Value::Double(w), Value::Int(len)});
+    }
+    return out;
+  });
+  b.Output({"weight", "length"});
+  return b.Build();
+}
+
+}  // namespace
+
+Plan BuildIC(int k, const LdbcContext& ctx, const LdbcParams& p) {
+  switch (k) {
+    case 1:
+      return IC1(ctx, p);
+    case 2:
+      return IC2(ctx, p);
+    case 3:
+      return IC3(ctx, p);
+    case 4:
+      return IC4(ctx, p);
+    case 5:
+      return IC5(ctx, p);
+    case 6:
+      return IC6(ctx, p);
+    case 7:
+      return IC7(ctx, p);
+    case 8:
+      return IC8(ctx, p);
+    case 9:
+      return IC9(ctx, p);
+    case 10:
+      return IC10(ctx, p);
+    case 11:
+      return IC11(ctx, p);
+    case 12:
+      return IC12(ctx, p);
+    case 13:
+      return IC13(ctx, p);
+    case 14:
+      return IC14(ctx, p);
+    default:
+      return Plan{};
+  }
+}
+
+}  // namespace ges

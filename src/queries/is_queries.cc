@@ -1,0 +1,127 @@
+// Interactive short read queries IS1-IS7.
+#include "queries/ldbc.h"
+
+namespace ges {
+
+namespace {
+
+using E = Expr;
+
+// IS1: person profile.
+Plan IS1(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IS1");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .GetProperty("p", c.s.first_name, ValueType::kString, "firstName")
+      .GetProperty("p", c.s.last_name, ValueType::kString, "lastName")
+      .GetProperty("p", c.s.birthday, ValueType::kDate, "birthday")
+      .GetProperty("p", c.s.gender, ValueType::kString, "gender")
+      .GetProperty("p", c.s.browser_used, ValueType::kString, "browser")
+      .GetProperty("p", c.s.location_ip, ValueType::kString, "locationIP")
+      .GetProperty("p", c.s.creation_date, ValueType::kDate, "creationDate")
+      .Expand("p", "city", {c.person_city})
+      .GetProperty("city", c.p_id, ValueType::kInt64, "cityId")
+      .Output({"firstName", "lastName", "birthday", "gender", "browser",
+               "locationIP", "creationDate", "cityId"});
+  return b.Build();
+}
+
+// IS2: the person's 10 most recent messages.
+Plan IS2(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IS2");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .Expand("p", "msg", {c.person_posts, c.person_comments})
+      .GetProperty("msg", c.p_creation, ValueType::kDate, "m_date")
+      .GetProperty("msg", c.p_id, ValueType::kInt64, "m_id")
+      .GetProperty("msg", c.p_content, ValueType::kString, "m_content")
+      .OrderBy({{"m_date", false}, {"m_id", false}}, 10)
+      .Output({"m_id", "m_content", "m_date"});
+  return b.Build();
+}
+
+// IS3: all friends with the friendship creation date.
+Plan IS3(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IS3");
+  b.NodeByIdSeek("p", c.s.person, p.person)
+      .ExpandEx("p", "f", {c.knows}, 1, 1, false, false, "", "since")
+      .GetProperty("f", c.p_id, ValueType::kInt64, "f_id")
+      .GetProperty("f", c.s.first_name, ValueType::kString, "firstName")
+      .GetProperty("f", c.s.last_name, ValueType::kString, "lastName")
+      .OrderBy({{"since", false}, {"f_id", true}})
+      .Output({"f_id", "firstName", "lastName", "since"});
+  return b.Build();
+}
+
+// IS4: content and creation date of a message.
+Plan IS4(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IS4");
+  b.NodeByIdSeek("m", c.s.post, p.post)
+      .GetProperty("m", c.p_creation, ValueType::kDate, "creationDate")
+      .GetProperty("m", c.p_content, ValueType::kString, "content")
+      .Output({"creationDate", "content"});
+  return b.Build();
+}
+
+// IS5: creator of a message.
+Plan IS5(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IS5");
+  b.NodeByIdSeek("m", c.s.post, p.post)
+      .Expand("m", "creator", {c.post_has_creator})
+      .GetProperty("creator", c.p_id, ValueType::kInt64, "p_id")
+      .GetProperty("creator", c.s.first_name, ValueType::kString, "firstName")
+      .GetProperty("creator", c.s.last_name, ValueType::kString, "lastName")
+      .Output({"p_id", "firstName", "lastName"});
+  return b.Build();
+}
+
+// IS6: forum containing a post, with its moderator.
+Plan IS6(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IS6");
+  b.NodeByIdSeek("m", c.s.post, p.post)
+      .Expand("m", "forum", {c.post_forum})
+      .GetProperty("forum", c.p_id, ValueType::kInt64, "forumId")
+      .GetProperty("forum", c.p_title, ValueType::kString, "forumTitle")
+      .Expand("forum", "mod", {c.forum_moderator})
+      .GetProperty("mod", c.p_id, ValueType::kInt64, "modId")
+      .Output({"forumId", "forumTitle", "modId"});
+  return b.Build();
+}
+
+// IS7: replies to a message with their creators.
+Plan IS7(const LdbcContext& c, const LdbcParams& p) {
+  PlanBuilder b("IS7");
+  b.NodeByIdSeek("m", c.s.post, p.post)
+      .Expand("m", "reply", {c.post_replies})
+      .GetProperty("reply", c.p_id, ValueType::kInt64, "r_id")
+      .GetProperty("reply", c.p_creation, ValueType::kDate, "r_date")
+      .GetProperty("reply", c.p_content, ValueType::kString, "r_content")
+      .Expand("reply", "author", {c.comment_has_creator})
+      .GetProperty("author", c.p_id, ValueType::kInt64, "a_id")
+      .OrderBy({{"r_date", false}, {"a_id", true}})
+      .Output({"r_id", "r_content", "r_date", "a_id"});
+  return b.Build();
+}
+
+}  // namespace
+
+Plan BuildIS(int k, const LdbcContext& ctx, const LdbcParams& p) {
+  switch (k) {
+    case 1:
+      return IS1(ctx, p);
+    case 2:
+      return IS2(ctx, p);
+    case 3:
+      return IS3(ctx, p);
+    case 4:
+      return IS4(ctx, p);
+    case 5:
+      return IS5(ctx, p);
+    case 6:
+      return IS6(ctx, p);
+    case 7:
+      return IS7(ctx, p);
+    default:
+      return Plan{};
+  }
+}
+
+}  // namespace ges

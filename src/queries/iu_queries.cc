@@ -1,0 +1,166 @@
+// Update queries IU1-IU8, implemented as MV2PL write transactions.
+#include <string>
+
+#include "queries/ldbc.h"
+
+namespace ges {
+
+namespace {
+
+// Returns a random existing bulk vertex from `pool`.
+VertexId Pick(Rng& rng, const std::vector<VertexId>& pool) {
+  return pool[rng.Uniform(pool.size())];
+}
+
+int64_t NowStamp(Rng& rng) {
+  return kSimEnd + static_cast<int64_t>(rng.Uniform(365)) * kMillisPerDay;
+}
+
+// IU1: add a person (location, interests, university, company).
+Version AddPerson(const LdbcContext& c, Graph* g, ParamGen* params,
+                  Rng& rng) {
+  const SnbData& d = params->data();
+  VertexId city = d.places[rng.Uniform(d.num_cities)];
+  VertexId univ = d.organisations[rng.Uniform(d.num_universities)];
+  VertexId tag = Pick(rng, d.tags);
+  auto txn = g->BeginWrite({city, univ, tag});
+  int64_t ext = params->NextPersonExt();
+  VertexId person = txn->CreateVertex(
+      c.s.person, ext,
+      {{c.p_id, Value::Int(ext)},
+       {c.s.first_name, Value::String("New")},
+       {c.s.last_name, Value::String("Person" + std::to_string(ext))},
+       {c.s.gender, Value::String(rng.Bernoulli(0.5) ? "male" : "female")},
+       {c.s.birthday, Value::Date(0)},
+       {c.s.birthday_month, Value::Int(1 + static_cast<int64_t>(rng.Uniform(12)))},
+       {c.s.creation_date, Value::Date(NowStamp(rng))}});
+  txn->AddEdge(c.s.is_located_in, person, city);
+  txn->AddEdge(c.s.has_interest, person, tag);
+  txn->AddEdge(c.s.study_at, person, univ, 2012);
+  return txn->Commit();
+}
+
+// IU2/IU3: add a like to a post / comment.
+Version AddLike(const LdbcContext& c, Graph* g, ParamGen* params, Rng& rng,
+                bool post) {
+  const SnbData& d = params->data();
+  VertexId person = Pick(rng, d.persons);
+  VertexId msg = post ? Pick(rng, d.posts) : Pick(rng, d.comments);
+  auto txn = g->BeginWrite({person, msg});
+  txn->AddEdge(c.s.likes, person, msg, NowStamp(rng));
+  return txn->Commit();
+}
+
+// IU4: add a forum with a moderator and a tag.
+Version AddForum(const LdbcContext& c, Graph* g, ParamGen* params, Rng& rng) {
+  const SnbData& d = params->data();
+  VertexId moderator = Pick(rng, d.persons);
+  VertexId tag = Pick(rng, d.tags);
+  auto txn = g->BeginWrite({moderator, tag});
+  int64_t ext = params->NextForumExt();
+  VertexId forum = txn->CreateVertex(
+      c.s.forum, ext,
+      {{c.p_id, Value::Int(ext)},
+       {c.p_title, Value::String("Forum_" + std::to_string(ext))},
+       {c.s.creation_date, Value::Date(NowStamp(rng))}});
+  txn->AddEdge(c.s.has_moderator, forum, moderator);
+  txn->AddEdge(c.s.has_tag, forum, tag);
+  return txn->Commit();
+}
+
+// IU5: add a forum membership.
+Version AddMembership(const LdbcContext& c, Graph* g, ParamGen* params,
+                      Rng& rng) {
+  const SnbData& d = params->data();
+  VertexId forum = Pick(rng, d.forums);
+  VertexId person = Pick(rng, d.persons);
+  auto txn = g->BeginWrite({forum, person});
+  txn->AddEdge(c.s.has_member, forum, person, NowStamp(rng));
+  return txn->Commit();
+}
+
+// IU6: add a post.
+Version AddPost(const LdbcContext& c, Graph* g, ParamGen* params, Rng& rng) {
+  const SnbData& d = params->data();
+  VertexId creator = Pick(rng, d.persons);
+  VertexId forum = Pick(rng, d.forums);
+  VertexId country = d.places[d.num_cities + rng.Uniform(d.num_countries)];
+  VertexId tag = Pick(rng, d.tags);
+  auto txn = g->BeginWrite({creator, forum, country, tag});
+  int64_t ext = params->NextPostExt();
+  VertexId post = txn->CreateVertex(
+      c.s.post, ext,
+      {{c.p_id, Value::Int(ext)},
+       {c.s.creation_date, Value::Date(NowStamp(rng))},
+       {c.p_content, Value::String("new post content")},
+       {c.p_length, Value::Int(42)}});
+  txn->AddEdge(c.s.has_creator, post, creator);
+  txn->AddEdge(c.s.container_of, forum, post);
+  txn->AddEdge(c.s.is_located_in, post, country);
+  txn->AddEdge(c.s.has_tag, post, tag);
+  return txn->Commit();
+}
+
+// IU7: add a comment replying to a post.
+Version AddComment(const LdbcContext& c, Graph* g, ParamGen* params,
+                   Rng& rng) {
+  const SnbData& d = params->data();
+  VertexId creator = Pick(rng, d.persons);
+  VertexId parent = Pick(rng, d.posts);
+  VertexId country = d.places[d.num_cities + rng.Uniform(d.num_countries)];
+  auto txn = g->BeginWrite({creator, parent, country});
+  int64_t ext = params->NextCommentExt();
+  VertexId comment = txn->CreateVertex(
+      c.s.comment, ext,
+      {{c.p_id, Value::Int(ext)},
+       {c.s.creation_date, Value::Date(NowStamp(rng))},
+       {c.p_content, Value::String("new reply")},
+       {c.p_length, Value::Int(17)}});
+  txn->AddEdge(c.s.has_creator, comment, creator);
+  txn->AddEdge(c.s.reply_of, comment, parent);
+  txn->AddEdge(c.s.is_located_in, comment, country);
+  return txn->Commit();
+}
+
+// IU8: add a friendship (symmetric).
+Version AddFriendship(const LdbcContext& c, Graph* g, ParamGen* params,
+                      Rng& rng) {
+  const SnbData& d = params->data();
+  VertexId a = Pick(rng, d.persons);
+  VertexId b = Pick(rng, d.persons);
+  while (b == a && d.persons.size() > 1) b = Pick(rng, d.persons);
+  auto txn = g->BeginWrite({a, b});
+  int64_t stamp = NowStamp(rng);
+  txn->AddEdge(c.s.knows, a, b, stamp);
+  txn->AddEdge(c.s.knows, b, a, stamp);
+  return txn->Commit();
+}
+
+}  // namespace
+
+Version RunIU(int k, const LdbcContext& ctx, Graph* graph, ParamGen* params,
+              uint64_t seed) {
+  Rng rng(seed);
+  switch (k) {
+    case 1:
+      return AddPerson(ctx, graph, params, rng);
+    case 2:
+      return AddLike(ctx, graph, params, rng, /*post=*/true);
+    case 3:
+      return AddLike(ctx, graph, params, rng, /*post=*/false);
+    case 4:
+      return AddForum(ctx, graph, params, rng);
+    case 5:
+      return AddMembership(ctx, graph, params, rng);
+    case 6:
+      return AddPost(ctx, graph, params, rng);
+    case 7:
+      return AddComment(ctx, graph, params, rng);
+    case 8:
+      return AddFriendship(ctx, graph, params, rng);
+    default:
+      return 0;
+  }
+}
+
+}  // namespace ges

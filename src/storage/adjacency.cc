@@ -1,0 +1,109 @@
+#include "storage/adjacency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ges {
+
+void AdjacencyTable::StageEdge(VertexId src, VertexId dst, int64_t stamp) {
+  assert(!finalized_);
+  staged_src_.push_back(src);
+  staged_dst_.push_back(dst);
+  if (has_stamp_) staged_stamp_.push_back(stamp);
+}
+
+void AdjacencyTable::Finalize(size_t num_vertices) {
+  assert(!finalized_);
+  meta_.assign(num_vertices, Meta{});
+  // Phase 1: degree count.
+  std::vector<uint32_t> degree(num_vertices, 0);
+  for (VertexId s : staged_src_) {
+    assert(s < num_vertices);
+    ++degree[s];
+  }
+  // Phase 2: prefix offsets.
+  std::vector<size_t> offset(num_vertices + 1, 0);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    offset[v + 1] = offset[v] + degree[v];
+  }
+  size_t total = offset[num_vertices];
+  packed_ids_.resize(total);
+  if (has_stamp_) packed_stamps_.resize(total);
+  // Phase 3: fill (stable within each vertex: keeps datagen order).
+  std::vector<size_t> cursor(offset.begin(), offset.end() - 1);
+  for (size_t e = 0; e < staged_src_.size(); ++e) {
+    size_t pos = cursor[staged_src_[e]]++;
+    packed_ids_[pos] = staged_dst_[e];
+    if (has_stamp_) packed_stamps_[pos] = staged_stamp_[e];
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    Meta& m = meta_[v];
+    m.size = m.capacity = degree[v];
+    if (degree[v] > 0) {
+      m.ids = packed_ids_.data() + offset[v];
+      if (has_stamp_) m.stamps = packed_stamps_.data() + offset[v];
+    }
+  }
+  num_edges_ = total;
+  staged_src_.clear();
+  staged_src_.shrink_to_fit();
+  staged_dst_.clear();
+  staged_dst_.shrink_to_fit();
+  staged_stamp_.clear();
+  staged_stamp_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void AdjacencyTable::EnsureVertexCapacity(size_t n) {
+  if (meta_.size() < n) meta_.resize(n);
+}
+
+void AdjacencyTable::Grow(Meta& m, uint32_t min_capacity) {
+  uint32_t new_cap = m.capacity == 0 ? 4 : m.capacity * 2;
+  while (new_cap < min_capacity) new_cap *= 2;
+  VertexId* new_ids = update_arena_.AllocateArray<VertexId>(new_cap);
+  if (m.size > 0) std::memcpy(new_ids, m.ids, m.size * sizeof(VertexId));
+  m.ids = new_ids;
+  if (has_stamp_) {
+    int64_t* new_stamps = update_arena_.AllocateArray<int64_t>(new_cap);
+    if (m.size > 0) {
+      std::memcpy(new_stamps, m.stamps, m.size * sizeof(int64_t));
+    }
+    m.stamps = new_stamps;
+  }
+  m.capacity = new_cap;
+}
+
+void AdjacencyTable::InsertEdge(VertexId src, VertexId dst, int64_t stamp) {
+  EnsureVertexCapacity(src + 1);
+  Meta& m = meta_[src];
+  if (m.size == m.capacity) Grow(m, m.size + 1);
+  // Meta::ids is non-const by construction; packed storage is owned by us.
+  const_cast<VertexId*>(m.ids)[m.size] = dst;
+  if (has_stamp_) const_cast<int64_t*>(m.stamps)[m.size] = stamp;
+  ++m.size;
+  ++num_edges_;
+}
+
+bool AdjacencyTable::RemoveEdge(VertexId src, VertexId dst) {
+  if (src >= meta_.size()) return false;
+  Meta& m = meta_[src];
+  for (uint32_t i = 0; i < m.size; ++i) {
+    if (m.ids[i] == dst) {
+      const_cast<VertexId*>(m.ids)[i] = kInvalidVertex;
+      ++m.tombstones;
+      --num_edges_;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t AdjacencyTable::MemoryBytes() const {
+  return packed_ids_.capacity() * sizeof(VertexId) +
+         packed_stamps_.capacity() * sizeof(int64_t) +
+         meta_.capacity() * sizeof(Meta) + update_arena_.bytes_reserved();
+}
+
+}  // namespace ges

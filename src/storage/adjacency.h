@@ -1,0 +1,138 @@
+// Adjacency-array graph topology storage (Figure 9 of the paper).
+//
+// The whole topology is stored as an array-of-arrays: for every relation key
+// (srcLabel, edgeLabel, dstLabel, direction) there is one AdjacencyTable
+// whose `adjMeta` array (indexed by the global VertexId) records the RAM
+// address and length of that vertex's `adjArray`. Bulk load packs all
+// adjArrays into one contiguous buffer; incremental inserts reallocate an
+// individual vertex's array with doubling capacity; deletes tombstone the
+// slot ("marking for deletion").
+//
+// Each relation may carry at most one int64 edge property ("stamp", e.g.
+// creationDate of a KNOWS edge) stored side by side with the neighbor ids.
+// This covers every edge property the LDBC SNB interactive workload touches.
+#ifndef GES_STORAGE_ADJACENCY_H_
+#define GES_STORAGE_ADJACENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/types.h"
+
+namespace ges {
+
+// Resolved adjacency table id: index into GraphStore's table list. Plans
+// resolve (srcLabel, edgeLabel, dstLabel, direction) to a RelationId once at
+// build time, so the per-tuple lookup cost the paper calls "minor"
+// disappears entirely from the hot path.
+using RelationId = uint32_t;
+inline constexpr RelationId kInvalidRelation = 0xffffffffu;
+
+// A non-owning view of one vertex's neighbors (and optional edge stamps).
+// `ids[i]` may be kInvalidVertex for tombstoned edges.
+struct AdjSpan {
+  const VertexId* ids = nullptr;
+  const int64_t* stamps = nullptr;  // nullptr if the relation has no stamp
+  uint32_t size = 0;
+
+  bool empty() const { return size == 0; }
+};
+
+// Hash key of an adjacency table, per the paper's storage design.
+struct RelationKey {
+  LabelId src_label;
+  LabelId edge_label;
+  LabelId dst_label;
+  Direction direction;
+
+  bool operator==(const RelationKey& o) const {
+    return src_label == o.src_label && edge_label == o.edge_label &&
+           dst_label == o.dst_label && direction == o.direction;
+  }
+};
+
+struct RelationKeyHash {
+  size_t operator()(const RelationKey& k) const {
+    uint64_t h = (uint64_t{k.src_label} << 40) ^ (uint64_t{k.edge_label} << 24) ^
+                 (uint64_t{k.dst_label} << 8) ^ uint64_t(k.direction);
+    h *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+// One adjacency table: adjMeta (per-vertex pointer/length) plus the packed
+// neighbor buffer. Not thread-safe for writes; the version manager
+// serializes writers per vertex and publishes copy-on-write snapshots for
+// readers of concurrently-updated vertices.
+class AdjacencyTable {
+ public:
+  AdjacencyTable(RelationKey key, bool has_stamp)
+      : key_(key), has_stamp_(has_stamp) {}
+
+  const RelationKey& key() const { return key_; }
+  bool has_stamp() const { return has_stamp_; }
+  size_t num_edges() const { return num_edges_; }
+
+  // --- bulk load (two-phase: stage edges, then Finalize packs them) ---
+  void StageEdge(VertexId src, VertexId dst, int64_t stamp = 0);
+  // Packs staged edges into the contiguous buffer. `num_vertices` sizes the
+  // adjMeta array (global id space).
+  void Finalize(size_t num_vertices);
+  bool finalized() const { return finalized_; }
+
+  // --- reads ---
+  AdjSpan Neighbors(VertexId v) const {
+    if (v >= meta_.size()) return AdjSpan{};
+    const Meta& m = meta_[v];
+    return AdjSpan{m.ids, has_stamp_ ? m.stamps : nullptr, m.size};
+  }
+  uint32_t Degree(VertexId v) const {
+    return v < meta_.size() ? meta_[v].size - meta_[v].tombstones : 0;
+  }
+
+  // --- updates (called with the vertex's write lock held) ---
+  // Appends an edge; grows the vertex's array (doubling) when full.
+  void InsertEdge(VertexId src, VertexId dst, int64_t stamp = 0);
+  // Tombstones the first live (src -> dst) edge. Returns false if absent.
+  bool RemoveEdge(VertexId src, VertexId dst);
+
+  // Ensures adjMeta covers vertices [0, n).
+  void EnsureVertexCapacity(size_t n);
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Meta {
+    VertexId* ids = nullptr;
+    int64_t* stamps = nullptr;
+    uint32_t size = 0;       // slots in use (including tombstones)
+    uint32_t capacity = 0;   // allocated slots
+    uint32_t tombstones = 0;
+  };
+
+  void Grow(Meta& m, uint32_t min_capacity);
+
+  RelationKey key_;
+  bool has_stamp_;
+  bool finalized_ = false;
+  size_t num_edges_ = 0;
+
+  // Staged (bulk) edges before Finalize.
+  std::vector<VertexId> staged_src_;
+  std::vector<VertexId> staged_dst_;
+  std::vector<int64_t> staged_stamp_;
+
+  // Packed storage after Finalize. meta_[v].ids points either into these
+  // buffers or into arena-allocated per-vertex arrays after growth.
+  std::vector<VertexId> packed_ids_;
+  std::vector<int64_t> packed_stamps_;
+  std::vector<Meta> meta_;
+  Arena update_arena_;  // memory pool backing post-load growth
+};
+
+}  // namespace ges
+
+#endif  // GES_STORAGE_ADJACENCY_H_

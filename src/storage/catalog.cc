@@ -1,0 +1,74 @@
+#include "storage/catalog.h"
+
+namespace ges {
+
+LabelId Catalog::AddVertexLabel(const std::string& name) {
+  auto it = vertex_label_ids_.find(name);
+  if (it != vertex_label_ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(vertex_labels_.size());
+  vertex_labels_.push_back(name);
+  vertex_label_ids_[name] = id;
+  label_properties_.emplace_back();
+  return id;
+}
+
+LabelId Catalog::AddEdgeLabel(const std::string& name) {
+  auto it = edge_label_ids_.find(name);
+  if (it != edge_label_ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(edge_labels_.size());
+  edge_labels_.push_back(name);
+  edge_label_ids_[name] = id;
+  return id;
+}
+
+PropertyId Catalog::AddProperty(LabelId label, const std::string& name,
+                                ValueType type) {
+  PropertyId id;
+  auto it = property_ids_.find(name);
+  if (it != property_ids_.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<PropertyId>(property_names_.size());
+    property_names_.push_back(name);
+    property_ids_[name] = id;
+  }
+  // Register the column slot on this label if not present yet.
+  for (const auto& [pid, t] : label_properties_[label]) {
+    if (pid == id) return id;
+  }
+  label_properties_[label].emplace_back(id, type);
+  return id;
+}
+
+LabelId Catalog::VertexLabel(const std::string& name) const {
+  auto it = vertex_label_ids_.find(name);
+  return it == vertex_label_ids_.end() ? kInvalidLabel : it->second;
+}
+
+LabelId Catalog::EdgeLabel(const std::string& name) const {
+  auto it = edge_label_ids_.find(name);
+  return it == edge_label_ids_.end() ? kInvalidLabel : it->second;
+}
+
+PropertyId Catalog::Property(const std::string& name) const {
+  auto it = property_ids_.find(name);
+  return it == property_ids_.end() ? kInvalidProperty : it->second;
+}
+
+int Catalog::PropertySlot(LabelId label, PropertyId prop) const {
+  const auto& props = label_properties_[label];
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (props[i].first == prop) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ValueType Catalog::PropertyType(LabelId label, PropertyId prop) const {
+  const auto& props = label_properties_[label];
+  for (const auto& [pid, t] : props) {
+    if (pid == prop) return t;
+  }
+  return ValueType::kNull;
+}
+
+}  // namespace ges

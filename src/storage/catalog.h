@@ -1,0 +1,71 @@
+// Schema catalog: vertex/edge label names, property keys and their types.
+#ifndef GES_STORAGE_CATALOG_H_
+#define GES_STORAGE_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace ges {
+
+// The catalog owns the mapping between human-readable schema names and the
+// dense ids used everywhere else. Properties are declared per vertex label;
+// the same property name may exist on several labels (e.g. creationDate).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // --- registration (load/DDL time, single-threaded) ---
+  LabelId AddVertexLabel(const std::string& name);
+  LabelId AddEdgeLabel(const std::string& name);
+  // Declares property `name` of `type` on vertex label `label`. Returns the
+  // property id (global per name; the (label, property) pair gets a dense
+  // column slot in the property store).
+  PropertyId AddProperty(LabelId label, const std::string& name,
+                         ValueType type);
+
+  // --- lookup ---
+  LabelId VertexLabel(const std::string& name) const;
+  LabelId EdgeLabel(const std::string& name) const;
+  PropertyId Property(const std::string& name) const;
+
+  const std::string& VertexLabelName(LabelId id) const {
+    return vertex_labels_[id];
+  }
+  const std::string& EdgeLabelName(LabelId id) const {
+    return edge_labels_[id];
+  }
+  const std::string& PropertyName(PropertyId id) const {
+    return property_names_[id];
+  }
+
+  size_t num_vertex_labels() const { return vertex_labels_.size(); }
+  size_t num_edge_labels() const { return edge_labels_.size(); }
+  size_t num_properties() const { return property_names_.size(); }
+
+  // Dense column slot of (label, property), or -1 if not declared there.
+  int PropertySlot(LabelId label, PropertyId prop) const;
+  ValueType PropertyType(LabelId label, PropertyId prop) const;
+  // All (slot -> property id, type) pairs declared on `label`.
+  const std::vector<std::pair<PropertyId, ValueType>>& LabelProperties(
+      LabelId label) const {
+    return label_properties_[label];
+  }
+
+ private:
+  std::vector<std::string> vertex_labels_;
+  std::vector<std::string> edge_labels_;
+  std::vector<std::string> property_names_;
+  std::unordered_map<std::string, LabelId> vertex_label_ids_;
+  std::unordered_map<std::string, LabelId> edge_label_ids_;
+  std::unordered_map<std::string, PropertyId> property_ids_;
+  // label -> ordered list of (property, type); index is the column slot.
+  std::vector<std::vector<std::pair<PropertyId, ValueType>>> label_properties_;
+};
+
+}  // namespace ges
+
+#endif  // GES_STORAGE_CATALOG_H_

@@ -1,0 +1,364 @@
+#include "storage/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ges {
+
+void Graph::RegisterRelation(LabelId src, LabelId edge, LabelId dst,
+                             bool has_stamp) {
+  RelationKey out_key{src, edge, dst, Direction::kOut};
+  RelationKey in_key{dst, edge, src, Direction::kIn};
+  if (table_index_.count(out_key) != 0) return;
+  for (const RelationKey& key : {out_key, in_key}) {
+    RelationId id = static_cast<RelationId>(tables_.size());
+    TableEntry entry;
+    entry.table = std::make_unique<AdjacencyTable>(key, has_stamp);
+    entry.overlay = std::make_unique<AdjOverlay>();
+    tables_.push_back(std::move(entry));
+    table_index_.emplace(key, id);
+  }
+}
+
+RelationId Graph::FindRelation(LabelId vertex_label, LabelId edge_label,
+                               LabelId neighbor_label, Direction dir) const {
+  RelationKey key{vertex_label, edge_label, neighbor_label, dir};
+  auto it = table_index_.find(key);
+  return it == table_index_.end() ? kInvalidRelation : it->second;
+}
+
+VertexId Graph::AddVertexBulk(LabelId label, int64_t ext_id) {
+  assert(!finalized_);
+  VertexId id = next_vertex_id_.fetch_add(1, std::memory_order_relaxed);
+  if (bulk_by_label_.size() <= label) bulk_by_label_.resize(label + 1);
+  if (property_tables_.size() <= label) property_tables_.resize(label + 1);
+  if (property_tables_[label] == nullptr) {
+    std::vector<ValueType> types;
+    for (const auto& [pid, t] : catalog_.LabelProperties(label)) {
+      types.push_back(t);
+    }
+    property_tables_[label] = std::make_unique<PropertyTable>(types);
+  }
+  label_of_.push_back(label);
+  ext_of_.push_back(ext_id);
+  offset_in_label_.push_back(
+      static_cast<uint32_t>(property_tables_[label]->AppendRow()));
+  bulk_by_label_[label].push_back(id);
+  ext_index_[ExtKey(label, ext_id)] = id;
+  return id;
+}
+
+void Graph::SetPropertyBulk(VertexId v, PropertyId prop, const Value& val) {
+  assert(!finalized_);
+  LabelId label = label_of_[v];
+  int slot = catalog_.PropertySlot(label, prop);
+  assert(slot >= 0);
+  property_tables_[label]->Set(offset_in_label_[v], slot, val);
+}
+
+void Graph::AddEdgeBulk(LabelId edge_label, VertexId src, VertexId dst,
+                        int64_t stamp) {
+  assert(!finalized_);
+  LabelId sl = label_of_[src];
+  LabelId dl = label_of_[dst];
+  RelationId out_rel = FindRelation(sl, edge_label, dl, Direction::kOut);
+  RelationId in_rel = FindRelation(dl, edge_label, sl, Direction::kIn);
+  assert(out_rel != kInvalidRelation && in_rel != kInvalidRelation);
+  tables_[out_rel].table->StageEdge(src, dst, stamp);
+  tables_[in_rel].table->StageEdge(dst, src, stamp);
+}
+
+void Graph::FinalizeBulk() {
+  assert(!finalized_);
+  bulk_vertex_count_ = next_vertex_id_.load(std::memory_order_relaxed);
+  for (TableEntry& t : tables_) {
+    t.table->Finalize(bulk_vertex_count_);
+  }
+  finalized_ = true;
+}
+
+uint32_t Graph::Degree(RelationId rel, VertexId v, Version snapshot) const {
+  AdjSpan span = Neighbors(rel, v, snapshot);
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < span.size; ++i) {
+    if (span.ids[i] != kInvalidVertex) ++n;
+  }
+  return n;
+}
+
+Value Graph::GetProperty(VertexId v, PropertyId prop, Version snapshot) const {
+  if (!prop_overlay_.empty()) {
+    Value out;
+    if (prop_overlay_.Find(v, prop, snapshot, &out)) return out;
+  }
+  if (v < bulk_vertex_count_) {
+    LabelId label = label_of_[v];
+    int slot = catalog_.PropertySlot(label, prop);
+    if (slot < 0) return Value::Null();
+    return property_tables_[label]->Get(offset_in_label_[v], slot);
+  }
+  return Value::Null();
+}
+
+const ValueVector* Graph::BasePropertyColumn(LabelId label,
+                                             PropertyId prop) const {
+  if (label >= property_tables_.size() || property_tables_[label] == nullptr) {
+    return nullptr;
+  }
+  int slot = catalog_.PropertySlot(label, prop);
+  if (slot < 0) return nullptr;
+  return &property_tables_[label]->Column(slot);
+}
+
+LabelId Graph::LabelOf(VertexId v, Version snapshot) const {
+  if (v < bulk_vertex_count_) return label_of_[v];
+  NewVertex nv;
+  if (new_vertices_.Find(v, &nv) && nv.version <= snapshot) return nv.label;
+  return kInvalidLabel;
+}
+
+VertexId Graph::FindByExtId(LabelId label, int64_t ext_id,
+                            Version snapshot) const {
+  auto it = ext_index_.find(ExtKey(label, ext_id));
+  if (it != ext_index_.end()) return it->second;
+  if (!new_vertices_.empty()) {
+    VertexId out;
+    if (new_vertices_.FindByExtId(label, ext_id, snapshot, &out)) return out;
+  }
+  return kInvalidVertex;
+}
+
+int64_t Graph::ExtIdOf(VertexId v, Version snapshot) const {
+  if (v < bulk_vertex_count_) return ext_of_[v];
+  NewVertex nv;
+  if (new_vertices_.Find(v, &nv) && nv.version <= snapshot) return nv.ext_id;
+  return -1;
+}
+
+std::vector<Graph::RelationInfo> Graph::Relations() const {
+  std::vector<RelationInfo> out;
+  for (const auto& [key, id] : table_index_) {
+    if (key.direction != Direction::kOut) continue;
+    out.push_back(RelationInfo{key, tables_[id].table->has_stamp()});
+  }
+  return out;
+}
+
+void Graph::ScanLabel(LabelId label, Version snapshot,
+                      std::vector<VertexId>* out) const {
+  if (label < bulk_by_label_.size()) {
+    const std::vector<VertexId>& bulk = bulk_by_label_[label];
+    out->insert(out->end(), bulk.begin(), bulk.end());
+  }
+  if (!new_vertices_.empty()) {
+    new_vertices_.CollectVisible(label, snapshot, out);
+  }
+}
+
+size_t Graph::NumVertices(LabelId label, Version snapshot) const {
+  size_t n = label < bulk_by_label_.size() ? bulk_by_label_[label].size() : 0;
+  if (!new_vertices_.empty()) {
+    n += new_vertices_.CountVisible(label, snapshot);
+  }
+  return n;
+}
+
+size_t Graph::NumEdgesTotal() const {
+  size_t n = 0;
+  // Each logical edge is stored twice (OUT + IN); report logical edges.
+  for (const TableEntry& t : tables_) n += t.table->num_edges();
+  return n / 2;
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const TableEntry& t : tables_) bytes += t.table->MemoryBytes();
+  for (const auto& pt : property_tables_) {
+    if (pt != nullptr) bytes += pt->MemoryBytes();
+  }
+  bytes += label_of_.capacity() * sizeof(LabelId) +
+           offset_in_label_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+std::unique_ptr<WriteTxn> Graph::BeginWrite(std::vector<VertexId> write_set) {
+  return std::unique_ptr<WriteTxn>(new WriteTxn(this, std::move(write_set)));
+}
+
+WriteTxn::WriteTxn(Graph* graph, std::vector<VertexId> write_set)
+    : graph_(graph), write_set_(std::move(write_set)) {
+  locked_stripes_ = graph_->version_manager_.LockWriteSet(write_set_);
+}
+
+WriteTxn::~WriteTxn() {
+  if (!done_) Abort();
+}
+
+bool WriteTxn::InWriteSet(VertexId v) const {
+  for (VertexId w : write_set_) {
+    if (w == v) return true;
+  }
+  for (const VertexOp& nv : new_vertices_) {
+    if (nv.id == v) return true;
+  }
+  return false;
+}
+
+VertexId WriteTxn::CreateVertex(
+    LabelId label, int64_t ext_id,
+    std::vector<std::pair<PropertyId, Value>> props) {
+  VertexId id =
+      graph_->next_vertex_id_.fetch_add(1, std::memory_order_acq_rel);
+  new_vertices_.push_back(VertexOp{id, label, ext_id});
+  for (auto& [pid, val] : props) {
+    prop_ops_.emplace_back(id, std::make_pair(pid, std::move(val)));
+  }
+  return id;
+}
+
+Status WriteTxn::AddEdge(LabelId edge_label, VertexId src, VertexId dst,
+                         int64_t stamp) {
+  if (!InWriteSet(src) || !InWriteSet(dst)) {
+    return Status::InvalidArgument("edge endpoint not in declared write set");
+  }
+  Version snap = graph_->CurrentVersion();
+  LabelId sl = graph_->LabelOf(src, snap);
+  LabelId dl = graph_->LabelOf(dst, snap);
+  // Endpoints created by this transaction are not yet visible; look them up
+  // in the staged set.
+  for (const VertexOp& nv : new_vertices_) {
+    if (nv.id == src) sl = nv.label;
+    if (nv.id == dst) dl = nv.label;
+  }
+  RelationId out_rel =
+      graph_->FindRelation(sl, edge_label, dl, Direction::kOut);
+  RelationId in_rel = graph_->FindRelation(dl, edge_label, sl, Direction::kIn);
+  if (out_rel == kInvalidRelation || in_rel == kInvalidRelation) {
+    return Status::NotFound("relation not registered");
+  }
+  edge_ops_.push_back(EdgeOp{out_rel, src, dst, stamp, false});
+  edge_ops_.push_back(EdgeOp{in_rel, dst, src, stamp, false});
+  return Status::OK();
+}
+
+Status WriteTxn::RemoveEdge(LabelId edge_label, VertexId src, VertexId dst) {
+  if (!InWriteSet(src) || !InWriteSet(dst)) {
+    return Status::InvalidArgument("edge endpoint not in declared write set");
+  }
+  Version snap = graph_->CurrentVersion();
+  LabelId sl = graph_->LabelOf(src, snap);
+  LabelId dl = graph_->LabelOf(dst, snap);
+  RelationId out_rel =
+      graph_->FindRelation(sl, edge_label, dl, Direction::kOut);
+  RelationId in_rel = graph_->FindRelation(dl, edge_label, sl, Direction::kIn);
+  if (out_rel == kInvalidRelation || in_rel == kInvalidRelation) {
+    return Status::NotFound("relation not registered");
+  }
+  edge_ops_.push_back(EdgeOp{out_rel, src, dst, 0, true});
+  edge_ops_.push_back(EdgeOp{in_rel, dst, src, 0, true});
+  return Status::OK();
+}
+
+void WriteTxn::SetProperty(VertexId v, PropertyId prop, Value val) {
+  prop_ops_.emplace_back(v, std::make_pair(prop, std::move(val)));
+}
+
+Version WriteTxn::Commit() {
+  VersionManager& vm = graph_->version_manager_;
+  Version version;
+  {
+    std::lock_guard<std::mutex> commit_lock(vm.commit_mutex());
+    version = vm.NextVersionLocked();
+
+    // Copy-on-write adjacency: group edge ops by (relation, vertex), copy
+    // the newest list once, apply all ops, publish one new version.
+    std::sort(edge_ops_.begin(), edge_ops_.end(),
+              [](const EdgeOp& a, const EdgeOp& b) {
+                if (a.rel != b.rel) return a.rel < b.rel;
+                return a.vertex < b.vertex;
+              });
+    size_t i = 0;
+    while (i < edge_ops_.size()) {
+      size_t j = i;
+      while (j < edge_ops_.size() && edge_ops_[j].rel == edge_ops_[i].rel &&
+             edge_ops_[j].vertex == edge_ops_[i].vertex) {
+        ++j;
+      }
+      const EdgeOp& first = edge_ops_[i];
+      Graph::TableEntry& entry = graph_->tables_[first.rel];
+      bool has_stamp = entry.table->has_stamp();
+      auto ver = std::make_shared<AdjOverlayEntry>();
+      ver->version = version;
+      // Seed with the newest existing list (overlay head or base),
+      // compacting tombstones away.
+      std::shared_ptr<AdjOverlayEntry> head =
+          entry.overlay->Head(first.vertex);
+      if (head != nullptr) {
+        for (size_t k = 0; k < head->ids.size(); ++k) {
+          if (head->ids[k] == kInvalidVertex) continue;
+          ver->ids.push_back(head->ids[k]);
+          if (has_stamp) ver->stamps.push_back(head->stamps[k]);
+        }
+      } else {
+        AdjSpan base = entry.table->Neighbors(first.vertex);
+        for (uint32_t k = 0; k < base.size; ++k) {
+          if (base.ids[k] == kInvalidVertex) continue;
+          ver->ids.push_back(base.ids[k]);
+          if (has_stamp) ver->stamps.push_back(base.stamps[k]);
+        }
+      }
+      for (size_t k = i; k < j; ++k) {
+        const EdgeOp& op = edge_ops_[k];
+        if (op.remove) {
+          for (size_t m = 0; m < ver->ids.size(); ++m) {
+            if (ver->ids[m] == op.neighbor) {
+              ver->ids.erase(ver->ids.begin() + m);
+              if (has_stamp) ver->stamps.erase(ver->stamps.begin() + m);
+              break;
+            }
+          }
+        } else {
+          ver->ids.push_back(op.neighbor);
+          if (has_stamp) ver->stamps.push_back(op.stamp);
+        }
+      }
+      entry.overlay->Publish(first.vertex, std::move(ver));
+      i = j;
+    }
+
+    // Property writes: one overlay entry per vertex.
+    std::sort(prop_ops_.begin(), prop_ops_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    i = 0;
+    while (i < prop_ops_.size()) {
+      size_t j = i;
+      auto ver = std::make_shared<PropOverlayEntry>();
+      ver->version = version;
+      while (j < prop_ops_.size() && prop_ops_[j].first == prop_ops_[i].first) {
+        ver->writes.push_back(prop_ops_[j].second);
+        ++j;
+      }
+      graph_->prop_overlay_.Publish(prop_ops_[i].first, std::move(ver));
+      i = j;
+    }
+
+    // New vertices become visible last (their adjacency/properties are
+    // already published with the same version, which is still invisible).
+    for (const VertexOp& nv : new_vertices_) {
+      graph_->new_vertices_.Publish(
+          NewVertex{nv.id, nv.label, version, nv.ext_id});
+    }
+
+    vm.AdvanceVersionLocked(version);
+  }
+  vm.UnlockStripes(locked_stripes_);
+  done_ = true;
+  return version;
+}
+
+void WriteTxn::Abort() {
+  graph_->version_manager_.UnlockStripes(locked_stripes_);
+  done_ = true;
+}
+
+}  // namespace ges

@@ -1,0 +1,206 @@
+// The LPG graph store: catalog + adjacency tables + columnar properties +
+// MV2PL versioning, behind a unified storage access interface.
+//
+// Lifecycle: (1) declare schema via catalog() and RegisterRelation(); (2)
+// bulk load with AddVertexBulk / SetPropertyBulk / AddEdgeBulk; (3)
+// FinalizeBulk() packs adjacency arrays; (4) serve snapshot reads and MV2PL
+// write transactions concurrently. Base storage is immutable after
+// FinalizeBulk(); all later mutations are copy-on-write overlay versions.
+#ifndef GES_STORAGE_GRAPH_H_
+#define GES_STORAGE_GRAPH_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/adjacency.h"
+#include "storage/catalog.h"
+#include "storage/property_store.h"
+#include "storage/version_manager.h"
+
+namespace ges {
+
+class WriteTxn;
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  // --- schema / relations (single-threaded, before bulk load) ---
+  // Declares edges `src -[edge]-> dst`, creating both the OUT table (keyed
+  // by src vertices) and the IN table (keyed by dst vertices). `has_stamp`
+  // declares one int64 edge property (e.g. creationDate).
+  void RegisterRelation(LabelId src, LabelId edge, LabelId dst,
+                        bool has_stamp = false);
+
+  // Resolves the adjacency table for expanding from a `vertex_label` vertex
+  // along `edge_label` edges in `dir`, reaching `neighbor_label` vertices.
+  RelationId FindRelation(LabelId vertex_label, LabelId edge_label,
+                          LabelId neighbor_label, Direction dir) const;
+
+  // All registered relations (OUT direction only; IN tables are implied).
+  struct RelationInfo {
+    RelationKey key;
+    bool has_stamp;
+  };
+  std::vector<RelationInfo> Relations() const;
+
+  // --- bulk load ---
+  VertexId AddVertexBulk(LabelId label, int64_t ext_id);
+  void SetPropertyBulk(VertexId v, PropertyId prop, const Value& val);
+  // Stages an edge into both directions' tables; labels are inferred from
+  // the endpoint vertices. The relation must have been registered.
+  void AddEdgeBulk(LabelId edge_label, VertexId src, VertexId dst,
+                   int64_t stamp = 0);
+  void FinalizeBulk();
+  bool finalized() const { return finalized_; }
+
+  // --- snapshot reads (non-blocking) ---
+  Version CurrentVersion() const { return version_manager_.CurrentVersion(); }
+
+  // Adjacency of `v` in relation `rel` as of `snapshot`. Entries may be
+  // kInvalidVertex (tombstones); callers skip them.
+  AdjSpan Neighbors(RelationId rel, VertexId v, Version snapshot) const {
+    const TableEntry& t = tables_[rel];
+    if (!t.overlay->empty()) {
+      const AdjOverlayEntry* e = t.overlay->Find(v, snapshot);
+      if (e != nullptr) {
+        return AdjSpan{e->ids.data(),
+                       t.table->has_stamp() ? e->stamps.data() : nullptr,
+                       static_cast<uint32_t>(e->ids.size())};
+      }
+    }
+    return t.table->Neighbors(v);
+  }
+
+  uint32_t Degree(RelationId rel, VertexId v, Version snapshot) const;
+
+  Value GetProperty(VertexId v, PropertyId prop, Version snapshot) const;
+  // Fast path for bulk vertices when no overlay exists; used by vectorized
+  // property projection. Returns nullptr if the column does not exist.
+  const ValueVector* BasePropertyColumn(LabelId label, PropertyId prop) const;
+
+  LabelId LabelOf(VertexId v, Version snapshot) const;
+  // Dense offset of a bulk vertex within its label's property table.
+  uint32_t OffsetInLabel(VertexId v) const { return offset_in_label_[v]; }
+
+  VertexId FindByExtId(LabelId label, int64_t ext_id, Version snapshot) const;
+  // External id of `v` (the inverse of FindByExtId).
+  int64_t ExtIdOf(VertexId v, Version snapshot) const;
+
+  // All vertices with `label` visible at `snapshot` (bulk + committed new).
+  void ScanLabel(LabelId label, Version snapshot,
+                 std::vector<VertexId>* out) const;
+  size_t NumVertices(LabelId label, Version snapshot) const;
+  size_t NumVerticesTotal() const {
+    return next_vertex_id_.load(std::memory_order_acquire);
+  }
+  size_t bulk_vertex_count() const { return bulk_vertex_count_; }
+  size_t NumEdgesTotal() const;
+
+  size_t MemoryBytes() const;
+
+  // --- write transactions (MV2PL) ---
+  // Locks the write set (growing phase) and returns a transaction handle.
+  // `write_set` must contain every existing vertex the transaction will
+  // modify; vertices created by the transaction need not be listed.
+  std::unique_ptr<WriteTxn> BeginWrite(std::vector<VertexId> write_set);
+
+ private:
+  friend class WriteTxn;
+
+  struct TableEntry {
+    std::unique_ptr<AdjacencyTable> table;
+    std::unique_ptr<AdjOverlay> overlay;
+  };
+
+  static uint64_t ExtKey(LabelId label, int64_t ext_id) {
+    return (uint64_t{label} << 48) ^ static_cast<uint64_t>(ext_id);
+  }
+
+  Catalog catalog_;
+  std::vector<TableEntry> tables_;
+  std::unordered_map<RelationKey, RelationId, RelationKeyHash> table_index_;
+
+  // Bulk vertex metadata (immutable after FinalizeBulk).
+  std::vector<LabelId> label_of_;
+  std::vector<int64_t> ext_of_;
+  std::vector<uint32_t> offset_in_label_;
+  std::vector<std::vector<VertexId>> bulk_by_label_;
+  std::vector<std::unique_ptr<PropertyTable>> property_tables_;  // per label
+  std::unordered_map<uint64_t, VertexId> ext_index_;
+  size_t bulk_vertex_count_ = 0;
+  bool finalized_ = false;
+
+  std::atomic<VertexId> next_vertex_id_{0};
+
+  // MVCC state.
+  VersionManager version_manager_;
+  PropOverlay prop_overlay_;
+  NewVertexRegistry new_vertices_;
+};
+
+// A single MV2PL write transaction. Stage operations, then Commit() (or
+// Abort()). Staged operations become visible atomically at the commit
+// version. Not thread-safe; one thread drives a transaction.
+class WriteTxn {
+ public:
+  ~WriteTxn();
+  WriteTxn(const WriteTxn&) = delete;
+  WriteTxn& operator=(const WriteTxn&) = delete;
+
+  // Creates a vertex; returns its (provisional) id, usable in subsequent
+  // AddEdge/SetProperty calls within this transaction.
+  VertexId CreateVertex(LabelId label, int64_t ext_id,
+                        std::vector<std::pair<PropertyId, Value>> props);
+
+  Status AddEdge(LabelId edge_label, VertexId src, VertexId dst,
+                 int64_t stamp = 0);
+  Status RemoveEdge(LabelId edge_label, VertexId src, VertexId dst);
+  void SetProperty(VertexId v, PropertyId prop, Value val);
+
+  // Publishes all staged operations; returns the commit version.
+  Version Commit();
+  void Abort();
+
+ private:
+  friend class Graph;
+  WriteTxn(Graph* graph, std::vector<VertexId> write_set);
+
+  bool InWriteSet(VertexId v) const;
+
+  struct EdgeOp {
+    RelationId rel;
+    VertexId vertex;
+    VertexId neighbor;
+    int64_t stamp;
+    bool remove;
+  };
+  struct VertexOp {
+    VertexId id;
+    LabelId label;
+    int64_t ext_id;
+  };
+
+  Graph* graph_;
+  std::vector<VertexId> write_set_;
+  std::vector<size_t> locked_stripes_;
+  std::vector<EdgeOp> edge_ops_;
+  std::vector<VertexOp> new_vertices_;
+  std::vector<std::pair<VertexId, std::pair<PropertyId, Value>>> prop_ops_;
+  bool done_ = false;
+};
+
+}  // namespace ges
+
+#endif  // GES_STORAGE_GRAPH_H_

@@ -1,0 +1,19 @@
+#include "storage/property_store.h"
+
+namespace ges {
+
+size_t PropertyTable::AppendRow() {
+  size_t row = num_rows();
+  for (ValueVector& col : columns_) {
+    col.Resize(row + 1);
+  }
+  return row;
+}
+
+size_t PropertyTable::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const ValueVector& col : columns_) bytes += col.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace ges

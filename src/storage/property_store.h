@@ -1,0 +1,47 @@
+// Columnar vertex property tables.
+//
+// Per the paper (Section 5): "For vertex properties, we organize them in a
+// columnar table, with each row corresponding to a vertex and each column
+// representing a property." There is one table per vertex label; rows are
+// addressed by the vertex's dense offset within its label.
+#ifndef GES_STORAGE_PROPERTY_STORE_H_
+#define GES_STORAGE_PROPERTY_STORE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/catalog.h"
+
+namespace ges {
+
+class PropertyTable {
+ public:
+  explicit PropertyTable(std::vector<ValueType> column_types) {
+    columns_.reserve(column_types.size());
+    for (ValueType t : column_types) columns_.emplace_back(t);
+  }
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  // Appends a row of nulls/zeroes; returns its offset.
+  size_t AppendRow();
+
+  const ValueVector& Column(int slot) const { return columns_[slot]; }
+  ValueVector& MutableColumn(int slot) { return columns_[slot]; }
+
+  Value Get(size_t row, int slot) const { return columns_[slot].GetValue(row); }
+  void Set(size_t row, int slot, const Value& v) {
+    columns_[slot].SetValue(row, v);
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<ValueVector> columns_;
+};
+
+}  // namespace ges
+
+#endif  // GES_STORAGE_PROPERTY_STORE_H_

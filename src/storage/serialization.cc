@@ -1,0 +1,322 @@
+#include "storage/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace ges {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '1'};
+
+// --- little-endian primitives ---
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 8);
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return true;
+}
+
+void WriteI64(std::ostream& out, int64_t v) {
+  WriteU64(out, static_cast<uint64_t>(v));
+}
+
+bool ReadI64(std::istream& in, int64_t* v) {
+  uint64_t u;
+  if (!ReadU64(in, &u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint64_t n;
+  if (!ReadU64(in, &n)) return false;
+  if (n > (1u << 30)) return false;  // sanity bound
+  s->resize(n);
+  return static_cast<bool>(in.read(s->data(), static_cast<std::streamsize>(n)));
+}
+
+void WriteValue(std::ostream& out, const Value& v) {
+  out.put(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      WriteU64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      WriteString(out, v.AsString());
+      break;
+    default:
+      WriteI64(out, v.AsInt());
+      break;
+  }
+}
+
+bool ReadValue(std::istream& in, Value* v) {
+  int tag = in.get();
+  if (tag < 0) return false;
+  ValueType type = static_cast<ValueType>(tag);
+  switch (type) {
+    case ValueType::kNull:
+      *v = Value::Null();
+      return true;
+    case ValueType::kBool: {
+      int64_t i;
+      if (!ReadI64(in, &i)) return false;
+      *v = Value::Bool(i != 0);
+      return true;
+    }
+    case ValueType::kInt64: {
+      int64_t i;
+      if (!ReadI64(in, &i)) return false;
+      *v = Value::Int(i);
+      return true;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      if (!ReadU64(in, &bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, 8);
+      *v = Value::Double(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!ReadString(in, &s)) return false;
+      *v = Value::String(std::move(s));
+      return true;
+    }
+    case ValueType::kDate: {
+      int64_t i;
+      if (!ReadI64(in, &i)) return false;
+      *v = Value::Date(i);
+      return true;
+    }
+    case ValueType::kVertex: {
+      int64_t i;
+      if (!ReadI64(in, &i)) return false;
+      *v = Value::Vertex(static_cast<VertexId>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveGraph(const Graph& graph, std::ostream& out) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized before saving");
+  }
+  const Catalog& catalog = graph.catalog();
+  Version snap = graph.CurrentVersion();
+
+  out.write(kMagic, 8);
+
+  // --- catalog ---
+  WriteU64(out, catalog.num_vertex_labels());
+  for (size_t l = 0; l < catalog.num_vertex_labels(); ++l) {
+    WriteString(out, catalog.VertexLabelName(static_cast<LabelId>(l)));
+    const auto& props = catalog.LabelProperties(static_cast<LabelId>(l));
+    WriteU64(out, props.size());
+    for (const auto& [prop, type] : props) {
+      WriteString(out, catalog.PropertyName(prop));
+      out.put(static_cast<char>(type));
+    }
+  }
+  WriteU64(out, catalog.num_edge_labels());
+  for (size_t l = 0; l < catalog.num_edge_labels(); ++l) {
+    WriteString(out, catalog.EdgeLabelName(static_cast<LabelId>(l)));
+  }
+
+  // --- relations ---
+  std::vector<Graph::RelationInfo> rels = graph.Relations();
+  WriteU64(out, rels.size());
+  for (const Graph::RelationInfo& r : rels) {
+    WriteU64(out, r.key.src_label);
+    WriteU64(out, r.key.edge_label);
+    WriteU64(out, r.key.dst_label);
+    out.put(r.has_stamp ? 1 : 0);
+  }
+
+  // --- vertices with properties ---
+  for (size_t l = 0; l < catalog.num_vertex_labels(); ++l) {
+    LabelId label = static_cast<LabelId>(l);
+    std::vector<VertexId> vertices;
+    graph.ScanLabel(label, snap, &vertices);
+    WriteU64(out, vertices.size());
+    const auto& props = catalog.LabelProperties(label);
+    for (VertexId v : vertices) {
+      WriteI64(out, graph.ExtIdOf(v, snap));
+      for (const auto& [prop, type] : props) {
+        WriteValue(out, graph.GetProperty(v, prop, snap));
+      }
+    }
+  }
+
+  // --- edges (per OUT relation, endpoints as external ids) ---
+  for (const Graph::RelationInfo& r : rels) {
+    RelationId rel = graph.FindRelation(r.key.src_label, r.key.edge_label,
+                                        r.key.dst_label, Direction::kOut);
+    std::vector<VertexId> sources;
+    graph.ScanLabel(r.key.src_label, snap, &sources);
+    // Count live edges first (tombstones are dropped by the snapshot).
+    uint64_t count = 0;
+    for (VertexId v : sources) {
+      AdjSpan span = graph.Neighbors(rel, v, snap);
+      for (uint32_t i = 0; i < span.size; ++i) {
+        if (span.ids[i] != kInvalidVertex) ++count;
+      }
+    }
+    WriteU64(out, count);
+    for (VertexId v : sources) {
+      AdjSpan span = graph.Neighbors(rel, v, snap);
+      int64_t src_ext = graph.ExtIdOf(v, snap);
+      for (uint32_t i = 0; i < span.size; ++i) {
+        if (span.ids[i] == kInvalidVertex) continue;
+        WriteI64(out, src_ext);
+        WriteI64(out, graph.ExtIdOf(span.ids[i], snap));
+        if (r.has_stamp) {
+          WriteI64(out, span.stamps == nullptr ? 0 : span.stamps[i]);
+        }
+      }
+    }
+  }
+  if (!out) return Status::Error("write failure");
+  return Status::OK();
+}
+
+Status LoadGraph(std::istream& in, Graph* graph) {
+  char magic[8];
+  if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::InvalidArgument("not a GES snapshot (bad magic)");
+  }
+  Catalog& catalog = graph->catalog();
+
+  // --- catalog ---
+  uint64_t num_vlabels;
+  if (!ReadU64(in, &num_vlabels)) return Status::Error("truncated header");
+  std::vector<std::vector<std::pair<PropertyId, ValueType>>> label_props(
+      num_vlabels);
+  for (uint64_t l = 0; l < num_vlabels; ++l) {
+    std::string name;
+    if (!ReadString(in, &name)) return Status::Error("truncated label");
+    LabelId label = catalog.AddVertexLabel(name);
+    uint64_t num_props;
+    if (!ReadU64(in, &num_props)) return Status::Error("truncated props");
+    for (uint64_t p = 0; p < num_props; ++p) {
+      std::string pname;
+      if (!ReadString(in, &pname)) return Status::Error("truncated prop");
+      int tag = in.get();
+      if (tag < 0) return Status::Error("truncated prop type");
+      PropertyId prop =
+          catalog.AddProperty(label, pname, static_cast<ValueType>(tag));
+      label_props[l].emplace_back(prop, static_cast<ValueType>(tag));
+    }
+  }
+  uint64_t num_elabels;
+  if (!ReadU64(in, &num_elabels)) return Status::Error("truncated");
+  for (uint64_t l = 0; l < num_elabels; ++l) {
+    std::string name;
+    if (!ReadString(in, &name)) return Status::Error("truncated edge label");
+    catalog.AddEdgeLabel(name);
+  }
+
+  // --- relations ---
+  uint64_t num_rels;
+  if (!ReadU64(in, &num_rels)) return Status::Error("truncated");
+  struct RelSpec {
+    LabelId src, edge, dst;
+    bool has_stamp;
+  };
+  std::vector<RelSpec> rels;
+  for (uint64_t r = 0; r < num_rels; ++r) {
+    uint64_t src, edge, dst;
+    if (!ReadU64(in, &src) || !ReadU64(in, &edge) || !ReadU64(in, &dst)) {
+      return Status::Error("truncated relation");
+    }
+    int has_stamp = in.get();
+    if (has_stamp < 0) return Status::Error("truncated relation");
+    RelSpec spec{static_cast<LabelId>(src), static_cast<LabelId>(edge),
+                 static_cast<LabelId>(dst), has_stamp != 0};
+    graph->RegisterRelation(spec.src, spec.edge, spec.dst, spec.has_stamp);
+    rels.push_back(spec);
+  }
+
+  // --- vertices ---
+  for (uint64_t l = 0; l < num_vlabels; ++l) {
+    uint64_t count;
+    if (!ReadU64(in, &count)) return Status::Error("truncated vertices");
+    for (uint64_t i = 0; i < count; ++i) {
+      int64_t ext;
+      if (!ReadI64(in, &ext)) return Status::Error("truncated vertex");
+      VertexId v = graph->AddVertexBulk(static_cast<LabelId>(l), ext);
+      for (const auto& [prop, type] : label_props[l]) {
+        Value value;
+        if (!ReadValue(in, &value)) return Status::Error("truncated value");
+        if (!value.is_null()) graph->SetPropertyBulk(v, prop, value);
+      }
+    }
+  }
+
+  // --- edges ---
+  for (const RelSpec& spec : rels) {
+    uint64_t count;
+    if (!ReadU64(in, &count)) return Status::Error("truncated edges");
+    for (uint64_t i = 0; i < count; ++i) {
+      int64_t src_ext, dst_ext, stamp = 0;
+      if (!ReadI64(in, &src_ext) || !ReadI64(in, &dst_ext)) {
+        return Status::Error("truncated edge");
+      }
+      if (spec.has_stamp && !ReadI64(in, &stamp)) {
+        return Status::Error("truncated stamp");
+      }
+      VertexId src = graph->FindByExtId(spec.src, src_ext, 0);
+      VertexId dst = graph->FindByExtId(spec.dst, dst_ext, 0);
+      if (src == kInvalidVertex || dst == kInvalidVertex) {
+        return Status::Error("edge references unknown vertex");
+      }
+      graph->AddEdgeBulk(spec.edge, src, dst, stamp);
+    }
+  }
+
+  graph->FinalizeBulk();
+  return Status::OK();
+}
+
+Status SaveGraphFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open " + path);
+  return SaveGraph(graph, out);
+}
+
+Status LoadGraphFile(const std::string& path, Graph* graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return LoadGraph(in, graph);
+}
+
+}  // namespace ges

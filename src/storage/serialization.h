@@ -1,0 +1,33 @@
+// Binary graph snapshots: save a graph (schema + data, at the current
+// version) to a single file and load it back.
+//
+// The format is a simple length-prefixed binary layout (magic + version
+// header, catalog, per-label vertex/property sections, per-relation edge
+// sections). Snapshots are self-describing: loading reconstructs the
+// catalog and relations, so a loaded graph serves queries immediately.
+// Overlay versions are folded into the snapshot (the save captures the
+// graph as of Graph::CurrentVersion()).
+#ifndef GES_STORAGE_SERIALIZATION_H_
+#define GES_STORAGE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/graph.h"
+
+namespace ges {
+
+// Serializes `graph` (which must be finalized) into `out`.
+Status SaveGraph(const Graph& graph, std::ostream& out);
+Status SaveGraphFile(const Graph& graph, const std::string& path);
+
+// Deserializes into `graph`, which must be freshly constructed (no schema,
+// no data). The loaded graph is finalized and ready for reads and MV2PL
+// writes.
+Status LoadGraph(std::istream& in, Graph* graph);
+Status LoadGraphFile(const std::string& path, Graph* graph);
+
+}  // namespace ges
+
+#endif  // GES_STORAGE_SERIALIZATION_H_

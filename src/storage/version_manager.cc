@@ -1,0 +1,136 @@
+#include "storage/version_manager.h"
+
+#include <algorithm>
+
+namespace ges {
+
+namespace {
+uint64_t ExtKey(LabelId label, int64_t ext_id) {
+  return (uint64_t{label} << 48) ^ static_cast<uint64_t>(ext_id);
+}
+}  // namespace
+
+const AdjOverlayEntry* AdjOverlay::Find(VertexId v, Version snapshot) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = heads_.find(v);
+  if (it == heads_.end()) return nullptr;
+  const AdjOverlayEntry* e = it->second.get();
+  while (e != nullptr && e->version > snapshot) e = e->prev.get();
+  return e;
+}
+
+std::shared_ptr<AdjOverlayEntry> AdjOverlay::Head(VertexId v) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = heads_.find(v);
+  return it == heads_.end() ? nullptr : it->second;
+}
+
+void AdjOverlay::Publish(VertexId v, std::shared_ptr<AdjOverlayEntry> entry) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = heads_.find(v);
+  if (it != heads_.end()) {
+    entry->prev = it->second;
+    it->second = std::move(entry);
+  } else {
+    heads_.emplace(v, std::move(entry));
+  }
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+bool PropOverlay::Find(VertexId v, PropertyId prop, Version snapshot,
+                       Value* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = heads_.find(v);
+  if (it == heads_.end()) return false;
+  for (const PropOverlayEntry* e = it->second.get(); e != nullptr;
+       e = e->prev.get()) {
+    if (e->version > snapshot) continue;
+    for (const auto& [pid, value] : e->writes) {
+      if (pid == prop) {
+        *out = value;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void PropOverlay::Publish(VertexId v, std::shared_ptr<PropOverlayEntry> entry) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = heads_.find(v);
+  if (it != heads_.end()) {
+    entry->prev = it->second;
+    it->second = std::move(entry);
+  } else {
+    heads_.emplace(v, std::move(entry));
+  }
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+void NewVertexRegistry::Publish(const NewVertex& v) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  vertices_[v.id] = v;
+  by_label_[v.label].emplace_back(v.version, v.id);
+  ext_index_[ExtKey(v.label, v.ext_id)] = {v.version, v.id};
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+bool NewVertexRegistry::Find(VertexId v, NewVertex* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = vertices_.find(v);
+  if (it == vertices_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void NewVertexRegistry::CollectVisible(LabelId label, Version snapshot,
+                                       std::vector<VertexId>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return;
+  for (const auto& [version, id] : it->second) {
+    if (version > snapshot) break;  // versions are nondecreasing per label
+    out->push_back(id);
+  }
+}
+
+size_t NewVertexRegistry::CountVisible(LabelId label, Version snapshot) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return 0;
+  size_t n = 0;
+  for (const auto& [version, id] : it->second) {
+    if (version > snapshot) break;
+    ++n;
+  }
+  return n;
+}
+
+bool NewVertexRegistry::FindByExtId(LabelId label, int64_t ext_id,
+                                    Version snapshot, VertexId* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ext_index_.find(ExtKey(label, ext_id));
+  if (it == ext_index_.end() || it->second.first > snapshot) return false;
+  *out = it->second.second;
+  return true;
+}
+
+std::vector<size_t> VersionManager::LockWriteSet(
+    const std::vector<VertexId>& write_set) {
+  std::vector<size_t> stripes;
+  stripes.reserve(write_set.size());
+  for (VertexId v : write_set) stripes.push_back(v % kNumStripes);
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  for (size_t s : stripes) stripe_locks_[s].lock();
+  return stripes;
+}
+
+void VersionManager::UnlockStripes(const std::vector<size_t>& stripes) {
+  // Unlock in reverse acquisition order.
+  for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
+    stripe_locks_[*it].unlock();
+  }
+}
+
+}  // namespace ges

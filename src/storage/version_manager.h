@@ -1,0 +1,157 @@
+// Multi-Version Two-Phase Locking (MV2PL) concurrency control.
+//
+// Following Section 5 of the paper: write queries declare their write sets
+// in advance and are coordinated with classical MV2PL; versions are kept at
+// coarse vertex granularity; a write creates new copy-on-write snapshots of
+// the vertices it modifies; reads are non-blocking against a version
+// counter. Base storage (bulk-loaded adjacency arrays and property columns)
+// is immutable after load; every post-load mutation is published as an
+// immutable overlay entry stamped with its commit version, so readers never
+// observe torn state.
+#ifndef GES_STORAGE_VERSION_MANAGER_H_
+#define GES_STORAGE_VERSION_MANAGER_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace ges {
+
+// One copy-on-write snapshot of a vertex's adjacency list within a relation.
+// Immutable once published; `prev` keeps older versions alive for readers
+// with older snapshots.
+struct AdjOverlayEntry {
+  Version version = 0;
+  std::vector<VertexId> ids;
+  std::vector<int64_t> stamps;
+  std::shared_ptr<AdjOverlayEntry> prev;
+};
+
+// Per-relation overlay of versioned adjacency lists.
+class AdjOverlay {
+ public:
+  // True if no vertex of this relation has ever been updated; lets the read
+  // path skip the map probe entirely for read-mostly workloads.
+  bool empty() const { return count_.load(std::memory_order_acquire) == 0; }
+
+  // Newest entry for `v` visible at `snapshot`, or nullptr (use base).
+  const AdjOverlayEntry* Find(VertexId v, Version snapshot) const;
+
+  // Newest entry regardless of version (for copy-on-write by a committer
+  // that holds the vertex's write lock).
+  std::shared_ptr<AdjOverlayEntry> Head(VertexId v) const;
+
+  // Publishes `entry` as the new head for `v`, linking the old head.
+  void Publish(VertexId v, std::shared_ptr<AdjOverlayEntry> entry);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<VertexId, std::shared_ptr<AdjOverlayEntry>> heads_;
+  std::atomic<size_t> count_{0};
+};
+
+// Versioned property writes for one vertex.
+struct PropOverlayEntry {
+  Version version = 0;
+  std::vector<std::pair<PropertyId, Value>> writes;
+  std::shared_ptr<PropOverlayEntry> prev;
+};
+
+class PropOverlay {
+ public:
+  bool empty() const { return count_.load(std::memory_order_acquire) == 0; }
+
+  // Looks up `prop` of `v` in versions visible at `snapshot`. Returns true
+  // and fills `*out` if an overlay write exists; false means "use base".
+  bool Find(VertexId v, PropertyId prop, Version snapshot, Value* out) const;
+
+  void Publish(VertexId v, std::shared_ptr<PropOverlayEntry> entry);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<VertexId, std::shared_ptr<PropOverlayEntry>> heads_;
+  std::atomic<size_t> count_{0};
+};
+
+// A vertex created after bulk load.
+struct NewVertex {
+  VertexId id = kInvalidVertex;
+  LabelId label = kInvalidLabel;
+  Version version = 0;  // creation (commit) version
+  int64_t ext_id = 0;
+};
+
+// Registry of post-load vertices, with per-label scan lists and external-id
+// index overlays.
+class NewVertexRegistry {
+ public:
+  bool empty() const { return count_.load(std::memory_order_acquire) == 0; }
+
+  void Publish(const NewVertex& v);
+
+  // Label of `v` if it is a committed new vertex visible at any version.
+  // Returns true and fills `*out` when found.
+  bool Find(VertexId v, NewVertex* out) const;
+
+  // Appends all new vertices of `label` visible at `snapshot` to `out`.
+  void CollectVisible(LabelId label, Version snapshot,
+                      std::vector<VertexId>* out) const;
+
+  bool FindByExtId(LabelId label, int64_t ext_id, Version snapshot,
+                   VertexId* out) const;
+
+  size_t CountVisible(LabelId label, Version snapshot) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<VertexId, NewVertex> vertices_;
+  // label -> creation-ordered list (versions are nondecreasing per label).
+  std::unordered_map<LabelId, std::vector<std::pair<Version, VertexId>>>
+      by_label_;
+  std::unordered_map<uint64_t, std::pair<Version, VertexId>> ext_index_;
+  std::atomic<size_t> count_{0};
+};
+
+// The version manager: global version counter plus striped per-vertex write
+// locks for the 2PL half of MV2PL.
+class VersionManager {
+ public:
+  static constexpr size_t kNumStripes = 1024;
+
+  // Snapshot version for a new reader. Non-blocking.
+  Version CurrentVersion() const {
+    return global_version_.load(std::memory_order_acquire);
+  }
+
+  // --- 2PL growing phase: lock a write set. Stripe indices are sorted and
+  // deduplicated so concurrent writers cannot deadlock. ---
+  std::vector<size_t> LockWriteSet(const std::vector<VertexId>& write_set);
+  void UnlockStripes(const std::vector<size_t>& stripes);
+
+  // --- commit protocol ---
+  // Serializes the publish phase so the global version only advances after
+  // every overlay entry of the committing transaction is visible.
+  std::mutex& commit_mutex() { return commit_mu_; }
+  Version NextVersionLocked() {
+    return global_version_.load(std::memory_order_relaxed) + 1;
+  }
+  void AdvanceVersionLocked(Version v) {
+    global_version_.store(v, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Version> global_version_{0};
+  std::mutex commit_mu_;
+  std::array<std::mutex, kNumStripes> stripe_locks_;
+};
+
+}  // namespace ges
+
+#endif  // GES_STORAGE_VERSION_MANAGER_H_

@@ -1,0 +1,125 @@
+// Property-based storage tests: random bulk graphs round-trip through the
+// adjacency tables; incremental inserts/removes preserve invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "storage/adjacency.h"
+#include "storage/graph.h"
+
+namespace ges {
+namespace {
+
+class AdjacencyRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdjacencyRandomTest, BulkBuildMatchesEdgeList) {
+  Rng rng(GetParam() * 2654435761u + 1);
+  size_t n = 1 + rng.Uniform(200);
+  size_t m = rng.Uniform(1000);
+  AdjacencyTable table(RelationKey{0, 0, 0, Direction::kOut},
+                       /*has_stamp=*/true);
+  std::multimap<VertexId, std::pair<VertexId, int64_t>> expected;
+  for (size_t e = 0; e < m; ++e) {
+    VertexId src = rng.Uniform(n);
+    VertexId dst = rng.Uniform(n);
+    int64_t stamp = static_cast<int64_t>(rng.Uniform(1u << 20));
+    table.StageEdge(src, dst, stamp);
+    expected.emplace(src, std::make_pair(dst, stamp));
+  }
+  table.Finalize(n);
+  EXPECT_EQ(table.num_edges(), m);
+
+  // Every vertex's span reproduces its staged edges, in insertion order.
+  for (VertexId v = 0; v < n; ++v) {
+    AdjSpan span = table.Neighbors(v);
+    auto [lo, hi] = expected.equal_range(v);
+    size_t count = static_cast<size_t>(std::distance(lo, hi));
+    ASSERT_EQ(span.size, count) << "vertex " << v;
+    size_t i = 0;
+    for (auto it = lo; it != hi; ++it, ++i) {
+      EXPECT_EQ(span.ids[i], it->second.first);
+      EXPECT_EQ(span.stamps[i], it->second.second);
+    }
+  }
+}
+
+TEST_P(AdjacencyRandomTest, IncrementalInsertsAndRemoves) {
+  Rng rng(GetParam() * 40503 + 7);
+  AdjacencyTable table(RelationKey{0, 0, 0, Direction::kOut}, false);
+  table.Finalize(8);
+  std::multiset<VertexId> live;
+  uint64_t inserted = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.Bernoulli(0.7)) {
+      VertexId dst = rng.Uniform(64);
+      table.InsertEdge(3, dst);
+      live.insert(dst);
+      ++inserted;
+    } else {
+      VertexId dst = *live.begin();
+      ASSERT_TRUE(table.RemoveEdge(3, dst));
+      live.erase(live.begin());
+    }
+    ASSERT_EQ(table.Degree(3), live.size());
+  }
+  // The span contains exactly the live multiset (tombstones excluded).
+  AdjSpan span = table.Neighbors(3);
+  std::multiset<VertexId> seen;
+  for (uint32_t i = 0; i < span.size; ++i) {
+    if (span.ids[i] != kInvalidVertex) seen.insert(span.ids[i]);
+  }
+  EXPECT_EQ(seen, live);
+  EXPECT_EQ(table.num_edges(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjacencyRandomTest, ::testing::Range(0, 10));
+
+// Random MV2PL write batches keep per-snapshot degree history consistent.
+TEST(MvccPropertyTest, DegreeHistoryPerSnapshot) {
+  Graph g;
+  LabelId node = g.catalog().AddVertexLabel("N");
+  LabelId e = g.catalog().AddEdgeLabel("E");
+  g.catalog().AddProperty(node, "id", ValueType::kInt64);
+  g.RegisterRelation(node, e, node);
+  std::vector<VertexId> v;
+  for (int i = 0; i < 10; ++i) v.push_back(g.AddVertexBulk(node, i));
+  g.FinalizeBulk();
+  RelationId rel = g.FindRelation(node, e, node, Direction::kOut);
+
+  Rng rng(99);
+  // history[k] = expected degree of v[0] at version k.
+  std::vector<uint32_t> history{0};
+  uint32_t degree = 0;
+  for (int step = 0; step < 60; ++step) {
+    bool remove = degree > 0 && rng.Bernoulli(0.3);
+    if (remove) {
+      // Pick an existing neighbor from the latest snapshot, then remove it.
+      AdjSpan span = g.Neighbors(rel, v[0], g.CurrentVersion());
+      VertexId target = kInvalidVertex;
+      for (uint32_t i = 0; i < span.size; ++i) {
+        if (span.ids[i] != kInvalidVertex) target = span.ids[i];
+      }
+      ASSERT_NE(target, kInvalidVertex);
+      auto txn = g.BeginWrite({v[0], target});
+      ASSERT_TRUE(txn->RemoveEdge(e, v[0], target).ok());
+      txn->Commit();
+      --degree;
+    } else {
+      VertexId other = v[1 + rng.Uniform(9)];
+      auto txn = g.BeginWrite({v[0], other});
+      ASSERT_TRUE(txn->AddEdge(e, v[0], other).ok());
+      txn->Commit();
+      ++degree;
+    }
+    history.push_back(degree);
+  }
+  // Every historical snapshot still answers with its own degree.
+  for (Version ver = 0; ver < history.size(); ++ver) {
+    EXPECT_EQ(g.Degree(rel, v[0], ver), history[ver]) << "version " << ver;
+  }
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,158 @@
+// Analytics (OLAP) kernel tests on graphs with known answers.
+#include "analytics/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::TinyGraph;
+
+// A dedicated graph for analytics: persons 0..5, symmetric FRIENDS edges
+// forming a triangle {0,1,2}, an edge 3-4 and an isolated 5.
+struct AnalyticsGraph {
+  Graph graph;
+  LabelId person;
+  LabelId friends;
+  RelationId out, in;
+  std::vector<VertexId> v;
+
+  AnalyticsGraph() {
+    Catalog& c = graph.catalog();
+    person = c.AddVertexLabel("PERSON");
+    friends = c.AddEdgeLabel("FRIENDS");
+    c.AddProperty(person, "id", ValueType::kInt64);
+    graph.RegisterRelation(person, friends, person);
+    for (int i = 0; i < 6; ++i) {
+      v.push_back(graph.AddVertexBulk(person, i));
+    }
+    auto add = [&](int a, int b) {
+      graph.AddEdgeBulk(friends, v[a], v[b]);
+      graph.AddEdgeBulk(friends, v[b], v[a]);
+    };
+    add(0, 1);
+    add(1, 2);
+    add(0, 2);
+    add(3, 4);
+    graph.FinalizeBulk();
+    out = graph.FindRelation(person, friends, person, Direction::kOut);
+    in = graph.FindRelation(person, friends, person, Direction::kIn);
+  }
+};
+
+TEST(WccTest, FindsThreeComponents) {
+  AnalyticsGraph g;
+  GraphView view(&g.graph);
+  WccResult wcc = WeaklyConnectedComponents(view, g.person, {g.out});
+  EXPECT_EQ(wcc.num_components, 3u);
+  ASSERT_EQ(wcc.component.size(), 6u);
+  // {0,1,2} share a component labeled with the smallest vertex id.
+  EXPECT_EQ(wcc.component[0], wcc.component[1]);
+  EXPECT_EQ(wcc.component[1], wcc.component[2]);
+  EXPECT_EQ(wcc.component[0], g.v[0]);
+  EXPECT_EQ(wcc.component[3], wcc.component[4]);
+  EXPECT_EQ(wcc.component[3], g.v[3]);
+  EXPECT_EQ(wcc.component[5], g.v[5]);
+  EXPECT_NE(wcc.component[0], wcc.component[3]);
+}
+
+TEST(TriangleTest, CountsTheTriangleOnce) {
+  AnalyticsGraph g;
+  GraphView view(&g.graph);
+  EXPECT_EQ(CountTriangles(view, g.person, g.out), 1u);
+}
+
+TEST(PageRankTest, SumsToOneAndRanksHubs) {
+  AnalyticsGraph g;
+  GraphView view(&g.graph);
+  PageRankResult pr = PageRank(view, g.person, {g.out}, 30);
+  double sum = 0;
+  for (double s : pr.scores) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Triangle members have equal rank by symmetry; the isolated vertex has
+  // the lowest rank.
+  EXPECT_NEAR(pr.scores[0], pr.scores[1], 1e-9);
+  EXPECT_NEAR(pr.scores[1], pr.scores[2], 1e-9);
+  EXPECT_LT(pr.scores[5], pr.scores[0]);
+  EXPECT_NEAR(pr.scores[3], pr.scores[4], 1e-9);
+}
+
+TEST(PageRankTest, EmptyLabel) {
+  Graph graph;
+  LabelId empty = graph.catalog().AddVertexLabel("EMPTY");
+  graph.FinalizeBulk();
+  GraphView view(&graph);
+  PageRankResult pr = PageRank(view, empty, {});
+  EXPECT_TRUE(pr.vertices.empty());
+}
+
+TEST(BfsDistancesTest, DistancesAndDepthBound) {
+  // Path 0-1-2 plus 3-4: distances from 0.
+  AnalyticsGraph g;
+  GraphView view(&g.graph);
+  auto dist = BfsDistances(view, {g.out}, g.v[0]);
+  EXPECT_EQ(dist[g.v[0]], 0);
+  EXPECT_EQ(dist[g.v[1]], 1);
+  EXPECT_EQ(dist[g.v[2]], 1);
+  EXPECT_EQ(dist.count(g.v[3]), 0u);
+  EXPECT_EQ(dist.count(g.v[5]), 0u);
+
+  auto bounded = BfsDistances(view, {g.out}, g.v[0], 0);
+  EXPECT_EQ(bounded.size(), 1u);
+}
+
+TEST(DegreeHistogramTest, CountsDegrees) {
+  AnalyticsGraph g;
+  GraphView view(&g.graph);
+  std::vector<uint64_t> h = DegreeHistogram(view, g.person, g.out);
+  // Degrees: v0,v1,v2 = 2; v3,v4 = 1; v5 = 0.
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 3u);
+}
+
+TEST(AnalyticsSnbTest, KernelsRunOnSnbGraph) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  const SnbSchema& s = fx.data.schema;
+  GraphView view(&fx.graph);
+  RelationId knows =
+      fx.graph.FindRelation(s.person, s.knows, s.person, Direction::kOut);
+
+  PageRankResult pr = PageRank(view, s.person, {knows}, 10);
+  double sum = 0;
+  for (double x : pr.scores) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+
+  WccResult wcc = WeaklyConnectedComponents(view, s.person, {knows});
+  EXPECT_GE(wcc.num_components, 1u);
+  EXPECT_LE(wcc.num_components, fx.data.persons.size());
+
+  uint64_t triangles = CountTriangles(view, s.person, knows);
+  // A skewed social graph with local clustering should close triangles.
+  EXPECT_GT(triangles, 0u);
+}
+
+TEST(AnalyticsSnapshotTest, RespectsMvccSnapshots) {
+  AnalyticsGraph g;
+  Version before = g.graph.CurrentVersion();
+  {
+    auto txn = g.graph.BeginWrite({g.v[2], g.v[3]});
+    ASSERT_TRUE(txn->AddEdge(g.friends, g.v[2], g.v[3]).ok());
+    ASSERT_TRUE(txn->AddEdge(g.friends, g.v[3], g.v[2]).ok());
+    txn->Commit();
+  }
+  GraphView old_view(&g.graph, before);
+  GraphView new_view(&g.graph);
+  EXPECT_EQ(WeaklyConnectedComponents(old_view, g.person, {g.out})
+                .num_components,
+            3u);
+  EXPECT_EQ(WeaklyConnectedComponents(new_view, g.person, {g.out})
+                .num_components,
+            2u);
+}
+
+}  // namespace
+}  // namespace ges

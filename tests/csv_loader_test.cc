@@ -1,0 +1,199 @@
+// CSV import/export tests: parsing, loading, round-tripping.
+#include "storage/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "executor/executor.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+TEST(CsvParseTest, SplitLine) {
+  EXPECT_EQ(SplitCsvLine("a|b|c", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("a||c", '|'),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitCsvLine("solo", '|'), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(SplitCsvLine("a,b", ','), (std::vector<std::string>{"a", "b"}));
+  // Trailing \r stripped.
+  EXPECT_EQ(SplitCsvLine("a|b\r", '|'),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParseTest, ParseTypedValues) {
+  Value v;
+  ASSERT_TRUE(ParseCsvValue("42", ValueType::kInt64, &v).ok());
+  EXPECT_EQ(v, Value::Int(42));
+  ASSERT_TRUE(ParseCsvValue("2.5", ValueType::kDouble, &v).ok());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+  ASSERT_TRUE(ParseCsvValue("hello", ValueType::kString, &v).ok());
+  EXPECT_EQ(v.AsString(), "hello");
+  ASSERT_TRUE(ParseCsvValue("true", ValueType::kBool, &v).ok());
+  EXPECT_TRUE(v.AsBool());
+}
+
+TEST(CsvParseTest, ParseIsoDates) {
+  Value v;
+  ASSERT_TRUE(ParseCsvValue("1970-01-01", ValueType::kDate, &v).ok());
+  EXPECT_EQ(v.AsInt(), 0);
+  ASSERT_TRUE(ParseCsvValue("1970-01-02", ValueType::kDate, &v).ok());
+  EXPECT_EQ(v.AsInt(), 86'400'000LL);
+  ASSERT_TRUE(ParseCsvValue("2010-01-01", ValueType::kDate, &v).ok());
+  EXPECT_EQ(v.AsInt(), kSimStart);
+  ASSERT_TRUE(ParseCsvValue("2013-01-01", ValueType::kDate, &v).ok());
+  EXPECT_EQ(v.AsInt(), kSimEnd);
+  // Leap day.
+  ASSERT_TRUE(ParseCsvValue("1972-03-01", ValueType::kDate, &v).ok());
+  EXPECT_EQ(v.AsInt(), (365LL * 2 + 31 + 29) * 86'400'000LL);
+  // Raw millis fall through.
+  ASSERT_TRUE(ParseCsvValue("123456789", ValueType::kDate, &v).ok());
+  EXPECT_EQ(v.AsInt(), 123456789);
+}
+
+class CsvGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog& c = graph_.catalog();
+    person_ = c.AddVertexLabel("PERSON");
+    knows_ = c.AddEdgeLabel("KNOWS");
+    c.AddProperty(person_, "id", ValueType::kInt64);
+    name_ = c.AddProperty(person_, "name", ValueType::kString);
+    age_ = c.AddProperty(person_, "age", ValueType::kInt64);
+    graph_.RegisterRelation(person_, knows_, person_, /*has_stamp=*/true);
+  }
+
+  Graph graph_;
+  LabelId person_, knows_;
+  PropertyId name_, age_;
+};
+
+TEST_F(CsvGraphTest, LoadVerticesAndEdges) {
+  std::istringstream people(
+      "id|name|age\n"
+      "10|ada|36\n"
+      "20|alan|41\n"
+      "30|grace|85\n");
+  size_t n = 0;
+  ASSERT_TRUE(LoadVerticesCsv(people, person_, &graph_, &n).ok());
+  EXPECT_EQ(n, 3u);
+
+  std::istringstream knows(
+      "Person.id|Person.id|since\n"
+      "10|20|2001\n"
+      "20|30|2002\n");
+  size_t m = 0;
+  ASSERT_TRUE(LoadEdgesCsv(knows, knows_, person_, person_, &graph_, &m).ok());
+  EXPECT_EQ(m, 2u);
+  graph_.FinalizeBulk();
+
+  Version v = graph_.CurrentVersion();
+  VertexId ada = graph_.FindByExtId(person_, 10, v);
+  ASSERT_NE(ada, kInvalidVertex);
+  EXPECT_EQ(graph_.GetProperty(ada, name_, v), Value::String("ada"));
+  EXPECT_EQ(graph_.GetProperty(ada, age_, v), Value::Int(36));
+  RelationId rel =
+      graph_.FindRelation(person_, knows_, person_, Direction::kOut);
+  AdjSpan s = graph_.Neighbors(rel, ada, v);
+  ASSERT_EQ(s.size, 1u);
+  EXPECT_EQ(s.ids[0], graph_.FindByExtId(person_, 20, v));
+  ASSERT_NE(s.stamps, nullptr);
+  EXPECT_EQ(s.stamps[0], 2001);
+}
+
+TEST_F(CsvGraphTest, ErrorOnMissingIdColumn) {
+  std::istringstream in("name|age\nada|36\n");
+  size_t n = 0;
+  EXPECT_FALSE(LoadVerticesCsv(in, person_, &graph_, &n).ok());
+}
+
+TEST_F(CsvGraphTest, ErrorOnUnknownProperty) {
+  std::istringstream in("id|nope\n1|x\n");
+  size_t n = 0;
+  EXPECT_FALSE(LoadVerticesCsv(in, person_, &graph_, &n).ok());
+}
+
+TEST_F(CsvGraphTest, ErrorOnFieldCountMismatch) {
+  std::istringstream in("id|name|age\n1|ada\n");
+  size_t n = 0;
+  EXPECT_FALSE(LoadVerticesCsv(in, person_, &graph_, &n).ok());
+}
+
+TEST_F(CsvGraphTest, ErrorOnUnknownEdgeEndpoint) {
+  std::istringstream people("id|name|age\n10|ada|36\n");
+  size_t n = 0;
+  ASSERT_TRUE(LoadVerticesCsv(people, person_, &graph_, &n).ok());
+  std::istringstream edges("a|b\n10|99\n");
+  size_t m = 0;
+  EXPECT_FALSE(
+      LoadEdgesCsv(edges, knows_, person_, person_, &graph_, &m).ok());
+}
+
+TEST_F(CsvGraphTest, RoundTripPreservesGraph) {
+  std::istringstream people(
+      "id|name|age\n1|a|10\n2|b|20\n3|c|30\n");
+  size_t n = 0;
+  ASSERT_TRUE(LoadVerticesCsv(people, person_, &graph_, &n).ok());
+  std::istringstream edges("s|d|t\n1|2|7\n2|3|8\n3|1|9\n");
+  size_t m = 0;
+  ASSERT_TRUE(
+      LoadEdgesCsv(edges, knows_, person_, person_, &graph_, &m).ok());
+  graph_.FinalizeBulk();
+
+  // Export.
+  std::ostringstream people_out, edges_out;
+  ASSERT_TRUE(ExportVerticesCsv(graph_, person_, people_out).ok());
+  ASSERT_TRUE(
+      ExportEdgesCsv(graph_, knows_, person_, person_, edges_out).ok());
+
+  // Re-import into a fresh graph with the same schema.
+  Graph copy;
+  Catalog& c = copy.catalog();
+  LabelId person = c.AddVertexLabel("PERSON");
+  LabelId knows = c.AddEdgeLabel("KNOWS");
+  c.AddProperty(person, "id", ValueType::kInt64);
+  c.AddProperty(person, "name", ValueType::kString);
+  c.AddProperty(person, "age", ValueType::kInt64);
+  copy.RegisterRelation(person, knows, person, true);
+  std::istringstream people_in(people_out.str());
+  std::istringstream edges_in(edges_out.str());
+  ASSERT_TRUE(LoadVerticesCsv(people_in, person, &copy, &n).ok());
+  EXPECT_EQ(n, 3u);
+  ASSERT_TRUE(LoadEdgesCsv(edges_in, knows, person, person, &copy, &m).ok());
+  EXPECT_EQ(m, 3u);
+  copy.FinalizeBulk();
+
+  // Structures agree.
+  Version v = copy.CurrentVersion();
+  EXPECT_EQ(copy.NumVertices(person, v), 3u);
+  EXPECT_EQ(copy.NumEdgesTotal(), 3u);
+  RelationId rel = copy.FindRelation(person, knows, person, Direction::kOut);
+  VertexId a = copy.FindByExtId(person, 1, v);
+  AdjSpan s = copy.Neighbors(rel, a, v);
+  ASSERT_EQ(s.size, 1u);
+  EXPECT_EQ(s.stamps[0], 7);
+}
+
+TEST(CsvSnbTest, ExportedSnbEdgesMatchGraph) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  const SnbSchema& s = fx.data.schema;
+  std::ostringstream out;
+  ASSERT_TRUE(ExportEdgesCsv(fx.graph, s.knows, s.person, s.person, out).ok());
+  // Header + one line per directed knows edge.
+  std::istringstream in(out.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  RelationId knows = fx.graph.FindRelation(s.person, s.knows, s.person,
+                                           Direction::kOut);
+  size_t expected = 0;
+  for (VertexId p : fx.data.persons) {
+    expected += fx.graph.Neighbors(knows, p, 0).size;
+  }
+  EXPECT_EQ(lines, expected + 1);
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,183 @@
+// Datagen tests: determinism, schema completeness, scale behaviour,
+// timestamp consistency.
+#include <gtest/gtest.h>
+
+#include "datagen/snb_generator.h"
+#include "executor/graph_view.h"
+
+namespace ges {
+namespace {
+
+TEST(DatagenTest, PersonCountFollowsPaperCurve) {
+  // Table 1 of the paper: SF1 ~ 11K persons; the curve is monotone.
+  EXPECT_EQ(SnbPersonCount(1.0), 11000u);
+  EXPECT_GT(SnbPersonCount(10.0), SnbPersonCount(1.0));
+  EXPECT_GE(SnbPersonCount(0.0001), 50u);  // floor
+}
+
+TEST(DatagenTest, DeterministicForSeed) {
+  SnbConfig config;
+  config.scale_factor = 0.01;
+  Graph g1, g2;
+  SnbData d1 = GenerateSnb(config, &g1);
+  SnbData d2 = GenerateSnb(config, &g2);
+  EXPECT_EQ(g1.NumVerticesTotal(), g2.NumVerticesTotal());
+  EXPECT_EQ(g1.NumEdgesTotal(), g2.NumEdgesTotal());
+  ASSERT_EQ(d1.persons.size(), d2.persons.size());
+  // Spot-check properties of a few persons.
+  GraphView v1(&g1), v2(&g2);
+  for (size_t i = 0; i < d1.persons.size(); i += 37) {
+    EXPECT_EQ(v1.Property(d1.persons[i], d1.schema.first_name),
+              v2.Property(d2.persons[i], d2.schema.first_name));
+  }
+}
+
+TEST(DatagenTest, DifferentSeedsDiffer) {
+  SnbConfig a, b;
+  a.scale_factor = b.scale_factor = 0.01;
+  a.seed = 1;
+  b.seed = 2;
+  Graph g1, g2;
+  GenerateSnb(a, &g1);
+  GenerateSnb(b, &g2);
+  EXPECT_NE(g1.NumEdgesTotal(), g2.NumEdgesTotal());
+}
+
+class DatagenFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_.scale_factor = 0.02;
+    graph_ = new Graph();
+    data_ = new SnbData(GenerateSnb(config_, graph_));
+  }
+
+  static SnbConfig config_;
+  static Graph* graph_;
+  static SnbData* data_;
+};
+SnbConfig DatagenFixture::config_;
+Graph* DatagenFixture::graph_ = nullptr;
+SnbData* DatagenFixture::data_ = nullptr;
+
+TEST_F(DatagenFixture, EntityCountsScale) {
+  const SnbData& d = *data_;
+  EXPECT_EQ(d.persons.size(), SnbPersonCount(0.02));
+  EXPECT_GT(d.posts.size(), d.persons.size());
+  EXPECT_GT(d.comments.size(), d.posts.size());
+  EXPECT_GT(d.forums.size(), 0u);
+  EXPECT_GT(d.tags.size(), 0u);
+  EXPECT_EQ(d.places.size(), d.num_cities + d.num_countries + 6);
+}
+
+TEST_F(DatagenFixture, EveryPersonHasCityAndProperties) {
+  GraphView view(graph_);
+  const SnbData& d = *data_;
+  RelationId person_city = graph_->FindRelation(
+      d.schema.person, d.schema.is_located_in, d.schema.place,
+      Direction::kOut);
+  ASSERT_NE(person_city, kInvalidRelation);
+  for (VertexId p : d.persons) {
+    EXPECT_EQ(view.Neighbors(person_city, p).size, 1u);
+    EXPECT_FALSE(view.Property(p, d.schema.first_name).is_null());
+    EXPECT_FALSE(view.Property(p, d.schema.first_name).AsString().empty());
+    int64_t month = view.Property(p, d.schema.birthday_month).AsInt();
+    EXPECT_GE(month, 1);
+    EXPECT_LE(month, 12);
+  }
+}
+
+TEST_F(DatagenFixture, KnowsIsSymmetric) {
+  GraphView view(graph_);
+  const SnbData& d = *data_;
+  RelationId knows = graph_->FindRelation(d.schema.person, d.schema.knows,
+                                          d.schema.person, Direction::kOut);
+  for (size_t i = 0; i < d.persons.size(); i += 13) {
+    VertexId p = d.persons[i];
+    AdjSpan s = view.Neighbors(knows, p);
+    for (uint32_t k = 0; k < s.size; ++k) {
+      AdjSpan back = view.Neighbors(knows, s.ids[k]);
+      bool found = false;
+      for (uint32_t j = 0; j < back.size; ++j) found |= back.ids[j] == p;
+      EXPECT_TRUE(found) << "knows edge missing reverse direction";
+    }
+  }
+}
+
+TEST_F(DatagenFixture, RepliesAreNewerThanParents) {
+  GraphView view(graph_);
+  const SnbData& d = *data_;
+  RelationId reply_of_post = graph_->FindRelation(
+      d.schema.comment, d.schema.reply_of, d.schema.post, Direction::kOut);
+  int checked = 0;
+  for (size_t i = 0; i < d.comments.size(); i += 29) {
+    VertexId cmt = d.comments[i];
+    AdjSpan parents = view.Neighbors(reply_of_post, cmt);
+    for (uint32_t k = 0; k < parents.size; ++k) {
+      int64_t child_date =
+          view.Property(cmt, d.schema.creation_date).AsInt();
+      int64_t parent_date =
+          view.Property(parents.ids[k], d.schema.creation_date).AsInt();
+      EXPECT_GT(child_date, parent_date);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(DatagenFixture, EveryCommentHasExactlyOneParent) {
+  GraphView view(graph_);
+  const SnbData& d = *data_;
+  RelationId to_post = graph_->FindRelation(
+      d.schema.comment, d.schema.reply_of, d.schema.post, Direction::kOut);
+  RelationId to_comment = graph_->FindRelation(
+      d.schema.comment, d.schema.reply_of, d.schema.comment, Direction::kOut);
+  for (VertexId cmt : d.comments) {
+    uint32_t parents =
+        view.Neighbors(to_post, cmt).size + view.Neighbors(to_comment, cmt).size;
+    EXPECT_EQ(parents, 1u);
+  }
+}
+
+TEST_F(DatagenFixture, EveryPostInExactlyOneForum) {
+  GraphView view(graph_);
+  const SnbData& d = *data_;
+  RelationId post_forum = graph_->FindRelation(
+      d.schema.post, d.schema.container_of, d.schema.forum, Direction::kIn);
+  for (VertexId post : d.posts) {
+    EXPECT_EQ(view.Neighbors(post_forum, post).size, 1u);
+  }
+}
+
+TEST_F(DatagenFixture, PlaceHierarchyComplete) {
+  GraphView view(graph_);
+  const SnbData& d = *data_;
+  RelationId part_of = graph_->FindRelation(
+      d.schema.place, d.schema.is_part_of, d.schema.place, Direction::kOut);
+  // Every city maps to a country; every country to a continent.
+  for (size_t i = 0; i < d.num_cities + d.num_countries; ++i) {
+    EXPECT_EQ(view.Neighbors(part_of, d.places[i]).size, 1u);
+  }
+  // Continents are roots.
+  for (size_t i = d.num_cities + d.num_countries; i < d.places.size(); ++i) {
+    EXPECT_EQ(view.Neighbors(part_of, d.places[i]).size, 0u);
+  }
+}
+
+TEST_F(DatagenFixture, DegreeDistributionIsSkewed) {
+  GraphView view(graph_);
+  const SnbData& d = *data_;
+  RelationId knows = graph_->FindRelation(d.schema.person, d.schema.knows,
+                                          d.schema.person, Direction::kOut);
+  uint32_t max_deg = 0;
+  uint64_t total = 0;
+  for (VertexId p : d.persons) {
+    uint32_t deg = view.Neighbors(knows, p).size;
+    max_deg = std::max(max_deg, deg);
+    total += deg;
+  }
+  double avg = static_cast<double>(total) / d.persons.size();
+  EXPECT_GT(max_deg, avg * 4) << "expected power-law hubs";
+}
+
+}  // namespace
+}  // namespace ges

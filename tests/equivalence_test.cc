@@ -1,0 +1,114 @@
+// Cross-engine result equivalence — the repository's stand-in for the LDBC
+// audit. Every IC and IS query must produce the same relation on the
+// Volcano, flat, factorized, and fused engines.
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "queries/ldbc.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::OrderedRows;
+using testutil::SnbFixture;
+using testutil::SortedRows;
+
+class EquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int kParamsPerQuery = 5;
+};
+
+void ExpectAllEnginesAgree(const Plan& plan, const GraphView& view,
+                           const std::string& label) {
+  Executor volcano(ExecMode::kVolcano);
+  Executor flat(ExecMode::kFlat);
+  Executor fact(ExecMode::kFactorized);
+  Executor fused(ExecMode::kFactorizedFused);
+
+  QueryResult r_volcano = volcano.Run(plan, view);
+  QueryResult r_flat = flat.Run(plan, view);
+  QueryResult r_fact = fact.Run(plan, view);
+  QueryResult r_fused = fused.Run(plan, view);
+
+  // Plans ending in ORDER BY must agree on row order; plans ending with a
+  // LIMIT over unordered data may legitimately pick different rows, so we
+  // compare as multisets for those (the LDBC queries all end ordered).
+  auto rows_volcano = OrderedRows(r_volcano.table);
+  auto rows_flat = OrderedRows(r_flat.table);
+  auto rows_fact = OrderedRows(r_fact.table);
+  auto rows_fused = OrderedRows(r_fused.table);
+
+  EXPECT_EQ(rows_flat, rows_volcano) << label << ": flat vs volcano";
+  EXPECT_EQ(rows_fact, rows_flat) << label << ": factorized vs flat";
+  EXPECT_EQ(rows_fused, rows_flat) << label << ": fused vs flat";
+}
+
+TEST_P(EquivalenceTest, IC) {
+  int k = GetParam();
+  SnbFixture& fx = SnbFixture::Shared();
+  ParamGen gen(&fx.graph, &fx.data, /*seed=*/1000 + k);
+  LdbcContext ctx = LdbcContext::Resolve(fx.graph, fx.data.schema);
+  GraphView view(&fx.graph);
+  for (int i = 0; i < kParamsPerQuery; ++i) {
+    LdbcParams p = gen.Next();
+    Plan plan = BuildIC(k, ctx, p);
+    ExpectAllEnginesAgree(plan, view,
+                          "IC" + std::to_string(k) + " params#" +
+                              std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIC, EquivalenceTest,
+                         ::testing::Range(1, 15),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "IC" + std::to_string(info.param);
+                         });
+
+class IsEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsEquivalenceTest, IS) {
+  int k = GetParam();
+  SnbFixture& fx = SnbFixture::Shared();
+  ParamGen gen(&fx.graph, &fx.data, /*seed=*/2000 + k);
+  LdbcContext ctx = LdbcContext::Resolve(fx.graph, fx.data.schema);
+  GraphView view(&fx.graph);
+  for (int i = 0; i < 5; ++i) {
+    LdbcParams p = gen.Next();
+    Plan plan = BuildIS(k, ctx, p);
+    ExpectAllEnginesAgree(plan, view,
+                          "IS" + std::to_string(k) + " params#" +
+                              std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIS, IsEquivalenceTest,
+                         ::testing::Range(1, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "IS" + std::to_string(info.param);
+                         });
+
+// Queries must generally return data for curated parameters: at least one
+// of the parameter draws yields a non-empty result for each query that can
+// produce rows on a tiny graph.
+TEST(QuerySanity, CuratedParametersProduceResults) {
+  SnbFixture& fx = SnbFixture::Shared();
+  ParamGen gen(&fx.graph, &fx.data, /*seed=*/77);
+  LdbcContext ctx = LdbcContext::Resolve(fx.graph, fx.data.schema);
+  GraphView view(&fx.graph);
+  Executor exec(ExecMode::kFactorizedFused);
+  // IC3/IC6/IC10/IC13 can legitimately be empty on a tiny graph
+  // (selective filters); require the bread-and-butter queries to hit.
+  for (int k : {1, 2, 4, 5, 7, 8, 9}) {
+    bool any = false;
+    for (int i = 0; i < 10 && !any; ++i) {
+      LdbcParams p = gen.Next();
+      QueryResult r = exec.Run(BuildIC(k, ctx, p), view);
+      any = r.table.NumRows() > 0;
+    }
+    EXPECT_TRUE(any) << "IC" << k << " returned no rows for any parameters";
+  }
+}
+
+}  // namespace
+}  // namespace ges

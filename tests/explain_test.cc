@@ -1,0 +1,141 @@
+// EXPLAIN / plan-validation tests, including validation of every workload
+// query (fused and unfused).
+#include "executor/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "executor/optimizer.h"
+#include "queries/ldbc.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::TinyGraph;
+
+Plan SimplePlan(const TinyGraph& tiny) {
+  PlanBuilder b("sample");
+  b.NodeByIdSeek("p", tiny.person, 0)
+      .Expand("p", "f", {tiny.knows_out}, 1, 2, true, true)
+      .GetProperty("f", tiny.id, ValueType::kInt64, "fid")
+      .Filter(Expr::Gt(Expr::Col("fid"), Expr::Lit(Value::Int(0))))
+      .OrderBy({{"fid", true}}, 5)
+      .Output({"fid"});
+  return b.Build();
+}
+
+TEST(ExplainTest, RendersEveryOperator) {
+  TinyGraph tiny;
+  std::string text = ExplainPlan(SimplePlan(tiny));
+  EXPECT_NE(text.find("NodeByIdSeek"), std::string::npos);
+  EXPECT_NE(text.find("Expand"), std::string::npos);
+  EXPECT_NE(text.find("(*1..2)"), std::string::npos);
+  EXPECT_NE(text.find("GetProperty"), std::string::npos);
+  EXPECT_NE(text.find("OrderBy"), std::string::npos);
+  EXPECT_NE(text.find("limit=5"), std::string::npos);
+  EXPECT_NE(text.find("output: [fid]"), std::string::npos);
+  EXPECT_NE(text.find("[sample]"), std::string::npos);
+}
+
+TEST(ExplainTest, ShowsFusedOperators) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 3)
+      .Expand("p", "m", {tiny.person_messages})
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .Filter(Expr::Gt(Expr::Col("len"), Expr::Lit(Value::Int(100))))
+      .OrderBy({{"len", false}}, 3)
+      .Output({"m", "len"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  std::string text = ExplainPlan(fused);
+  EXPECT_NE(text.find("ExpandFiltered"), std::string::npos);
+  EXPECT_NE(text.find("TopK"), std::string::npos);
+}
+
+TEST(ValidateTest, AcceptsWellFormedPlan) {
+  TinyGraph tiny;
+  Status s = ValidatePlan(SimplePlan(tiny));
+  EXPECT_TRUE(s.ok()) << s.message();
+}
+
+TEST(ValidateTest, RejectsEmptyPlan) {
+  EXPECT_FALSE(ValidatePlan(Plan{}).ok());
+}
+
+TEST(ValidateTest, RejectsNonLeafFirstOp) {
+  Plan plan;
+  PlanOp op;
+  op.type = OpType::kFilter;
+  op.predicate = Expr::Lit(Value::Bool(true));
+  plan.ops.push_back(std::move(op));
+  EXPECT_FALSE(ValidatePlan(plan).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownConsumedColumn) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0)
+      .Expand("nope", "f", {tiny.knows_out})
+      .Output({"f"});
+  Status s = ValidatePlan(b.Build());
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsDuplicateColumn) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0)
+      .Expand("p", "p", {tiny.knows_out})  // shadows the seek column
+      .Output({"p"});
+  EXPECT_FALSE(ValidatePlan(b.Build()).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownOutputColumn) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0).Output({"ghost"});
+  EXPECT_FALSE(ValidatePlan(b.Build()).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownSortKey) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0).OrderBy({{"ghost", true}}).Output({"p"});
+  EXPECT_FALSE(ValidatePlan(b.Build()).ok());
+}
+
+TEST(ValidateTest, AggregationReplacesLiveColumns) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny.message)
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .Aggregate({"len"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      // "m" is gone after aggregation:
+      .Filter(Expr::Gt(Expr::Col("m"), Expr::Lit(Value::Int(0))))
+      .Output({"len"});
+  EXPECT_FALSE(ValidatePlan(b.Build()).ok());
+}
+
+// Every workload query must validate, both raw and after fusion.
+TEST(ValidateTest, AllWorkloadQueriesValidate) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  LdbcContext ctx = LdbcContext::Resolve(fx.graph, fx.data.schema);
+  ParamGen gen(&fx.graph, &fx.data, 1);
+  LdbcParams p = gen.Next();
+  for (int k = 1; k <= 14; ++k) {
+    Plan plan = BuildIC(k, ctx, p);
+    Status s = ValidatePlan(plan);
+    EXPECT_TRUE(s.ok()) << "IC" << k << ": " << s.message();
+    Status sf = ValidatePlan(OptimizePlan(plan, ExecOptions{}));
+    EXPECT_TRUE(sf.ok()) << "IC" << k << " fused: " << sf.message();
+  }
+  for (int k = 1; k <= 7; ++k) {
+    Plan plan = BuildIS(k, ctx, p);
+    Status s = ValidatePlan(plan);
+    EXPECT_TRUE(s.ok()) << "IS" << k << ": " << s.message();
+  }
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,128 @@
+// Expression tree construction, binding and evaluation tests.
+#include "executor/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace ges {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.Add("a", ValueType::kInt64);
+  s.Add("b", ValueType::kString);
+  return s;
+}
+
+Value EvalOn(const ExprPtr& e, const Schema& s, std::vector<Value> row) {
+  return BoundExpr::Bind(*e, s).EvalRow(row);
+}
+
+TEST(ExprTest, Comparisons) {
+  Schema s = TwoColSchema();
+  std::vector<Value> row{Value::Int(5), Value::String("x")};
+  EXPECT_TRUE(EvalOn(Expr::Eq(Expr::Col("a"), Expr::Lit(Value::Int(5))), s,
+                     row)
+                  .AsBool());
+  EXPECT_FALSE(EvalOn(Expr::Ne(Expr::Col("a"), Expr::Lit(Value::Int(5))), s,
+                      row)
+                   .AsBool());
+  EXPECT_TRUE(EvalOn(Expr::Lt(Expr::Col("a"), Expr::Lit(Value::Int(6))), s,
+                     row)
+                  .AsBool());
+  EXPECT_TRUE(EvalOn(Expr::Le(Expr::Col("a"), Expr::Lit(Value::Int(5))), s,
+                     row)
+                  .AsBool());
+  EXPECT_FALSE(EvalOn(Expr::Gt(Expr::Col("a"), Expr::Lit(Value::Int(5))), s,
+                      row)
+                   .AsBool());
+  EXPECT_TRUE(EvalOn(Expr::Ge(Expr::Col("a"), Expr::Lit(Value::Int(5))), s,
+                     row)
+                  .AsBool());
+}
+
+TEST(ExprTest, Logical) {
+  Schema s = TwoColSchema();
+  std::vector<Value> row{Value::Int(5), Value::String("x")};
+  auto t = Expr::Lit(Value::Bool(true));
+  auto f = Expr::Lit(Value::Bool(false));
+  EXPECT_TRUE(EvalOn(Expr::And(t, t), s, row).AsBool());
+  EXPECT_FALSE(EvalOn(Expr::And(t, f), s, row).AsBool());
+  EXPECT_TRUE(EvalOn(Expr::Or(f, t), s, row).AsBool());
+  EXPECT_FALSE(EvalOn(Expr::Or(f, f), s, row).AsBool());
+  EXPECT_TRUE(EvalOn(Expr::Not(f), s, row).AsBool());
+}
+
+TEST(ExprTest, ArithmeticIntAndDouble) {
+  Schema s = TwoColSchema();
+  std::vector<Value> row{Value::Int(5), Value::String("x")};
+  EXPECT_EQ(EvalOn(Expr::Add(Expr::Col("a"), Expr::Lit(Value::Int(3))), s,
+                   row),
+            Value::Int(8));
+  EXPECT_EQ(EvalOn(Expr::Sub(Expr::Col("a"), Expr::Lit(Value::Int(3))), s,
+                   row),
+            Value::Int(2));
+  EXPECT_EQ(EvalOn(Expr::Mul(Expr::Col("a"), Expr::Lit(Value::Int(3))), s,
+                   row),
+            Value::Int(15));
+  Value d = EvalOn(Expr::Add(Expr::Col("a"), Expr::Lit(Value::Double(0.5))),
+                   s, row);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 5.5);
+}
+
+TEST(ExprTest, InList) {
+  Schema s = TwoColSchema();
+  std::vector<Value> row{Value::Int(5), Value::String("x")};
+  auto in = Expr::In(Expr::Col("a"),
+                     {Value::Int(1), Value::Int(5), Value::Int(9)});
+  EXPECT_TRUE(EvalOn(in, s, row).AsBool());
+  auto not_in = Expr::In(Expr::Col("a"), {Value::Int(1)});
+  EXPECT_FALSE(EvalOn(not_in, s, row).AsBool());
+}
+
+TEST(ExprTest, IsNullAndStartsWith) {
+  Schema s = TwoColSchema();
+  std::vector<Value> row{Value::Null(), Value::String("hello")};
+  EXPECT_TRUE(EvalOn(Expr::IsNull(Expr::Col("a")), s, row).AsBool());
+  EXPECT_FALSE(EvalOn(Expr::IsNull(Expr::Col("b")), s, row).AsBool());
+  EXPECT_TRUE(EvalOn(Expr::StartsWith(Expr::Col("b"), "hel"), s, row)
+                  .AsBool());
+  EXPECT_FALSE(EvalOn(Expr::StartsWith(Expr::Col("b"), "help"), s, row)
+                   .AsBool());
+  EXPECT_FALSE(EvalOn(Expr::StartsWith(Expr::Col("b"), "hellothere"), s, row)
+                   .AsBool());
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto e = Expr::And(Expr::Gt(Expr::Col("x"), Expr::Lit(Value::Int(1))),
+                     Expr::Eq(Expr::Col("y"), Expr::Col("x")));
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "x");
+  EXPECT_EQ(cols[1], "y");
+  EXPECT_EQ(cols[2], "x");
+}
+
+TEST(ExprTest, NestedExpression) {
+  // (a + 2) * 3 > 20 with a = 5 -> 21 > 20 -> true
+  Schema s = TwoColSchema();
+  std::vector<Value> row{Value::Int(5), Value::String("x")};
+  auto e = Expr::Gt(
+      Expr::Mul(Expr::Add(Expr::Col("a"), Expr::Lit(Value::Int(2))),
+                Expr::Lit(Value::Int(3))),
+      Expr::Lit(Value::Int(20)));
+  EXPECT_TRUE(EvalOn(e, s, row).AsBool());
+}
+
+TEST(ExprTest, EvalWithCustomGetter) {
+  auto e = Expr::Add(Expr::Col("a"), Expr::Col("a"));
+  Schema s;
+  s.Add("a", ValueType::kInt64);
+  BoundExpr b = BoundExpr::Bind(*e, s);
+  Value v = b.Eval([](int) { return Value::Int(21); });
+  EXPECT_EQ(v, Value::Int(42));
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,166 @@
+// Frontend tests: the mini-Cypher parser and plan compiler, end-to-end
+// against the tiny graph and the SNB graph.
+#include "frontend/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::SortedRows;
+using testutil::TinyGraph;
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  TinyGraph tiny_;
+
+  std::vector<std::string> RunQuery(const std::string& q,
+                                    ExecMode mode = ExecMode::kFactorizedFused) {
+    Plan plan;
+    Status s = CompileQuery(q, *tiny_.graph, &plan);
+    EXPECT_TRUE(s.ok()) << s.message();
+    if (!s.ok()) return {};
+    GraphView view(tiny_.graph.get());
+    return SortedRows(Executor(mode).Run(plan, view).table);
+  }
+};
+
+TEST_F(FrontendTest, SeekAndReturn) {
+  auto rows = RunQuery(
+      "MATCH (p:PERSON) WHERE id(p) = 2 RETURN p.id");
+  EXPECT_EQ(rows, (std::vector<std::string>{"2|"}));
+}
+
+TEST_F(FrontendTest, ScanWithFilter) {
+  auto rows = RunQuery(
+      "MATCH (m:MESSAGE) WHERE m.len > 125 RETURN m.id, m.len");
+  EXPECT_EQ(rows, (std::vector<std::string>{"0|140|", "3|130|", "5|126|"}));
+}
+
+TEST_F(FrontendTest, SingleHopExpansion) {
+  auto rows = RunQuery(
+      "MATCH (p:PERSON)-[:KNOWS]->(f:PERSON) WHERE id(p) = 0 RETURN f.id");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|", "2|"}));
+}
+
+TEST_F(FrontendTest, IncomingEdgeExpansion) {
+  auto rows = RunQuery(
+      "MATCH (p:PERSON)<-[:HAS_CREATOR]-(m:MESSAGE) WHERE id(p) = 3 "
+      "RETURN m.id");
+  EXPECT_EQ(rows, (std::vector<std::string>{"3|", "4|", "5|"}));
+}
+
+TEST_F(FrontendTest, PaperFigure8Query) {
+  // The paper's running example, adapted to the tiny graph: 2-hop friends,
+  // their messages longer than 125, top-2 by length.
+  Plan plan;
+  Status s = CompileQuery(
+      "MATCH (p:PERSON)-[:KNOWS*1..2]->(f:PERSON)<-[:HAS_CREATOR]-(m:MESSAGE)"
+      " WHERE id(p) = 0 AND m.len > 125"
+      " RETURN f.id, m.id, m.len"
+      " ORDER BY m.len DESC, f.id ASC LIMIT 2",
+      *tiny_.graph, &plan);
+  ASSERT_TRUE(s.ok()) << s.message();
+  GraphView view(tiny_.graph.get());
+  // Friends of p0 within 2 hops: p1, p2, p3. Messages > 125: m0(140, by
+  // p1), m3(130, by p3), m5(126, by p3). Top-2 by len desc.
+  for (ExecMode mode : {ExecMode::kFlat, ExecMode::kFactorized,
+                        ExecMode::kFactorizedFused, ExecMode::kVolcano}) {
+    QueryResult r = Executor(mode).Run(plan, view);
+    ASSERT_EQ(r.table.NumRows(), 2u) << ExecModeName(mode);
+    EXPECT_EQ(r.table.At(0, 2), Value::Int(140));
+    EXPECT_EQ(r.table.At(1, 2), Value::Int(130));
+  }
+}
+
+TEST_F(FrontendTest, CrossVariablePredicate) {
+  auto rows = RunQuery(
+      "MATCH (a:PERSON)-[:KNOWS]->(b:PERSON) WHERE a.id < b.id "
+      "RETURN a.id, b.id");
+  EXPECT_EQ(rows, (std::vector<std::string>{"0|1|", "0|2|", "1|3|", "2|3|"}));
+}
+
+TEST_F(FrontendTest, OrderByWithoutLimitAndBareVariable) {
+  Plan plan;
+  ASSERT_TRUE(CompileQuery(
+                  "MATCH (m:MESSAGE) RETURN m.id ORDER BY m.len ASC",
+                  *tiny_.graph, &plan)
+                  .ok());
+  GraphView view(tiny_.graph.get());
+  QueryResult r = Executor(ExecMode::kFlat).Run(plan, view);
+  ASSERT_EQ(r.table.NumRows(), 6u);
+  EXPECT_EQ(r.table.At(0, 0), Value::Int(4));  // len 100 first
+}
+
+TEST_F(FrontendTest, LimitWithoutOrder) {
+  auto rows = RunQuery("MATCH (m:MESSAGE) RETURN m.id LIMIT 3");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(FrontendTest, StringLiteralFilter) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  Plan plan;
+  Status s = CompileQuery(
+      "MATCH (p:PERSON) WHERE p.firstName = 'Jan' RETURN p.id LIMIT 5",
+      fx.graph, &plan);
+  ASSERT_TRUE(s.ok()) << s.message();
+  GraphView view(&fx.graph);
+  QueryResult r = Executor(ExecMode::kFactorizedFused).Run(plan, view);
+  EXPECT_LE(r.table.NumRows(), 5u);
+}
+
+// --- error paths ---
+
+TEST_F(FrontendTest, ErrorOnUnknownLabel) {
+  Plan plan;
+  Status s = CompileQuery("MATCH (x:NOPE) RETURN x", *tiny_.graph, &plan);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(FrontendTest, ErrorOnUnknownEdgeType) {
+  Plan plan;
+  Status s = CompileQuery(
+      "MATCH (a:PERSON)-[:NOPE]->(b:PERSON) RETURN b", *tiny_.graph, &plan);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(FrontendTest, ErrorOnUnknownProperty) {
+  Plan plan;
+  Status s = CompileQuery("MATCH (p:PERSON) RETURN p.nope", *tiny_.graph,
+                          &plan);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(FrontendTest, ErrorOnMissingLabel) {
+  Plan plan;
+  Status s = CompileQuery("MATCH (p) RETURN p", *tiny_.graph, &plan);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(FrontendTest, ErrorOnSyntax) {
+  Plan plan;
+  EXPECT_FALSE(CompileQuery("MATCH (p:PERSON", *tiny_.graph, &plan).ok());
+  EXPECT_FALSE(CompileQuery("RETURN x", *tiny_.graph, &plan).ok());
+  EXPECT_FALSE(
+      CompileQuery("MATCH (p:PERSON) RETURN p.id LIMIT x", *tiny_.graph,
+                   &plan)
+          .ok());
+  EXPECT_FALSE(CompileQuery("MATCH (p:PERSON) RETURN p.id garbage",
+                            *tiny_.graph, &plan)
+                   .ok());
+}
+
+TEST_F(FrontendTest, ErrorOnMismatchedDirection) {
+  // MESSAGE-[:KNOWS]->MESSAGE is not a registered relation.
+  Plan plan;
+  Status s = CompileQuery(
+      "MATCH (a:MESSAGE)-[:KNOWS]->(b:MESSAGE) RETURN b", *tiny_.graph,
+      &plan);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace ges

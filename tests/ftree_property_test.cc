@@ -1,0 +1,171 @@
+// Property-based tests: random f-Trees must satisfy the factorization
+// invariants — count DP == enumerator count, per-row multiplicities sum to
+// the total, flatten output matches brute-force expansion, selection
+// monotonicity.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "executor/ftree.h"
+
+namespace ges {
+namespace {
+
+// Builds a random tree with up to `max_nodes` nodes and `max_fanout` rows
+// per parent row; returns the tree. Every node gets one int64 column with
+// globally unique values and a random selection vector.
+std::unique_ptr<FTree> RandomTree(Rng& rng, int max_nodes, int max_fanout,
+                                  double invalid_prob) {
+  auto tree = std::make_unique<FTree>();
+  struct Pending {
+    FTreeNode* node;
+    int depth;
+  };
+  int counter = 0;
+  FTreeNode* root = tree->CreateRoot();
+  {
+    ValueVector col(ValueType::kInt64);
+    size_t rows = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < rows; ++i) col.AppendInt(counter++);
+    root->block.AddColumn("c0", std::move(col));
+    tree->RegisterColumns(root);
+  }
+  std::vector<FTreeNode*> nodes{root};
+  int made = 1;
+  Rng local(rng.Next());
+  while (made < max_nodes) {
+    FTreeNode* parent = nodes[local.Uniform(nodes.size())];
+    if (parent->children.size() >= 3) {
+      if (nodes.size() == 1) break;
+      continue;
+    }
+    FTreeNode* child = tree->AddChild(parent);
+    size_t parent_rows = parent->block.NumRows();
+    child->parent_index.resize(parent_rows);
+    ValueVector col(ValueType::kInt64);
+    uint64_t off = 0;
+    for (size_t r = 0; r < parent_rows; ++r) {
+      uint64_t n = local.Uniform(max_fanout + 1);  // may be 0 (empty range)
+      child->parent_index[r] = IndexRange{off, off + n};
+      for (uint64_t i = 0; i < n; ++i) col.AppendInt(counter++);
+      off += n;
+    }
+    child->block.AddColumn("c" + std::to_string(made), std::move(col));
+    tree->RegisterColumns(child);
+    nodes.push_back(child);
+    ++made;
+  }
+  // Random selections.
+  for (FTreeNode* n : nodes) {
+    if (local.NextDouble() < 0.7) {
+      std::vector<uint8_t>& sel = n->MutableSel();
+      for (auto& s : sel) s = local.NextDouble() < invalid_prob ? 0 : 1;
+    }
+  }
+  return tree;
+}
+
+// Brute-force tuple count by recursive expansion (independent oracle).
+uint64_t BruteForceCount(const FTreeNode* node, uint64_t row) {
+  if (!node->RowValid(row)) return 0;
+  uint64_t prod = 1;
+  for (const auto& child : node->children) {
+    const IndexRange& range = child->parent_index[row];
+    uint64_t sum = 0;
+    for (uint64_t r = range.begin; r < range.end; ++r) {
+      sum += BruteForceCount(child.get(), r);
+    }
+    prod *= sum;
+    if (prod == 0) return 0;
+  }
+  return prod;
+}
+
+uint64_t BruteForceTotal(const FTree& tree) {
+  uint64_t total = 0;
+  const FTreeNode* root = tree.root();
+  for (uint64_t r = 0; r < root->block.NumRows(); ++r) {
+    total += BruteForceCount(root, r);
+  }
+  return total;
+}
+
+class FTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FTreeRandomTest, CountDpMatchesEnumeratorAndOracle) {
+  Rng rng(GetParam() * 7919 + 1);
+  auto tree = RandomTree(rng, 6, 4, 0.3);
+  uint64_t dp = tree->CountTuples();
+  uint64_t oracle = BruteForceTotal(*tree);
+  TupleEnumerator e(*tree);
+  uint64_t enumerated = 0;
+  while (e.Next()) ++enumerated;
+  EXPECT_EQ(dp, oracle);
+  EXPECT_EQ(enumerated, oracle);
+}
+
+TEST_P(FTreeRandomTest, PerRowMultiplicitiesSumToTotal) {
+  Rng rng(GetParam() * 104729 + 3);
+  auto tree = RandomTree(rng, 5, 4, 0.25);
+  uint64_t total = tree->CountTuples();
+  for (const FTreeNode* node : tree->Preorder()) {
+    std::vector<uint64_t> counts = tree->TupleCountsForNode(node);
+    uint64_t sum = 0;
+    for (uint64_t c : counts) sum += c;
+    EXPECT_EQ(sum, total) << "node multiplicities must partition the tuples";
+  }
+}
+
+TEST_P(FTreeRandomTest, MultiplicityMatchesEnumerator) {
+  Rng rng(GetParam() * 31337 + 11);
+  auto tree = RandomTree(rng, 5, 3, 0.2);
+  // Pick a node; count per-row occurrences through the enumerator.
+  auto nodes = tree->Preorder();
+  const FTreeNode* target = nodes[nodes.size() / 2];
+  std::vector<uint64_t> observed(target->block.NumRows(), 0);
+  TupleEnumerator e(*tree);
+  while (e.Next()) ++observed[e.RowOf(target)];
+  EXPECT_EQ(tree->TupleCountsForNode(target), observed);
+}
+
+TEST_P(FTreeRandomTest, FlattenRowCountMatchesAndRespectsLimit) {
+  Rng rng(GetParam() * 271 + 5);
+  auto tree = RandomTree(rng, 6, 3, 0.3);
+  uint64_t total = tree->CountTuples();
+
+  std::vector<std::string> cols;
+  Schema schema;
+  for (const FTreeNode* n : tree->Preorder()) {
+    for (const ColumnDef& c : n->block.schema().columns()) {
+      cols.push_back(c.name);
+      schema.Add(c.name, c.type);
+    }
+  }
+  FlatBlock out(schema);
+  tree->Flatten(cols, &out);
+  EXPECT_EQ(out.NumRows(), total);
+
+  if (total > 1) {
+    FlatBlock limited(schema);
+    tree->Flatten(cols, &limited, total / 2);
+    EXPECT_EQ(limited.NumRows(), total / 2);
+  }
+}
+
+TEST_P(FTreeRandomTest, InvalidatingRowsNeverIncreasesCount) {
+  Rng rng(GetParam() * 13 + 17);
+  auto tree = RandomTree(rng, 5, 3, 0.0);
+  uint64_t before = tree->CountTuples();
+  // Invalidate a random row of a random node.
+  auto nodes = tree->PreorderMutable();
+  Rng pick(GetParam());
+  FTreeNode* node = nodes[pick.Uniform(nodes.size())];
+  if (node->block.NumRows() > 0) {
+    node->MutableSel()[pick.Uniform(node->block.NumRows())] = 0;
+  }
+  EXPECT_LE(tree->CountTuples(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FTreeRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ges

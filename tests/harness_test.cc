@@ -1,0 +1,165 @@
+// Harness tests: latency stats, workload mix, driver runs (including
+// concurrent reads + updates).
+#include <gtest/gtest.h>
+
+#include "harness/driver.h"
+#include "harness/report.h"
+#include "harness/stats.h"
+#include "harness/workload.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+TEST(LatencyRecorderTest, BasicStats) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.Add(i);
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(rec.Min(), 1);
+  EXPECT_DOUBLE_EQ(rec.Max(), 100);
+  EXPECT_NEAR(rec.Percentile(50), 50.5, 0.51);
+  EXPECT_NEAR(rec.Percentile(99), 99, 1.01);
+  EXPECT_DOUBLE_EQ(rec.Percentile(100), 100);
+  EXPECT_DOUBLE_EQ(rec.Percentile(0), 1);
+}
+
+TEST(LatencyRecorderTest, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.Add(1);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2);
+}
+
+TEST(LatencyRecorderTest, EmptyRecorderIsZero) {
+  LatencyRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.Mean(), 0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(99), 0);
+}
+
+TEST(WorkloadTest, DefaultMixWeightsSumToOne) {
+  double total = 0;
+  for (const MixEntry& e : DefaultMix()) total += e.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(WorkloadTest, MixCoversAllQueries) {
+  auto mix = DefaultMix();
+  EXPECT_EQ(mix.size(), 14u + 7u + 8u);
+}
+
+TEST(WorkloadTest, SamplerFollowsWeights) {
+  // A two-entry mix with 90/10 split.
+  std::vector<MixEntry> mix{{QueryRef{QueryKind::kIC, 1}, 0.9},
+                            {QueryRef{QueryKind::kIS, 1}, 0.1}};
+  MixSampler sampler(mix);
+  Rng rng(5);
+  int ic = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (sampler.Sample(rng).kind == QueryKind::kIC) ++ic;
+  }
+  EXPECT_NEAR(ic / 10000.0, 0.9, 0.03);
+}
+
+TEST(WorkloadTest, QueryNames) {
+  EXPECT_EQ((QueryRef{QueryKind::kIC, 5}.Name()), "IC5");
+  EXPECT_EQ((QueryRef{QueryKind::kIS, 2}.Name()), "IS2");
+  EXPECT_EQ((QueryRef{QueryKind::kIU, 8}.Name()), "IU8");
+}
+
+TEST(ReportTest, HumanFormatting) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 << 20), "3.0 MB");
+  EXPECT_EQ(HumanMillis(0.5), "0.500 ms");
+  EXPECT_EQ(HumanMillis(12.3), "12.30 ms");
+  EXPECT_EQ(HumanMillis(2500), "2.50 s");
+}
+
+TEST(ReportTest, TextTableAligns) {
+  TextTable t({"a", "bb"});
+  t.AddRow({"xxx", "y"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a    bb"), std::string::npos);
+  EXPECT_NE(s.find("xxx  y"), std::string::npos);
+}
+
+TEST(DriverTest, FixedOpCountRunCompletes) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  Driver driver(&fx.graph, &fx.data);
+  DriverConfig config;
+  config.mode = ExecMode::kFactorizedFused;
+  config.threads = 2;
+  config.total_ops = 200;
+  DriverReport report = driver.Run(config);
+  EXPECT_EQ(report.completed, 200u);
+  EXPECT_GT(report.throughput, 0);
+  // Each per-query recorder accounted.
+  uint64_t total = 0;
+  for (const auto& [name, rec] : report.per_query) total += rec.count();
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(DriverTest, UpdatesCanBeDisabled) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  Driver driver(&fx.graph, &fx.data);
+  DriverConfig config;
+  config.threads = 2;
+  config.total_ops = 150;
+  config.include_updates = false;
+  DriverReport report = driver.Run(config);
+  for (const auto& [name, rec] : report.per_query) {
+    EXPECT_NE(name.rfind("IU", 0), 0u) << "update executed: " << name;
+  }
+}
+
+TEST(DriverTest, MixedReadWriteRunIsConsistent) {
+  // A dedicated graph (updates mutate it).
+  testutil::SnbFixture fx(0.01, 99);
+  Driver driver(&fx.graph, &fx.data);
+  Version before = fx.graph.CurrentVersion();
+  DriverConfig config;
+  config.mode = ExecMode::kFactorizedFused;
+  config.threads = 4;
+  config.total_ops = 400;
+  DriverReport report = driver.Run(config);
+  EXPECT_EQ(report.completed, 400u);
+  // Some updates ran and advanced the version counter.
+  LatencyRecorder iu = report.Aggregate(QueryKind::kIU);
+  EXPECT_GT(iu.count(), 0u);
+  EXPECT_EQ(fx.graph.CurrentVersion(), before + iu.count());
+}
+
+TEST(DriverTest, AggregateByKind) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  Driver driver(&fx.graph, &fx.data);
+  DriverConfig config;
+  config.threads = 1;
+  config.total_ops = 100;
+  DriverReport report = driver.Run(config);
+  uint64_t sum = report.Aggregate(QueryKind::kIC).count() +
+                 report.Aggregate(QueryKind::kIS).count() +
+                 report.Aggregate(QueryKind::kIU).count();
+  EXPECT_EQ(sum, 100u);
+}
+
+TEST(DriverTest, TimedRunWithTraceProducesWindows) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  Driver driver(&fx.graph, &fx.data);
+  DriverConfig config;
+  config.threads = 2;
+  config.duration_seconds = 0.6;
+  config.trace_window_seconds = 0.2;
+  config.include_updates = false;
+  DriverReport report = driver.Run(config);
+  EXPECT_GE(report.trace.size(), 2u);
+  uint64_t traced = 0;
+  for (const TraceWindow& w : report.trace) traced += w.total();
+  EXPECT_GT(traced, 0u);
+  EXPECT_LE(traced, report.completed);
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,357 @@
+// Operator-level tests on the paper's Figure 8 tiny graph: every plan
+// operator exercised across all engine variants, plus edge cases.
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "executor/optimizer.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::OrderedRows;
+using testutil::SortedRows;
+using testutil::TinyGraph;
+
+class OperatorsTest : public ::testing::Test {
+ protected:
+  TinyGraph tiny_;
+
+  std::vector<std::string> Run(ExecMode mode, const Plan& plan,
+                               bool ordered = false) {
+    Executor exec(mode);
+    GraphView view(tiny_.graph.get());
+    QueryResult r = exec.Run(plan, view);
+    return ordered ? OrderedRows(r.table) : SortedRows(r.table);
+  }
+
+  void ExpectAllModes(const Plan& plan,
+                      const std::vector<std::string>& expected,
+                      bool ordered = false) {
+    for (ExecMode mode :
+         {ExecMode::kVolcano, ExecMode::kFlat, ExecMode::kFactorized,
+          ExecMode::kFactorizedFused}) {
+      EXPECT_EQ(Run(mode, plan, ordered), expected)
+          << "mode=" << ExecModeName(mode);
+    }
+  }
+};
+
+TEST_F(OperatorsTest, NodeByIdSeekFindsVertex) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 2)
+      .GetProperty("p", tiny_.id, ValueType::kInt64, "pid")
+      .Output({"pid"});
+  ExpectAllModes(b.Build(), {"2|"});
+}
+
+TEST_F(OperatorsTest, NodeByIdSeekMissingYieldsEmpty) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 999).Output({"p"});
+  ExpectAllModes(b.Build(), {});
+}
+
+TEST_F(OperatorsTest, ScanByLabel) {
+  PlanBuilder b("t");
+  b.ScanByLabel("p", tiny_.person)
+      .GetProperty("p", tiny_.id, ValueType::kInt64, "pid")
+      .Output({"pid"});
+  ExpectAllModes(b.Build(), {"0|", "1|", "2|", "3|"});
+}
+
+TEST_F(OperatorsTest, SingleHopExpand) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 0)
+      .Expand("p", "f", {tiny_.knows_out})
+      .GetProperty("f", tiny_.id, ValueType::kInt64, "fid")
+      .Output({"fid"});
+  ExpectAllModes(b.Build(), {"1|", "2|"});
+}
+
+TEST_F(OperatorsTest, TwoHopExpandDistinctMinDistance) {
+  // From p0: dist1 = {p1, p2}, dist2 = {p3}.
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 0)
+      .ExpandEx("p", "f", {tiny_.knows_out}, 1, 2, true, true, "dist", "")
+      .GetProperty("f", tiny_.id, ValueType::kInt64, "fid")
+      .Output({"fid", "dist"});
+  ExpectAllModes(b.Build(), {"1|1|", "2|1|", "3|2|"});
+}
+
+TEST_F(OperatorsTest, MinHopsTwoExcludesDirectFriends) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 0)
+      .Expand("p", "fof", {tiny_.knows_out}, 2, 2, true, true)
+      .GetProperty("fof", tiny_.id, ValueType::kInt64, "fid")
+      .Output({"fid"});
+  ExpectAllModes(b.Build(), {"3|"});
+}
+
+TEST_F(OperatorsTest, ExpandWithStamp) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 0)
+      .ExpandEx("p", "f", {tiny_.knows_out}, 1, 1, false, false, "", "since")
+      .GetProperty("f", tiny_.id, ValueType::kInt64, "fid")
+      .Output({"fid", "since"});
+  // know(0,1) stamp 101; know(0,2) stamp 102.
+  ExpectAllModes(b.Build(), {"1|101|", "2|102|"});
+}
+
+TEST_F(OperatorsTest, ExpandTwoRelationsUnion) {
+  // Messages of p3's friends == creators reached via two hops.
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 1)
+      .Expand("p", "msg", {tiny_.person_messages})
+      .GetProperty("msg", tiny_.id, ValueType::kInt64, "mid")
+      .Output({"mid"});
+  ExpectAllModes(b.Build(), {"0|", "1|"});
+}
+
+TEST_F(OperatorsTest, ExpandFromVertexWithNoNeighborsDropsRow) {
+  // p0 created no messages: expanding person->message yields nothing.
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 0)
+      .Expand("p", "msg", {tiny_.person_messages})
+      .Output({"msg"});
+  ExpectAllModes(b.Build(), {});
+}
+
+TEST_F(OperatorsTest, FilterOnProperty) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .Filter(Expr::Gt(Expr::Col("len"), Expr::Lit(Value::Int(125))))
+      .GetProperty("m", tiny_.id, ValueType::kInt64, "mid")
+      .Output({"mid", "len"});
+  ExpectAllModes(b.Build(), {"0|140|", "3|130|", "5|126|"});
+}
+
+TEST_F(OperatorsTest, FilterCrossNodePredicateFlattens) {
+  // Predicate touches columns in two different f-Tree nodes: friend id and
+  // message len. The factorized engine must de-factor and still agree.
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 0)
+      .Expand("p", "f", {tiny_.knows_out})
+      .GetProperty("f", tiny_.id, ValueType::kInt64, "fid")
+      .Expand("f", "m", {tiny_.person_messages})
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .Filter(Expr::Lt(Expr::Mul(Expr::Col("fid"), Expr::Lit(Value::Int(100))),
+                       Expr::Col("len")))
+      .GetProperty("m", tiny_.id, ValueType::kInt64, "mid")
+      .Output({"fid", "mid"});
+  // p0's friends: p1 (m0 len140, m1 len123), p2 (m2 len120).
+  // fid*100 < len: p1: 100<140 yes, 100<123 yes; p2: 200<120 no.
+  ExpectAllModes(b.Build(), {"1|0|", "1|1|"});
+}
+
+TEST_F(OperatorsTest, OrderByWithTies) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .GetProperty("m", tiny_.id, ValueType::kInt64, "mid")
+      .Project({}, {ComputedColumn{
+                        Expr::Mul(Expr::Lit(Value::Int(0)), Expr::Col("len")),
+                        "zero", ValueType::kInt64}})
+      .OrderBy({{"zero", true}, {"mid", false}})
+      .Output({"mid"});
+  ExpectAllModes(b.Build(), {"5|", "4|", "3|", "2|", "1|", "0|"},
+                 /*ordered=*/true);
+}
+
+TEST_F(OperatorsTest, OrderByLimitTopK) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .GetProperty("m", tiny_.id, ValueType::kInt64, "mid")
+      .OrderBy({{"len", false}, {"mid", true}}, 3)
+      .Output({"mid", "len"});
+  ExpectAllModes(b.Build(), {"0|140|", "3|130|", "5|126|"}, /*ordered=*/true);
+}
+
+TEST_F(OperatorsTest, AggregateCountPerGroup) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .Expand("m", "creator", {tiny_.msg_creator})
+      .GetProperty("creator", tiny_.id, ValueType::kInt64, "cid")
+      .Aggregate({"cid"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .OrderBy({{"cid", true}})
+      .Output({"cid", "cnt"});
+  ExpectAllModes(b.Build(), {"1|2|", "2|1|", "3|3|"}, /*ordered=*/true);
+}
+
+TEST_F(OperatorsTest, AggregateSumMinMaxAvgDistinct) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .Expand("m", "creator", {tiny_.msg_creator})
+      .GetProperty("creator", tiny_.id, ValueType::kInt64, "cid")
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .Aggregate({"cid"}, {AggSpec{AggSpec::kSum, "len", "sum"},
+                           AggSpec{AggSpec::kMin, "len", "min"},
+                           AggSpec{AggSpec::kMax, "len", "max"},
+                           AggSpec{AggSpec::kAvg, "len", "avg"},
+                           AggSpec{AggSpec::kCountDistinct, "len", "nd"}})
+      .OrderBy({{"cid", true}})
+      .Output({"cid", "sum", "min", "max", "nd"});
+  // p1: m0(140), m1(123); p2: m2(120); p3: m3(130), m4(100), m5(126).
+  ExpectAllModes(b.Build(),
+                 {"1|263|123|140|2|", "2|120|120|120|1|",
+                  "3|356|100|130|3|"},
+                 /*ordered=*/true);
+}
+
+TEST_F(OperatorsTest, GlobalAggregateNoGroups) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .Aggregate({}, {AggSpec{AggSpec::kCount, "", "cnt"},
+                      AggSpec{AggSpec::kSum, "len", "sum"}})
+      .Output({"cnt", "sum"});
+  ExpectAllModes(b.Build(), {"6|739|"});
+}
+
+TEST_F(OperatorsTest, GlobalAggregateOverEmptyInput) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 999)
+      .Expand("p", "f", {tiny_.knows_out})
+      .Aggregate({}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .Output({"cnt"});
+  ExpectAllModes(b.Build(), {"0|"});
+}
+
+TEST_F(OperatorsTest, DistinctRemovesDuplicates) {
+  // Two-hop non-distinct walk produces duplicate endpoints; Distinct
+  // collapses them.
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 0)
+      .Expand("p", "f", {tiny_.knows_out})
+      .Expand("f", "ff", {tiny_.knows_out})
+      .GetProperty("ff", tiny_.id, ValueType::kInt64, "ffid")
+      .Project({{"ffid", "ffid"}})
+      .Distinct()
+      .Output({"ffid"});
+  ExpectAllModes(b.Build(), {"0|", "3|"});
+}
+
+TEST_F(OperatorsTest, LimitTruncates) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message).Limit(4).Output({"m"});
+  Plan plan = b.Build();
+  for (ExecMode mode :
+       {ExecMode::kVolcano, ExecMode::kFlat, ExecMode::kFactorized,
+        ExecMode::kFactorizedFused}) {
+    EXPECT_EQ(Run(mode, plan).size(), 4u) << ExecModeName(mode);
+  }
+}
+
+TEST_F(OperatorsTest, ExpandIntoSemiJoin) {
+  // Pairs (a, b) of persons within 2 hops where a directly knows b.
+  PlanBuilder b("t");
+  b.ScanByLabel("a", tiny_.person)
+      .Expand("a", "b", {tiny_.knows_out}, 1, 2, true, true)
+      .ExpandInto("a", "b", {tiny_.knows_out}, /*anti=*/false)
+      .GetProperty("a", tiny_.id, ValueType::kInt64, "aid")
+      .GetProperty("b", tiny_.id, ValueType::kInt64, "bid")
+      .Output({"aid", "bid"});
+  ExpectAllModes(b.Build(), {"0|1|", "0|2|", "1|0|", "1|3|", "2|0|", "2|3|",
+                             "3|1|", "3|2|"});
+}
+
+TEST_F(OperatorsTest, ExpandIntoAntiJoin) {
+  PlanBuilder b("t");
+  b.ScanByLabel("a", tiny_.person)
+      .Expand("a", "b", {tiny_.knows_out}, 1, 2, true, true)
+      .ExpandInto("a", "b", {tiny_.knows_out}, /*anti=*/true)
+      .GetProperty("a", tiny_.id, ValueType::kInt64, "aid")
+      .GetProperty("b", tiny_.id, ValueType::kInt64, "bid")
+      .Output({"aid", "bid"});
+  // 2-hop-only pairs: (0,3), (1,2), (2,1), (3,0).
+  ExpectAllModes(b.Build(), {"0|3|", "1|2|", "2|1|", "3|0|"});
+}
+
+TEST_F(OperatorsTest, ProjectComputedColumn) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .Project({}, {ComputedColumn{
+                        Expr::Add(Expr::Col("len"), Expr::Lit(Value::Int(1))),
+                        "len1", ValueType::kInt64}})
+      .Filter(Expr::Eq(Expr::Col("len1"), Expr::Lit(Value::Int(141))))
+      .GetProperty("m", tiny_.id, ValueType::kInt64, "mid")
+      .Output({"mid", "len1"});
+  ExpectAllModes(b.Build(), {"0|141|"});
+}
+
+TEST_F(OperatorsTest, ProjectSelectionsRenameAndPrune) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .GetProperty("m", tiny_.id, ValueType::kInt64, "mid")
+      .Project({{"mid", "renamed"}})
+      .Output({"renamed"});
+  ExpectAllModes(b.Build(), {"0|", "1|", "2|", "3|", "4|", "5|"});
+}
+
+TEST_F(OperatorsTest, PointerJoinOffMatchesOn) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 3)
+      .Expand("p", "m", {tiny_.person_messages})
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .Output({"len"});
+  Plan plan = b.Build();
+  GraphView view(tiny_.graph.get());
+  ExecOptions with, without;
+  without.pointer_join = false;
+  QueryResult a = Executor(ExecMode::kFactorized, with).Run(plan, view);
+  QueryResult c = Executor(ExecMode::kFactorized, without).Run(plan, view);
+  EXPECT_EQ(SortedRows(a.table), SortedRows(c.table));
+}
+
+TEST_F(OperatorsTest, FusedExpandFilteredMatchesUnfused) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny_.person, 3)
+      .Expand("p", "m", {tiny_.person_messages})
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .Filter(Expr::Gt(Expr::Col("len"), Expr::Lit(Value::Int(110))))
+      .GetProperty("m", tiny_.id, ValueType::kInt64, "mid")
+      .Output({"mid", "len"});
+  ExpectAllModes(b.Build(), {"3|130|", "5|126|"});
+}
+
+TEST_F(OperatorsTest, EmptyGraphLabelScan) {
+  Graph g;
+  LabelId empty = g.catalog().AddVertexLabel("EMPTY");
+  g.catalog().AddProperty(empty, "id", ValueType::kInt64);
+  g.FinalizeBulk();
+  PlanBuilder b("t");
+  b.ScanByLabel("x", empty).Output({"x"});
+  Plan plan = b.Build();
+  GraphView view(&g);
+  for (ExecMode mode :
+       {ExecMode::kVolcano, ExecMode::kFlat, ExecMode::kFactorized,
+        ExecMode::kFactorizedFused}) {
+    QueryResult r = Executor(mode).Run(plan, view);
+    EXPECT_EQ(r.table.NumRows(), 0u) << ExecModeName(mode);
+  }
+}
+
+// Per-operator stats must be populated and peak accounting consistent.
+TEST_F(OperatorsTest, StatsPopulated) {
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny_.message)
+      .GetProperty("m", tiny_.len, ValueType::kInt64, "len")
+      .OrderBy({{"len", true}})
+      .Output({"len"});
+  Plan plan = b.Build();
+  GraphView view(tiny_.graph.get());
+  for (ExecMode mode : {ExecMode::kFlat, ExecMode::kFactorized,
+                        ExecMode::kFactorizedFused}) {
+    QueryResult r = Executor(mode).Run(plan, view);
+    ASSERT_EQ(r.stats.ops.size(), 3u) << ExecModeName(mode);
+    EXPECT_GT(r.stats.peak_intermediate_bytes, 0u);
+    for (const OpStats& os : r.stats.ops) {
+      EXPECT_LE(os.intermediate_bytes, r.stats.peak_intermediate_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,222 @@
+// Fusion-rewrite tests: the optimizer's pattern matching, rule gating, and
+// semantic preservation.
+#include "executor/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::TinyGraph;
+
+Plan ExpandPropFilterPlan(const TinyGraph& tiny) {
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 3)
+      .Expand("p", "m", {tiny.person_messages})
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .Filter(Expr::Gt(Expr::Col("len"), Expr::Lit(Value::Int(110))))
+      .Output({"m", "len"});
+  return b.Build();
+}
+
+TEST(OptimizerTest, FusesExpandGetPropertyFilter) {
+  TinyGraph tiny;
+  Plan plan = ExpandPropFilterPlan(tiny);
+  Plan fused = OptimizePlan(plan, ExecOptions{});
+  ASSERT_EQ(fused.ops.size(), 2u);
+  EXPECT_EQ(fused.ops[1].type, OpType::kExpandFiltered);
+  EXPECT_EQ(fused.ops[1].out_column, "m");
+  EXPECT_EQ(fused.ops[1].other_column, "len");
+  EXPECT_EQ(fused.ops[1].property, tiny.len);
+}
+
+TEST(OptimizerTest, FilterFusionDisabledByOption) {
+  TinyGraph tiny;
+  ExecOptions opt;
+  opt.fuse_filter_into_expand = false;
+  Plan fused = OptimizePlan(ExpandPropFilterPlan(tiny), opt);
+  ASSERT_EQ(fused.ops.size(), 4u);
+  EXPECT_EQ(fused.ops[1].type, OpType::kExpand);
+}
+
+TEST(OptimizerTest, NoFilterFusionWhenPredicateSpansColumns) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 3)
+      .GetProperty("p", tiny.id, ValueType::kInt64, "pid")
+      .Expand("p", "m", {tiny.person_messages})
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .Filter(Expr::Gt(Expr::Col("len"), Expr::Col("pid")))
+      .Output({"m"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  for (const PlanOp& op : fused.ops) {
+    EXPECT_NE(op.type, OpType::kExpandFiltered);
+  }
+}
+
+TEST(OptimizerTest, NoFilterFusionForMultiHopExpand) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0)
+      .Expand("p", "f", {tiny.knows_out}, 1, 2, true, true)
+      .GetProperty("f", tiny.id, ValueType::kInt64, "fid")
+      .Filter(Expr::Gt(Expr::Col("fid"), Expr::Lit(Value::Int(0))))
+      .Output({"fid"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  for (const PlanOp& op : fused.ops) {
+    EXPECT_NE(op.type, OpType::kExpandFiltered);
+  }
+}
+
+TEST(OptimizerTest, OrderByWithLimitBecomesTopK) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny.message)
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .OrderBy({{"len", false}}, 3)
+      .Output({"len"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  EXPECT_EQ(fused.ops.back().type, OpType::kTopK);
+}
+
+TEST(OptimizerTest, OrderByWithoutLimitStays) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny.message)
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .OrderBy({{"len", false}})
+      .Output({"len"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  EXPECT_EQ(fused.ops.back().type, OpType::kOrderBy);
+}
+
+TEST(OptimizerTest, AggregateProjectOrderByFusesToAggProjectTop) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny.message)
+      .Expand("m", "c", {tiny.msg_creator})
+      .GetProperty("c", tiny.id, ValueType::kInt64, "cid")
+      .Aggregate({"cid"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .Project({}, {ComputedColumn{Expr::Mul(Expr::Col("cnt"),
+                                             Expr::Lit(Value::Int(2))),
+                                   "cnt2", ValueType::kInt64}})
+      .OrderBy({{"cnt2", false}}, 2)
+      .Output({"cid", "cnt2"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  ASSERT_EQ(fused.ops.back().type, OpType::kAggProjectTop);
+  const PlanOp& op = fused.ops.back();
+  EXPECT_EQ(op.group_by, std::vector<std::string>{"cid"});
+  EXPECT_EQ(op.aggs.size(), 1u);
+  EXPECT_EQ(op.computed.size(), 1u);
+  EXPECT_EQ(op.limit, 2u);
+}
+
+TEST(OptimizerTest, AggregateWithoutOrderByNotFused) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny.message)
+      .Expand("m", "c", {tiny.msg_creator})
+      .GetProperty("c", tiny.id, ValueType::kInt64, "cid")
+      .Aggregate({"cid"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .Output({"cid", "cnt"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  EXPECT_EQ(fused.ops.back().type, OpType::kAggregate);
+}
+
+TEST(OptimizerTest, FilterPushdownMovesFilterBeforeLaterExpands) {
+  TinyGraph tiny;
+  // Filter on a first-hop property written AFTER a second expand: the RBO
+  // pass must move it between the two expands.
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0)
+      .Expand("p", "f", {tiny.knows_out})
+      .GetProperty("f", tiny.id, ValueType::kInt64, "fid")
+      .Expand("f", "m", {tiny.person_messages})
+      .Filter(Expr::Gt(Expr::Col("fid"), Expr::Lit(Value::Int(1))))
+      .Output({"fid", "m"});
+  Plan plan = b.Build();
+  Plan fused = OptimizePlan(plan, ExecOptions{});
+  // Pushdown places the filter right behind its GetProperty, which then
+  // fuses with the first Expand: Seek, ExpandFiltered, Expand.
+  ASSERT_EQ(fused.ops.size(), 3u);
+  EXPECT_EQ(fused.ops[1].type, OpType::kExpandFiltered);
+  EXPECT_EQ(fused.ops[2].type, OpType::kExpand);
+
+  // With the fusion rule disabled the filter still moves ahead of the
+  // second expand.
+  ExecOptions no_fuse;
+  no_fuse.fuse_filter_into_expand = false;
+  Plan moved = OptimizePlan(plan, no_fuse);
+  ASSERT_EQ(moved.ops.size(), 5u);
+  EXPECT_EQ(moved.ops[3].type, OpType::kFilter);
+  EXPECT_EQ(moved.ops[4].type, OpType::kExpand);
+}
+
+TEST(OptimizerTest, FilterPushdownStopsAtBarriers) {
+  TinyGraph tiny;
+  // An aggregation between the producer and the filter is a barrier: the
+  // filter consumes the aggregate's output and must stay put.
+  PlanBuilder b("t");
+  b.ScanByLabel("m", tiny.message)
+      .Expand("m", "c", {tiny.msg_creator})
+      .GetProperty("c", tiny.id, ValueType::kInt64, "cid")
+      .Aggregate({"cid"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .Filter(Expr::Gt(Expr::Col("cnt"), Expr::Lit(Value::Int(1))))
+      .Output({"cid", "cnt"});
+  Plan fused = OptimizePlan(b.Build(), ExecOptions{});
+  EXPECT_EQ(fused.ops.back().type, OpType::kFilter);
+}
+
+TEST(OptimizerTest, FilterPushdownPreservesResults) {
+  TinyGraph tiny;
+  GraphView view(tiny.graph.get());
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0)
+      .Expand("p", "f", {tiny.knows_out})
+      .GetProperty("f", tiny.id, ValueType::kInt64, "fid")
+      .Expand("f", "m", {tiny.person_messages})
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .Filter(Expr::Gt(Expr::Col("fid"), Expr::Lit(Value::Int(1))))
+      .Filter(Expr::Lt(Expr::Col("len"), Expr::Lit(Value::Int(130))))
+      .OrderBy({{"len", true}, {"fid", true}})
+      .Output({"fid", "len"});
+  Plan plan = b.Build();
+  auto baseline =
+      testutil::OrderedRows(Executor(ExecMode::kFlat).Run(plan, view).table);
+  auto fused = testutil::OrderedRows(
+      Executor(ExecMode::kFactorizedFused).Run(plan, view).table);
+  EXPECT_EQ(fused, baseline);
+  EXPECT_GT(baseline.size(), 0u);
+}
+
+TEST(OptimizerTest, EachRuleIndividuallyPreservesResults) {
+  TinyGraph tiny;
+  GraphView view(tiny.graph.get());
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 3)
+      .Expand("p", "m", {tiny.person_messages})
+      .GetProperty("m", tiny.len, ValueType::kInt64, "len")
+      .Filter(Expr::Gt(Expr::Col("len"), Expr::Lit(Value::Int(100))))
+      .GetProperty("m", tiny.id, ValueType::kInt64, "mid")
+      .Aggregate({"mid"}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .OrderBy({{"mid", true}}, 10)
+      .Output({"mid", "cnt"});
+  Plan plan = b.Build();
+
+  auto baseline =
+      testutil::OrderedRows(Executor(ExecMode::kFlat).Run(plan, view).table);
+  for (int rule = 0; rule < 3; ++rule) {
+    ExecOptions opt;
+    opt.fuse_filter_into_expand = rule == 0;
+    opt.fuse_topk = rule == 1;
+    opt.fuse_agg_project_top = rule == 2;
+    Executor exec(ExecMode::kFactorizedFused, opt);
+    auto rows = testutil::OrderedRows(exec.Run(plan, view).table);
+    EXPECT_EQ(rows, baseline) << "rule " << rule;
+  }
+}
+
+}  // namespace
+}  // namespace ges

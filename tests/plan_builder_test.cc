@@ -1,0 +1,95 @@
+// PlanBuilder / plan-structure tests.
+#include <gtest/gtest.h>
+
+#include "executor/plan.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::TinyGraph;
+
+TEST(PlanBuilderTest, OpsAppendInOrder) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 1)
+      .Expand("p", "f", {tiny.knows_out})
+      .GetProperty("f", tiny.id, ValueType::kInt64, "fid")
+      .Filter(Expr::Gt(Expr::Col("fid"), Expr::Lit(Value::Int(0))))
+      .Project({{"fid", "x"}})
+      .OrderBy({{"x", false}}, 3)
+      .Limit(2)
+      .Distinct()
+      .ExpandInto("p", "f", {tiny.knows_out}, true)
+      .Output({"x"});
+  Plan plan = b.Build();
+  ASSERT_EQ(plan.ops.size(), 9u);
+  EXPECT_EQ(plan.ops[0].type, OpType::kNodeByIdSeek);
+  EXPECT_EQ(plan.ops[1].type, OpType::kExpand);
+  EXPECT_EQ(plan.ops[2].type, OpType::kGetProperty);
+  EXPECT_EQ(plan.ops[3].type, OpType::kFilter);
+  EXPECT_EQ(plan.ops[4].type, OpType::kProject);
+  EXPECT_EQ(plan.ops[5].type, OpType::kOrderBy);
+  EXPECT_EQ(plan.ops[6].type, OpType::kLimit);
+  EXPECT_EQ(plan.ops[7].type, OpType::kDistinct);
+  EXPECT_EQ(plan.ops[8].type, OpType::kExpandInto);
+  EXPECT_TRUE(plan.ops[8].anti);
+  EXPECT_EQ(plan.output, std::vector<std::string>{"x"});
+  EXPECT_EQ(plan.name, "t");
+}
+
+TEST(PlanBuilderTest, ExpandExCarriesAuxColumns) {
+  TinyGraph tiny;
+  PlanBuilder b("t");
+  b.NodeByIdSeek("p", tiny.person, 0)
+      .ExpandEx("p", "f", {tiny.knows_out}, 2, 3, true, true, "d", "s");
+  Plan plan = b.Build();
+  const PlanOp& op = plan.ops[1];
+  EXPECT_EQ(op.min_hops, 2);
+  EXPECT_EQ(op.max_hops, 3);
+  EXPECT_TRUE(op.distinct);
+  EXPECT_TRUE(op.exclude_start);
+  EXPECT_EQ(op.distance_column, "d");
+  EXPECT_EQ(op.stamp_column, "s");
+}
+
+TEST(PlanBuilderTest, OpTypeNamesAreUnique) {
+  std::set<std::string> names;
+  for (int t = 0; t <= static_cast<int>(OpType::kAggProjectTop); ++t) {
+    names.insert(OpTypeName(static_cast<OpType>(t)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<size_t>(OpType::kAggProjectTop) + 1);
+  EXPECT_EQ(names.count("?"), 0u);
+}
+
+TEST(GraphViewTest, HasEdgeAcrossRelations) {
+  TinyGraph tiny;
+  GraphView view(tiny.graph.get());
+  EXPECT_TRUE(view.HasEdge({tiny.knows_out}, tiny.persons[0],
+                           tiny.persons[1]));
+  EXPECT_FALSE(view.HasEdge({tiny.knows_out}, tiny.persons[0],
+                            tiny.persons[3]));
+  // Union over several relations.
+  EXPECT_TRUE(view.HasEdge({tiny.knows_out, tiny.person_messages},
+                           tiny.persons[1], tiny.messages[0]));
+}
+
+TEST(GraphViewTest, SnapshotPinning) {
+  TinyGraph tiny;
+  GraphView pinned(tiny.graph.get());
+  {
+    auto txn = tiny.graph->BeginWrite({tiny.persons[0], tiny.persons[3]});
+    ASSERT_TRUE(
+        txn->AddEdge(tiny.knows, tiny.persons[0], tiny.persons[3], 1).ok());
+    txn->Commit();
+  }
+  GraphView fresh(tiny.graph.get());
+  EXPECT_FALSE(pinned.HasEdge({tiny.knows_out}, tiny.persons[0],
+                              tiny.persons[3]));
+  EXPECT_TRUE(fresh.HasEdge({tiny.knows_out}, tiny.persons[0],
+                            tiny.persons[3]));
+}
+
+}  // namespace
+}  // namespace ges

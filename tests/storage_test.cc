@@ -1,0 +1,178 @@
+// Unit tests for the storage layer: catalog, adjacency arrays, property
+// tables, graph bulk load and reads.
+#include <gtest/gtest.h>
+
+#include "storage/adjacency.h"
+#include "storage/catalog.h"
+#include "storage/graph.h"
+#include "storage/property_store.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+TEST(CatalogTest, LabelsAndPropertiesRoundTrip) {
+  Catalog c;
+  LabelId person = c.AddVertexLabel("PERSON");
+  LabelId post = c.AddVertexLabel("POST");
+  LabelId knows = c.AddEdgeLabel("KNOWS");
+  EXPECT_EQ(c.VertexLabel("PERSON"), person);
+  EXPECT_EQ(c.VertexLabel("POST"), post);
+  EXPECT_EQ(c.EdgeLabel("KNOWS"), knows);
+  EXPECT_EQ(c.VertexLabel("NOPE"), kInvalidLabel);
+  EXPECT_EQ(c.VertexLabelName(person), "PERSON");
+
+  PropertyId name = c.AddProperty(person, "name", ValueType::kString);
+  PropertyId age = c.AddProperty(person, "age", ValueType::kInt64);
+  // Same property name on another label shares the id but gets its own slot.
+  PropertyId name2 = c.AddProperty(post, "name", ValueType::kString);
+  EXPECT_EQ(name, name2);
+  EXPECT_EQ(c.PropertySlot(person, name), 0);
+  EXPECT_EQ(c.PropertySlot(person, age), 1);
+  EXPECT_EQ(c.PropertySlot(post, name), 0);
+  EXPECT_EQ(c.PropertySlot(post, age), -1);
+  EXPECT_EQ(c.PropertyType(person, age), ValueType::kInt64);
+}
+
+TEST(CatalogTest, ReregistrationIsIdempotent) {
+  Catalog c;
+  LabelId a = c.AddVertexLabel("A");
+  EXPECT_EQ(c.AddVertexLabel("A"), a);
+  PropertyId p = c.AddProperty(a, "x", ValueType::kInt64);
+  EXPECT_EQ(c.AddProperty(a, "x", ValueType::kInt64), p);
+  EXPECT_EQ(c.LabelProperties(a).size(), 1u);
+}
+
+TEST(AdjacencyTest, BulkBuildPacksPerVertex) {
+  AdjacencyTable t(RelationKey{0, 0, 0, Direction::kOut}, false);
+  t.StageEdge(0, 1);
+  t.StageEdge(0, 2);
+  t.StageEdge(2, 0);
+  t.Finalize(3);
+  EXPECT_EQ(t.num_edges(), 3u);
+  AdjSpan s0 = t.Neighbors(0);
+  ASSERT_EQ(s0.size, 2u);
+  EXPECT_EQ(s0.ids[0], 1u);
+  EXPECT_EQ(s0.ids[1], 2u);
+  EXPECT_EQ(t.Neighbors(1).size, 0u);
+  EXPECT_EQ(t.Neighbors(2).size, 1u);
+  EXPECT_EQ(t.Neighbors(99).size, 0u);  // out of range: empty
+}
+
+TEST(AdjacencyTest, StampsTravelWithNeighbors) {
+  AdjacencyTable t(RelationKey{0, 0, 0, Direction::kOut}, true);
+  t.StageEdge(0, 5, 111);
+  t.StageEdge(0, 6, 222);
+  t.Finalize(1);
+  AdjSpan s = t.Neighbors(0);
+  ASSERT_EQ(s.size, 2u);
+  ASSERT_NE(s.stamps, nullptr);
+  EXPECT_EQ(s.stamps[0], 111);
+  EXPECT_EQ(s.stamps[1], 222);
+}
+
+TEST(AdjacencyTest, InsertGrowsWithDoubling) {
+  AdjacencyTable t(RelationKey{0, 0, 0, Direction::kOut}, false);
+  t.Finalize(1);
+  for (VertexId i = 0; i < 100; ++i) t.InsertEdge(0, 1000 + i);
+  AdjSpan s = t.Neighbors(0);
+  ASSERT_EQ(s.size, 100u);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(s.ids[i], 1000 + i);
+  EXPECT_EQ(t.num_edges(), 100u);
+}
+
+TEST(AdjacencyTest, RemoveTombstones) {
+  AdjacencyTable t(RelationKey{0, 0, 0, Direction::kOut}, false);
+  t.StageEdge(0, 1);
+  t.StageEdge(0, 2);
+  t.Finalize(1);
+  EXPECT_TRUE(t.RemoveEdge(0, 1));
+  EXPECT_FALSE(t.RemoveEdge(0, 9));
+  AdjSpan s = t.Neighbors(0);
+  ASSERT_EQ(s.size, 2u);  // slot kept, marked
+  EXPECT_EQ(s.ids[0], kInvalidVertex);
+  EXPECT_EQ(s.ids[1], 2u);
+  EXPECT_EQ(t.Degree(0), 1u);
+  EXPECT_EQ(t.num_edges(), 1u);
+}
+
+TEST(AdjacencyTest, InsertIntoNewVertexAfterFinalize) {
+  AdjacencyTable t(RelationKey{0, 0, 0, Direction::kOut}, false);
+  t.Finalize(2);
+  t.InsertEdge(5, 1);  // vertex beyond the finalized range
+  EXPECT_EQ(t.Neighbors(5).size, 1u);
+}
+
+TEST(PropertyTableTest, AppendAndAccess) {
+  PropertyTable t({ValueType::kInt64, ValueType::kString});
+  size_t r0 = t.AppendRow();
+  size_t r1 = t.AppendRow();
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(r1, 1u);
+  t.Set(0, 0, Value::Int(10));
+  t.Set(0, 1, Value::String("x"));
+  t.Set(1, 0, Value::Int(20));
+  EXPECT_EQ(t.Get(0, 0), Value::Int(10));
+  EXPECT_EQ(t.Get(0, 1), Value::String("x"));
+  EXPECT_EQ(t.Get(1, 0), Value::Int(20));
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(GraphTest, BulkLoadAndSnapshotReads) {
+  testutil::TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  Version v = g.CurrentVersion();
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(g.NumVertices(tiny.person, v), 4u);
+  EXPECT_EQ(g.NumVertices(tiny.message, v), 6u);
+
+  // p0 knows p1, p2.
+  AdjSpan s = g.Neighbors(tiny.knows_out, tiny.persons[0], v);
+  ASSERT_EQ(s.size, 2u);
+  EXPECT_EQ(s.ids[0], tiny.persons[1]);
+  EXPECT_EQ(s.ids[1], tiny.persons[2]);
+
+  // p3 created m3, m4, m5 (via IN table).
+  AdjSpan msgs = g.Neighbors(tiny.person_messages, tiny.persons[3], v);
+  EXPECT_EQ(msgs.size, 3u);
+
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.len, v), Value::Int(140));
+  EXPECT_EQ(g.LabelOf(tiny.messages[0], v), tiny.message);
+  EXPECT_EQ(g.FindByExtId(tiny.person, 2, v), tiny.persons[2]);
+  EXPECT_EQ(g.FindByExtId(tiny.person, 99, v), kInvalidVertex);
+}
+
+TEST(GraphTest, ScanLabel) {
+  testutil::TinyGraph tiny;
+  std::vector<VertexId> out;
+  tiny.graph->ScanLabel(tiny.person, 0, &out);
+  EXPECT_EQ(out, tiny.persons);
+}
+
+TEST(GraphTest, RelationResolution) {
+  testutil::TinyGraph tiny;
+  // Both directions resolvable; mismatched labels are not.
+  EXPECT_NE(tiny.graph->FindRelation(tiny.person, tiny.knows, tiny.person,
+                                     Direction::kOut),
+            kInvalidRelation);
+  EXPECT_NE(tiny.graph->FindRelation(tiny.person, tiny.knows, tiny.person,
+                                     Direction::kIn),
+            kInvalidRelation);
+  EXPECT_EQ(tiny.graph->FindRelation(tiny.message, tiny.knows, tiny.person,
+                                     Direction::kOut),
+            kInvalidRelation);
+}
+
+TEST(GraphTest, EdgeCountReportsLogicalEdges) {
+  testutil::TinyGraph tiny;
+  // 6 has_creator + 8 knows (4 symmetric pairs) = 14 logical edges.
+  EXPECT_EQ(tiny.graph->NumEdgesTotal(), 14u);
+}
+
+TEST(GraphTest, MemoryAccountingNonZero) {
+  testutil::TinyGraph tiny;
+  EXPECT_GT(tiny.graph->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ges
