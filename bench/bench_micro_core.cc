@@ -3,10 +3,13 @@
 // filtering. These quantify the constant factors behind the macro results.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "datagen/snb_generator.h"
 #include "executor/executor.h"
 #include "executor/ftree.h"
 #include "queries/ldbc.h"
+#include "runtime/scheduler.h"
 
 namespace ges {
 namespace {
@@ -119,6 +122,29 @@ BENCHMARK(BM_ExpandIC9)
     ->Arg(static_cast<int>(ExecMode::kFlat))
     ->Arg(static_cast<int>(ExecMode::kFactorized))
     ->Arg(static_cast<int>(ExecMode::kFactorizedFused));
+
+// The morsel-parallel Expand path (GES_f*): arg = intra_query_threads.
+// On one core the parallel setting must not regress; on multi-core the
+// hardware_concurrency run should beat threads=1.
+void BM_ExpandIC9Parallel(benchmark::State& state) {
+  MicroGraph& g = MicroGraph::Get();
+  int threads = static_cast<int>(state.range(0));
+  Executor exec(ExecMode::kFactorizedFused,
+                ExecOptions{.intra_query_threads = threads,
+                            .collect_stats = false});
+  ParamGen gen(&g.graph, &g.data, 42);
+  LdbcParams p = gen.Next();
+  GraphView view(&g.graph);
+  Plan plan = BuildIC(9, g.ctx, p);
+  for (auto _ : state) {
+    QueryResult r = exec.Run(plan, view);
+    benchmark::DoNotOptimize(r.table.NumRows());
+  }
+  state.SetLabel("intra_threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ExpandIC9Parallel)
+    ->Arg(1)
+    ->Arg(static_cast<int>(HardwareThreads()));
 
 }  // namespace
 }  // namespace ges

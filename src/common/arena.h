@@ -49,6 +49,38 @@ class Arena {
   size_t bytes_reserved_ = 0;
 };
 
+// Minimal STL-compatible allocator over an Arena: allocation bumps the
+// arena cursor, deallocation is a no-op (the arena frees in bulk on
+// Reset). Used for per-worker scratch containers on operator hot paths —
+// repeated clear()/refill cycles then never touch the global allocator.
+// Containers using it must not outlive the arena's next Reset.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) { return arena_->AllocateArray<T>(n); }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
 // Arena with internal locking, shareable by concurrent writers.
 class ConcurrentArena {
  public:

@@ -25,33 +25,20 @@ const char* ExecModeName(ExecMode mode) {
   return "?";
 }
 
-void CollectNeighbors(const GraphView& view,
-                      const std::vector<RelationId>& rels, VertexId src,
-                      int min_hops, int max_hops, bool distinct,
-                      bool exclude_start,
-                      std::vector<std::pair<VertexId, int>>* out,
-                      std::vector<int64_t>* stamps) {
-  if (max_hops == 1 && !distinct) {
-    for (RelationId rel : rels) {
-      AdjSpan span = view.Neighbors(rel, src);
-      for (uint32_t i = 0; i < span.size; ++i) {
-        VertexId id = span.ids[i];
-        if (id == kInvalidVertex) continue;
-        if (exclude_start && id == src) continue;
-        out->emplace_back(id, 1);
-        if (stamps != nullptr) {
-          stamps->push_back(span.stamps == nullptr ? 0 : span.stamps[i]);
-        }
-      }
-    }
-    return;
-  }
-  // Min-distance BFS with dedup; the source itself is never emitted
-  // (variable-length expansion in the workload always excludes the start).
-  std::unordered_set<VertexId> visited;
+namespace {
+
+// Min-distance BFS with dedup; the source itself is never emitted
+// (variable-length expansion in the workload always excludes the start).
+// Templated over the container types so the hot path can run on
+// arena-backed scratch while one-off callers use plain std containers.
+template <typename Set, typename Vec>
+void BfsCollect(const GraphView& view, const std::vector<RelationId>& rels,
+                VertexId src, int min_hops, int max_hops, Set& visited,
+                Vec& frontier, Vec& next,
+                std::vector<std::pair<VertexId, int>>* out,
+                std::vector<int64_t>* stamps) {
   visited.insert(src);
-  std::vector<VertexId> frontier{src};
-  std::vector<VertexId> next;
+  frontier.push_back(src);
   for (int d = 1; d <= max_hops && !frontier.empty(); ++d) {
     next.clear();
     for (VertexId v : frontier) {
@@ -73,6 +60,45 @@ void CollectNeighbors(const GraphView& view,
     }
     std::swap(frontier, next);
   }
+}
+
+}  // namespace
+
+void CollectNeighbors(const GraphView& view,
+                      const std::vector<RelationId>& rels, VertexId src,
+                      int min_hops, int max_hops, bool distinct,
+                      bool exclude_start,
+                      std::vector<std::pair<VertexId, int>>* out,
+                      std::vector<int64_t>* stamps,
+                      NeighborScratch* scratch) {
+  if (max_hops == 1 && !distinct) {
+    for (RelationId rel : rels) {
+      AdjSpan span = view.Neighbors(rel, src);
+      for (uint32_t i = 0; i < span.size; ++i) {
+        VertexId id = span.ids[i];
+        if (id == kInvalidVertex) continue;
+        if (exclude_start && id == src) continue;
+        out->emplace_back(id, 1);
+        if (stamps != nullptr) {
+          stamps->push_back(span.stamps == nullptr ? 0 : span.stamps[i]);
+        }
+      }
+    }
+    return;
+  }
+  if (scratch != nullptr) {
+    scratch->visited.clear();
+    scratch->frontier.clear();
+    scratch->next.clear();
+    BfsCollect(view, rels, src, min_hops, max_hops, scratch->visited,
+               scratch->frontier, scratch->next, out, stamps);
+    return;
+  }
+  std::unordered_set<VertexId> visited;
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  BfsCollect(view, rels, src, min_hops, max_hops, visited, frontier, next,
+             out, stamps);
 }
 
 namespace {

@@ -19,8 +19,10 @@
 #define GES_EXECUTOR_EXECUTOR_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
 #include "executor/flatblock.h"
 #include "executor/graph_view.h"
 #include "executor/plan.h"
@@ -43,10 +45,13 @@ struct ExecOptions {
   // Branch-free selection-vector kernels for simple int comparisons
   // (Section 5, "Vectorization"); factorized modes only.
   bool vectorized_filter = true;
-  // Worker threads for intra-query parallelism (the Runtime component of
-  // Figure 1). 1 = sequential. Currently parallelizes the expensive
-  // multi-hop Expand across source rows; inter-query parallelism is
-  // provided by the driver.
+  // Maximum concurrent workers for intra-query parallelism (the Runtime
+  // component of Figure 1). <= 1 = sequential. Operators whose f-Tree
+  // locality makes them embarrassingly parallel — Expand over source rows,
+  // the vectorized filter kernel, and the Lemma 4.4 de-factor loop — run
+  // as morsels on the process-wide TaskScheduler (runtime/scheduler.h),
+  // the same pool the driver uses for inter-query parallelism. Results are
+  // bit-identical for every setting.
   int intra_query_threads = 1;
   // Individual fusion rules (applied only in kFactorizedFused).
   bool fuse_filter_into_expand = true;
@@ -102,17 +107,40 @@ QueryResult RunVolcano(const Plan& plan, const GraphView& view);
 
 // --- shared helpers (used by all engine variants) ---
 
+// Reusable BFS scratch for CollectNeighbors, backed by a (typically
+// per-worker) arena: clear() keeps buckets/capacity, so repeated
+// expansions allocate only on growth and never from the global allocator.
+// Must not outlive the arena's next Reset.
+struct NeighborScratch {
+  using Set = std::unordered_set<VertexId, std::hash<VertexId>,
+                                 std::equal_to<VertexId>,
+                                 ArenaAllocator<VertexId>>;
+  using Vec = std::vector<VertexId, ArenaAllocator<VertexId>>;
+
+  explicit NeighborScratch(Arena* arena)
+      : visited(/*bucket_count=*/8, std::hash<VertexId>(),
+                std::equal_to<VertexId>(), ArenaAllocator<VertexId>(arena)),
+        frontier(ArenaAllocator<VertexId>(arena)),
+        next(ArenaAllocator<VertexId>(arena)) {}
+
+  Set visited;
+  Vec frontier;
+  Vec next;
+};
+
 // Collects the (multi-hop) neighbors of `src` via the union of `rels`,
 // honoring min/max hops, distinct (min-distance BFS semantics) and
 // exclude_start. Appends (vertex, distance) pairs; for 1-hop non-distinct
 // expansion the adjacency order is preserved and `stamps` (if non-null)
-// receives the edge stamps.
+// receives the edge stamps. `scratch`, when provided, supplies the BFS
+// working set (hot paths pass per-worker arena scratch).
 void CollectNeighbors(const GraphView& view,
                       const std::vector<RelationId>& rels, VertexId src,
                       int min_hops, int max_hops, bool distinct,
                       bool exclude_start,
                       std::vector<std::pair<VertexId, int>>* out,
-                      std::vector<int64_t>* stamps = nullptr);
+                      std::vector<int64_t>* stamps = nullptr,
+                      NeighborScratch* scratch = nullptr);
 
 // Sorts `block` rows by `keys` and truncates to `limit`.
 void SortAndLimit(FlatBlock* block, const std::vector<SortKey>& keys,

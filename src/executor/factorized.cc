@@ -4,13 +4,14 @@
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
-#include <thread>
 #include <unordered_set>
 
 #include "common/timer.h"
 #include "executor/executor.h"
 #include "executor/executor_internal.h"
 #include "executor/ftree.h"
+#include "runtime/morsel.h"
+#include "runtime/scheduler.h"
 
 namespace ges {
 
@@ -71,10 +72,18 @@ Schema TreeSchema(const FTree& tree) {
 }
 
 // De-factors the tree into the flat state (the "ultimate solution").
-void FlattenState(FactState* state, uint64_t limit = UINT64_MAX) {
+// Without a LIMIT the Lemma 4.4 loop runs morsel-parallel on the shared
+// scheduler (FlattenParallel falls back to sequential for small trees).
+void FlattenState(FactState* state, const ExecOptions& options,
+                  uint64_t limit = UINT64_MAX) {
   assert(state->is_tree() && state->tree != nullptr);
   FlatBlock out(TreeSchema(*state->tree));
-  state->tree->Flatten(AllTreeColumns(*state->tree), &out, limit);
+  const std::vector<std::string> cols = AllTreeColumns(*state->tree);
+  if (limit == UINT64_MAX && options.intra_query_threads > 1) {
+    state->tree->FlattenParallel(cols, &out, options.intra_query_threads);
+  } else {
+    state->tree->Flatten(cols, &out, limit);
+  }
   state->SwitchToFlat(std::move(out));
 }
 
@@ -156,61 +165,57 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
     bool want_dist = !op.distance_column.empty();
     bool want_stamp = !op.stamp_column.empty();
 
-    // Per-partition expansion state; with one partition this is the plain
-    // sequential path, with several it is the intra-query-parallel path of
-    // the Runtime component (each worker expands a contiguous slice of the
-    // source rows, then the slices are stitched in order).
+    // Morsel-driven expansion on the shared TaskScheduler (the
+    // intra-query-parallel path of the Runtime component): source rows are
+    // claimed in kExpandMorselRows chunks from a shared cursor, so skewed
+    // rows (power-law degrees) cannot pin a whole static partition to one
+    // worker. Each morsel accumulates into its own Part — indexed by
+    // morsel id, not by worker — so the stitched output is identical for
+    // every thread count. With intra_query_threads <= 1 (or fewer rows
+    // than one morsel) ParallelFor degenerates to the plain sequential
+    // loop, no scheduler machinery involved.
     struct Part {
       ValueVector ids{ValueType::kVertex};
       ValueVector dist{ValueType::kInt64};
       ValueVector stamps{ValueType::kDate};
-      std::vector<uint32_t> counts;  // per source row of the slice
+      std::vector<uint32_t> counts;  // per source row of the morsel
     };
-    int num_parts = options.intra_query_threads;
-    if (num_parts <= 1 || rows < 256) num_parts = 1;
-    std::vector<Part> parts(num_parts);
+    size_t num_morsels = (rows + kExpandMorselRows - 1) / kExpandMorselRows;
+    std::vector<Part> parts(num_morsels);
 
-    auto expand_slice = [&](size_t begin_row, size_t end_row, Part* part) {
+    auto expand_morsel = [&](size_t begin_row, size_t end_row) {
+      Part& part = parts[begin_row / kExpandMorselRows];
+      // BFS working set from the per-worker arena: multi-hop expansion of
+      // a morsel reuses one visited set / frontier, never touching the
+      // global allocator row-to-row.
+      NeighborScratch scratch(&TaskScheduler::LocalArena());
       std::vector<std::pair<VertexId, int>> nbrs;
       std::vector<int64_t> st;
-      part->counts.reserve(end_row - begin_row);
+      part.counts.reserve(end_row - begin_row);
       for (size_t r = begin_row; r < end_row; ++r) {
         VertexId v = src->RowValid(r)
                          ? src->block.GetValue(r, src_col).AsVertex()
                          : kInvalidVertex;
         if (v == kInvalidVertex) {
-          part->counts.push_back(0);
+          part.counts.push_back(0);
           continue;
         }
         nbrs.clear();
         st.clear();
         CollectNeighbors(view, op.rels, v, op.min_hops, op.max_hops,
                          op.distinct, op.exclude_start, &nbrs,
-                         want_stamp ? &st : nullptr);
+                         want_stamp ? &st : nullptr, &scratch);
         for (size_t i = 0; i < nbrs.size(); ++i) {
-          part->ids.AppendVertex(nbrs[i].first);
-          if (want_dist) part->dist.AppendInt(nbrs[i].second);
-          if (want_stamp) part->stamps.AppendInt(st[i]);
+          part.ids.AppendVertex(nbrs[i].first);
+          if (want_dist) part.dist.AppendInt(nbrs[i].second);
+          if (want_stamp) part.stamps.AppendInt(st[i]);
         }
-        part->counts.push_back(static_cast<uint32_t>(nbrs.size()));
+        part.counts.push_back(static_cast<uint32_t>(nbrs.size()));
       }
     };
-
-    if (num_parts == 1) {
-      expand_slice(0, rows, &parts[0]);
-    } else {
-      std::vector<std::thread> workers;
-      size_t chunk = (rows + num_parts - 1) / num_parts;
-      for (int t = 0; t < num_parts; ++t) {
-        size_t begin_row = t * chunk;
-        size_t end_row = std::min(rows, begin_row + chunk);
-        if (begin_row >= end_row) {
-          continue;
-        }
-        workers.emplace_back(expand_slice, begin_row, end_row, &parts[t]);
-      }
-      for (std::thread& w : workers) w.join();
-    }
+    TaskScheduler::Global().ParallelFor(0, rows, kExpandMorselRows,
+                                        options.intra_query_threads,
+                                        expand_morsel);
 
     // Stitch slices in source-row order.
     ValueVector ids(ValueType::kVertex);
@@ -345,8 +350,12 @@ FTreeNode* SingleNodeOf(const FTree& tree,
 // Vectorized filter kernel: a single comparison of an int-physical column
 // against a constant compiles to a branch-free pass over the raw column
 // data (auto-vectorizable; the "vectorization" optimization of Section 5).
-// Returns false if the predicate does not have that shape.
-bool TryVectorizedFilter(FTreeNode* node, const PlanOp& op) {
+// Large blocks run the kernel morsel-parallel — each morsel updates a
+// disjoint slice of the selection vector, so the result is independent of
+// the thread count. Returns false if the predicate does not have that
+// shape.
+bool TryVectorizedFilter(FTreeNode* node, const PlanOp& op,
+                         const ExecOptions& options) {
   const Expr& e = *op.predicate;
   bool cmp = e.op == ExprOp::kEq || e.op == ExprOp::kNe ||
              e.op == ExprOp::kLt || e.op == ExprOp::kLe ||
@@ -365,26 +374,31 @@ bool TryVectorizedFilter(FTreeNode* node, const PlanOp& op) {
   int64_t c = e.args[1]->constant.AsInt();
   std::vector<uint8_t>& sel = node->MutableSel();
   size_t rows = column.size();
-  switch (e.op) {
-    case ExprOp::kEq:
-      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] == c;
-      break;
-    case ExprOp::kNe:
-      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] != c;
-      break;
-    case ExprOp::kLt:
-      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] < c;
-      break;
-    case ExprOp::kLe:
-      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] <= c;
-      break;
-    case ExprOp::kGt:
-      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] > c;
-      break;
-    default:
-      for (size_t r = 0; r < rows; ++r) sel[r] &= data[r] >= c;
-      break;
-  }
+  ExprOp cmp_op = e.op;
+  auto kernel = [data, c, cmp_op, &sel](size_t lo, size_t hi) {
+    switch (cmp_op) {
+      case ExprOp::kEq:
+        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] == c;
+        break;
+      case ExprOp::kNe:
+        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] != c;
+        break;
+      case ExprOp::kLt:
+        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] < c;
+        break;
+      case ExprOp::kLe:
+        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] <= c;
+        break;
+      case ExprOp::kGt:
+        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] > c;
+        break;
+      default:
+        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] >= c;
+        break;
+    }
+  };
+  TaskScheduler::Global().ParallelFor(0, rows, kFilterMorselRows,
+                                      options.intra_query_threads, kernel);
   return true;
 }
 
@@ -397,7 +411,7 @@ bool TryFactFilter(FactState* state, const PlanOp& op,
   FTreeNode* node = SingleNodeOf(*state->tree, cols);
   if (node == nullptr && !cols.empty()) return false;
   if (node == nullptr) node = state->tree->root();
-  if (options.vectorized_filter && TryVectorizedFilter(node, op)) {
+  if (options.vectorized_filter && TryVectorizedFilter(node, op, options)) {
     return true;
   }
   BoundExpr pred = BoundExpr::Bind(*op.predicate, node->block.schema());
@@ -641,13 +655,13 @@ QueryResult Executor::RunFactorized(const Plan& plan,
           break;
         case OpType::kFilter:
           if (!TryFactFilter(&state, op, options_)) {
-            FlattenState(&state);
+            FlattenState(&state, options_);
             state.flat = ApplyFlatOp(std::move(state.flat), op, view);
           }
           break;
         case OpType::kProject:
           if (!TryFactProject(&state, op)) {
-            FlattenState(&state);
+            FlattenState(&state, options_);
             state.flat = ApplyFlatOp(std::move(state.flat), op, view);
           }
           break;
@@ -667,14 +681,14 @@ QueryResult Executor::RunFactorized(const Plan& plan,
             state.SwitchToFlat(
                 StreamingAggregate(*state.tree, op.group_by, op.aggs));
           } else {
-            FlattenState(&state);
+            FlattenState(&state, options_);
             state.flat = ApplyFlatOp(std::move(state.flat), op, view);
           }
           break;
         }
         case OpType::kOrderBy:
           // Order keys almost always span nodes; de-factor then sort.
-          FlattenState(&state);
+          FlattenState(&state, options_);
           SortAndLimit(&state.flat, op.sort_keys, op.limit);
           break;
         case OpType::kTopK:
@@ -693,12 +707,12 @@ QueryResult Executor::RunFactorized(const Plan& plan,
           break;
         }
         case OpType::kLimit:
-          FlattenState(&state, op.limit);
+          FlattenState(&state, options_, op.limit);
           break;
         case OpType::kDistinct:
         case OpType::kExpandInto:
           // Cyclic / global-dedup logic: revert to flat execution.
-          FlattenState(&state);
+          FlattenState(&state, options_);
           state.flat = ApplyFlatOp(std::move(state.flat), op, view);
           break;
         case OpType::kProcedure:
@@ -737,7 +751,11 @@ QueryResult Executor::RunFactorized(const Plan& plan,
       s.Add(c, n->block.schema()[ci].type);
     }
     FlatBlock shaped(s);
-    state.tree->Flatten(cols, &shaped);
+    if (options_.intra_query_threads > 1) {
+      state.tree->FlattenParallel(cols, &shaped, options_.intra_query_threads);
+    } else {
+      state.tree->Flatten(cols, &shaped);
+    }
     result.table = std::move(shaped);
   } else {
     result.table = internal::ProjectOutput(state.flat, plan.output);

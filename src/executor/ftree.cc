@@ -1,7 +1,11 @@
 #include "executor/ftree.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
+
+#include "runtime/morsel.h"
+#include "runtime/scheduler.h"
 
 namespace ges {
 
@@ -172,6 +176,66 @@ void FTree::Flatten(const std::vector<std::string>& columns, FlatBlock* out,
   }
 }
 
+void FTree::FlattenParallel(const std::vector<std::string>& columns,
+                            FlatBlock* out, int max_workers) const {
+  if (root_ == nullptr) return;
+  size_t root_rows = root_->block.NumRows();
+  if (max_workers <= 1 || root_rows < 2 * kFlattenMorselRoots) {
+    Flatten(columns, out);
+    return;
+  }
+  // Per-root-row tuple counts pre-size the output: prefix sums give every
+  // morsel of root rows a disjoint [offsets[b], offsets[e]) slice, so the
+  // parallel emit preserves the sequential enumeration order exactly.
+  std::vector<uint64_t> counts = TupleCountsForNode(root_.get());
+  std::vector<uint64_t> offsets(root_rows + 1, 0);
+  for (size_t r = 0; r < root_rows; ++r) offsets[r + 1] = offsets[r] + counts[r];
+  uint64_t total = offsets[root_rows];
+  if (total < kFlattenParallelMinTuples) {
+    Flatten(columns, out);
+    return;
+  }
+
+  // Resolve columns to (preorder node index, column index) once.
+  std::vector<const FTreeNode*> order = Preorder();
+  std::unordered_map<const FTreeNode*, size_t> preorder_idx;
+  for (size_t i = 0; i < order.size(); ++i) preorder_idx[order[i]] = i;
+  struct Slot {
+    size_t node_idx;
+    size_t col_idx;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(columns.size());
+  for (const std::string& name : columns) {
+    FTreeNode* node = NodeOfColumn(name);
+    assert(node != nullptr);
+    int col = node->block.schema().IndexOf(name);
+    assert(col >= 0);
+    slots.push_back(Slot{preorder_idx.at(node), static_cast<size_t>(col)});
+  }
+
+  size_t base = out->NumRows();
+  std::vector<std::vector<Value>>& rows = out->rows();
+  rows.resize(base + total);
+  auto emit = [&](size_t begin_row, size_t end_row) {
+    if (offsets[begin_row] == offsets[end_row]) return;
+    TupleEnumerator e(*this, begin_row, end_row);
+    size_t i = base + offsets[begin_row];
+    while (e.Next()) {
+      std::vector<Value> row;
+      row.reserve(slots.size());
+      for (const Slot& s : slots) {
+        row.push_back(e.nodes()[s.node_idx]->block.GetValue(
+            e.RowAt(s.node_idx), s.col_idx));
+      }
+      rows[i++] = std::move(row);
+    }
+    assert(i == base + offsets[end_row] && "DP count != enumeration count");
+  };
+  TaskScheduler::Global().ParallelFor(0, root_rows, kFlattenMorselRoots,
+                                      max_workers, emit);
+}
+
 size_t FTree::MemoryBytes() const {
   size_t bytes = 0;
   for (const FTreeNode* n : Preorder()) {
@@ -201,7 +265,12 @@ std::string FTree::DebugString() const {
 // TupleEnumerator
 // ---------------------------------------------------------------------------
 
-TupleEnumerator::TupleEnumerator(const FTree& tree) {
+TupleEnumerator::TupleEnumerator(const FTree& tree)
+    : TupleEnumerator(tree, 0, UINT64_MAX) {}
+
+TupleEnumerator::TupleEnumerator(const FTree& tree, uint64_t root_begin,
+                                 uint64_t root_end)
+    : root_begin_(root_begin), root_end_(root_end) {
   nodes_ = tree.Preorder();
   for (size_t i = 0; i < nodes_.size(); ++i) index_of_[nodes_[i]] = i;
   parent_idx_.resize(nodes_.size(), 0);
@@ -218,8 +287,9 @@ TupleEnumerator::TupleEnumerator(const FTree& tree) {
 void TupleEnumerator::SetRange(size_t i) {
   const FTreeNode* node = nodes_[i];
   if (node->parent == nullptr) {
-    begin_[i] = 0;
-    end_[i] = node->block.NumRows();
+    uint64_t rows = node->block.NumRows();
+    begin_[i] = std::min(root_begin_, rows);
+    end_[i] = std::min(root_end_, rows);
   } else {
     const IndexRange& r = node->parent_index[cur_[parent_idx_[i]]];
     begin_[i] = r.begin;

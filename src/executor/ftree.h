@@ -90,6 +90,16 @@ class FTree {
   void Flatten(const std::vector<std::string>& columns, FlatBlock* out,
                uint64_t limit = UINT64_MAX) const;
 
+  // Morsel-parallel de-factoring (Lemma 4.4 on the shared TaskScheduler):
+  // root rows are claimed in morsels; the per-root tuple counts (DP)
+  // pre-size the output so every morsel emits into its own disjoint slice,
+  // preserving exactly the sequential enumeration order. `max_workers`
+  // bounds concurrency (the caller participates); falls back to the
+  // sequential Flatten when the tree is too small to pay for the DP.
+  // Appends after any rows already in `out`.
+  void FlattenParallel(const std::vector<std::string>& columns,
+                       FlatBlock* out, int max_workers) const;
+
   size_t MemoryBytes() const;
 
   std::string DebugString() const;
@@ -109,6 +119,9 @@ class FTree {
 class TupleEnumerator {
  public:
   explicit TupleEnumerator(const FTree& tree);
+  // Enumerates only the tuples rooted at root rows [root_begin, root_end)
+  // (clamped to the root cardinality) — the unit of parallel de-factoring.
+  TupleEnumerator(const FTree& tree, uint64_t root_begin, uint64_t root_end);
 
   // Advances to the next valid tuple. Returns false when exhausted.
   bool Next();
@@ -140,6 +153,8 @@ class TupleEnumerator {
   std::vector<uint64_t> cur_;
   std::vector<uint64_t> begin_;
   std::vector<uint64_t> end_;
+  uint64_t root_begin_ = 0;
+  uint64_t root_end_ = UINT64_MAX;
   bool started_ = false;
   bool done_ = false;
 };

@@ -1,10 +1,11 @@
 #include "harness/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
-#include <thread>
 
 #include "common/timer.h"
+#include "runtime/scheduler.h"
 
 namespace ges {
 
@@ -57,7 +58,8 @@ DriverReport Driver::Run(const DriverConfig& config) {
     std::map<std::string, LatencyRecorder> per_query;
     uint64_t completed = 0;
   };
-  std::vector<WorkerResult> results(config.threads);
+  const int nthreads = std::max(1, config.threads);
+  std::vector<WorkerResult> results(nthreads);
 
   Timer wall;
   auto worker = [&](int tid) {
@@ -121,12 +123,16 @@ DriverReport Driver::Run(const DriverConfig& config) {
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(config.threads);
-  for (int t = 0; t < config.threads; ++t) {
-    threads.emplace_back(worker, t);
+  // Stream workers run on the same process-wide scheduler that serves
+  // intra-query morsels, so config.threads and intra_query_threads draw
+  // from one pool instead of oversubscribing the machine.
+  TaskScheduler& sched = TaskScheduler::Global();
+  sched.EnsureWorkers(nthreads);
+  TaskGroup group(&sched);
+  for (int t = 0; t < nthreads; ++t) {
+    group.Run([&, t] { worker(t); });
   }
-  for (std::thread& t : threads) t.join();
+  group.Wait();
 
   DriverReport report;
   report.elapsed_seconds = wall.ElapsedSeconds();

@@ -1,0 +1,35 @@
+// Morsel sizing for the parallel operators.
+//
+// A morsel is the unit of dynamic work distribution: large enough that the
+// shared-cursor claim (one atomic fetch_add) is amortized, small enough
+// that skewed rows (power-law vertex degrees) cannot pin the whole range to
+// one worker. Sizes are per-operator because per-row cost differs by
+// orders of magnitude.
+#ifndef GES_RUNTIME_MORSEL_H_
+#define GES_RUNTIME_MORSEL_H_
+
+#include <cstddef>
+
+namespace ges {
+
+// Expand: each row does adjacency lookups or a bounded BFS — heavy rows,
+// small morsels. Also the sequential cut-off: below one morsel the claim
+// machinery is skipped entirely.
+inline constexpr size_t kExpandMorselRows = 256;
+
+// Vectorized filter: one branch-free comparison per row — very cheap rows,
+// big morsels.
+inline constexpr size_t kFilterMorselRows = 8192;
+
+// De-factoring (Lemma 4.4): morsels are counted in *root* rows; each root
+// row fans out to its subtree's tuples, so per-morsel work is already
+// amplified.
+inline constexpr size_t kFlattenMorselRoots = 128;
+
+// Minimum total output tuples before parallel de-factoring pays for the
+// tuple-count DP that pre-sizes the output slices.
+inline constexpr size_t kFlattenParallelMinTuples = 4096;
+
+}  // namespace ges
+
+#endif  // GES_RUNTIME_MORSEL_H_
