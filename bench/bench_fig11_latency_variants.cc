@@ -12,10 +12,12 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Figure 11: average query latency, GES vs GES_f vs GES_f* "
               "==\n");
   int params = EnvInt("GES_PARAMS", 15);
+  BenchJsonReport json("fig11_latency_variants");
+  json.AddScalar("params", params);
   for (double sf : EnvSfList()) {
     auto g = MakeGraph(sf);
     GraphView view(&g->graph);
@@ -28,12 +30,16 @@ int main() {
       for (ExecMode mode : VariantModes()) {
         Executor exec(mode, ExecOptions{.collect_stats = false});
         ParamGen gen(&g->graph, &g->data, 1100 + k);  // same params per mode
-        Timer t;
+        LatencyRecorder rec;
         for (int i = 0; i < params; ++i) {
           LdbcParams p = gen.Next();
+          Timer t;
           exec.Run(BuildIC(k, g->ctx, p), view);
+          rec.Add(t.ElapsedMillis());
         }
-        avg[m++] = t.ElapsedMillis() / params;
+        json.AddLatency(SfLabel(sf) + "/" + ExecModeName(mode),
+                        "IC" + std::to_string(k), rec);
+        avg[m++] = rec.Mean();
       }
       char s1[16], s2[16];
       std::snprintf(s1, sizeof(s1), "%.1fx", avg[0] / std::max(avg[1], 1e-9));
@@ -47,5 +53,6 @@ int main() {
               "on the long-running expansion-heavy queries; GES_f* adds "
               "large extra gains where aggregation/top-k previously forced "
               "full de-factoring (e.g. IC5).\n");
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

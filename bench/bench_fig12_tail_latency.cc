@@ -12,7 +12,7 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Figure 12: P99 / P99.9 tail latency on the largest scale "
               "==\n");
   auto sfs = EnvSfList();
@@ -22,6 +22,9 @@ int main() {
   GraphView view(&g->graph);
   std::printf("(%d parameter draws per query, %s)\n", params,
               SfLabel(sf).c_str());
+  BenchJsonReport json("fig12_tail_latency");
+  json.AddScalar("sf", sf);
+  json.AddScalar("params", params);
 
   TextTable table({"query", "GES p99", "GES p99.9", "GES_f p99",
                    "GES_f p99.9", "GES_f* p99", "GES_f* p99.9"});
@@ -38,6 +41,7 @@ int main() {
         exec.Run(plan, view);
         rec.Add(t.ElapsedMillis());
       }
+      json.AddLatency(ExecModeName(mode), "IC" + std::to_string(k), rec);
       row.push_back(HumanMillis(rec.Percentile(99)));
       row.push_back(HumanMillis(rec.Percentile(99.9)));
     }
@@ -46,5 +50,6 @@ int main() {
   table.Print();
   std::printf("\nPaper shape check: GES_f and GES_f* tails far below GES on "
               "the long-running queries; roughly equal on the cheap ones.\n");
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

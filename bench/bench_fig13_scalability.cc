@@ -11,10 +11,12 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Figure 13: throughput scalability with threads (GES_f*) "
               "==\n");
   double seconds = EnvDouble("GES_SECONDS", 2.0);
+  BenchJsonReport json("fig13_scalability");
+  json.AddScalar("seconds", seconds);
   // hardware_concurrency() may return 0 when the count is unknown.
   unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   // Sweep past the core count so the flattening of the curve is visible;
@@ -37,7 +39,11 @@ int main() {
       config.options.collect_stats = false;
       config.threads = t;
       config.duration_seconds = seconds;
+      config.total_ops = 0;  // pure duration run
       DriverReport report = driver.Run(config);
+      json.AddSectionScalar(SfLabel(sf) + "/inter",
+                            "threads_" + std::to_string(t),
+                            report.throughput);
       if (t == 1) base = report.throughput;
       char tput[32], sp[16];
       std::snprintf(tput, sizeof(tput), "%.0f", report.throughput);
@@ -69,7 +75,11 @@ int main() {
       config.threads = 1;
       config.mix = heavy;
       config.duration_seconds = seconds;
+      config.total_ops = 0;  // pure duration run
       DriverReport report = driver.Run(config);
+      json.AddSectionScalar(SfLabel(sf) + "/intra",
+                            "threads_" + std::to_string(t),
+                            report.throughput);
       if (t == 1) intra_base = report.throughput;
       char tput[32], sp[16];
       std::snprintf(tput, sizeof(tput), "%.0f", report.throughput);
@@ -83,5 +93,6 @@ int main() {
               "approaches the core count before other resources bound it.\n"
               "Intra-query speedup > 1 at 2+ threads needs multiple cores; "
               "on one core the morsel runtime should merely not regress.\n");
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

@@ -10,7 +10,7 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Figure 14: throughput trace over the benchmark duration "
               "(GES_f*) ==\n");
   auto sfs = EnvSfList();
@@ -26,6 +26,7 @@ int main() {
   config.options.collect_stats = false;
   config.threads = threads;
   config.duration_seconds = seconds;
+  config.total_ops = 0;  // pure duration run
   config.trace_window_seconds = window;
   DriverReport report = driver.Run(config);
 
@@ -54,5 +55,14 @@ int main() {
               max_total / std::max(min_total, 1.0));
   std::printf("\nPaper shape check: per-window totals stay close to the "
               "overall mean (stable sustained performance).\n");
+  BenchJsonReport json("fig14_stability_trace");
+  json.AddScalar("sf", sf);
+  json.AddScalar("seconds", seconds);
+  json.AddScalar("threads", threads);
+  json.AddScalar("window_seconds", window);
+  json.AddScalar("window_min_qps", min_total);
+  json.AddScalar("window_max_qps", max_total);
+  AddDriverReport(&json, "mix", report);
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

@@ -11,7 +11,7 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Figure 2: per-query runtime under the LDBC SNB interactive "
               "workload (single core, flat GES baseline) ==\n");
   double sf = EnvDouble("GES_SF", 0.05);
@@ -20,19 +20,24 @@ int main() {
   GraphView view(&g->graph);
   Executor exec(ExecMode::kFlat, ExecOptions{.collect_stats = false});
 
+  BenchJsonReport json("fig2_query_runtimes");
+  json.AddScalar("sf", sf);
+  json.AddScalar("params", params);
   TextTable table({"query", "runs", "total", "avg"});
   double grand_total = 0;
   for (int k = 1; k <= 14; ++k) {
     ParamGen gen(&g->graph, &g->data, 900 + k);
-    double total_ms = 0;
+    LatencyRecorder rec;
     for (int i = 0; i < params; ++i) {
       LdbcParams p = gen.Next();
       Plan plan = BuildIC(k, g->ctx, p);
       Timer t;
       exec.Run(plan, view);
-      total_ms += t.ElapsedMillis();
+      rec.Add(t.ElapsedMillis());
     }
+    double total_ms = rec.Sum();
     grand_total += total_ms;
+    json.AddLatency("flat", "IC" + std::to_string(k), rec);
     table.AddRow({"IC" + std::to_string(k), std::to_string(params),
                   HumanMillis(total_ms), HumanMillis(total_ms / params)});
   }
@@ -41,5 +46,6 @@ int main() {
   std::printf("\nPaper shape check: a handful of long-running queries "
               "(IC5/IC9-style multi-hop expansions) should dominate, with "
               "100x+ spread between cheapest and costliest.\n");
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

@@ -10,11 +10,14 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Figure 3: operator-level analysis of long-running queries "
               "(flat GES baseline) ==\n");
   double sf = EnvDouble("GES_SF", 0.05);
   int params = EnvInt("GES_PARAMS", 20);
+  BenchJsonReport json("fig3_operator_breakdown");
+  json.AddScalar("sf", sf);
+  json.AddScalar("params", params);
   auto g = MakeGraph(sf);
   GraphView view(&g->graph);
   Executor exec(ExecMode::kFlat);
@@ -58,8 +61,10 @@ int main() {
   for (const auto& [name, ms] : global) {
     char pct[16];
     std::snprintf(pct, sizeof(pct), "%.1f%%", 100.0 * ms / global_total);
+    json.AddSectionScalar("operator_millis", name, ms);
     table.AddRow({name, HumanMillis(ms), pct});
   }
+  json.AddSectionScalar("operator_millis", "total", global_total);
   table.Print();
   std::printf("\nPaper shape check: Expand should account for roughly half "
               "of total runtime; Select and Project take most of the rest.\n");
@@ -85,6 +90,11 @@ int main() {
     std::printf("  pointer_join=%s: total %s, peak intermediates %s\n",
                 pointer_join ? "on " : "off", HumanMillis(total).c_str(),
                 HumanBytes(peak).c_str());
+    std::string section =
+        pointer_join ? "pointer_join_on" : "pointer_join_off";
+    json.AddSectionScalar(section, "total_millis", total);
+    json.AddSectionScalar(section, "peak_intermediate_bytes",
+                          static_cast<double>(peak));
   }
 
   // Ablation: vectorized filter kernel on vs. off (GES_f, IC9 date filter).
@@ -100,8 +110,11 @@ int main() {
       LdbcParams p = gen.Next();
       fact.Run(BuildIC(9, g->ctx, p), view);
     }
+    json.AddSectionScalar(vectorized ? "vectorized_on" : "vectorized_off",
+                          "total_millis", t.ElapsedMillis());
     std::printf("  vectorized=%s: total %s\n", vectorized ? "on " : "off",
                 HumanMillis(t.ElapsedMillis()).c_str());
   }
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

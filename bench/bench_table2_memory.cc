@@ -11,9 +11,11 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Table 2: peak intermediate-result memory per query ==\n");
   int params = EnvInt("GES_PARAMS", 10);
+  BenchJsonReport json("table2_memory");
+  json.AddScalar("params", params);
   for (double sf : EnvSfList()) {
     auto g = MakeGraph(sf);
     GraphView view(&g->graph);
@@ -38,6 +40,11 @@ int main() {
         }
         ++m;
       }
+      for (int i = 0; i < 3; ++i) {
+        json.AddSectionScalar(
+            SfLabel(sf) + "/" + ExecModeName(VariantModes()[i]) + "_bytes",
+            "IC" + std::to_string(k), static_cast<double>(peak[i]));
+      }
       char rr[16];
       double ratio =
           peak[0] == 0
@@ -53,5 +60,6 @@ int main() {
   std::printf("\nPaper shape check: R.R. > 90%% on factorization-friendly "
               "queries (IC1, IC2, IC5, IC9, IC14); near 0%% on the cyclic "
               "ones (IC3, IC10) that revert to flat execution.\n");
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

@@ -9,10 +9,13 @@
 using namespace ges;
 using namespace ges::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Table 3: LDBC benchmark throughput of GES variants ==\n");
   double seconds = EnvDouble("GES_SECONDS", 3.0);
   int threads = EnvInt("GES_THREADS", 4);
+  BenchJsonReport json("table3_throughput");
+  json.AddScalar("seconds", seconds);
+  json.AddScalar("threads", threads);
   for (double sf : EnvSfList()) {
     auto g = MakeGraph(sf);
     std::printf("\n--- %s (%d driver threads, %.1fs per variant) ---\n",
@@ -26,7 +29,9 @@ int main() {
       config.options.collect_stats = false;
       config.threads = threads;
       config.duration_seconds = seconds;
+      config.total_ops = 0;  // pure duration run
       DriverReport report = driver.Run(config);
+      AddDriverReport(&json, SfLabel(sf) + "/" + ExecModeName(mode), report);
       if (mode == ExecMode::kFlat) base = report.throughput;
       char tput[32], speedup[16];
       std::snprintf(tput, sizeof(tput), "%.0f", report.throughput);
@@ -38,5 +43,6 @@ int main() {
   }
   std::printf("\nPaper shape check: GES_f ~4-5x over GES, GES_f* ~16x+ over "
               "GES, speedups roughly stable across scales.\n");
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

@@ -26,7 +26,7 @@ const std::vector<ExecMode>& ComparisonModes() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Figure 15 + Table 4: comparison with conventional engine "
               "architectures ==\n");
   std::printf("(Volcano = tuple-at-a-time row engine, proxy for "
@@ -37,6 +37,10 @@ int main() {
   int params = EnvInt("GES_PARAMS", 10);
   double seconds = EnvDouble("GES_SECONDS", 3.0);
   int threads = EnvInt("GES_THREADS", 4);
+  BenchJsonReport json("table4_fig15_system_comparison");
+  json.AddScalar("params", params);
+  json.AddScalar("seconds", seconds);
+  json.AddScalar("threads", threads);
 
   for (double sf : two) {
     auto g = MakeGraph(sf);
@@ -49,12 +53,15 @@ int main() {
       for (ExecMode mode : ComparisonModes()) {
         Executor exec(mode, ExecOptions{.collect_stats = false});
         ParamGen gen(&g->graph, &g->data, 1500);
-        Timer t;
+        LatencyRecorder rec;
         for (int i = 0; i < params; ++i) {
           LdbcParams p = gen.Next();
+          Timer t;
           exec.Run(build(p), view);
+          rec.Add(t.ElapsedMillis());
         }
-        row.push_back(HumanMillis(t.ElapsedMillis() / params));
+        json.AddLatency(SfLabel(sf) + "/" + ExecModeName(mode), name, rec);
+        row.push_back(HumanMillis(rec.Mean()));
       }
       table.AddRow(std::move(row));
     };
@@ -78,7 +85,10 @@ int main() {
       config.options.collect_stats = false;
       config.threads = threads;
       config.duration_seconds = seconds;
+      config.total_ops = 0;  // pure duration run
       DriverReport report = driver.Run(config);
+      json.AddSectionScalar(SfLabel(sf) + "/mix_throughput",
+                            ExecModeName(mode), report.throughput);
       char t[32];
       std::snprintf(t, sizeof(t), "%.0f", report.throughput);
       tput_table.AddRow({ExecModeName(mode), t});
@@ -92,5 +102,6 @@ int main() {
               "competitors, so the Volcano-vs-flat gap compresses; on "
               "long-running IC queries the per-tuple engine is clearly "
               "slower, see the Figure 15 rows above).\n");
+  MaybeWriteJson(argc, argv, json);
   return 0;
 }

@@ -86,6 +86,33 @@ inline const std::vector<ExecMode>& VariantModes() {
   return modes;
 }
 
+// --- machine-readable output (the shared --json flag) ---------------------
+
+// Folds a DriverReport into one JSON section: throughput plus per-query
+// latency stats.
+inline void AddDriverReport(BenchJsonReport* json, const std::string& section,
+                            const DriverReport& report) {
+  json->AddSectionScalar(section, "throughput_qps", report.throughput);
+  json->AddSectionScalar(section, "completed",
+                         static_cast<double>(report.completed));
+  json->AddSectionScalar(section, "elapsed_seconds", report.elapsed_seconds);
+  for (const auto& [name, rec] : report.per_query) {
+    json->AddLatency(section, name, rec);
+  }
+}
+
+// Writes the report when the binary was invoked with "--json [path]".
+inline void MaybeWriteJson(int argc, char** argv,
+                           const BenchJsonReport& report) {
+  std::string path = JsonPathFromArgs(argc, argv, report.name());
+  if (path.empty()) return;
+  if (report.WriteFile(path)) {
+    std::printf("# wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "# failed to write %s\n", path.c_str());
+  }
+}
+
 }  // namespace ges::bench
 
 #endif  // GES_BENCH_BENCH_UTIL_H_

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   dc.options.collect_stats = false;
   dc.threads = threads;
   dc.duration_seconds = seconds;
+  dc.total_ops = 0;  // pure duration run
   dc.include_updates = updates;
   dc.seed = seed;
   std::printf("running %s for %.0fs on %d thread(s), updates %s...\n",

@@ -522,6 +522,7 @@ QueryResult Executor::RunFlat(const Plan& plan, const GraphView& view) const {
   Timer total;
   FlatBlock state;
   for (const PlanOp& op : plan.ops) {
+    ThrowIfInterrupted(options_.context);
     Timer t;
     state = internal::ApplyFlatOp(std::move(state), op, view);
     OpStats os;
@@ -541,17 +542,25 @@ QueryResult Executor::RunFlat(const Plan& plan, const GraphView& view) const {
 }
 
 QueryResult Executor::Run(const Plan& plan, const GraphView& view) const {
-  switch (mode_) {
-    case ExecMode::kVolcano:
-      return RunVolcano(plan, view);
-    case ExecMode::kFlat:
-      return RunFlat(plan, view);
-    case ExecMode::kFactorized:
-      return RunFactorized(plan, view);
-    case ExecMode::kFactorizedFused: {
-      Plan fused = OptimizePlan(plan, options_);
-      return RunFactorized(fused, view);
+  try {
+    switch (mode_) {
+      case ExecMode::kVolcano:
+        return RunVolcano(plan, view);
+      case ExecMode::kFlat:
+        return RunFlat(plan, view);
+      case ExecMode::kFactorized:
+        return RunFactorized(plan, view);
+      case ExecMode::kFactorizedFused: {
+        Plan fused = OptimizePlan(plan, options_);
+        return RunFactorized(fused, view);
+      }
     }
+  } catch (const QueryInterrupted& e) {
+    // A checkpoint fired (deadline/cancel via options_.context). Surface it
+    // as data, not as an exception: no caller outside the engine unwinds.
+    QueryResult result;
+    result.interrupted = e.reason;
+    return result;
   }
   return QueryResult{};
 }

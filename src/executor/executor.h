@@ -26,6 +26,7 @@
 #include "executor/flatblock.h"
 #include "executor/graph_view.h"
 #include "executor/plan.h"
+#include "runtime/query_context.h"
 
 namespace ges {
 
@@ -60,6 +61,12 @@ struct ExecOptions {
   // Per-operator memory/row accounting (Figure 3, Table 2). Disable for
   // pure-throughput runs to avoid measurement overhead.
   bool collect_stats = true;
+  // Deadline/cancellation context (service layer). Not owned; may be null
+  // (direct engine use). When set, operators poll it at morsel boundaries
+  // and Run() reports interruption via QueryResult::interrupted instead of
+  // finishing the query. Kept last so existing designated initializers
+  // stay valid.
+  QueryContext* context = nullptr;
 };
 
 struct OpStats {
@@ -80,6 +87,10 @@ struct QueryStats {
 struct QueryResult {
   FlatBlock table;
   QueryStats stats;
+  // kNone on normal completion; otherwise the query was cut short by
+  // ExecOptions::context (table holds whatever was materialized so far and
+  // must not be treated as the query answer).
+  InterruptReason interrupted = InterruptReason::kNone;
 };
 
 class Executor {

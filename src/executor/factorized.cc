@@ -80,9 +80,10 @@ void FlattenState(FactState* state, const ExecOptions& options,
   FlatBlock out(TreeSchema(*state->tree));
   const std::vector<std::string> cols = AllTreeColumns(*state->tree);
   if (limit == UINT64_MAX && options.intra_query_threads > 1) {
-    state->tree->FlattenParallel(cols, &out, options.intra_query_threads);
+    state->tree->FlattenParallel(cols, &out, options.intra_query_threads,
+                                 options.context);
   } else {
-    state->tree->Flatten(cols, &out, limit);
+    state->tree->Flatten(cols, &out, limit, options.context);
   }
   state->SwitchToFlat(std::move(out));
 }
@@ -193,6 +194,9 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
       std::vector<int64_t> st;
       part.counts.reserve(end_row - begin_row);
       for (size_t r = begin_row; r < end_row; ++r) {
+        // Per-source-row checkpoint: a multi-hop BFS morsel over high-degree
+        // vertices can run for milliseconds, far past the per-morsel poll.
+        ThrowIfInterrupted(options.context);
         VertexId v = src->RowValid(r)
                          ? src->block.GetValue(r, src_col).AsVertex()
                          : kInvalidVertex;
@@ -215,7 +219,7 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
     };
     TaskScheduler::Global().ParallelFor(0, rows, kExpandMorselRows,
                                         options.intra_query_threads,
-                                        expand_morsel);
+                                        expand_morsel, options.context);
 
     // Stitch slices in source-row order.
     ValueVector ids(ValueType::kVertex);
@@ -398,7 +402,8 @@ bool TryVectorizedFilter(FTreeNode* node, const PlanOp& op,
     }
   };
   TaskScheduler::Global().ParallelFor(0, rows, kFilterMorselRows,
-                                      options.intra_query_threads, kernel);
+                                      options.intra_query_threads, kernel,
+                                      options.context);
   return true;
 }
 
@@ -633,6 +638,7 @@ QueryResult Executor::RunFactorized(const Plan& plan,
   FactState state;
 
   for (const PlanOp& op : plan.ops) {
+    ThrowIfInterrupted(options_.context);
     Timer t;
     if (!state.is_tree()) {
       state.flat = ApplyFlatOp(std::move(state.flat), op, view);
@@ -752,9 +758,10 @@ QueryResult Executor::RunFactorized(const Plan& plan,
     }
     FlatBlock shaped(s);
     if (options_.intra_query_threads > 1) {
-      state.tree->FlattenParallel(cols, &shaped, options_.intra_query_threads);
+      state.tree->FlattenParallel(cols, &shaped, options_.intra_query_threads,
+                                  options_.context);
     } else {
-      state.tree->Flatten(cols, &shaped);
+      state.tree->Flatten(cols, &shaped, UINT64_MAX, options_.context);
     }
     result.table = std::move(shaped);
   } else {

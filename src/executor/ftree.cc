@@ -146,7 +146,7 @@ std::vector<uint64_t> FTree::TupleCountsForNode(
 }
 
 void FTree::Flatten(const std::vector<std::string>& columns, FlatBlock* out,
-                    uint64_t limit) const {
+                    uint64_t limit, const QueryContext* ctx) const {
   if (root_ == nullptr) return;
   TupleEnumerator e(*this);
   // Resolve columns once.
@@ -165,6 +165,7 @@ void FTree::Flatten(const std::vector<std::string>& columns, FlatBlock* out,
   }
   uint64_t n = 0;
   while (n < limit && e.Next()) {
+    if (n % kFlattenCheckTuples == 0) ThrowIfInterrupted(ctx);
     std::vector<Value> row;
     row.reserve(slots.size());
     for (const Slot& s : slots) {
@@ -177,11 +178,12 @@ void FTree::Flatten(const std::vector<std::string>& columns, FlatBlock* out,
 }
 
 void FTree::FlattenParallel(const std::vector<std::string>& columns,
-                            FlatBlock* out, int max_workers) const {
+                            FlatBlock* out, int max_workers,
+                            const QueryContext* ctx) const {
   if (root_ == nullptr) return;
   size_t root_rows = root_->block.NumRows();
   if (max_workers <= 1 || root_rows < 2 * kFlattenMorselRoots) {
-    Flatten(columns, out);
+    Flatten(columns, out, UINT64_MAX, ctx);
     return;
   }
   // Per-root-row tuple counts pre-size the output: prefix sums give every
@@ -192,7 +194,7 @@ void FTree::FlattenParallel(const std::vector<std::string>& columns,
   for (size_t r = 0; r < root_rows; ++r) offsets[r + 1] = offsets[r] + counts[r];
   uint64_t total = offsets[root_rows];
   if (total < kFlattenParallelMinTuples) {
-    Flatten(columns, out);
+    Flatten(columns, out, UINT64_MAX, ctx);
     return;
   }
 
@@ -221,7 +223,9 @@ void FTree::FlattenParallel(const std::vector<std::string>& columns,
     if (offsets[begin_row] == offsets[end_row]) return;
     TupleEnumerator e(*this, begin_row, end_row);
     size_t i = base + offsets[begin_row];
+    size_t emitted = 0;
     while (e.Next()) {
+      if (emitted++ % kFlattenCheckTuples == 0) ThrowIfInterrupted(ctx);
       std::vector<Value> row;
       row.reserve(slots.size());
       for (const Slot& s : slots) {
@@ -233,7 +237,7 @@ void FTree::FlattenParallel(const std::vector<std::string>& columns,
     assert(i == base + offsets[end_row] && "DP count != enumeration count");
   };
   TaskScheduler::Global().ParallelFor(0, root_rows, kFlattenMorselRoots,
-                                      max_workers, emit);
+                                      max_workers, emit, ctx);
 }
 
 size_t FTree::MemoryBytes() const {

@@ -24,6 +24,7 @@
 
 #include "executor/fblock.h"
 #include "executor/flatblock.h"
+#include "runtime/query_context.h"
 
 namespace ges {
 
@@ -86,9 +87,13 @@ class FTree {
   std::vector<uint64_t> TupleCountsForNode(const FTreeNode* target) const;
 
   // Materializes the named columns of every valid tuple into `out` (whose
-  // schema must match `columns`), stopping after `limit` tuples.
+  // schema must match `columns`), stopping after `limit` tuples. `ctx`,
+  // when set, is polled every kFlattenCheckTuples emitted tuples (de-
+  // factoring can produce millions of rows; this bounds the time to notice
+  // a deadline/cancel).
   void Flatten(const std::vector<std::string>& columns, FlatBlock* out,
-               uint64_t limit = UINT64_MAX) const;
+               uint64_t limit = UINT64_MAX,
+               const QueryContext* ctx = nullptr) const;
 
   // Morsel-parallel de-factoring (Lemma 4.4 on the shared TaskScheduler):
   // root rows are claimed in morsels; the per-root tuple counts (DP)
@@ -96,9 +101,11 @@ class FTree {
   // preserving exactly the sequential enumeration order. `max_workers`
   // bounds concurrency (the caller participates); falls back to the
   // sequential Flatten when the tree is too small to pay for the DP.
-  // Appends after any rows already in `out`.
+  // Appends after any rows already in `out`. `ctx` as in Flatten (each
+  // morsel also polls between root rows).
   void FlattenParallel(const std::vector<std::string>& columns,
-                       FlatBlock* out, int max_workers) const;
+                       FlatBlock* out, int max_workers,
+                       const QueryContext* ctx = nullptr) const;
 
   size_t MemoryBytes() const;
 

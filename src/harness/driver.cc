@@ -39,6 +39,8 @@ DriverReport Driver::Run(const DriverConfig& config) {
   Executor executor(config.mode, config.options);
 
   const bool timed = config.duration_seconds > 0;
+  const bool capped = config.total_ops > 0;
+  if (!timed && !capped) return DriverReport{};
   const size_t num_windows =
       config.trace_window_seconds > 0 && timed
           ? static_cast<size_t>(config.duration_seconds /
@@ -67,9 +69,8 @@ DriverReport Driver::Run(const DriverConfig& config) {
     WorkerResult& res = results[tid];
     uint64_t op_seed = config.seed + static_cast<uint64_t>(tid) * 1000003;
     while (true) {
-      if (timed) {
-        if (wall.ElapsedSeconds() >= config.duration_seconds) break;
-      } else {
+      if (timed && wall.ElapsedSeconds() >= config.duration_seconds) break;
+      if (capped) {
         uint64_t remaining = ops_budget.load(std::memory_order_relaxed);
         if (remaining == 0) break;
         if (!ops_budget.compare_exchange_weak(remaining, remaining - 1)) {

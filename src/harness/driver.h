@@ -23,9 +23,12 @@ struct DriverConfig {
   ExecMode mode = ExecMode::kFactorizedFused;
   ExecOptions options;
   int threads = 1;
-  // Run either a fixed number of operations...
+  // Stop conditions. The run ends at whichever limit is hit first:
+  //  - total_ops > 0 caps the operation count (0 = uncapped);
+  //  - duration_seconds > 0 caps the wall time (0 = untimed).
+  // At least one must be set; a config with both at 0 runs nothing.
+  // Timed benches that want pure duration runs must set total_ops = 0.
   uint64_t total_ops = 1000;
-  // ...or for a duration (takes precedence when > 0).
   double duration_seconds = 0;
   uint64_t seed = 7;
   bool include_updates = true;

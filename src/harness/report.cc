@@ -70,4 +70,134 @@ std::string TextTable::ToString() const {
 
 void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  // %.17g round-trips doubles but produces noisy output; benches only need
+  // microsecond-level precision on millisecond values.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchJsonReport::BenchJsonReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchJsonReport::AddScalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchJsonReport::AddString(const std::string& key,
+                                const std::string& value) {
+  scalars_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+BenchJsonReport::Section* BenchJsonReport::GetSection(
+    const std::string& name) {
+  for (Section& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  sections_.push_back(Section{name, {}, {}});
+  return &sections_.back();
+}
+
+void BenchJsonReport::AddSectionScalar(const std::string& section,
+                                       const std::string& key, double value) {
+  GetSection(section)->scalars.emplace_back(key, value);
+}
+
+void BenchJsonReport::AddLatency(const std::string& section,
+                                 const std::string& query,
+                                 const LatencyRecorder& rec) {
+  GetSection(section)->queries.push_back(QueryStats{
+      query, rec.count(), rec.Mean(), rec.Percentile(50), rec.Percentile(99),
+      rec.Max()});
+}
+
+std::string BenchJsonReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << JsonEscape(bench_name_) << "\"";
+  for (const auto& [key, encoded] : scalars_) {
+    os << ",\n  \"" << JsonEscape(key) << "\": " << encoded;
+  }
+  os << ",\n  \"sections\": {";
+  for (size_t si = 0; si < sections_.size(); ++si) {
+    const Section& s = sections_[si];
+    os << (si == 0 ? "" : ",") << "\n    \"" << JsonEscape(s.name)
+       << "\": {";
+    bool first = true;
+    for (const auto& [key, value] : s.scalars) {
+      os << (first ? "" : ",") << "\n      \"" << JsonEscape(key)
+         << "\": " << JsonNumber(value);
+      first = false;
+    }
+    os << (first ? "" : ",") << "\n      \"queries\": {";
+    for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+      const QueryStats& q = s.queries[qi];
+      os << (qi == 0 ? "" : ",") << "\n        \"" << JsonEscape(q.name)
+         << "\": {\"count\": " << q.count
+         << ", \"mean_ms\": " << JsonNumber(q.mean_ms)
+         << ", \"p50_ms\": " << JsonNumber(q.p50_ms)
+         << ", \"p99_ms\": " << JsonNumber(q.p99_ms)
+         << ", \"max_ms\": " << JsonNumber(q.max_ms) << "}";
+    }
+    os << "\n      }\n    }";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+bool BenchJsonReport::WriteFile(const std::string& path) const {
+  std::string target = path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string body = ToJson();
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int rc = std::fclose(f);
+  return written == body.size() && rc == 0;
+}
+
+std::string JsonPathFromArgs(int argc, char** argv,
+                             const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') return argv[i + 1];
+      return "BENCH_" + name + ".json";
+    }
+  }
+  return "";
+}
+
 }  // namespace ges

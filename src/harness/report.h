@@ -1,10 +1,13 @@
-// Plain-text table formatting for bench output.
+// Plain-text table formatting and JSON result files for bench output.
 #ifndef GES_HARNESS_REPORT_H_
 #define GES_HARNESS_REPORT_H_
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "harness/stats.h"
 
 namespace ges {
 
@@ -24,6 +27,67 @@ class TextTable {
  private:
   std::vector<std::vector<std::string>> rows_;
 };
+
+// Machine-readable bench results, written as BENCH_<name>.json so runs can
+// be diffed / plotted without scraping the text tables. Layout:
+//
+//   { "bench": "<name>",
+//     "<key>": <scalar>, ...,
+//     "sections": {
+//       "<section>": {
+//         "<key>": <scalar>, ...,
+//         "queries": {
+//           "<query>": {"count": N, "mean_ms": ..., "p50_ms": ...,
+//                       "p99_ms": ..., "max_ms": ...}, ... } }, ... } }
+//
+// Sections typically name one bench configuration each (e.g.
+// "fifo_closed", "prioritized_open"). Insertion order is preserved.
+class BenchJsonReport {
+ public:
+  explicit BenchJsonReport(std::string bench_name);
+
+  const std::string& name() const { return bench_name_; }
+
+  // Top-level scalar (run parameters: sf, threads, duration, ...).
+  void AddScalar(const std::string& key, double value);
+  void AddString(const std::string& key, const std::string& value);
+
+  // Section-level scalar (e.g. "throughput_qps").
+  void AddSectionScalar(const std::string& section, const std::string& key,
+                        double value);
+  // Per-query latency stats under `section`; safe to call with an empty
+  // recorder (all stats report 0 per the LatencyRecorder contract).
+  void AddLatency(const std::string& section, const std::string& query,
+                  const LatencyRecorder& rec);
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path` ("" = default BENCH_<name>.json in the
+  // current directory). Returns false on I/O failure.
+  bool WriteFile(const std::string& path = "") const;
+
+ private:
+  struct QueryStats {
+    std::string name;
+    size_t count;
+    double mean_ms, p50_ms, p99_ms, max_ms;
+  };
+  struct Section {
+    std::string name;
+    std::vector<std::pair<std::string, double>> scalars;
+    std::vector<QueryStats> queries;
+  };
+  Section* GetSection(const std::string& name);
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> scalars_;  // pre-encoded
+  std::vector<Section> sections_;
+};
+
+// Scans argv for the shared bench flag "--json [path]". Returns the empty
+// string when the flag is absent, the explicit path when one follows the
+// flag, and "BENCH_<name>.json" when the flag is bare (or followed by
+// another flag). Leaves argv untouched.
+std::string JsonPathFromArgs(int argc, char** argv, const std::string& name);
 
 }  // namespace ges
 

@@ -1,0 +1,230 @@
+#include "harness/service_load.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace ges {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ConnResult {
+  uint64_t completed = 0, ok = 0, rejected = 0, interrupted = 0, errors = 0;
+  std::map<std::string, LatencyRecorder> per_query;
+
+  void Record(const service::QueryResponse& resp, const std::string& name,
+              double millis) {
+    ++completed;
+    switch (resp.status) {
+      case service::WireStatus::kOk:
+        ++ok;
+        per_query[name].Add(millis);
+        break;
+      case service::WireStatus::kResourceExhausted:
+        ++rejected;
+        break;
+      case service::WireStatus::kDeadlineExceeded:
+      case service::WireStatus::kCancelled:
+        ++interrupted;
+        break;
+      default:
+        ++errors;
+    }
+  }
+};
+
+service::QueryRequest MakeRequest(service::Client* client, const QueryRef& q,
+                                  ParamGen* params, uint32_t deadline_ms,
+                                  uint64_t op_seed) {
+  service::QueryRequest req;
+  req.query_id = client->AllocQueryId();
+  req.number = static_cast<uint8_t>(q.number);
+  req.deadline_ms = deadline_ms;
+  switch (q.kind) {
+    case QueryKind::kIC:
+      req.kind = service::QueryKind::kIC;
+      req.params = params->Next();
+      break;
+    case QueryKind::kIS:
+      req.kind = service::QueryKind::kIS;
+      req.params = params->Next();
+      break;
+    case QueryKind::kIU:
+      req.kind = service::QueryKind::kIU;
+      req.seed = op_seed;
+      break;
+  }
+  return req;
+}
+
+// Closed loop: one outstanding query, latency = send -> response.
+void RunClosedConn(const ServiceLoadConfig& config, int conn_index,
+                   uint64_t ops, ParamGen* params, ConnResult* out) {
+  service::Client client;
+  if (!client.Connect(config.host, config.port)) {
+    out->errors += ops;
+    return;
+  }
+  MixSampler sampler(config.mix.empty() ? DefaultMix() : config.mix);
+  Rng rng(config.seed * 0x9e3779b9 +
+          static_cast<uint64_t>(conn_index) * 2654435761u + 1);
+  uint64_t op_seed =
+      config.seed + static_cast<uint64_t>(conn_index) * 1000003;
+  for (uint64_t i = 0; i < ops; ++i) {
+    QueryRef q = sampler.Sample(rng);
+    service::QueryRequest req =
+        MakeRequest(&client, q, params, config.deadline_ms, ++op_seed);
+    service::QueryResponse resp;
+    Timer t;
+    if (!client.Run(req, &resp)) {
+      out->errors += ops - i;  // connection lost; remaining ops never ran
+      return;
+    }
+    out->Record(resp, q.Name(), t.ElapsedMillis());
+  }
+}
+
+// Open loop: sender fires at scheduled instants, reader drains. Latency is
+// charged from the scheduled arrival so server-side queueing shows up in
+// the percentiles (coordinated-omission correction).
+void RunOpenConn(const ServiceLoadConfig& config, int conn_index,
+                 uint64_t ops, double per_conn_rate, ParamGen* params,
+                 ConnResult* out) {
+  service::Client client;
+  if (!client.Connect(config.host, config.port)) {
+    out->errors += ops;
+    return;
+  }
+  std::mutex mu;
+  std::unordered_map<uint64_t, Clock::time_point> scheduled;
+  std::unordered_map<uint64_t, std::string> names;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<bool> sender_dead{false};
+
+  const auto start = Clock::now();
+  const double interval_s = 1.0 / per_conn_rate;
+  // Stagger connections so aggregate arrivals are evenly spaced.
+  const double offset_s =
+      interval_s * static_cast<double>(conn_index) /
+      static_cast<double>(std::max(1, config.connections));
+
+  std::thread sender([&] {
+    MixSampler sampler(config.mix.empty() ? DefaultMix() : config.mix);
+    Rng rng(config.seed * 0x9e3779b9 +
+            static_cast<uint64_t>(conn_index) * 2654435761u + 1);
+    uint64_t op_seed =
+        config.seed + static_cast<uint64_t>(conn_index) * 1000003;
+    for (uint64_t i = 0; i < ops; ++i) {
+      auto due = start + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 offset_s + static_cast<double>(i) *
+                                                interval_s));
+      std::this_thread::sleep_until(due);
+      QueryRef q = sampler.Sample(rng);
+      service::QueryRequest req =
+          MakeRequest(&client, q, params, config.deadline_ms, ++op_seed);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        scheduled[req.query_id] = due;
+        names[req.query_id] = q.Name();
+      }
+      if (!client.Send(req)) {
+        sender_dead.store(true);
+        return;
+      }
+      sent.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  uint64_t consumed = 0;
+  while (consumed < ops) {
+    service::QueryResponse resp;
+    if (!client.ReadResponse(&resp)) break;
+    ++consumed;
+    Clock::time_point due;
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      due = scheduled[resp.query_id];
+      name = names[resp.query_id];
+      scheduled.erase(resp.query_id);
+      names.erase(resp.query_id);
+    }
+    double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - due).count();
+    out->Record(resp, name, ms);
+  }
+  sender.join();
+  // Anything sent but never answered (connection loss) plus anything the
+  // sender never managed to send counts as an error.
+  uint64_t attempted = sender_dead.load() ? sent.load() : ops;
+  if (attempted > consumed) out->errors += attempted - consumed;
+  if (ops > attempted) out->errors += ops - attempted;
+}
+
+}  // namespace
+
+LatencyRecorder ServiceLoadReport::AggregateAll() const {
+  LatencyRecorder agg;
+  for (const auto& [name, rec] : per_query) agg.Merge(rec);
+  return agg;
+}
+
+LatencyRecorder ServiceLoadReport::AggregatePrefix(
+    const std::string& prefix) const {
+  LatencyRecorder agg;
+  for (const auto& [name, rec] : per_query) {
+    if (name.rfind(prefix, 0) == 0) agg.Merge(rec);
+  }
+  return agg;
+}
+
+ServiceLoadReport RunServiceLoad(const ServiceLoadConfig& config,
+                                 ParamGen* params) {
+  const int conns = std::max(1, config.connections);
+  std::vector<ConnResult> results(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+
+  Timer wall;
+  for (int c = 0; c < conns; ++c) {
+    uint64_t ops = config.total_ops / conns +
+                   (static_cast<uint64_t>(c) < config.total_ops % conns);
+    if (config.open_loop_rate > 0) {
+      double per_conn_rate = config.open_loop_rate / conns;
+      threads.emplace_back([&, c, ops, per_conn_rate] {
+        RunOpenConn(config, c, ops, per_conn_rate, params, &results[c]);
+      });
+    } else {
+      threads.emplace_back(
+          [&, c, ops] { RunClosedConn(config, c, ops, params, &results[c]); });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  ServiceLoadReport report;
+  report.elapsed_seconds = wall.ElapsedSeconds();
+  for (const ConnResult& res : results) {
+    report.completed += res.completed;
+    report.ok += res.ok;
+    report.rejected += res.rejected;
+    report.interrupted += res.interrupted;
+    report.errors += res.errors;
+    for (const auto& [name, rec] : res.per_query) {
+      report.per_query[name].Merge(rec);
+    }
+  }
+  report.throughput =
+      report.elapsed_seconds > 0
+          ? static_cast<double>(report.completed) / report.elapsed_seconds
+          : 0;
+  return report;
+}
+
+}  // namespace ges

@@ -1,0 +1,71 @@
+// Load generation against a running GES service (over the wire, not
+// in-process Executor calls like harness/driver.h).
+//
+// Two modes:
+//  - Closed loop (open_loop_rate == 0): each connection keeps exactly one
+//    query outstanding; latency is measured send -> response. Throughput is
+//    whatever the server sustains, but a slow server silently slows the
+//    arrival rate too (coordinated omission).
+//  - Open loop (open_loop_rate > 0): arrivals follow a fixed schedule at
+//    the aggregate rate, split evenly across connections. Each connection
+//    pipelines: a sender thread fires requests at their scheduled times
+//    regardless of outstanding responses, a reader thread drains results.
+//    Latency is measured from the *scheduled* arrival, so queueing delay a
+//    client would experience behind a slow server is charged to the
+//    server — the honest number for p99 under load.
+#ifndef GES_HARNESS_SERVICE_LOAD_H_
+#define GES_HARNESS_SERVICE_LOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/stats.h"
+#include "harness/workload.h"
+#include "queries/ldbc.h"
+#include "service/client.h"
+
+namespace ges {
+
+struct ServiceLoadConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 4;
+  // Total operations across all connections (split evenly).
+  uint64_t total_ops = 1000;
+  // > 0: open-loop arrivals at this aggregate rate (ops/second).
+  double open_loop_rate = 0;
+  // Per-query deadline forwarded to the server (0 = none).
+  uint32_t deadline_ms = 0;
+  uint64_t seed = 7;
+  std::vector<MixEntry> mix;  // empty = DefaultMix(); kIU entries update
+};
+
+struct ServiceLoadReport {
+  uint64_t completed = 0;  // responses received (any status)
+  uint64_t ok = 0;
+  uint64_t rejected = 0;     // RESOURCE_EXHAUSTED (admission backpressure)
+  uint64_t interrupted = 0;  // DEADLINE_EXCEEDED / CANCELLED
+  uint64_t errors = 0;       // any other non-OK status or connection loss
+  double elapsed_seconds = 0;
+  double throughput = 0;  // completed / elapsed
+  // Latency per query name, OK responses only. Closed loop: send ->
+  // response. Open loop: scheduled arrival -> response.
+  std::map<std::string, LatencyRecorder> per_query;
+
+  LatencyRecorder AggregateAll() const;
+  // Merge of all queries whose name starts with `prefix` ("IC", "IS", ...).
+  LatencyRecorder AggregatePrefix(const std::string& prefix) const;
+};
+
+// Runs the configured load against host:port. `params` supplies LDBC
+// parameters (shared, thread-safe). Returns the merged report; any
+// connection-level failure is counted in `errors` and the run continues on
+// the remaining connections.
+ServiceLoadReport RunServiceLoad(const ServiceLoadConfig& config,
+                                 ParamGen* params);
+
+}  // namespace ges
+
+#endif  // GES_HARNESS_SERVICE_LOAD_H_

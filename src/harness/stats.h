@@ -9,6 +9,10 @@ namespace ges {
 
 // Collects latency samples (milliseconds) and answers mean / percentile
 // queries. Not thread-safe; the driver keeps one per worker and merges.
+//
+// Empty-recorder contract: every statistic (Sum/Mean/Min/Max/Percentile)
+// returns 0.0 when no samples were recorded — callers (report printers,
+// JSON writers) may query unconditionally without checking count() first.
 class LatencyRecorder {
  public:
   void Add(double ms) {

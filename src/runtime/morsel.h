@@ -30,6 +30,12 @@ inline constexpr size_t kFlattenMorselRoots = 128;
 // tuple-count DP that pre-sizes the output slices.
 inline constexpr size_t kFlattenParallelMinTuples = 4096;
 
+// Cancellation-poll stride inside the de-factor loops: one QueryContext
+// check per this many emitted tuples (a tuple emit is tens of ns, a check
+// with an armed deadline reads the clock — polling every tuple would
+// dominate).
+inline constexpr size_t kFlattenCheckTuples = 1024;
+
 }  // namespace ges
 
 #endif  // GES_RUNTIME_MORSEL_H_

@@ -1,0 +1,108 @@
+// Per-query execution context: deadline + cooperative cancellation.
+//
+// A QueryContext is owned by whoever admitted the query (the service layer,
+// a bench, a test) and handed to the engine via ExecOptions::context. The
+// engine never blocks on it; operators poll Check() at morsel boundaries
+// (Expand source rows, vectorized-filter morsels, de-factoring morsels) and
+// between pipeline operators, so a cancelled or timed-out query releases
+// its workers within one morsel of work instead of running to completion.
+//
+// Interruption is delivered by throwing QueryInterrupted from a checkpoint;
+// the TaskScheduler already propagates the first exception of a parallel
+// region to the caller, and Executor::Run converts it into a QueryResult
+// with `interrupted` set — callers outside the engine never see the throw.
+#ifndef GES_RUNTIME_QUERY_CONTEXT_H_
+#define GES_RUNTIME_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ges {
+
+enum class InterruptReason : uint8_t {
+  kNone = 0,
+  kCancelled,          // explicit Cancel() (client CANCEL frame, disconnect)
+  kDeadlineExceeded,   // steady-clock deadline passed
+};
+
+const char* InterruptReasonName(InterruptReason r);
+
+class QueryContext {
+ public:
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  // Requests cooperative cancellation. Thread-safe, idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // Sets the deadline `seconds` from now (steady clock). Thread-safe; a
+  // non-positive value expires immediately.
+  void SetDeadline(double seconds) {
+    deadline_ns_.store(
+        NowNanos() + static_cast<int64_t>(seconds * 1e9),
+        std::memory_order_release);
+  }
+  void ClearDeadline() { deadline_ns_.store(0, std::memory_order_release); }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  // The checkpoint poll: one atomic load, plus a clock read only when a
+  // deadline is armed. Cancel wins over deadline when both apply.
+  InterruptReason Check() const {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      return InterruptReason::kCancelled;
+    }
+    int64_t dl = deadline_ns_.load(std::memory_order_acquire);
+    if (dl != 0 && NowNanos() >= dl) {
+      return InterruptReason::kDeadlineExceeded;
+    }
+    return InterruptReason::kNone;
+  }
+
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // 0 = no deadline
+};
+
+// Thrown from cancellation checkpoints; converted to QueryResult::interrupted
+// by Executor::Run. Deliberately not a std::exception subtype: nothing but
+// the engine's own catch sites should handle it.
+struct QueryInterrupted {
+  InterruptReason reason;
+};
+
+// The checkpoint. `ctx == nullptr` (no service context, e.g. direct engine
+// use by tests/benches) compiles to a single branch.
+inline void ThrowIfInterrupted(const QueryContext* ctx) {
+  if (ctx == nullptr) return;
+  InterruptReason r = ctx->Check();
+  if (r != InterruptReason::kNone) throw QueryInterrupted{r};
+}
+
+inline const char* InterruptReasonName(InterruptReason r) {
+  switch (r) {
+    case InterruptReason::kNone:
+      return "none";
+    case InterruptReason::kCancelled:
+      return "cancelled";
+    case InterruptReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "?";
+}
+
+}  // namespace ges
+
+#endif  // GES_RUNTIME_QUERY_CONTEXT_H_

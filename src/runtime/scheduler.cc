@@ -177,7 +177,8 @@ void TaskScheduler::Execute(Task& task) {
 
 void TaskScheduler::ParallelFor(
     size_t begin, size_t end, size_t morsel_size, int max_workers,
-    const std::function<void(size_t, size_t)>& body) {
+    const std::function<void(size_t, size_t)>& body,
+    const QueryContext* context) {
   if (end <= begin) return;
   if (morsel_size == 0) morsel_size = 1;
   size_t num_morsels = (end - begin + morsel_size - 1) / morsel_size;
@@ -188,15 +189,17 @@ void TaskScheduler::ParallelFor(
     // Sequential path, same chunk boundaries as the parallel one.
     ArenaScope scope;
     for (size_t b = begin; b < end; b += morsel_size) {
+      ThrowIfInterrupted(context);
       body(b, std::min(end, b + morsel_size));
     }
     return;
   }
 
   std::atomic<size_t> cursor{begin};
-  auto claim = [&cursor, &body, morsel_size, end] {
+  auto claim = [&cursor, &body, morsel_size, end, context] {
     ArenaScope scope;
     for (;;) {
+      ThrowIfInterrupted(context);
       size_t b = cursor.fetch_add(morsel_size, std::memory_order_relaxed);
       if (b >= end) return;
       body(b, std::min(end, b + morsel_size));

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "runtime/query_context.h"
 
 namespace ges {
 
@@ -92,9 +93,16 @@ class TaskScheduler {
   // every max_workers value, so callers that accumulate per-morsel state
   // indexed by chunk id get thread-count-independent (deterministic)
   // results. The first exception thrown by any morsel is rethrown here.
+  //
+  // `context`, when non-null, makes the loop cancellation-aware: every
+  // participant polls it before claiming the next morsel and throws
+  // QueryInterrupted on cancel/deadline, so a parallel region winds down
+  // within one morsel per worker. In-flight morsels are never interrupted
+  // mid-body (bodies add finer-grained checks where a morsel is heavy).
   void ParallelFor(size_t begin, size_t end, size_t morsel_size,
                    int max_workers,
-                   const std::function<void(size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t)>& body,
+                   const QueryContext* context = nullptr);
 
   // The calling thread's scratch arena (see file comment for the reset
   // contract).

@@ -1,0 +1,179 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/timer.h"
+
+namespace ges::service {
+
+const char* AdmissionPolicyName(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kFifo:
+      return "fifo";
+    case AdmissionPolicy::kPrioritized:
+      return "prioritized";
+  }
+  return "?";
+}
+
+double QueryCostModel::Prior(const std::string& name) const {
+  // IC* and STRESS* are the complex-read class (multi-hop expansions);
+  // until observed otherwise they must not be scheduled as shorts — one
+  // optimistic misclassification of an IC5 stalls the short lane.
+  bool long_prior = name.rfind("IC", 0) == 0 || name.rfind("STRESS", 0) == 0;
+  return long_prior ? 4.0 * short_threshold_ms_ : short_threshold_ms_ / 4.0;
+}
+
+double QueryCostModel::EstimateMillis(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = ewma_ms_.find(name);
+  return it == ewma_ms_.end() ? Prior(name) : it->second;
+}
+
+void QueryCostModel::Observe(const std::string& name, double millis) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = ewma_ms_.emplace(name, millis);
+  if (!inserted) {
+    it->second += alpha_ * (millis - it->second);
+  }
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionPolicy policy, size_t capacity,
+                               int num_workers, QueryCostModel* cost_model)
+    : policy_(policy),
+      capacity_(std::max<size_t>(1, capacity)),
+      // At least one worker can never be taken by a long query, so shorts
+      // always have a lane; with one worker the cap degenerates to 1.
+      max_long_running_(std::max(1, num_workers - 1)),
+      cost_model_(cost_model) {
+  num_workers = std::max(1, num_workers);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() { Shutdown(); }
+
+bool AdmissionQueue::TrySubmit(QueryJob job) {
+  bool is_short = cost_model_->IsShort(job.name);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (intake_closed_ || stop_) return false;
+    size_t depth = short_q_.size() + long_q_.size();
+    if (depth >= capacity_) {
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Item item{next_seq_++, is_short, std::move(job)};
+    (is_short ? short_q_ : long_q_).push_back(std::move(item));
+    stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+    uint64_t now_depth = depth + 1;
+    uint64_t peak = stats_.peak_queued.load(std::memory_order_relaxed);
+    while (now_depth > peak && !stats_.peak_queued.compare_exchange_weak(
+                                   peak, now_depth, std::memory_order_relaxed)) {
+    }
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::PopLocked(Item* out) {
+  if (policy_ == AdmissionPolicy::kFifo) {
+    // Strict arrival order across both deques (they are each FIFO, so the
+    // global minimum seq is at one of the two fronts).
+    std::deque<Item>* q = nullptr;
+    if (!short_q_.empty() &&
+        (long_q_.empty() || short_q_.front().seq < long_q_.front().seq)) {
+      q = &short_q_;
+    } else if (!long_q_.empty()) {
+      q = &long_q_;
+    }
+    if (q == nullptr) return false;
+    *out = std::move(q->front());
+    q->pop_front();
+    return true;
+  }
+  // kPrioritized: shorts first; longs only below the long-running cap.
+  if (!short_q_.empty()) {
+    *out = std::move(short_q_.front());
+    short_q_.pop_front();
+    return true;
+  }
+  if (!long_q_.empty() && running_long_ < max_long_running_) {
+    *out = std::move(long_q_.front());
+    long_q_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void AdmissionQueue::WorkerLoop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this, &item] {
+        return stop_ || PopLocked(&item);
+      });
+      if (stop_ && item.job.run == nullptr) return;
+      ++running_;
+      if (!item.is_short) ++running_long_;
+    }
+    Timer t;
+    item.job.run();
+    double ms = t.ElapsedMillis();
+    cost_model_->Observe(item.job.name, ms);
+    stats_.executed.fetch_add(1, std::memory_order_relaxed);
+    if (!item.is_short) {
+      stats_.executed_long.fetch_add(1, std::memory_order_relaxed);
+    }
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+      if (!item.is_short) --running_long_;
+      idle = running_ == 0 && short_q_.empty() && long_q_.empty();
+    }
+    // Finishing a long query may unblock a queued long (the cap) even when
+    // no new item arrived, so wake a peer.
+    work_cv_.notify_one();
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+void AdmissionQueue::CloseIntake() {
+  std::lock_guard<std::mutex> lk(mu_);
+  intake_closed_ = true;
+}
+
+bool AdmissionQueue::WaitIdle(double grace_seconds) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto pred = [this] {
+    return running_ == 0 && short_q_.empty() && long_q_.empty();
+  };
+  if (grace_seconds <= 0) return pred();
+  return idle_cv_.wait_for(
+      lk, std::chrono::duration<double>(grace_seconds), pred);
+}
+
+void AdmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    intake_closed_ = true;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t AdmissionQueue::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return short_q_.size() + long_q_.size();
+}
+
+}  // namespace ges::service

@@ -1,0 +1,209 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ges::service {
+
+bool Client::Fail(const std::string& what) {
+  error_ = what;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return false;
+}
+
+bool Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Fail(std::string("socket: ") + ::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Fail("inet_pton(" + host + ")");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Fail(std::string("connect: ") + ::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  WireBuf hello;
+  hello.PutU8(static_cast<uint8_t>(MsgType::kHello));
+  hello.PutU32(1);  // protocol version
+  if (!SendFrame(hello.data())) return false;
+  std::string payload;
+  if (!ReadExpected(MsgType::kHelloOk, &payload)) return false;
+  WireReader in(payload);
+  in.GetU8();  // type
+  session_id_ = in.GetU64();
+  snapshot_ = in.GetU64();
+  if (!in.ok()) return Fail("malformed HelloOk");
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  WireBuf bye;
+  bye.PutU8(static_cast<uint8_t>(MsgType::kBye));
+  if (SendFrame(bye.data())) {
+    std::string payload;
+    ReadExpected(MsgType::kByeOk, &payload);  // best effort
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::SendFrame(const std::string& payload) {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, payload)) return Fail("write failed");
+  return true;
+}
+
+bool Client::ReadExpected(MsgType want, std::string* payload) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  ReadResult r = ReadFrame(fd_, payload);
+  if (r != ReadResult::kOk) {
+    return Fail(r == ReadResult::kClosed ? "connection closed"
+                                         : "read failed");
+  }
+  WireReader in(*payload);
+  MsgType got = static_cast<MsgType>(in.GetU8());
+  if (got == want) return true;
+  if (got == MsgType::kError) {
+    WireStatus st = static_cast<WireStatus>(in.GetU8());
+    return Fail(std::string("server error: ") + WireStatusName(st) + ": " +
+                in.GetString());
+  }
+  return Fail("unexpected frame type");
+}
+
+bool Client::Send(const QueryRequest& req) {
+  return SendFrame(EncodeQueryRequest(req));
+}
+
+bool Client::ReadResponse(QueryResponse* resp) {
+  std::string payload;
+  if (!ReadExpected(MsgType::kResult, &payload)) return false;
+  WireReader in(payload);
+  in.GetU8();  // type
+  if (!DecodeQueryResponse(&in, resp)) return Fail("malformed result frame");
+  return true;
+}
+
+bool Client::Run(const QueryRequest& req, QueryResponse* resp) {
+  if (!Send(req)) return false;
+  // A lone synchronous caller has exactly one query outstanding, so the
+  // next kResult is ours (ids still verified for safety).
+  if (!ReadResponse(resp)) return false;
+  if (resp->query_id != req.query_id) return Fail("response id mismatch");
+  return true;
+}
+
+bool Client::RunIC(int number, const LdbcParams& params, QueryResponse* resp,
+                   uint32_t deadline_ms) {
+  QueryRequest req;
+  req.query_id = AllocQueryId();
+  req.kind = QueryKind::kIC;
+  req.number = static_cast<uint8_t>(number);
+  req.deadline_ms = deadline_ms;
+  req.params = params;
+  return Run(req, resp);
+}
+
+bool Client::RunIS(int number, const LdbcParams& params, QueryResponse* resp,
+                   uint32_t deadline_ms) {
+  QueryRequest req;
+  req.query_id = AllocQueryId();
+  req.kind = QueryKind::kIS;
+  req.number = static_cast<uint8_t>(number);
+  req.deadline_ms = deadline_ms;
+  req.params = params;
+  return Run(req, resp);
+}
+
+bool Client::RunIU(int number, uint64_t seed, QueryResponse* resp,
+                   uint32_t deadline_ms) {
+  QueryRequest req;
+  req.query_id = AllocQueryId();
+  req.kind = QueryKind::kIU;
+  req.number = static_cast<uint8_t>(number);
+  req.deadline_ms = deadline_ms;
+  req.seed = seed;
+  return Run(req, resp);
+}
+
+bool Client::SetParam(const std::string& key, const std::string& value) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kSetParam));
+  b.PutString(key);
+  b.PutString(value);
+  if (!SendFrame(b.data())) return false;
+  std::string payload;
+  return ReadExpected(MsgType::kParamOk, &payload);
+}
+
+bool Client::GetParam(const std::string& key, std::string* value,
+                      bool* present) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kGetParam));
+  b.PutString(key);
+  if (!SendFrame(b.data())) return false;
+  std::string payload;
+  if (!ReadExpected(MsgType::kParamValue, &payload)) return false;
+  WireReader in(payload);
+  in.GetU8();  // type
+  bool p = in.GetU8() != 0;
+  std::string v = in.GetString();
+  if (!in.ok()) return Fail("malformed ParamValue");
+  if (present != nullptr) *present = p;
+  if (value != nullptr) *value = std::move(v);
+  return true;
+}
+
+bool Client::RefreshSnapshot(uint64_t* version) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kRefreshSnapshot));
+  if (!SendFrame(b.data())) return false;
+  std::string payload;
+  if (!ReadExpected(MsgType::kSnapshotOk, &payload)) return false;
+  WireReader in(payload);
+  in.GetU8();  // type
+  snapshot_ = in.GetU64();
+  if (!in.ok()) return Fail("malformed SnapshotOk");
+  if (version != nullptr) *version = snapshot_;
+  return true;
+}
+
+bool Client::Ping() {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kPing));
+  if (!SendFrame(b.data())) return false;
+  std::string payload;
+  return ReadExpected(MsgType::kPong, &payload);
+}
+
+bool Client::Cancel(uint64_t query_id) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kCancel));
+  b.PutU64(query_id);
+  return SendFrame(b.data());
+}
+
+}  // namespace ges::service

@@ -1,0 +1,95 @@
+// C++ client for the GES query service. Used by the e2e tests, the
+// harness's open-loop load generator and bench_service_throughput.
+//
+// Thread model: one connection, one logical request/response stream.
+// Sends are serialized by an internal mutex, so any thread may Cancel()
+// while another is blocked in a synchronous Run(); frame *reads* must stay
+// on a single thread (either the thread calling Run()/control methods, or
+// a dedicated reader thread using the pipelined Send/ReadResponse pair —
+// not both patterns at once).
+#ifndef GES_SERVICE_CLIENT_H_
+#define GES_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace ges::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and performs the Hello handshake. Returns false with
+  // last_error() set on failure (including a server kError refusal, e.g.
+  // the connection limit).
+  bool Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  uint64_t session_id() const { return session_id_; }
+  // Snapshot version the session was pinned to at connect/refresh.
+  uint64_t snapshot() const { return snapshot_; }
+  const std::string& last_error() const { return error_; }
+
+  // --- synchronous request/response ------------------------------------
+
+  // Sends the query and blocks for its kResult frame. Returns false only
+  // on connection failure; admission rejection, deadline and cancellation
+  // arrive as resp->status.
+  bool Run(const QueryRequest& req, QueryResponse* resp);
+
+  // Convenience wrappers (auto-assign query ids).
+  bool RunIC(int number, const LdbcParams& params, QueryResponse* resp,
+             uint32_t deadline_ms = 0);
+  bool RunIS(int number, const LdbcParams& params, QueryResponse* resp,
+             uint32_t deadline_ms = 0);
+  bool RunIU(int number, uint64_t seed, QueryResponse* resp,
+             uint32_t deadline_ms = 0);
+
+  bool SetParam(const std::string& key, const std::string& value);
+  bool GetParam(const std::string& key, std::string* value, bool* present);
+  // Re-pins the session to the server's current version.
+  bool RefreshSnapshot(uint64_t* version = nullptr);
+  bool Ping();
+
+  // --- pipelining (open-loop load generation) ---------------------------
+
+  // Sends without waiting. Thread-safe against other senders/Cancel.
+  bool Send(const QueryRequest& req);
+  // Blocks for the next kResult frame (single reader thread only).
+  bool ReadResponse(QueryResponse* resp);
+
+  // Requests cooperative cancellation of an in-flight query. Fire and
+  // forget: the query's own response reports CANCELLED (or OK if it won
+  // the race). Thread-safe.
+  bool Cancel(uint64_t query_id);
+
+  // Next unused query id for hand-built QueryRequests.
+  uint64_t AllocQueryId() { return next_query_id_++; }
+
+  // Orderly goodbye (best effort) + close. Idempotent.
+  void Close();
+
+ private:
+  bool SendFrame(const std::string& payload);
+  // Reads until a frame of `want` arrives; fails the connection on
+  // kError/unexpected frames.
+  bool ReadExpected(MsgType want, std::string* payload);
+  bool Fail(const std::string& what);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  uint64_t snapshot_ = 0;
+  uint64_t next_query_id_ = 1;
+  std::mutex send_mu_;
+  std::string error_;
+};
+
+}  // namespace ges::service
+
+#endif  // GES_SERVICE_CLIENT_H_

@@ -1,0 +1,319 @@
+#include "service/protocol.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace ges::service {
+
+const char* WireStatusName(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kError:
+      return "ERROR";
+    case WireStatus::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case WireStatus::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case WireStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case WireStatus::kCancelled:
+      return "CANCELLED";
+    case WireStatus::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case WireStatus::kNotFound:
+      return "NOT_FOUND";
+  }
+  return "?";
+}
+
+void WireBuf::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireBuf::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireBuf::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireBuf::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+bool WireReader::Need(size_t n) {
+  if (!ok_ || static_cast<size_t>(end_ - p_) < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t WireReader::GetU8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(*p_++);
+}
+
+uint32_t WireReader::GetU32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p_[i])) << (8 * i);
+  }
+  p_ += 4;
+  return v;
+}
+
+uint64_t WireReader::GetU64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p_[i])) << (8 * i);
+  }
+  p_ += 8;
+  return v;
+}
+
+double WireReader::GetDouble() {
+  uint64_t bits = GetU64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::GetString() {
+  uint32_t n = GetU32();
+  if (!Need(n)) return std::string();
+  std::string s(p_, n);
+  p_ += n;
+  return s;
+}
+
+void PutParams(WireBuf* out, const LdbcParams& p) {
+  out->PutI64(p.person);
+  out->PutI64(p.person2);
+  out->PutI64(p.post);
+  out->PutString(p.first_name);
+  out->PutString(p.country_x);
+  out->PutString(p.country_y);
+  out->PutString(p.tag_name);
+  out->PutString(p.tag_class);
+  out->PutI64(p.max_date);
+  out->PutI64(p.min_date);
+  out->PutI64(p.duration_days);
+  out->PutI64(p.work_year);
+  out->PutI64(p.month);
+}
+
+LdbcParams GetParams(WireReader* in) {
+  LdbcParams p{};
+  p.person = in->GetI64();
+  p.person2 = in->GetI64();
+  p.post = in->GetI64();
+  p.first_name = in->GetString();
+  p.country_x = in->GetString();
+  p.country_y = in->GetString();
+  p.tag_name = in->GetString();
+  p.tag_class = in->GetString();
+  p.max_date = in->GetI64();
+  p.min_date = in->GetI64();
+  p.duration_days = in->GetI64();
+  p.work_year = in->GetI64();
+  p.month = in->GetI64();
+  return p;
+}
+
+void PutFlatBlock(WireBuf* out, const FlatBlock& block) {
+  const Schema& s = block.schema();
+  out->PutU32(static_cast<uint32_t>(s.size()));
+  for (const ColumnDef& c : s.columns()) {
+    out->PutString(c.name);
+    out->PutU8(static_cast<uint8_t>(c.type));
+  }
+  out->PutU64(block.NumRows());
+  for (const auto& row : block.rows()) {
+    for (const Value& v : row) {
+      out->PutU8(static_cast<uint8_t>(v.type()));
+      switch (v.type()) {
+        case ValueType::kNull:
+          break;
+        case ValueType::kDouble:
+          out->PutDouble(v.AsDouble());
+          break;
+        case ValueType::kString:
+          out->PutString(v.AsString());
+          break;
+        default:  // bool / int64 / date / vertex: one int64 slot
+          out->PutI64(v.AsInt());
+      }
+    }
+  }
+}
+
+FlatBlock GetFlatBlock(WireReader* in) {
+  uint32_t ncols = in->GetU32();
+  Schema schema;
+  for (uint32_t i = 0; in->ok() && i < ncols; ++i) {
+    std::string name = in->GetString();
+    ValueType type = static_cast<ValueType>(in->GetU8());
+    schema.Add(std::move(name), type);
+  }
+  FlatBlock block(std::move(schema));
+  uint64_t nrows = in->GetU64();
+  for (uint64_t r = 0; in->ok() && r < nrows; ++r) {
+    std::vector<Value> row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; in->ok() && c < ncols; ++c) {
+      ValueType t = static_cast<ValueType>(in->GetU8());
+      switch (t) {
+        case ValueType::kNull:
+          row.push_back(Value::Null());
+          break;
+        case ValueType::kBool:
+          row.push_back(Value::Bool(in->GetI64() != 0));
+          break;
+        case ValueType::kDouble:
+          row.push_back(Value::Double(in->GetDouble()));
+          break;
+        case ValueType::kString:
+          row.push_back(Value::String(in->GetString()));
+          break;
+        case ValueType::kDate:
+          row.push_back(Value::Date(in->GetI64()));
+          break;
+        case ValueType::kVertex:
+          row.push_back(Value::Vertex(static_cast<VertexId>(in->GetU64())));
+          break;
+        default:
+          row.push_back(Value::Int(in->GetI64()));
+      }
+    }
+    if (in->ok()) block.AppendRow(std::move(row));
+  }
+  return block;
+}
+
+std::string EncodeQueryRequest(const QueryRequest& req) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kQuery));
+  b.PutU64(req.query_id);
+  b.PutU8(static_cast<uint8_t>(req.kind));
+  b.PutU8(req.number);
+  b.PutU32(req.deadline_ms);
+  b.PutU64(req.seed);
+  PutParams(&b, req.params);
+  return b.Take();
+}
+
+bool DecodeQueryRequest(WireReader* in, QueryRequest* req) {
+  req->query_id = in->GetU64();
+  req->kind = static_cast<QueryKind>(in->GetU8());
+  req->number = in->GetU8();
+  req->deadline_ms = in->GetU32();
+  req->seed = in->GetU64();
+  req->params = GetParams(in);
+  return in->ok();
+}
+
+std::string EncodeQueryResponse(const QueryResponse& resp) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kResult));
+  b.PutU64(resp.query_id);
+  b.PutU8(static_cast<uint8_t>(resp.status));
+  b.PutString(resp.message);
+  b.PutDouble(resp.server_millis);
+  if (resp.status == WireStatus::kOk) {
+    PutFlatBlock(&b, resp.table);
+  }
+  return b.Take();
+}
+
+bool DecodeQueryResponse(WireReader* in, QueryResponse* resp) {
+  resp->query_id = in->GetU64();
+  resp->status = static_cast<WireStatus>(in->GetU8());
+  resp->message = in->GetString();
+  resp->server_millis = in->GetDouble();
+  if (resp->status == WireStatus::kOk) {
+    resp->table = GetFlatBlock(in);
+  } else {
+    resp->table = FlatBlock();
+  }
+  return in->ok();
+}
+
+namespace {
+
+bool WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Returns 1 on success, 0 on orderly EOF before any byte, -1 on error.
+int ReadAll(int fd, char* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;  // mid-frame EOF is an error
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  char hdr[4];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    hdr[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  // Header and payload as one logical write; two syscalls is fine here
+  // (the protocol is not latency-bound by syscall count at this scale).
+  return WriteAll(fd, hdr, 4) && WriteAll(fd, payload.data(), payload.size());
+}
+
+ReadResult ReadFrame(int fd, std::string* payload) {
+  char hdr[4];
+  int r = ReadAll(fd, hdr, 4);
+  if (r == 0) return ReadResult::kClosed;
+  if (r < 0) return ReadResult::kError;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(hdr[i])) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) return ReadResult::kError;
+  payload->resize(len);
+  if (len > 0 && ReadAll(fd, payload->data(), len) != 1) {
+    return ReadResult::kError;
+  }
+  return ReadResult::kOk;
+}
+
+}  // namespace ges::service

@@ -1,0 +1,162 @@
+// Wire protocol of the GES query service (the "Service" half of the
+// paper's title): a length-prefixed binary protocol over TCP.
+//
+// Frame layout (all integers little-endian):
+//   [uint32 length][payload]         length = bytes of payload, bounded by
+//                                    kMaxFrameBytes (oversized frames kill
+//                                    the connection — no unbounded buffers)
+//   payload = [uint8 MsgType][body]
+//
+// The client sends requests; every request except kCancel gets exactly one
+// response frame. Query responses carry the query id assigned by the
+// client, so a pipelined client matches responses without per-request
+// state machines. Admission rejection and interruption are delivered as a
+// kResult frame whose embedded status is non-OK (kError frames are
+// reserved for connection-level failures such as malformed frames).
+#ifndef GES_SERVICE_PROTOCOL_H_
+#define GES_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "executor/flatblock.h"
+#include "queries/ldbc.h"
+
+namespace ges::service {
+
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+enum class MsgType : uint8_t {
+  // client -> server
+  kHello = 1,
+  kQuery = 2,
+  kCancel = 3,           // body: u64 query_id; no response frame
+  kSetParam = 4,
+  kGetParam = 5,
+  kRefreshSnapshot = 6,  // re-pin the session to the current version
+  kPing = 7,
+  kBye = 8,
+  // server -> client
+  kHelloOk = 16,  // body: u64 session_id, u64 snapshot version
+  kResult = 17,
+  kError = 18,    // connection-level failure; connection closes after
+  kParamOk = 19,
+  kParamValue = 20,  // body: u8 present, string value
+  kSnapshotOk = 21,  // body: u64 snapshot version
+  kPong = 22,
+  kByeOk = 23,
+};
+
+// Status embedded in kResult / kError frames.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kError = 1,
+  kInvalidArgument = 2,
+  kResourceExhausted = 3,  // admission queue full / connection limit
+  kDeadlineExceeded = 4,
+  kCancelled = 5,
+  kShuttingDown = 6,
+  kNotFound = 7,
+};
+
+const char* WireStatusName(WireStatus s);
+
+// Query classes carried on the wire. IC/IS/IU map to the LDBC builders;
+// kStress and kSleep are service diagnostics (deliberately heavy expansion
+// for cancellation tests, deterministic delay for backpressure tests).
+enum class QueryKind : uint8_t {
+  kIC = 0,      // number in [1, 14]
+  kIS = 1,      // number in [1, 7]
+  kIU = 2,      // number in [1, 8]; `seed` feeds RunIU
+  kStress = 3,  // number = max hops of a full knows-expansion (see server)
+  kSleep = 4,   // `seed` = milliseconds of cooperative busy-wait
+};
+
+struct QueryRequest {
+  uint64_t query_id = 0;  // client-assigned; echoed in the response
+  QueryKind kind = QueryKind::kIS;
+  uint8_t number = 1;
+  uint32_t deadline_ms = 0;  // 0 = no deadline
+  uint64_t seed = 0;         // IU randomness / kSleep millis
+  LdbcParams params{};       // IC/IS parameters
+};
+
+struct QueryResponse {
+  uint64_t query_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string message;     // non-OK detail
+  double server_millis = 0;  // execution time observed by the server
+  FlatBlock table;         // empty unless status == kOk
+};
+
+// --- body builders / parsers -------------------------------------------
+
+// Append-only encoder for frame payloads.
+class WireBuf {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(const std::string& s);  // u32 length + bytes
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked decoder. All Get* return defaults once `ok()` is false;
+// callers check ok() after parsing a body.
+class WireReader {
+ public:
+  WireReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit WireReader(const std::string& s) : WireReader(s.data(), s.size()) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  double GetDouble();
+  std::string GetString();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  bool Need(size_t n);
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+void PutParams(WireBuf* out, const LdbcParams& p);
+LdbcParams GetParams(WireReader* in);
+
+void PutFlatBlock(WireBuf* out, const FlatBlock& block);
+FlatBlock GetFlatBlock(WireReader* in);
+
+// Encodes the full payload (MsgType byte included) of a request/response.
+std::string EncodeQueryRequest(const QueryRequest& req);
+bool DecodeQueryRequest(WireReader* in, QueryRequest* req);  // after type byte
+std::string EncodeQueryResponse(const QueryResponse& resp);
+bool DecodeQueryResponse(WireReader* in, QueryResponse* resp);
+
+// --- frame I/O over a connected socket ---------------------------------
+
+// Writes one [length][payload] frame, looping over partial writes.
+// Returns false on any socket error (connection is then unusable).
+bool WriteFrame(int fd, const std::string& payload);
+
+enum class ReadResult { kOk, kClosed, kError };
+
+// Reads one frame into `payload`. kClosed = orderly EOF at a frame
+// boundary; kError = socket error, truncated frame, or oversized length.
+ReadResult ReadFrame(int fd, std::string* payload);
+
+}  // namespace ges::service
+
+#endif  // GES_SERVICE_PROTOCOL_H_

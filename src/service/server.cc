@@ -1,0 +1,592 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/timer.h"
+
+namespace ges::service {
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "connections: accepted=" << connections_accepted.load()
+     << " rejected=" << connections_rejected.load()
+     << " reaped=" << sessions_reaped.load()
+     << "\nqueries: received=" << queries_received.load()
+     << " ok=" << queries_ok.load() << " rejected=" << queries_rejected.load()
+     << " interrupted=" << queries_interrupted.load()
+     << " error=" << queries_error.load();
+  return os.str();
+}
+
+Plan BuildStressExpand(const LdbcContext& ctx, int hops) {
+  PlanBuilder b("STRESS" + std::to_string(hops));
+  b.ScanByLabel("p", ctx.s.person)
+      .Expand("p", "f", {ctx.knows}, 1, std::max(1, hops),
+              /*distinct=*/true, /*exclude_start=*/true)
+      .Expand("f", "post", {ctx.person_posts})
+      .Aggregate({}, {AggSpec{AggSpec::kCount, "", "cnt"}})
+      .Output({"cnt"});
+  return b.Build();
+}
+
+namespace {
+
+// Bookkeeping that must happen exactly once per admitted query, whether
+// the job ran, was rejected, or was dropped during shutdown: answer the
+// client if nobody else did, then release the session's inflight slot.
+// Held by shared_ptr from both the submitting connection thread and the
+// job closure; the last owner (normally the worker, after run()) settles.
+struct JobGuard {
+  JobGuard(std::function<bool(const std::string&)> send, uint64_t query_id)
+      : send_frame(std::move(send)), query_id(query_id) {}
+
+  ~JobGuard() {
+    if (!responded.load(std::memory_order_acquire)) {
+      QueryResponse resp;
+      resp.query_id = query_id;
+      resp.status = drop_status;
+      resp.message = "query dropped before execution";
+      send_frame(EncodeQueryResponse(resp));
+    }
+    if (release) release();
+  }
+
+  std::function<bool(const std::string&)> send_frame;
+  uint64_t query_id;
+  std::atomic<bool> responded{false};
+  WireStatus drop_status = WireStatus::kShuttingDown;
+  std::function<void()> release;  // inflight-erase + pending-decrement
+};
+
+std::string QueryName(const QueryRequest& req) {
+  switch (req.kind) {
+    case QueryKind::kIC:
+      return "IC" + std::to_string(req.number);
+    case QueryKind::kIS:
+      return "IS" + std::to_string(req.number);
+    case QueryKind::kIU:
+      return "IU" + std::to_string(req.number);
+    case QueryKind::kStress:
+      return "STRESS" + std::to_string(req.number);
+    case QueryKind::kSleep:
+      return "SLEEP";
+  }
+  return "?";
+}
+
+WireStatus StatusOfInterrupt(InterruptReason r) {
+  return r == InterruptReason::kCancelled ? WireStatus::kCancelled
+                                          : WireStatus::kDeadlineExceeded;
+}
+
+}  // namespace
+
+Server::Server(Graph* graph, const SnbData* data, ServiceConfig config)
+    : graph_(graph),
+      data_(data),
+      config_(std::move(config)),
+      ldbc_(LdbcContext::Resolve(*graph, data->schema)),
+      param_gen_(graph, data, /*seed=*/1),
+      cost_model_(config_.short_threshold_ms) {}
+
+Server::~Server() { Drain(/*grace_seconds=*/1.0); }
+
+bool Server::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + ::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    return fail("inet_pton(" + config_.host + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+
+  admission_ = std::make_unique<AdmissionQueue>(
+      config_.policy, config_.queue_capacity, config_.query_workers,
+      &cost_model_);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  reaper_ = std::thread([this] { ReaperLoop(); });
+  return true;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (drain) or fatal error
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    if (ActiveSessions() >= static_cast<size_t>(config_.max_connections)) {
+      // Bounded connection count: refuse with an explicit error frame
+      // instead of letting connections pile up half-served.
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kError));
+      b.PutU8(static_cast<uint8_t>(WireStatus::kResourceExhausted));
+      b.PutString("connection limit reached");
+      WriteFrame(fd, b.data());
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      // Lingering close: drain the client's (already in-flight) Hello
+      // before closing, otherwise the close races the client's write and
+      // the resulting RST wipes the refusal frame from its receive queue.
+      ::shutdown(fd, SHUT_WR);
+      struct timeval tv{1, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      char drain[256];
+      while (::recv(fd, drain, sizeof(drain), 0) > 0) {
+      }
+      ::close(fd);
+      continue;
+    }
+
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->snapshot.store(graph_->CurrentVersion(),
+                            std::memory_order_release);
+    session->last_active_ns.store(QueryContext::NowNanos(),
+                                  std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      session->id = next_session_id_++;
+      SessionEntry entry;
+      entry.session = session;
+      entry.thread = std::thread([this, session] { HandleConnection(session); });
+      sessions_.emplace(session->id, std::move(entry));
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::ReaperLoop() {
+  while (!stop_reaper_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ReapDoneSessions();
+    if (config_.idle_timeout_seconds <= 0) continue;
+    int64_t now = QueryContext::NowNanos();
+    int64_t limit =
+        static_cast<int64_t>(config_.idle_timeout_seconds * 1e9);
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, entry] : sessions_) {
+      Session& s = *entry.session;
+      if (s.done.load(std::memory_order_acquire)) continue;
+      bool idle;
+      {
+        std::lock_guard<std::mutex> plk(s.pending_mu);
+        idle = s.pending == 0;
+      }
+      if (idle &&
+          now - s.last_active_ns.load(std::memory_order_acquire) > limit) {
+        // Force EOF on the connection thread; it performs the cleanup.
+        ::shutdown(s.fd, SHUT_RDWR);
+        s.last_active_ns.store(now, std::memory_order_release);  // once
+        stats_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void Server::ReapDoneSessions() {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second.session->done.load(std::memory_order_acquire)) {
+        joinable.push_back(std::move(it->second.thread));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : joinable) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t Server::ActiveSessions() const {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  size_t n = 0;
+  for (const auto& [id, entry] : sessions_) {
+    if (!entry.session->done.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+bool Server::SendToSession(Session* session, const std::string& payload) {
+  std::lock_guard<std::mutex> lk(session->write_mu);
+  if (session->closed.load(std::memory_order_acquire)) return false;
+  return WriteFrame(session->fd, payload);
+}
+
+void Server::CancelInflight(Session* session) {
+  std::lock_guard<std::mutex> lk(session->inflight_mu);
+  for (auto& [id, ctx] : session->inflight) ctx->Cancel();
+}
+
+void Server::HandleConnection(std::shared_ptr<Session> session) {
+  std::string payload;
+  for (;;) {
+    ReadResult r = ReadFrame(session->fd, &payload);
+    if (r != ReadResult::kOk) break;
+    session->last_active_ns.store(QueryContext::NowNanos(),
+                                  std::memory_order_release);
+    if (!HandleFrame(session, payload)) break;
+  }
+  // Disconnect: whatever is still running belongs to a client that left —
+  // cancel it so workers free up, then wait for the responses (which will
+  // fail to send) to settle before closing the descriptor.
+  CancelInflight(session.get());
+  {
+    std::unique_lock<std::mutex> lk(session->pending_mu);
+    session->pending_cv.wait_for(lk, std::chrono::seconds(30),
+                                 [&] { return session->pending == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(session->write_mu);
+    session->closed.store(true, std::memory_order_release);
+    ::close(session->fd);
+  }
+  session->done.store(true, std::memory_order_release);
+}
+
+bool Server::HandleFrame(const std::shared_ptr<Session>& session,
+                         const std::string& payload) {
+  WireReader in(payload);
+  MsgType type = static_cast<MsgType>(in.GetU8());
+  if (!in.ok()) return false;
+  switch (type) {
+    case MsgType::kHello: {
+      in.GetU32();  // protocol version; single version so far
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kHelloOk));
+      b.PutU64(session->id);
+      b.PutU64(session->snapshot.load(std::memory_order_acquire));
+      return SendToSession(session.get(), b.data());
+    }
+    case MsgType::kQuery:
+      HandleQuery(session, &in);
+      return true;
+    case MsgType::kCancel: {
+      uint64_t id = in.GetU64();
+      std::lock_guard<std::mutex> lk(session->inflight_mu);
+      auto it = session->inflight.find(id);
+      if (it != session->inflight.end()) it->second->Cancel();
+      return true;  // no response frame; the query answers CANCELLED
+    }
+    case MsgType::kSetParam: {
+      std::string key = in.GetString();
+      std::string value = in.GetString();
+      if (!in.ok()) return false;
+      {
+        std::lock_guard<std::mutex> lk(session->param_mu);
+        session->params[std::move(key)] = std::move(value);
+      }
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kParamOk));
+      return SendToSession(session.get(), b.data());
+    }
+    case MsgType::kGetParam: {
+      std::string key = in.GetString();
+      if (!in.ok()) return false;
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kParamValue));
+      std::lock_guard<std::mutex> lk(session->param_mu);
+      auto it = session->params.find(key);
+      b.PutU8(it != session->params.end() ? 1 : 0);
+      b.PutString(it != session->params.end() ? it->second : std::string());
+      return SendToSession(session.get(), b.data());
+    }
+    case MsgType::kRefreshSnapshot: {
+      Version v = graph_->CurrentVersion();
+      session->snapshot.store(v, std::memory_order_release);
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kSnapshotOk));
+      b.PutU64(v);
+      return SendToSession(session.get(), b.data());
+    }
+    case MsgType::kPing: {
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kPong));
+      return SendToSession(session.get(), b.data());
+    }
+    case MsgType::kBye: {
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kByeOk));
+      SendToSession(session.get(), b.data());
+      return false;
+    }
+    default: {
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kError));
+      b.PutU8(static_cast<uint8_t>(WireStatus::kInvalidArgument));
+      b.PutString("unexpected message type");
+      SendToSession(session.get(), b.data());
+      return false;
+    }
+  }
+}
+
+void Server::HandleQuery(const std::shared_ptr<Session>& session,
+                         WireReader* in) {
+  QueryRequest req;
+  if (!DecodeQueryRequest(in, &req)) {
+    QueryResponse resp;
+    resp.query_id = req.query_id;
+    resp.status = WireStatus::kInvalidArgument;
+    resp.message = "malformed query frame";
+    SendToSession(session.get(), EncodeQueryResponse(resp));
+    return;
+  }
+  stats_.queries_received.fetch_add(1, std::memory_order_relaxed);
+
+  // Pin the snapshot NOW (connection thread): the session's pinned version
+  // may move (RefreshSnapshot, IU read-your-writes) while this query waits
+  // in the admission queue, and a query must see the version current when
+  // it was issued.
+  Version snapshot = session->snapshot.load(std::memory_order_acquire);
+
+  auto ctx = std::make_shared<QueryContext>();
+  if (req.deadline_ms > 0) {
+    // Armed at admission: queue wait counts against the deadline (the SLO
+    // is end-to-end, not execution-only).
+    ctx->SetDeadline(req.deadline_ms / 1000.0);
+  }
+  {
+    std::lock_guard<std::mutex> lk(session->inflight_mu);
+    session->inflight[req.query_id] = ctx;
+  }
+  {
+    std::lock_guard<std::mutex> lk(session->pending_mu);
+    ++session->pending;
+  }
+
+  auto guard = std::make_shared<JobGuard>(
+      [this, session](const std::string& frame) {
+        return SendToSession(session.get(), frame);
+      },
+      req.query_id);
+  guard->drop_status = draining_.load(std::memory_order_acquire)
+                           ? WireStatus::kShuttingDown
+                           : WireStatus::kResourceExhausted;
+  guard->release = [this, session, query_id = req.query_id] {
+    {
+      std::lock_guard<std::mutex> lk(session->inflight_mu);
+      session->inflight.erase(query_id);
+    }
+    std::lock_guard<std::mutex> lk(session->pending_mu);
+    --session->pending;
+    session->pending_cv.notify_all();
+  };
+
+  QueryJob job;
+  job.name = QueryName(req);
+  job.run = [this, session, req, snapshot, ctx, guard] {
+    Timer t;
+    QueryResponse resp = ExecuteQuery(session.get(), req, snapshot, ctx.get());
+    resp.query_id = req.query_id;
+    resp.server_millis = t.ElapsedMillis();
+    switch (resp.status) {
+      case WireStatus::kOk:
+        stats_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case WireStatus::kDeadlineExceeded:
+      case WireStatus::kCancelled:
+        stats_.queries_interrupted.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        stats_.queries_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    guard->responded.store(true, std::memory_order_release);
+    SendToSession(session.get(), EncodeQueryResponse(resp));
+  };
+  if (!admission_->TrySubmit(std::move(job))) {
+    stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+    // `job` (and its guard reference) is already destroyed; our own guard
+    // reference is the last one and answers with drop_status on scope exit.
+  }
+}
+
+QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
+                                   Version snapshot, QueryContext* ctx) {
+  QueryResponse resp;
+  InterruptReason pre = ctx->Check();
+  if (pre != InterruptReason::kNone) {
+    // Died waiting in the admission queue.
+    resp.status = StatusOfInterrupt(pre);
+    resp.message = "interrupted before execution";
+    return resp;
+  }
+
+  switch (req.kind) {
+    case QueryKind::kIC:
+    case QueryKind::kIS:
+    case QueryKind::kStress: {
+      Plan plan;
+      if (req.kind == QueryKind::kIC) {
+        if (req.number < 1 || req.number > 14) {
+          resp.status = WireStatus::kInvalidArgument;
+          resp.message = "IC number out of range";
+          return resp;
+        }
+        plan = BuildIC(req.number, ldbc_, req.params);
+      } else if (req.kind == QueryKind::kIS) {
+        if (req.number < 1 || req.number > 7) {
+          resp.status = WireStatus::kInvalidArgument;
+          resp.message = "IS number out of range";
+          return resp;
+        }
+        plan = BuildIS(req.number, ldbc_, req.params);
+      } else {
+        plan = BuildStressExpand(ldbc_, req.number);
+      }
+      ExecOptions opts;
+      opts.intra_query_threads = config_.intra_query_threads;
+      opts.collect_stats = false;
+      opts.context = ctx;
+      Executor exec(config_.exec_mode, opts);
+      GraphView view(graph_, snapshot);
+      QueryResult result = exec.Run(plan, view);
+      if (result.interrupted != InterruptReason::kNone) {
+        resp.status = StatusOfInterrupt(result.interrupted);
+        resp.message = InterruptReasonName(result.interrupted);
+        return resp;
+      }
+      resp.table = std::move(result.table);
+      return resp;
+    }
+    case QueryKind::kIU: {
+      if (req.number < 1 || req.number > 8) {
+        resp.status = WireStatus::kInvalidArgument;
+        resp.message = "IU number out of range";
+        return resp;
+      }
+      Version commit =
+          RunIU(req.number, ldbc_, graph_, &param_gen_, req.seed);
+      // Read-your-writes: advance the session pin so the writer's next
+      // reads observe its own update.
+      Version prev = session->snapshot.load(std::memory_order_acquire);
+      while (prev < commit && !session->snapshot.compare_exchange_weak(
+                                  prev, commit, std::memory_order_acq_rel)) {
+      }
+      Schema s;
+      s.Add("commit_version", ValueType::kInt64);
+      resp.table = FlatBlock(std::move(s));
+      resp.table.AppendRow({Value::Int(static_cast<int64_t>(commit))});
+      return resp;
+    }
+    case QueryKind::kSleep: {
+      // Deterministic service-time stand-in for tests and benches: holds a
+      // worker for `seed` ms but stays fully cancellation-responsive.
+      int64_t end =
+          QueryContext::NowNanos() + static_cast<int64_t>(req.seed) * 1'000'000;
+      while (QueryContext::NowNanos() < end) {
+        InterruptReason r = ctx->Check();
+        if (r != InterruptReason::kNone) {
+          resp.status = StatusOfInterrupt(r);
+          resp.message = InterruptReasonName(r);
+          return resp;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      Schema s;
+      s.Add("slept_ms", ValueType::kInt64);
+      resp.table = FlatBlock(std::move(s));
+      resp.table.AppendRow({Value::Int(static_cast<int64_t>(req.seed))});
+      return resp;
+    }
+  }
+  resp.status = WireStatus::kInvalidArgument;
+  resp.message = "unknown query kind";
+  return resp;
+}
+
+void Server::Drain(double grace_seconds) {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+
+  // 1. Stop accepting: shutting the listen socket down fails the blocking
+  //    accept() and the acceptor returns.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  if (admission_ != nullptr) {
+    // 2. Close intake (new queries answer SHUTTING_DOWN) and give
+    //    in-flight work the grace period to finish normally.
+    admission_->CloseIntake();
+    if (!admission_->WaitIdle(grace_seconds)) {
+      // 3. Out of grace: cancel whatever is still running; cooperative
+      //    checkpoints wind the queries down within morsels.
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      for (auto& [id, entry] : sessions_) CancelInflight(entry.session.get());
+    }
+    admission_->WaitIdle(std::max(grace_seconds, 1.0));
+    // 4. Stop workers; still-queued jobs are dropped and their guards
+    //    answer SHUTTING_DOWN, releasing session pending counts.
+    admission_->Shutdown();
+  }
+
+  // 5. Force EOF on every connection; their threads run the session
+  //    cleanup path and finish.
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, entry] : sessions_) {
+      if (!entry.session->done.load(std::memory_order_acquire)) {
+        ::shutdown(entry.session->fd, SHUT_RDWR);
+      }
+    }
+  }
+  stop_reaper_.store(true, std::memory_order_release);
+  if (reaper_.joinable()) reaper_.join();
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, entry] : sessions_) {
+      if (entry.thread.joinable()) entry.thread.join();
+    }
+    sessions_.clear();
+  }
+}
+
+}  // namespace ges::service

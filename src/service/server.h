@@ -1,0 +1,177 @@
+// The GES query service: a TCP front end over the engine (the "Service"
+// component the paper's title promises).
+//
+// Architecture (one box per thread kind):
+//
+//   acceptor ──▶ per-connection session threads ──▶ AdmissionQueue workers
+//                  (parse frames, own the session)     (execute queries)
+//                            ▲                                │
+//   reaper ──────────────────┘ (idle timeout, thread cleanup) │
+//                                                             ▼
+//                                            shared TaskScheduler (morsels)
+//
+// Sessions: each connection owns a Session pinned to the snapshot version
+// current at connect time — all reads of that session see one consistent
+// graph until the client refreshes (or its own IU commits advance it:
+// read-your-writes). Query execution happens on admission workers, so a
+// slow query never blocks its connection's control frames (Cancel, Ping).
+//
+// Cancellation: every query carries a QueryContext. Deadlines arm it at
+// admission; kCancel frames and disconnects trip it; the engine's morsel
+// checkpoints (Expand rows, filter morsels, de-factor loops) observe it
+// and the worker returns DEADLINE_EXCEEDED / CANCELLED mid-flight.
+//
+// Drain: Drain() stops the acceptor, closes admission intake (new queries
+// answer SHUTTING_DOWN), waits up to the grace period for in-flight work,
+// cancels whatever remains, shuts every connection down and joins all
+// threads. Safe to call from a signal-watcher thread.
+#ifndef GES_SERVICE_SERVER_H_
+#define GES_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "executor/executor.h"
+#include "queries/ldbc.h"
+#include "service/admission.h"
+#include "service/protocol.h"
+
+namespace ges::service {
+
+struct ServiceConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral (read back via Server::port())
+  int max_connections = 64;
+  size_t queue_capacity = 128;    // admission queue bound (backpressure)
+  int query_workers = 4;          // admission worker threads
+  AdmissionPolicy policy = AdmissionPolicy::kPrioritized;
+  double short_threshold_ms = 5.0;
+  double idle_timeout_seconds = 0;  // 0 = never reap idle sessions
+  ExecMode exec_mode = ExecMode::kFactorizedFused;
+  int intra_query_threads = 1;  // morsel parallelism per query
+};
+
+struct ServiceStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> queries_received{0};
+  std::atomic<uint64_t> queries_ok{0};
+  std::atomic<uint64_t> queries_rejected{0};     // admission backpressure
+  std::atomic<uint64_t> queries_interrupted{0};  // deadline or cancel
+  std::atomic<uint64_t> queries_error{0};
+  std::atomic<uint64_t> sessions_reaped{0};  // idle-timeout disconnects
+
+  std::string ToString() const;
+};
+
+// A deliberately heavy IC5-class plan used by cancellation tests and the
+// STRESS wire kind: full person scan, distinct multi-hop knows expansion
+// (eager BFS per source row — the per-row cancellation checkpoint path),
+// then the posts of every reached friend, collapsed to a count so the
+// response frame stays tiny while the work does not.
+Plan BuildStressExpand(const LdbcContext& ctx, int hops);
+
+class Server {
+ public:
+  // `graph` and `data` must outlive the server. The graph must be
+  // finalized (bulk load done).
+  Server(Graph* graph, const SnbData* data, ServiceConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and starts the acceptor + reaper threads. Returns false
+  // with `*error` set on socket failure.
+  bool Start(std::string* error = nullptr);
+
+  // Port actually bound (useful with config.port == 0).
+  uint16_t port() const { return port_; }
+
+  // Graceful drain; see file comment. Idempotent.
+  void Drain(double grace_seconds = 5.0);
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  size_t ActiveSessions() const;
+  const ServiceStats& stats() const { return stats_; }
+  const QueryCostModel& cost_model() const { return cost_model_; }
+  const AdmissionQueue& admission() const { return *admission_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    int fd = -1;
+    std::atomic<Version> snapshot{0};
+    std::atomic<int64_t> last_active_ns{0};
+    std::atomic<bool> closed{false};  // no further frames may be written
+    std::atomic<bool> done{false};    // connection thread finished
+
+    std::mutex write_mu;  // serializes response frames on fd
+
+    std::mutex param_mu;
+    std::unordered_map<std::string, std::string> params;
+
+    std::mutex inflight_mu;
+    std::unordered_map<uint64_t, std::shared_ptr<QueryContext>> inflight;
+
+    // Queries admitted but not yet answered; the connection must outlive
+    // them (cleanup waits for pending == 0).
+    std::mutex pending_mu;
+    std::condition_variable pending_cv;
+    int pending = 0;
+  };
+
+  struct SessionEntry {
+    std::shared_ptr<Session> session;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ReaperLoop();
+  void HandleConnection(std::shared_ptr<Session> session);
+  // Dispatches one parsed frame; returns false when the connection should
+  // close (kBye or a protocol violation).
+  bool HandleFrame(const std::shared_ptr<Session>& session,
+                   const std::string& payload);
+  void HandleQuery(const std::shared_ptr<Session>& session, WireReader* in);
+  QueryResponse ExecuteQuery(Session* session, const QueryRequest& req,
+                             Version snapshot, QueryContext* ctx);
+  // Writes a frame honoring session->closed / write_mu.
+  bool SendToSession(Session* session, const std::string& payload);
+  void CancelInflight(Session* session);
+  // Joins finished session threads and erases their entries.
+  void ReapDoneSessions();
+
+  Graph* graph_;
+  const SnbData* data_;
+  ServiceConfig config_;
+  LdbcContext ldbc_;
+  ParamGen param_gen_;
+  QueryCostModel cost_model_;
+  std::unique_ptr<AdmissionQueue> admission_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_reaper_{false};
+  std::thread acceptor_;
+  std::thread reaper_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, SessionEntry> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  ServiceStats stats_;
+};
+
+}  // namespace ges::service
+
+#endif  // GES_SERVICE_SERVER_H_

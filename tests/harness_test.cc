@@ -2,6 +2,10 @@
 // concurrent reads + updates).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
 #include "harness/driver.h"
 #include "harness/report.h"
 #include "harness/stats.h"
@@ -34,9 +38,25 @@ TEST(LatencyRecorderTest, MergeCombinesSamples) {
 }
 
 TEST(LatencyRecorderTest, EmptyRecorderIsZero) {
+  // The empty-recorder contract (harness/stats.h): every statistic is 0.0
+  // with no samples, so report code never needs a count() guard.
   LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_DOUBLE_EQ(rec.Sum(), 0);
   EXPECT_DOUBLE_EQ(rec.Mean(), 0);
+  EXPECT_DOUBLE_EQ(rec.Min(), 0);
+  EXPECT_DOUBLE_EQ(rec.Max(), 0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(0), 0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(50), 0);
   EXPECT_DOUBLE_EQ(rec.Percentile(99), 0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(100), 0);
+  // Merging an empty recorder is a no-op in both directions.
+  LatencyRecorder other;
+  other.Add(7);
+  other.Merge(rec);
+  EXPECT_EQ(other.count(), 1u);
+  rec.Merge(other);
+  EXPECT_EQ(rec.count(), 1u);
 }
 
 TEST(WorkloadTest, DefaultMixWeightsSumToOne) {
@@ -151,6 +171,7 @@ TEST(DriverTest, TimedRunWithTraceProducesWindows) {
   DriverConfig config;
   config.threads = 2;
   config.duration_seconds = 0.6;
+  config.total_ops = 0;  // pure duration run
   config.trace_window_seconds = 0.2;
   config.include_updates = false;
   DriverReport report = driver.Run(config);
@@ -159,6 +180,89 @@ TEST(DriverTest, TimedRunWithTraceProducesWindows) {
   for (const TraceWindow& w : report.trace) traced += w.total();
   EXPECT_GT(traced, 0u);
   EXPECT_LE(traced, report.completed);
+}
+
+TEST(DriverTest, TimedRunHonorsTotalOpsCap) {
+  // Stop-condition precedence (harness/driver.h): with both limits set the
+  // run ends at whichever is hit first — here the op cap, long before the
+  // generous duration.
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  Driver driver(&fx.graph, &fx.data);
+  DriverConfig config;
+  config.threads = 2;
+  config.duration_seconds = 30.0;
+  config.total_ops = 50;
+  config.include_updates = false;
+  DriverReport report = driver.Run(config);
+  EXPECT_EQ(report.completed, 50u);
+  EXPECT_LT(report.elapsed_seconds, 10.0);
+}
+
+TEST(DriverTest, NoStopConditionRunsNothing) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  Driver driver(&fx.graph, &fx.data);
+  DriverConfig config;
+  config.total_ops = 0;
+  config.duration_seconds = 0;
+  DriverReport report = driver.Run(config);
+  EXPECT_EQ(report.completed, 0u);
+}
+
+TEST(ReportTest, BenchJsonReportLayout) {
+  BenchJsonReport json("unit");
+  json.AddScalar("threads", 4);
+  json.AddString("mode", "fused");
+  json.AddSectionScalar("sf0.1", "throughput_qps", 123.5);
+  LatencyRecorder rec;
+  rec.Add(1.0);
+  rec.Add(3.0);
+  json.AddLatency("sf0.1", "IC5", rec);
+  std::string s = json.ToJson();
+  EXPECT_NE(s.find("\"bench\": \"unit\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"threads\": 4"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"mode\": \"fused\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"sf0.1\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"throughput_qps\": 123.5"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"IC5\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"count\": 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"mean_ms\": 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"p99_ms\""), std::string::npos) << s;
+}
+
+TEST(ReportTest, JsonStringsAreEscaped) {
+  BenchJsonReport json("unit");
+  json.AddString("note", "quote\" slash\\ tab\t");
+  std::string s = json.ToJson();
+  EXPECT_NE(s.find("quote\\\" slash\\\\ tab\\t"), std::string::npos) << s;
+}
+
+TEST(ReportTest, JsonPathFromArgs) {
+  const char* none[] = {"bench"};
+  EXPECT_EQ(JsonPathFromArgs(1, const_cast<char**>(none), "x"), "");
+  const char* bare[] = {"bench", "--json"};
+  EXPECT_EQ(JsonPathFromArgs(2, const_cast<char**>(bare), "x"),
+            "BENCH_x.json");
+  const char* path[] = {"bench", "--json", "/tmp/out.json"};
+  EXPECT_EQ(JsonPathFromArgs(3, const_cast<char**>(path), "x"),
+            "/tmp/out.json");
+  // A following flag is not a path.
+  const char* flagged[] = {"bench", "--json", "--verbose"};
+  EXPECT_EQ(JsonPathFromArgs(3, const_cast<char**>(flagged), "x"),
+            "BENCH_x.json");
+}
+
+TEST(ReportTest, WriteFileRoundTrip) {
+  BenchJsonReport json("roundtrip");
+  json.AddScalar("ok", 1);
+  std::string path =
+      ::testing::TempDir() + "/ges_report_roundtrip_test.json";
+  ASSERT_TRUE(json.WriteFile(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, json.ToJson());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,8 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "queries/ldbc.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "storage/graph.h"
 #include "tests/test_util.h"
 
@@ -225,6 +231,89 @@ TEST(MvccTest, VersionCounterMonotoneUnderContention) {
   stop.store(true);
   watcher.join();
   EXPECT_EQ(regressions.load(), 0);
+}
+
+// Snapshot isolation observed through the service layer: two client
+// sessions pin different versions across an IU-style commit; the session on
+// the old snapshot keeps reading the pre-commit adjacency (AdjOverlay::Find
+// resolving to the base run) until it explicitly refreshes.
+TEST(MvccServiceTest, SessionsPinSnapshotsAcrossCommit) {
+  // Local fixture: this test mutates the graph, so it must not share the
+  // process-wide one with read-comparison tests.
+  testutil::SnbFixture fx;
+  LdbcContext ldbc = LdbcContext::Resolve(fx.graph, fx.data.schema);
+  service::ServiceConfig config;
+  config.query_workers = 2;
+  service::Server server(&fx.graph, &fx.data, config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  service::Client a_client;
+  ASSERT_TRUE(a_client.Connect("127.0.0.1", server.port()));
+  Version v0 = a_client.snapshot();
+  ASSERT_EQ(v0, fx.graph.CurrentVersion());
+
+  // Person `a` and a person `b` it does not yet know.
+  VertexId a = fx.data.persons[0];
+  AdjSpan before = fx.graph.Neighbors(ldbc.knows, a, v0);
+  VertexId b = kInvalidVertex;
+  for (VertexId cand : fx.data.persons) {
+    if (cand == a) continue;
+    bool adjacent = false;
+    for (uint32_t i = 0; i < before.size; ++i) {
+      if (before.ids[i] == cand) adjacent = true;
+    }
+    if (!adjacent) {
+      b = cand;
+      break;
+    }
+  }
+  ASSERT_NE(b, kInvalidVertex);
+
+  LdbcParams p{};
+  p.person = fx.graph.GetProperty(a, ldbc.p_id, v0).AsInt();
+  service::QueryResponse resp;
+  ASSERT_TRUE(a_client.RunIS(3, p, &resp));
+  ASSERT_EQ(resp.status, service::WireStatus::kOk);
+  auto friends_v0 = testutil::SortedRows(resp.table);
+  ASSERT_EQ(friends_v0.size(), static_cast<size_t>(before.size));
+
+  // A direct writer commits the friendship while both sessions exist.
+  {
+    auto txn = fx.graph.BeginWrite({a, b});
+    ASSERT_TRUE(txn->AddEdge(fx.data.schema.knows, a, b, 12345).ok());
+    ASSERT_TRUE(txn->AddEdge(fx.data.schema.knows, b, a, 12345).ok());
+    ASSERT_GT(txn->Commit(), v0);
+  }
+
+  // A fresh session pins the post-commit version and sees the new friend.
+  service::Client b_client;
+  ASSERT_TRUE(b_client.Connect("127.0.0.1", server.port()));
+  ASSERT_GT(b_client.snapshot(), v0);
+  ASSERT_TRUE(b_client.RunIS(3, p, &resp));
+  ASSERT_EQ(resp.status, service::WireStatus::kOk);
+  auto friends_v1 = testutil::SortedRows(resp.table);
+  EXPECT_EQ(friends_v1.size(), friends_v0.size() + 1);
+
+  // The old session still reads its pinned snapshot...
+  ASSERT_TRUE(a_client.RunIS(3, p, &resp));
+  ASSERT_EQ(resp.status, service::WireStatus::kOk);
+  EXPECT_EQ(testutil::SortedRows(resp.table), friends_v0);
+  // ...and the storage layer agrees: the overlay resolves the old version
+  // to the pre-commit adjacency run.
+  EXPECT_EQ(fx.graph.Neighbors(ldbc.knows, a, v0).size, before.size);
+  EXPECT_EQ(fx.graph.Neighbors(ldbc.knows, a, fx.graph.CurrentVersion()).size,
+            before.size + 1);
+
+  // Refresh re-pins the session; it now matches the fresh one.
+  uint64_t refreshed = 0;
+  ASSERT_TRUE(a_client.RefreshSnapshot(&refreshed));
+  EXPECT_GT(refreshed, v0);
+  ASSERT_TRUE(a_client.RunIS(3, p, &resp));
+  ASSERT_EQ(resp.status, service::WireStatus::kOk);
+  EXPECT_EQ(testutil::SortedRows(resp.table), friends_v1);
+
+  server.Drain(1.0);
 }
 
 }  // namespace
