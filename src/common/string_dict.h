@@ -1,0 +1,73 @@
+// Per-graph string dictionary (dictionary encoding for string columns).
+//
+// Every distinct string property value is interned once; columns then store
+// dense uint32_t codes instead of owned std::string payloads. Equality and
+// IN filters compare codes (one integer compare instead of a byte-wise
+// string compare per row); ordering comparisons decode through Get(),
+// which is a plain array index.
+//
+// Concurrency contract: Intern() is only called while the graph is being
+// bulk-loaded (single-threaded, before Graph::FinalizeBulk) — after that
+// the dictionary is immutable and concurrent readers need no
+// synchronization. Post-finalize writes (MV2PL property overlays) keep
+// their strings boxed in Values and never touch the dictionary.
+#ifndef GES_COMMON_STRING_DICT_H_
+#define GES_COMMON_STRING_DICT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ges {
+
+class StringDict {
+ public:
+  // Returned by Find() when the string was never interned.
+  static constexpr uint32_t kInvalidCode = UINT32_MAX;
+
+  // Code 0 is always the empty string, so zero-initialized rows (the
+  // null/default placeholder of columnar storage) decode to "".
+  StringDict() { Intern(std::string_view()); }
+
+  // Returns the code of `s`, interning it if new.
+  uint32_t Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    uint32_t code = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    // The deque never relocates elements, so the view stays valid.
+    index_.emplace(std::string_view(strings_.back()), code);
+    return code;
+  }
+
+  // Lookup without interning; kInvalidCode if absent.
+  uint32_t Find(std::string_view s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? kInvalidCode : it->second;
+  }
+
+  const std::string& Get(uint32_t code) const { return strings_[code]; }
+
+  size_t size() const { return strings_.size(); }
+
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (const std::string& s : strings_) {
+      bytes += sizeof(std::string) + s.capacity();
+    }
+    // Index entries: view + code + bucket overhead (approximate).
+    bytes += index_.size() *
+             (sizeof(std::string_view) + sizeof(uint32_t) + 2 * sizeof(void*));
+    return bytes;
+  }
+
+ private:
+  std::deque<std::string> strings_;  // code -> string; stable addresses
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace ges
+
+#endif  // GES_COMMON_STRING_DICT_H_

@@ -1,5 +1,6 @@
 #include "common/value.h"
 
+#include <cassert>
 #include <functional>
 
 namespace ges {
@@ -101,7 +102,11 @@ std::string Value::ToString() const {
 
 void ValueVector::Reserve(size_t n) {
   if (type_ == ValueType::kString) {
-    strings_.reserve(n);
+    if (dict_ != nullptr) {
+      codes_.reserve(n);
+    } else {
+      strings_.reserve(n);
+    }
   } else if (type_ == ValueType::kDouble) {
     doubles_.reserve(n);
   } else {
@@ -113,16 +118,60 @@ void ValueVector::Clear() {
   ints_.clear();
   doubles_.clear();
   strings_.clear();
+  codes_.clear();
 }
 
 void ValueVector::Resize(size_t n) {
   if (type_ == ValueType::kString) {
-    strings_.resize(n);
+    // Dict columns grow with code 0, which decodes to "".
+    if (dict_ != nullptr) {
+      codes_.resize(n);
+    } else {
+      strings_.resize(n);
+    }
   } else if (type_ == ValueType::kDouble) {
     doubles_.resize(n);
   } else {
     ints_.resize(n);
   }
+}
+
+void ValueVector::InitDict(const StringDict* dict) {
+  assert(type_ == ValueType::kString && empty());
+  dict_ = dict;
+}
+
+void ValueVector::DecayToOwned() {
+  if (dict_ == nullptr) return;
+  strings_.reserve(codes_.size());
+  for (uint32_t code : codes_) strings_.push_back(dict_->Get(code));
+  codes_.clear();
+  codes_.shrink_to_fit();
+  dict_ = nullptr;
+}
+
+void ValueVector::AppendString(std::string v) {
+  if (dict_ != nullptr) {
+    uint32_t code = dict_->Find(v);
+    if (code != StringDict::kInvalidCode) {
+      codes_.push_back(code);
+      return;
+    }
+    DecayToOwned();
+  }
+  strings_.push_back(std::move(v));
+}
+
+void ValueVector::SetString(size_t i, std::string v) {
+  if (dict_ != nullptr) {
+    uint32_t code = dict_->Find(v);
+    if (code != StringDict::kInvalidCode) {
+      codes_[i] = code;
+      return;
+    }
+    DecayToOwned();
+  }
+  strings_[i] = std::move(v);
 }
 
 void ValueVector::AppendValue(const Value& v) {
@@ -131,7 +180,7 @@ void ValueVector::AppendValue(const Value& v) {
       doubles_.push_back(v.AsDouble());
       break;
     case ValueType::kString:
-      strings_.push_back(v.AsString());
+      AppendString(v.AsString());
       break;
     default:
       ints_.push_back(v.AsInt());
@@ -147,12 +196,41 @@ void ValueVector::AppendRange(const ValueVector& other, size_t begin,
                       other.doubles_.begin() + end);
       break;
     case ValueType::kString:
-      strings_.insert(strings_.end(), other.strings_.begin() + begin,
-                      other.strings_.begin() + end);
+      if (dict_ != nullptr && other.dict_ == dict_) {
+        codes_.insert(codes_.end(), other.codes_.begin() + begin,
+                      other.codes_.begin() + end);
+      } else if (other.dict_ != nullptr) {
+        // Different (or no) dictionary on this side: append decoded.
+        for (size_t i = begin; i < end; ++i) {
+          AppendString(other.dict_->Get(other.codes_[i]));
+        }
+      } else {
+        if (dict_ != nullptr) DecayToOwned();
+        strings_.insert(strings_.end(), other.strings_.begin() + begin,
+                        other.strings_.begin() + end);
+      }
       break;
     default:
       ints_.insert(ints_.end(), other.ints_.begin() + begin,
                    other.ints_.begin() + end);
+      break;
+  }
+}
+
+void ValueVector::AppendFrom(const ValueVector& other, size_t i) {
+  switch (type_) {
+    case ValueType::kDouble:
+      doubles_.push_back(other.doubles_[i]);
+      break;
+    case ValueType::kString:
+      if (dict_ != nullptr && other.dict_ == dict_) {
+        codes_.push_back(other.codes_[i]);
+      } else {
+        AppendString(other.GetString(i));
+      }
+      break;
+    default:
+      ints_.push_back(other.ints_[i]);
       break;
   }
 }
@@ -168,7 +246,7 @@ Value ValueVector::GetValue(size_t i) const {
     case ValueType::kDouble:
       return Value::Double(doubles_[i]);
     case ValueType::kString:
-      return Value::String(strings_[i]);
+      return Value::String(GetString(i));
     case ValueType::kDate:
       return Value::Date(ints_[i]);
     case ValueType::kVertex:
@@ -183,7 +261,7 @@ void ValueVector::SetValue(size_t i, const Value& v) {
       doubles_[i] = v.AsDouble();
       break;
     case ValueType::kString:
-      strings_[i] = v.AsString();
+      SetString(i, v.AsString());
       break;
     default:
       ints_[i] = v.AsInt();
@@ -193,7 +271,10 @@ void ValueVector::SetValue(size_t i, const Value& v) {
 
 size_t ValueVector::MemoryBytes() const {
   size_t bytes = ints_.capacity() * sizeof(int64_t) +
-                 doubles_.capacity() * sizeof(double);
+                 doubles_.capacity() * sizeof(double) +
+                 codes_.capacity() * sizeof(uint32_t);
+  // The dictionary itself is shared, graph-owned state; it is accounted
+  // once by Graph::MemoryBytes, not per column.
   for (const std::string& s : strings_) {
     bytes += sizeof(std::string) + s.capacity();
   }

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/string_dict.h"
 #include "common/types.h"
 
 namespace ges {
@@ -94,6 +95,14 @@ class Value {
 // A typed column of singletons. All rows share type(); the physical storage
 // is one contiguous vector chosen by the type. This is the building block of
 // the f-Block and of the columnar property store.
+//
+// String columns have two physical representations:
+//   * owned   — a std::vector<std::string> (results, ad-hoc intermediates);
+//   * dict    — a std::vector<uint32_t> of codes into a shared StringDict
+//               (base property columns and everything gathered from them).
+// Dict columns decode transparently through GetString/GetValue. Appending a
+// string that is not in the (immutable) dictionary decays the column to the
+// owned representation — see DecayToOwned().
 class ValueVector {
  public:
   ValueVector() : type_(ValueType::kNull) {}
@@ -101,7 +110,9 @@ class ValueVector {
 
   ValueType type() const { return type_; }
   size_t size() const {
-    if (type_ == ValueType::kString) return strings_.size();
+    if (type_ == ValueType::kString) {
+      return dict_ != nullptr ? codes_.size() : strings_.size();
+    }
     if (type_ == ValueType::kDouble) return doubles_.size();
     return ints_.size();
   }
@@ -113,15 +124,35 @@ class ValueVector {
 
   void AppendInt(int64_t v) { ints_.push_back(v); }
   void AppendDouble(double v) { doubles_.push_back(v); }
-  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+  void AppendString(std::string v);
   void AppendVertex(VertexId v) { ints_.push_back(static_cast<int64_t>(v)); }
   void AppendValue(const Value& v);
+  // Appends the zero placeholder for this type (0 / 0.0 / ""), identical to
+  // AppendValue(Value::Null()) but without boxing.
+  void AppendZero() {
+    if (type_ == ValueType::kString) {
+      if (dict_ != nullptr) {
+        codes_.push_back(0);  // code 0 always decodes to ""
+      } else {
+        strings_.emplace_back();
+      }
+    } else if (type_ == ValueType::kDouble) {
+      doubles_.push_back(0.0);
+    } else {
+      ints_.push_back(0);
+    }
+  }
   // Appends rows [begin, end) of `other` (same type) to this column.
   void AppendRange(const ValueVector& other, size_t begin, size_t end);
+  // Appends row `i` of `other` (same type), preserving dict codes when both
+  // sides share the dictionary.
+  void AppendFrom(const ValueVector& other, size_t i);
 
   int64_t GetInt(size_t i) const { return ints_[i]; }
   double GetDouble(size_t i) const { return doubles_[i]; }
-  const std::string& GetString(size_t i) const { return strings_[i]; }
+  const std::string& GetString(size_t i) const {
+    return dict_ != nullptr ? dict_->Get(codes_[i]) : strings_[i];
+  }
   VertexId GetVertex(size_t i) const {
     return static_cast<VertexId>(ints_[i]);
   }
@@ -129,11 +160,28 @@ class ValueVector {
 
   void SetInt(size_t i, int64_t v) { ints_[i] = v; }
   void SetDouble(size_t i, double v) { doubles_[i] = v; }
-  void SetString(size_t i, std::string v) { strings_[i] = std::move(v); }
+  void SetString(size_t i, std::string v);
   void SetValue(size_t i, const Value& v);
+
+  // --- dictionary-encoded string columns ---
+  // Puts this (empty, kString) column in dict mode: rows are uint32 codes
+  // into `dict`, which must outlive the column and stay immutable while
+  // the column reads through it.
+  void InitDict(const StringDict* dict);
+  bool dict_encoded() const { return dict_ != nullptr; }
+  const StringDict* dict() const { return dict_; }
+  uint32_t GetCode(size_t i) const { return codes_[i]; }
+  void SetCode(size_t i, uint32_t code) { codes_[i] = code; }
+  void AppendCode(uint32_t code) { codes_.push_back(code); }
+  // Converts a dict column to the owned representation (decoding every
+  // row). Called when a value outside the dictionary must be stored (e.g.
+  // an MVCC overlay string written after bulk load).
+  void DecayToOwned();
 
   // Raw access used by vectorized kernels and the pointer-based join.
   const int64_t* ints_data() const { return ints_.data(); }
+  const double* doubles_data() const { return doubles_.data(); }
+  const uint32_t* codes_data() const { return codes_.data(); }
 
   // Approximate heap footprint in bytes; used for the intermediate-result
   // accounting behind Table 2.
@@ -143,7 +191,9 @@ class ValueVector {
   ValueType type_;
   std::vector<int64_t> ints_;  // bool / int64 / date / vertex
   std::vector<double> doubles_;
-  std::vector<std::string> strings_;
+  std::vector<std::string> strings_;    // owned strings (dict_ == nullptr)
+  std::vector<uint32_t> codes_;         // dict codes (dict_ != nullptr)
+  const StringDict* dict_ = nullptr;
 };
 
 }  // namespace ges

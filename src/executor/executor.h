@@ -61,6 +61,13 @@ struct ExecOptions {
   // Per-operator memory/row accounting (Figure 3, Table 2). Disable for
   // pure-throughput runs to avoid measurement overhead.
   bool collect_stats = true;
+  // Compiled expression kernels + batched property gather (the vectorized
+  // engine, DESIGN.md §9): filters, fused expand-filter, property fetch and
+  // computed projections run type-specialized column kernels instead of the
+  // interpreted BoundExpr walk. When false every path takes the interpreted
+  // route — the differential-testing oracle. Filter kernels additionally
+  // require `vectorized_filter` (the legacy ablation switch).
+  bool vector_kernels = true;
   // Deadline/cancellation context (service layer). Not owned; may be null
   // (direct engine use). When set, operators poll it at morsel boundaries
   // and Run() reports interruption via QueryResult::interrupted instead of

@@ -10,6 +10,7 @@
 #include "executor/executor.h"
 #include "executor/executor_internal.h"
 #include "executor/ftree.h"
+#include "executor/vector_expr.h"
 #include "runtime/morsel.h"
 #include "runtime/scheduler.h"
 
@@ -253,9 +254,11 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
 }
 
 // Fused Expand+GetProperty+Filter (FilterPushDown): only surviving
-// neighbors and their property values are materialized.
+// neighbors and their property values are materialized. The property value
+// of each candidate neighbor is fetched exactly once and reused for both
+// the predicate and the kept column — never re-fetched.
 void FactExpandFiltered(FactState* state, const PlanOp& op,
-                        const GraphView& view) {
+                        const GraphView& view, const ExecOptions& options) {
   FTree& tree = *state->tree;
   FTreeNode* src = tree.NodeOfColumn(op.in_column);
   assert(src != nullptr);
@@ -268,29 +271,96 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
   const std::string& prop_col = FusedPropertyColumn(op);
   Schema pred_schema;
   pred_schema.Add(prop_col, op.property_type);
-  BoundExpr pred = BoundExpr::Bind(*op.predicate, pred_schema);
 
   ValueVector ids(ValueType::kVertex);
   ValueVector props(op.property_type);
-  uint64_t off = 0;
-  for (size_t r = 0; r < rows; ++r) {
-    if (!src->RowValid(r)) continue;
-    VertexId v = src->block.GetValue(r, src_col).AsVertex();
-    if (v == kInvalidVertex) continue;
-    uint64_t begin = off;
-    for (RelationId rel : op.rels) {
-      AdjSpan span = view.Neighbors(rel, v);
-      for (uint32_t i = 0; i < span.size; ++i) {
-        VertexId id = span.ids[i];
-        if (id == kInvalidVertex) continue;
-        Value pv = view.Property(id, op.property);
-        if (!pred.Eval([&pv](int) -> Value { return pv; }).AsBool()) continue;
-        ids.AppendVertex(id);
-        props.AppendValue(pv);
-        ++off;
+
+  if (options.vector_kernels) {
+    // Batched path: collect every candidate neighbor, gather their property
+    // values in one batch (MVCC overlay and string dictionary resolved once
+    // per batch, storage/graph.h), refine a byte mask with the compiled
+    // kernel, then compact survivors. Missing properties take the typed
+    // zero placeholder — the same value a non-fused GetProperty step would
+    // materialize into the column before filtering.
+    std::vector<VertexId> cand;
+    std::vector<IndexRange> cand_range(rows, IndexRange{0, 0});
+    for (size_t r = 0; r < rows; ++r) {
+      if (!src->RowValid(r)) continue;
+      VertexId v = src->block.GetValue(r, src_col).AsVertex();
+      if (v == kInvalidVertex) continue;
+      uint64_t begin = cand.size();
+      for (RelationId rel : op.rels) {
+        AdjSpan span = view.Neighbors(rel, v);
+        for (uint32_t i = 0; i < span.size; ++i) {
+          if (span.ids[i] != kInvalidVertex) cand.push_back(span.ids[i]);
+        }
+      }
+      cand_range[r] = IndexRange{begin, cand.size()};
+    }
+
+    ValueVector cand_props(op.property_type);
+    view.GatherProperties(cand.data(), cand.size(), nullptr, op.property,
+                          &cand_props);
+
+    std::vector<uint8_t> keep(cand.size(), 1);
+    std::vector<const ValueVector*> phys{&cand_props};
+    std::unique_ptr<CompiledExpr> kernel =
+        CompiledExpr::CompileFilter(*op.predicate, pred_schema, phys);
+    if (kernel != nullptr) {
+      CompiledExpr* k = kernel.get();
+      auto run = [k, &keep](size_t lo, size_t hi) {
+        k->EvalFilter(keep.data(), lo, hi);
+      };
+      TaskScheduler::Global().ParallelFor(0, cand.size(), kFilterMorselRows,
+                                          options.intra_query_threads, run,
+                                          options.context);
+    } else {
+      BoundExpr pred = BoundExpr::Bind(*op.predicate, pred_schema);
+      for (size_t i = 0; i < cand.size(); ++i) {
+        Value pv = cand_props.GetValue(i);
+        auto getter = [&pv](int) -> Value { return pv; };
+        keep[i] = pred.Eval(getter).AsBool() ? 1 : 0;
       }
     }
-    child->parent_index[r] = IndexRange{begin, off};
+
+    if (op.keep_property && cand_props.dict_encoded()) {
+      props.InitDict(cand_props.dict());
+    }
+    uint64_t off = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      uint64_t begin = off;
+      for (uint64_t i = cand_range[r].begin; i < cand_range[r].end; ++i) {
+        if (keep[i] == 0) continue;
+        ids.AppendVertex(cand[i]);
+        if (op.keep_property) props.AppendFrom(cand_props, i);
+        ++off;
+      }
+      child->parent_index[r] = IndexRange{begin, off};
+    }
+  } else {
+    BoundExpr pred = BoundExpr::Bind(*op.predicate, pred_schema);
+    uint64_t off = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      if (!src->RowValid(r)) continue;
+      VertexId v = src->block.GetValue(r, src_col).AsVertex();
+      if (v == kInvalidVertex) continue;
+      uint64_t begin = off;
+      for (RelationId rel : op.rels) {
+        AdjSpan span = view.Neighbors(rel, v);
+        for (uint32_t i = 0; i < span.size; ++i) {
+          VertexId id = span.ids[i];
+          if (id == kInvalidVertex) continue;
+          Value pv = view.Property(id, op.property);
+          if (!pred.Eval([&pv](int) -> Value { return pv; }).AsBool()) {
+            continue;
+          }
+          ids.AppendVertex(id);
+          if (op.keep_property) props.AppendValue(pv);
+          ++off;
+        }
+      }
+      child->parent_index[r] = IndexRange{begin, off};
+    }
   }
   child->block.AddColumn(op.out_column, std::move(ids));
   if (op.keep_property) {
@@ -302,7 +372,7 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
 // --- Projection / property fetch ---------------------------------------
 
 void FactGetProperty(FactState* state, const PlanOp& op,
-                     const GraphView& view) {
+                     const GraphView& view, const ExecOptions& options) {
   FTree& tree = *state->tree;
   FTreeNode* node = tree.NodeOfColumn(op.in_column);
   assert(node != nullptr);
@@ -310,9 +380,32 @@ void FactGetProperty(FactState* state, const PlanOp& op,
   size_t rows = node->block.NumRows();
   ValueVector out(op.property_type);
   out.Reserve(rows);
-  // Straightforward columnar append; invalid/tombstone rows receive a
-  // placeholder to keep row alignment (they are never enumerated).
-  if (col == 0) {
+  // Invalid/tombstone rows receive a placeholder to keep row alignment
+  // (they are never enumerated).
+  if (options.vector_kernels) {
+    // Batched gather: the MVCC overlay and the string dictionary are
+    // resolved once per batch, base columns are copied slice-wise
+    // (Graph::GatherProperties). Lazy blocks gather straight from the
+    // adjacency segments — the ids are never materialized.
+    const uint8_t* sel = node->sel.empty() ? nullptr : node->sel.data();
+    if (node->block.lazy() && col == 0) {
+      uint64_t row = 0;
+      for (size_t seg = 0; seg < node->block.NumSegments(); ++seg) {
+        const AdjSpan& s = node->block.Segment(seg);
+        view.GatherProperties(s.ids, s.size,
+                              sel == nullptr ? nullptr : sel + row,
+                              op.property, &out);
+        row += s.size;
+      }
+    } else {
+      // Vertex columns store int64 physically; uint64 access to the same
+      // array is the sanctioned signed/unsigned aliasing case.
+      const ValueVector& ids = node->block.Column(col);
+      view.GatherProperties(
+          reinterpret_cast<const VertexId*>(ids.ints_data()), rows, sel,
+          op.property, &out);
+    }
+  } else if (col == 0) {
     node->block.ForEachVertex([&](uint64_t row, VertexId v) {
       if (v == kInvalidVertex || !node->RowValid(row)) {
         out.AppendValue(Value::Null());
@@ -351,58 +444,40 @@ FTreeNode* SingleNodeOf(const FTree& tree,
   return node;
 }
 
-// Vectorized filter kernel: a single comparison of an int-physical column
-// against a constant compiles to a branch-free pass over the raw column
-// data (auto-vectorizable; the "vectorization" optimization of Section 5).
-// Large blocks run the kernel morsel-parallel — each morsel updates a
-// disjoint slice of the selection vector, so the result is independent of
-// the thread count. Returns false if the predicate does not have that
-// shape.
+// Per-schema-column physical vectors for kernel compilation. The head
+// column of a lazy block has no materialized vector — left nullptr, so a
+// predicate referencing it fails compilation and the interpreted path runs.
+std::vector<const ValueVector*> PhysicalColumns(const FBlock& block) {
+  std::vector<const ValueVector*> cols(block.schema().size(), nullptr);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (block.lazy() && i == 0) continue;
+    cols[i] = &block.Column(static_cast<int>(i));
+  }
+  return cols;
+}
+
+// Vectorized filter: the whole predicate compiles to type-specialized
+// selection kernels over the raw column arrays (executor/vector_expr.h) —
+// comparisons, IN, StartsWith, arithmetic, and AND/OR with
+// selectivity-ordered short-circuiting; string equality compares dictionary
+// codes. Large blocks run the kernel morsel-parallel — each morsel refines
+// a disjoint slice of the selection vector, so the result is independent of
+// the thread count. Returns false when some construct has no kernel (the
+// caller falls back to the interpreted BoundExpr loop).
 bool TryVectorizedFilter(FTreeNode* node, const PlanOp& op,
                          const ExecOptions& options) {
-  const Expr& e = *op.predicate;
-  bool cmp = e.op == ExprOp::kEq || e.op == ExprOp::kNe ||
-             e.op == ExprOp::kLt || e.op == ExprOp::kLe ||
-             e.op == ExprOp::kGt || e.op == ExprOp::kGe;
-  if (!cmp || e.args.size() != 2) return false;
-  if (e.args[0]->op != ExprOp::kColumn || e.args[1]->op != ExprOp::kConst) {
-    return false;
-  }
-  int col = node->block.schema().IndexOf(e.args[0]->column);
-  if (col < 0) return false;
-  ValueType t = node->block.schema()[col].type;
-  if (!IsIntegerPhysical(t)) return false;
-  if (node->block.lazy() && col == 0) return false;  // no raw array
-  const ValueVector& column = node->block.Column(col);
-  const int64_t* data = column.ints_data();
-  int64_t c = e.args[1]->constant.AsInt();
+  std::vector<const ValueVector*> phys = PhysicalColumns(node->block);
+  std::unique_ptr<CompiledExpr> kernel =
+      CompiledExpr::CompileFilter(*op.predicate, node->block.schema(), phys);
+  if (kernel == nullptr) return false;
   std::vector<uint8_t>& sel = node->MutableSel();
-  size_t rows = column.size();
-  ExprOp cmp_op = e.op;
-  auto kernel = [data, c, cmp_op, &sel](size_t lo, size_t hi) {
-    switch (cmp_op) {
-      case ExprOp::kEq:
-        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] == c;
-        break;
-      case ExprOp::kNe:
-        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] != c;
-        break;
-      case ExprOp::kLt:
-        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] < c;
-        break;
-      case ExprOp::kLe:
-        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] <= c;
-        break;
-      case ExprOp::kGt:
-        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] > c;
-        break;
-      default:
-        for (size_t r = lo; r < hi; ++r) sel[r] &= data[r] >= c;
-        break;
-    }
+  CompiledExpr* k = kernel.get();
+  auto run = [k, &sel](size_t lo, size_t hi) {
+    k->EvalFilter(sel.data(), lo, hi);
   };
-  TaskScheduler::Global().ParallelFor(0, rows, kFilterMorselRows,
-                                      options.intra_query_threads, kernel,
+  TaskScheduler::Global().ParallelFor(0, node->block.NumRows(),
+                                      kFilterMorselRows,
+                                      options.intra_query_threads, run,
                                       options.context);
   return true;
 }
@@ -416,7 +491,8 @@ bool TryFactFilter(FactState* state, const PlanOp& op,
   FTreeNode* node = SingleNodeOf(*state->tree, cols);
   if (node == nullptr && !cols.empty()) return false;
   if (node == nullptr) node = state->tree->root();
-  if (options.vectorized_filter && TryVectorizedFilter(node, op, options)) {
+  if (options.vector_kernels && options.vectorized_filter &&
+      TryVectorizedFilter(node, op, options)) {
     return true;
   }
   BoundExpr pred = BoundExpr::Bind(*op.predicate, node->block.schema());
@@ -431,8 +507,11 @@ bool TryFactFilter(FactState* state, const PlanOp& op,
 }
 
 // Project: computed expressions whose inputs are confined to one node are
-// appended to that node's block (columnar append).
-bool TryFactProject(FactState* state, const PlanOp& op) {
+// appended to that node's block (columnar append). Kernelizable expressions
+// run compiled column loops; anything else takes the interpreted per-row
+// walk.
+bool TryFactProject(FactState* state, const PlanOp& op,
+                    const ExecOptions& options) {
   if (!op.selections.empty()) return false;  // pruning => flatten
   for (const ComputedColumn& c : op.computed) {
     std::vector<std::string> cols;
@@ -443,13 +522,27 @@ bool TryFactProject(FactState* state, const PlanOp& op) {
     std::vector<std::string> cols;
     c.expr->CollectColumns(&cols);
     FTreeNode* node = SingleNodeOf(*state->tree, cols);
-    BoundExpr e = BoundExpr::Bind(*c.expr, node->block.schema());
     size_t rows = node->block.NumRows();
     ValueVector out(c.type);
     out.Reserve(rows);
-    for (size_t r = 0; r < rows; ++r) {
-      auto getter = [&](int i) -> Value { return node->block.GetValue(r, i); };
-      out.AppendValue(e.Eval(getter));
+    bool kernelized = false;
+    if (options.vector_kernels) {
+      std::vector<const ValueVector*> phys = PhysicalColumns(node->block);
+      std::unique_ptr<CompiledExpr> kernel =
+          CompiledExpr::CompileProject(*c.expr, node->block.schema(), phys);
+      if (kernel != nullptr) {
+        kernel->EvalProject(0, rows, &out);
+        kernelized = true;
+      }
+    }
+    if (!kernelized) {
+      BoundExpr e = BoundExpr::Bind(*c.expr, node->block.schema());
+      for (size_t r = 0; r < rows; ++r) {
+        auto getter = [&](int i) -> Value {
+          return node->block.GetValue(r, i);
+        };
+        out.AppendValue(e.Eval(getter));
+      }
     }
     node->block.AppendAlignedColumn(c.name, std::move(out));
     state->tree->RegisterColumns(node);
@@ -654,10 +747,10 @@ QueryResult Executor::RunFactorized(const Plan& plan,
           FactExpand(&state, op, view, options_);
           break;
         case OpType::kExpandFiltered:
-          FactExpandFiltered(&state, op, view);
+          FactExpandFiltered(&state, op, view, options_);
           break;
         case OpType::kGetProperty:
-          FactGetProperty(&state, op, view);
+          FactGetProperty(&state, op, view, options_);
           break;
         case OpType::kFilter:
           if (!TryFactFilter(&state, op, options_)) {
@@ -666,7 +759,7 @@ QueryResult Executor::RunFactorized(const Plan& plan,
           }
           break;
         case OpType::kProject:
-          if (!TryFactProject(&state, op)) {
+          if (!TryFactProject(&state, op, options_)) {
             FlattenState(&state, options_);
             state.flat = ApplyFlatOp(std::move(state.flat), op, view);
           }

@@ -28,6 +28,13 @@ class GraphView {
   Value Property(VertexId v, PropertyId p) const {
     return graph_->GetProperty(v, p, version_);
   }
+  // Batched gather: appends `p` of ids[0..n) to `out`, zero placeholders
+  // for rows deselected by the byte mask `sel` (may be null). Resolves the
+  // MVCC snapshot once per batch; see Graph::GatherProperties.
+  void GatherProperties(const VertexId* ids, size_t n, const uint8_t* sel,
+                        PropertyId p, ValueVector* out) const {
+    graph_->GatherProperties(ids, n, sel, p, version_, out);
+  }
   LabelId LabelOf(VertexId v) const { return graph_->LabelOf(v, version_); }
   VertexId FindByExtId(LabelId label, int64_t ext_id) const {
     return graph_->FindByExtId(label, ext_id, version_);

@@ -1,0 +1,82 @@
+// Compiled, type-specialized column kernels for scalar expressions — the
+// vectorized execution path of Section 4.3/5. A BoundExpr-equivalent is
+// compiled once against the physical columns of an f-Block; evaluation then
+// runs tight per-type loops over raw column arrays and a shared byte
+// selection vector instead of walking the expression tree per row and
+// boxing every cell into a Value.
+//
+// Kernel shapes:
+//  * comparisons / IN / StartsWith — branch-free (or skip-aware) loops over
+//    int64/double arrays, dictionary codes, or decoded strings;
+//  * AND — in-place selection-vector refinement, conjuncts ordered by
+//    ascending estimated selectivity (cheapest-to-kill-rows first);
+//  * OR — disjuncts ordered by descending estimated selectivity; rows
+//    already decided true are skipped for later disjuncts;
+//  * arithmetic — typed column math with the interpreter's promotion rules.
+//
+// Compilation is total-or-nothing: any construct without a kernel returns
+// nullptr and the caller falls back to the interpreted BoundExpr, which
+// stays the semantic oracle (see tests/kernels_test.cc). Kernel results
+// match BoundExpr::Eval bit-for-bit, including the Value union semantics
+// (AsBool/AsInt of a double reinterprets bits, AsString of a non-string is
+// "") and NaN-tolerant double comparisons.
+#ifndef GES_EXECUTOR_VECTOR_EXPR_H_
+#define GES_EXECUTOR_VECTOR_EXPR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+#include "executor/expression.h"
+#include "executor/schema.h"
+
+namespace ges {
+
+namespace vexpr {
+struct BoolNode;
+struct ValNode;
+}  // namespace vexpr
+
+class CompiledExpr {
+ public:
+  // Compiles `expr` as a predicate. `columns[i]` is the physical vector of
+  // schema column i, or nullptr when no materialized vector exists (the
+  // leading column of a lazy block) — referencing such a column fails
+  // compilation. Returns nullptr when the expression cannot be kernelized.
+  static std::unique_ptr<CompiledExpr> CompileFilter(
+      const Expr& expr, const Schema& schema,
+      const std::vector<const ValueVector*>& columns);
+
+  // Compiles `expr` as a value producer (computed projections).
+  static std::unique_ptr<CompiledExpr> CompileProject(
+      const Expr& expr, const Schema& schema,
+      const std::vector<const ValueVector*>& columns);
+
+  ~CompiledExpr();
+
+  // Selection-vector refinement over rows [lo, hi): sel[r] &= predicate(r).
+  // Rows already 0 may be skipped. Safe to call concurrently on disjoint
+  // ranges (morsel parallelism): all scratch state is call-local.
+  void EvalFilter(uint8_t* sel, size_t lo, size_t hi) const;
+
+  // Appends the expression value of rows [lo, hi) to `out`, converting to
+  // out->type() with the same semantics as AppendValue(Eval(row)). When the
+  // expression is a plain reference to a dict-encoded string column and
+  // `out` is a fresh string column, `out` adopts the dictionary and the
+  // append is a code copy.
+  void EvalProject(size_t lo, size_t hi, ValueVector* out) const;
+
+  // Static type of the compiled value expression (CompileProject only).
+  ValueType result_type() const;
+
+ private:
+  CompiledExpr(std::unique_ptr<vexpr::BoolNode> b,
+               std::unique_ptr<vexpr::ValNode> v);
+
+  std::unique_ptr<vexpr::BoolNode> bool_root_;
+  std::unique_ptr<vexpr::ValNode> val_root_;
+};
+
+}  // namespace ges
+
+#endif  // GES_EXECUTOR_VECTOR_EXPR_H_

@@ -139,6 +139,12 @@ Status LoadVerticesCsv(std::istream& in, LabelId label, Graph* graph,
     VertexId v = graph->AddVertexBulk(label, ext_id);
     for (size_t i = 0; i < fields.size(); ++i) {
       if (columns[i].first == kInvalidProperty) continue;
+      if (columns[i].second == ValueType::kString) {
+        // Fast path: the field goes straight into the per-graph string
+        // dictionary — no Value boxing, no extra copy.
+        graph->SetPropertyBulkString(v, columns[i].first, fields[i]);
+        continue;
+      }
       Value value;
       GES_RETURN_IF_ERROR(
           ParseCsvValue(fields[i], columns[i].second, &value));

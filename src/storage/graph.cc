@@ -37,7 +37,8 @@ VertexId Graph::AddVertexBulk(LabelId label, int64_t ext_id) {
     for (const auto& [pid, t] : catalog_.LabelProperties(label)) {
       types.push_back(t);
     }
-    property_tables_[label] = std::make_unique<PropertyTable>(types);
+    property_tables_[label] =
+        std::make_unique<PropertyTable>(types, &string_dict_);
   }
   label_of_.push_back(label);
   ext_of_.push_back(ext_id);
@@ -54,6 +55,15 @@ void Graph::SetPropertyBulk(VertexId v, PropertyId prop, const Value& val) {
   int slot = catalog_.PropertySlot(label, prop);
   assert(slot >= 0);
   property_tables_[label]->Set(offset_in_label_[v], slot, val);
+}
+
+void Graph::SetPropertyBulkString(VertexId v, PropertyId prop,
+                                  std::string_view s) {
+  assert(!finalized_);
+  LabelId label = label_of_[v];
+  int slot = catalog_.PropertySlot(label, prop);
+  assert(slot >= 0);
+  property_tables_[label]->SetString(offset_in_label_[v], slot, s);
 }
 
 void Graph::AddEdgeBulk(LabelId edge_label, VertexId src, VertexId dst,
@@ -108,6 +118,67 @@ const ValueVector* Graph::BasePropertyColumn(LabelId label,
   int slot = catalog_.PropertySlot(label, prop);
   if (slot < 0) return nullptr;
   return &property_tables_[label]->Column(slot);
+}
+
+void Graph::GatherProperties(const VertexId* ids, size_t n, const uint8_t* sel,
+                             PropertyId prop, Version snapshot,
+                             ValueVector* out) const {
+  // A fresh string output column adopts the graph dictionary so base-column
+  // gathers are uint32 code copies (decays to owned strings only if an
+  // out-of-dictionary overlay value shows up).
+  if (out->type() == ValueType::kString && !out->dict_encoded() &&
+      out->empty()) {
+    out->InitDict(&string_dict_);
+  }
+  out->Reserve(out->size() + n);
+  // Overlay presence is resolved once per batch: when no transaction has
+  // written any property overlay, the loop below is a pure column copy.
+  const bool check_overlay = !prop_overlay_.empty();
+  // Per-label (column, resolved?) cache so the catalog slot lookup happens
+  // once per label instead of once per row.
+  std::vector<const ValueVector*> col_cache;
+  std::vector<uint8_t> col_resolved;
+  for (size_t i = 0; i < n; ++i) {
+    if (sel != nullptr && sel[i] == 0) {
+      out->AppendZero();
+      continue;
+    }
+    VertexId v = ids[i];
+    if (check_overlay) {
+      Value ov;
+      if (prop_overlay_.Find(v, prop, snapshot, &ov)) {
+        // Overlay strings were never interned; AppendValue decays the
+        // output column to owned strings if needed.
+        out->AppendValue(ov);
+        continue;
+      }
+    }
+    if (v >= bulk_vertex_count_) {
+      // New (post-bulk) vertices keep all properties in the overlay; a miss
+      // there means null, same as GetProperty.
+      out->AppendZero();
+      continue;
+    }
+    LabelId label = label_of_[v];
+    if (label >= col_cache.size()) {
+      col_cache.resize(label + 1, nullptr);
+      col_resolved.resize(label + 1, 0);
+    }
+    if (!col_resolved[label]) {
+      col_resolved[label] = 1;
+      col_cache[label] = BasePropertyColumn(label, prop);
+    }
+    const ValueVector* col = col_cache[label];
+    if (col == nullptr) {
+      out->AppendZero();
+      continue;
+    }
+    if (col->type() == out->type()) {
+      out->AppendFrom(*col, offset_in_label_[v]);
+    } else {
+      out->AppendValue(col->GetValue(offset_in_label_[v]));
+    }
+  }
 }
 
 LabelId Graph::LabelOf(VertexId v, Version snapshot) const {
@@ -178,6 +249,7 @@ size_t Graph::MemoryBytes() const {
   }
   bytes += label_of_.capacity() * sizeof(LabelId) +
            offset_in_label_.capacity() * sizeof(uint32_t);
+  bytes += string_dict_.MemoryBytes();
   return bytes;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/string_dict.h"
 #include "common/types.h"
 #include "common/value.h"
 #include "storage/adjacency.h"
@@ -58,6 +59,9 @@ class Graph {
   // --- bulk load ---
   VertexId AddVertexBulk(LabelId label, int64_t ext_id);
   void SetPropertyBulk(VertexId v, PropertyId prop, const Value& val);
+  // Bulk-load fast path for string properties: interns directly into the
+  // graph dictionary without boxing a Value.
+  void SetPropertyBulkString(VertexId v, PropertyId prop, std::string_view s);
   // Stages an edge into both directions' tables; labels are inferred from
   // the endpoint vertices. The relation must have been registered.
   void AddEdgeBulk(LabelId edge_label, VertexId src, VertexId dst,
@@ -89,6 +93,21 @@ class Graph {
   // Fast path for bulk vertices when no overlay exists; used by vectorized
   // property projection. Returns nullptr if the column does not exist.
   const ValueVector* BasePropertyColumn(LabelId label, PropertyId prop) const;
+
+  // Batched property gather: appends `prop` of ids[0..n) to `out` (which
+  // must already have the property's type). `sel`, when non-null, is a byte
+  // mask; deselected rows append the zero placeholder (0 / 0.0 / "") so
+  // `out` stays positionally aligned with `ids`. MVCC overlay presence is
+  // resolved once per batch and the per-label column/slot lookup is cached,
+  // so the common (no-overlay) case is a typed column copy per row — no
+  // boxed Values. Dict-encoded string columns copy uint32 codes.
+  void GatherProperties(const VertexId* ids, size_t n, const uint8_t* sel,
+                        PropertyId prop, Version snapshot,
+                        ValueVector* out) const;
+
+  // The per-graph string dictionary backing all base string property
+  // columns. Immutable after FinalizeBulk().
+  const StringDict& string_dict() const { return string_dict_; }
 
   LabelId LabelOf(VertexId v, Version snapshot) const;
   // Dense offset of a bulk vertex within its label's property table.
@@ -138,6 +157,7 @@ class Graph {
   std::vector<uint32_t> offset_in_label_;
   std::vector<std::vector<VertexId>> bulk_by_label_;
   std::vector<std::unique_ptr<PropertyTable>> property_tables_;  // per label
+  StringDict string_dict_;
   std::unordered_map<uint64_t, VertexId> ext_index_;
   size_t bulk_vertex_count_ = 0;
   bool finalized_ = false;

@@ -4,11 +4,18 @@
 // columnar table, with each row corresponding to a vertex and each column
 // representing a property." There is one table per vertex label; rows are
 // addressed by the vertex's dense offset within its label.
+//
+// String columns are dictionary-encoded against the graph's shared
+// StringDict: cells hold uint32 codes, and Set() interns new strings during
+// the (single-threaded) bulk-load phase. After Graph::FinalizeBulk the
+// tables and the dictionary are immutable.
 #ifndef GES_STORAGE_PROPERTY_STORE_H_
 #define GES_STORAGE_PROPERTY_STORE_H_
 
+#include <string_view>
 #include <vector>
 
+#include "common/string_dict.h"
 #include "common/types.h"
 #include "common/value.h"
 #include "storage/catalog.h"
@@ -17,9 +24,16 @@ namespace ges {
 
 class PropertyTable {
  public:
-  explicit PropertyTable(std::vector<ValueType> column_types) {
+  // `dict` (owned by the graph) backs every kString column; may be null
+  // only for tables without string columns.
+  PropertyTable(std::vector<ValueType> column_types, StringDict* dict)
+      : dict_(dict) {
     columns_.reserve(column_types.size());
-    for (ValueType t : column_types) columns_.emplace_back(t);
+    for (ValueType t : column_types) {
+      ValueVector col(t);
+      if (t == ValueType::kString) col.InitDict(dict);
+      columns_.push_back(std::move(col));
+    }
   }
 
   size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
@@ -33,13 +47,26 @@ class PropertyTable {
 
   Value Get(size_t row, int slot) const { return columns_[slot].GetValue(row); }
   void Set(size_t row, int slot, const Value& v) {
+    if (columns_[slot].dict_encoded()) {
+      columns_[slot].SetCode(row, dict_->Intern(v.AsString()));
+      return;
+    }
     columns_[slot].SetValue(row, v);
+  }
+  // Bulk-load fast path for string cells: interns without boxing a Value.
+  void SetString(size_t row, int slot, std::string_view s) {
+    if (columns_[slot].dict_encoded()) {
+      columns_[slot].SetCode(row, dict_->Intern(s));
+      return;
+    }
+    columns_[slot].SetString(row, std::string(s));
   }
 
   size_t MemoryBytes() const;
 
  private:
   std::vector<ValueVector> columns_;
+  StringDict* dict_;
 };
 
 }  // namespace ges

@@ -9,7 +9,12 @@ namespace ges {
 
 namespace {
 
-constexpr char kMagic[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagicV1[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagicV2[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '2'};
+
+// V2 string-value subtags.
+constexpr uint8_t kStrInline = 0;  // length + bytes follow
+constexpr uint8_t kStrCode = 1;    // uint32 dictionary code follows
 
 // --- little-endian primitives ---
 
@@ -41,6 +46,23 @@ bool ReadI64(std::istream& in, int64_t* v) {
   return true;
 }
 
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 4);
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  if (!in.read(buf, 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return true;
+}
+
 void WriteString(std::ostream& out, const std::string& s) {
   WriteU64(out, s.size());
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
@@ -54,7 +76,9 @@ bool ReadString(std::istream& in, std::string* s) {
   return static_cast<bool>(in.read(s->data(), static_cast<std::streamsize>(n)));
 }
 
-void WriteValue(std::ostream& out, const Value& v) {
+// `dict` non-null => V2 encoding: string values carry a subtag and, when
+// the string is in the graph dictionary, are written as a uint32 code.
+void WriteValue(std::ostream& out, const Value& v, const StringDict* dict) {
   out.put(static_cast<char>(v.type()));
   switch (v.type()) {
     case ValueType::kNull:
@@ -66,16 +90,31 @@ void WriteValue(std::ostream& out, const Value& v) {
       WriteU64(out, bits);
       break;
     }
-    case ValueType::kString:
-      WriteString(out, v.AsString());
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      if (dict != nullptr) {
+        uint32_t code = dict->Find(s);
+        if (code != StringDict::kInvalidCode) {
+          out.put(static_cast<char>(kStrCode));
+          WriteU32(out, code);
+        } else {  // overlay value never interned: inline
+          out.put(static_cast<char>(kStrInline));
+          WriteString(out, s);
+        }
+      } else {
+        WriteString(out, s);
+      }
       break;
+    }
     default:
       WriteI64(out, v.AsInt());
       break;
   }
 }
 
-bool ReadValue(std::istream& in, Value* v) {
+// `dict` non-null => V2 decoding (the dictionary section already loaded).
+bool ReadValue(std::istream& in, Value* v,
+               const std::vector<std::string>* dict) {
   int tag = in.get();
   if (tag < 0) return false;
   ValueType type = static_cast<ValueType>(tag);
@@ -104,6 +143,18 @@ bool ReadValue(std::istream& in, Value* v) {
       return true;
     }
     case ValueType::kString: {
+      if (dict != nullptr) {
+        int sub = in.get();
+        if (sub < 0) return false;
+        if (sub == kStrCode) {
+          uint32_t code;
+          if (!ReadU32(in, &code)) return false;
+          if (code >= dict->size()) return false;
+          *v = Value::String((*dict)[code]);
+          return true;
+        }
+        if (sub != kStrInline) return false;
+      }
       std::string s;
       if (!ReadString(in, &s)) return false;
       *v = Value::String(std::move(s));
@@ -127,14 +178,25 @@ bool ReadValue(std::istream& in, Value* v) {
 
 }  // namespace
 
-Status SaveGraph(const Graph& graph, std::ostream& out) {
+Status SaveGraph(const Graph& graph, std::ostream& out,
+                 SnapshotFormat format) {
   if (!graph.finalized()) {
     return Status::InvalidArgument("graph must be finalized before saving");
   }
   const Catalog& catalog = graph.catalog();
   Version snap = graph.CurrentVersion();
+  const StringDict* dict =
+      format == SnapshotFormat::kV2 ? &graph.string_dict() : nullptr;
 
-  out.write(kMagic, 8);
+  out.write(format == SnapshotFormat::kV2 ? kMagicV2 : kMagicV1, 8);
+
+  // --- string dictionary (V2 only): codes 0..n-1 in order ---
+  if (dict != nullptr) {
+    WriteU64(out, dict->size());
+    for (uint32_t c = 0; c < dict->size(); ++c) {
+      WriteString(out, dict->Get(c));
+    }
+  }
 
   // --- catalog ---
   WriteU64(out, catalog.num_vertex_labels());
@@ -172,7 +234,7 @@ Status SaveGraph(const Graph& graph, std::ostream& out) {
     for (VertexId v : vertices) {
       WriteI64(out, graph.ExtIdOf(v, snap));
       for (const auto& [prop, type] : props) {
-        WriteValue(out, graph.GetProperty(v, prop, snap));
+        WriteValue(out, graph.GetProperty(v, prop, snap), dict);
       }
     }
   }
@@ -211,10 +273,29 @@ Status SaveGraph(const Graph& graph, std::ostream& out) {
 
 Status LoadGraph(std::istream& in, Graph* graph) {
   char magic[8];
-  if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+  if (!in.read(magic, 8)) {
+    return Status::InvalidArgument("not a GES snapshot (bad magic)");
+  }
+  bool v2 = std::memcmp(magic, kMagicV2, 8) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, 8) != 0) {
     return Status::InvalidArgument("not a GES snapshot (bad magic)");
   }
   Catalog& catalog = graph->catalog();
+
+  // --- string dictionary (V2 only) ---
+  std::vector<std::string> dict_strings;
+  if (v2) {
+    uint64_t n;
+    if (!ReadU64(in, &n)) return Status::Error("truncated dictionary");
+    if (n > (1u << 31)) return Status::Error("dictionary too large");
+    dict_strings.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!ReadString(in, &dict_strings[i])) {
+        return Status::Error("truncated dictionary entry");
+      }
+    }
+  }
+  const std::vector<std::string>* dict = v2 ? &dict_strings : nullptr;
 
   // --- catalog ---
   uint64_t num_vlabels;
@@ -276,7 +357,9 @@ Status LoadGraph(std::istream& in, Graph* graph) {
       VertexId v = graph->AddVertexBulk(static_cast<LabelId>(l), ext);
       for (const auto& [prop, type] : label_props[l]) {
         Value value;
-        if (!ReadValue(in, &value)) return Status::Error("truncated value");
+        if (!ReadValue(in, &value, dict)) {
+          return Status::Error("truncated value");
+        }
         if (!value.is_null()) graph->SetPropertyBulk(v, prop, value);
       }
     }
@@ -307,10 +390,11 @@ Status LoadGraph(std::istream& in, Graph* graph) {
   return Status::OK();
 }
 
-Status SaveGraphFile(const Graph& graph, const std::string& path) {
+Status SaveGraphFile(const Graph& graph, const std::string& path,
+                     SnapshotFormat format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::NotFound("cannot open " + path);
-  return SaveGraph(graph, out);
+  return SaveGraph(graph, out, format);
 }
 
 Status LoadGraphFile(const std::string& path, Graph* graph) {

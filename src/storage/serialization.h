@@ -7,6 +7,13 @@
 // catalog and relations, so a loaded graph serves queries immediately.
 // Overlay versions are folded into the snapshot (the save captures the
 // graph as of Graph::CurrentVersion()).
+//
+// Two on-disk formats (DESIGN.md §9):
+//  * "GESSNAP1" — every string value inline (length + bytes);
+//  * "GESSNAP2" — the per-graph string dictionary is written once after
+//    the magic, and string values carry a subtag: 0 = inline bytes,
+//    1 = uint32 dictionary code. Saves default to V2; the loader accepts
+//    both magics transparently.
 #ifndef GES_STORAGE_SERIALIZATION_H_
 #define GES_STORAGE_SERIALIZATION_H_
 
@@ -18,9 +25,16 @@
 
 namespace ges {
 
+enum class SnapshotFormat : uint8_t {
+  kV1 = 1,  // legacy: inline strings ("GESSNAP1")
+  kV2 = 2,  // dictionary section + coded strings ("GESSNAP2")
+};
+
 // Serializes `graph` (which must be finalized) into `out`.
-Status SaveGraph(const Graph& graph, std::ostream& out);
-Status SaveGraphFile(const Graph& graph, const std::string& path);
+Status SaveGraph(const Graph& graph, std::ostream& out,
+                 SnapshotFormat format = SnapshotFormat::kV2);
+Status SaveGraphFile(const Graph& graph, const std::string& path,
+                     SnapshotFormat format = SnapshotFormat::kV2);
 
 // Deserializes into `graph`, which must be freshly constructed (no schema,
 // no data). The loaded graph is finalized and ready for reads and MV2PL

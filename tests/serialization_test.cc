@@ -96,6 +96,59 @@ TEST(SerializationTest, LoadedGraphAnswersQueriesIdentically) {
   }
 }
 
+TEST(SerializationTest, LegacyV1SnapshotLoads) {
+  // Saving in the legacy inline-string format ("GESSNAP1") must stay
+  // loadable and equivalent — old snapshot files keep working.
+  TinyGraph tiny;
+  std::stringstream v1, v2;
+  ASSERT_TRUE(SaveGraph(*tiny.graph, v1, SnapshotFormat::kV1).ok());
+  ASSERT_TRUE(SaveGraph(*tiny.graph, v2, SnapshotFormat::kV2).ok());
+  EXPECT_EQ(v1.str().substr(0, 8), "GESSNAP1");
+  EXPECT_EQ(v2.str().substr(0, 8), "GESSNAP2");
+
+  Graph from_v1, from_v2;
+  ASSERT_TRUE(LoadGraph(v1, &from_v1).ok());
+  ASSERT_TRUE(LoadGraph(v2, &from_v2).ok());
+  EXPECT_EQ(from_v1.NumVerticesTotal(), from_v2.NumVerticesTotal());
+  EXPECT_EQ(from_v1.NumEdgesTotal(), from_v2.NumEdgesTotal());
+}
+
+TEST(SerializationTest, V2RoundTripsStringProperties) {
+  // String values survive the dictionary-coded encoding, including values
+  // written through the MVCC overlay after finalize (inline subtag).
+  Graph g;
+  Catalog& c = g.catalog();
+  LabelId node = c.AddVertexLabel("NODE");
+  PropertyId id = c.AddProperty(node, "id", ValueType::kInt64);
+  PropertyId name = c.AddProperty(node, "name", ValueType::kString);
+  std::vector<VertexId> vs;
+  for (int i = 0; i < 8; ++i) {
+    VertexId v = g.AddVertexBulk(node, i);
+    g.SetPropertyBulk(v, id, Value::Int(i));
+    g.SetPropertyBulkString(v, name, i % 2 == 0 ? "even" : "odd");
+    vs.push_back(v);
+  }
+  g.FinalizeBulk();
+  {
+    auto txn = g.BeginWrite({vs[0]});
+    txn->SetProperty(vs[0], name, Value::String("overlay-only"));
+    txn->Commit();
+  }
+
+  std::stringstream buf;
+  ASSERT_TRUE(SaveGraph(g, buf).ok());
+  Graph loaded;
+  Status s = LoadGraph(buf, &loaded);
+  ASSERT_TRUE(s.ok()) << s.message();
+  Version v = loaded.CurrentVersion();
+  EXPECT_EQ(loaded.GetProperty(loaded.FindByExtId(node, 0, v), name, v),
+            Value::String("overlay-only"));
+  EXPECT_EQ(loaded.GetProperty(loaded.FindByExtId(node, 1, v), name, v),
+            Value::String("odd"));
+  EXPECT_EQ(loaded.GetProperty(loaded.FindByExtId(node, 2, v), name, v),
+            Value::String("even"));
+}
+
 TEST(SerializationTest, RejectsGarbage) {
   std::stringstream buf("definitely not a snapshot");
   Graph g;

@@ -104,7 +104,8 @@ TEST(AdjacencyTest, InsertIntoNewVertexAfterFinalize) {
 }
 
 TEST(PropertyTableTest, AppendAndAccess) {
-  PropertyTable t({ValueType::kInt64, ValueType::kString});
+  StringDict dict;
+  PropertyTable t({ValueType::kInt64, ValueType::kString}, &dict);
   size_t r0 = t.AppendRow();
   size_t r1 = t.AppendRow();
   EXPECT_EQ(r0, 0u);
@@ -116,6 +117,10 @@ TEST(PropertyTableTest, AppendAndAccess) {
   EXPECT_EQ(t.Get(0, 1), Value::String("x"));
   EXPECT_EQ(t.Get(1, 0), Value::Int(20));
   EXPECT_EQ(t.num_rows(), 2u);
+  // String cells are dictionary codes; the unset row decodes to "".
+  EXPECT_TRUE(t.Column(1).dict_encoded());
+  EXPECT_EQ(t.Column(1).GetCode(0), dict.Find("x"));
+  EXPECT_EQ(t.Get(1, 1), Value::String(""));
 }
 
 TEST(GraphTest, BulkLoadAndSnapshotReads) {
