@@ -1,0 +1,148 @@
+// WAL commit-latency microbench (DESIGN.md §10): the durability overhead a
+// single writer pays per committed transaction, across fsync policies.
+//
+// Configurations, all committing the same 3-record transaction (create
+// vertex + insert edge + set property):
+//   in_memory      no WAL at all (the pre-durability baseline)
+//   fsync_never    WAL appended, never explicitly synced
+//   fsync_interval WAL appended, background group-commit flusher (10 ms)
+//   fsync_always   WAL appended + fsync before the commit is acknowledged
+//
+// Usage: bench_wal_commit [--json [path]]     (env: GES_COMMITS, default 2000)
+// Writes BENCH_wal_commit.json with per-config latency stats and the
+// fsync=always overhead multiple over the in-memory baseline.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/report.h"
+#include "harness/stats.h"
+#include "storage/graph.h"
+
+namespace ges::bench {
+namespace {
+
+struct WriterGraph {
+  std::unique_ptr<Graph> graph;
+  LabelId node;
+  LabelId link;
+  PropertyId val;
+  VertexId root;
+};
+
+WriterGraph MakeWriterGraph() {
+  WriterGraph w;
+  w.graph = std::make_unique<Graph>();
+  Catalog& c = w.graph->catalog();
+  w.node = c.AddVertexLabel("NODE");
+  w.link = c.AddEdgeLabel("LINK");
+  w.val = c.AddProperty(w.node, "val", ValueType::kInt64);
+  w.graph->RegisterRelation(w.node, w.link, w.node);
+  w.root = w.graph->AddVertexBulk(w.node, 0);
+  w.graph->SetPropertyBulk(w.root, w.val, Value::Int(0));
+  w.graph->FinalizeBulk();
+  return w;
+}
+
+struct Config {
+  const char* name;
+  bool durable;
+  FsyncPolicy policy;
+};
+
+LatencyRecorder RunConfig(const Config& cfg, int commits,
+                          const std::string& dir) {
+  WriterGraph w = MakeWriterGraph();
+  if (cfg.durable) {
+    std::filesystem::remove_all(dir);
+    DurabilityOptions opts;
+    opts.wal.fsync_policy = cfg.policy;
+    opts.wal.fsync_interval_ms = 10;
+    Status s = w.graph->EnableDurability(dir, opts);
+    if (!s.ok()) {
+      std::fprintf(stderr, "# EnableDurability failed: %s\n",
+                   s.message().c_str());
+      return {};
+    }
+  }
+
+  LatencyRecorder lat;
+  for (int i = 1; i <= commits; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto txn = w.graph->BeginWrite({w.root});
+    VertexId nv = txn->CreateVertex(w.node, i, {{w.val, Value::Int(i)}});
+    txn->AddEdge(w.link, w.root, nv).ok();
+    txn->SetProperty(w.root, w.val, Value::Int(i));
+    Version v = 0;
+    if (!txn->Commit(&v).ok()) {
+      std::fprintf(stderr, "# commit %d failed under %s\n", i, cfg.name);
+      break;
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    lat.Add(ms);
+  }
+  return lat;
+}
+
+int Main(int argc, char** argv) {
+  const int commits = EnvInt("GES_COMMITS", 2000);
+  const std::string dir = "/tmp/ges_bench_wal_commit";
+
+  const std::vector<Config> configs = {
+      {"in_memory", false, FsyncPolicy::kNever},
+      {"fsync_never", true, FsyncPolicy::kNever},
+      {"fsync_interval", true, FsyncPolicy::kInterval},
+      {"fsync_always", true, FsyncPolicy::kAlways},
+  };
+
+  BenchJsonReport json("wal_commit");
+  json.AddScalar("commits", commits);
+
+  TextTable table({"config", "mean us", "p50 us", "p99 us", "max us"});
+  double baseline_mean = 0, always_mean = 0;
+  for (const Config& cfg : configs) {
+    std::printf("# %s: %d single-writer commits...\n", cfg.name, commits);
+    std::fflush(stdout);
+    LatencyRecorder lat = RunConfig(cfg, commits, dir);
+    if (lat.count() == 0) continue;
+    if (std::string(cfg.name) == "in_memory") baseline_mean = lat.Mean();
+    if (std::string(cfg.name) == "fsync_always") always_mean = lat.Mean();
+    auto us = [](double ms) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", ms * 1000.0);
+      return std::string(buf);
+    };
+    table.AddRow({cfg.name, us(lat.Mean()), us(lat.Percentile(50)),
+                  us(lat.Percentile(99)), us(lat.Max())});
+    json.AddSectionScalar(cfg.name, "mean_us", lat.Mean() * 1000.0);
+    json.AddSectionScalar(cfg.name, "p50_us", lat.Percentile(50) * 1000.0);
+    json.AddSectionScalar(cfg.name, "p95_us", lat.Percentile(95) * 1000.0);
+    json.AddSectionScalar(cfg.name, "p99_us", lat.Percentile(99) * 1000.0);
+    json.AddSectionScalar(cfg.name, "max_us", lat.Max() * 1000.0);
+    json.AddSectionScalar(cfg.name, "commits_per_sec",
+                          lat.Sum() > 0 ? lat.count() / (lat.Sum() / 1000.0)
+                                        : 0);
+  }
+  table.Print();
+  if (baseline_mean > 0 && always_mean > 0) {
+    double multiple = always_mean / baseline_mean;
+    std::printf("# fsync=always overhead: %.1fx the in-memory commit\n",
+                multiple);
+    json.AddScalar("fsync_always_overhead_x", multiple);
+  }
+
+  MaybeWriteJson(argc, argv, json);
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ges::bench
+
+int main(int argc, char** argv) { return ges::bench::Main(argc, argv); }

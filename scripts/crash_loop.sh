@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Kill-9 crash-recovery loop (DESIGN.md §10).
+#
+# Runs the crash_recovery_test binary N times against ONE persistent data
+# directory, so every run re-opens (and must recover) the directory the
+# previous run's SIGKILLed writer left behind. Each run forks, kills and
+# recovers GES_CRASH_ITERS times internally; the loop multiplies that into
+# hundreds of independent crash points.
+#
+# Usage: crash_loop.sh <crash_recovery_test binary> [runs] [iters-per-run]
+#   e.g. scripts/crash_loop.sh build/tests/crash_recovery_test 25 4
+# Acceptance sweep (100+ crash/recover cycles):
+#   scripts/crash_loop.sh build/tests/crash_recovery_test 25 4
+set -euo pipefail
+
+BIN=${1:?usage: crash_loop.sh <crash_recovery_test binary> [runs] [iters-per-run]}
+RUNS=${2:-25}
+ITERS=${3:-4}
+
+DIR=$(mktemp -d /tmp/ges_crash_loop_XXXXXX)
+trap 'rm -rf "$DIR"' EXIT
+
+for ((run = 1; run <= RUNS; run++)); do
+  echo "[crash_loop] run $run/$RUNS (dir $DIR, $ITERS kills per run)"
+  GES_CRASH_DIR="$DIR" GES_CRASH_ITERS="$ITERS" \
+    "$BIN" --gtest_brief=1 || {
+      echo "[crash_loop] FAILED at run $run; data dir kept: $DIR" >&2
+      trap - EXIT
+      exit 1
+    }
+done
+echo "[crash_loop] OK: $((RUNS * ITERS)) crash/recover cycles, zero committed losses"

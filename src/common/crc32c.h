@@ -1,0 +1,23 @@
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78), the
+// checksum used to frame WAL records and snapshot sections. Software
+// table-driven implementation; no hardware dependency.
+#ifndef GES_COMMON_CRC32C_H_
+#define GES_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ges {
+
+// Checksum of `n` bytes at `data`. `seed` chains incremental computations:
+// Crc32c(b, nb, Crc32c(a, na)) == Crc32c(concat(a, b)).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+}  // namespace ges
+
+#endif  // GES_COMMON_CRC32C_H_

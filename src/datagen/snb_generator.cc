@@ -531,4 +531,85 @@ SnbData GenerateSnb(const SnbConfig& config, Graph* graph) {
   return data;
 }
 
+SnbData RebuildSnbData(Graph* graph) {
+  SnbData data;
+  // Define() resolves against the recovered catalog: every Add* call
+  // dedupes by name and RegisterRelation is a no-op for known relations,
+  // so on a loaded graph this only looks ids up.
+  data.schema = SnbSchema::Define(graph);
+  const SnbSchema& s = data.schema;
+  const Version snap = graph->CurrentVersion();
+  const PropertyId p_type = graph->catalog().Property("type");
+  const PropertyId p_creation = graph->catalog().Property("creationDate");
+
+  auto scan = [&](LabelId label) {
+    std::vector<VertexId> out;
+    graph->ScanLabel(label, snap, &out);
+    return out;
+  };
+  auto creation_of = [&](const std::vector<VertexId>& pool,
+                         std::vector<int64_t>* out) {
+    out->reserve(pool.size());
+    for (VertexId v : pool) {
+      out->push_back(graph->GetProperty(v, p_creation, snap).AsInt());
+    }
+  };
+  auto next_ext = [&](const std::vector<VertexId>& pool) {
+    int64_t max_ext = -1;
+    for (VertexId v : pool) {
+      max_ext = std::max(max_ext, graph->ExtIdOf(v, snap));
+    }
+    return max_ext + 1;
+  };
+
+  data.persons = scan(s.person);
+  data.posts = scan(s.post);
+  data.comments = scan(s.comment);
+  data.forums = scan(s.forum);
+  data.tags = scan(s.tag);
+  data.tagclasses = scan(s.tagclass);
+  creation_of(data.persons, &data.person_creation);
+  creation_of(data.posts, &data.post_creation);
+  creation_of(data.comments, &data.comment_creation);
+
+  // Places and organisations were generated as one label each with a
+  // `type` property; the handle vectors are partitioned sub-ranges
+  // ([cities..][countries..][continents..]). ScanLabel preserves the bulk
+  // pool order, so a stable partition reproduces the generated layout.
+  std::vector<VertexId> countries;
+  std::vector<VertexId> continents;
+  for (VertexId v : scan(s.place)) {
+    std::string type = graph->GetProperty(v, p_type, snap).AsString();
+    if (type == "city") {
+      data.places.push_back(v);
+      ++data.num_cities;
+    } else if (type == "country") {
+      countries.push_back(v);
+      ++data.num_countries;
+    } else {
+      continents.push_back(v);
+    }
+  }
+  data.places.insert(data.places.end(), countries.begin(), countries.end());
+  data.places.insert(data.places.end(), continents.begin(), continents.end());
+  std::vector<VertexId> companies;
+  for (VertexId v : scan(s.organisation)) {
+    std::string type = graph->GetProperty(v, p_type, snap).AsString();
+    if (type == "university") {
+      data.organisations.push_back(v);
+      ++data.num_universities;
+    } else {
+      companies.push_back(v);
+    }
+  }
+  data.organisations.insert(data.organisations.end(), companies.begin(),
+                            companies.end());
+
+  data.next_person_ext = next_ext(data.persons);
+  data.next_post_ext = next_ext(data.posts);
+  data.next_comment_ext = next_ext(data.comments);
+  data.next_forum_ext = next_ext(data.forums);
+  return data;
+}
+
 }  // namespace ges

@@ -68,6 +68,14 @@ struct SnbData {
 // handles. Runs schema definition, bulk load and FinalizeBulk.
 SnbData GenerateSnb(const SnbConfig& config, Graph* graph);
 
+// Reconstructs the SnbData handles from a graph that was loaded from a
+// snapshot (Graph::Open) rather than generated. Resolves the schema against
+// the recovered catalog, scans the label pools (bulk order is preserved by
+// the snapshot), partitions places/organisations by their `type` property
+// and rebuilds the update-stream external-id counters from the maximum
+// external id per pool, so IU workloads resume without colliding.
+SnbData RebuildSnbData(Graph* graph);
+
 // Number of persons implied by a scale factor (the paper's Table 1 curve).
 size_t SnbPersonCount(double scale_factor);
 

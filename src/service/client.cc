@@ -8,6 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace ges::service {
 
 bool Client::Fail(const std::string& what) {
@@ -20,14 +24,41 @@ bool Client::Fail(const std::string& what) {
 }
 
 bool Client::Connect(const std::string& host, uint16_t port) {
+  host_ = host;
+  port_ = port;
+  for (int attempt = 0;; ++attempt) {
+    if (ConnectOnce()) return true;
+    if (attempt >= retry_.max_retries) return false;
+    SleepBackoff(attempt);
+  }
+}
+
+void Client::SleepBackoff(int attempt) {
+  int64_t ms = std::max(1, retry_.base_backoff_ms);
+  for (int i = 0; i < attempt && ms < retry_.max_backoff_ms; ++i) ms *= 2;
+  ms = std::min<int64_t>(ms, std::max(1, retry_.max_backoff_ms));
+  // Full jitter over [ms/2, ms]: concurrent clients hitting the same
+  // failure must not retry in lockstep.
+  rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  int64_t half = ms / 2;
+  ms = ms - half + static_cast<int64_t>((rng_state_ >> 33) %
+                                        static_cast<uint64_t>(half + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool Client::ConnectOnce() {
   Close();
+  if (host_.empty()) {
+    error_ = "no server address (Connect was never called)";
+    return false;
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Fail(std::string("socket: ") + ::strerror(errno));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Fail("inet_pton(" + host + ")");
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return Fail("inet_pton(" + host_ + ")");
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Fail(std::string("connect: ") + ::strerror(errno));
@@ -107,13 +138,39 @@ bool Client::ReadResponse(QueryResponse* resp) {
   return true;
 }
 
-bool Client::Run(const QueryRequest& req, QueryResponse* resp) {
+bool Client::RunOnce(const QueryRequest& req, QueryResponse* resp,
+                     bool* delivered) {
+  *delivered = false;
   if (!Send(req)) return false;
+  // The full request frame was handed to the kernel: from here on the
+  // server may execute it even if we never see the response.
+  *delivered = true;
   // A lone synchronous caller has exactly one query outstanding, so the
   // next kResult is ours (ids still verified for safety).
   if (!ReadResponse(resp)) return false;
   if (resp->query_id != req.query_id) return Fail("response id mismatch");
   return true;
+}
+
+bool Client::Run(const QueryRequest& req, QueryResponse* resp) {
+  for (int attempt = 0;; ++attempt) {
+    bool delivered = false;
+    if (RunOnce(req, resp, &delivered)) return true;
+    if (delivered && req.kind == QueryKind::kIU) {
+      // The update reached the server but was never acknowledged — it may
+      // or may not have committed. Retrying could apply it twice; surface
+      // the ambiguity to the caller instead.
+      error_ +=
+          " (update was delivered but not acknowledged; not retried "
+          "because the outcome is ambiguous)";
+      return false;
+    }
+    if (attempt >= retry_.max_retries) return false;
+    // Reads (and never-delivered writes: the server drops a truncated
+    // frame without executing it) are safe to retry on a new connection.
+    SleepBackoff(attempt);
+    ConnectOnce();  // best effort; a failure charges the next attempt
+  }
 }
 
 bool Client::RunIC(int number, const LdbcParams& params, QueryResponse* resp,
@@ -197,6 +254,22 @@ bool Client::Ping() {
   if (!SendFrame(b.data())) return false;
   std::string payload;
   return ReadExpected(MsgType::kPong, &payload);
+}
+
+bool Client::Checkpoint(std::string* detail) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kCheckpoint));
+  if (!SendFrame(b.data())) return false;
+  std::string payload;
+  if (!ReadExpected(MsgType::kCheckpointOk, &payload)) return false;
+  WireReader in(payload);
+  in.GetU8();  // type
+  bool ok = in.GetU8() != 0;
+  std::string message = in.GetString();
+  if (!in.ok()) return Fail("malformed CheckpointOk");
+  if (detail != nullptr) *detail = message;
+  if (!ok) error_ = message;  // clean refusal; connection stays usable
+  return ok;
 }
 
 bool Client::Cancel(uint64_t query_id) {

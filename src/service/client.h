@@ -18,6 +18,19 @@
 
 namespace ges::service {
 
+// Transient-failure handling. With max_retries = 0 (the default) every
+// failure surfaces immediately — exactly the pre-retry behaviour. With
+// max_retries > 0, Connect() retries refused connections and Run() retries
+// failed queries (reconnecting in between) with exponential backoff plus
+// jitter, EXCEPT a non-idempotent update (kIU) whose request frame was
+// fully sent but never answered: the server may have committed it, so the
+// client reports the ambiguity instead of risking a double-apply.
+struct RetryPolicy {
+  int max_retries = 0;       // extra attempts after the first
+  int base_backoff_ms = 20;  // first backoff; doubles per attempt
+  int max_backoff_ms = 1000;
+};
+
 class Client {
  public:
   Client() = default;
@@ -25,9 +38,12 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  void set_retry_policy(const RetryPolicy& p) { retry_ = p; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   // Connects and performs the Hello handshake. Returns false with
   // last_error() set on failure (including a server kError refusal, e.g.
-  // the connection limit).
+  // the connection limit). Retries per the retry policy.
   bool Connect(const std::string& host, uint16_t port);
 
   bool connected() const { return fd_ >= 0; }
@@ -40,7 +56,8 @@ class Client {
 
   // Sends the query and blocks for its kResult frame. Returns false only
   // on connection failure; admission rejection, deadline and cancellation
-  // arrive as resp->status.
+  // arrive as resp->status. Connection failures are retried per the retry
+  // policy (see RetryPolicy for the non-idempotent-update exception).
   bool Run(const QueryRequest& req, QueryResponse* resp);
 
   // Convenience wrappers (auto-assign query ids).
@@ -56,6 +73,11 @@ class Client {
   // Re-pins the session to the server's current version.
   bool RefreshSnapshot(uint64_t* version = nullptr);
   bool Ping();
+  // Admin: asks a durable server to checkpoint (snapshot + WAL truncate).
+  // Returns true when the checkpoint completed; on a clean refusal (e.g.
+  // non-durable server) returns false with `*detail` explaining why and
+  // the connection still usable.
+  bool Checkpoint(std::string* detail = nullptr);
 
   // --- pipelining (open-loop load generation) ---------------------------
 
@@ -76,6 +98,13 @@ class Client {
   void Close();
 
  private:
+  // One connection attempt + handshake (no retries).
+  bool ConnectOnce();
+  // One request/response attempt; `*delivered` reports whether the full
+  // request frame reached the kernel (the ambiguity boundary for updates).
+  bool RunOnce(const QueryRequest& req, QueryResponse* resp, bool* delivered);
+  // Sleeps the exponential backoff for retry `attempt` (0-based), jittered.
+  void SleepBackoff(int attempt);
   bool SendFrame(const std::string& payload);
   // Reads until a frame of `want` arrives; fails the connection on
   // kError/unexpected frames.
@@ -88,6 +117,10 @@ class Client {
   uint64_t next_query_id_ = 1;
   std::mutex send_mu_;
   std::string error_;
+  std::string host_;
+  uint16_t port_ = 0;
+  RetryPolicy retry_;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  // backoff jitter
 };
 
 }  // namespace ges::service

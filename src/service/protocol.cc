@@ -27,6 +27,8 @@ const char* WireStatusName(WireStatus s) {
       return "SHUTTING_DOWN";
     case WireStatus::kNotFound:
       return "NOT_FOUND";
+    case WireStatus::kReadOnly:
+      return "READ_ONLY";
   }
   return "?";
 }

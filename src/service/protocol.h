@@ -36,6 +36,7 @@ enum class MsgType : uint8_t {
   kRefreshSnapshot = 6,  // re-pin the session to the current version
   kPing = 7,
   kBye = 8,
+  kCheckpoint = 9,       // admin: snapshot + WAL truncate (durable graphs)
   // server -> client
   kHelloOk = 16,  // body: u64 session_id, u64 snapshot version
   kResult = 17,
@@ -45,6 +46,7 @@ enum class MsgType : uint8_t {
   kSnapshotOk = 21,  // body: u64 snapshot version
   kPong = 22,
   kByeOk = 23,
+  kCheckpointOk = 24,  // body: u8 ok, string detail (why not, if !ok)
 };
 
 // Status embedded in kResult / kError frames.
@@ -57,6 +59,7 @@ enum class WireStatus : uint8_t {
   kCancelled = 5,
   kShuttingDown = 6,
   kNotFound = 7,
+  kReadOnly = 8,  // durable graph degraded read-only after an I/O failure
 };
 
 const char* WireStatusName(WireStatus s);

@@ -347,6 +347,22 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
       b.PutU8(static_cast<uint8_t>(MsgType::kPong));
       return SendToSession(session.get(), b.data());
     }
+    case MsgType::kCheckpoint: {
+      // Admin command: force a snapshot + WAL truncate. Runs on the
+      // connection thread — checkpoints serialize against commits anyway,
+      // and an admin willing to wait should see the true completion.
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kCheckpointOk));
+      if (!graph_->durable()) {
+        b.PutU8(0);
+        b.PutString("graph is not durable (no --data-dir)");
+      } else {
+        Status s = graph_->Checkpoint();
+        b.PutU8(s.ok() ? 1 : 0);
+        b.PutString(s.ok() ? "checkpoint complete" : s.message());
+      }
+      return SendToSession(session.get(), b.data());
+    }
     case MsgType::kBye: {
       WireBuf b;
       b.PutU8(static_cast<uint8_t>(MsgType::kByeOk));
@@ -498,8 +514,28 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
         resp.message = "IU number out of range";
         return resp;
       }
+      if (graph_->read_only()) {
+        // A WAL I/O failure latched the store read-only; reads keep
+        // flowing but writes must fail fast with the root cause.
+        resp.status = WireStatus::kReadOnly;
+        resp.message = "graph is read-only: " + graph_->read_only_reason();
+        return resp;
+      }
       Version commit =
           RunIU(req.number, ldbc_, graph_, &param_gen_, req.seed);
+      if (commit == 0) {
+        // The commit failed mid-flight — either the WAL just failed (the
+        // graph is read-only now) or the transaction itself errored.
+        if (graph_->read_only()) {
+          resp.status = WireStatus::kReadOnly;
+          resp.message = "graph is read-only: " + graph_->read_only_reason();
+        } else {
+          resp.status = WireStatus::kError;
+          resp.message = "update transaction failed to commit";
+        }
+        return resp;
+      }
+      graph_->MaybeCheckpoint();  // size-triggered WAL rotation
       // Read-your-writes: advance the session pin so the writer's next
       // reads observe its own update.
       Version prev = session->snapshot.load(std::memory_order_acquire);

@@ -5,6 +5,24 @@
 
 namespace ges {
 
+// Out of line for the WalWriter member (joins the interval flusher thread,
+// when one is running, before the graph's state goes away).
+Graph::~Graph() = default;
+
+std::string Graph::read_only_reason() const {
+  std::lock_guard<std::mutex> lock(read_only_mu_);
+  return read_only_reason_;
+}
+
+void Graph::EnterReadOnly(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(read_only_mu_);
+    if (read_only_.load(std::memory_order_relaxed)) return;
+    read_only_reason_ = cause.message();
+  }
+  read_only_.store(true, std::memory_order_release);
+}
+
 void Graph::RegisterRelation(LabelId src, LabelId edge, LabelId dst,
                              bool has_stamp) {
   RelationKey out_key{src, edge, dst, Direction::kOut};
@@ -335,12 +353,103 @@ void WriteTxn::SetProperty(VertexId v, PropertyId prop, Value val) {
   prop_ops_.emplace_back(v, std::make_pair(prop, std::move(val)));
 }
 
+std::vector<WalRecord> WriteTxn::BuildWalRecords(uint64_t txid) const {
+  std::vector<WalRecord> recs;
+  recs.reserve(new_vertices_.size() + prop_ops_.size() +
+               edge_ops_.size() / 2 + 2);
+  WalRecord begin;
+  begin.type = WalRecordType::kBeginTx;
+  begin.txid = txid;
+  recs.push_back(begin);
+
+  // Vertices are identified by (label, external id): VertexIds are not
+  // stable across snapshot save/load. Transaction-created vertices are
+  // resolved from the staged set (they are not yet visible).
+  Version snap = graph_->CurrentVersion();
+  auto ident = [&](VertexId v, LabelId* label, int64_t* ext) {
+    for (const VertexOp& nv : new_vertices_) {
+      if (nv.id == v) {
+        *label = nv.label;
+        *ext = nv.ext_id;
+        return;
+      }
+    }
+    *label = graph_->LabelOf(v, snap);
+    *ext = graph_->ExtIdOf(v, snap);
+  };
+
+  for (const VertexOp& nv : new_vertices_) {
+    WalRecord r;
+    r.type = WalRecordType::kInsertVertex;
+    r.label = nv.label;
+    r.ext_id = nv.ext_id;
+    recs.push_back(r);
+  }
+  // All property writes (of new and existing vertices alike) are logged as
+  // SetProperty records; CreateVertex props were staged into prop_ops_.
+  for (const auto& [v, pv] : prop_ops_) {
+    WalRecord r;
+    r.type = WalRecordType::kSetProperty;
+    ident(v, &r.label, &r.ext_id);
+    r.prop = pv.first;
+    r.value = pv.second;
+    recs.push_back(r);
+  }
+  // Each logical edge op was staged as an OUT + IN pair; log the OUT half
+  // only (replay re-derives both directions).
+  for (const EdgeOp& op : edge_ops_) {
+    const RelationKey& key = graph_->tables_[op.rel].table->key();
+    if (key.direction != Direction::kOut) continue;
+    WalRecord r;
+    r.type = op.remove ? WalRecordType::kDeleteTombstone
+                       : WalRecordType::kInsertEdge;
+    r.edge_label = key.edge_label;
+    ident(op.vertex, &r.src_label, &r.src_ext);
+    ident(op.neighbor, &r.dst_label, &r.dst_ext);
+    r.stamp = op.stamp;
+    recs.push_back(r);
+  }
+
+  WalRecord commit;
+  commit.type = WalRecordType::kCommitTx;
+  commit.txid = txid;
+  recs.push_back(commit);
+  return recs;
+}
+
 Version WriteTxn::Commit() {
+  Version version = 0;
+  Status s = Commit(&version);
+  return s.ok() ? version : 0;
+}
+
+Status WriteTxn::Commit(Version* commit_version) {
   VersionManager& vm = graph_->version_manager_;
+  if (graph_->read_only()) {
+    Abort();
+    return Status::Error("graph is read-only: " +
+                         graph_->read_only_reason());
+  }
+  const bool durable = graph_->wal_ != nullptr;
   Version version;
+  uint64_t lsn = 0;
   {
     std::lock_guard<std::mutex> commit_lock(vm.commit_mutex());
     version = vm.NextVersionLocked();
+
+    if (durable) {
+      // Log before publishing anything: if the append fails (disk full,
+      // EIO) the commit is rejected with no in-memory effect and the graph
+      // degrades to read-only. Appending under the commit mutex keeps log
+      // order identical to commit order.
+      Status s = graph_->wal_->AppendTxn(BuildWalRecords(version), &lsn);
+      if (!s.ok()) {
+        graph_->EnterReadOnly(s);
+        vm.UnlockStripes(locked_stripes_);
+        done_ = true;
+        return s;
+      }
+    }
 
     // Copy-on-write adjacency: group edge ops by (relation, vertex), copy
     // the newest list once, apply all ops, publish one new version.
@@ -425,7 +534,22 @@ Version WriteTxn::Commit() {
   }
   vm.UnlockStripes(locked_stripes_);
   done_ = true;
-  return version;
+
+  if (durable) {
+    // Group commit: block (policy permitting) until the log covers this
+    // transaction. The fsync happens outside the commit mutex, so other
+    // transactions keep committing while this one waits; one leader fsync
+    // releases every waiter it covers. On failure the transaction is
+    // already visible in memory but is NOT acknowledged — the graph goes
+    // read-only and after a crash the commit may legitimately be absent.
+    Status s = graph_->wal_->WaitDurable(lsn);
+    if (!s.ok()) {
+      graph_->EnterReadOnly(s);
+      return s;
+    }
+  }
+  *commit_version = version;
+  return Status::OK();
 }
 
 void WriteTxn::Abort() {

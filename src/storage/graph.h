@@ -23,16 +23,81 @@
 #include "storage/catalog.h"
 #include "storage/property_store.h"
 #include "storage/version_manager.h"
+#include "storage/wal.h"
 
 namespace ges {
 
 class WriteTxn;
 
+// Configuration for a durable graph directory (snapshot.ges + wal.log).
+struct DurabilityOptions {
+  WalOptions wal;
+  // Auto-checkpoint threshold: MaybeCheckpoint() rotates once the WAL
+  // exceeds this many bytes.
+  uint64_t checkpoint_wal_bytes = 64ull << 20;
+  // Override for fault injection; nullptr = FileSystem::Default().
+  FileSystem* fs = nullptr;
+};
+
+// What Graph::Open found while recovering (for logs and tests).
+struct RecoveryInfo {
+  Version snapshot_version = 0;   // version stored in the snapshot
+  uint64_t replayed_txns = 0;     // committed WAL txns applied
+  uint64_t skipped_txns = 0;      // already covered by the snapshot
+  uint64_t dangling_records = 0;  // records of an unfinished trailing txn
+  uint64_t truncated_bytes = 0;   // torn-tail bytes cut from the WAL
+};
+
 class Graph {
  public:
   Graph() = default;
+  ~Graph();
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
+
+  // --- durability (implemented in durability.cc; DESIGN.md §10) ---
+  // True if `dir` holds a snapshot a previous process checkpointed.
+  static bool SnapshotExists(const std::string& dir,
+                             FileSystem* fs = nullptr);
+
+  // Opens a durable graph directory: loads the latest valid snapshot,
+  // replays committed WAL transactions newer than it, truncates any torn
+  // tail, and attaches a WAL writer so subsequent commits are logged.
+  static Status Open(const std::string& dir, const DurabilityOptions& opts,
+                     std::unique_ptr<Graph>* out,
+                     RecoveryInfo* info = nullptr);
+
+  // Makes an existing (finalized) in-memory graph durable: creates `dir`,
+  // writes an initial checkpoint, and starts a fresh WAL.
+  Status EnableDurability(const std::string& dir,
+                          const DurabilityOptions& opts);
+
+  // Writes a new snapshot atomically (tmp + fsync + rename + dir fsync)
+  // and empties the WAL. Serializes with concurrent commits via the commit
+  // mutex and with other checkpoints via its own lock.
+  Status Checkpoint();
+
+  // Checkpoints only if the WAL outgrew the configured threshold and no
+  // other thread is already checkpointing. Returns OK when nothing to do.
+  Status MaybeCheckpoint();
+  bool ShouldCheckpoint() const;
+
+  bool durable() const { return wal_ != nullptr; }
+  uint64_t WalBytes() const { return wal_ ? wal_->SizeBytes() : 0; }
+  const std::string& data_dir() const { return data_dir_; }
+
+  // A WAL append/fsync failure (disk full, EIO) latches the graph
+  // read-only: reads keep working, further commits fail fast.
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+  std::string read_only_reason() const;
+
+  // Restores the global version counter after loading a snapshot that
+  // recorded it. Recovery-time only (no concurrent readers or writers).
+  void RestoreVersionForRecovery(Version v) {
+    version_manager_.AdvanceVersionLocked(v);
+  }
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -138,6 +203,12 @@ class Graph {
  private:
   friend class WriteTxn;
 
+  // Latches read-only mode with the failure that caused it (first wins).
+  void EnterReadOnly(const Status& cause);
+
+  // Snapshot + WAL rotation with checkpoint_mu_ already held.
+  Status CheckpointLocked();
+
   struct TableEntry {
     std::unique_ptr<AdjacencyTable> table;
     std::unique_ptr<AdjOverlay> overlay;
@@ -168,6 +239,15 @@ class Graph {
   VersionManager version_manager_;
   PropOverlay prop_overlay_;
   NewVertexRegistry new_vertices_;
+
+  // Durability state (null / empty for purely in-memory graphs).
+  std::unique_ptr<WalWriter> wal_;
+  DurabilityOptions dur_opts_;
+  std::string data_dir_;
+  std::atomic<bool> read_only_{false};
+  mutable std::mutex read_only_mu_;
+  std::string read_only_reason_;
+  std::mutex checkpoint_mu_;
 };
 
 // A single MV2PL write transaction. Stage operations, then Commit() (or
@@ -189,7 +269,14 @@ class WriteTxn {
   Status RemoveEdge(LabelId edge_label, VertexId src, VertexId dst);
   void SetProperty(VertexId v, PropertyId prop, Value val);
 
-  // Publishes all staged operations; returns the commit version.
+  // Publishes all staged operations. When the graph is durable, the
+  // transaction's WAL records are appended before publication and the call
+  // returns only after the commit is durable per the fsync policy; a WAL
+  // failure latches the graph read-only and fails the commit without
+  // publishing. `*commit_version` receives the commit version on success.
+  Status Commit(Version* commit_version);
+  // Legacy convenience: returns the commit version, or 0 on failure (0 is
+  // never a valid commit version).
   Version Commit();
   void Abort();
 
@@ -211,6 +298,10 @@ class WriteTxn {
     LabelId label;
     int64_t ext_id;
   };
+
+  // Synthesizes the WAL records describing this transaction's staged
+  // operations (vertices referenced by (label, ext id)).
+  std::vector<WalRecord> BuildWalRecords(uint64_t txid) const;
 
   Graph* graph_;
   std::vector<VertexId> write_set_;

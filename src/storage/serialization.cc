@@ -4,6 +4,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "common/crc32c.h"
 
 namespace ges {
 
@@ -11,8 +14,9 @@ namespace {
 
 constexpr char kMagicV1[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '1'};
 constexpr char kMagicV2[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '2'};
+constexpr char kMagicV3[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '3'};
 
-// V2 string-value subtags.
+// V2/V3 string-value subtags.
 constexpr uint8_t kStrInline = 0;  // length + bytes follow
 constexpr uint8_t kStrCode = 1;    // uint32 dictionary code follows
 
@@ -76,7 +80,7 @@ bool ReadString(std::istream& in, std::string* s) {
   return static_cast<bool>(in.read(s->data(), static_cast<std::streamsize>(n)));
 }
 
-// `dict` non-null => V2 encoding: string values carry a subtag and, when
+// `dict` non-null => V2/V3 encoding: string values carry a subtag and, when
 // the string is in the graph dictionary, are written as a uint32 code.
 void WriteValue(std::ostream& out, const Value& v, const StringDict* dict) {
   out.put(static_cast<char>(v.type()));
@@ -112,7 +116,8 @@ void WriteValue(std::ostream& out, const Value& v, const StringDict* dict) {
   }
 }
 
-// `dict` non-null => V2 decoding (the dictionary section already loaded).
+// `dict` non-null => V2/V3 decoding (the dictionary section already
+// loaded).
 bool ReadValue(std::istream& in, Value* v,
                const std::vector<std::string>* dict) {
   int tag = in.get();
@@ -176,29 +181,22 @@ bool ReadValue(std::istream& in, Value* v,
   return false;
 }
 
-}  // namespace
+// --- section writers, shared across formats. In V1/V2 the sections are
+// concatenated directly; in V3 each one is CRC32C-framed. ---
 
-Status SaveGraph(const Graph& graph, std::ostream& out,
-                 SnapshotFormat format) {
-  if (!graph.finalized()) {
-    return Status::InvalidArgument("graph must be finalized before saving");
+struct RelSpec {
+  LabelId src, edge, dst;
+  bool has_stamp;
+};
+
+void WriteDictSection(std::ostream& out, const StringDict& dict) {
+  WriteU64(out, dict.size());
+  for (uint32_t c = 0; c < dict.size(); ++c) {
+    WriteString(out, dict.Get(c));
   }
-  const Catalog& catalog = graph.catalog();
-  Version snap = graph.CurrentVersion();
-  const StringDict* dict =
-      format == SnapshotFormat::kV2 ? &graph.string_dict() : nullptr;
+}
 
-  out.write(format == SnapshotFormat::kV2 ? kMagicV2 : kMagicV1, 8);
-
-  // --- string dictionary (V2 only): codes 0..n-1 in order ---
-  if (dict != nullptr) {
-    WriteU64(out, dict->size());
-    for (uint32_t c = 0; c < dict->size(); ++c) {
-      WriteString(out, dict->Get(c));
-    }
-  }
-
-  // --- catalog ---
+void WriteCatalogSection(std::ostream& out, const Catalog& catalog) {
   WriteU64(out, catalog.num_vertex_labels());
   for (size_t l = 0; l < catalog.num_vertex_labels(); ++l) {
     WriteString(out, catalog.VertexLabelName(static_cast<LabelId>(l)));
@@ -213,9 +211,10 @@ Status SaveGraph(const Graph& graph, std::ostream& out,
   for (size_t l = 0; l < catalog.num_edge_labels(); ++l) {
     WriteString(out, catalog.EdgeLabelName(static_cast<LabelId>(l)));
   }
+}
 
-  // --- relations ---
-  std::vector<Graph::RelationInfo> rels = graph.Relations();
+void WriteRelationsSection(std::ostream& out,
+                           const std::vector<Graph::RelationInfo>& rels) {
   WriteU64(out, rels.size());
   for (const Graph::RelationInfo& r : rels) {
     WriteU64(out, r.key.src_label);
@@ -223,85 +222,73 @@ Status SaveGraph(const Graph& graph, std::ostream& out,
     WriteU64(out, r.key.dst_label);
     out.put(r.has_stamp ? 1 : 0);
   }
+}
 
-  // --- vertices with properties ---
-  for (size_t l = 0; l < catalog.num_vertex_labels(); ++l) {
-    LabelId label = static_cast<LabelId>(l);
-    std::vector<VertexId> vertices;
-    graph.ScanLabel(label, snap, &vertices);
-    WriteU64(out, vertices.size());
-    const auto& props = catalog.LabelProperties(label);
-    for (VertexId v : vertices) {
-      WriteI64(out, graph.ExtIdOf(v, snap));
-      for (const auto& [prop, type] : props) {
-        WriteValue(out, graph.GetProperty(v, prop, snap), dict);
+void WriteVertexSection(std::ostream& out, const Graph& graph, LabelId label,
+                        Version snap, const StringDict* dict) {
+  const auto& props = graph.catalog().LabelProperties(label);
+  std::vector<VertexId> vertices;
+  graph.ScanLabel(label, snap, &vertices);
+  WriteU64(out, vertices.size());
+  for (VertexId v : vertices) {
+    WriteI64(out, graph.ExtIdOf(v, snap));
+    for (const auto& [prop, type] : props) {
+      WriteValue(out, graph.GetProperty(v, prop, snap), dict);
+    }
+  }
+}
+
+void WriteEdgeSection(std::ostream& out, const Graph& graph,
+                      const Graph::RelationInfo& r, Version snap) {
+  RelationId rel = graph.FindRelation(r.key.src_label, r.key.edge_label,
+                                      r.key.dst_label, Direction::kOut);
+  std::vector<VertexId> sources;
+  graph.ScanLabel(r.key.src_label, snap, &sources);
+  // Count live edges first (tombstones are dropped by the snapshot).
+  uint64_t count = 0;
+  for (VertexId v : sources) {
+    AdjSpan span = graph.Neighbors(rel, v, snap);
+    for (uint32_t i = 0; i < span.size; ++i) {
+      if (span.ids[i] != kInvalidVertex) ++count;
+    }
+  }
+  WriteU64(out, count);
+  for (VertexId v : sources) {
+    AdjSpan span = graph.Neighbors(rel, v, snap);
+    int64_t src_ext = graph.ExtIdOf(v, snap);
+    for (uint32_t i = 0; i < span.size; ++i) {
+      if (span.ids[i] == kInvalidVertex) continue;
+      WriteI64(out, src_ext);
+      WriteI64(out, graph.ExtIdOf(span.ids[i], snap));
+      if (r.has_stamp) {
+        WriteI64(out, span.stamps == nullptr ? 0 : span.stamps[i]);
       }
     }
   }
+}
 
-  // --- edges (per OUT relation, endpoints as external ids) ---
-  for (const Graph::RelationInfo& r : rels) {
-    RelationId rel = graph.FindRelation(r.key.src_label, r.key.edge_label,
-                                        r.key.dst_label, Direction::kOut);
-    std::vector<VertexId> sources;
-    graph.ScanLabel(r.key.src_label, snap, &sources);
-    // Count live edges first (tombstones are dropped by the snapshot).
-    uint64_t count = 0;
-    for (VertexId v : sources) {
-      AdjSpan span = graph.Neighbors(rel, v, snap);
-      for (uint32_t i = 0; i < span.size; ++i) {
-        if (span.ids[i] != kInvalidVertex) ++count;
-      }
-    }
-    WriteU64(out, count);
-    for (VertexId v : sources) {
-      AdjSpan span = graph.Neighbors(rel, v, snap);
-      int64_t src_ext = graph.ExtIdOf(v, snap);
-      for (uint32_t i = 0; i < span.size; ++i) {
-        if (span.ids[i] == kInvalidVertex) continue;
-        WriteI64(out, src_ext);
-        WriteI64(out, graph.ExtIdOf(span.ids[i], snap));
-        if (r.has_stamp) {
-          WriteI64(out, span.stamps == nullptr ? 0 : span.stamps[i]);
-        }
-      }
+// --- section parsers, shared across formats ---
+
+Status ParseDictSection(std::istream& in, std::vector<std::string>* out) {
+  uint64_t n;
+  if (!ReadU64(in, &n)) return Status::Error("truncated dictionary");
+  if (n > (1u << 31)) return Status::Error("dictionary too large");
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!ReadString(in, &(*out)[i])) {
+      return Status::Error("truncated dictionary entry");
     }
   }
-  if (!out) return Status::Error("write failure");
   return Status::OK();
 }
 
-Status LoadGraph(std::istream& in, Graph* graph) {
-  char magic[8];
-  if (!in.read(magic, 8)) {
-    return Status::InvalidArgument("not a GES snapshot (bad magic)");
-  }
-  bool v2 = std::memcmp(magic, kMagicV2, 8) == 0;
-  if (!v2 && std::memcmp(magic, kMagicV1, 8) != 0) {
-    return Status::InvalidArgument("not a GES snapshot (bad magic)");
-  }
+Status ParseCatalogSection(
+    std::istream& in, Graph* graph,
+    std::vector<std::vector<std::pair<PropertyId, ValueType>>>* label_props) {
   Catalog& catalog = graph->catalog();
-
-  // --- string dictionary (V2 only) ---
-  std::vector<std::string> dict_strings;
-  if (v2) {
-    uint64_t n;
-    if (!ReadU64(in, &n)) return Status::Error("truncated dictionary");
-    if (n > (1u << 31)) return Status::Error("dictionary too large");
-    dict_strings.resize(n);
-    for (uint64_t i = 0; i < n; ++i) {
-      if (!ReadString(in, &dict_strings[i])) {
-        return Status::Error("truncated dictionary entry");
-      }
-    }
-  }
-  const std::vector<std::string>* dict = v2 ? &dict_strings : nullptr;
-
-  // --- catalog ---
   uint64_t num_vlabels;
   if (!ReadU64(in, &num_vlabels)) return Status::Error("truncated header");
-  std::vector<std::vector<std::pair<PropertyId, ValueType>>> label_props(
-      num_vlabels);
+  label_props->resize(num_vlabels);
   for (uint64_t l = 0; l < num_vlabels; ++l) {
     std::string name;
     if (!ReadString(in, &name)) return Status::Error("truncated label");
@@ -315,7 +302,7 @@ Status LoadGraph(std::istream& in, Graph* graph) {
       if (tag < 0) return Status::Error("truncated prop type");
       PropertyId prop =
           catalog.AddProperty(label, pname, static_cast<ValueType>(tag));
-      label_props[l].emplace_back(prop, static_cast<ValueType>(tag));
+      (*label_props)[l].emplace_back(prop, static_cast<ValueType>(tag));
     }
   }
   uint64_t num_elabels;
@@ -325,15 +312,13 @@ Status LoadGraph(std::istream& in, Graph* graph) {
     if (!ReadString(in, &name)) return Status::Error("truncated edge label");
     catalog.AddEdgeLabel(name);
   }
+  return Status::OK();
+}
 
-  // --- relations ---
+Status ParseRelationsSection(std::istream& in, Graph* graph,
+                             std::vector<RelSpec>* rels) {
   uint64_t num_rels;
   if (!ReadU64(in, &num_rels)) return Status::Error("truncated");
-  struct RelSpec {
-    LabelId src, edge, dst;
-    bool has_stamp;
-  };
-  std::vector<RelSpec> rels;
   for (uint64_t r = 0; r < num_rels; ++r) {
     uint64_t src, edge, dst;
     if (!ReadU64(in, &src) || !ReadU64(in, &edge) || !ReadU64(in, &dst)) {
@@ -344,48 +329,229 @@ Status LoadGraph(std::istream& in, Graph* graph) {
     RelSpec spec{static_cast<LabelId>(src), static_cast<LabelId>(edge),
                  static_cast<LabelId>(dst), has_stamp != 0};
     graph->RegisterRelation(spec.src, spec.edge, spec.dst, spec.has_stamp);
-    rels.push_back(spec);
+    rels->push_back(spec);
   }
+  return Status::OK();
+}
 
-  // --- vertices ---
-  for (uint64_t l = 0; l < num_vlabels; ++l) {
-    uint64_t count;
-    if (!ReadU64(in, &count)) return Status::Error("truncated vertices");
-    for (uint64_t i = 0; i < count; ++i) {
-      int64_t ext;
-      if (!ReadI64(in, &ext)) return Status::Error("truncated vertex");
-      VertexId v = graph->AddVertexBulk(static_cast<LabelId>(l), ext);
-      for (const auto& [prop, type] : label_props[l]) {
-        Value value;
-        if (!ReadValue(in, &value, dict)) {
-          return Status::Error("truncated value");
-        }
-        if (!value.is_null()) graph->SetPropertyBulk(v, prop, value);
+Status ParseVertexSection(
+    std::istream& in, Graph* graph, LabelId label,
+    const std::vector<std::pair<PropertyId, ValueType>>& props,
+    const std::vector<std::string>* dict) {
+  uint64_t count;
+  if (!ReadU64(in, &count)) return Status::Error("truncated vertices");
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t ext;
+    if (!ReadI64(in, &ext)) return Status::Error("truncated vertex");
+    VertexId v = graph->AddVertexBulk(label, ext);
+    for (const auto& [prop, type] : props) {
+      Value value;
+      if (!ReadValue(in, &value, dict)) {
+        return Status::Error("truncated value");
       }
+      if (!value.is_null()) graph->SetPropertyBulk(v, prop, value);
     }
   }
+  return Status::OK();
+}
 
-  // --- edges ---
+Status ParseEdgeSection(std::istream& in, Graph* graph, const RelSpec& spec) {
+  uint64_t count;
+  if (!ReadU64(in, &count)) return Status::Error("truncated edges");
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t src_ext, dst_ext, stamp = 0;
+    if (!ReadI64(in, &src_ext) || !ReadI64(in, &dst_ext)) {
+      return Status::Error("truncated edge");
+    }
+    if (spec.has_stamp && !ReadI64(in, &stamp)) {
+      return Status::Error("truncated stamp");
+    }
+    VertexId src = graph->FindByExtId(spec.src, src_ext, 0);
+    VertexId dst = graph->FindByExtId(spec.dst, dst_ext, 0);
+    if (src == kInvalidVertex || dst == kInvalidVertex) {
+      return Status::Error("edge references unknown vertex");
+    }
+    graph->AddEdgeBulk(spec.edge, src, dst, stamp);
+  }
+  return Status::OK();
+}
+
+// --- V3 section framing: [u64 len][u32 crc32c(bytes)][bytes] ---
+
+void WriteFramed(std::ostream& out, const std::string& payload) {
+  WriteU64(out, payload.size());
+  WriteU32(out, Crc32c(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+Status SectionError(const std::string& name, const std::string& what) {
+  return Status::Error("snapshot section '" + name + "' " + what);
+}
+
+Status ReadFramed(std::istream& in, const std::string& name,
+                  std::string* buf) {
+  uint64_t len;
+  uint32_t crc;
+  if (!ReadU64(in, &len) || !ReadU32(in, &crc)) {
+    return SectionError(name, "truncated (missing frame header)");
+  }
+  if (len > (1ull << 33)) return SectionError(name, "implausibly large");
+  buf->resize(len);
+  if (len > 0 &&
+      !in.read(buf->data(), static_cast<std::streamsize>(len))) {
+    return SectionError(name, "truncated");
+  }
+  if (Crc32c(*buf) != crc) {
+    return SectionError(name, "corrupt (CRC32C mismatch)");
+  }
+  return Status::OK();
+}
+
+std::string EdgeSectionName(const Catalog& catalog, const RelSpec& spec) {
+  return std::string("edges[") + catalog.VertexLabelName(spec.src) + "-" +
+         catalog.EdgeLabelName(spec.edge) + "->" +
+         catalog.VertexLabelName(spec.dst) + "]";
+}
+
+}  // namespace
+
+Status SaveGraph(const Graph& graph, std::ostream& out,
+                 SnapshotFormat format) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized before saving");
+  }
+  const Catalog& catalog = graph.catalog();
+  Version snap = graph.CurrentVersion();
+  const StringDict* dict =
+      format == SnapshotFormat::kV1 ? nullptr : &graph.string_dict();
+  std::vector<Graph::RelationInfo> rels = graph.Relations();
+
+  switch (format) {
+    case SnapshotFormat::kV1:
+      out.write(kMagicV1, 8);
+      break;
+    case SnapshotFormat::kV2:
+      out.write(kMagicV2, 8);
+      break;
+    case SnapshotFormat::kV3:
+      out.write(kMagicV3, 8);
+      break;
+  }
+
+  if (format == SnapshotFormat::kV3) {
+    auto framed = [&out](auto&& fill) {
+      std::ostringstream section;
+      fill(section);
+      WriteFramed(out, section.str());
+    };
+    // Header: the snapshot version, restored on load so recovery can skip
+    // WAL transactions already folded into this snapshot.
+    framed([&](std::ostream& s) { WriteU64(s, snap); });
+    framed([&](std::ostream& s) { WriteDictSection(s, *dict); });
+    framed([&](std::ostream& s) { WriteCatalogSection(s, catalog); });
+    framed([&](std::ostream& s) { WriteRelationsSection(s, rels); });
+    for (size_t l = 0; l < catalog.num_vertex_labels(); ++l) {
+      framed([&](std::ostream& s) {
+        WriteVertexSection(s, graph, static_cast<LabelId>(l), snap, dict);
+      });
+    }
+    for (const Graph::RelationInfo& r : rels) {
+      framed([&](std::ostream& s) { WriteEdgeSection(s, graph, r, snap); });
+    }
+  } else {
+    if (dict != nullptr) WriteDictSection(out, *dict);
+    WriteCatalogSection(out, catalog);
+    WriteRelationsSection(out, rels);
+    for (size_t l = 0; l < catalog.num_vertex_labels(); ++l) {
+      WriteVertexSection(out, graph, static_cast<LabelId>(l), snap, dict);
+    }
+    for (const Graph::RelationInfo& r : rels) {
+      WriteEdgeSection(out, graph, r, snap);
+    }
+  }
+  if (!out) return Status::Error("write failure");
+  return Status::OK();
+}
+
+Status LoadGraph(std::istream& in, Graph* graph) {
+  char magic[8];
+  if (!in.read(magic, 8)) {
+    return Status::InvalidArgument("not a GES snapshot (bad magic)");
+  }
+  bool v3 = std::memcmp(magic, kMagicV3, 8) == 0;
+  bool v2 = std::memcmp(magic, kMagicV2, 8) == 0;
+  if (!v3 && !v2 && std::memcmp(magic, kMagicV1, 8) != 0) {
+    return Status::InvalidArgument("not a GES snapshot (bad magic)");
+  }
+
+  std::vector<std::string> dict_strings;
+  const std::vector<std::string>* dict =
+      (v2 || v3) ? &dict_strings : nullptr;
+  std::vector<std::vector<std::pair<PropertyId, ValueType>>> label_props;
+  std::vector<RelSpec> rels;
+
+  if (v3) {
+    // Every section is read fully, CRC-verified, then parsed; any framing
+    // or parse failure names the section instead of loading partial data.
+    auto section = [&in](const std::string& name, auto&& parse) -> Status {
+      std::string buf;
+      GES_RETURN_IF_ERROR(ReadFramed(in, name, &buf));
+      std::istringstream sec(buf);
+      Status s = parse(sec);
+      if (!s.ok()) {
+        return SectionError(name, "invalid: " + s.message());
+      }
+      return Status::OK();
+    };
+
+    uint64_t snapshot_version = 0;
+    GES_RETURN_IF_ERROR(section("header", [&](std::istream& s) {
+      return ReadU64(s, &snapshot_version)
+                 ? Status::OK()
+                 : Status::Error("missing snapshot version");
+    }));
+    GES_RETURN_IF_ERROR(section("dict", [&](std::istream& s) {
+      return ParseDictSection(s, &dict_strings);
+    }));
+    GES_RETURN_IF_ERROR(section("catalog", [&](std::istream& s) {
+      return ParseCatalogSection(s, graph, &label_props);
+    }));
+    GES_RETURN_IF_ERROR(section("relations", [&](std::istream& s) {
+      return ParseRelationsSection(s, graph, &rels);
+    }));
+    const Catalog& catalog = graph->catalog();
+    for (uint64_t l = 0; l < label_props.size(); ++l) {
+      LabelId label = static_cast<LabelId>(l);
+      std::string name =
+          std::string("vertices[") + catalog.VertexLabelName(label) + "]";
+      GES_RETURN_IF_ERROR(section(name, [&](std::istream& s) {
+        return ParseVertexSection(s, graph, label, label_props[l], dict);
+      }));
+    }
+    for (const RelSpec& spec : rels) {
+      GES_RETURN_IF_ERROR(
+          section(EdgeSectionName(catalog, spec), [&](std::istream& s) {
+            return ParseEdgeSection(s, graph, spec);
+          }));
+    }
+    graph->FinalizeBulk();
+    graph->RestoreVersionForRecovery(snapshot_version);
+    return Status::OK();
+  }
+
+  // Legacy V1/V2: the same sections, concatenated without framing.
+  if (v2) {
+    GES_RETURN_IF_ERROR(ParseDictSection(in, &dict_strings));
+  }
+  GES_RETURN_IF_ERROR(ParseCatalogSection(in, graph, &label_props));
+  GES_RETURN_IF_ERROR(ParseRelationsSection(in, graph, &rels));
+  for (uint64_t l = 0; l < label_props.size(); ++l) {
+    GES_RETURN_IF_ERROR(ParseVertexSection(
+        in, graph, static_cast<LabelId>(l), label_props[l], dict));
+  }
   for (const RelSpec& spec : rels) {
-    uint64_t count;
-    if (!ReadU64(in, &count)) return Status::Error("truncated edges");
-    for (uint64_t i = 0; i < count; ++i) {
-      int64_t src_ext, dst_ext, stamp = 0;
-      if (!ReadI64(in, &src_ext) || !ReadI64(in, &dst_ext)) {
-        return Status::Error("truncated edge");
-      }
-      if (spec.has_stamp && !ReadI64(in, &stamp)) {
-        return Status::Error("truncated stamp");
-      }
-      VertexId src = graph->FindByExtId(spec.src, src_ext, 0);
-      VertexId dst = graph->FindByExtId(spec.dst, dst_ext, 0);
-      if (src == kInvalidVertex || dst == kInvalidVertex) {
-        return Status::Error("edge references unknown vertex");
-      }
-      graph->AddEdgeBulk(spec.edge, src, dst, stamp);
-    }
+    GES_RETURN_IF_ERROR(ParseEdgeSection(in, graph, spec));
   }
-
   graph->FinalizeBulk();
   return Status::OK();
 }

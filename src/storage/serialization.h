@@ -8,12 +8,19 @@
 // Overlay versions are folded into the snapshot (the save captures the
 // graph as of Graph::CurrentVersion()).
 //
-// Two on-disk formats (DESIGN.md §9):
+// Three on-disk formats (DESIGN.md §9, §10):
 //  * "GESSNAP1" — every string value inline (length + bytes);
 //  * "GESSNAP2" — the per-graph string dictionary is written once after
 //    the magic, and string values carry a subtag: 0 = inline bytes,
-//    1 = uint32 dictionary code. Saves default to V2; the loader accepts
-//    both magics transparently.
+//    1 = uint32 dictionary code;
+//  * "GESSNAP3" — V2's encoding, but every section (header, dict, catalog,
+//    relations, per-label vertices, per-relation edges) is framed as
+//    [u64 len][u32 crc32c][bytes] and verified on load, and a header
+//    section records the snapshot version so recovery can skip WAL
+//    transactions the snapshot already contains. Corrupted or truncated
+//    V3 snapshots fail with a Status naming the offending section.
+// Saves default to V3; the loader accepts all three magics transparently
+// (legacy footerless files keep working).
 #ifndef GES_STORAGE_SERIALIZATION_H_
 #define GES_STORAGE_SERIALIZATION_H_
 
@@ -28,13 +35,14 @@ namespace ges {
 enum class SnapshotFormat : uint8_t {
   kV1 = 1,  // legacy: inline strings ("GESSNAP1")
   kV2 = 2,  // dictionary section + coded strings ("GESSNAP2")
+  kV3 = 3,  // CRC32C-framed sections + snapshot version ("GESSNAP3")
 };
 
 // Serializes `graph` (which must be finalized) into `out`.
 Status SaveGraph(const Graph& graph, std::ostream& out,
-                 SnapshotFormat format = SnapshotFormat::kV2);
+                 SnapshotFormat format = SnapshotFormat::kV3);
 Status SaveGraphFile(const Graph& graph, const std::string& path,
-                     SnapshotFormat format = SnapshotFormat::kV2);
+                     SnapshotFormat format = SnapshotFormat::kV3);
 
 // Deserializes into `graph`, which must be freshly constructed (no schema,
 // no data). The loaded graph is finalized and ready for reads and MV2PL

@@ -1,0 +1,240 @@
+// service::Client transient-failure handling: bounded reconnect with
+// exponential backoff + jitter, read retry after a mid-stream EOF, and the
+// non-idempotent-update exception (an update that was delivered but never
+// acknowledged must NOT be retried). Uses a scripted fake server speaking
+// just enough of the wire protocol to fail at the right moment.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "service/client.h"
+#include "service/protocol.h"
+
+namespace ges::service {
+namespace {
+
+// Listening socket on a loopback port (ephemeral unless `port` given).
+class Listener {
+ public:
+  explicit Listener(uint16_t port = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~Listener() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);  // wakes a thread blocked in accept()
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int Accept() { return ::accept(fd_, nullptr, nullptr); }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Reads the kHello frame and answers kHelloOk. Returns false on EOF/garbage.
+bool Handshake(int conn) {
+  std::string payload;
+  if (ReadFrame(conn, &payload) != ReadResult::kOk) return false;
+  WireReader in(payload);
+  if (static_cast<MsgType>(in.GetU8()) != MsgType::kHello) return false;
+  WireBuf ok;
+  ok.PutU8(static_cast<uint8_t>(MsgType::kHelloOk));
+  ok.PutU64(1);  // session id
+  ok.PutU64(0);  // snapshot version
+  return WriteFrame(conn, ok.data());
+}
+
+// Reads one kQuery frame; returns false on EOF or a non-query frame (kBye).
+bool ReadQuery(int conn, QueryRequest* req) {
+  std::string payload;
+  if (ReadFrame(conn, &payload) != ReadResult::kOk) return false;
+  WireReader in(payload);
+  if (static_cast<MsgType>(in.GetU8()) != MsgType::kQuery) return false;
+  return DecodeQueryRequest(&in, req);
+}
+
+void ReplyOk(int conn, uint64_t query_id) {
+  QueryResponse resp;
+  resp.query_id = query_id;
+  resp.status = WireStatus::kOk;
+  WriteFrame(conn, EncodeQueryResponse(resp));
+}
+
+// Grabs an ephemeral port that nothing listens on (bind + close).
+uint16_t FreePort() {
+  Listener l;
+  uint16_t port = l.port();
+  return port;  // l closes; the port is now refused (modulo reuse races)
+}
+
+TEST(ClientRetryTest, NoRetryByDefault) {
+  uint16_t port = FreePort();
+  Client c;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(c.Connect("127.0.0.1", port));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  // Default policy: a single attempt, no backoff sleeps.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_NE(c.last_error().find("connect"), std::string::npos)
+      << c.last_error();
+}
+
+TEST(ClientRetryTest, ConnectBacksOffBetweenRefusals) {
+  uint16_t port = FreePort();
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 2;
+  p.base_backoff_ms = 40;
+  c.set_retry_policy(p);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(c.Connect("127.0.0.1", port));
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  // Two backoffs of jittered [20,40] + [40,80] ms: at least ~60ms total.
+  EXPECT_GE(ms, 55);
+}
+
+TEST(ClientRetryTest, ConnectSucceedsOnceServerComesUp) {
+  // Reserve a port, then leave it refusing connections until the "server"
+  // comes up late — the client's first attempts must be refused and
+  // retried, not queued in a backlog.
+  uint16_t port = FreePort();
+  std::thread server([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Listener listener(port);
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    EXPECT_TRUE(Handshake(conn));
+    std::string payload;
+    ReadFrame(conn, &payload);  // drain the Bye, if any
+    ::close(conn);
+  });
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 5;
+  p.base_backoff_ms = 20;
+  c.set_retry_policy(p);
+  EXPECT_TRUE(c.Connect("127.0.0.1", port));
+  EXPECT_TRUE(c.connected());
+  c.Close();
+  server.join();
+}
+
+TEST(ClientRetryTest, ReadRetriedAfterMidStreamEof) {
+  Listener listener;
+  std::atomic<int> queries_seen{0};
+  std::thread server([&listener, &queries_seen] {
+    // First connection: handshake, swallow the query, die without a reply.
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ::close(conn);  // mid-stream EOF: delivered but unanswered
+    // Second connection (the retry): behave.
+    conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ReplyOk(conn, req.query_id);
+    std::string payload;
+    ReadFrame(conn, &payload);  // drain the Bye, if any
+    ::close(conn);
+  });
+
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 3;
+  p.base_backoff_ms = 5;
+  c.set_retry_policy(p);
+  ASSERT_TRUE(c.Connect("127.0.0.1", listener.port()));
+
+  // A read (kIS) is idempotent: the client must transparently reconnect
+  // and re-send it after the first connection dies.
+  QueryRequest req;
+  req.query_id = c.AllocQueryId();
+  req.kind = QueryKind::kIS;
+  req.number = 1;
+  QueryResponse resp;
+  EXPECT_TRUE(c.Run(req, &resp)) << c.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(queries_seen.load(), 2);
+  c.Close();
+  server.join();
+}
+
+TEST(ClientRetryTest, AmbiguousUpdateIsNeverRetried) {
+  Listener listener;
+  std::atomic<int> queries_seen{0};
+  std::atomic<bool> done{false};
+  std::thread server([&listener, &queries_seen, &done] {
+    // Swallow the update and die. Then keep accepting: if the client
+    // (incorrectly) retried, we would see a second query frame.
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ::close(conn);
+    while (!done.load()) {
+      int extra = listener.Accept();
+      if (extra < 0) break;  // listener closed: test is over
+      if (Handshake(extra) && ReadQuery(extra, &req)) {
+        queries_seen.fetch_add(1);
+      }
+      ::close(extra);
+    }
+  });
+
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 3;  // retries are ON — the update must still not retry
+  p.base_backoff_ms = 5;
+  c.set_retry_policy(p);
+  ASSERT_TRUE(c.Connect("127.0.0.1", listener.port()));
+
+  QueryResponse resp;
+  EXPECT_FALSE(c.RunIU(1, /*seed=*/42, &resp));
+  EXPECT_NE(c.last_error().find("ambiguous"), std::string::npos)
+      << c.last_error();
+  EXPECT_EQ(queries_seen.load(), 1) << "ambiguous update was re-sent";
+
+  done.store(true);
+  listener.Close();  // unblocks the accept loop
+  server.join();
+}
+
+}  // namespace
+}  // namespace ges::service
