@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
 namespace ges {
 
@@ -71,9 +72,22 @@ class QueryContext {
         .count();
   }
 
+  // Attaches the query's snapshot registration (a type-erased
+  // storage SnapshotHandle — runtime stays independent of the storage
+  // layer) so the MVCC GC watermark cannot pass the query's snapshot while
+  // any morsel worker might still read it. Released when the context is
+  // destroyed, i.e. strictly after the last checkpointed read. Set once,
+  // before execution starts; not thread-safe against concurrent readers of
+  // the pin itself (none exist — only the destructor touches it).
+  void HoldSnapshotPin(std::shared_ptr<void> pin) {
+    snapshot_pin_ = std::move(pin);
+  }
+  bool holds_snapshot_pin() const { return snapshot_pin_ != nullptr; }
+
  private:
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_ns_{0};  // 0 = no deadline
+  std::shared_ptr<void> snapshot_pin_;
 };
 
 // Thrown from cancellation checkpoints; converted to QueryResult::interrupted

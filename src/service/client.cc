@@ -256,7 +256,7 @@ bool Client::Ping() {
   return ReadExpected(MsgType::kPong, &payload);
 }
 
-bool Client::Checkpoint(std::string* detail) {
+bool Client::Checkpoint(std::string* detail, CheckpointInfo* info) {
   WireBuf b;
   b.PutU8(static_cast<uint8_t>(MsgType::kCheckpoint));
   if (!SendFrame(b.data())) return false;
@@ -267,6 +267,17 @@ bool Client::Checkpoint(std::string* detail) {
   bool ok = in.GetU8() != 0;
   std::string message = in.GetString();
   if (!in.ok()) return Fail("malformed CheckpointOk");
+  if (info != nullptr) {
+    *info = CheckpointInfo{};
+    if (!in.AtEnd()) {
+      // Newer servers append GC telemetry; an old server's frame simply
+      // ends here and the zero-initialized info is returned.
+      info->versions_pruned = in.GetU64();
+      info->overlay_bytes = in.GetU64();
+      info->watermark = in.GetU64();
+      if (!in.ok()) return Fail("malformed CheckpointOk gc fields");
+    }
+  }
   if (detail != nullptr) *detail = message;
   if (!ok) error_ = message;  // clean refusal; connection stays usable
   return ok;

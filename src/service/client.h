@@ -31,6 +31,14 @@ struct RetryPolicy {
   int max_backoff_ms = 1000;
 };
 
+// GC telemetry a kCheckpointOk frame carries (see protocol.h); all-zero
+// when talking to a server that predates the trailing fields.
+struct CheckpointInfo {
+  uint64_t versions_pruned = 0;  // lifetime chain entries reclaimed
+  uint64_t overlay_bytes = 0;    // live overlay bytes after the command
+  uint64_t watermark = 0;        // oldest-active-snapshot watermark
+};
+
 class Client {
  public:
   Client() = default;
@@ -76,8 +84,10 @@ class Client {
   // Admin: asks a durable server to checkpoint (snapshot + WAL truncate).
   // Returns true when the checkpoint completed; on a clean refusal (e.g.
   // non-durable server) returns false with `*detail` explaining why and
-  // the connection still usable.
-  bool Checkpoint(std::string* detail = nullptr);
+  // the connection still usable. `*info`, when provided, receives the GC
+  // telemetry newer servers append to kCheckpointOk (zeros from an old
+  // server) — usable as a stats probe even against non-durable servers.
+  bool Checkpoint(std::string* detail = nullptr, CheckpointInfo* info = nullptr);
 
   // --- pipelining (open-loop load generation) ---------------------------
 

@@ -48,6 +48,12 @@ void Usage(const char* argv0) {
       "  --policy P         admission policy: prio | fifo (default prio)\n"
       "  --max-connections N  concurrent session limit (default 64)\n"
       "  --idle-timeout S   reap sessions idle for S seconds (default off)\n"
+      "  --gc-interval S    MVCC version-chain GC cadence in seconds\n"
+      "                     (default 1; 0 disables interval-driven GC)\n"
+      "  --gc-trigger-mb N  prune immediately once overlay garbage exceeds\n"
+      "                     N MiB (default 32; 0 disables the byte trigger)\n"
+      "  --watermark-alert S  log + export a session holding the GC\n"
+      "                     watermark longer than S seconds (default 30)\n"
       "  --grace S          drain grace period on shutdown (default 5)\n"
       "  --data-dir DIR     durable store directory (snapshot + WAL);\n"
       "                     recovers from it on restart (default: in-memory)\n"
@@ -104,6 +110,12 @@ int main(int argc, char** argv) {
       config.max_connections = std::atoi(next());
     } else if (arg == "--idle-timeout") {
       config.idle_timeout_seconds = std::atof(next());
+    } else if (arg == "--gc-interval") {
+      config.gc_interval_seconds = std::atof(next());
+    } else if (arg == "--gc-trigger-mb") {
+      config.gc_trigger_bytes = static_cast<size_t>(std::atoll(next())) << 20;
+    } else if (arg == "--watermark-alert") {
+      config.watermark_alert_seconds = std::atof(next());
     } else if (arg == "--grace") {
       grace = std::atof(next());
     } else if (arg == "--data-dir") {

@@ -46,7 +46,10 @@ enum class MsgType : uint8_t {
   kSnapshotOk = 21,  // body: u64 snapshot version
   kPong = 22,
   kByeOk = 23,
-  kCheckpointOk = 24,  // body: u8 ok, string detail (why not, if !ok)
+  // Body: u8 ok, string detail (why not, if !ok), then trailing GC
+  // telemetry appended by newer servers (old clients simply stop reading):
+  // u64 versions_pruned (lifetime), u64 overlay_bytes, u64 watermark.
+  kCheckpointOk = 24,
 };
 
 // Status embedded in kResult / kError frames.

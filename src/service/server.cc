@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "common/timer.h"
@@ -24,7 +25,14 @@ std::string ServiceStats::ToString() const {
      << "\nqueries: received=" << queries_received.load()
      << " ok=" << queries_ok.load() << " rejected=" << queries_rejected.load()
      << " interrupted=" << queries_interrupted.load()
-     << " error=" << queries_error.load();
+     << " error=" << queries_error.load()
+     << "\ngc: runs=" << gc_runs.load()
+     << " versions_pruned=" << versions_pruned.load()
+     << " bytes_reclaimed=" << gc_bytes_reclaimed.load()
+     << " overlay_bytes=" << overlay_bytes.load()
+     << " watermark=" << gc_watermark.load()
+     << " watermark_held_by_session=" << watermark_held_by_session.load()
+     << " stalls=" << watermark_stalls.load();
   return os.str();
 }
 
@@ -179,8 +187,13 @@ void Server::AcceptLoop() {
 
     auto session = std::make_shared<Session>();
     session->fd = fd;
-    session->snapshot.store(graph_->CurrentVersion(),
-                            std::memory_order_release);
+    // Pin + snapshot are set from the same registration, so the session's
+    // reads are GC-protected from the first frame on.
+    SnapshotHandle pin = graph_->PinSnapshot();
+    session->snapshot.store(pin.version(), std::memory_order_release);
+    session->pin = std::move(pin);
+    session->pinned_at_ns.store(QueryContext::NowNanos(),
+                                std::memory_order_release);
     session->last_active_ns.store(QueryContext::NowNanos(),
                                   std::memory_order_release);
     {
@@ -196,31 +209,124 @@ void Server::AcceptLoop() {
 }
 
 void Server::ReaperLoop() {
+  // The reaper doubles as the MVCC GC driver: GC cadence is deliberately
+  // NOT tied to idle_timeout_seconds (the default 0 disables idle reaping
+  // only), so a server that never reaps sessions still collects garbage.
+  int64_t last_gc_ns = QueryContext::NowNanos();
   while (!stop_reaper_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     ReapDoneSessions();
-    if (config_.idle_timeout_seconds <= 0) continue;
-    int64_t now = QueryContext::NowNanos();
-    int64_t limit =
-        static_cast<int64_t>(config_.idle_timeout_seconds * 1e9);
+    ReapIdleSessions();
+    MaybeRunGc(&last_gc_ns);
+    CheckWatermarkStall();
+  }
+}
+
+void Server::ReapIdleSessions() {
+  if (config_.idle_timeout_seconds <= 0) return;
+  int64_t now = QueryContext::NowNanos();
+  int64_t limit = static_cast<int64_t>(config_.idle_timeout_seconds * 1e9);
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  for (auto& [id, entry] : sessions_) {
+    Session& s = *entry.session;
+    if (s.done.load(std::memory_order_acquire)) continue;
+    bool idle;
+    {
+      std::lock_guard<std::mutex> plk(s.pending_mu);
+      idle = s.pending == 0;
+    }
+    if (idle &&
+        now - s.last_active_ns.load(std::memory_order_acquire) > limit) {
+      // Force EOF on the connection thread; it performs the cleanup.
+      ::shutdown(s.fd, SHUT_RDWR);
+      s.last_active_ns.store(now, std::memory_order_release);  // once
+      stats_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Server::MaybeRunGc(int64_t* last_gc_ns) {
+  int64_t now = QueryContext::NowNanos();
+  bool interval_due =
+      config_.gc_interval_seconds > 0 &&
+      now - *last_gc_ns >=
+          static_cast<int64_t>(config_.gc_interval_seconds * 1e9);
+  bool bytes_due = config_.gc_trigger_bytes > 0 &&
+                   graph_->OverlayBytes() >= config_.gc_trigger_bytes;
+  if (!interval_due && !bytes_due) return;
+  *last_gc_ns = now;
+  GcStats gc = graph_->PruneVersions();
+  stats_.gc_runs.fetch_add(1, std::memory_order_relaxed);
+  stats_.versions_pruned.fetch_add(gc.entries_pruned,
+                                   std::memory_order_relaxed);
+  stats_.gc_bytes_reclaimed.fetch_add(gc.bytes_reclaimed,
+                                      std::memory_order_relaxed);
+  stats_.gc_watermark.store(gc.watermark, std::memory_order_relaxed);
+  stats_.overlay_bytes.store(graph_->OverlayBytes(),
+                             std::memory_order_relaxed);
+}
+
+void Server::CheckWatermarkStall() {
+  if (config_.watermark_alert_seconds <= 0) return;
+  int64_t now = QueryContext::NowNanos();
+  uint64_t holder = 0;
+  Version oldest = 0;
+  int64_t pinned_at = 0;
+  {
     std::lock_guard<std::mutex> lk(sessions_mu_);
     for (auto& [id, entry] : sessions_) {
       Session& s = *entry.session;
       if (s.done.load(std::memory_order_acquire)) continue;
-      bool idle;
-      {
-        std::lock_guard<std::mutex> plk(s.pending_mu);
-        idle = s.pending == 0;
-      }
-      if (idle &&
-          now - s.last_active_ns.load(std::memory_order_acquire) > limit) {
-        // Force EOF on the connection thread; it performs the cleanup.
-        ::shutdown(s.fd, SHUT_RDWR);
-        s.last_active_ns.store(now, std::memory_order_release);  // once
-        stats_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> sl(s.snap_mu);
+      if (!s.pin.valid()) continue;
+      if (holder == 0 || s.pin.version() < oldest) {
+        holder = id;
+        oldest = s.pin.version();
+        pinned_at = s.pinned_at_ns.load(std::memory_order_acquire);
       }
     }
   }
+  // Only a pin that actually trails the version counter holds garbage
+  // hostage; an idle server at a stable version stalls nothing.
+  if (holder == 0 || oldest >= graph_->CurrentVersion() ||
+      now - pinned_at <
+          static_cast<int64_t>(config_.watermark_alert_seconds * 1e9)) {
+    stats_.watermark_held_by_session.store(0, std::memory_order_relaxed);
+    stall_logged_session_ = 0;
+    return;
+  }
+  stats_.watermark_held_by_session.store(holder, std::memory_order_relaxed);
+  if (stall_logged_session_ != holder) {
+    stall_logged_session_ = holder;
+    stats_.watermark_stalls.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "[ges_server] session %llu has held the GC watermark at "
+                 "v%llu for %.1fs (current v%llu); version chains behind it "
+                 "cannot be pruned\n",
+                 static_cast<unsigned long long>(holder),
+                 static_cast<unsigned long long>(oldest),
+                 (now - pinned_at) / 1e9,
+                 static_cast<unsigned long long>(graph_->CurrentVersion()));
+  }
+}
+
+Version Server::RepinSession(Session* session, SnapshotHandle fresh) {
+  std::lock_guard<std::mutex> lk(session->snap_mu);
+  Version cur = session->snapshot.load(std::memory_order_acquire);
+  if (fresh.version() < cur) {
+    // A concurrent IU commit already advanced the session past `fresh`
+    // (read-your-writes); never move a session's snapshot backwards.
+    return cur;
+  }
+  Version v = fresh.version();
+  // `fresh` is already registered, so the watermark stays covered across
+  // the swap; move-assignment releases the old pin after the new one is
+  // in place.
+  session->snapshot.store(v, std::memory_order_release);
+  session->pin = std::move(fresh);
+  session->pinned_at_ns.store(QueryContext::NowNanos(),
+                              std::memory_order_release);
+  return v;
 }
 
 void Server::ReapDoneSessions() {
@@ -279,6 +385,14 @@ void Server::HandleConnection(std::shared_ptr<Session> session) {
     session->pending_cv.wait_for(lk, std::chrono::seconds(30),
                                  [&] { return session->pending == 0; });
   }
+  // Drop the GC registration as soon as no query can execute on the
+  // session's behalf: the Session object lingers in sessions_ until the
+  // reaper joins the thread, and keeping the pin that long would hold the
+  // watermark (and therefore garbage) for no reader.
+  {
+    std::lock_guard<std::mutex> lk(session->snap_mu);
+    session->pin.Release();
+  }
   {
     std::lock_guard<std::mutex> lk(session->write_mu);
     session->closed.store(true, std::memory_order_release);
@@ -335,8 +449,10 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
       return SendToSession(session.get(), b.data());
     }
     case MsgType::kRefreshSnapshot: {
-      Version v = graph_->CurrentVersion();
-      session->snapshot.store(v, std::memory_order_release);
+      // Register the fresh version before dropping the old pin
+      // (RepinSession): the session is never unprotected, so a concurrent
+      // GC pass cannot prune a chain between the two registrations.
+      Version v = RepinSession(session.get(), graph_->PinSnapshot());
       WireBuf b;
       b.PutU8(static_cast<uint8_t>(MsgType::kSnapshotOk));
       b.PutU64(v);
@@ -361,6 +477,12 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
         b.PutU8(s.ok() ? 1 : 0);
         b.PutString(s.ok() ? "checkpoint complete" : s.message());
       }
+      // Trailing GC telemetry (protocol-compatible: old clients stop
+      // reading after the string): lifetime pruned entries, live overlay
+      // bytes, and the current GC watermark.
+      b.PutU64(graph_->versions_pruned_total());
+      b.PutU64(graph_->OverlayBytes());
+      b.PutU64(graph_->OldestActiveSnapshot());
       return SendToSession(session.get(), b.data());
     }
     case MsgType::kBye: {
@@ -396,10 +518,18 @@ void Server::HandleQuery(const std::shared_ptr<Session>& session,
   // Pin the snapshot NOW (connection thread): the session's pinned version
   // may move (RefreshSnapshot, IU read-your-writes) while this query waits
   // in the admission queue, and a query must see the version current when
-  // it was issued.
-  Version snapshot = session->snapshot.load(std::memory_order_acquire);
-
+  // it was issued. The query registers its own GC pin under snap_mu —
+  // the session pin (<= snapshot, still registered) makes the handover
+  // safe — and parks it on the QueryContext, so the version chains it
+  // will read outlive the queue wait and every morsel worker.
+  Version snapshot;
   auto ctx = std::make_shared<QueryContext>();
+  {
+    std::lock_guard<std::mutex> lk(session->snap_mu);
+    snapshot = session->snapshot.load(std::memory_order_acquire);
+    ctx->HoldSnapshotPin(
+        std::make_shared<SnapshotHandle>(graph_->PinSnapshotAt(snapshot)));
+  }
   if (req.deadline_ms > 0) {
     // Armed at admission: queue wait counts against the deadline (the SLO
     // is end-to-end, not execution-only).
@@ -537,10 +667,19 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
       }
       graph_->MaybeCheckpoint();  // size-triggered WAL rotation
       // Read-your-writes: advance the session pin so the writer's next
-      // reads observe its own update.
-      Version prev = session->snapshot.load(std::memory_order_acquire);
-      while (prev < commit && !session->snapshot.compare_exchange_weak(
-                                  prev, commit, std::memory_order_acq_rel)) {
+      // reads observe its own update. snap_mu makes the
+      // check-acquire-swap atomic against RefreshSnapshot and other IU
+      // commits; while the old pin (< commit) is registered the watermark
+      // sits below commit, so the AcquireAt handover is protected.
+      {
+        std::lock_guard<std::mutex> lk(session->snap_mu);
+        if (session->snapshot.load(std::memory_order_acquire) < commit) {
+          SnapshotHandle fresh = graph_->PinSnapshotAt(commit);
+          session->snapshot.store(commit, std::memory_order_release);
+          session->pin = std::move(fresh);
+          session->pinned_at_ns.store(QueryContext::NowNanos(),
+                                      std::memory_order_release);
+        }
       }
       Schema s;
       s.Add("commit_version", ValueType::kInt64);

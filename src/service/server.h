@@ -6,8 +6,8 @@
 //   acceptor ──▶ per-connection session threads ──▶ AdmissionQueue workers
 //                  (parse frames, own the session)     (execute queries)
 //                            ▲                                │
-//   reaper ──────────────────┘ (idle timeout, thread cleanup) │
-//                                                             ▼
+//   reaper ──────────────────┘ (idle timeout, thread cleanup, │
+//                               MVCC GC driver)               ▼
 //                                            shared TaskScheduler (morsels)
 //
 // Sessions: each connection owns a Session pinned to the snapshot version
@@ -15,6 +15,15 @@
 // graph until the client refreshes (or its own IU commits advance it:
 // read-your-writes). Query execution happens on admission workers, so a
 // slow query never blocks its connection's control frames (Cancel, Ping).
+// Every pinned session registers its snapshot with the graph's
+// SnapshotRegistry (an RAII SnapshotHandle), and every admitted query
+// re-registers the version it will execute at, so the version-chain GC the
+// reaper drives (DESIGN.md §11) can never reclaim a chain entry a session
+// or an in-flight morsel might still read. The GC cadence (interval +
+// overlay-byte trigger) is independent of idle reaping: it runs even with
+// idle_timeout_seconds = 0, and a session that holds the watermark past
+// watermark_alert_seconds is logged and exported via
+// ServiceStats::watermark_held_by_session.
 //
 // Cancellation: every query carries a QueryContext. Deadlines arm it at
 // admission; kCancel frames and disconnects trip it; the engine's morsel
@@ -56,6 +65,18 @@ struct ServiceConfig {
   double idle_timeout_seconds = 0;  // 0 = never reap idle sessions
   ExecMode exec_mode = ExecMode::kFactorizedFused;
   int intra_query_threads = 1;  // morsel parallelism per query
+
+  // --- MVCC version-chain GC (reaper thread; DESIGN.md §11) ---
+  // Periodic prune cadence; <= 0 disables interval-driven GC. Independent
+  // of idle_timeout_seconds: the default config still collects garbage.
+  double gc_interval_seconds = 1.0;
+  // Prune immediately once Graph::OverlayBytes() exceeds this, without
+  // waiting for the interval; 0 disables the byte trigger.
+  size_t gc_trigger_bytes = 32u << 20;
+  // A session whose pinned snapshot trails the current version and is
+  // older than this is holding the watermark (and therefore garbage)
+  // hostage: log it once and export it in the stats. <= 0 disables.
+  double watermark_alert_seconds = 30.0;
 };
 
 struct ServiceStats {
@@ -67,6 +88,19 @@ struct ServiceStats {
   std::atomic<uint64_t> queries_interrupted{0};  // deadline or cancel
   std::atomic<uint64_t> queries_error{0};
   std::atomic<uint64_t> sessions_reaped{0};  // idle-timeout disconnects
+
+  // MVCC GC (reaper-driven; gauges are "as of the last GC pass").
+  std::atomic<uint64_t> gc_runs{0};
+  std::atomic<uint64_t> versions_pruned{0};     // chain entries reclaimed
+  std::atomic<uint64_t> gc_bytes_reclaimed{0};  // bytes those entries held
+  std::atomic<uint64_t> overlay_bytes{0};       // gauge: live overlay bytes
+  std::atomic<uint64_t> gc_watermark{0};        // gauge: last prune watermark
+  // Gauge: id of a session that has held the oldest pinned snapshot for
+  // longer than watermark_alert_seconds while updates kept committing
+  // (0 = nobody is stalling the watermark); `watermark_stalls` counts how
+  // many distinct offenders were flagged.
+  std::atomic<uint64_t> watermark_held_by_session{0};
+  std::atomic<uint64_t> watermark_stalls{0};
 
   std::string ToString() const;
 };
@@ -110,6 +144,14 @@ class Server {
     uint64_t id = 0;
     int fd = -1;
     std::atomic<Version> snapshot{0};
+    // GC registration of the pinned snapshot. Invariant: while `pin` is
+    // valid, pin.version() <= snapshot, so queries executing at the
+    // session snapshot can safely re-register it (protected handover).
+    // Guarded by snap_mu together with the `snapshot` store; `snapshot`
+    // stays an atomic for lock-free readers.
+    std::mutex snap_mu;
+    SnapshotHandle pin;
+    std::atomic<int64_t> pinned_at_ns{0};  // when pin's version last moved
     std::atomic<int64_t> last_active_ns{0};
     std::atomic<bool> closed{false};  // no further frames may be written
     std::atomic<bool> done{false};    // connection thread finished
@@ -136,6 +178,16 @@ class Server {
 
   void AcceptLoop();
   void ReaperLoop();
+  // Reaper-thread helpers: idle-session reaping (only when
+  // idle_timeout_seconds > 0), the GC driver (interval + byte trigger),
+  // and the watermark-stall detector. All run on the reaper cadence.
+  void ReapIdleSessions();
+  void MaybeRunGc(int64_t* last_gc_ns);
+  void CheckWatermarkStall();
+  // Installs `fresh` (an already-registered handle) as the session's pin
+  // under snap_mu, refusing to move the snapshot backwards; returns the
+  // session's resulting snapshot version.
+  Version RepinSession(Session* session, SnapshotHandle fresh);
   void HandleConnection(std::shared_ptr<Session> session);
   // Dispatches one parsed frame; returns false when the connection should
   // close (kBye or a protocol violation).
@@ -168,6 +220,9 @@ class Server {
   mutable std::mutex sessions_mu_;
   std::unordered_map<uint64_t, SessionEntry> sessions_;
   uint64_t next_session_id_ = 1;
+
+  // Last session already logged as a watermark stall (avoid log spam).
+  uint64_t stall_logged_session_ = 0;
 
   ServiceStats stats_;
 };

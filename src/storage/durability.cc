@@ -216,6 +216,10 @@ Status Graph::CheckpointLocked() {
   // committing after the snapshot version but before the rotation would
   // otherwise be dropped from the log without being in the snapshot.
   std::lock_guard<std::mutex> commit_lock(version_manager_.commit_mutex());
+  // Register the checkpoint as a reader at the snapshot version so a
+  // concurrent GC pass (the service reaper) can never prune a chain entry
+  // the serializer is about to walk.
+  SnapshotHandle ckpt_pin = version_manager_.AcquireSnapshot();
   GES_RETURN_IF_ERROR(WriteSnapshotAtomic(*this, fs, data_dir_));
   Status s = wal_->Rotate();
   if (!s.ok()) EnterReadOnly(s);

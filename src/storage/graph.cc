@@ -259,6 +259,12 @@ size_t Graph::NumEdgesTotal() const {
   return n / 2;
 }
 
+size_t Graph::OverlayBytes() const {
+  size_t bytes = prop_overlay_.MemoryBytes() + new_vertices_.MemoryBytes();
+  for (const TableEntry& t : tables_) bytes += t.overlay->MemoryBytes();
+  return bytes;
+}
+
 size_t Graph::MemoryBytes() const {
   size_t bytes = 0;
   for (const TableEntry& t : tables_) bytes += t.table->MemoryBytes();
@@ -266,9 +272,34 @@ size_t Graph::MemoryBytes() const {
     if (pt != nullptr) bytes += pt->MemoryBytes();
   }
   bytes += label_of_.capacity() * sizeof(LabelId) +
+           ext_of_.capacity() * sizeof(int64_t) +
            offset_in_label_.capacity() * sizeof(uint32_t);
   bytes += string_dict_.MemoryBytes();
+  // MVCC overlay chains and the new-vertex registry: under sustained
+  // update traffic this is where the memory actually is, and the GC
+  // trigger compares against this total.
+  bytes += OverlayBytes();
   return bytes;
+}
+
+GcStats Graph::PruneVersions() {
+  // One pruner at a time: concurrent passes would double-count the stats
+  // and fight over the same chains for no benefit.
+  std::lock_guard<std::mutex> gc_lock(gc_mu_);
+  GcStats stats;
+  stats.watermark = OldestActiveSnapshot();
+  auto absorb = [&stats](const PruneStats& p) {
+    stats.entries_pruned += p.entries;
+    stats.bytes_reclaimed += p.bytes;
+  };
+  for (TableEntry& t : tables_) absorb(t.overlay->Prune(stats.watermark));
+  absorb(prop_overlay_.Prune(stats.watermark));
+  absorb(new_vertices_.Prune(stats.watermark));
+  versions_pruned_total_.fetch_add(stats.entries_pruned,
+                                   std::memory_order_relaxed);
+  gc_bytes_reclaimed_total_.fetch_add(stats.bytes_reclaimed,
+                                      std::memory_order_relaxed);
+  return stats;
 }
 
 std::unique_ptr<WriteTxn> Graph::BeginWrite(std::vector<VertexId> write_set) {
@@ -507,9 +538,12 @@ Status WriteTxn::Commit(Version* commit_version) {
       i = j;
     }
 
-    // Property writes: one overlay entry per vertex.
-    std::sort(prop_ops_.begin(), prop_ops_.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Property writes: one overlay entry per vertex. Stable so that when a
+    // transaction writes the same property twice, program order survives
+    // the grouping and PropOverlay::Publish's coalescing keeps the last.
+    std::stable_sort(
+        prop_ops_.begin(), prop_ops_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
     i = 0;
     while (i < prop_ops_.size()) {
       size_t j = i;

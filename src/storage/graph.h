@@ -48,6 +48,14 @@ struct RecoveryInfo {
   uint64_t truncated_bytes = 0;   // torn-tail bytes cut from the WAL
 };
 
+// One Graph::PruneVersions() pass: the watermark it ran at and what it
+// reclaimed across every overlay structure.
+struct GcStats {
+  Version watermark = 0;
+  uint64_t entries_pruned = 0;
+  uint64_t bytes_reclaimed = 0;
+};
+
 class Graph {
  public:
   Graph() = default;
@@ -136,6 +144,43 @@ class Graph {
 
   // --- snapshot reads (non-blocking) ---
   Version CurrentVersion() const { return version_manager_.CurrentVersion(); }
+
+  // --- MVCC garbage collection (DESIGN.md §11) ---
+  // Registers a reader at the current version; while the handle lives,
+  // PruneVersions() never reclaims a chain entry that reader can resolve.
+  // Readers that race PruneVersions() without a handle are only safe at
+  // the current version.
+  SnapshotHandle PinSnapshot() { return version_manager_.AcquireSnapshot(); }
+  // Registers a reader at exactly `v`. Only safe while the caller already
+  // holds a handle at version <= v (protected handover), or concurrent
+  // pruning is otherwise excluded.
+  SnapshotHandle PinSnapshotAt(Version v) {
+    return version_manager_.AcquireSnapshotAt(v);
+  }
+  // The prune watermark: oldest pinned snapshot, or the current version.
+  Version OldestActiveSnapshot() const {
+    return version_manager_.OldestActiveSnapshot();
+  }
+  size_t ActiveSnapshots() const {
+    return version_manager_.snapshots().ActiveCount();
+  }
+
+  // Cuts every overlay version chain at the watermark and frees the
+  // unreachable tails. Cheap when nothing is reclaimable; safe against
+  // concurrent reads (at pinned or current versions) and commits.
+  GcStats PruneVersions();
+
+  // Lifetime totals across PruneVersions() calls (service stats).
+  uint64_t versions_pruned_total() const {
+    return versions_pruned_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t gc_bytes_reclaimed_total() const {
+    return gc_bytes_reclaimed_total_.load(std::memory_order_relaxed);
+  }
+
+  // Live bytes held by MVCC overlay state: adjacency/property version
+  // chains plus the new-vertex registry. The GC byte trigger reads this.
+  size_t OverlayBytes() const;
 
   // Adjacency of `v` in relation `rel` as of `snapshot`. Entries may be
   // kInvalidVertex (tombstones); callers skip them.
@@ -248,6 +293,12 @@ class Graph {
   mutable std::mutex read_only_mu_;
   std::string read_only_reason_;
   std::mutex checkpoint_mu_;
+
+  // GC bookkeeping: serializes PruneVersions passes; counters are lifetime
+  // totals surfaced through the service stats.
+  std::mutex gc_mu_;
+  std::atomic<uint64_t> versions_pruned_total_{0};
+  std::atomic<uint64_t> gc_bytes_reclaimed_total_{0};
 };
 
 // A single MV2PL write transaction. Stage operations, then Commit() (or

@@ -8,11 +8,21 @@
 // is immutable after load; every post-load mutation is published as an
 // immutable overlay entry stamped with its commit version, so readers never
 // observe torn state.
+//
+// Garbage collection (DESIGN.md §11): the `prev` chains grow without bound
+// under sustained updates, so readers register the snapshots they hold in a
+// SnapshotRegistry via RAII SnapshotHandles. The oldest registered snapshot
+// (or the current version, when none is registered) is the *watermark*:
+// every chain entry older than the newest entry at-or-below the watermark
+// is invisible to all live and future readers and is reclaimed by
+// Prune(watermark). Readers that walk chains without holding a handle are
+// only safe against concurrent pruning at the current version.
 #ifndef GES_STORAGE_VERSION_MANAGER_H_
 #define GES_STORAGE_VERSION_MANAGER_H_
 
 #include <array>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -24,9 +34,89 @@
 
 namespace ges {
 
+class SnapshotRegistry;
+
+// RAII registration of one live reader snapshot. While a handle for version
+// V exists, the GC watermark cannot pass V, so every chain entry a reader
+// at V can resolve stays alive. Move-only; releasing (or destroying) the
+// handle lets the watermark advance.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  SnapshotHandle(SnapshotHandle&& other) noexcept
+      : registry_(other.registry_), version_(other.version_) {
+    other.registry_ = nullptr;
+  }
+  SnapshotHandle& operator=(SnapshotHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      registry_ = other.registry_;
+      version_ = other.version_;
+      other.registry_ = nullptr;
+    }
+    return *this;
+  }
+  ~SnapshotHandle() { Release(); }
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  bool valid() const { return registry_ != nullptr; }
+  Version version() const { return version_; }
+  void Release();
+
+ private:
+  friend class SnapshotRegistry;
+  SnapshotHandle(SnapshotRegistry* registry, Version version)
+      : registry_(registry), version_(version) {}
+
+  SnapshotRegistry* registry_ = nullptr;
+  Version version_ = 0;
+};
+
+// Tracks every live reader snapshot (query contexts, pinned service
+// sessions, checkpoint readers) and exposes the oldest one as the GC
+// watermark. Refcounted per version: many readers may share a snapshot.
+class SnapshotRegistry {
+ public:
+  // Registers a reader at `current`'s present value. The version is loaded
+  // under the registry lock, so a concurrent watermark computation either
+  // sees this pin or ran against an older current version — either way the
+  // watermark never passes the pinned version.
+  SnapshotHandle AcquireCurrent(const std::atomic<Version>& current);
+
+  // Registers a reader at exactly `v`. Only safe while the caller already
+  // holds protection covering `v`: another handle at version <= v, or the
+  // guarantee that no Prune can run concurrently (e.g. v is the current
+  // version and commits are excluded).
+  SnapshotHandle AcquireAt(Version v);
+
+  // The watermark: the oldest registered snapshot, or `current` when no
+  // reader is registered.
+  Version OldestActive(Version current) const;
+
+  // Oldest registered snapshot; false when none is registered. For the
+  // service's watermark-stall diagnostics.
+  bool OldestPinned(Version* out) const;
+
+  size_t ActiveCount() const;
+
+ private:
+  friend class SnapshotHandle;
+  void Release(Version v);
+
+  mutable std::mutex mu_;
+  std::map<Version, uint32_t> pins_;  // version -> handle count
+};
+
+// What one Prune(watermark) pass reclaimed.
+struct PruneStats {
+  uint64_t entries = 0;  // chain entries freed
+  uint64_t bytes = 0;    // heap bytes those entries held
+};
+
 // One copy-on-write snapshot of a vertex's adjacency list within a relation.
 // Immutable once published; `prev` keeps older versions alive for readers
-// with older snapshots.
+// with older snapshots until Prune cuts the chain.
 struct AdjOverlayEntry {
   Version version = 0;
   std::vector<VertexId> ids;
@@ -37,6 +127,8 @@ struct AdjOverlayEntry {
 // Per-relation overlay of versioned adjacency lists.
 class AdjOverlay {
  public:
+  ~AdjOverlay();
+
   // True if no vertex of this relation has ever been updated; lets the read
   // path skip the map probe entirely for read-mostly workloads.
   bool empty() const { return count_.load(std::memory_order_acquire) == 0; }
@@ -51,13 +143,28 @@ class AdjOverlay {
   // Publishes `entry` as the new head for `v`, linking the old head.
   void Publish(VertexId v, std::shared_ptr<AdjOverlayEntry> entry);
 
+  // Cuts every chain at its newest entry with version <= watermark: that
+  // entry is the floor every live reader (all at versions >= watermark) can
+  // resolve to, so everything below it is unreachable and freed. Heads
+  // whose whole tail is superseded collapse to a single entry. Safe against
+  // concurrent Find: links are rewritten under the exclusive lock; the
+  // freed tails are destroyed after it drops.
+  PruneStats Prune(Version watermark);
+
+  // Live chain bytes (entries + their ids/stamps vectors + map slots).
+  // O(1): maintained at Publish/Prune time.
+  size_t MemoryBytes() const;
+
  private:
   mutable std::shared_mutex mu_;
   std::unordered_map<VertexId, std::shared_ptr<AdjOverlayEntry>> heads_;
   std::atomic<size_t> count_{0};
+  std::atomic<size_t> bytes_{0};  // heap bytes of all live entries
 };
 
-// Versioned property writes for one vertex.
+// Versioned property writes for one vertex. Publish coalesces `writes` into
+// ascending-PropertyId order with one (the last) write per property, so
+// Find can binary-search instead of scanning.
 struct PropOverlayEntry {
   Version version = 0;
   std::vector<std::pair<PropertyId, Value>> writes;
@@ -66,6 +173,8 @@ struct PropOverlayEntry {
 
 class PropOverlay {
  public:
+  ~PropOverlay();
+
   bool empty() const { return count_.load(std::memory_order_acquire) == 0; }
 
   // Looks up `prop` of `v` in versions visible at `snapshot`. Returns true
@@ -74,10 +183,16 @@ class PropOverlay {
 
   void Publish(VertexId v, std::shared_ptr<PropOverlayEntry> entry);
 
+  // Same contract as AdjOverlay::Prune.
+  PruneStats Prune(Version watermark);
+
+  size_t MemoryBytes() const;
+
  private:
   mutable std::shared_mutex mu_;
   std::unordered_map<VertexId, std::shared_ptr<PropOverlayEntry>> heads_;
   std::atomic<size_t> count_{0};
+  std::atomic<size_t> bytes_{0};
 };
 
 // A vertex created after bulk load.
@@ -109,6 +224,15 @@ class NewVertexRegistry {
 
   size_t CountVisible(LabelId label, Version snapshot) const;
 
+  // Unlike the overlays, registry entries are live data (the vertices
+  // exist at every snapshot >= their creation version), so nothing becomes
+  // unreachable as the watermark advances. Prune instead returns the
+  // growth-slack of the append-only scan lists to the allocator (vectors
+  // whose doubling left >= 2x slack are shrunk to fit).
+  PruneStats Prune(Version watermark);
+
+  size_t MemoryBytes() const;
+
  private:
   mutable std::shared_mutex mu_;
   std::unordered_map<VertexId, NewVertex> vertices_;
@@ -119,8 +243,9 @@ class NewVertexRegistry {
   std::atomic<size_t> count_{0};
 };
 
-// The version manager: global version counter plus striped per-vertex write
-// locks for the 2PL half of MV2PL.
+// The version manager: global version counter, striped per-vertex write
+// locks for the 2PL half of MV2PL, and the snapshot registry that feeds
+// the GC watermark.
 class VersionManager {
  public:
   static constexpr size_t kNumStripes = 1024;
@@ -129,6 +254,22 @@ class VersionManager {
   Version CurrentVersion() const {
     return global_version_.load(std::memory_order_acquire);
   }
+
+  // --- snapshot registry (GC watermark) ---
+  // Registers a reader at the current version.
+  SnapshotHandle AcquireSnapshot() {
+    return snapshots_.AcquireCurrent(global_version_);
+  }
+  // Registers a reader at exactly `v`; see SnapshotRegistry::AcquireAt for
+  // the protection precondition.
+  SnapshotHandle AcquireSnapshotAt(Version v) {
+    return snapshots_.AcquireAt(v);
+  }
+  // Prune watermark: oldest registered snapshot, or the current version.
+  Version OldestActiveSnapshot() const {
+    return snapshots_.OldestActive(CurrentVersion());
+  }
+  const SnapshotRegistry& snapshots() const { return snapshots_; }
 
   // --- 2PL growing phase: lock a write set. Stripe indices are sorted and
   // deduplicated so concurrent writers cannot deadlock. ---
@@ -150,6 +291,7 @@ class VersionManager {
   std::atomic<Version> global_version_{0};
   std::mutex commit_mu_;
   std::array<std::mutex, kNumStripes> stripe_locks_;
+  SnapshotRegistry snapshots_;
 };
 
 }  // namespace ges

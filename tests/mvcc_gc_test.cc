@@ -1,0 +1,516 @@
+// MVCC version-chain garbage collection (DESIGN.md §11): the snapshot
+// registry / watermark protocol, Prune correctness under pinned readers,
+// overlay memory accounting, PropOverlay write coalescing, and the
+// service-level GC driver (reaper cadence, session pins, stall export).
+//
+// The concurrency tests here are the TSan target for GC: a reader pinned
+// at snapshot S must see byte-identical results before, during and after
+// concurrent prune storms, in every ExecMode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "executor/executor.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "storage/graph.h"
+#include "tests/test_util.h"
+
+namespace ges {
+namespace {
+
+using testutil::SortedRows;
+using testutil::TinyGraph;
+
+// Commits one transaction bumping messages[idx].len to `value`.
+Version CommitLen(TinyGraph* tiny, int idx, int64_t value) {
+  auto txn = tiny->graph->BeginWrite({tiny->messages[idx]});
+  txn->SetProperty(tiny->messages[idx], tiny->len, Value::Int(value));
+  return txn->Commit();
+}
+
+// Commits one knows edge persons[a] -> persons[b].
+Version CommitKnows(TinyGraph* tiny, int a, int b, int64_t stamp) {
+  auto txn = tiny->graph->BeginWrite({tiny->persons[a], tiny->persons[b]});
+  EXPECT_TRUE(
+      txn->AddEdge(tiny->knows, tiny->persons[a], tiny->persons[b], stamp)
+          .ok());
+  return txn->Commit();
+}
+
+TEST(SnapshotRegistryTest, WatermarkFollowsOldestPin) {
+  TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  // No pins: the watermark is the current version.
+  EXPECT_EQ(g.OldestActiveSnapshot(), g.CurrentVersion());
+  EXPECT_EQ(g.ActiveSnapshots(), 0u);
+
+  SnapshotHandle a = g.PinSnapshot();
+  Version va = a.version();
+  EXPECT_EQ(va, g.CurrentVersion());
+  EXPECT_EQ(g.ActiveSnapshots(), 1u);
+
+  CommitLen(&tiny, 0, 1);
+  CommitLen(&tiny, 0, 2);
+  // The pin holds the watermark even as commits advance the version.
+  EXPECT_GT(g.CurrentVersion(), va);
+  EXPECT_EQ(g.OldestActiveSnapshot(), va);
+
+  SnapshotHandle b = g.PinSnapshot();
+  EXPECT_EQ(g.ActiveSnapshots(), 2u);
+  EXPECT_EQ(g.OldestActiveSnapshot(), va) << "oldest pin wins";
+
+  a.Release();
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(g.OldestActiveSnapshot(), b.version());
+
+  // Moves transfer the registration instead of double-releasing it.
+  SnapshotHandle c = std::move(b);
+  EXPECT_FALSE(b.valid());
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(g.ActiveSnapshots(), 1u);
+  c.Release();
+  EXPECT_EQ(g.ActiveSnapshots(), 0u);
+  EXPECT_EQ(g.OldestActiveSnapshot(), g.CurrentVersion());
+}
+
+TEST(MvccGcTest, PruneKeepsEverythingAPinnedReaderCanSee) {
+  TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  CommitLen(&tiny, 0, 500);
+  CommitKnows(&tiny, 0, 3, 7);
+  SnapshotHandle pin = g.PinSnapshot();
+  Version s = pin.version();
+  int64_t len_at_s = g.GetProperty(tiny.messages[0], tiny.len, s).AsInt();
+  uint32_t deg_at_s = g.Degree(tiny.knows_out, tiny.persons[0], s);
+
+  // Pile more versions on the same chains.
+  for (int i = 0; i < 32; ++i) {
+    CommitLen(&tiny, 0, 1000 + i);
+    CommitKnows(&tiny, 0, 1, 1000 + i);
+  }
+  Version head = g.CurrentVersion();
+
+  GcStats gc = g.PruneVersions();
+  EXPECT_EQ(gc.watermark, s) << "pin must hold the watermark";
+  EXPECT_EQ(gc.entries_pruned, 0u)
+      << "every entry is above the floor at s or is the floor itself... "
+         "except entries strictly older than the newest <= s";
+  // (The chains had exactly one entry <= s per vertex, which is the floor;
+  // nothing below it existed for knows, but len had the bulk base + v1 —
+  // allow either zero or the superseded pre-s entries.)
+
+  // The pinned reader's view is unchanged by the prune.
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.len, s).AsInt(), len_at_s);
+  EXPECT_EQ(g.Degree(tiny.knows_out, tiny.persons[0], s), deg_at_s);
+  // And the head keeps all post-s history.
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.len, head).AsInt(), 1031);
+  EXPECT_EQ(g.Degree(tiny.knows_out, tiny.persons[0], head), deg_at_s + 32);
+
+  // Release the pin: the next prune collapses each chain to its head.
+  pin.Release();
+  gc = g.PruneVersions();
+  EXPECT_EQ(gc.watermark, head);
+  EXPECT_GT(gc.entries_pruned, 0u);
+  EXPECT_GT(gc.bytes_reclaimed, 0u);
+  EXPECT_EQ(g.versions_pruned_total(), gc.entries_pruned);
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.len, head).AsInt(), 1031);
+  EXPECT_EQ(g.Degree(tiny.knows_out, tiny.persons[0], head), deg_at_s + 32);
+  // Old snapshots below the watermark are gone — but nobody holds them.
+}
+
+// Satellite 1: Graph::MemoryBytes must account overlay chains and the
+// new-vertex registry, and shrink when GC reclaims them.
+TEST(MvccGcTest, MemoryBytesTracksOverlayGrowthAndPrune) {
+  TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  size_t base_total = g.MemoryBytes();
+  EXPECT_EQ(g.OverlayBytes(), 0u);
+
+  for (int i = 0; i < 256; ++i) CommitLen(&tiny, i % 6, i);
+  size_t grown_overlay = g.OverlayBytes();
+  EXPECT_GT(grown_overlay, 0u);
+  EXPECT_GE(g.MemoryBytes(), base_total + grown_overlay)
+      << "MemoryBytes must include overlay chain bytes";
+
+  // A post-load vertex lands in the registry and is accounted too.
+  {
+    auto txn = g.BeginWrite({tiny.persons[0]});
+    VertexId nv = txn->CreateVertex(tiny.person, 100, {});
+    ASSERT_TRUE(txn->AddEdge(tiny.knows, tiny.persons[0], nv, 1).ok());
+    txn->Commit();
+  }
+  EXPECT_GT(g.OverlayBytes(), grown_overlay);
+
+  GcStats gc = g.PruneVersions();
+  EXPECT_GT(gc.entries_pruned, 0u);
+  size_t after = g.OverlayBytes();
+  EXPECT_LT(after, grown_overlay / 4)
+      << "collapsing 256-entry chains must reclaim the bulk of the bytes";
+  // The gauge matches what Prune said it freed, entry for entry.
+  EXPECT_EQ(g.gc_bytes_reclaimed_total(), gc.bytes_reclaimed);
+}
+
+// Satellite 3: PropOverlay::Publish coalesces a transaction's writes into
+// sorted last-write-wins form; Find binary-searches them.
+TEST(MvccGcTest, PropOverlayCoalescesLastWritePerProperty) {
+  TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  Version v0 = g.CurrentVersion();
+  {
+    auto txn = g.BeginWrite({tiny.messages[0]});
+    // Same property three times: only the last survives.
+    txn->SetProperty(tiny.messages[0], tiny.len, Value::Int(1));
+    txn->SetProperty(tiny.messages[0], tiny.len, Value::Int(2));
+    txn->SetProperty(tiny.messages[0], tiny.len, Value::Int(3));
+    // A second property in the same transaction, written out of id order.
+    txn->SetProperty(tiny.messages[0], tiny.id, Value::Int(42));
+    txn->Commit();
+  }
+  Version v1 = g.CurrentVersion();
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.len, v1), Value::Int(3));
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.id, v1), Value::Int(42));
+  // The old snapshot still reads base values.
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.len, v0), Value::Int(140));
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.id, v0), Value::Int(0));
+  // A later single-property write stacks a new entry; the untouched
+  // property falls through to the older entry.
+  CommitLen(&tiny, 0, 9);
+  Version v2 = g.CurrentVersion();
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.len, v2), Value::Int(9));
+  EXPECT_EQ(g.GetProperty(tiny.messages[0], tiny.id, v2), Value::Int(42));
+}
+
+TEST(MvccGcTest, NewVertexRegistryPruneKeepsVerticesAlive) {
+  TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  constexpr int kNew = 200;
+  for (int i = 0; i < kNew; ++i) {
+    auto txn = g.BeginWrite({tiny.persons[0]});
+    VertexId nv =
+        txn->CreateVertex(tiny.person, 1000 + i, {{tiny.id, Value::Int(i)}});
+    ASSERT_TRUE(txn->AddEdge(tiny.knows, tiny.persons[0], nv, i).ok());
+    txn->Commit();
+  }
+  Version v = g.CurrentVersion();
+  ASSERT_EQ(g.NumVertices(tiny.person, v), 4u + kNew);
+
+  g.PruneVersions();  // registry prune returns allocator slack only
+
+  // Registry contents are live data: everything stays findable.
+  EXPECT_EQ(g.NumVertices(tiny.person, v), 4u + kNew);
+  for (int i = 0; i < kNew; ++i) {
+    VertexId nv = g.FindByExtId(tiny.person, 1000 + i, v);
+    ASSERT_NE(nv, kInvalidVertex) << "ext " << (1000 + i);
+    EXPECT_EQ(g.GetProperty(nv, tiny.id, v), Value::Int(i));
+  }
+  // And creation versions still gate visibility for old snapshots.
+  EXPECT_EQ(g.NumVertices(tiny.person, 0), 4u);
+}
+
+// Satellite 4 (the TSan target): a reader pinned at S sees byte-identical
+// results before, during and after concurrent commit + prune storms, in
+// every ExecMode.
+TEST(MvccGcTest, PinnedReaderSurvivesPruneStorm) {
+  TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  // Some pre-pin history so the pin sits mid-chain, not at the base.
+  for (int i = 0; i < 8; ++i) {
+    CommitLen(&tiny, i % 6, 200 + i);
+    CommitKnows(&tiny, i % 4, (i + 1) % 4, i);
+  }
+  SnapshotHandle pin = g.PinSnapshot();
+  Version s = pin.version();
+
+  // Reference answer at S: persons with their knows-degree and every
+  // message length — covers AdjOverlay, PropOverlay and base fallbacks.
+  PlanBuilder pb("gc_probe");
+  pb.ScanByLabel("m", tiny.message)
+      .GetProperty("m", tiny.id, ValueType::kInt64, "mid")
+      .GetProperty("m", tiny.len, ValueType::kInt64, "mlen")
+      .Output({"mid", "mlen"});
+  Plan plan = pb.Build();
+
+  const ExecMode kModes[] = {ExecMode::kVolcano, ExecMode::kFlat,
+                             ExecMode::kFactorized,
+                             ExecMode::kFactorizedFused};
+  std::vector<std::vector<std::string>> expected;
+  for (ExecMode mode : kModes) {
+    Executor exec(mode);
+    GraphView view(&g, s);
+    expected.push_back(SortedRows(exec.Run(plan, view).table));
+  }
+  ASSERT_FALSE(expected[0].empty());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+
+  // Two writers keep stacking versions on the chains the reader resolves.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&tiny, t] {
+      for (int i = 0; i < 300; ++i) {
+        CommitLen(&tiny, (t * 3 + i) % 6, 10000 + t * 1000 + i);
+        CommitKnows(&tiny, t, (t + 2) % 4, i);
+      }
+    });
+  }
+  // The GC thread prunes continuously: with the pin at S, every pass cuts
+  // chains at S while the reader is mid-walk.
+  std::thread gc([&g, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      g.PruneVersions();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  // The pinned reader re-executes the probe across all engines.
+  std::thread reader([&] {
+    size_t round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ExecMode mode = kModes[round % 4];
+      Executor exec(mode);
+      GraphView view(&g, s);
+      auto rows = SortedRows(exec.Run(plan, view).table);
+      if (rows != expected[round % 4]) mismatches.fetch_add(1);
+      ++round;
+    }
+  });
+
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  gc.join();
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "pinned snapshot changed under a concurrent prune storm";
+
+  // After the storm: still byte-identical at S, and correct at head.
+  for (size_t i = 0; i < 4; ++i) {
+    Executor exec(kModes[i]);
+    GraphView view(&g, s);
+    EXPECT_EQ(SortedRows(exec.Run(plan, view).table), expected[i])
+        << "mode=" << ExecModeName(kModes[i]);
+  }
+  pin.Release();
+  GcStats gc_final = g.PruneVersions();
+  EXPECT_EQ(gc_final.watermark, g.CurrentVersion());
+  Executor exec(ExecMode::kFactorizedFused);
+  GraphView view(&g, g.CurrentVersion());
+  EXPECT_EQ(exec.Run(plan, view).table.NumRows(), 6u);
+}
+
+// Scaled-down version of the headline soak: sustained updates against a
+// pinned-then-released reader. With the pin held, overlay bytes grow; once
+// it is released, periodic pruning makes memory plateau near the floor.
+TEST(MvccGcTest, SoakOverlayBytesPlateauAfterPinRelease) {
+  TinyGraph tiny;
+  Graph& g = *tiny.graph;
+  constexpr int kTxns = 4000;
+  constexpr int kGcEvery = 250;
+
+  SnapshotHandle pin = g.PinSnapshot();
+  for (int i = 0; i < kTxns; ++i) {
+    CommitLen(&tiny, i % 6, i);
+    if (i % kGcEvery == 0) g.PruneVersions();
+  }
+  size_t pinned_growth = g.OverlayBytes();
+  // The pin blocks reclamation: chains hold ~kTxns entries despite GC.
+  EXPECT_GT(pinned_growth, static_cast<size_t>(kTxns) * sizeof(Version));
+
+  pin.Release();
+  g.PruneVersions();
+  size_t floor_bytes = g.OverlayBytes();
+  EXPECT_LT(floor_bytes, pinned_growth / 10)
+      << "releasing the watermark must let GC collapse the backlog";
+
+  // Steady state: updates keep coming, GC keeps up, memory plateaus.
+  size_t peak = 0;
+  for (int i = 0; i < kTxns; ++i) {
+    CommitLen(&tiny, i % 6, i);
+    if (i % kGcEvery == 0) {
+      g.PruneVersions();
+      peak = std::max(peak, g.OverlayBytes());
+    }
+  }
+  g.PruneVersions();
+  EXPECT_LT(peak, pinned_growth / 4)
+      << "with the watermark free, steady-state memory must plateau far "
+         "below the pinned-growth curve";
+  // Reads remain correct throughout.
+  Version head = g.CurrentVersion();
+  EXPECT_EQ(g.GetProperty(tiny.messages[(kTxns - 1) % 6], tiny.len, head),
+            Value::Int(kTxns - 1));
+}
+
+// --- service-level GC driver -------------------------------------------
+
+service::ServiceConfig FastGcConfig() {
+  service::ServiceConfig config;
+  config.query_workers = 2;
+  config.gc_interval_seconds = 0.05;
+  config.gc_trigger_bytes = 0;      // interval-driven only, deterministic
+  config.idle_timeout_seconds = 0;  // GC must run regardless (satellite 2)
+  return config;
+}
+
+TEST(MvccGcServiceTest, ReaperDrivesGcWithIdleReapingDisabled) {
+  testutil::SnbFixture fx;
+  service::Server server(&fx.graph, &fx.data, FastGcConfig());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // No sessions: the watermark is the current version, so the reaper's GC
+  // pass collapses whatever the writers below stack up.
+  PropertyId len = fx.data.schema.length;
+  for (int i = 0; i < 64; ++i) {
+    auto txn = fx.graph.BeginWrite({fx.data.posts[0]});
+    txn->SetProperty(fx.data.posts[0], len, Value::Int(i));
+    txn->Commit();
+  }
+  // Wait for the reaper to have pruned (50 ms tick + 50 ms interval).
+  for (int spin = 0; spin < 100 && server.stats().versions_pruned.load() == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(server.stats().gc_runs.load(), 0u);
+  EXPECT_GT(server.stats().versions_pruned.load(), 0u);
+  EXPECT_GT(server.stats().gc_watermark.load(), 0u);
+  server.Drain(1.0);
+}
+
+TEST(MvccGcServiceTest, SessionPinHoldsWatermarkUntilDisconnect) {
+  testutil::SnbFixture fx;
+  service::Server server(&fx.graph, &fx.data, FastGcConfig());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  auto client = std::make_unique<service::Client>();
+  ASSERT_TRUE(client->Connect("127.0.0.1", server.port()));
+  Version pinned = client->snapshot();
+  ASSERT_EQ(fx.graph.OldestActiveSnapshot(), pinned);
+
+  PropertyId len = fx.data.schema.length;
+  for (int i = 0; i < 16; ++i) {
+    auto txn = fx.graph.BeginWrite({fx.data.posts[0]});
+    txn->SetProperty(fx.data.posts[0], len, Value::Int(100 + i));
+    txn->Commit();
+  }
+  ASSERT_GT(fx.graph.CurrentVersion(), pinned);
+  // The connected session blocks the watermark at its snapshot.
+  EXPECT_EQ(fx.graph.OldestActiveSnapshot(), pinned);
+
+  // kCheckpoint doubles as a GC telemetry probe, durable or not.
+  service::CheckpointInfo info;
+  std::string detail;
+  EXPECT_FALSE(client->Checkpoint(&detail, &info)) << "non-durable refusal";
+  EXPECT_EQ(info.watermark, pinned);
+
+  // RefreshSnapshot re-pins at the current version; the watermark follows.
+  uint64_t refreshed = 0;
+  ASSERT_TRUE(client->RefreshSnapshot(&refreshed));
+  EXPECT_EQ(refreshed, fx.graph.CurrentVersion());
+  EXPECT_EQ(fx.graph.OldestActiveSnapshot(), refreshed);
+
+  // Disconnect releases the pin entirely.
+  client.reset();
+  for (int spin = 0; spin < 100 && fx.graph.ActiveSnapshots() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fx.graph.ActiveSnapshots(), 0u);
+  EXPECT_EQ(fx.graph.OldestActiveSnapshot(), fx.graph.CurrentVersion());
+  server.Drain(1.0);
+}
+
+// Satellite 2: a session that parks on an old snapshot while commits flow
+// is exported (and logged) as the watermark holder.
+TEST(MvccGcServiceTest, WatermarkStallExportsHoldingSession) {
+  service::ServiceConfig config = FastGcConfig();
+  config.watermark_alert_seconds = 0.05;
+  testutil::SnbFixture fx;
+  service::Server server(&fx.graph, &fx.data, config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  service::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+
+  PropertyId len = fx.data.schema.length;
+  for (int i = 0; i < 8; ++i) {
+    auto txn = fx.graph.BeginWrite({fx.data.posts[0]});
+    txn->SetProperty(fx.data.posts[0], len, Value::Int(i));
+    txn->Commit();
+  }
+  // The reaper flags the session once it trails the version counter for
+  // longer than the alert threshold.
+  for (int spin = 0;
+       spin < 200 && server.stats().watermark_held_by_session.load() == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.stats().watermark_held_by_session.load(),
+            client.session_id());
+  EXPECT_GT(server.stats().watermark_stalls.load(), 0u);
+
+  // Refreshing clears the stall: the session now sits at the head.
+  ASSERT_TRUE(client.RefreshSnapshot());
+  for (int spin = 0;
+       spin < 200 && server.stats().watermark_held_by_session.load() != 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.stats().watermark_held_by_session.load(), 0u);
+  server.Drain(1.0);
+}
+
+// A query admitted at snapshot S holds its own pin: even if the session
+// refreshes away and GC storms, the executing query's chains stay alive.
+TEST(MvccGcServiceTest, InflightQueryPinsItsSnapshot) {
+  service::ServiceConfig config = FastGcConfig();
+  testutil::SnbFixture fx;
+  service::Server server(&fx.graph, &fx.data, config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  service::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  Version pinned = client.snapshot();
+
+  // Park a SLEEP query (holds a worker + its snapshot pin for 300 ms).
+  service::QueryRequest sleep_req;
+  sleep_req.kind = service::QueryKind::kSleep;
+  sleep_req.seed = 300;
+  sleep_req.query_id = client.AllocQueryId();
+  ASSERT_TRUE(client.Send(sleep_req));
+
+  // Advance the graph, then refresh the session away from the query's
+  // snapshot: the in-flight query's own registration must keep the
+  // watermark at `pinned`.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    PropertyId len = fx.data.schema.length;
+    auto txn = fx.graph.BeginWrite({fx.data.posts[0]});
+    txn->SetProperty(fx.data.posts[0], len, Value::Int(1));
+    ASSERT_GT(txn->Commit(), pinned);
+  }
+  ASSERT_TRUE(client.RefreshSnapshot());
+  EXPECT_EQ(fx.graph.OldestActiveSnapshot(), pinned)
+      << "query pin must survive the session re-pin";
+
+  service::QueryResponse resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, service::WireStatus::kOk);
+  // Query done: its pin is released with the QueryContext; only the
+  // session pin (at the refreshed version) remains.
+  for (int spin = 0;
+       spin < 100 && fx.graph.OldestActiveSnapshot() == pinned; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(fx.graph.OldestActiveSnapshot(), pinned);
+  server.Drain(1.0);
+}
+
+}  // namespace
+}  // namespace ges
