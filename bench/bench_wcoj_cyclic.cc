@@ -1,0 +1,216 @@
+// WCOJ intersection vs binary expansion on the planted-community graph
+// (DESIGN.md §12): the experiment behind the cyclic/analytic tier.
+//
+// For the triangle and diamond censuses, three plan variants run at each
+// thread count:
+//
+//   intersect     kFactorizedFused with the WCOJ rewrite on — the
+//                 Expand ; ExpandInto chain becomes one IntersectExpand
+//                 emitting factorized extensions (no flattening; COUNT
+//                 evaluates on the f-Tree via the tuple-count DP)
+//   binary        the same engine with the rewrite ablated
+//                 (ExecOptions::intersect_expand = false): ExpandInto
+//                 de-factors the whole (a, b, t) product to a flat block
+//                 and probes row by row — the pre-WCOJ behaviour
+//   binary_flat   the kFlat engine on the binary plan: the fully
+//                 materializing row-oriented baseline
+//
+// Every run is verified against the generator's closed-form count before
+// its time is recorded. The analytics kernels (merge-join CountTriangles
+// vs leapfrog CountTrianglesIntersect) are timed alongside.
+//
+// Usage: bench_wcoj_cyclic [--json [path]]
+//   env: GES_COMMUNITIES (default 64), GES_CLIQUE (default 16),
+//        GES_CHAFF (default 48 pendant leaves per clique vertex — the
+//        selective candidates >> survivors regime), GES_ITERS (default 3),
+//        GES_THREADS_LIST (default "1,2,4")
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analytics/algorithms.h"
+#include "bench/bench_util.h"
+#include "datagen/cyclic_generator.h"
+#include "executor/executor.h"
+#include "harness/report.h"
+#include "harness/stats.h"
+
+namespace ges::bench {
+namespace {
+
+Plan CensusPlan(const CyclicData& d, bool diamond) {
+  using E = Expr;
+  PlanBuilder b(diamond ? "diamond_census" : "triangle_census");
+  b.ScanByLabel("a", d.node).Expand("a", "b", {d.rel});
+  if (diamond) {
+    b.Expand("b", "c", {d.rel})
+        .ExpandInto("c", "a", {d.rel}, /*anti=*/false)
+        .Expand("b", "d", {d.rel})
+        .ExpandInto("d", "a", {d.rel}, /*anti=*/false)
+        .Filter(E::Ne(E::Col("c"), E::Col("d")));
+  } else {
+    b.Expand("b", "t", {d.rel}).ExpandInto("t", "a", {d.rel}, /*anti=*/false);
+  }
+  b.Aggregate({}, {AggSpec{AggSpec::kCount, "", "cnt"}}).Output({"cnt"});
+  return b.Build();
+}
+
+int64_t CountOf(const QueryResult& r) {
+  return r.table.NumRows() == 1 ? r.table.rows()[0][0].AsInt() : -1;
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Times `iters` runs of `plan`, aborting the bench on a wrong count.
+LatencyRecorder TimePlan(const Plan& plan, const GraphView& view,
+                         ExecMode mode, const ExecOptions& options, int iters,
+                         int64_t want, const char* label) {
+  LatencyRecorder rec;
+  Executor exec(mode, options);
+  for (int i = -1; i < iters; ++i) {  // i == -1: untimed warmup
+    auto t0 = std::chrono::steady_clock::now();
+    QueryResult r = exec.Run(plan, view);
+    double ms = MsSince(t0);
+    if (CountOf(r) != want) {
+      std::fprintf(stderr, "FATAL: %s returned %lld, want %lld\n", label,
+                   static_cast<long long>(CountOf(r)),
+                   static_cast<long long>(want));
+      std::exit(1);
+    }
+    if (i >= 0) rec.Add(ms);
+  }
+  return rec;
+}
+
+void AddSection(BenchJsonReport* json, const std::string& section,
+                const LatencyRecorder& rec) {
+  json->AddSectionScalar(section, "mean_ms", rec.Mean());
+  json->AddSectionScalar(section, "min_ms", rec.Min());
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  CyclicConfig config;
+  config.num_communities =
+      static_cast<size_t>(EnvInt("GES_COMMUNITIES", 64));
+  config.community_size = static_cast<size_t>(EnvInt("GES_CLIQUE", 16));
+  config.chaff_per_vertex = static_cast<size_t>(EnvInt("GES_CHAFF", 48));
+  int iters = EnvInt("GES_ITERS", 3);
+  const char* tl = std::getenv("GES_THREADS_LIST");
+  std::vector<int> thread_list;
+  {
+    std::string s = tl == nullptr ? "1,2,4" : tl;
+    size_t pos = 0;
+    while (pos < s.size()) {
+      size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      thread_list.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+  }
+
+  Graph graph;
+  std::printf(
+      "# generating planted graph: %zu communities x %zu-clique, %zu chaff "
+      "leaves per vertex\n",
+      config.num_communities, config.community_size,
+      config.chaff_per_vertex);
+  CyclicData data = GenerateCyclic(config, &graph);
+  GraphView view(&graph);
+  std::printf("# closed forms: triangles=%llu diamonds=%llu 4-cycles=%llu\n",
+              static_cast<unsigned long long>(data.triangles),
+              static_cast<unsigned long long>(data.diamonds),
+              static_cast<unsigned long long>(data.four_cycles));
+
+  BenchJsonReport json("wcoj_cyclic");
+  json.AddScalar("communities", static_cast<double>(config.num_communities));
+  json.AddScalar("clique", static_cast<double>(config.community_size));
+  json.AddScalar("chaff_per_vertex",
+                 static_cast<double>(config.chaff_per_vertex));
+  json.AddScalar("iters", iters);
+  json.AddScalar("triangles", static_cast<double>(data.triangles));
+  json.AddScalar("diamonds", static_cast<double>(data.diamonds));
+
+  Plan tri = CensusPlan(data, /*diamond=*/false);
+  Plan dia = CensusPlan(data, /*diamond=*/true);
+  int64_t tri_want = static_cast<int64_t>(6 * data.triangles);
+  int64_t dia_want = static_cast<int64_t>(4 * data.diamonds);
+
+  double tri_speedup_t1 = 0;
+  for (int threads : thread_list) {
+    ExecOptions on;
+    on.intra_query_threads = threads;
+    ExecOptions off = on;
+    off.intersect_expand = false;
+
+    std::string suffix = "_t" + std::to_string(threads);
+    struct Variant {
+      const char* name;
+      ExecMode mode;
+      const ExecOptions* options;
+    };
+    const Variant variants[] = {
+        {"intersect", ExecMode::kFactorizedFused, &on},
+        {"binary", ExecMode::kFactorizedFused, &off},
+        {"binary_flat", ExecMode::kFlat, &off},
+    };
+    double tri_ms[3] = {0, 0, 0};
+    int vi = 0;
+    for (const Variant& v : variants) {
+      LatencyRecorder t = TimePlan(tri, view, v.mode, *v.options, iters,
+                                   tri_want, "triangle census");
+      LatencyRecorder d = TimePlan(dia, view, v.mode, *v.options, iters,
+                                   dia_want, "diamond census");
+      AddSection(&json, std::string("triangle_") + v.name + suffix, t);
+      AddSection(&json, std::string("diamond_") + v.name + suffix, d);
+      std::printf("# t=%d %-12s triangle %8.2f ms   diamond %8.2f ms\n",
+                  threads, v.name, t.Min(), d.Min());
+      tri_ms[vi++] = t.Min();
+    }
+    double speedup = tri_ms[0] > 0 ? tri_ms[1] / tri_ms[0] : 0;
+    json.AddSectionScalar("speedup", "triangle_binary_over_intersect" + suffix,
+                          speedup);
+    json.AddSectionScalar("speedup",
+                          "triangle_flat_over_intersect" + suffix,
+                          tri_ms[0] > 0 ? tri_ms[2] / tri_ms[0] : 0);
+    std::printf("# t=%d triangle speedup: %.1fx vs binary, %.1fx vs flat\n",
+                threads, speedup, tri_ms[0] > 0 ? tri_ms[2] / tri_ms[0] : 0);
+    if (threads == 1) tri_speedup_t1 = speedup;
+  }
+  json.AddScalar("triangle_speedup_x", tri_speedup_t1);
+
+  // Analytics kernels: merge-join oracle vs leapfrog intersection.
+  {
+    LatencyRecorder merge, leap;
+    for (int i = 0; i < iters; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      uint64_t n = CountTriangles(view, data.node, data.rel);
+      merge.Add(MsSince(t0));
+      t0 = std::chrono::steady_clock::now();
+      uint64_t m = CountTrianglesIntersect(view, data.node, data.rel);
+      leap.Add(MsSince(t0));
+      if (n != data.triangles || m != data.triangles) {
+        std::fprintf(stderr, "FATAL: analytics count mismatch\n");
+        return 1;
+      }
+    }
+    AddSection(&json, "analytics_triangles_merge", merge);
+    AddSection(&json, "analytics_triangles_leapfrog", leap);
+    std::printf("# analytics: merge %.2f ms, leapfrog %.2f ms\n", merge.Min(),
+                leap.Min());
+  }
+
+  MaybeWriteJson(argc, argv, json);
+  return 0;
+}
+
+}  // namespace ges::bench
+
+int main(int argc, char** argv) { return ges::bench::Main(argc, argv); }

@@ -150,6 +150,124 @@ uint64_t CountTriangles(const GraphView& view, LabelId label,
   return triangles;
 }
 
+namespace {
+
+// Number of common ids of two sorted (kInvalidVertex-free) lists starting
+// at positions a/b, restricted to members of `index` — a two-list leapfrog
+// with galloping cursors. Duplicates (parallel edges) count once.
+uint64_t IntersectCount(const SortedList& su, uint32_t a, const SortedList& sv,
+                        uint32_t b,
+                        const std::unordered_map<VertexId, uint32_t>& index,
+                        IntersectOpStats* stats) {
+  uint64_t count = 0;
+  while (a < su.size && b < sv.size) {
+    VertexId wa = su.ids[a];
+    VertexId wb = sv.ids[b];
+    if (wa < wb) {
+      a = GallopLowerBound(su.ids, su.size, a + 1, wb, stats);
+    } else if (wb < wa) {
+      b = GallopLowerBound(sv.ids, sv.size, b + 1, wa, stats);
+    } else {
+      if (index.count(wa) != 0) {
+        ++count;
+        if (stats != nullptr) ++stats->emitted;
+      }
+      do {
+        ++a;
+      } while (a < su.size && su.ids[a] == wa);
+      do {
+        ++b;
+      } while (b < sv.size && sv.ids[b] == wa);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t CountTrianglesIntersect(const GraphView& view, LabelId label,
+                                 RelationId symmetric_rel,
+                                 IntersectOpStats* stats) {
+  DenseIndex dense(view, label);
+  std::vector<VertexId> scratch_u, scratch_v;
+  uint64_t triangles = 0;
+  for (VertexId u : dense.vertices) {
+    SortedList su =
+        NormalizeSpan(view.Neighbors(symmetric_rel, u), &scratch_u);
+    for (uint32_t i = 0; i < su.size; ++i) {
+      VertexId v = su.ids[i];
+      if (v <= u) continue;
+      if (i > 0 && su.ids[i - 1] == v) continue;  // parallel edge
+      if (dense.index.count(v) == 0) continue;
+      if (stats != nullptr) ++stats->probes;
+      SortedList sv =
+          NormalizeSpan(view.Neighbors(symmetric_rel, v), &scratch_v);
+      // Common neighbors w > v close a triangle u < v < w exactly once.
+      uint32_t a = GallopLowerBound(su.ids, su.size, i + 1, v + 1, stats);
+      uint32_t b = GallopLowerBound(sv.ids, sv.size, 0, v + 1, stats);
+      triangles += IntersectCount(su, a, sv, b, dense.index, stats);
+    }
+  }
+  return triangles;
+}
+
+uint64_t CountDiamonds(const GraphView& view, LabelId label,
+                       RelationId symmetric_rel, IntersectOpStats* stats) {
+  DenseIndex dense(view, label);
+  std::vector<VertexId> scratch_u, scratch_v;
+  uint64_t diamonds = 0;
+  for (VertexId u : dense.vertices) {
+    SortedList su =
+        NormalizeSpan(view.Neighbors(symmetric_rel, u), &scratch_u);
+    for (uint32_t i = 0; i < su.size; ++i) {
+      VertexId v = su.ids[i];
+      if (v <= u) continue;  // each edge once
+      if (i > 0 && su.ids[i - 1] == v) continue;
+      if (dense.index.count(v) == 0) continue;
+      if (stats != nullptr) ++stats->probes;
+      SortedList sv =
+          NormalizeSpan(view.Neighbors(symmetric_rel, v), &scratch_v);
+      // Every unordered pair of common neighbors spans a diamond whose
+      // chord is (u, v).
+      uint64_t c = IntersectCount(su, 0, sv, 0, dense.index, stats);
+      diamonds += c * (c - 1) / 2;
+    }
+  }
+  return diamonds;
+}
+
+uint64_t CountFourCycles(const GraphView& view, LabelId label,
+                         RelationId symmetric_rel) {
+  DenseIndex dense(view, label);
+  size_t n = dense.vertices.size();
+  // codeg[{a, b}] = number of common neighbors of the dense pair a < b;
+  // each 4-cycle is counted once per opposite pair (exactly two of them).
+  std::unordered_map<uint64_t, uint32_t> codeg;
+  std::vector<uint32_t> nbrs;
+  for (size_t i = 0; i < n; ++i) {
+    AdjSpan span = view.Neighbors(symmetric_rel, dense.vertices[i]);
+    nbrs.clear();
+    for (uint32_t k = 0; k < span.size; ++k) {
+      if (span.ids[k] == kInvalidVertex) continue;
+      auto it = dense.index.find(span.ids[k]);
+      if (it != dense.index.end()) nbrs.push_back(it->second);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        ++codeg[(uint64_t{nbrs[a]} << 32) | nbrs[b]];
+      }
+    }
+  }
+  uint64_t twice = 0;
+  for (const auto& [key, c] : codeg) {
+    (void)key;
+    twice += uint64_t{c} * (c - 1) / 2;
+  }
+  return twice / 2;
+}
+
 std::unordered_map<VertexId, int> BfsDistances(
     const GraphView& view, const std::vector<RelationId>& rels,
     VertexId source, int max_depth) {

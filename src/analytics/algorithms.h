@@ -46,6 +46,30 @@ WccResult WeaklyConnectedComponents(const GraphView& view, LabelId label,
 uint64_t CountTriangles(const GraphView& view, LabelId label,
                         RelationId symmetric_rel);
 
+// Intersection-based triangle count (the analytic face of the WCOJ tier,
+// DESIGN.md §12): per-edge leapfrog intersection of the two sorted
+// adjacency spans via storage/intersect.h — no per-vertex neighbor-list
+// materialization. Result identical to CountTriangles (parallel edges are
+// deduplicated); `stats`, when non-null, accumulates galloping counters.
+uint64_t CountTrianglesIntersect(const GraphView& view, LabelId label,
+                                 RelationId symmetric_rel,
+                                 IntersectOpStats* stats = nullptr);
+
+// Diamond count over a symmetric relation: the number of (edge {u,v},
+// unordered pair {w,x} of common neighbors) combinations, i.e.
+// sum over edges of C(|N(u) ∩ N(v)|, 2). Each diamond (K4 minus one edge)
+// is counted once via its unique chord; a full K4 contributes one per each
+// of its 6 edges. Computed with the same per-edge leapfrog intersection.
+uint64_t CountDiamonds(const GraphView& view, LabelId label,
+                       RelationId symmetric_rel,
+                       IntersectOpStats* stats = nullptr);
+
+// 4-cycle (quadrilateral) count over a symmetric relation: each cycle on 4
+// distinct vertices counted once, via co-degree accumulation over the
+// label's vertices (sum over opposite pairs of C(codeg, 2), halved).
+uint64_t CountFourCycles(const GraphView& view, LabelId label,
+                         RelationId symmetric_rel);
+
 // Single-source shortest-path distances (unweighted BFS) from `source`
 // over `rels`, bounded by `max_depth` (-1 = unbounded). Unreachable
 // vertices are absent from the map.

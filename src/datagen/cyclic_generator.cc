@@ -1,0 +1,85 @@
+#include "datagen/cyclic_generator.h"
+
+#include <utility>
+
+#include "common/random.h"
+
+namespace ges {
+
+namespace {
+
+uint64_t Choose2(uint64_t n) { return n * (n - 1) / 2; }
+uint64_t Choose3(uint64_t n) { return n * (n - 1) * (n - 2) / 6; }
+uint64_t Choose4(uint64_t n) { return n * (n - 1) * (n - 2) * (n - 3) / 24; }
+
+}  // namespace
+
+CyclicData GenerateCyclic(const CyclicConfig& config, Graph* graph) {
+  CyclicData data;
+  data.config = config;
+  Catalog& c = graph->catalog();
+  data.node = c.AddVertexLabel("CNODE");
+  data.link = c.AddEdgeLabel("LINK");
+  data.id_prop = c.AddProperty(data.node, "id", ValueType::kInt64);
+  graph->RegisterRelation(data.node, data.link, data.node);
+
+  const size_t ncomm = config.num_communities;
+  const size_t s = config.community_size;
+  Rng rng(config.seed);
+
+  data.vertices.resize(ncomm * s);
+  for (size_t i = 0; i < ncomm * s; ++i) {
+    VertexId v = graph->AddVertexBulk(data.node, static_cast<int64_t>(i));
+    graph->SetPropertyBulk(v, data.id_prop, Value::Int(static_cast<int64_t>(i)));
+    data.vertices[i] = v;
+  }
+
+  // Clique edges plus the tree of bridges, staged in shuffled order so the
+  // Finalize sort has real work to do (sorted adjacency must be an
+  // invariant of the storage layer, not of the generator).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (size_t k = 0; k < ncomm; ++k) {
+    const VertexId* comm = &data.vertices[k * s];
+    for (size_t i = 0; i < s; ++i) {
+      for (size_t j = i + 1; j < s; ++j) {
+        edges.emplace_back(comm[i], comm[j]);
+      }
+    }
+    if (config.bridge_chain && k + 1 < ncomm) {
+      edges.emplace_back(comm[0], data.vertices[(k + 1) * s]);
+    }
+  }
+  // Chaff: pendant leaves hanging off every clique vertex. A degree-1
+  // vertex lies on no cycle, so the closed forms are untouched — but every
+  // expansion's candidate list grows by `chaff_per_vertex` entries the
+  // intersection must reject, making the censuses selective (candidates >>
+  // survivors, the worst-case-optimal regime) instead of clique-dense.
+  int64_t next_id = static_cast<int64_t>(ncomm * s);
+  for (size_t i = 0; i < ncomm * s; ++i) {
+    for (size_t l = 0; l < config.chaff_per_vertex; ++l) {
+      VertexId leaf = graph->AddVertexBulk(data.node, next_id);
+      graph->SetPropertyBulk(leaf, data.id_prop, Value::Int(next_id));
+      ++next_id;
+      edges.emplace_back(data.vertices[i], leaf);
+    }
+  }
+  for (size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.Uniform(i)]);
+  }
+  for (const auto& [u, v] : edges) {
+    graph->AddEdgeBulk(data.link, u, v);
+    graph->AddEdgeBulk(data.link, v, u);
+  }
+  graph->FinalizeBulk();
+  data.rel = graph->FindRelation(data.node, data.link, data.node,
+                                 Direction::kOut);
+
+  // Bridges are a tree between cliques: no new cycles, so every count is a
+  // per-clique closed form.
+  data.triangles = ncomm * Choose3(s);
+  data.diamonds = ncomm * Choose2(s) * Choose2(s >= 2 ? s - 2 : 0);
+  data.four_cycles = ncomm * 3 * Choose4(s);
+  return data;
+}
+
+}  // namespace ges

@@ -1,0 +1,56 @@
+// Planted-cycle graph generator: ground truth for the WCOJ / analytic tier.
+//
+// The graph is a disjoint union of `num_communities` cliques of
+// `community_size` vertices, optionally linked into a chain by one bridge
+// edge between consecutive communities. Bridges form a tree between the
+// cliques, so they add NO new triangles, diamonds or 4-cycles — every
+// cyclic-subgraph count has a closed form in (num_communities,
+// community_size), which the tests and the wcoj benchmark verify against
+// the engine (datagen → storage → executor round trip).
+#ifndef GES_DATAGEN_CYCLIC_GENERATOR_H_
+#define GES_DATAGEN_CYCLIC_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/graph.h"
+
+namespace ges {
+
+struct CyclicConfig {
+  size_t num_communities = 16;
+  size_t community_size = 8;  // clique size; >= 2
+  // Chain bridge edges community i -> i+1 (tree: creates no cycles).
+  bool bridge_chain = true;
+  // Pendant leaves per clique vertex. Degree-1 vertices lie on no cycle,
+  // so the closed forms below stay exact — but candidate lists grow, which
+  // puts the censuses in the selective (candidates >> survivors) regime
+  // the worst-case-optimal intersection targets. 0 = pure cliques.
+  size_t chaff_per_vertex = 0;
+  // Permutes vertex creation order (and hence VertexId assignment) so the
+  // sorted-adjacency invariant is actually exercised, not an accident of
+  // sequential ids. Same seed => identical graph.
+  uint64_t seed = 7;
+};
+
+struct CyclicData {
+  CyclicConfig config;
+  LabelId node = kInvalidLabel;
+  LabelId link = kInvalidLabel;
+  RelationId rel = kInvalidRelation;  // node -[link]-> node, OUT
+  std::vector<VertexId> vertices;    // community-major order
+  PropertyId id_prop = kInvalidProperty;
+
+  // Closed-form planted counts (definitions match analytics/algorithms.h):
+  uint64_t triangles = 0;    // ncomm * C(s,3)
+  uint64_t diamonds = 0;     // ncomm * C(s,2) * C(s-2,2)
+  uint64_t four_cycles = 0;  // ncomm * 3 * C(s,4)
+};
+
+// Generates the planted graph into `graph` (must be empty): defines the
+// schema, bulk-loads vertices and symmetric LINK edges, FinalizeBulk.
+CyclicData GenerateCyclic(const CyclicConfig& config, Graph* graph);
+
+}  // namespace ges
+
+#endif  // GES_DATAGEN_CYCLIC_GENERATOR_H_

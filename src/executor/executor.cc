@@ -412,14 +412,47 @@ FlatBlock FlatDistinct(const FlatBlock& in) {
 }
 
 FlatBlock FlatExpandInto(const FlatBlock& in, const PlanOp& op,
-                         const GraphView& view) {
+                         const GraphView& view, IntersectOpStats* istats) {
   int a = in.schema().IndexOf(op.in_column);
   int b = in.schema().IndexOf(op.other_column);
   assert(a >= 0 && b >= 0);
   FlatBlock out(in.schema());
   for (const auto& row : in.rows()) {
-    bool has = view.HasEdge(op.rels, row[a].AsVertex(), row[b].AsVertex());
+    bool has =
+        view.HasEdge(op.rels, row[a].AsVertex(), row[b].AsVertex(), istats);
     if (has != op.anti) out.AppendRow(row);
+  }
+  return out;
+}
+
+// Worst-case-optimal multiway intersection: one output row per driver
+// neighbor adjacent to every probe vertex (see IntersectExpandRunner).
+FlatBlock FlatIntersectExpand(const FlatBlock& in, const PlanOp& op,
+                              const GraphView& view,
+                              IntersectOpStats* istats) {
+  int src_idx = in.schema().IndexOf(op.in_column);
+  assert(src_idx >= 0);
+  std::vector<int> probe_idx;
+  for (const std::string& p : op.probe_columns) {
+    int i = in.schema().IndexOf(p);
+    assert(i >= 0);
+    probe_idx.push_back(i);
+  }
+  Schema s = in.schema();
+  s.Add(op.out_column, ValueType::kVertex);
+  FlatBlock out(s);
+  internal::IntersectExpandRunner runner(op);
+  std::vector<VertexId> probe_vals(probe_idx.size());
+  for (const auto& row : in.rows()) {
+    for (size_t c = 0; c < probe_idx.size(); ++c) {
+      probe_vals[c] = row[probe_idx[c]].AsVertex();
+    }
+    runner.Run(view, row[src_idx].AsVertex(), probe_vals.data(), istats,
+               [&](VertexId w) {
+                 std::vector<Value> r = row;
+                 r.push_back(Value::Vertex(w));
+                 out.AppendRow(std::move(r));
+               });
   }
   return out;
 }
@@ -436,8 +469,8 @@ FlatBlock FlatLimit(const FlatBlock& in, uint64_t n) {
 
 namespace internal {
 
-FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op,
-                      const GraphView& view) {
+FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op, const GraphView& view,
+                      IntersectOpStats* istats) {
   switch (op.type) {
     case OpType::kNodeByIdSeek:
       return FlatSeek(op, view);
@@ -476,7 +509,9 @@ FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op,
     case OpType::kDistinct:
       return FlatDistinct(state);
     case OpType::kExpandInto:
-      return FlatExpandInto(state, op, view);
+      return FlatExpandInto(state, op, view, istats);
+    case OpType::kIntersectExpand:
+      return FlatIntersectExpand(state, op, view, istats);
     case OpType::kProcedure:
       return op.procedure(view);
     case OpType::kExpandFiltered: {
@@ -524,9 +559,12 @@ QueryResult Executor::RunFlat(const Plan& plan, const GraphView& view) const {
   for (const PlanOp& op : plan.ops) {
     ThrowIfInterrupted(options_.context);
     Timer t;
-    state = internal::ApplyFlatOp(std::move(state), op, view);
+    IntersectOpStats istats;
+    state = internal::ApplyFlatOp(std::move(state), op, view, &istats);
+    result.stats.intersect.Add(istats);
     OpStats os;
     os.op = OpTypeName(op.type);
+    os.intersect = istats;
     os.millis = t.ElapsedMillis();
     if (options_.collect_stats) {
       os.intermediate_bytes = state.MemoryBytes();
@@ -551,7 +589,7 @@ QueryResult Executor::Run(const Plan& plan, const GraphView& view) const {
       case ExecMode::kFactorized:
         return RunFactorized(plan, view);
       case ExecMode::kFactorizedFused: {
-        Plan fused = OptimizePlan(plan, options_);
+        Plan fused = OptimizePlan(plan, options_, &view);
         return RunFactorized(fused, view);
       }
     }

@@ -58,6 +58,12 @@ struct ExecOptions {
   bool fuse_filter_into_expand = true;
   bool fuse_topk = true;
   bool fuse_agg_project_top = true;
+  // Worst-case-optimal rewrite (DESIGN.md §12): a 1-hop Expand followed by
+  // an ExpandInto chain over its output column becomes one IntersectExpand
+  // (leapfrog multiway intersection), gated by the degree-based cost model
+  // when adjacency statistics are available. Disable to ablate against the
+  // binary Expand + ExpandInto plan.
+  bool intersect_expand = true;
   // Per-operator memory/row accounting (Figure 3, Table 2). Disable for
   // pure-throughput runs to avoid measurement overhead.
   bool collect_stats = true;
@@ -82,6 +88,9 @@ struct OpStats {
   // Size of the live intermediate representation after the operator.
   size_t intermediate_bytes = 0;
   uint64_t rows = 0;  // encoded tuples after the operator
+  // Intersection counters (kIntersectExpand / membership probes); all-zero
+  // for operators that never gallop. Shown by ExplainAnalyze.
+  IntersectOpStats intersect;
 };
 
 struct QueryStats {
@@ -89,6 +98,10 @@ struct QueryStats {
   // Peak intermediate-result footprint across the pipeline (Table 2).
   size_t peak_intermediate_bytes = 0;
   std::vector<OpStats> ops;
+  // Query-wide intersection counters, collected even when per-op stats are
+  // off (collect_stats=false): the service aggregates these into
+  // ServiceStats so galloping regressions stay observable in production.
+  IntersectOpStats intersect;
 };
 
 struct QueryResult {

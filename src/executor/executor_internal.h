@@ -12,9 +12,11 @@
 namespace ges::internal {
 
 // Applies one plan operator to a flat state. Handles every OpType,
-// including fused operators (executed stepwise).
-FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op,
-                      const GraphView& view);
+// including fused operators (executed stepwise). `istats`, when non-null,
+// accumulates intersection/galloping counters (kIntersectExpand,
+// kExpandInto membership probes).
+FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op, const GraphView& view,
+                      IntersectOpStats* istats = nullptr);
 
 // Final output projection (keeps all columns when `output` is empty).
 FlatBlock ProjectOutput(const FlatBlock& in,
@@ -49,6 +51,58 @@ struct ValueHash {
 inline const std::string& FusedPropertyColumn(const PlanOp& op) {
   return op.other_column;
 }
+
+// Per-row driver of kIntersectExpand, shared by the flat, Volcano and
+// factorized engines: binds the probe adjacency lists of one input row,
+// then walks the driver's neighbors in adjacency (sorted) order and emits
+// exactly those adjacent to every probe vertex — a leapfrog intersection
+// with advancing galloping cursors (storage/intersect.h). Driver order and
+// multiplicity are preserved, so the operator is row-for-row equivalent to
+// Expand followed by an ExpandInto chain over the reverse relations.
+class IntersectExpandRunner {
+ public:
+  explicit IntersectExpandRunner(const PlanOp& op) : op_(&op) {
+    size_t lists = 0;
+    for (const auto& rels : op.probe_rels) lists += rels.size();
+    scratch_.resize(lists);
+  }
+
+  template <typename Emit>
+  void Run(const GraphView& view, VertexId src, const VertexId* probe_vals,
+           IntersectOpStats* stats, Emit&& emit) {
+    lists_.clear();
+    column_of_.clear();
+    size_t li = 0;
+    for (size_t c = 0; c < op_->probe_rels.size(); ++c) {
+      for (RelationId rel : op_->probe_rels[c]) {
+        lists_.push_back(
+            NormalizeSpan(view.Neighbors(rel, probe_vals[c]), &scratch_[li]));
+        column_of_.push_back(static_cast<uint32_t>(c));
+        ++li;
+      }
+    }
+    prober_.Bind(lists_, column_of_, op_->probe_rels.size());
+    if (prober_.AnyColumnEmpty()) return;
+    for (RelationId rel : op_->rels) {
+      AdjSpan span = view.Neighbors(rel, src);
+      prober_.BeginDriverList();
+      for (uint32_t i = 0; i < span.size; ++i) {
+        VertexId w = span.ids[i];
+        if (w == kInvalidVertex) continue;
+        if (!prober_.Matches(w, stats)) continue;
+        if (stats != nullptr) ++stats->emitted;
+        emit(w);
+      }
+    }
+  }
+
+ private:
+  const PlanOp* op_;
+  IntersectProber prober_;
+  std::vector<SortedList> lists_;
+  std::vector<uint32_t> column_of_;
+  std::vector<std::vector<VertexId>> scratch_;
+};
 
 // Incremental hash-grouped aggregation shared by the flat engine, the
 // direct (tuple-count DP) factorized path, and the streaming fused path.

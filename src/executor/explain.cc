@@ -24,6 +24,9 @@ std::vector<std::string> ProducedColumns(const PlanOp& op) {
       out.push_back(op.out_column);
       if (op.keep_property) out.push_back(op.other_column);
       break;
+    case OpType::kIntersectExpand:
+      out.push_back(op.out_column);
+      break;
     case OpType::kGetProperty:
       out.push_back(op.out_column);
       break;
@@ -56,6 +59,10 @@ std::vector<std::string> ConsumedColumns(const PlanOp& op) {
     case OpType::kExpandInto:
       out.push_back(op.in_column);
       out.push_back(op.other_column);
+      break;
+    case OpType::kIntersectExpand:
+      out.push_back(op.in_column);
+      for (const std::string& p : op.probe_columns) out.push_back(p);
       break;
     case OpType::kFilter:
       op.predicate->CollectColumns(&out);
@@ -153,6 +160,18 @@ std::string DescribeOp(const PlanOp& op) {
       os << " " << op.in_column << (op.anti ? " -!-> " : " --> ")
          << op.other_column;
       break;
+    case OpType::kIntersectExpand: {
+      os << " " << op.in_column << " -[";
+      for (size_t i = 0; i < op.rels.size(); ++i) {
+        os << (i > 0 ? "," : "") << "rel" << op.rels[i];
+      }
+      os << "]-> " << op.out_column << " intersect [";
+      for (size_t i = 0; i < op.probe_columns.size(); ++i) {
+        os << (i > 0 ? ", " : "") << "N(" << op.probe_columns[i] << ")";
+      }
+      os << "]";
+      break;
+    }
     default:
       break;
   }
@@ -185,6 +204,32 @@ std::string ExplainPlan(const Plan& plan) {
     }
     os << "]\n";
   }
+  return os.str();
+}
+
+std::string ExplainAnalyze(const Plan& plan, const QueryResult& result) {
+  std::ostringstream os;
+  os << ExplainPlan(plan);
+  os << "Analyze:\n";
+  for (const OpStats& s : result.stats.ops) {
+    os << "  " << s.op << ": rows=" << s.rows << " millis=" << s.millis
+       << " bytes=" << s.intermediate_bytes;
+    if (s.intersect.Any()) {
+      os << " probes=" << s.intersect.probes
+         << " gallops=" << s.intersect.gallops
+         << " skipped=" << s.intersect.skipped
+         << " emitted=" << s.intersect.emitted;
+    }
+    os << "\n";
+  }
+  os << "  total: millis=" << result.stats.total_millis
+     << " peak_bytes=" << result.stats.peak_intermediate_bytes;
+  const IntersectOpStats& t = result.stats.intersect;
+  if (t.Any()) {
+    os << " probes=" << t.probes << " gallops=" << t.gallops
+       << " skipped=" << t.skipped << " emitted=" << t.emitted;
+  }
+  os << "\n";
   return os.str();
 }
 
@@ -227,6 +272,16 @@ Status ValidatePlan(const Plan& plan) {
       for (const ComputedColumn& c : op.computed) next.insert(c.name);
       live = std::move(next);
       continue;
+    }
+    if (op.type == OpType::kIntersectExpand) {
+      if (op.probe_columns.empty()) {
+        return Status::InvalidArgument(
+            "IntersectExpand needs at least one probe column");
+      }
+      if (op.probe_columns.size() != op.probe_rels.size()) {
+        return Status::InvalidArgument(
+            "IntersectExpand probe_columns/probe_rels size mismatch");
+      }
     }
     for (const std::string& c : ProducedColumns(op)) {
       if (!live.insert(c).second) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "executor/executor.h"
 #include "executor/plan.h"
 
 namespace ges {
@@ -17,6 +18,13 @@ namespace ges {
 //   3. GetProperty f.#4                      -> [f_name]
 //   4. TopK keys=[f_name asc] limit=10
 std::string ExplainPlan(const Plan& plan);
+
+// EXPLAIN ANALYZE: the plan annotated with the execution stats of a
+// completed run — per-operator rows, time, intermediate footprint, and the
+// intersection counters (probes/gallops/skipped) of galloping operators.
+// When the run had collect_stats=false only the query-wide totals line is
+// emitted after the plan.
+std::string ExplainAnalyze(const Plan& plan, const QueryResult& result);
 
 // Statically validates the pipeline: the first operator must be a leaf
 // (seek/scan/procedure), every consumed column must have been produced by

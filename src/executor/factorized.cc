@@ -253,6 +253,131 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
   tree.RegisterColumns(child);
 }
 
+// For each row of `node`, the row of `ancestor` it descends from, walking
+// the (parent, child) index vectors upward. Returns false when `ancestor`
+// is not on `node`'s root path.
+bool AncestorRowMap(const FTreeNode* node, const FTreeNode* ancestor,
+                    std::vector<uint64_t>* map) {
+  std::vector<const FTreeNode*> chain;
+  for (const FTreeNode* n = node; n != nullptr; n = n->parent) {
+    chain.push_back(n);
+    if (n == ancestor) break;
+  }
+  if (chain.back() != ancestor) return false;
+  size_t rows = node->block.NumRows();
+  map->resize(rows);
+  for (size_t r = 0; r < rows; ++r) (*map)[r] = r;
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    const FTreeNode* cur = chain[i];
+    const FTreeNode* par = chain[i + 1];
+    // Invert the (par, cur) index vector: parent row of each cur row.
+    std::vector<uint64_t> parent_of(cur->block.NumRows(), 0);
+    for (uint64_t pr = 0; pr < par->block.NumRows(); ++pr) {
+      const IndexRange& rng = cur->parent_index[pr];
+      for (uint64_t cr = rng.begin; cr < rng.end; ++cr) parent_of[cr] = pr;
+    }
+    for (size_t r = 0; r < rows; ++r) (*map)[r] = parent_of[(*map)[r]];
+  }
+  return true;
+}
+
+// Worst-case-optimal intersection as a factorized extension: the surviving
+// neighbors of each driver row become a new child node under the driver's
+// node, so the multiway intersection result is emitted directly in
+// factorized form — never flattened. Applies when every probe column lives
+// on the driver node's root path (each driver row then determines a unique
+// probe tuple via the ancestor row maps); any other shape falls back to
+// flat execution, exactly like kExpandInto.
+bool TryFactIntersectExpand(FactState* state, const PlanOp& op,
+                            const GraphView& view, const ExecOptions& options,
+                            IntersectOpStats* istats) {
+  FTree& tree = *state->tree;
+  FTreeNode* src = tree.NodeOfColumn(op.in_column);
+  if (src == nullptr) return false;
+  int src_col = src->block.schema().IndexOf(op.in_column);
+  size_t rows = src->block.NumRows();
+
+  struct Probe {
+    const FTreeNode* node;
+    int col;
+    std::vector<uint64_t> row_map;  // empty: probe lives on src itself
+  };
+  std::vector<Probe> probes(op.probe_columns.size());
+  for (size_t c = 0; c < op.probe_columns.size(); ++c) {
+    const FTreeNode* pn = tree.NodeOfColumn(op.probe_columns[c]);
+    if (pn == nullptr) return false;
+    probes[c].node = pn;
+    probes[c].col = pn->block.schema().IndexOf(op.probe_columns[c]);
+    if (pn != src && !AncestorRowMap(src, pn, &probes[c].row_map)) {
+      return false;
+    }
+  }
+
+  FTreeNode* child = tree.AddChild(src);
+  child->parent_index.assign(rows, IndexRange{0, 0});
+
+  // Morsel-driven on the shared TaskScheduler with the same Part-per-morsel
+  // stitching as FactExpand: output is identical for every thread count.
+  struct Part {
+    ValueVector ids{ValueType::kVertex};
+    std::vector<uint32_t> counts;  // per source row of the morsel
+    IntersectOpStats stats;
+  };
+  size_t num_morsels = (rows + kExpandMorselRows - 1) / kExpandMorselRows;
+  std::vector<Part> parts(num_morsels);
+
+  auto morsel = [&](size_t begin_row, size_t end_row) {
+    Part& part = parts[begin_row / kExpandMorselRows];
+    internal::IntersectExpandRunner runner(op);
+    std::vector<VertexId> probe_vals(probes.size());
+    part.counts.reserve(end_row - begin_row);
+    for (size_t r = begin_row; r < end_row; ++r) {
+      // Per-row checkpoint: a high-degree driver can gallop for a while.
+      ThrowIfInterrupted(options.context);
+      VertexId v = src->RowValid(r)
+                       ? src->block.GetValue(r, src_col).AsVertex()
+                       : kInvalidVertex;
+      bool ok = v != kInvalidVertex;
+      for (size_t c = 0; ok && c < probes.size(); ++c) {
+        const Probe& p = probes[c];
+        uint64_t pr = p.row_map.empty() ? r : p.row_map[r];
+        VertexId u = p.node->block.GetValue(pr, p.col).AsVertex();
+        if (u == kInvalidVertex) ok = false;
+        probe_vals[c] = u;
+      }
+      if (!ok) {
+        part.counts.push_back(0);
+        continue;
+      }
+      uint32_t n = 0;
+      runner.Run(view, v, probe_vals.data(), &part.stats, [&](VertexId w) {
+        part.ids.AppendVertex(w);
+        ++n;
+      });
+      part.counts.push_back(n);
+    }
+  };
+  TaskScheduler::Global().ParallelFor(0, rows, kExpandMorselRows,
+                                      options.intra_query_threads, morsel,
+                                      options.context);
+
+  ValueVector ids(ValueType::kVertex);
+  uint64_t off = 0;
+  size_t row = 0;
+  for (const Part& part : parts) {
+    istats->Add(part.stats);
+    if (!part.counts.empty()) ids.AppendRange(part.ids, 0, part.ids.size());
+    for (uint32_t n : part.counts) {
+      child->parent_index[row] = IndexRange{off, off + n};
+      off += n;
+      ++row;
+    }
+  }
+  child->block.AddColumn(op.out_column, std::move(ids));
+  tree.RegisterColumns(child);
+  return true;
+}
+
 // Fused Expand+GetProperty+Filter (FilterPushDown): only surviving
 // neighbors and their property values are materialized. The property value
 // of each candidate neighbor is fetched exactly once and reused for both
@@ -733,8 +858,9 @@ QueryResult Executor::RunFactorized(const Plan& plan,
   for (const PlanOp& op : plan.ops) {
     ThrowIfInterrupted(options_.context);
     Timer t;
+    IntersectOpStats istats;
     if (!state.is_tree()) {
-      state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+      state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats);
     } else {
       switch (op.type) {
         case OpType::kNodeByIdSeek:
@@ -748,6 +874,12 @@ QueryResult Executor::RunFactorized(const Plan& plan,
           break;
         case OpType::kExpandFiltered:
           FactExpandFiltered(&state, op, view, options_);
+          break;
+        case OpType::kIntersectExpand:
+          if (!TryFactIntersectExpand(&state, op, view, options_, &istats)) {
+            FlattenState(&state, options_);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats);
+          }
           break;
         case OpType::kGetProperty:
           FactGetProperty(&state, op, view, options_);
@@ -812,7 +944,7 @@ QueryResult Executor::RunFactorized(const Plan& plan,
         case OpType::kExpandInto:
           // Cyclic / global-dedup logic: revert to flat execution.
           FlattenState(&state, options_);
-          state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+          state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats);
           break;
         case OpType::kProcedure:
           state.SwitchToFlat(op.procedure(view));
@@ -822,6 +954,8 @@ QueryResult Executor::RunFactorized(const Plan& plan,
     OpStats os;
     os.op = OpTypeName(op.type);
     os.millis = t.ElapsedMillis();
+    os.intersect = istats;
+    result.stats.intersect.Add(istats);
     if (options_.collect_stats) {
       os.intermediate_bytes =
           std::max(state.MemoryBytes(), state.transient_bytes);

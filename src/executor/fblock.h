@@ -18,6 +18,7 @@
 #define GES_EXECUTOR_FBLOCK_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -132,15 +133,18 @@ class FBlock {
   }
 
   size_t SegmentIndexOf(uint64_t row) const {
-    // Cache-friendly: most access patterns are sequential.
-    size_t seg = last_seg_;
+    // Cache-friendly: most access patterns are sequential. The memo is a
+    // relaxed atomic because morsel-parallel operators (IntersectExpand)
+    // probe the same block from several workers; any stale value is just a
+    // missed shortcut, never a wrong answer.
+    size_t seg = last_seg_.load(std::memory_order_relaxed);
     if (seg < segments_.size() && seg_offsets_[seg] <= row &&
         row < seg_offsets_[seg + 1]) {
       return seg;
     }
     auto it = std::upper_bound(seg_offsets_.begin(), seg_offsets_.end(), row);
     seg = static_cast<size_t>(it - seg_offsets_.begin()) - 1;
-    last_seg_ = seg;
+    last_seg_.store(seg, std::memory_order_relaxed);
     return seg;
   }
 
@@ -150,7 +154,7 @@ class FBlock {
   bool lazy_ = false;
   std::vector<AdjSpan> segments_;
   std::vector<uint64_t> seg_offsets_;
-  mutable size_t last_seg_ = 0;
+  mutable std::atomic<size_t> last_seg_{0};
 };
 
 }  // namespace ges

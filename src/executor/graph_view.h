@@ -8,6 +8,7 @@
 #include "common/types.h"
 #include "common/value.h"
 #include "storage/graph.h"
+#include "storage/intersect.h"
 
 namespace ges {
 
@@ -44,13 +45,12 @@ class GraphView {
   }
 
   // True if an edge v -> w exists in any of `rels` (tombstones skipped).
-  bool HasEdge(const std::vector<RelationId>& rels, VertexId v,
-               VertexId w) const {
+  // Galloping search over the sorted neighbor list (linear only for the
+  // rare tombstoned base span); `stats` may be null.
+  bool HasEdge(const std::vector<RelationId>& rels, VertexId v, VertexId w,
+               IntersectOpStats* stats = nullptr) const {
     for (RelationId rel : rels) {
-      AdjSpan span = Neighbors(rel, v);
-      for (uint32_t i = 0; i < span.size; ++i) {
-        if (span.ids[i] == w) return true;
-      }
+      if (SpanContains(Neighbors(rel, v), w, stats)) return true;
     }
     return false;
   }

@@ -1,5 +1,6 @@
 #include "executor/optimizer.h"
 
+#include <cmath>
 #include <limits>
 
 namespace ges {
@@ -23,6 +24,35 @@ bool ExpandFusable(const PlanOp& op) {
   return op.type == OpType::kExpand && op.max_hops == 1 && !op.distinct &&
          !op.exclude_start && op.distance_column.empty() &&
          op.stamp_column.empty();
+}
+
+// Degree-based cost gate for the WCOJ rewrite (DESIGN.md §12), in probe
+// comparisons per driver row:
+//   binary:    d_drv * (1 + sum_c log2(1 + d_c)) + kMaterialize * d_drv
+//   intersect: min(d_drv, min_c d_c) * (1 + sum_c log2(1 + d_c)) + d_drv
+// The binary chain materializes every candidate extension before probing
+// (and de-factors the f-Tree); the intersection rejects candidates past the
+// shortest probe list in O(1) through its exhausted cursor and walks the
+// driver list in place. Without statistics (view == nullptr) the rewrite is
+// applied unconditionally — it is never asymptotically worse.
+bool IntersectionProfitable(const GraphView* view, const PlanOp& expand,
+                            const std::vector<std::vector<RelationId>>& probe_rels) {
+  if (view == nullptr) return true;
+  const Graph& g = view->graph();
+  double d_drv = 0;
+  for (RelationId r : expand.rels) d_drv += g.AvgDegree(r);
+  double log_sum = 0;
+  double d_min = std::numeric_limits<double>::infinity();
+  for (const std::vector<RelationId>& rels : probe_rels) {
+    double d = 0;
+    for (RelationId r : rels) d += g.AvgDegree(r);
+    d_min = std::min(d_min, d);
+    log_sum += std::log2(1.0 + d);
+  }
+  constexpr double kMaterialize = 4.0;  // per-row extension + flatten cost
+  double binary = d_drv * (1.0 + log_sum) + kMaterialize * d_drv;
+  double intersect = std::min(d_drv, d_min) * (1.0 + log_sum) + d_drv;
+  return intersect < binary;
 }
 
 }  // namespace
@@ -98,7 +128,8 @@ void PushDownFilters(std::vector<PlanOp>* ops) {
 
 }  // namespace
 
-Plan OptimizePlan(const Plan& plan, const ExecOptions& options) {
+Plan OptimizePlan(const Plan& plan, const ExecOptions& options,
+                  const GraphView* view) {
   Plan out;
   out.name = plan.name;
   out.output = plan.output;
@@ -109,6 +140,58 @@ Plan OptimizePlan(const Plan& plan, const ExecOptions& options) {
   const std::vector<PlanOp>& ops = reordered;
   size_t i = 0;
   while (i < ops.size()) {
+    // --- WCOJ: Expand ; ExpandInto+ -> IntersectExpand (DESIGN.md §12).
+    // The cyclic closing edges of the bound plan (triangles, diamonds,
+    // k-cliques) show up as semi-join ExpandInto ops against the column the
+    // Expand just produced; the chain becomes one leapfrog intersection.
+    if (options.intersect_expand && ExpandFusable(ops[i]) &&
+        ops[i].min_hops == 1 && i + 1 < ops.size()) {
+      const std::string& w = ops[i].out_column;
+      std::vector<std::string> probe_cols;
+      std::vector<std::vector<RelationId>> probe_rels;
+      // Filters interleaved with the ExpandInto chain are deferred past the
+      // fused operator: both are pure row selections, and selections
+      // commute (no columns are added or dropped), so re-running them after
+      // the intersection yields the same rows.
+      std::vector<const PlanOp*> deferred_filters;
+      size_t j = i + 1;
+      for (; j < ops.size(); ++j) {
+        if (ops[j].type == OpType::kFilter) {
+          deferred_filters.push_back(&ops[j]);
+          continue;
+        }
+        if (ops[j].type != OpType::kExpandInto || ops[j].anti) break;
+        if (ops[j].other_column == w && ops[j].in_column != w) {
+          // Checks edge p -> w: membership of w in N(p) as-is.
+          probe_cols.push_back(ops[j].in_column);
+          probe_rels.push_back(ops[j].rels);
+        } else if (ops[j].in_column == w && ops[j].other_column != w) {
+          // Checks edge w -> p: equivalent to w in N(p) over the reverse
+          // relations (needs the catalog, i.e. a view).
+          if (view == nullptr) break;
+          std::vector<RelationId> rev;
+          rev.reserve(ops[j].rels.size());
+          for (RelationId r : ops[j].rels) {
+            rev.push_back(view->graph().ReverseRelation(r));
+          }
+          probe_cols.push_back(ops[j].other_column);
+          probe_rels.push_back(std::move(rev));
+        } else {
+          break;
+        }
+      }
+      if (!probe_cols.empty() &&
+          IntersectionProfitable(view, ops[i], probe_rels)) {
+        PlanOp fused = ops[i];
+        fused.type = OpType::kIntersectExpand;
+        fused.probe_columns = std::move(probe_cols);
+        fused.probe_rels = std::move(probe_rels);
+        out.ops.push_back(std::move(fused));
+        for (const PlanOp* f : deferred_filters) out.ops.push_back(*f);
+        i = j;
+        continue;
+      }
+    }
     // --- FilterPushDown: Expand ; GetProperty ; Filter -> ExpandFiltered
     if (options.fuse_filter_into_expand && i + 2 < ops.size() &&
         ExpandFusable(ops[i]) && ops[i + 1].type == OpType::kGetProperty &&

@@ -16,11 +16,17 @@ namespace ges {
 //  * AggregateProjectTop — Aggregate ; [Project] ; OrderBy+Limit  =>
 //    one fused operator that aggregates directly on the f-Tree (or streams
 //    tuples through group states) and keeps only the top-k rows;
-//  * TopK — OrderBy with a small LIMIT  =>  bounded-heap de-factoring.
+//  * TopK — OrderBy with a small LIMIT  =>  bounded-heap de-factoring;
+//  * IntersectExpand — Expand ; ExpandInto+ over the new column  =>  one
+//    worst-case-optimal multiway intersection (DESIGN.md §12). When `view`
+//    is provided, the rewrite is gated by a cost model over the per-label
+//    average degrees from the adjacency metadata; without a view it is
+//    applied rule-based (the intersection is never asymptotically worse).
 //
 // Rewrites preserve result semantics; the equivalence tests run every
 // query through fused and unfused plans.
-Plan OptimizePlan(const Plan& plan, const ExecOptions& options);
+Plan OptimizePlan(const Plan& plan, const ExecOptions& options,
+                  const GraphView* view = nullptr);
 
 }  // namespace ges
 

@@ -34,6 +34,8 @@ const char* OpTypeName(OpType t) {
       return "TopK";
     case OpType::kAggProjectTop:
       return "AggProjectTop";
+    case OpType::kIntersectExpand:
+      return "IntersectExpand";
   }
   return "?";
 }
@@ -160,6 +162,21 @@ PlanBuilder& PlanBuilder::ExpandInto(std::string a, std::string b,
   op.other_column = std::move(b);
   op.rels = std::move(rels);
   op.anti = anti;
+  plan_.ops.push_back(std::move(op));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::IntersectExpand(
+    std::string in, std::string out, std::vector<RelationId> rels,
+    std::vector<std::string> probe_columns,
+    std::vector<std::vector<RelationId>> probe_rels) {
+  PlanOp op;
+  op.type = OpType::kIntersectExpand;
+  op.in_column = std::move(in);
+  op.out_column = std::move(out);
+  op.rels = std::move(rels);
+  op.probe_columns = std::move(probe_columns);
+  op.probe_rels = std::move(probe_rels);
   plan_.ops.push_back(std::move(op));
   return *this;
 }

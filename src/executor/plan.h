@@ -37,6 +37,10 @@ enum class OpType : uint8_t {
   kExpandFiltered,  // Expand + GetProperty + Filter fused (FilterPushDown)
   kTopK,            // OrderBy+Limit fused into de-factoring (bounded heap)
   kAggProjectTop,   // Aggregate + Project + OrderBy/Limit fused
+  // Worst-case-optimal multiway intersection (DESIGN.md §12): expands
+  // in_column over `rels` and keeps only neighbors adjacent to every probe
+  // column — a leapfrog intersection of k sorted adjacency lists.
+  kIntersectExpand,
 };
 
 const char* OpTypeName(OpType t);
@@ -105,6 +109,14 @@ struct PlanOp {
   std::string other_column;
   bool anti = false;
 
+  // kIntersectExpand: already-bound probe columns; a candidate neighbor of
+  // in_column survives iff every probe vertex also has an edge to it
+  // through the matching probe_rels entry (OR across that entry's rels).
+  // The driver (in_column/rels) fixes result multiplicity and order, so
+  // the operator is row-for-row equivalent to Expand + an ExpandInto chain.
+  std::vector<std::string> probe_columns;
+  std::vector<std::vector<RelationId>> probe_rels;
+
   // kProcedure.
   std::function<FlatBlock(const GraphView&)> procedure;
 };
@@ -158,6 +170,10 @@ class PlanBuilder {
   PlanBuilder& Distinct();
   PlanBuilder& ExpandInto(std::string a, std::string b,
                           std::vector<RelationId> rels, bool anti);
+  PlanBuilder& IntersectExpand(std::string in, std::string out,
+                               std::vector<RelationId> rels,
+                               std::vector<std::string> probe_columns,
+                               std::vector<std::vector<RelationId>> probe_rels);
   PlanBuilder& Procedure(std::function<FlatBlock(const GraphView&)> fn);
   PlanBuilder& Output(std::vector<std::string> columns);
 

@@ -158,8 +158,8 @@ class VolFilter : public VolOp {
 class VolExpandInto : public VolOp {
  public:
   VolExpandInto(std::unique_ptr<VolOp> child, const PlanOp& op,
-                const GraphView& view)
-      : child_(std::move(child)), op_(op), view_(view) {
+                const GraphView& view, IntersectOpStats* istats)
+      : child_(std::move(child)), op_(op), view_(view), istats_(istats) {
     schema_ = child_->schema();
     a_ = schema_.IndexOf(op.in_column);
     b_ = schema_.IndexOf(op.other_column);
@@ -168,7 +168,7 @@ class VolExpandInto : public VolOp {
   bool Next(Row* row) override {
     while (child_->Next(row)) {
       bool has = view_.HasEdge(op_.rels, (*row)[a_].AsVertex(),
-                               (*row)[b_].AsVertex());
+                               (*row)[b_].AsVertex(), istats_);
       if (has != op_.anti) return true;
     }
     return false;
@@ -178,8 +178,64 @@ class VolExpandInto : public VolOp {
   std::unique_ptr<VolOp> child_;
   const PlanOp& op_;
   const GraphView& view_;
+  IntersectOpStats* istats_;
   int a_;
   int b_;
+};
+
+// Tuple-at-a-time multiway intersection: per input row, materialize the
+// surviving neighbors (via the shared leapfrog runner) and stream them.
+class VolIntersectExpand : public VolOp {
+ public:
+  VolIntersectExpand(std::unique_ptr<VolOp> child, const PlanOp& op,
+                     const GraphView& view, IntersectOpStats* istats)
+      : child_(std::move(child)),
+        op_(op),
+        view_(view),
+        istats_(istats),
+        runner_(op) {
+    schema_ = child_->schema();
+    src_idx_ = schema_.IndexOf(op.in_column);
+    assert(src_idx_ >= 0);
+    for (const std::string& p : op.probe_columns) {
+      int i = schema_.IndexOf(p);
+      assert(i >= 0);
+      probe_idx_.push_back(i);
+    }
+    probe_vals_.resize(probe_idx_.size());
+    schema_.Add(op.out_column, ValueType::kVertex);
+  }
+
+  bool Next(Row* row) override {
+    while (true) {
+      if (pos_ < matches_.size()) {
+        *row = current_;
+        row->push_back(Value::Vertex(matches_[pos_++]));
+        return true;
+      }
+      if (!child_->Next(&current_)) return false;
+      matches_.clear();
+      pos_ = 0;
+      for (size_t c = 0; c < probe_idx_.size(); ++c) {
+        probe_vals_[c] = current_[probe_idx_[c]].AsVertex();
+      }
+      runner_.Run(view_, current_[src_idx_].AsVertex(), probe_vals_.data(),
+                  istats_, [&](VertexId w) { matches_.push_back(w); });
+    }
+  }
+
+ private:
+  std::unique_ptr<VolOp> child_;
+  const PlanOp& op_;
+  const GraphView& view_;
+  IntersectOpStats* istats_;
+  internal::IntersectExpandRunner runner_;
+  int src_idx_;
+  std::vector<int> probe_idx_;
+  std::vector<VertexId> probe_vals_;
+  Row current_;
+  std::vector<VertexId> matches_;
+  size_t pos_ = 0;
 };
 
 class VolLimit : public VolOp {
@@ -336,6 +392,7 @@ QueryResult RunVolcano(const Plan& plan, const GraphView& view) {
   QueryResult result;
   Timer total;
   size_t peak_bytes = 0;
+  IntersectOpStats istats;
 
   std::unique_ptr<VolOp> pipeline;
   for (const PlanOp& op : plan.ops) {
@@ -376,8 +433,12 @@ QueryResult RunVolcano(const Plan& plan, const GraphView& view) {
         pipeline = std::make_unique<VolDistinct>(std::move(pipeline));
         break;
       case OpType::kExpandInto:
-        pipeline =
-            std::make_unique<VolExpandInto>(std::move(pipeline), op, view);
+        pipeline = std::make_unique<VolExpandInto>(std::move(pipeline), op,
+                                                   view, &istats);
+        break;
+      case OpType::kIntersectExpand:
+        pipeline = std::make_unique<VolIntersectExpand>(std::move(pipeline),
+                                                        op, view, &istats);
         break;
       case OpType::kProcedure:
         pipeline = std::make_unique<VolProcedure>(op, view);
@@ -397,6 +458,7 @@ QueryResult RunVolcano(const Plan& plan, const GraphView& view) {
 
   result.table = internal::ProjectOutput(out, plan.output);
   result.stats.peak_intermediate_bytes = peak_bytes;
+  result.stats.intersect = istats;
   result.stats.total_millis = total.ElapsedMillis();
   return result;
 }

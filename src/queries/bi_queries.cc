@@ -1,0 +1,80 @@
+// BI-flavored cyclic/analytic read queries (the WCOJ workload tier,
+// DESIGN.md §12). Unlike the point-anchored IC/IS reads these are global
+// pattern censuses whose bound plans close cycles with semi-join
+// (ExpandInto) edges; in kFactorizedFused the optimizer rewrites each
+// Expand ; ExpandInto chain into a worst-case-optimal IntersectExpand.
+//
+// KNOWS is symmetric and loop-free, so the census multiplicities below are
+// exact: BI1 counts each undirected triangle 6x (ordered), BI2 each diamond
+// 4x (2 chord orientations x 2 pair orders), BI3 each quadrilateral 8x
+// (4 rotations x 2 directions).
+#include "queries/ldbc.h"
+
+namespace ges {
+
+namespace {
+
+using E = Expr;
+
+// BI1: triangle census over KNOWS — ordered closed triangles (a, b, t).
+// Distinctness of the three vertices is implied by the edges.
+Plan BI1(const LdbcContext& c) {
+  PlanBuilder b("BI1");
+  b.ScanByLabel("a", c.s.person)
+      .Expand("a", "b", {c.knows})
+      .Expand("b", "t", {c.knows})
+      .ExpandInto("t", "a", {c.knows}, /*anti=*/false)
+      .Aggregate({}, {AggSpec{AggSpec::kCount, "", "triangles"}})
+      .Output({"triangles"});
+  return b.Build();
+}
+
+// BI2: diamond census — ordered pairs (c, d) of distinct common neighbors
+// of each ordered KNOWS edge (a, b): two triangles glued on chord (a, b).
+Plan BI2(const LdbcContext& c) {
+  PlanBuilder b("BI2");
+  b.ScanByLabel("a", c.s.person)
+      .Expand("a", "b", {c.knows})
+      .Expand("b", "c", {c.knows})
+      .ExpandInto("c", "a", {c.knows}, /*anti=*/false)
+      .Expand("b", "d", {c.knows})
+      .ExpandInto("d", "a", {c.knows}, /*anti=*/false)
+      .Filter(E::Ne(E::Col("c"), E::Col("d")))
+      .Aggregate({}, {AggSpec{AggSpec::kCount, "", "diamonds"}})
+      .Output({"diamonds"});
+  return b.Build();
+}
+
+// BI3: 4-cycle census — ordered quadrilaterals a-b-c-d-a with the two
+// diagonals forced distinct (a != c, b != d); edge distinctness follows.
+Plan BI3(const LdbcContext& c) {
+  PlanBuilder b("BI3");
+  b.ScanByLabel("a", c.s.person)
+      .Expand("a", "b", {c.knows})
+      .Expand("b", "c", {c.knows})
+      .Filter(E::Ne(E::Col("a"), E::Col("c")))
+      .Expand("c", "d", {c.knows})
+      .ExpandInto("d", "a", {c.knows}, /*anti=*/false)
+      .Filter(E::Ne(E::Col("b"), E::Col("d")))
+      .Aggregate({}, {AggSpec{AggSpec::kCount, "", "four_cycles"}})
+      .Output({"four_cycles"});
+  return b.Build();
+}
+
+}  // namespace
+
+Plan BuildBI(int k, const LdbcContext& ctx, const LdbcParams& p) {
+  (void)p;  // BI censuses are global: no point parameters yet
+  switch (k) {
+    case 1:
+      return BI1(ctx);
+    case 2:
+      return BI2(ctx);
+    case 3:
+      return BI3(ctx);
+    default:
+      return Plan{};
+  }
+}
+
+}  // namespace ges

@@ -119,6 +119,10 @@ class ParamGen {
 
 Plan BuildIC(int k, const LdbcContext& ctx, const LdbcParams& p);
 Plan BuildIS(int k, const LdbcContext& ctx, const LdbcParams& p);
+// BI-flavored cyclic censuses (k in [1, 3]): BI1 triangle census, BI2
+// diamond census, BI3 4-cycle census — the analytic workload tier whose
+// plans the optimizer rewrites to IntersectExpand (DESIGN.md §12).
+Plan BuildBI(int k, const LdbcContext& ctx, const LdbcParams& p);
 
 // Runs update query IU k (1..8) as an MV2PL transaction against `graph`.
 // Returns the commit version.

@@ -195,6 +195,15 @@ bool Client::RunIS(int number, const LdbcParams& params, QueryResponse* resp,
   return Run(req, resp);
 }
 
+bool Client::RunBI(int number, QueryResponse* resp, uint32_t deadline_ms) {
+  QueryRequest req;
+  req.query_id = AllocQueryId();
+  req.kind = QueryKind::kBI;
+  req.number = static_cast<uint8_t>(number);
+  req.deadline_ms = deadline_ms;
+  return Run(req, resp);
+}
+
 bool Client::RunIU(int number, uint64_t seed, QueryResponse* resp,
                    uint32_t deadline_ms) {
   QueryRequest req;

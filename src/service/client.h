@@ -75,6 +75,8 @@ class Client {
              uint32_t deadline_ms = 0);
   bool RunIU(int number, uint64_t seed, QueryResponse* resp,
              uint32_t deadline_ms = 0);
+  // Cyclic census queries (number in [1, 3]; the WCOJ tier).
+  bool RunBI(int number, QueryResponse* resp, uint32_t deadline_ms = 0);
 
   bool SetParam(const std::string& key, const std::string& value);
   bool GetParam(const std::string& key, std::string* value, bool* present);

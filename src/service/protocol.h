@@ -76,6 +76,7 @@ enum class QueryKind : uint8_t {
   kIU = 2,      // number in [1, 8]; `seed` feeds RunIU
   kStress = 3,  // number = max hops of a full knows-expansion (see server)
   kSleep = 4,   // `seed` = milliseconds of cooperative busy-wait
+  kBI = 5,      // number in [1, 3]: cyclic censuses (WCOJ tier)
 };
 
 struct QueryRequest {

@@ -32,7 +32,11 @@ std::string ServiceStats::ToString() const {
      << " overlay_bytes=" << overlay_bytes.load()
      << " watermark=" << gc_watermark.load()
      << " watermark_held_by_session=" << watermark_held_by_session.load()
-     << " stalls=" << watermark_stalls.load();
+     << " stalls=" << watermark_stalls.load()
+     << "\nintersect: probes=" << intersect_probes.load()
+     << " gallops=" << intersect_gallops.load()
+     << " skipped=" << intersect_skipped.load()
+     << " emitted=" << intersect_emitted.load();
   return os.str();
 }
 
@@ -88,6 +92,8 @@ std::string QueryName(const QueryRequest& req) {
       return "STRESS" + std::to_string(req.number);
     case QueryKind::kSleep:
       return "SLEEP";
+    case QueryKind::kBI:
+      return "BI" + std::to_string(req.number);
   }
   return "?";
 }
@@ -604,6 +610,7 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
   switch (req.kind) {
     case QueryKind::kIC:
     case QueryKind::kIS:
+    case QueryKind::kBI:
     case QueryKind::kStress: {
       Plan plan;
       if (req.kind == QueryKind::kIC) {
@@ -620,6 +627,13 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
           return resp;
         }
         plan = BuildIS(req.number, ldbc_, req.params);
+      } else if (req.kind == QueryKind::kBI) {
+        if (req.number < 1 || req.number > 3) {
+          resp.status = WireStatus::kInvalidArgument;
+          resp.message = "BI number out of range";
+          return resp;
+        }
+        plan = BuildBI(req.number, ldbc_, req.params);
       } else {
         plan = BuildStressExpand(ldbc_, req.number);
       }
@@ -630,6 +644,19 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
       Executor exec(config_.exec_mode, opts);
       GraphView view(graph_, snapshot);
       QueryResult result = exec.Run(plan, view);
+      // Query-wide intersection counters are collected even with per-op
+      // stats off; aggregate them so galloping behaviour stays observable
+      // in production (ServiceStats::ToString).
+      if (result.stats.intersect.Any()) {
+        stats_.intersect_probes.fetch_add(result.stats.intersect.probes,
+                                          std::memory_order_relaxed);
+        stats_.intersect_gallops.fetch_add(result.stats.intersect.gallops,
+                                           std::memory_order_relaxed);
+        stats_.intersect_skipped.fetch_add(result.stats.intersect.skipped,
+                                           std::memory_order_relaxed);
+        stats_.intersect_emitted.fetch_add(result.stats.intersect.emitted,
+                                           std::memory_order_relaxed);
+      }
       if (result.interrupted != InterruptReason::kNone) {
         resp.status = StatusOfInterrupt(result.interrupted);
         resp.message = InterruptReasonName(result.interrupted);

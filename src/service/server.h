@@ -102,6 +102,13 @@ struct ServiceStats {
   std::atomic<uint64_t> watermark_held_by_session{0};
   std::atomic<uint64_t> watermark_stalls{0};
 
+  // WCOJ intersection counters aggregated across all read queries
+  // (IntersectExpand + galloping membership probes; DESIGN.md §12).
+  std::atomic<uint64_t> intersect_probes{0};
+  std::atomic<uint64_t> intersect_gallops{0};
+  std::atomic<uint64_t> intersect_skipped{0};
+  std::atomic<uint64_t> intersect_emitted{0};
+
   std::string ToString() const;
 };
 

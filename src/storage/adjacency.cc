@@ -37,12 +37,37 @@ void AdjacencyTable::Finalize(size_t num_vertices) {
     packed_ids_[pos] = staged_dst_[e];
     if (has_stamp_) packed_stamps_[pos] = staged_stamp_[e];
   }
+  // Phase 4: sort each vertex's list by neighbor id (stable, so parallel
+  // edges keep their staging order). Sorted lists are the storage invariant
+  // the intersection/galloping primitives rely on (storage/intersect.h).
+  std::vector<uint32_t> perm;
+  std::vector<VertexId> tmp_ids;
+  std::vector<int64_t> tmp_stamps;
+  for (size_t v = 0; v < num_vertices; ++v) {
+    uint32_t d = degree[v];
+    if (d < 2) continue;
+    VertexId* ids = packed_ids_.data() + offset[v];
+    if (std::is_sorted(ids, ids + d)) continue;
+    perm.resize(d);
+    for (uint32_t i = 0; i < d; ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](uint32_t a, uint32_t b) { return ids[a] < ids[b]; });
+    tmp_ids.assign(ids, ids + d);
+    for (uint32_t i = 0; i < d; ++i) ids[i] = tmp_ids[perm[i]];
+    if (has_stamp_) {
+      int64_t* stamps = packed_stamps_.data() + offset[v];
+      tmp_stamps.assign(stamps, stamps + d);
+      for (uint32_t i = 0; i < d; ++i) stamps[i] = tmp_stamps[perm[i]];
+    }
+  }
+  num_sources_ = 0;
   for (size_t v = 0; v < num_vertices; ++v) {
     Meta& m = meta_[v];
     m.size = m.capacity = degree[v];
     if (degree[v] > 0) {
       m.ids = packed_ids_.data() + offset[v];
       if (has_stamp_) m.stamps = packed_stamps_.data() + offset[v];
+      ++num_sources_;
     }
   }
   num_edges_ = total;
@@ -78,10 +103,39 @@ void AdjacencyTable::Grow(Meta& m, uint32_t min_capacity) {
 void AdjacencyTable::InsertEdge(VertexId src, VertexId dst, int64_t stamp) {
   EnsureVertexCapacity(src + 1);
   Meta& m = meta_[src];
-  if (m.size == m.capacity) Grow(m, m.size + 1);
   // Meta::ids is non-const by construction; packed storage is owned by us.
-  const_cast<VertexId*>(m.ids)[m.size] = dst;
-  if (has_stamp_) const_cast<int64_t*>(m.stamps)[m.size] = stamp;
+  VertexId* ids = const_cast<VertexId*>(m.ids);
+  int64_t* stamps = const_cast<int64_t*>(m.stamps);
+  // Compact tombstones away first: live ids stay sorted, so dropping the
+  // kInvalidVertex slots restores a plain sorted array to insert into.
+  if (m.tombstones > 0) {
+    uint32_t w = 0;
+    for (uint32_t i = 0; i < m.size; ++i) {
+      if (ids[i] == kInvalidVertex) continue;
+      ids[w] = ids[i];
+      if (has_stamp_) stamps[w] = stamps[i];
+      ++w;
+    }
+    m.size = w;
+    m.tombstones = 0;
+  }
+  if (m.size == m.capacity) {
+    Grow(m, m.size + 1);
+    ids = const_cast<VertexId*>(m.ids);
+    stamps = const_cast<int64_t*>(m.stamps);
+  }
+  if (m.size == 0) ++num_sources_;
+  // Insert at the sorted position (upper bound: parallel edges keep
+  // insertion order, matching Finalize's stable sort).
+  uint32_t pos =
+      static_cast<uint32_t>(std::upper_bound(ids, ids + m.size, dst) - ids);
+  std::memmove(ids + pos + 1, ids + pos, (m.size - pos) * sizeof(VertexId));
+  ids[pos] = dst;
+  if (has_stamp_) {
+    std::memmove(stamps + pos + 1, stamps + pos,
+                 (m.size - pos) * sizeof(int64_t));
+    stamps[pos] = stamp;
+  }
   ++m.size;
   ++num_edges_;
 }
@@ -94,6 +148,7 @@ bool AdjacencyTable::RemoveEdge(VertexId src, VertexId dst) {
       const_cast<VertexId*>(m.ids)[i] = kInvalidVertex;
       ++m.tombstones;
       --num_edges_;
+      if (m.size == m.tombstones && num_sources_ > 0) --num_sources_;
       return true;
     }
   }

@@ -33,12 +33,21 @@ inline constexpr RelationId kInvalidRelation = 0xffffffffu;
 
 // A non-owning view of one vertex's neighbors (and optional edge stamps).
 // `ids[i]` may be kInvalidVertex for tombstoned edges.
+//
+// Sorted invariant: the *live* ids (skipping tombstones) are in
+// nondecreasing order. Finalize sorts each vertex's packed array,
+// InsertEdge inserts at the sorted position, and overlay publication sorts
+// copy-on-write entries, so a span with `tombstones == 0` is a plain sorted
+// array and can be galloped/binary-searched directly (see
+// storage/intersect.h). Spans with tombstones must be compacted first.
 struct AdjSpan {
   const VertexId* ids = nullptr;
   const int64_t* stamps = nullptr;  // nullptr if the relation has no stamp
   uint32_t size = 0;
+  uint32_t tombstones = 0;  // kInvalidVertex slots hiding inside [0, size)
 
   bool empty() const { return size == 0; }
+  bool sorted_clean() const { return tombstones == 0; }
 };
 
 // Hash key of an adjacency table, per the paper's storage design.
@@ -75,6 +84,9 @@ class AdjacencyTable {
   const RelationKey& key() const { return key_; }
   bool has_stamp() const { return has_stamp_; }
   size_t num_edges() const { return num_edges_; }
+  // Vertices with at least one live out-slot; with num_edges() this gives
+  // the average degree the optimizer's intersection cost model uses.
+  size_t num_sources() const { return num_sources_; }
 
   // --- bulk load (two-phase: stage edges, then Finalize packs them) ---
   void StageEdge(VertexId src, VertexId dst, int64_t stamp = 0);
@@ -87,14 +99,16 @@ class AdjacencyTable {
   AdjSpan Neighbors(VertexId v) const {
     if (v >= meta_.size()) return AdjSpan{};
     const Meta& m = meta_[v];
-    return AdjSpan{m.ids, has_stamp_ ? m.stamps : nullptr, m.size};
+    return AdjSpan{m.ids, has_stamp_ ? m.stamps : nullptr, m.size,
+                   m.tombstones};
   }
   uint32_t Degree(VertexId v) const {
     return v < meta_.size() ? meta_[v].size - meta_[v].tombstones : 0;
   }
 
   // --- updates (called with the vertex's write lock held) ---
-  // Appends an edge; grows the vertex's array (doubling) when full.
+  // Inserts an edge at its sorted position (compacting any tombstones
+  // first); grows the vertex's array (doubling) when full.
   void InsertEdge(VertexId src, VertexId dst, int64_t stamp = 0);
   // Tombstones the first live (src -> dst) edge. Returns false if absent.
   bool RemoveEdge(VertexId src, VertexId dst);
@@ -119,6 +133,7 @@ class AdjacencyTable {
   bool has_stamp_;
   bool finalized_ = false;
   size_t num_edges_ = 0;
+  size_t num_sources_ = 0;
 
   // Staged (bulk) edges before Finalize.
   std::vector<VertexId> staged_src_;

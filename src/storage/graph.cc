@@ -530,8 +530,17 @@ Status WriteTxn::Commit(Version* commit_version) {
             }
           }
         } else {
-          ver->ids.push_back(op.neighbor);
-          if (has_stamp) ver->stamps.push_back(op.stamp);
+          // Insert at the sorted position: overlay entries keep the same
+          // sorted-neighbor invariant as base arrays (storage/intersect.h),
+          // with upper-bound placement so parallel edges stay in commit
+          // order like Finalize's stable sort.
+          auto it = std::upper_bound(ver->ids.begin(), ver->ids.end(),
+                                     op.neighbor);
+          size_t pos = static_cast<size_t>(it - ver->ids.begin());
+          ver->ids.insert(it, op.neighbor);
+          if (has_stamp) {
+            ver->stamps.insert(ver->stamps.begin() + pos, op.stamp);
+          }
         }
       }
       entry.overlay->Publish(first.vertex, std::move(ver));

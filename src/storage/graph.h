@@ -182,8 +182,10 @@ class Graph {
   // chains plus the new-vertex registry. The GC byte trigger reads this.
   size_t OverlayBytes() const;
 
-  // Adjacency of `v` in relation `rel` as of `snapshot`. Entries may be
-  // kInvalidVertex (tombstones); callers skip them.
+  // Adjacency of `v` in relation `rel` as of `snapshot`. Base spans may
+  // contain kInvalidVertex (tombstones); callers skip them. Overlay entries
+  // are tombstone-free and sorted (commit publishes compacted sorted
+  // copies), so their spans are always sorted_clean().
   AdjSpan Neighbors(RelationId rel, VertexId v, Version snapshot) const {
     const TableEntry& t = tables_[rel];
     if (!t.overlay->empty()) {
@@ -195,6 +197,28 @@ class Graph {
       }
     }
     return t.table->Neighbors(v);
+  }
+
+  // The table traversing the same edges from the destination side:
+  // (src, e, dst, OUT) <-> (dst, e, src, IN). Always present —
+  // RegisterRelation creates both directions.
+  RelationId ReverseRelation(RelationId rel) const {
+    const RelationKey& k = tables_[rel].table->key();
+    RelationKey rk{k.dst_label, k.edge_label, k.src_label,
+                   k.direction == Direction::kOut ? Direction::kIn
+                                                  : Direction::kOut};
+    auto it = table_index_.find(rk);
+    return it == table_index_.end() ? kInvalidRelation : it->second;
+  }
+
+  // Mean live out-degree over vertices with out-edges, from the base
+  // table's adjMeta. Drives the optimizer's intersection cost model; the
+  // (small) overlay delta is deliberately ignored.
+  double AvgDegree(RelationId rel) const {
+    const AdjacencyTable& t = *tables_[rel].table;
+    if (t.num_sources() == 0) return 0.0;
+    return static_cast<double>(t.num_edges()) /
+           static_cast<double>(t.num_sources());
   }
 
   uint32_t Degree(RelationId rel, VertexId v, Version snapshot) const;

@@ -2,8 +2,11 @@
 // adjacency tables; incremental inserts/removes preserve invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "storage/adjacency.h"
@@ -31,17 +34,25 @@ TEST_P(AdjacencyRandomTest, BulkBuildMatchesEdgeList) {
   table.Finalize(n);
   EXPECT_EQ(table.num_edges(), m);
 
-  // Every vertex's span reproduces its staged edges, in insertion order.
+  // Every vertex's span reproduces its staged edges, sorted by neighbor id
+  // (the sorted-adjacency invariant) with stamps stably reordered alongside.
   for (VertexId v = 0; v < n; ++v) {
     AdjSpan span = table.Neighbors(v);
     auto [lo, hi] = expected.equal_range(v);
     size_t count = static_cast<size_t>(std::distance(lo, hi));
     ASSERT_EQ(span.size, count) << "vertex " << v;
-    size_t i = 0;
-    for (auto it = lo; it != hi; ++it, ++i) {
-      EXPECT_EQ(span.ids[i], it->second.first);
-      EXPECT_EQ(span.stamps[i], it->second.second);
+    // Staged pairs stably sorted by dst = what Finalize must produce.
+    std::vector<std::pair<VertexId, int64_t>> want;
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::stable_sort(want.begin(), want.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(span.ids[i], want[i].first);
+      EXPECT_EQ(span.stamps[i], want[i].second);
     }
+    EXPECT_TRUE(span.sorted_clean());
   }
 }
 
@@ -72,6 +83,16 @@ TEST_P(AdjacencyRandomTest, IncrementalInsertsAndRemoves) {
   }
   EXPECT_EQ(seen, live);
   EXPECT_EQ(table.num_edges(), live.size());
+  // The live subsequence stays sorted (InsertEdge compacts tombstones and
+  // inserts at the sorted position) — galloping depends on this.
+  VertexId prev = 0;
+  bool first = true;
+  for (uint32_t i = 0; i < span.size; ++i) {
+    if (span.ids[i] == kInvalidVertex) continue;
+    if (!first) EXPECT_LE(prev, span.ids[i]);
+    prev = span.ids[i];
+    first = false;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AdjacencyRandomTest, ::testing::Range(0, 10));

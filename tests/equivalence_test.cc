@@ -88,6 +88,35 @@ INSTANTIATE_TEST_SUITE_P(AllIS, IsEquivalenceTest,
                            return "IS" + std::to_string(info.param);
                          });
 
+// Cyclic BI censuses (DESIGN.md §12): every engine must agree, and the
+// fused engine must agree with itself under the WCOJ-rewrite ablation
+// (intersect_expand off forces the binary Expand+ExpandInto chain).
+class BiEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BiEquivalenceTest, BI) {
+  int k = GetParam();
+  SnbFixture& fx = SnbFixture::Shared();
+  LdbcContext ctx = LdbcContext::Resolve(fx.graph, fx.data.schema);
+  GraphView view(&fx.graph);
+  Plan plan = BuildBI(k, ctx, LdbcParams{});
+  ExpectAllEnginesAgree(plan, view, "BI" + std::to_string(k));
+
+  Executor fused(ExecMode::kFactorizedFused);
+  QueryResult with = fused.Run(plan, view);
+  ExecOptions no_wcoj;
+  no_wcoj.intersect_expand = false;
+  QueryResult without = Executor(ExecMode::kFactorizedFused, no_wcoj)
+                            .Run(plan, view);
+  EXPECT_EQ(OrderedRows(with.table), OrderedRows(without.table))
+      << "BI" << k << ": fused intersect vs binary ablation";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBI, BiEquivalenceTest,
+                         ::testing::Range(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "BI" + std::to_string(info.param);
+                         });
+
 // Queries must generally return data for curated parameters: at least one
 // of the parameter draws yields a non-empty result for each query that can
 // produce rows on a tiny graph.

@@ -154,6 +154,45 @@ class RandomPlanGenerator {
     bool multi = c.rel == ctx_.knows && rng_.Bernoulli(0.3);
     b->Expand(src.name, out, {c.rel}, 1, multi ? 2 : 1, multi, multi);
     vertex_cols_.push_back({out, c.dst});
+    // Cyclic closing edges: semi/anti-join the fresh column against earlier
+    // bound columns when a relation connects their labels — exactly the
+    // Expand ; ExpandInto+ shape the WCOJ rewrite fuses in kFactorizedFused,
+    // so fused runs take the IntersectExpand path while the other engines
+    // execute the binary chain: a differential intersection test.
+    if (!multi && rng_.Bernoulli(0.4)) {
+      int closes = 1 + (rng_.Bernoulli(0.25) ? 1 : 0);
+      for (int k = 0; k < closes; ++k) AddClosingEdge(b, out, c.dst);
+    }
+  }
+
+  void AddClosingEdge(PlanBuilder* b, const std::string& w, LabelId wl) {
+    struct Cand {
+      const VertexColumn* col;
+      RelChoice rc;
+    };
+    std::vector<Cand> cands;
+    auto from_w = RelationsFrom(wl);
+    for (const VertexColumn& vc : vertex_cols_) {
+      if (vc.name == w) continue;
+      for (const RelChoice& rc : from_w) {
+        if (rc.dst == vc.label) cands.push_back({&vc, rc});
+      }
+    }
+    if (cands.empty()) return;
+    const Cand& cand = cands[rng_.Uniform(cands.size())];
+    bool anti = rng_.Bernoulli(0.2);
+    if (rng_.Bernoulli(0.5)) {
+      b->ExpandInto(w, cand.col->name, {cand.rc.rel}, anti);  // edge w -> p
+    } else {
+      // Reverse orientation (edge p -> w) when p's label reaches w's.
+      for (const RelChoice& pr : RelationsFrom(cand.col->label)) {
+        if (pr.dst == wl) {
+          b->ExpandInto(cand.col->name, w, {pr.rel}, anti);
+          return;
+        }
+      }
+      b->ExpandInto(w, cand.col->name, {cand.rc.rel}, anti);
+    }
   }
 
   void AddGetProperty(PlanBuilder* b) {
