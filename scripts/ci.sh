@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Three-flavor CI sweep (the invocations documented in the root
+# CMakeLists.txt sanitizer comment, in runnable form):
+#
+#   1. Release            — full test suite (the tier-1 gate)
+#   2. GES_SANITIZE=thread    — concurrency / gc / replication labels
+#      (the replication stream + semisync ack path must be TSan-clean)
+#   3. GES_SANITIZE=undefined — kernels / executor / durability labels
+#      plus one pass of bench_filter_selectivity (GES_ITERS=1): the WAL
+#      codec and CRC32C are bit-twiddling-heavy
+#
+# Usage: scripts/ci.sh [flavor...]     (default: all three)
+#   flavors: release, tsan, ubsan
+# Knobs: GES_CI_JOBS (parallel build/test jobs, default nproc),
+#        GES_CI_BUILD_ROOT (default build-ci).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${GES_CI_JOBS:-$(nproc)}
+ROOT=${GES_CI_BUILD_ROOT:-build-ci}
+FLAVORS=("$@")
+[[ ${#FLAVORS[@]} -eq 0 ]] && FLAVORS=(release tsan ubsan)
+
+build() {  # build <dir> [extra cmake args...]
+  local dir=$1; shift
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+for flavor in "${FLAVORS[@]}"; do
+  case "$flavor" in
+    release)
+      echo "=== [ci] Release: full suite ==="
+      build "$ROOT/release"
+      ctest --test-dir "$ROOT/release" --output-on-failure -j "$JOBS"
+      ;;
+    tsan)
+      echo "=== [ci] ThreadSanitizer: concurrency|gc|replication ==="
+      build "$ROOT/tsan" -DGES_SANITIZE=thread
+      ctest --test-dir "$ROOT/tsan" --output-on-failure -j "$JOBS" \
+        -L 'concurrency|gc|replication'
+      ;;
+    ubsan)
+      echo "=== [ci] UBSan: kernels|executor|durability + WAL-heavy bench ==="
+      build "$ROOT/ubsan" -DGES_SANITIZE=undefined
+      ctest --test-dir "$ROOT/ubsan" --output-on-failure -j "$JOBS" \
+        -L 'kernels|executor|durability'
+      GES_ITERS=1 "$ROOT/ubsan/bench/bench_filter_selectivity"
+      ;;
+    *)
+      echo "[ci] unknown flavor '$flavor' (release, tsan, ubsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "=== [ci] all flavors green ==="

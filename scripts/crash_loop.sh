@@ -1,32 +1,70 @@
 #!/usr/bin/env bash
-# Kill-9 crash-recovery loop (DESIGN.md §10).
+# Kill-9 crash loop (DESIGN.md §10, §13).
 #
-# Runs the crash_recovery_test binary N times against ONE persistent data
+# Runs a crash-drill test binary N times against ONE persistent data
 # directory, so every run re-opens (and must recover) the directory the
-# previous run's SIGKILLed writer left behind. Each run forks, kills and
+# previous run's SIGKILLed process left behind. Each run forks, kills and
 # recovers GES_CRASH_ITERS times internally; the loop multiplies that into
 # hundreds of independent crash points.
 #
-# Usage: crash_loop.sh <crash_recovery_test binary> [runs] [iters-per-run]
-#   e.g. scripts/crash_loop.sh build/tests/crash_recovery_test 25 4
-# Acceptance sweep (100+ crash/recover cycles):
+# Works with any binary honouring the GES_CRASH_DIR / GES_CRASH_ITERS
+# contract — crash_recovery_test (single-node durability) and
+# replication_failover_test (kill-the-primary failover) both do.
+#
+# Usage:
+#   crash_loop.sh [--bin PATH] [--runs N] [--iters N] [--dir DIR] \
+#                 [BIN] [RUNS] [ITERS]
+# Positional arguments keep the historical form working:
 #   scripts/crash_loop.sh build/tests/crash_recovery_test 25 4
+# Environment variables (lowest precedence, for CI wiring):
+#   GES_LOOP_BIN, GES_LOOP_RUNS, GES_LOOP_ITERS, GES_LOOP_DIR
+# Acceptance sweeps (100+ cycles):
+#   scripts/crash_loop.sh build/tests/crash_recovery_test 25 4
+#   scripts/crash_loop.sh --bin build/tests/replication_failover_test --runs 10 --iters 2
 set -euo pipefail
 
-BIN=${1:?usage: crash_loop.sh <crash_recovery_test binary> [runs] [iters-per-run]}
-RUNS=${2:-25}
-ITERS=${3:-4}
+BIN=${GES_LOOP_BIN:-}
+RUNS=${GES_LOOP_RUNS:-25}
+ITERS=${GES_LOOP_ITERS:-4}
+DIR=${GES_LOOP_DIR:-}
 
-DIR=$(mktemp -d /tmp/ges_crash_loop_XXXXXX)
-trap 'rm -rf "$DIR"' EXIT
+POSITIONAL=()
+while (($# > 0)); do
+  case "$1" in
+    --bin)   BIN=${2:?--bin needs a path};  shift 2 ;;
+    --runs)  RUNS=${2:?--runs needs a count}; shift 2 ;;
+    --iters) ITERS=${2:?--iters needs a count}; shift 2 ;;
+    --dir)   DIR=${2:?--dir needs a path};  shift 2 ;;
+    -h|--help)
+      sed -n '2,24p' "$0"; exit 0 ;;
+    *) POSITIONAL+=("$1"); shift ;;
+  esac
+done
+[[ ${#POSITIONAL[@]} -ge 1 ]] && BIN=${POSITIONAL[0]}
+[[ ${#POSITIONAL[@]} -ge 2 ]] && RUNS=${POSITIONAL[1]}
+[[ ${#POSITIONAL[@]} -ge 3 ]] && ITERS=${POSITIONAL[2]}
+
+if [[ -z "$BIN" ]]; then
+  echo "usage: crash_loop.sh [--bin PATH] [--runs N] [--iters N] [--dir DIR] [BIN] [RUNS] [ITERS]" >&2
+  exit 2
+fi
+
+OWN_DIR=0
+if [[ -z "$DIR" ]]; then
+  DIR=$(mktemp -d /tmp/ges_crash_loop_XXXXXX)
+  OWN_DIR=1
+  trap 'rm -rf "$DIR"' EXIT
+else
+  mkdir -p "$DIR"
+fi
 
 for ((run = 1; run <= RUNS; run++)); do
-  echo "[crash_loop] run $run/$RUNS (dir $DIR, $ITERS kills per run)"
+  echo "[crash_loop] run $run/$RUNS ($(basename "$BIN"), dir $DIR, $ITERS kills per run)"
   GES_CRASH_DIR="$DIR" GES_CRASH_ITERS="$ITERS" \
     "$BIN" --gtest_brief=1 || {
       echo "[crash_loop] FAILED at run $run; data dir kept: $DIR" >&2
-      trap - EXIT
+      ((OWN_DIR)) && trap - EXIT
       exit 1
     }
 done
-echo "[crash_loop] OK: $((RUNS * ITERS)) crash/recover cycles, zero committed losses"
+echo "[crash_loop] OK: $((RUNS * ITERS)) crash cycles, zero acknowledged losses"

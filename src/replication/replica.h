@@ -1,0 +1,106 @@
+// Replica-side of WAL-shipping replication: bootstraps a graph from the
+// primary (checkpoint snapshot + WAL catch-up, or local recovery + WAL
+// catch-up when it already has a data dir), then applies live kWalFrame
+// transactions in commit order, acking each applied version back so the
+// primary can track lag and satisfy semi-synchronous commits.
+#ifndef GES_REPLICATION_REPLICA_H_
+#define GES_REPLICATION_REPLICA_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "storage/graph.h"
+
+namespace ges::replication {
+
+class Replica {
+ public:
+  struct Options {
+    std::string primary_host = "127.0.0.1";
+    uint16_t primary_port = 0;
+    std::string name = "replica";
+    // Empty = keep the whole graph in memory (bootstrap re-fetches the
+    // snapshot). Set = durable replica: recovers locally and subscribes
+    // from its own applied version, then checkpoints as it applies.
+    std::string data_dir;
+    DurabilityOptions dur;
+    // After a live-stream drop: how many reconnect attempts before the
+    // applier gives up (0 = don't reconnect).
+    int reconnect_attempts = 0;
+    int reconnect_backoff_ms = 100;
+  };
+
+  explicit Replica(Options opts) : opts_(std::move(opts)) {}
+  ~Replica() { Stop(); }
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // Connects, bootstraps, and starts the applier thread. On return the
+  // graph is loaded and consistent at the bootstrap version; the applier
+  // keeps it moving forward.
+  Status Start();
+
+  // Shuts the stream down and joins the applier. Idempotent.
+  void Stop();
+
+  // Failover: stops replication and releases the graph for writes. The
+  // caller owns serving it (e.g. hand it to a Server in primary mode).
+  Status Promote();
+
+  Graph* graph() { return graph_.get(); }
+  Version applied_version() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  Version primary_version() const {
+    return primary_version_.load(std::memory_order_acquire);
+  }
+  bool connected() const {
+    return connected_.load(std::memory_order_acquire);
+  }
+
+  // Blocks until the replica has applied at least `v` (true) or the
+  // timeout elapses / the stream ends for good (false).
+  bool WaitForVersion(Version v, double timeout_s);
+
+  // Last stream/apply error, readable after connected() goes false.
+  std::string last_error() const;
+
+ private:
+  Status ConnectAndSubscribe(Version from, bool* sends_snapshot,
+                             Version* live_from);
+  Status Bootstrap();
+  void ApplierLoop();
+  bool StreamLoop();  // false = fatal, true = retryable connection loss
+  void SetError(const std::string& msg);
+  void CloseSocket();
+
+  Options opts_;
+  std::unique_ptr<Graph> graph_;
+  // fd_mu_ serializes open/close/shutdown of the stream socket: Stop()
+  // shuts the fd down from another thread while the applier owns it, and
+  // an unguarded close would let the kernel reuse the fd number under
+  // that shutdown. Blocking reads/writes on an open fd take no lock.
+  std::mutex fd_mu_;
+  int fd_ = -1;
+
+  std::thread applier_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> primary_version_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable applied_cv_;
+  std::string last_error_;  // guarded by mu_
+  bool stream_done_ = false;  // guarded by mu_; applier exited for good
+};
+
+}  // namespace ges::replication
+
+#endif  // GES_REPLICATION_REPLICA_H_

@@ -111,8 +111,9 @@ bool Client::ReadExpected(MsgType want, std::string* payload) {
   }
   ReadResult r = ReadFrame(fd_, payload);
   if (r != ReadResult::kOk) {
-    return Fail(r == ReadResult::kClosed ? "connection closed"
-                                         : "read failed");
+    return Fail(r == ReadResult::kClosed     ? "connection closed"
+                : r == ReadResult::kTooLarge ? "oversized response frame"
+                                             : "read failed");
   }
   WireReader in(*payload);
   MsgType got = static_cast<MsgType>(in.GetU8());

@@ -27,13 +27,16 @@
 #include <thread>
 
 #include "datagen/snb_generator.h"
+#include "replication/replica.h"
 #include "service/server.h"
 
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_promote{false};
 
 void OnSignal(int) { g_shutdown.store(true); }
+void OnPromote(int) { g_promote.store(true); }
 
 void Usage(const char* argv0) {
   std::fprintf(
@@ -62,7 +65,16 @@ void Usage(const char* argv0) {
       "  --fsync-interval-ms N  group-commit flush period for\n"
       "                     --fsync interval (default 10)\n"
       "  --wal-rotate-mb N  auto-checkpoint once the WAL exceeds N MiB\n"
-      "                     (default 64)\n",
+      "                     (default 64)\n"
+      "  --replicate-from HOST:PORT  run as a read-only replica of the\n"
+      "                     primary at HOST:PORT (bootstraps via snapshot\n"
+      "                     + WAL catch-up; SIGUSR1 promotes to primary)\n"
+      "  --replica-name S   name reported to the primary (default: host)\n"
+      "  --min-replica-acks N  semi-sync: an update answers OK only after\n"
+      "                     N replicas acked it (default 0 = async)\n"
+      "  --ack-timeout S    semi-sync ack wait bound (default 2)\n"
+      "  --ryw-wait-ms N    max wait for a read's min_version floor before\n"
+      "                     answering LAGGING (default 50)\n",
       argv0);
 }
 
@@ -74,6 +86,8 @@ int main(int argc, char** argv) {
   double grace = 5.0;
   std::string data_dir;
   ges::DurabilityOptions dur;
+  std::string replicate_from;
+  std::string replica_name;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -130,18 +144,65 @@ int main(int argc, char** argv) {
     } else if (arg == "--wal-rotate-mb") {
       dur.checkpoint_wal_bytes =
           static_cast<uint64_t>(std::atoll(next())) << 20;
+    } else if (arg == "--replicate-from") {
+      replicate_from = next();
+    } else if (arg == "--replica-name") {
+      replica_name = next();
+    } else if (arg == "--min-replica-acks") {
+      config.min_replica_acks = std::atoi(next());
+    } else if (arg == "--ack-timeout") {
+      config.replica_ack_timeout_seconds = std::atof(next());
+    } else if (arg == "--ryw-wait-ms") {
+      config.ryw_wait_ms = std::atof(next());
     } else {
       Usage(argv[0]);
       return arg == "--help" ? 0 : 2;
     }
   }
 
-  // Recovery happens HERE, before the server binds: no connection is ever
-  // accepted against a partially recovered graph.
+  // Recovery/bootstrap happens HERE, before the server binds: no
+  // connection is ever accepted against a partially recovered graph.
   std::unique_ptr<ges::Graph> owned_graph;
+  std::unique_ptr<ges::replication::Replica> replica;
   ges::Graph* graph = nullptr;
   ges::SnbData data;
-  if (!data_dir.empty() && ges::Graph::SnapshotExists(data_dir)) {
+  if (!replicate_from.empty()) {
+    size_t colon = replicate_from.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr,
+                   "[ges_serverd] --replicate-from wants HOST:PORT, got %s\n",
+                   replicate_from.c_str());
+      return 2;
+    }
+    ges::replication::Replica::Options ropts;
+    ropts.primary_host = replicate_from.substr(0, colon);
+    ropts.primary_port =
+        static_cast<uint16_t>(std::atoi(replicate_from.c_str() + colon + 1));
+    ropts.name = replica_name.empty()
+                     ? config.host + ":" + std::to_string(config.port)
+                     : replica_name;
+    ropts.data_dir = data_dir;
+    ropts.dur = dur;
+    ropts.reconnect_attempts = 10;
+    std::fprintf(stderr, "[ges_serverd] bootstrapping replica from %s ...\n",
+                 replicate_from.c_str());
+    replica = std::make_unique<ges::replication::Replica>(std::move(ropts));
+    ges::Status s = replica->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "[ges_serverd] replica bootstrap failed: %s\n",
+                   s.message().c_str());
+      return 1;
+    }
+    graph = replica->graph();
+    data = ges::RebuildSnbData(graph);
+    config.replica = true;
+    std::fprintf(
+        stderr,
+        "[ges_serverd] replica caught up to v%llu (primary at v%llu); "
+        "serving reads, SIGUSR1 promotes\n",
+        static_cast<unsigned long long>(replica->applied_version()),
+        static_cast<unsigned long long>(replica->primary_version()));
+  } else if (!data_dir.empty() && ges::Graph::SnapshotExists(data_dir)) {
     std::fprintf(stderr, "[ges_serverd] recovering from %s ...\n",
                  data_dir.c_str());
     ges::RecoveryInfo info;
@@ -200,12 +261,33 @@ int main(int argc, char** argv) {
   sa.sa_handler = OnSignal;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sp {};
+  sp.sa_handler = OnPromote;
+  ::sigaction(SIGUSR1, &sp, nullptr);
 
   while (!g_shutdown.load(std::memory_order_acquire)) {
+    if (g_promote.exchange(false) && replica != nullptr) {
+      // Failover: stop the replication stream, then open the graph for
+      // writes. The log shipper is already running, so replicas of the
+      // dead primary can re-subscribe here.
+      std::fprintf(stderr,
+                   "[ges_serverd] SIGUSR1: promoting to primary at v%llu\n",
+                   static_cast<unsigned long long>(
+                       replica->applied_version()));
+      ges::Status s = replica->Promote();
+      if (s.ok()) {
+        server.PromoteToPrimary();
+        std::fprintf(stderr, "[ges_serverd] promotion complete\n");
+      } else {
+        std::fprintf(stderr, "[ges_serverd] promotion failed: %s\n",
+                     s.message().c_str());
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
   std::fprintf(stderr, "[ges_serverd] draining (grace %.1fs) ...\n", grace);
+  if (replica != nullptr) replica->Stop();
   server.Drain(grace);
   if (graph->durable() && !graph->read_only()) {
     // Clean shutdowns leave an empty WAL behind: the next start loads the

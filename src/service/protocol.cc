@@ -29,6 +29,8 @@ const char* WireStatusName(WireStatus s) {
       return "NOT_FOUND";
     case WireStatus::kReadOnly:
       return "READ_ONLY";
+    case WireStatus::kLagging:
+      return "LAGGING";
   }
   return "?";
 }
@@ -218,6 +220,7 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   b.PutU32(req.deadline_ms);
   b.PutU64(req.seed);
   PutParams(&b, req.params);
+  b.PutU64(req.min_version);
   return b.Take();
 }
 
@@ -228,6 +231,9 @@ bool DecodeQueryRequest(WireReader* in, QueryRequest* req) {
   req->deadline_ms = in->GetU32();
   req->seed = in->GetU64();
   req->params = GetParams(in);
+  // Trailing read-your-writes floor; a frame from an older client simply
+  // ends here and the floor stays 0.
+  req->min_version = in->AtEnd() ? 0 : in->GetU64();
   return in->ok();
 }
 
@@ -241,6 +247,7 @@ std::string EncodeQueryResponse(const QueryResponse& resp) {
   if (resp.status == WireStatus::kOk) {
     PutFlatBlock(&b, resp.table);
   }
+  b.PutU64(resp.snapshot_version);
   return b.Take();
 }
 
@@ -254,6 +261,8 @@ bool DecodeQueryResponse(WireReader* in, QueryResponse* resp) {
   } else {
     resp->table = FlatBlock();
   }
+  // Trailing executed-at version (old servers' frames end before it).
+  resp->snapshot_version = in->AtEnd() ? 0 : in->GetU64();
   return in->ok();
 }
 
@@ -310,7 +319,7 @@ ReadResult ReadFrame(int fd, std::string* payload) {
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<uint32_t>(static_cast<uint8_t>(hdr[i])) << (8 * i);
   }
-  if (len > kMaxFrameBytes) return ReadResult::kError;
+  if (len > kMaxFrameBytes) return ReadResult::kTooLarge;
   payload->resize(len);
   if (len > 0 && ReadAll(fd, payload->data(), len) != 1) {
     return ReadResult::kError;

@@ -37,6 +37,13 @@ enum class MsgType : uint8_t {
   kPing = 7,
   kBye = 8,
   kCheckpoint = 9,       // admin: snapshot + WAL truncate (durable graphs)
+  // Replication handshake (replica -> primary). Body: u32 protocol
+  // version, u64 from_version (0 = fresh bootstrap), string replica name.
+  // The connection then becomes a one-way WAL stream: the primary sends
+  // kSubscribeOk / kSnapshot* / kWalFrame / kWalHeartbeat frames and the
+  // replica sends only kReplicaAck frames back (DESIGN.md §13).
+  kSubscribe = 10,
+  kReplicaAck = 11,  // body: u64 applied commit version
   // server -> client
   kHelloOk = 16,  // body: u64 session_id, u64 snapshot version
   kResult = 17,
@@ -50,7 +57,20 @@ enum class MsgType : uint8_t {
   // telemetry appended by newer servers (old clients simply stop reading):
   // u64 versions_pruned (lifetime), u64 overlay_bytes, u64 watermark.
   kCheckpointOk = 24,
+  // Replication stream (primary -> replica).
+  kSubscribeOk = 25,     // body: u64 live-from version, u8 sends_snapshot
+  kSnapshotBegin = 26,   // body: u64 snapshot version, u64 total bytes
+  kSnapshotChunk = 27,   // body: string chunk (<= kSnapshotChunkBytes)
+  kSnapshotEnd = 28,     // empty body
+  // One committed transaction: u64 commit version, u32 record count, then
+  // that many length-prefixed EncodeWalRecord payloads (body records only;
+  // BeginTx/CommitTx are implied by the frame itself).
+  kWalFrame = 29,
+  kWalHeartbeat = 30,    // body: u64 primary's current version
 };
+
+inline constexpr uint32_t kReplicationProtocolVersion = 1;
+inline constexpr size_t kSnapshotChunkBytes = 4u << 20;  // 4 MiB
 
 // Status embedded in kResult / kError frames.
 enum class WireStatus : uint8_t {
@@ -63,6 +83,9 @@ enum class WireStatus : uint8_t {
   kShuttingDown = 6,
   kNotFound = 7,
   kReadOnly = 8,  // durable graph degraded read-only after an I/O failure
+  // Replica could not satisfy the request's read-your-writes floor
+  // (min_version) within the configured wait; route the read elsewhere.
+  kLagging = 9,
 };
 
 const char* WireStatusName(WireStatus s);
@@ -86,6 +109,11 @@ struct QueryRequest {
   uint32_t deadline_ms = 0;  // 0 = no deadline
   uint64_t seed = 0;         // IU randomness / kSleep millis
   LdbcParams params{};       // IC/IS parameters
+  // Read-your-writes floor: the server answers only once its applied
+  // version reaches this (waiting up to its configured bound), else it
+  // responds kLagging so the router can bounce the read to the primary.
+  // 0 = no floor (trailing field; absent from old clients' frames).
+  uint64_t min_version = 0;
 };
 
 struct QueryResponse {
@@ -94,6 +122,9 @@ struct QueryResponse {
   std::string message;     // non-OK detail
   double server_millis = 0;  // execution time observed by the server
   FlatBlock table;         // empty unless status == kOk
+  // Version the query executed at (commit version for updates). Trailing
+  // field: zero when talking to a server that predates it.
+  uint64_t snapshot_version = 0;
 };
 
 // --- body builders / parsers -------------------------------------------
@@ -158,10 +189,12 @@ bool DecodeQueryResponse(WireReader* in, QueryResponse* resp);
 // Returns false on any socket error (connection is then unusable).
 bool WriteFrame(int fd, const std::string& payload);
 
-enum class ReadResult { kOk, kClosed, kError };
+enum class ReadResult { kOk, kClosed, kError, kTooLarge };
 
 // Reads one frame into `payload`. kClosed = orderly EOF at a frame
-// boundary; kError = socket error, truncated frame, or oversized length.
+// boundary; kError = socket error or truncated frame; kTooLarge = a length
+// prefix above kMaxFrameBytes (the bytes were NOT consumed — the server
+// can still send a clean refusal before closing).
 ReadResult ReadFrame(int fd, std::string* payload);
 
 }  // namespace ges::service

@@ -36,7 +36,22 @@ std::string ServiceStats::ToString() const {
      << "\nintersect: probes=" << intersect_probes.load()
      << " gallops=" << intersect_gallops.load()
      << " skipped=" << intersect_skipped.load()
-     << " emitted=" << intersect_emitted.load();
+     << " emitted=" << intersect_emitted.load()
+     << "\nreplication: replicas=" << replicas_connected.load()
+     << " frames_shipped=" << wal_frames_shipped.load()
+     << " bytes_shipped=" << wal_bytes_shipped.load()
+     << " ryw_lagging=" << ryw_lagging.load()
+     << " semisync_timeouts=" << semisync_timeouts.load();
+  {
+    std::lock_guard<std::mutex> lk(replica_mu);
+    for (const auto& r : replicas) {
+      os << "\n  replica \"" << r.name << "\" (sub " << r.subscriber_id
+         << "): applied=v" << r.applied_version
+         << " lag_commits=" << r.lag_commits << " lag_bytes=" << r.lag_bytes
+         << " last_ack_age_s=" << r.last_ack_age_s
+         << (r.connected ? "" : " DISCONNECTED");
+    }
+  }
   return os.str();
 }
 
@@ -111,7 +126,9 @@ Server::Server(Graph* graph, const SnbData* data, ServiceConfig config)
       config_(std::move(config)),
       ldbc_(LdbcContext::Resolve(*graph, data->schema)),
       param_gen_(graph, data, /*seed=*/1),
-      cost_model_(config_.short_threshold_ms) {}
+      cost_model_(config_.short_threshold_ms) {
+  replica_mode_.store(config_.replica, std::memory_order_release);
+}
 
 Server::~Server() { Drain(/*grace_seconds=*/1.0); }
 
@@ -150,9 +167,18 @@ bool Server::Start(std::string* error) {
   admission_ = std::make_unique<AdmissionQueue>(
       config_.policy, config_.queue_capacity, config_.query_workers,
       &cost_model_);
+  // The shipper exists on every server (a promoted replica feeds its own
+  // replicas without a restart); with no subscribers it costs one branch
+  // per commit.
+  shipper_ = std::make_unique<replication::LogShipper>(graph_);
+  shipper_->Start();
   acceptor_ = std::thread([this] { AcceptLoop(); });
   reaper_ = std::thread([this] { ReaperLoop(); });
   return true;
+}
+
+void Server::PromoteToPrimary() {
+  replica_mode_.store(false, std::memory_order_release);
 }
 
 void Server::AcceptLoop() {
@@ -225,7 +251,24 @@ void Server::ReaperLoop() {
     ReapIdleSessions();
     MaybeRunGc(&last_gc_ns);
     CheckWatermarkStall();
+    RefreshReplicationStats();
   }
+}
+
+void Server::RefreshReplicationStats() {
+  if (shipper_ == nullptr) return;
+  std::vector<replication::ReplicaLagInfo> lag = shipper_->LagSnapshot();
+  uint64_t connected = 0;
+  for (const auto& r : lag) {
+    if (r.connected) ++connected;
+  }
+  stats_.replicas_connected.store(connected, std::memory_order_relaxed);
+  stats_.wal_frames_shipped.store(shipper_->frames_shipped(),
+                                  std::memory_order_relaxed);
+  stats_.wal_bytes_shipped.store(shipper_->bytes_shipped(),
+                                 std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(stats_.replica_mu);
+  stats_.replicas = std::move(lag);
 }
 
 void Server::ReapIdleSessions() {
@@ -377,6 +420,16 @@ void Server::HandleConnection(std::shared_ptr<Session> session) {
   std::string payload;
   for (;;) {
     ReadResult r = ReadFrame(session->fd, &payload);
+    if (r == ReadResult::kTooLarge) {
+      // The oversized frame's bytes were not consumed, so the stream is
+      // still coherent enough to refuse cleanly before disconnecting.
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kError));
+      b.PutU8(static_cast<uint8_t>(WireStatus::kInvalidArgument));
+      b.PutString("frame exceeds the maximum frame size");
+      SendToSession(session.get(), b.data());
+      break;
+    }
     if (r != ReadResult::kOk) break;
     session->last_active_ns.store(QueryContext::NowNanos(),
                                   std::memory_order_release);
@@ -410,11 +463,23 @@ void Server::HandleConnection(std::shared_ptr<Session> session) {
 bool Server::HandleFrame(const std::shared_ptr<Session>& session,
                          const std::string& payload) {
   WireReader in(payload);
+  // Malformed input never goes unanswered: the client gets an explicit
+  // INVALID_ARGUMENT error frame before the server closes the connection
+  // (the stream position is unknowable after a bad body).
+  auto refuse = [&](const std::string& what) {
+    WireBuf b;
+    b.PutU8(static_cast<uint8_t>(MsgType::kError));
+    b.PutU8(static_cast<uint8_t>(WireStatus::kInvalidArgument));
+    b.PutString(what);
+    SendToSession(session.get(), b.data());
+    return false;
+  };
   MsgType type = static_cast<MsgType>(in.GetU8());
-  if (!in.ok()) return false;
+  if (!in.ok()) return refuse("empty frame");
   switch (type) {
     case MsgType::kHello: {
       in.GetU32();  // protocol version; single version so far
+      if (!in.ok()) return refuse("malformed hello frame");
       WireBuf b;
       b.PutU8(static_cast<uint8_t>(MsgType::kHelloOk));
       b.PutU64(session->id);
@@ -426,15 +491,20 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
       return true;
     case MsgType::kCancel: {
       uint64_t id = in.GetU64();
+      if (!in.ok()) return refuse("malformed cancel frame");
       std::lock_guard<std::mutex> lk(session->inflight_mu);
       auto it = session->inflight.find(id);
       if (it != session->inflight.end()) it->second->Cancel();
       return true;  // no response frame; the query answers CANCELLED
     }
+    case MsgType::kSubscribe:
+      return HandleSubscribe(session, &in);
+    case MsgType::kReplicaAck:
+      return refuse("ack frame outside an active subscription");
     case MsgType::kSetParam: {
       std::string key = in.GetString();
       std::string value = in.GetString();
-      if (!in.ok()) return false;
+      if (!in.ok()) return refuse("malformed set-param frame");
       {
         std::lock_guard<std::mutex> lk(session->param_mu);
         session->params[std::move(key)] = std::move(value);
@@ -445,7 +515,7 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
     }
     case MsgType::kGetParam: {
       std::string key = in.GetString();
-      if (!in.ok()) return false;
+      if (!in.ok()) return refuse("malformed get-param frame");
       WireBuf b;
       b.PutU8(static_cast<uint8_t>(MsgType::kParamValue));
       std::lock_guard<std::mutex> lk(session->param_mu);
@@ -508,6 +578,84 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
   }
 }
 
+bool Server::HandleSubscribe(const std::shared_ptr<Session>& session,
+                             WireReader* in) {
+  auto refuse = [&](WireStatus status, const std::string& what) {
+    WireBuf b;
+    b.PutU8(static_cast<uint8_t>(MsgType::kError));
+    b.PutU8(static_cast<uint8_t>(status));
+    b.PutString(what);
+    SendToSession(session.get(), b.data());
+    return false;
+  };
+  uint32_t proto = in->GetU32();
+  Version from = in->GetU64();
+  std::string name = in->GetString();
+  if (!in->ok()) {
+    return refuse(WireStatus::kInvalidArgument, "malformed subscribe frame");
+  }
+  if (proto != kReplicationProtocolVersion) {
+    return refuse(WireStatus::kInvalidArgument,
+                  "unsupported replication protocol version " +
+                      std::to_string(proto));
+  }
+  if (draining_.load(std::memory_order_acquire) || shipper_ == nullptr) {
+    return refuse(WireStatus::kShuttingDown, "server is draining");
+  }
+
+  // A subscriber is not a reader: drop the session's snapshot pin so a
+  // connection that lives for the primary's whole lifetime doesn't hold
+  // the GC watermark at its connect-time version forever.
+  {
+    std::lock_guard<std::mutex> lk(session->snap_mu);
+    session->pin.Release();
+  }
+
+  Status status = Status::OK();
+  uint64_t sub_id = shipper_->AddSubscriber(
+      name.empty() ? "session-" + std::to_string(session->id) : name, from,
+      /*send=*/
+      [this, session](const std::string& frame) {
+        return SendToSession(session.get(), frame);
+      },
+      /*on_dead=*/
+      [session] {
+        // Kick the connection thread (blocked below reading acks) so it
+        // runs the session cleanup and removes the subscriber.
+        ::shutdown(session->fd, SHUT_RDWR);
+      },
+      &status);
+  if (sub_id == 0) {
+    return refuse(WireStatus::kError,
+                  "subscription failed: " + status.message());
+  }
+
+  // The connection thread now belongs to the subscription: the shipper's
+  // sender thread streams snapshot/backlog/live frames while this loop
+  // consumes kReplicaAck progress reports.
+  std::string payload;
+  for (;;) {
+    ReadResult r = ReadFrame(session->fd, &payload);
+    if (r != ReadResult::kOk) break;
+    session->last_active_ns.store(QueryContext::NowNanos(),
+                                  std::memory_order_release);
+    WireReader ack(payload);
+    if (static_cast<MsgType>(ack.GetU8()) != MsgType::kReplicaAck) {
+      refuse(WireStatus::kInvalidArgument,
+             "only ack frames are valid on a subscription");
+      break;
+    }
+    Version applied = ack.GetU64();
+    if (!ack.ok()) {
+      refuse(WireStatus::kInvalidArgument, "malformed ack frame");
+      break;
+    }
+    shipper_->OnAck(sub_id, applied);
+  }
+  shipper_->RemoveSubscriber(sub_id);
+  return false;
+}
+
 void Server::HandleQuery(const std::shared_ptr<Session>& session,
                          WireReader* in) {
   QueryRequest req;
@@ -520,6 +668,42 @@ void Server::HandleQuery(const std::shared_ptr<Session>& session,
     return;
   }
   stats_.queries_received.fetch_add(1, std::memory_order_relaxed);
+
+  // Read-your-writes floor (DESIGN.md §13): the request carries the
+  // client's latest commit version. On a replica whose applier hasn't
+  // caught up yet, wait briefly; still behind → LAGGING, telling the
+  // router to bounce this read to the primary rather than serve a state
+  // older than the client's own write.
+  if (req.min_version > 0) {
+    int64_t wait_deadline =
+        QueryContext::NowNanos() +
+        static_cast<int64_t>(std::max(0.0, config_.ryw_wait_ms) * 1e6);
+    while (graph_->CurrentVersion() < req.min_version &&
+           QueryContext::NowNanos() < wait_deadline &&
+           !draining_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Version applied = graph_->CurrentVersion();
+    if (applied < req.min_version) {
+      stats_.ryw_lagging.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse resp;
+      resp.query_id = req.query_id;
+      resp.status = WireStatus::kLagging;
+      resp.message = "applied version is v" + std::to_string(applied) +
+                     ", behind the requested floor v" +
+                     std::to_string(req.min_version);
+      resp.snapshot_version = applied;
+      SendToSession(session.get(), EncodeQueryResponse(resp));
+      return;
+    }
+    // The graph caught up, but the session may still be pinned below the
+    // floor (it pins at connect time); advance it so the query snapshot
+    // honors the floor.
+    if (session->snapshot.load(std::memory_order_acquire) <
+        req.min_version) {
+      RepinSession(session.get(), graph_->PinSnapshot());
+    }
+  }
 
   // Pin the snapshot NOW (connection thread): the session's pinned version
   // may move (RefreshSnapshot, IU read-your-writes) while this query waits
@@ -599,6 +783,9 @@ void Server::HandleQuery(const std::shared_ptr<Session>& session,
 QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
                                    Version snapshot, QueryContext* ctx) {
   QueryResponse resp;
+  // Version the caller's read executes at (IU overrides with its commit
+  // version below); the routed client turns this into its RYW token.
+  resp.snapshot_version = snapshot;
   InterruptReason pre = ctx->Check();
   if (pre != InterruptReason::kNone) {
     // Died waiting in the admission queue.
@@ -671,6 +858,13 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
         resp.message = "IU number out of range";
         return resp;
       }
+      if (replica_mode_.load(std::memory_order_acquire)) {
+        // Single-writer topology: only the primary commits; the applier
+        // is this graph's sole writer until promotion.
+        resp.status = WireStatus::kReadOnly;
+        resp.message = "replica is read-only; route updates to the primary";
+        return resp;
+      }
       if (graph_->read_only()) {
         // A WAL I/O failure latched the store read-only; reads keep
         // flowing but writes must fail fast with the root cause.
@@ -707,6 +901,23 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
           session->pinned_at_ns.store(QueryContext::NowNanos(),
                                       std::memory_order_release);
         }
+      }
+      resp.snapshot_version = commit;
+      // Semi-synchronous replication: hold the OK until enough replicas
+      // acked this commit. On timeout the transaction is durable locally
+      // but the client is told it was NOT acknowledged — the failover
+      // drill counts only OK updates as "acknowledged".
+      if (config_.min_replica_acks > 0 &&
+          !shipper_->WaitForAcks(commit, config_.min_replica_acks,
+                                 config_.replica_ack_timeout_seconds)) {
+        stats_.semisync_timeouts.fetch_add(1, std::memory_order_relaxed);
+        resp.status = WireStatus::kError;
+        resp.message =
+            "commit v" + std::to_string(commit) +
+            " is durable locally but was not acknowledged by " +
+            std::to_string(config_.min_replica_acks) +
+            " replica(s) in time; it may or may not survive failover";
+        return resp;
       }
       Schema s;
       s.Add("commit_version", ValueType::kInt64);
@@ -789,6 +1000,11 @@ void Server::Drain(double grace_seconds) {
     }
     sessions_.clear();
   }
+
+  // 6. Stop WAL shipping last: every subscriber connection thread has
+  //    exited (and removed itself from the shipper), so this mostly
+  //    detaches the commit listener and releases semi-sync waiters.
+  if (shipper_ != nullptr) shipper_->Shutdown();
 }
 
 }  // namespace ges::service

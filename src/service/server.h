@@ -49,6 +49,7 @@
 
 #include "executor/executor.h"
 #include "queries/ldbc.h"
+#include "replication/log_shipper.h"
 #include "service/admission.h"
 #include "service/protocol.h"
 
@@ -77,6 +78,21 @@ struct ServiceConfig {
   // older than this is holding the watermark (and therefore garbage)
   // hostage: log it once and export it in the stats. <= 0 disables.
   double watermark_alert_seconds = 30.0;
+
+  // --- WAL-shipping replication (DESIGN.md §13) ---
+  // Replica mode: the graph is fed by a replication::Replica applier; IU
+  // requests answer READ_ONLY directing the client to the primary.
+  // PromoteToPrimary() clears it at failover.
+  bool replica = false;
+  // Semi-synchronous commit: an IU responds OK only once this many
+  // connected replicas acked its commit version (0 = fully async). On
+  // timeout the commit is durable locally but the client gets an error —
+  // i.e. it was NOT acknowledged, and failover may or may not retain it.
+  int min_replica_acks = 0;
+  double replica_ack_timeout_seconds = 2.0;
+  // Read-your-writes: how long a query carrying min_version may wait for
+  // the applied version to catch up before answering LAGGING.
+  double ryw_wait_ms = 50.0;
 };
 
 struct ServiceStats {
@@ -108,6 +124,16 @@ struct ServiceStats {
   std::atomic<uint64_t> intersect_gallops{0};
   std::atomic<uint64_t> intersect_skipped{0};
   std::atomic<uint64_t> intersect_emitted{0};
+
+  // Replication (primary side). Counters are gauges the reaper refreshes
+  // from the log shipper; `replicas` carries per-replica lag detail.
+  std::atomic<uint64_t> replicas_connected{0};
+  std::atomic<uint64_t> wal_frames_shipped{0};
+  std::atomic<uint64_t> wal_bytes_shipped{0};
+  std::atomic<uint64_t> ryw_lagging{0};        // reads bounced with LAGGING
+  std::atomic<uint64_t> semisync_timeouts{0};  // IU acks that timed out
+  mutable std::mutex replica_mu;
+  std::vector<replication::ReplicaLagInfo> replicas;  // guarded by replica_mu
 
   std::string ToString() const;
 };
@@ -141,6 +167,17 @@ class Server {
 
   bool draining() const { return draining_.load(std::memory_order_acquire); }
   size_t ActiveSessions() const;
+
+  // Failover: flips a replica-mode server into a writable primary. The
+  // caller must have stopped the replication stream first (the applier no
+  // longer advances the graph); the already-running log shipper then lets
+  // the promoted node feed its own replicas.
+  void PromoteToPrimary();
+  bool replica_mode() const {
+    return replica_mode_.load(std::memory_order_acquire);
+  }
+  replication::LogShipper* shipper() { return shipper_.get(); }
+
   const ServiceStats& stats() const { return stats_; }
   const QueryCostModel& cost_model() const { return cost_model_; }
   const AdmissionQueue& admission() const { return *admission_; }
@@ -191,6 +228,8 @@ class Server {
   void ReapIdleSessions();
   void MaybeRunGc(int64_t* last_gc_ns);
   void CheckWatermarkStall();
+  // Copies the shipper's per-replica lag view into ServiceStats.
+  void RefreshReplicationStats();
   // Installs `fresh` (an already-registered handle) as the session's pin
   // under snap_mu, refusing to move the snapshot backwards; returns the
   // session's resulting snapshot version.
@@ -200,6 +239,13 @@ class Server {
   // close (kBye or a protocol violation).
   bool HandleFrame(const std::shared_ptr<Session>& session,
                    const std::string& payload);
+  // Turns the connection into a replication subscription: registers with
+  // the log shipper (which streams snapshot/backlog/live frames from its
+  // own sender thread) and reads kReplicaAck frames until the replica
+  // disconnects. Always returns false — the connection never goes back to
+  // regular query service.
+  bool HandleSubscribe(const std::shared_ptr<Session>& session,
+                       WireReader* in);
   void HandleQuery(const std::shared_ptr<Session>& session, WireReader* in);
   QueryResponse ExecuteQuery(Session* session, const QueryRequest& req,
                              Version snapshot, QueryContext* ctx);
@@ -230,6 +276,12 @@ class Server {
 
   // Last session already logged as a watermark stall (avoid log spam).
   uint64_t stall_logged_session_ = 0;
+
+  // WAL shipping (always constructed, so a promoted replica can serve
+  // subscribers without a restart). Shut down at the end of Drain, after
+  // every subscriber connection thread has exited.
+  std::unique_ptr<replication::LogShipper> shipper_;
+  std::atomic<bool> replica_mode_{false};
 
   ServiceStats stats_;
 };

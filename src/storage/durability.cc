@@ -18,6 +18,7 @@
 // Replay itself runs with the WAL detached, so replayed transactions are
 // not re-logged; because commit versions are consecutive, replay reproduces
 // the pre-crash version numbering.
+#include <sstream>
 #include <unordered_map>
 
 #include "storage/graph.h"
@@ -182,6 +183,7 @@ Status Graph::Open(const std::string& dir, const DurabilityOptions& opts,
 
   graph->data_dir_ = dir;
   graph->dur_opts_ = opts;
+  graph->last_checkpoint_version_ = base;
   GES_RETURN_IF_ERROR(WalWriter::Open(wal_path, opts.wal, fs, &graph->wal_));
   *out = std::move(graph);
   return Status::OK();
@@ -203,6 +205,7 @@ Status Graph::EnableDurability(const std::string& dir,
   {
     std::lock_guard<std::mutex> commit_lock(version_manager_.commit_mutex());
     GES_RETURN_IF_ERROR(WriteSnapshotAtomic(*this, fs, dir));
+    last_checkpoint_version_ = CurrentVersion();
   }
   // Any log from a previous incarnation is superseded by the snapshot.
   GES_RETURN_IF_ERROR(fs->Remove(dir + kWalName));
@@ -221,6 +224,7 @@ Status Graph::CheckpointLocked() {
   // the serializer is about to walk.
   SnapshotHandle ckpt_pin = version_manager_.AcquireSnapshot();
   GES_RETURN_IF_ERROR(WriteSnapshotAtomic(*this, fs, data_dir_));
+  last_checkpoint_version_ = CurrentVersion();
   Status s = wal_->Rotate();
   if (!s.ok()) EnterReadOnly(s);
   return s;
@@ -246,6 +250,79 @@ Status Graph::MaybeCheckpoint() {
   if (!ckpt_lock.owns_lock()) return Status::OK();  // someone else is on it
   if (!ShouldCheckpoint()) return Status::OK();
   return CheckpointLocked();
+}
+
+// --- replication (DESIGN.md §13) -----------------------------------------
+
+void Graph::SetCommitListener(CommitListener listener) {
+  // The commit mutex guards the listener slot: no commit can be mid-flight
+  // while the feed is attached or detached.
+  std::lock_guard<std::mutex> commit_lock(version_manager_.commit_mutex());
+  commit_listener_ = std::move(listener);
+  has_commit_listener_.store(static_cast<bool>(commit_listener_),
+                             std::memory_order_release);
+}
+
+Status Graph::CollectReplicationBacklog(
+    Version from, ReplicationBacklog* out,
+    const std::function<void(Version)>& on_subscribed) {
+  *out = ReplicationBacklog{};
+  // checkpoint_mu_ freezes the snapshot file + WAL pair (a concurrent
+  // checkpoint would rotate the WAL out from under the scan); the commit
+  // mutex freezes the version counter so backlog + live feed partition the
+  // commit history exactly at `live_from`.
+  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+  std::lock_guard<std::mutex> commit_lock(version_manager_.commit_mutex());
+  Version current = CurrentVersion();
+  if (wal_ != nullptr) {
+    FileSystem* fs =
+        dur_opts_.fs != nullptr ? dur_opts_.fs : FileSystem::Default();
+    Version floor = from;
+    if (from == 0 || from < last_checkpoint_version_) {
+      // The WAL only reaches back to the last checkpoint, and a fresh
+      // subscriber (from == 0) has no base graph at all — the bulk-loaded
+      // data lives only in the snapshot. Bootstrap from the checkpoint
+      // file first.
+      GES_RETURN_IF_ERROR(fs->ReadFileToString(data_dir_ + kSnapshotName,
+                                               &out->snapshot_bytes));
+      out->need_snapshot = true;
+      out->snapshot_version = last_checkpoint_version_;
+      floor = last_checkpoint_version_;
+    }
+    WalScanResult scan;
+    GES_RETURN_IF_ERROR(ScanWal(wal_->path(), fs, &scan));
+    for (WalTxn& tx : scan.committed) {
+      if (tx.commit_version > floor) out->txns.push_back(std::move(tx));
+    }
+  } else if (from == 0 || from < current) {
+    // In-memory primary (bench/test topologies): serialize a fresh
+    // snapshot at the current version; commits are excluded while the
+    // commit mutex is held, exactly like a checkpoint.
+    std::ostringstream os;
+    GES_RETURN_IF_ERROR(SaveGraph(*this, os));
+    out->need_snapshot = true;
+    out->snapshot_bytes = os.str();
+    out->snapshot_version = current;
+  }
+  out->live_from = current;
+  if (on_subscribed) on_subscribed(current);
+  return Status::OK();
+}
+
+Status Graph::ApplyReplicatedTxn(const WalTxn& tx) {
+  Version expect = CurrentVersion() + 1;
+  if (tx.commit_version != expect) {
+    return Status::Error(
+        "replication gap: next commit version is " + std::to_string(expect) +
+        " but the shipped transaction carries " +
+        std::to_string(tx.commit_version));
+  }
+  GES_RETURN_IF_ERROR(ReplayWalTxn(this, tx));
+  if (CurrentVersion() != tx.commit_version) {
+    return Status::Error("replicated transaction " + std::to_string(tx.txid) +
+                         " committed at the wrong version");
+  }
+  return Status::OK();
 }
 
 }  // namespace ges

@@ -468,12 +468,19 @@ Status WriteTxn::Commit(Version* commit_version) {
     std::lock_guard<std::mutex> commit_lock(vm.commit_mutex());
     version = vm.NextVersionLocked();
 
+    // A replication feed needs the WAL records even when the graph itself
+    // is not durable (in-memory primaries in benches and tests).
+    const bool feed =
+        graph_->has_commit_listener_.load(std::memory_order_acquire);
+    std::vector<WalRecord> wal_records;
+    if (durable || feed) wal_records = BuildWalRecords(version);
+
     if (durable) {
       // Log before publishing anything: if the append fails (disk full,
       // EIO) the commit is rejected with no in-memory effect and the graph
       // degrades to read-only. Appending under the commit mutex keeps log
       // order identical to commit order.
-      Status s = graph_->wal_->AppendTxn(BuildWalRecords(version), &lsn);
+      Status s = graph_->wal_->AppendTxn(wal_records, &lsn);
       if (!s.ok()) {
         graph_->EnterReadOnly(s);
         vm.UnlockStripes(locked_stripes_);
@@ -574,6 +581,12 @@ Status WriteTxn::Commit(Version* commit_version) {
     }
 
     vm.AdvanceVersionLocked(version);
+
+    // Commit feed: still under the commit mutex, so subscribers observe
+    // commits in exactly commit order with no gaps (DESIGN.md §13).
+    if (feed && graph_->commit_listener_) {
+      graph_->commit_listener_(version, wal_records);
+    }
   }
   vm.UnlockStripes(locked_stripes_);
   done_ = true;

@@ -10,6 +10,7 @@
 #define GES_STORAGE_GRAPH_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -55,6 +56,26 @@ struct GcStats {
   uint64_t entries_pruned = 0;
   uint64_t bytes_reclaimed = 0;
 };
+
+// Everything a new replication subscriber needs to catch up to the primary
+// before live WAL frames take over (DESIGN.md §13). Collected atomically
+// with the subscriber registration, so snapshot + txns + live feed cover
+// every commit exactly once.
+struct ReplicationBacklog {
+  bool need_snapshot = false;
+  std::string snapshot_bytes;   // GESSNAP image when need_snapshot
+  Version snapshot_version = 0; // version the snapshot captures
+  std::vector<WalTxn> txns;     // committed txns after snapshot/from
+  Version live_from = 0;        // live feed covers versions > this
+};
+
+// Observer of every commit, invoked under the commit mutex immediately
+// after the commit's version is published — callback order is exactly
+// commit order. `records` is the transaction's full WAL record list
+// (kBeginTx first, kCommitTx last). Must not block and must not call back
+// into the graph's write path.
+using CommitListener =
+    std::function<void(Version, const std::vector<WalRecord>&)>;
 
 class Graph {
  public:
@@ -106,6 +127,32 @@ class Graph {
   void RestoreVersionForRecovery(Version v) {
     version_manager_.AdvanceVersionLocked(v);
   }
+
+  // --- replication (primary side; implemented in durability.cc) ---
+  // Installs/clears the commit feed. When a listener is set, every commit
+  // builds its WAL records even on a non-durable graph. One listener slot:
+  // the log shipper fans out to its subscribers.
+  void SetCommitListener(CommitListener listener);
+  void ClearCommitListener() { SetCommitListener(nullptr); }
+
+  // Collects the catch-up state for a subscriber that has applied
+  // everything up to `from` (0 = nothing), and atomically registers it
+  // with the live feed: `on_subscribed` runs under the commit mutex with
+  // the current version V, after which the commit listener sees every
+  // commit > V while `out` covers everything <= V newer than `from` —
+  // no gap, no duplicate. Durable graphs serve the last checkpoint file
+  // plus the WAL tail; non-durable graphs serialize a fresh in-memory
+  // snapshot (bench/test topologies).
+  Status CollectReplicationBacklog(Version from, ReplicationBacklog* out,
+                                   const std::function<void(Version)>&
+                                       on_subscribed);
+
+  // --- replication (replica side) ---
+  // Applies one shipped transaction through the normal write path (so a
+  // durable replica logs it to its own WAL and commit versions replicate
+  // identically). Rejects version gaps: `tx.commit_version` must be
+  // exactly CurrentVersion() + 1.
+  Status ApplyReplicatedTxn(const WalTxn& tx);
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -313,6 +360,14 @@ class Graph {
   std::unique_ptr<WalWriter> wal_;
   DurabilityOptions dur_opts_;
   std::string data_dir_;
+  // Version captured by the snapshot file currently on disk; guarded by
+  // the commit mutex (writers hold it at every update site).
+  Version last_checkpoint_version_ = 0;
+  // Commit feed (DESIGN.md §13). The listener itself is guarded by the
+  // commit mutex; the flag lets the commit path skip record-building
+  // without taking any extra lock when no feed is attached.
+  CommitListener commit_listener_;
+  std::atomic<bool> has_commit_listener_{false};
   std::atomic<bool> read_only_{false};
   mutable std::mutex read_only_mu_;
   std::string read_only_reason_;

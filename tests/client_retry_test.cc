@@ -15,11 +15,15 @@
 #include <string>
 #include <thread>
 
+#include "replication/routed_client.h"
 #include "service/client.h"
 #include "service/protocol.h"
 
 namespace ges::service {
 namespace {
+
+using replication::Endpoint;
+using replication::RoutedClient;
 
 // Listening socket on a loopback port (ephemeral unless `port` given).
 class Listener {
@@ -192,6 +196,162 @@ TEST(ClientRetryTest, ReadRetriedAfterMidStreamEof) {
   EXPECT_EQ(queries_seen.load(), 2);
   c.Close();
   server.join();
+}
+
+TEST(ClientRetryTest, ReadRetriedAfterPartialResponseFrame) {
+  Listener listener;
+  std::atomic<int> queries_seen{0};
+  std::thread server([&listener, &queries_seen] {
+    // First connection: answer the query with a length prefix promising a
+    // 64-byte body, deliver 5 bytes, then die — a truncated frame, the
+    // worst kind of mid-response drop.
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    char frame[9] = {64, 0, 0, 0,  // LE u32 length = 64
+                     static_cast<char>(MsgType::kResult), 'x', 'x', 'x',
+                     'x'};
+    ::send(conn, frame, sizeof(frame), MSG_NOSIGNAL);
+    ::close(conn);
+    // Second connection (the retry): behave.
+    conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ReplyOk(conn, req.query_id);
+    std::string payload;
+    ReadFrame(conn, &payload);  // drain the Bye, if any
+    ::close(conn);
+  });
+
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 3;
+  p.base_backoff_ms = 5;
+  c.set_retry_policy(p);
+  ASSERT_TRUE(c.Connect("127.0.0.1", listener.port()));
+
+  QueryRequest req;
+  req.query_id = c.AllocQueryId();
+  req.kind = QueryKind::kIS;
+  req.number = 1;
+  QueryResponse resp;
+  EXPECT_TRUE(c.Run(req, &resp)) << c.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(queries_seen.load(), 2);
+  c.Close();
+  server.join();
+}
+
+TEST(ClientRetryTest, RoutedReadFailsOverToAnotherEndpoint) {
+  // A "replica" that accepts, swallows the query and dies, next to a
+  // healthy "primary": the routed read must land on the survivor.
+  Listener replica;
+  Listener primary;
+  std::atomic<int> replica_queries{0};
+  std::atomic<int> primary_queries{0};
+  std::atomic<bool> done{false};
+  std::thread replica_thread([&] {
+    while (!done.load()) {
+      int conn = replica.Accept();
+      if (conn < 0) break;
+      QueryRequest req;
+      if (Handshake(conn) && ReadQuery(conn, &req)) {
+        replica_queries.fetch_add(1);
+      }
+      ::close(conn);  // never answers
+    }
+  });
+  std::thread primary_thread([&] {
+    int conn = primary.Accept();
+    if (conn < 0) return;
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    while (ReadQuery(conn, &req)) {
+      primary_queries.fetch_add(1);
+      ReplyOk(conn, req.query_id);
+    }
+    ::close(conn);
+  });
+
+  RoutedClient::Options opts;
+  opts.primary = Endpoint{"127.0.0.1", primary.port()};
+  opts.replicas = {Endpoint{"127.0.0.1", replica.port()}};
+  RoutedClient router(opts);
+
+  QueryResponse resp;
+  EXPECT_TRUE(router.RunSleep(/*millis=*/0, &resp)) << router.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(replica_queries.load(), 1) << "read never tried the replica";
+  EXPECT_EQ(primary_queries.load(), 1) << "read did not fail over";
+
+  router.Close();
+  done.store(true);
+  replica.Close();
+  primary.Close();
+  replica_thread.join();
+  primary_thread.join();
+}
+
+TEST(ClientRetryTest, RoutedAmbiguousUpdateIsNeverRetried) {
+  // The primary swallows the update and dies; the router must surface the
+  // ambiguity, not re-send it to anyone — including its replicas.
+  Listener primary;
+  Listener replica;
+  std::atomic<int> update_frames{0};
+  std::atomic<bool> done{false};
+  std::thread primary_thread([&] {
+    int conn = primary.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    update_frames.fetch_add(1);
+    ::close(conn);  // delivered, unacknowledged
+    while (!done.load()) {
+      int extra = primary.Accept();
+      if (extra < 0) break;
+      if (Handshake(extra) && ReadQuery(extra, &req)) {
+        update_frames.fetch_add(1);
+      }
+      ::close(extra);
+    }
+  });
+  std::thread replica_thread([&] {
+    while (!done.load()) {
+      int conn = replica.Accept();
+      if (conn < 0) break;
+      QueryRequest req;
+      if (Handshake(conn) && ReadQuery(conn, &req)) {
+        update_frames.fetch_add(1);
+      }
+      ::close(conn);
+    }
+  });
+
+  RoutedClient::Options opts;
+  opts.primary = Endpoint{"127.0.0.1", primary.port()};
+  opts.replicas = {Endpoint{"127.0.0.1", replica.port()}};
+  opts.retry.max_retries = 3;  // retries ON — the update must still not
+  opts.retry.base_backoff_ms = 5;
+  RoutedClient router(opts);
+
+  QueryResponse resp;
+  EXPECT_FALSE(router.RunIU(1, /*seed=*/42, &resp));
+  EXPECT_NE(router.last_error().find("ambiguous"), std::string::npos)
+      << router.last_error();
+  EXPECT_EQ(update_frames.load(), 1) << "ambiguous update was re-sent";
+
+  router.Close();
+  done.store(true);
+  primary.Close();
+  replica.Close();
+  primary_thread.join();
+  replica_thread.join();
 }
 
 TEST(ClientRetryTest, AmbiguousUpdateIsNeverRetried) {

@@ -1,0 +1,233 @@
+// Kill-the-primary failover drill. A forked child runs a durable primary
+// with semi-synchronous replication (min_replica_acks=1); the parent
+// attaches two in-memory replicas, hammers IU commits recording every
+// acknowledged commit version, then SIGKILLs the primary mid-load.
+//
+// The claim under test: because an acknowledgement requires at least one
+// replica to have APPLIED the commit, promoting the most-caught-up
+// replica loses no acknowledged transaction — and a client holding a
+// read-your-writes token minted by an acked commit never observes a
+// state older than its own write, even across the failover.
+//
+// Environment knobs (shared with scripts/crash_loop.sh):
+//   GES_CRASH_ITERS  kill/promote iterations (default 2)
+//   GES_CRASH_DIR    persistent primary data dir (default: fresh temp dir)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/snb_generator.h"
+#include "replication/replica.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "storage/graph.h"
+
+namespace ges {
+namespace {
+
+using replication::Replica;
+using service::Client;
+using service::QueryKind;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::Server;
+using service::ServiceConfig;
+using service::WireStatus;
+
+// The forked primary. Plain return codes, no gtest in the child; it never
+// returns normally — the parent SIGKILLs it. Recovers the persistent dir
+// if a previous incarnation left one (crash_loop.sh reuses the dir), else
+// seeds a small SNB graph. Publishes its ephemeral port via rename() so
+// the parent never reads a half-written file.
+int RunPrimaryChild(const std::string& dir) {
+  DurabilityOptions dur;
+  dur.wal.fsync_policy = FsyncPolicy::kAlways;
+
+  std::unique_ptr<Graph> graph;
+  SnbData data;
+  if (Graph::SnapshotExists(dir)) {
+    if (!Graph::Open(dir, dur, &graph).ok()) return 3;
+    data = RebuildSnbData(graph.get());
+  } else {
+    graph = std::make_unique<Graph>();
+    SnbConfig snb;
+    snb.scale_factor = 0.005;
+    data = GenerateSnb(snb, graph.get());
+    if (!graph->EnableDurability(dir, dur).ok()) return 3;
+  }
+
+  ServiceConfig cfg;
+  cfg.min_replica_acks = 1;
+  cfg.replica_ack_timeout_seconds = 5.0;
+  Server server(graph.get(), &data, cfg);
+  std::string error;
+  if (!server.Start(&error)) return 4;
+
+  {
+    std::ofstream out(dir + "/port.tmp");
+    out << server.port() << "\n";
+  }
+  if (std::rename((dir + "/port.tmp").c_str(),
+                  (dir + "/port.txt").c_str()) != 0) {
+    return 5;
+  }
+  for (;;) ::pause();  // serve until murdered
+}
+
+uint16_t WaitForPort(const std::string& dir, pid_t child, double timeout_s) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(dir + "/port.txt");
+    int p = 0;
+    if (in >> p && p > 0) return static_cast<uint16_t>(p);
+    int status = 0;
+    if (::waitpid(child, &status, WNOHANG) == child) return 0;  // died early
+    ::usleep(20000);
+  }
+  return 0;
+}
+
+Replica::Options InMemoryReplica(uint16_t port, const std::string& name) {
+  Replica::Options opts;
+  opts.primary_port = port;
+  opts.name = name;
+  return opts;  // no data_dir: bootstraps from the shipped snapshot
+}
+
+TEST(ReplicationFailoverTest, KillPrimaryPromoteReplicaZeroAckedLoss) {
+  const char* dir_env = std::getenv("GES_CRASH_DIR");
+  std::string dir;
+  bool own_dir = false;
+  if (dir_env != nullptr && dir_env[0] != '\0') {
+    dir = dir_env;
+    std::filesystem::create_directories(dir);
+  } else {
+    char buf[] = "/tmp/ges_failover_test_XXXXXX";
+    dir = ::mkdtemp(buf);
+    own_dir = true;
+  }
+  const char* iters_env = std::getenv("GES_CRASH_ITERS");
+  int iters = iters_env != nullptr ? std::atoi(iters_env) : 2;
+
+  std::random_device rd;
+  std::mt19937_64 rng(rd());
+
+  for (int iter = 0; iter < iters; ++iter) {
+    std::filesystem::remove(dir + "/port.txt");
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: single-threaded at this point; every thread it needs it
+      // creates itself.
+      ::_exit(RunPrimaryChild(dir));
+    }
+    uint16_t port = WaitForPort(dir, pid, 30.0);
+    if (port == 0) ::kill(pid, SIGKILL);
+    ASSERT_NE(port, 0) << "primary child never published a port";
+
+    Replica r1(InMemoryReplica(port, "failover-a"));
+    Replica r2(InMemoryReplica(port, "failover-b"));
+    ASSERT_TRUE(r1.Start().ok()) << r1.last_error();
+    ASSERT_TRUE(r2.Start().ok()) << r2.last_error();
+
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port)) << client.last_error();
+
+    // Seed distinct across incarnations so IU inserts never collide with
+    // rows a previous run already committed.
+    uint64_t seed_base = (static_cast<uint64_t>(::getpid()) << 32) ^
+                         (static_cast<uint64_t>(pid) << 16) ^
+                         static_cast<uint64_t>(iter);
+
+    // A few commits guaranteed to land before the axe falls, so every
+    // iteration exercises a non-empty acked set.
+    std::vector<uint64_t> acked;
+    QueryResponse resp;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(client.RunIU(1 + (i % 3), seed_base + i, &resp))
+          << client.last_error();
+      if (resp.status == WireStatus::kOk) acked.push_back(resp.snapshot_version);
+    }
+    ASSERT_FALSE(acked.empty());
+
+    // Kill at a random point while the commit loop below is running.
+    std::thread killer([&] {
+      ::usleep(static_cast<useconds_t>(50000 + rng() % 350000));
+      ::kill(pid, SIGKILL);
+    });
+    for (int i = 3; i < 100000; ++i) {
+      if (!client.RunIU(1 + (i % 3), seed_base + i, &resp)) break;
+      // Only OK responses count as acknowledged. A semisync timeout or a
+      // dropped connection is explicitly "may or may not survive".
+      if (resp.status == WireStatus::kOk) acked.push_back(resp.snapshot_version);
+    }
+    killer.join();
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "primary child failed before the kill: status=" << status;
+    client.Close();
+    r1.Stop();
+    r2.Stop();
+
+    uint64_t max_acked = acked.back();  // commit versions are monotonic
+    uint64_t best = std::max(r1.applied_version(), r2.applied_version());
+    ASSERT_GE(best, max_acked)
+        << "acknowledged transaction lost: best replica at v" << best
+        << ", client was acked through v" << max_acked;
+
+    // On the last iteration, actually fail over: promote the most
+    // caught-up replica and verify the read-your-writes token survives.
+    if (iter == iters - 1) {
+      Replica& winner = r1.applied_version() >= r2.applied_version() ? r1 : r2;
+      ASSERT_TRUE(winner.Promote().ok());
+      SnbData rdata = RebuildSnbData(winner.graph());
+      ServiceConfig rcfg;
+      rcfg.replica = true;
+      Server successor(winner.graph(), &rdata, rcfg);
+      std::string error;
+      ASSERT_TRUE(successor.Start(&error)) << error;
+      successor.PromoteToPrimary();
+
+      Client c2;
+      ASSERT_TRUE(c2.Connect("127.0.0.1", successor.port()));
+      // RYW across failover: a read floored at the client's last acked
+      // commit must see at least that version on the new primary.
+      QueryRequest req;
+      req.query_id = c2.AllocQueryId();
+      req.kind = QueryKind::kSleep;
+      req.seed = 0;
+      req.min_version = max_acked;
+      ASSERT_TRUE(c2.Run(req, &resp)) << c2.last_error();
+      EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+      EXPECT_GE(resp.snapshot_version, max_acked);
+      // ...and the promoted node accepts writes.
+      ASSERT_TRUE(c2.RunIU(1, seed_base + 999999, &resp)) << c2.last_error();
+      EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+      EXPECT_GT(resp.snapshot_version, best);
+      c2.Close();
+      successor.Drain(2.0);
+    }
+  }
+
+  if (own_dir) std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ges

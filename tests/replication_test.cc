@@ -1,0 +1,454 @@
+// WAL-shipping replication (DESIGN.md §13), end to end and in-process:
+// snapshot + WAL-catch-up bootstrap, live frame streaming, durable replica
+// restart, semi-synchronous commit acks, per-replica lag in ServiceStats,
+// read-your-writes floors (LAGGING bounces), replica-aware client routing,
+// and replica promotion.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/snb_generator.h"
+#include "queries/ldbc.h"
+#include "replication/log_shipper.h"
+#include "replication/replica.h"
+#include "replication/replication_wire.h"
+#include "replication/routed_client.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "storage/graph.h"
+#include "storage/wal.h"
+
+namespace ges {
+namespace {
+
+using replication::Endpoint;
+using replication::Replica;
+using replication::RoutedClient;
+using service::Client;
+using service::QueryKind;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::Server;
+using service::ServiceConfig;
+using service::WireReader;
+using service::WireStatus;
+
+class TempDir {
+ public:
+  TempDir() {
+    char buf[] = "/tmp/ges_repl_test_XXXXXX";
+    path_ = ::mkdtemp(buf);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+SnbData SmallSnb(Graph* g) {
+  SnbConfig snb;
+  snb.scale_factor = 0.01;
+  return GenerateSnb(snb, g);
+}
+
+Replica::Options ReplicaOpts(uint16_t primary_port,
+                             const std::string& name = "replica") {
+  Replica::Options opts;
+  opts.primary_port = primary_port;
+  opts.name = name;
+  return opts;
+}
+
+// Runs one IU through `client`, asserting it commits; returns the commit
+// version from the response table.
+uint64_t CommitIU(Client* client, int number, uint64_t seed) {
+  QueryResponse resp;
+  EXPECT_TRUE(client->RunIU(number, seed, &resp)) << client->last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+  EXPECT_EQ(resp.table.NumRows(), 1u);
+  return resp.snapshot_version;
+}
+
+TEST(ReplicationWireTest, WalFrameCodecRoundTrip) {
+  std::vector<WalRecord> records;
+  WalRecord begin;
+  begin.type = WalRecordType::kBeginTx;
+  begin.txid = 7;
+  records.push_back(begin);
+  WalRecord ins;
+  ins.type = WalRecordType::kInsertVertex;
+  ins.txid = 7;
+  ins.label = static_cast<LabelId>(3);
+  ins.ext_id = 123;
+  records.push_back(ins);
+  WalRecord commit;
+  commit.type = WalRecordType::kCommitTx;
+  commit.txid = 7;
+  records.push_back(commit);
+
+  std::string frame = replication::EncodeWalFrame(/*commit_version=*/7,
+                                                  records);
+  WireReader in(frame);
+  ASSERT_EQ(static_cast<service::MsgType>(in.GetU8()),
+            service::MsgType::kWalFrame);
+  WalTxn tx;
+  ASSERT_TRUE(replication::DecodeWalFrame(&in, &tx));
+  EXPECT_EQ(tx.commit_version, 7u);
+  EXPECT_TRUE(tx.committed);
+  // Begin/Commit markers are stripped: the frame delimits the txn itself.
+  ASSERT_EQ(tx.records.size(), 1u);
+  EXPECT_EQ(tx.records[0].type, WalRecordType::kInsertVertex);
+  EXPECT_EQ(tx.records[0].label, static_cast<LabelId>(3));
+  EXPECT_EQ(tx.records[0].ext_id, 123);
+
+  // Truncated payloads are rejected, not misparsed.
+  std::string cut = frame.substr(0, frame.size() - 3);
+  WireReader bad(cut);
+  bad.GetU8();
+  WalTxn garbage;
+  EXPECT_FALSE(replication::DecodeWalFrame(&bad, &garbage));
+}
+
+TEST(ReplicationTest, BootstrapSnapshotServesReadsAndRejectsWrites) {
+  Graph primary_graph;
+  SnbData data = SmallSnb(&primary_graph);
+  Server primary(&primary_graph, &data, ServiceConfig{});
+  std::string error;
+  ASSERT_TRUE(primary.Start(&error)) << error;
+
+  // One real commit so the bootstrap snapshot carries a nonzero version
+  // (bulk-loaded data alone sits at v0).
+  {
+    Client pclient;
+    ASSERT_TRUE(pclient.Connect("127.0.0.1", primary.port()));
+    ASSERT_GT(CommitIU(&pclient, 1, /*seed=*/7), 0u);
+    pclient.Close();
+  }
+
+  Replica replica(ReplicaOpts(primary.port()));
+  Status s = replica.Start();
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(replica.applied_version(), primary_graph.CurrentVersion());
+  EXPECT_EQ(replica.graph()->NumVerticesTotal(),
+            primary_graph.NumVerticesTotal());
+  // The bootstrap snapshot flattens the primary's MVCC overlay into the
+  // base CSR, and NumEdgesTotal counts only the CSR — so the replica may
+  // report MORE physical edges than the primary (whose overlay edges are
+  // invisible to the counter), never fewer.
+  EXPECT_GE(replica.graph()->NumEdgesTotal(), primary_graph.NumEdgesTotal());
+
+  // Serve reads from the replica's graph through a replica-mode server.
+  SnbData rdata = RebuildSnbData(replica.graph());
+  ServiceConfig rcfg;
+  rcfg.replica = true;
+  Server replica_server(replica.graph(), &rdata, rcfg);
+  ASSERT_TRUE(replica_server.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", replica_server.port()));
+  ParamGen gen(replica.graph(), &rdata, /*seed=*/1);
+  QueryResponse resp;
+  ASSERT_TRUE(client.RunIS(1, gen.Next(), &resp)) << client.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+  EXPECT_GT(resp.snapshot_version, 0u);
+
+  // The single-writer rule on the wire: updates bounce with READ_ONLY.
+  ASSERT_TRUE(client.RunIU(1, /*seed=*/1, &resp)) << client.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kReadOnly);
+  EXPECT_NE(resp.message.find("primary"), std::string::npos) << resp.message;
+
+  client.Close();
+  replica_server.Drain(2.0);
+  replica.Stop();
+  primary.Drain(2.0);
+}
+
+TEST(ReplicationTest, LiveWalStreamingAdvancesReplica) {
+  Graph primary_graph;
+  SnbData data = SmallSnb(&primary_graph);
+  Server primary(&primary_graph, &data, ServiceConfig{});
+  std::string error;
+  ASSERT_TRUE(primary.Start(&error)) << error;
+
+  Replica replica(ReplicaOpts(primary.port()));
+  ASSERT_TRUE(replica.Start().ok()) << replica.last_error();
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", primary.port()));
+  uint64_t last_commit = 0;
+  for (int i = 1; i <= 5; ++i) {
+    last_commit = CommitIU(&client, 1 + (i % 3), /*seed=*/100 + i);
+  }
+  ASSERT_GT(last_commit, 0u);
+
+  ASSERT_TRUE(replica.WaitForVersion(last_commit, /*timeout_s=*/10.0))
+      << "replica stuck at v" << replica.applied_version() << ": "
+      << replica.last_error();
+  EXPECT_EQ(replica.applied_version(), primary_graph.CurrentVersion());
+  EXPECT_EQ(replica.graph()->NumVerticesTotal(),
+            primary_graph.NumVerticesTotal());
+  EXPECT_EQ(replica.graph()->NumEdgesTotal(), primary_graph.NumEdgesTotal());
+
+  client.Close();
+  replica.Stop();
+  primary.Drain(2.0);
+}
+
+TEST(ReplicationTest, DurableReplicaRestartCatchesUpFromWal) {
+  TempDir primary_dir;
+  TempDir replica_dir;
+  auto primary_graph = std::make_unique<Graph>();
+  SnbData data = SmallSnb(primary_graph.get());
+  ASSERT_TRUE(
+      primary_graph->EnableDurability(primary_dir.path(), DurabilityOptions{})
+          .ok());
+  Server primary(primary_graph.get(), &data, ServiceConfig{});
+  std::string error;
+  ASSERT_TRUE(primary.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", primary.port()));
+
+  uint64_t first_commit;
+  {
+    Replica::Options opts = ReplicaOpts(primary.port(), "durable-replica");
+    opts.data_dir = replica_dir.path();
+    Replica replica(opts);
+    ASSERT_TRUE(replica.Start().ok()) << replica.last_error();
+    first_commit = CommitIU(&client, 1, /*seed=*/1);
+    ASSERT_TRUE(replica.WaitForVersion(first_commit, 10.0));
+    replica.Stop();  // replica leaves; its directory keeps v<first_commit>
+  }
+
+  // Commits the replica missed while down.
+  uint64_t last_commit = 0;
+  for (int i = 0; i < 3; ++i) {
+    last_commit = CommitIU(&client, 2, /*seed=*/50 + i);
+  }
+
+  // Restart: local recovery first, then WAL-only catch-up from its own
+  // applied version (the primary has not checkpointed past it).
+  Replica::Options opts = ReplicaOpts(primary.port(), "durable-replica");
+  opts.data_dir = replica_dir.path();
+  Replica replica(opts);
+  ASSERT_TRUE(replica.Start().ok()) << replica.last_error();
+  EXPECT_GE(replica.applied_version(), first_commit);
+  ASSERT_TRUE(replica.WaitForVersion(last_commit, 10.0))
+      << "stuck at v" << replica.applied_version();
+  EXPECT_EQ(replica.graph()->NumVerticesTotal(),
+            primary_graph->NumVerticesTotal());
+
+  replica.Stop();
+  client.Close();
+  primary.Drain(2.0);
+}
+
+TEST(ReplicationTest, SemisyncCommitRequiresReplicaAck) {
+  Graph primary_graph;
+  SnbData data = SmallSnb(&primary_graph);
+  ServiceConfig cfg;
+  cfg.min_replica_acks = 1;
+  cfg.replica_ack_timeout_seconds = 0.3;
+  Server primary(&primary_graph, &data, cfg);
+  std::string error;
+  ASSERT_TRUE(primary.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", primary.port()));
+
+  // No replica connected: the commit lands locally but the ack wait times
+  // out, so the client is explicitly told it was NOT acknowledged.
+  QueryResponse resp;
+  ASSERT_TRUE(client.RunIU(1, /*seed=*/1, &resp)) << client.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kError);
+  EXPECT_NE(resp.message.find("not acknowledged"), std::string::npos)
+      << resp.message;
+  EXPECT_GE(primary.stats().semisync_timeouts.load(), 1u);
+
+  // With a live replica the same update is acknowledged.
+  Replica replica(ReplicaOpts(primary.port()));
+  ASSERT_TRUE(replica.Start().ok()) << replica.last_error();
+  ASSERT_TRUE(client.RunIU(2, /*seed=*/2, &resp)) << client.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+  EXPECT_GE(replica.applied_version(), resp.snapshot_version);
+
+  client.Close();
+  replica.Stop();
+  primary.Drain(2.0);
+}
+
+TEST(ReplicationTest, PerReplicaLagExportedInStats) {
+  Graph primary_graph;
+  SnbData data = SmallSnb(&primary_graph);
+  Server primary(&primary_graph, &data, ServiceConfig{});
+  std::string error;
+  ASSERT_TRUE(primary.Start(&error)) << error;
+
+  Replica replica(ReplicaOpts(primary.port(), "lag-probe"));
+  ASSERT_TRUE(replica.Start().ok()) << replica.last_error();
+
+  // The reaper refreshes replication stats on its 50ms cadence; the
+  // heartbeat/ack loop keeps last-ack age fresh.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_EQ(primary.stats().replicas_connected.load(), 1u);
+  {
+    std::lock_guard<std::mutex> lk(primary.stats().replica_mu);
+    ASSERT_EQ(primary.stats().replicas.size(), 1u);
+    const auto& info = primary.stats().replicas[0];
+    EXPECT_EQ(info.name, "lag-probe");
+    EXPECT_TRUE(info.connected);
+    EXPECT_EQ(info.applied_version, primary_graph.CurrentVersion());
+    EXPECT_EQ(info.lag_commits, 0u);
+    EXPECT_LT(info.last_ack_age_s, 5.0);
+  }
+  std::string rendered = primary.stats().ToString();
+  EXPECT_NE(rendered.find("replication:"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("lag-probe"), std::string::npos) << rendered;
+
+  replica.Stop();
+  primary.Drain(2.0);
+}
+
+TEST(ReplicationTest, RywFloorAnswersLaggingWhenBehind) {
+  Graph graph;
+  SnbData data = SmallSnb(&graph);
+  ServiceConfig cfg;
+  cfg.ryw_wait_ms = 20;
+  Server server(&graph, &data, cfg);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+
+  // A floor the graph can never reach within the wait bound: the server
+  // must answer LAGGING (with its applied version) instead of serving a
+  // state older than the client's write.
+  QueryRequest req;
+  req.query_id = client.AllocQueryId();
+  req.kind = QueryKind::kSleep;
+  req.seed = 0;
+  req.min_version = graph.CurrentVersion() + 1000;
+  QueryResponse resp;
+  ASSERT_TRUE(client.Run(req, &resp)) << client.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kLagging) << resp.message;
+  EXPECT_EQ(resp.snapshot_version, graph.CurrentVersion());
+  EXPECT_GE(server.stats().ryw_lagging.load(), 1u);
+
+  // A satisfiable floor works and executes at >= the floor.
+  req.query_id = client.AllocQueryId();
+  req.min_version = graph.CurrentVersion();
+  ASSERT_TRUE(client.Run(req, &resp)) << client.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+  EXPECT_GE(resp.snapshot_version, req.min_version);
+
+  client.Close();
+  server.Drain(2.0);
+}
+
+TEST(ReplicationTest, RoutedClientFansOutAndHonorsReadYourWrites) {
+  Graph primary_graph;
+  SnbData data = SmallSnb(&primary_graph);
+  Server primary(&primary_graph, &data, ServiceConfig{});
+  std::string error;
+  ASSERT_TRUE(primary.Start(&error)) << error;
+
+  Replica r1(ReplicaOpts(primary.port(), "r1"));
+  Replica r2(ReplicaOpts(primary.port(), "r2"));
+  ASSERT_TRUE(r1.Start().ok()) << r1.last_error();
+  ASSERT_TRUE(r2.Start().ok()) << r2.last_error();
+
+  SnbData d1 = RebuildSnbData(r1.graph());
+  SnbData d2 = RebuildSnbData(r2.graph());
+  ServiceConfig rcfg;
+  rcfg.replica = true;
+  Server s1(r1.graph(), &d1, rcfg);
+  Server s2(r2.graph(), &d2, rcfg);
+  ASSERT_TRUE(s1.Start(&error)) << error;
+  ASSERT_TRUE(s2.Start(&error)) << error;
+
+  RoutedClient::Options ropts;
+  ropts.primary = Endpoint{"127.0.0.1", primary.port()};
+  ropts.replicas = {Endpoint{"127.0.0.1", s1.port()},
+                    Endpoint{"127.0.0.1", s2.port()}};
+  RoutedClient router(ropts);
+
+  // Reads fan out round-robin across the two replicas.
+  QueryResponse resp;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(router.RunSleep(/*millis=*/0, &resp)) << router.last_error();
+    EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+  }
+  EXPECT_GE(s1.stats().queries_received.load(), 2u);
+  EXPECT_GE(s2.stats().queries_received.load(), 2u);
+  EXPECT_EQ(primary.stats().queries_received.load(), 0u);
+
+  // Updates go to the primary and mint the RYW token; every subsequent
+  // read — wherever it lands — observes at least the token's version.
+  ASSERT_TRUE(router.RunIU(1, /*seed=*/5, &resp)) << router.last_error();
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.message;
+  uint64_t token = router.ryw_token();
+  EXPECT_GT(token, 0u);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(router.RunSleep(/*millis=*/0, &resp)) << router.last_error();
+    ASSERT_EQ(resp.status, WireStatus::kOk) << resp.message;
+    EXPECT_GE(resp.snapshot_version, token)
+        << "read observed a state older than the client's own write";
+  }
+
+  router.Close();
+  s1.Drain(2.0);
+  s2.Drain(2.0);
+  r1.Stop();
+  r2.Stop();
+  primary.Drain(2.0);
+}
+
+TEST(ReplicationTest, PromotedReplicaAcceptsWrites) {
+  auto primary_graph = std::make_unique<Graph>();
+  SnbData data = SmallSnb(primary_graph.get());
+  auto primary = std::make_unique<Server>(primary_graph.get(), &data,
+                                          ServiceConfig{});
+  std::string error;
+  ASSERT_TRUE(primary->Start(&error)) << error;
+
+  Replica replica(ReplicaOpts(primary->port(), "successor"));
+  ASSERT_TRUE(replica.Start().ok()) << replica.last_error();
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", primary->port()));
+    uint64_t commit = CommitIU(&client, 1, /*seed=*/1);
+    ASSERT_TRUE(replica.WaitForVersion(commit, 10.0));
+  }
+
+  SnbData rdata = RebuildSnbData(replica.graph());
+  ServiceConfig rcfg;
+  rcfg.replica = true;
+  Server replica_server(replica.graph(), &rdata, rcfg);
+  ASSERT_TRUE(replica_server.Start(&error)) << error;
+
+  // "Failover": the primary dies, the replica is promoted.
+  uint64_t applied_at_promotion = replica.applied_version();
+  primary->Drain(1.0);
+  primary.reset();
+  primary_graph.reset();
+  ASSERT_TRUE(replica.Promote().ok());
+  replica_server.PromoteToPrimary();
+  EXPECT_FALSE(replica_server.replica_mode());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", replica_server.port()));
+  QueryResponse resp;
+  ASSERT_TRUE(client.RunIU(1, /*seed=*/9, &resp)) << client.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+  EXPECT_GT(resp.snapshot_version, applied_at_promotion);
+  client.Close();
+  replica_server.Drain(2.0);
+}
+
+}  // namespace
+}  // namespace ges
