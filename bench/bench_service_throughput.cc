@@ -106,6 +106,14 @@ int main(int argc, char** argv) {
       if (open) json.AddSectionScalar(section, "offered_rate", open_rate);
       json.AddLatency(section, "IS_all", shorts);
       json.AddLatency(section, "IC_all", longs);
+      // Server-side per-phase breakdown (parse/plan/bind/execute). The
+      // ad-hoc LDBC kinds spend everything in execute; the non-exec
+      // phases become meaningful under prepared-statement load (see
+      // bench_plan_cache) and are emitted here for schema parity.
+      json.AddLatency(section, "phase_parse", rep.phase_parse);
+      json.AddLatency(section, "phase_plan", rep.phase_plan);
+      json.AddLatency(section, "phase_bind", rep.phase_bind);
+      json.AddLatency(section, "phase_exec", rep.phase_exec);
       for (const auto& [name, rec] : rep.per_query) {
         json.AddLatency(section, name, rec);
       }

@@ -3,8 +3,9 @@
 # CMakeLists.txt sanitizer comment, in runnable form):
 #
 #   1. Release            — full test suite (the tier-1 gate)
-#   2. GES_SANITIZE=thread    — concurrency / gc / replication labels
-#      (the replication stream + semisync ack path must be TSan-clean)
+#   2. GES_SANITIZE=thread    — concurrency / gc / replication / planner
+#      labels (the replication stream + semisync ack path and the shared
+#      plan cache's lookup/insert/invalidate races must be TSan-clean)
 #   3. GES_SANITIZE=undefined — kernels / executor / durability labels
 #      plus one pass of bench_filter_selectivity (GES_ITERS=1): the WAL
 #      codec and CRC32C are bit-twiddling-heavy
@@ -30,15 +31,18 @@ build() {  # build <dir> [extra cmake args...]
 for flavor in "${FLAVORS[@]}"; do
   case "$flavor" in
     release)
-      echo "=== [ci] Release: full suite ==="
+      echo "=== [ci] Release: full suite + plan-cache bench gate ==="
       build "$ROOT/release"
       ctest --test-dir "$ROOT/release" --output-on-failure -j "$JOBS"
+      # Perf acceptance: prepared short reads must hit the cache (>= 99%
+      # after warmup) and beat uncached planning by the p50 gate.
+      "$ROOT/release/bench/bench_plan_cache"
       ;;
     tsan)
-      echo "=== [ci] ThreadSanitizer: concurrency|gc|replication ==="
+      echo "=== [ci] ThreadSanitizer: concurrency|gc|replication|planner ==="
       build "$ROOT/tsan" -DGES_SANITIZE=thread
       ctest --test-dir "$ROOT/tsan" --output-on-failure -j "$JOBS" \
-        -L 'concurrency|gc|replication'
+        -L 'concurrency|gc|replication|planner'
       ;;
     ubsan)
       echo "=== [ci] UBSan: kernels|executor|durability + WAL-heavy bench ==="

@@ -566,6 +566,7 @@ QueryResult Executor::RunFlat(const Plan& plan, const GraphView& view) const {
     os.op = OpTypeName(op.type);
     os.intersect = istats;
     os.millis = t.ElapsedMillis();
+    os.est_rows = op.est_rows;
     if (options_.collect_stats) {
       os.intermediate_bytes = state.MemoryBytes();
       os.rows = state.NumRows();
@@ -589,6 +590,7 @@ QueryResult Executor::Run(const Plan& plan, const GraphView& view) const {
       case ExecMode::kFactorized:
         return RunFactorized(plan, view);
       case ExecMode::kFactorizedFused: {
+        if (options_.plan_is_optimized) return RunFactorized(plan, view);
         Plan fused = OptimizePlan(plan, options_, &view);
         return RunFactorized(fused, view);
       }

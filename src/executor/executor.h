@@ -19,6 +19,7 @@
 #define GES_EXECUTOR_EXECUTOR_H_
 
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "executor/flatblock.h"
 #include "executor/graph_view.h"
 #include "executor/plan.h"
+#include "executor/schema.h"
 #include "runtime/query_context.h"
 
 namespace ges {
@@ -80,6 +82,14 @@ struct ExecOptions {
   // finishing the query. Kept last so existing designated initializers
   // stay valid.
   QueryContext* context = nullptr;
+  // Per-column statistics (CollectPlanColumnStats, optimizer.h) consumed by
+  // the vectorized compiler so conjunct ordering uses real NDV / min-max
+  // instead of static guesses. Not owned; may be null.
+  const std::unordered_map<std::string, ColumnStat>* column_stats = nullptr;
+  // The plan already went through OptimizePlan (a cached prepared-statement
+  // template): kFactorizedFused skips its implicit optimization pass so the
+  // cached rewrite is executed as stored.
+  bool plan_is_optimized = false;
 };
 
 struct OpStats {
@@ -88,6 +98,9 @@ struct OpStats {
   // Size of the live intermediate representation after the operator.
   size_t intermediate_bytes = 0;
   uint64_t rows = 0;  // encoded tuples after the operator
+  // Optimizer estimate for this operator (PlanOp::est_rows); -1 when the
+  // plan was built without statistics. EXPLAIN ANALYZE prints est vs rows.
+  double est_rows = -1;
   // Intersection counters (kIntersectExpand / membership probes); all-zero
   // for operators that never gallop. Shown by ExplainAnalyze.
   IntersectOpStats intersect;

@@ -212,8 +212,11 @@ std::string ExplainAnalyze(const Plan& plan, const QueryResult& result) {
   os << ExplainPlan(plan);
   os << "Analyze:\n";
   for (const OpStats& s : result.stats.ops) {
-    os << "  " << s.op << ": rows=" << s.rows << " millis=" << s.millis
-       << " bytes=" << s.intermediate_bytes;
+    os << "  " << s.op << ": rows=" << s.rows;
+    if (s.est_rows >= 0) {
+      os << " est=" << static_cast<uint64_t>(s.est_rows + 0.5);
+    }
+    os << " millis=" << s.millis << " bytes=" << s.intermediate_bytes;
     if (s.intersect.Any()) {
       os << " probes=" << s.intersect.probes
          << " gallops=" << s.intersect.gallops

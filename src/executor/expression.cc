@@ -25,6 +25,13 @@ ExprPtr Expr::Lit(Value v) {
   return e;
 }
 
+ExprPtr Expr::Param(int index, Value hint) {
+  auto e = New(ExprOp::kParam);
+  e->param_index = index;
+  e->constant = std::move(hint);
+  return e;
+}
+
 ExprPtr Expr::Cmp(ExprOp op, ExprPtr a, ExprPtr b) {
   auto e = New(op);
   e->args = {std::move(a), std::move(b)};
@@ -98,6 +105,8 @@ std::string Expr::ToString() const {
       return column;
     case ExprOp::kConst:
       return constant.ToString();
+    case ExprOp::kParam:
+      return "$" + std::to_string(param_index);
     default: {
       std::string s = "(op";
       s += std::to_string(static_cast<int>(op));
@@ -112,7 +121,9 @@ std::string Expr::ToString() const {
 
 BoundExpr BoundExpr::Bind(const Expr& expr, const Schema& schema) {
   BoundExpr b;
-  b.op_ = expr.op;
+  // kParam must be substituted by BindPlanParams before execution; if one
+  // slips through, evaluate its first-seen literal hint as a constant.
+  b.op_ = expr.op == ExprOp::kParam ? ExprOp::kConst : expr.op;
   b.constant_ = expr.constant;
   b.list_ = expr.list;
   if (expr.op == ExprOp::kColumn) {

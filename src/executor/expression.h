@@ -29,6 +29,7 @@ enum class ExprOp : uint8_t {
   kIn,          // column/expr value in constant list
   kIsNull,
   kStartsWith,  // string prefix match
+  kParam,       // positional parameter placeholder ($k); resolved at bind
 };
 
 struct Expr;
@@ -39,12 +40,15 @@ using ExprPtr = std::shared_ptr<const Expr>;
 struct Expr {
   ExprOp op;
   std::string column;        // kColumn
-  Value constant;            // kConst
+  Value constant;            // kConst; for kParam: first-seen literal,
+                             // kept as a costing hint only
   std::vector<Value> list;   // kIn
   std::vector<ExprPtr> args;
+  int param_index = -1;      // kParam
 
   static ExprPtr Col(std::string name);
   static ExprPtr Lit(Value v);
+  static ExprPtr Param(int index, Value hint = Value());
   static ExprPtr Cmp(ExprOp op, ExprPtr a, ExprPtr b);
   static ExprPtr Eq(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kEq, a, b); }
   static ExprPtr Ne(ExprPtr a, ExprPtr b) { return Cmp(ExprOp::kNe, a, b); }

@@ -429,8 +429,8 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
 
     std::vector<uint8_t> keep(cand.size(), 1);
     std::vector<const ValueVector*> phys{&cand_props};
-    std::unique_ptr<CompiledExpr> kernel =
-        CompiledExpr::CompileFilter(*op.predicate, pred_schema, phys);
+    std::unique_ptr<CompiledExpr> kernel = CompiledExpr::CompileFilter(
+        *op.predicate, pred_schema, phys, options.column_stats);
     if (kernel != nullptr) {
       CompiledExpr* k = kernel.get();
       auto run = [k, &keep](size_t lo, size_t hi) {
@@ -592,8 +592,8 @@ std::vector<const ValueVector*> PhysicalColumns(const FBlock& block) {
 bool TryVectorizedFilter(FTreeNode* node, const PlanOp& op,
                          const ExecOptions& options) {
   std::vector<const ValueVector*> phys = PhysicalColumns(node->block);
-  std::unique_ptr<CompiledExpr> kernel =
-      CompiledExpr::CompileFilter(*op.predicate, node->block.schema(), phys);
+  std::unique_ptr<CompiledExpr> kernel = CompiledExpr::CompileFilter(
+      *op.predicate, node->block.schema(), phys, options.column_stats);
   if (kernel == nullptr) return false;
   std::vector<uint8_t>& sel = node->MutableSel();
   CompiledExpr* k = kernel.get();
@@ -954,6 +954,7 @@ QueryResult Executor::RunFactorized(const Plan& plan,
     OpStats os;
     os.op = OpTypeName(op.type);
     os.millis = t.ElapsedMillis();
+    os.est_rows = op.est_rows;
     os.intersect = istats;
     result.stats.intersect.Add(istats);
     if (options_.collect_stats) {

@@ -1,7 +1,12 @@
 #include "executor/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <numeric>
+
+#include "storage/graph_stats.h"
 
 namespace ges {
 
@@ -9,6 +14,26 @@ namespace {
 
 // Largest LIMIT for which the bounded-insertion TopK is profitable.
 constexpr uint64_t kMaxTopK = 1024;
+
+// Expected out-degree of `rel`: sampled histogram when statistics exist,
+// base adjacency metadata otherwise, and never zero — a relation with no
+// sampled edges falls back to kDefaultDegree so the WCOJ gate below stays
+// well-defined (a zero estimate made binary == intersect == 0 and silently
+// rejected the rewrite).
+double ExpectedDegreeOf(const GraphStats* stats, const Graph& g,
+                        RelationId rel) {
+  if (stats != nullptr) return stats->ExpectedDegree(rel);
+  double avg = g.AvgDegree(rel);
+  return avg > 0 ? avg : kDefaultDegree;
+}
+
+// Expected fan-out of a relation union (rels expanded together).
+double GroupDegree(const GraphStats* stats, const Graph& g,
+                   const std::vector<RelationId>& rels) {
+  double d = 0;
+  for (RelationId r : rels) d += ExpectedDegreeOf(stats, g, r);
+  return d;
+}
 
 bool PredicateUsesOnly(const Expr& pred, const std::string& column) {
   std::vector<std::string> cols;
@@ -34,18 +59,18 @@ bool ExpandFusable(const PlanOp& op) {
 // (and de-factors the f-Tree); the intersection rejects candidates past the
 // shortest probe list in O(1) through its exhausted cursor and walks the
 // driver list in place. Without statistics (view == nullptr) the rewrite is
-// applied unconditionally — it is never asymptotically worse.
-bool IntersectionProfitable(const GraphView* view, const PlanOp& expand,
+// applied unconditionally — it is never asymptotically worse. Degrees come
+// from the sampled histograms (ExpectedDegreeOf), which never report zero.
+bool IntersectionProfitable(const GraphView* view, const GraphStats* stats,
+                            const PlanOp& expand,
                             const std::vector<std::vector<RelationId>>& probe_rels) {
   if (view == nullptr) return true;
   const Graph& g = view->graph();
-  double d_drv = 0;
-  for (RelationId r : expand.rels) d_drv += g.AvgDegree(r);
+  double d_drv = GroupDegree(stats, g, expand.rels);
   double log_sum = 0;
   double d_min = std::numeric_limits<double>::infinity();
   for (const std::vector<RelationId>& rels : probe_rels) {
-    double d = 0;
-    for (RelationId r : rels) d += g.AvgDegree(r);
+    double d = GroupDegree(stats, g, rels);
     d_min = std::min(d_min, d);
     log_sum += std::log2(1.0 + d);
   }
@@ -126,6 +151,34 @@ void PushDownFilters(std::vector<PlanOp>* ops) {
   }
 }
 
+// Orders each run of consecutive Filters most-selective-first using the
+// statistics-driven estimates, so cheap highly-selective predicates shrink
+// the intermediate before expensive ones run. Filters commute (pure row
+// selections), so results are unchanged.
+void ReorderFilterRuns(
+    std::vector<PlanOp>* ops,
+    const std::unordered_map<std::string, ColumnStat>& column_stats) {
+  size_t i = 0;
+  while (i < ops->size()) {
+    if ((*ops)[i].type != OpType::kFilter) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < ops->size() && (*ops)[j].type == OpType::kFilter) ++j;
+    if (j - i > 1) {
+      std::stable_sort(
+          ops->begin() + static_cast<std::ptrdiff_t>(i),
+          ops->begin() + static_cast<std::ptrdiff_t>(j),
+          [&](const PlanOp& a, const PlanOp& b) {
+            return EstimateSelectivity(*a.predicate, column_stats) <
+                   EstimateSelectivity(*b.predicate, column_stats);
+          });
+    }
+    i = j;
+  }
+}
+
 }  // namespace
 
 Plan OptimizePlan(const Plan& plan, const ExecOptions& options,
@@ -133,6 +186,16 @@ Plan OptimizePlan(const Plan& plan, const ExecOptions& options,
   Plan out;
   out.name = plan.name;
   out.output = plan.output;
+  out.param_count = plan.param_count;
+
+  // Statistics snapshot for the cost model (may be null before the first
+  // RebuildStats; every estimator degrades to adjMeta averages then).
+  std::shared_ptr<const GraphStats> stats_holder;
+  const GraphStats* stats = nullptr;
+  if (view != nullptr) {
+    stats_holder = view->graph().catalog().stats();
+    stats = stats_holder.get();
+  }
 
   // Rule-based reordering first (always sound), then pattern fusion.
   std::vector<PlanOp> reordered = plan.ops;
@@ -181,7 +244,29 @@ Plan OptimizePlan(const Plan& plan, const ExecOptions& options,
         }
       }
       if (!probe_cols.empty() &&
-          IntersectionProfitable(view, ops[i], probe_rels)) {
+          IntersectionProfitable(view, stats, ops[i], probe_rels)) {
+        // Probe the lowest-expected-degree lists first: the shortest list
+        // exhausts earliest, so the leapfrog cursor rejects candidates
+        // after the fewest gallops. Pure reordering — the surviving set is
+        // the intersection either way.
+        if (view != nullptr && probe_cols.size() > 1) {
+          std::vector<size_t> order(probe_cols.size());
+          std::iota(order.begin(), order.end(), size_t{0});
+          const Graph& g = view->graph();
+          std::stable_sort(order.begin(), order.end(),
+                           [&](size_t a, size_t b) {
+                             return GroupDegree(stats, g, probe_rels[a]) <
+                                    GroupDegree(stats, g, probe_rels[b]);
+                           });
+          std::vector<std::string> cols2;
+          std::vector<std::vector<RelationId>> rels2;
+          for (size_t k : order) {
+            cols2.push_back(std::move(probe_cols[k]));
+            rels2.push_back(std::move(probe_rels[k]));
+          }
+          probe_cols = std::move(cols2);
+          probe_rels = std::move(rels2);
+        }
         PlanOp fused = ops[i];
         fused.type = OpType::kIntersectExpand;
         fused.probe_columns = std::move(probe_cols);
@@ -247,7 +332,303 @@ Plan OptimizePlan(const Plan& plan, const ExecOptions& options,
     out.ops.push_back(ops[i]);
     ++i;
   }
+  if (view != nullptr) {
+    auto column_stats = CollectPlanColumnStats(out, view->graph());
+    ReorderFilterRuns(&out.ops, column_stats);
+    AnnotateCardinalities(&out, view->graph(), column_stats);
+  }
   return out;
+}
+
+std::unordered_map<std::string, ColumnStat> CollectPlanColumnStats(
+    const Plan& plan, const Graph& graph) {
+  std::unordered_map<std::string, ColumnStat> out;
+  std::shared_ptr<const GraphStats> stats = graph.catalog().stats();
+  if (stats == nullptr) return out;
+  // Track which vertex label each column carries so property columns can be
+  // resolved to their (label, property) statistics.
+  std::unordered_map<std::string, LabelId> label_of;
+  auto vertex_col = [&](const std::string& name, LabelId label) {
+    label_of[name] = label;
+    ColumnStat cs;
+    cs.count = stats->LabelVertices(label);
+    cs.ndv = cs.count;
+    out[name] = cs;
+  };
+  auto property_col = [&](const std::string& name, LabelId label,
+                          PropertyId prop) {
+    const PropertyStats* ps = stats->Property(label, prop);
+    if (ps == nullptr) return;
+    ColumnStat cs;
+    cs.count = ps->count;
+    cs.ndv = ps->ndv;
+    cs.has_range = ps->has_range;
+    cs.min = ps->min;
+    cs.max = ps->max;
+    out[name] = cs;
+  };
+  for (const PlanOp& op : plan.ops) {
+    switch (op.type) {
+      case OpType::kNodeByIdSeek:
+      case OpType::kScanByLabel:
+        vertex_col(op.out_column, op.label);
+        break;
+      case OpType::kExpand:
+      case OpType::kIntersectExpand:
+        if (!op.rels.empty()) {
+          vertex_col(op.out_column, graph.RelationKeyOf(op.rels[0]).dst_label);
+        }
+        break;
+      case OpType::kExpandFiltered:
+        if (!op.rels.empty()) {
+          LabelId dst = graph.RelationKeyOf(op.rels[0]).dst_label;
+          vertex_col(op.out_column, dst);
+          if (!op.other_column.empty()) {
+            property_col(op.other_column, dst, op.property);
+          }
+        }
+        break;
+      case OpType::kGetProperty: {
+        auto it = label_of.find(op.in_column);
+        if (it != label_of.end()) {
+          property_col(op.out_column, it->second, op.property);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+double EstimateSelectivity(
+    const Expr& pred,
+    const std::unordered_map<std::string, ColumnStat>& stats) {
+  // Static fallbacks mirror the vectorized compiler's per-op guesses.
+  auto fallback = [](ExprOp op) {
+    switch (op) {
+      case ExprOp::kEq:
+        return 0.1;
+      case ExprOp::kNe:
+        return 0.9;
+      case ExprOp::kLt:
+      case ExprOp::kGt:
+        return 0.4;
+      default:
+        return 0.6;
+    }
+  };
+  switch (pred.op) {
+    case ExprOp::kAnd: {
+      double s = 1;
+      for (const ExprPtr& a : pred.args) s *= EstimateSelectivity(*a, stats);
+      return s;
+    }
+    case ExprOp::kOr: {
+      double pass = 1;
+      for (const ExprPtr& a : pred.args) {
+        pass *= 1.0 - EstimateSelectivity(*a, stats);
+      }
+      return 1.0 - pass;
+    }
+    case ExprOp::kNot:
+      return pred.args.empty()
+                 ? 0.5
+                 : 1.0 - EstimateSelectivity(*pred.args[0], stats);
+    case ExprOp::kIsNull:
+      return 0.05;
+    case ExprOp::kStartsWith:
+      return 0.1;
+    case ExprOp::kIn: {
+      double eq = 0.1;
+      if (!pred.args.empty() && pred.args[0]->op == ExprOp::kColumn) {
+        auto it = stats.find(pred.args[0]->column);
+        if (it != stats.end() && it->second.ndv > 0) {
+          eq = 1.0 / static_cast<double>(it->second.ndv);
+        }
+      }
+      return std::min(1.0, eq * static_cast<double>(pred.list.size()));
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      if (pred.args.size() != 2) return fallback(pred.op);
+      auto is_lit = [](const Expr& e) {
+        return e.op == ExprOp::kConst || e.op == ExprOp::kParam;
+      };
+      const Expr* col = nullptr;
+      const Expr* lit = nullptr;
+      ExprOp op = pred.op;
+      if (pred.args[0]->op == ExprOp::kColumn && is_lit(*pred.args[1])) {
+        col = pred.args[0].get();
+        lit = pred.args[1].get();
+      } else if (pred.args[1]->op == ExprOp::kColumn &&
+                 is_lit(*pred.args[0])) {
+        col = pred.args[1].get();
+        lit = pred.args[0].get();
+        // Mirror the comparison so `col OP lit` still holds.
+        op = op == ExprOp::kLt   ? ExprOp::kGt
+             : op == ExprOp::kLe ? ExprOp::kGe
+             : op == ExprOp::kGt ? ExprOp::kLt
+             : op == ExprOp::kGe ? ExprOp::kLe
+                                 : op;
+      } else {
+        return fallback(pred.op);
+      }
+      auto it = stats.find(col->column);
+      if (it == stats.end()) return fallback(op);
+      const ColumnStat& cs = it->second;
+      if (op == ExprOp::kEq || op == ExprOp::kNe) {
+        double eq = cs.ndv > 0 ? std::min(1.0, 1.0 / static_cast<double>(
+                                                     cs.ndv))
+                               : 0.1;
+        return op == ExprOp::kEq ? eq : 1.0 - eq;
+      }
+      // Range predicate: fraction of the observed [min, max] interval.
+      // kParam placeholders estimate through their first-seen literal hint
+      // (Expr::constant).
+      const Value& v = lit->constant;
+      bool numeric = v.type() == ValueType::kDouble || IsIntegerPhysical(v.type());
+      if (!cs.has_range || !numeric) return fallback(op);
+      double c = v.AsDouble();
+      double span = cs.max - cs.min;
+      double f;
+      if (span <= 0) {
+        bool holds = op == ExprOp::kLt   ? cs.min < c
+                     : op == ExprOp::kLe ? cs.min <= c
+                     : op == ExprOp::kGt ? cs.min > c
+                                         : cs.min >= c;
+        f = holds ? 1.0 : 0.0;
+      } else if (op == ExprOp::kLt || op == ExprOp::kLe) {
+        f = (c - cs.min) / span;
+      } else {
+        f = (cs.max - c) / span;
+      }
+      return std::min(1.0, std::max(0.0, f));
+    }
+    default:
+      return 0.5;
+  }
+}
+
+void AnnotateCardinalities(
+    Plan* plan, const Graph& graph,
+    const std::unordered_map<std::string, ColumnStat>& column_stats) {
+  std::shared_ptr<const GraphStats> stats_holder = graph.catalog().stats();
+  const GraphStats* stats = stats_holder.get();
+  constexpr uint64_t kNoLimit = std::numeric_limits<uint64_t>::max();
+  double rows = 1;
+  bool unknown = false;  // a kProcedure makes downstream estimates moot
+  for (PlanOp& op : plan->ops) {
+    if (unknown) {
+      op.est_rows = -1;
+      continue;
+    }
+    switch (op.type) {
+      case OpType::kNodeByIdSeek:
+        rows = 1;
+        break;
+      case OpType::kScanByLabel:
+        rows = stats != nullptr
+                   ? static_cast<double>(stats->LabelVertices(op.label))
+                   : static_cast<double>(
+                         graph.NumVertices(op.label, graph.CurrentVersion()));
+        break;
+      case OpType::kExpand: {
+        double d = GroupDegree(stats, graph, op.rels);
+        double fanout = 0;
+        for (int h = op.min_hops; h <= op.max_hops && h <= 8; ++h) {
+          fanout += std::pow(d, h);
+        }
+        rows *= fanout;
+        break;
+      }
+      case OpType::kExpandFiltered: {
+        rows *= GroupDegree(stats, graph, op.rels);
+        if (op.predicate != nullptr) {
+          rows *= EstimateSelectivity(*op.predicate, column_stats);
+        }
+        break;
+      }
+      case OpType::kIntersectExpand: {
+        double d = GroupDegree(stats, graph, op.rels);
+        // Containment: each probe keeps a candidate neighbor w with
+        // probability ~ deg(probe) / |label(w)|.
+        double n_w = 0;
+        if (stats != nullptr && !op.rels.empty()) {
+          n_w = static_cast<double>(stats->LabelVertices(
+              graph.RelationKeyOf(op.rels[0]).dst_label));
+        }
+        double keep = 1;
+        for (const std::vector<RelationId>& pr : op.probe_rels) {
+          double dp = GroupDegree(stats, graph, pr);
+          if (n_w > 0) keep *= std::min(1.0, dp / n_w);
+        }
+        rows *= d * keep;
+        break;
+      }
+      case OpType::kExpandInto: {
+        double dp = GroupDegree(stats, graph, op.rels);
+        auto it = column_stats.find(op.other_column);
+        double n = it != column_stats.end()
+                       ? static_cast<double>(it->second.ndv)
+                       : 0;
+        double sel = n > 0 ? std::min(1.0, dp / n) : 0.5;
+        rows *= op.anti ? 1.0 - sel : sel;
+        break;
+      }
+      case OpType::kFilter:
+        if (op.predicate != nullptr) {
+          rows *= EstimateSelectivity(*op.predicate, column_stats);
+        }
+        break;
+      case OpType::kOrderBy:
+      case OpType::kTopK:
+      case OpType::kLimit:
+        if (op.limit != kNoLimit) {
+          rows = std::min(rows, static_cast<double>(op.limit));
+        }
+        break;
+      case OpType::kAggregate:
+      case OpType::kAggProjectTop: {
+        double groups;
+        if (op.group_by.empty()) {
+          groups = 1;
+        } else {
+          double prod = 1;
+          bool all_known = true;
+          for (const std::string& g : op.group_by) {
+            auto it = column_stats.find(g);
+            if (it != column_stats.end() && it->second.ndv > 0) {
+              prod *= static_cast<double>(it->second.ndv);
+            } else {
+              all_known = false;
+            }
+          }
+          groups = all_known ? std::min(rows, prod) : rows;
+        }
+        rows = groups;
+        if (op.type == OpType::kAggProjectTop && op.limit != kNoLimit) {
+          rows = std::min(rows, static_cast<double>(op.limit));
+        }
+        break;
+      }
+      case OpType::kGetProperty:
+      case OpType::kProject:
+      case OpType::kDistinct:
+        break;  // cardinality-preserving (kDistinct: upper bound)
+      case OpType::kProcedure:
+        unknown = true;
+        op.est_rows = -1;
+        continue;
+    }
+    if (rows < 0) rows = 0;
+    op.est_rows = rows;
+  }
 }
 
 }  // namespace ges

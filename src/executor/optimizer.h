@@ -1,6 +1,10 @@
-// Operator-fusion plan rewrites (Section 4.3, "Operator Fusion").
+// Operator-fusion plan rewrites (Section 4.3, "Operator Fusion") and the
+// statistics-driven cost model (DESIGN.md §14).
 #ifndef GES_EXECUTOR_OPTIMIZER_H_
 #define GES_EXECUTOR_OPTIMIZER_H_
+
+#include <string>
+#include <unordered_map>
 
 #include "executor/executor.h"
 #include "executor/plan.h"
@@ -27,6 +31,31 @@ namespace ges {
 // query through fused and unfused plans.
 Plan OptimizePlan(const Plan& plan, const ExecOptions& options,
                   const GraphView* view = nullptr);
+
+// Maps every intermediate column of `plan` to its statistics: vertex
+// columns get their label's vertex count as NDV, property columns their
+// (label, property) NDV/min-max from the catalog-owned GraphStats. Empty
+// when statistics have not been built yet. The result feeds
+// ExecOptions::column_stats (vectorized conjunct ordering) and is cached
+// alongside prepared-plan templates.
+std::unordered_map<std::string, ColumnStat> CollectPlanColumnStats(
+    const Plan& plan, const Graph& graph);
+
+// Estimated fraction of rows surviving `pred` (0..1), using `stats` for
+// equality (1/NDV) and range (fraction of [min, max]) predicates and the
+// static per-operator guesses otherwise. Parameter placeholders are
+// estimated through their first-seen literal hint.
+double EstimateSelectivity(
+    const Expr& pred,
+    const std::unordered_map<std::string, ColumnStat>& stats);
+
+// Fills PlanOp::est_rows for every operator from the degree histograms and
+// column statistics (-1 stays where no estimate is possible). Called by
+// OptimizePlan when a view is available; exposed for EXPLAIN on non-fused
+// plans and for tests.
+void AnnotateCardinalities(
+    Plan* plan, const Graph& graph,
+    const std::unordered_map<std::string, ColumnStat>& column_stats);
 
 }  // namespace ges
 

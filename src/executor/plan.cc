@@ -51,6 +51,13 @@ PlanBuilder& PlanBuilder::NodeByIdSeek(std::string out, LabelId label,
   return *this;
 }
 
+PlanBuilder& PlanBuilder::NodeByIdSeekParam(std::string out, LabelId label,
+                                            int param, int64_t hint) {
+  NodeByIdSeek(std::move(out), label, hint);
+  plan_.ops.back().seek_param = param;
+  return *this;
+}
+
 PlanBuilder& PlanBuilder::ScanByLabel(std::string out, LabelId label) {
   PlanOp op;
   op.type = OpType::kScanByLabel;

@@ -74,6 +74,11 @@ struct PlanOp {
   // kNodeByIdSeek / kScanByLabel.
   LabelId label = kInvalidLabel;
   int64_t seek_ext_id = 0;
+  int seek_param = -1;  // when >= 0, seek_ext_id is bound from parameter $k
+
+  // Optimizer cardinality estimate (rows out of this operator); -1 when the
+  // plan was built without statistics. Surfaced by EXPLAIN ANALYZE.
+  double est_rows = -1;
 
   // kExpand / kExpandFiltered / kExpandInto: adjacency tables to union
   // (e.g. HAS_CREATOR from both POST and COMMENT).
@@ -123,6 +128,10 @@ struct PlanOp {
 
 struct Plan {
   std::vector<PlanOp> ops;
+  // Number of positional parameters ($0..$n-1) this plan template expects;
+  // 0 for fully-literal plans. Set by CompileTemplate, consumed by
+  // BindPlanParams and the prepared-statement layer.
+  int param_count = 0;
   // Final output column order (names must exist after the last op). When
   // empty, every live column is returned, but the column ORDER is then
   // engine-specific (the flat engine uses creation order, the factorized
@@ -146,6 +155,10 @@ class PlanBuilder {
   explicit PlanBuilder(std::string name) { plan_.name = std::move(name); }
 
   PlanBuilder& NodeByIdSeek(std::string out, LabelId label, int64_t ext_id);
+  // Parameterized seek: the external id comes from parameter $param at bind
+  // time; `hint` (the first-seen literal) is used for costing only.
+  PlanBuilder& NodeByIdSeekParam(std::string out, LabelId label, int param,
+                                 int64_t hint);
   PlanBuilder& ScanByLabel(std::string out, LabelId label);
   PlanBuilder& Expand(std::string in, std::string out,
                       std::vector<RelationId> rels, int min_hops = 1,

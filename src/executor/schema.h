@@ -14,6 +14,17 @@ struct ColumnDef {
   ValueType type = ValueType::kNull;
 };
 
+// Per-column statistics handed to the vectorized compiler so conjunct
+// ordering can use real NDV / min-max instead of static guesses. Keyed by
+// intermediate column name (the planner names property columns uniquely).
+struct ColumnStat {
+  uint64_t count = 0;  // non-null values sampled
+  uint64_t ndv = 0;    // number of distinct values (0 = unknown)
+  bool has_range = false;
+  double min = 0;  // numeric min/max when has_range
+  double max = 0;
+};
+
 // Ordered attribute list of a block. Attribute names are unique within a
 // query plan (the planner enforces it), which gives the f-Tree its
 // "disjoint schema partition" property for free.

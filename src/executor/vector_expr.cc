@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/string_dict.h"
+#include "executor/optimizer.h"
 
 namespace ges {
 namespace vexpr {
@@ -803,6 +804,9 @@ struct BoolWrapNode final : ValNode {
 struct CompileCtx {
   const Schema* schema;
   const std::vector<const ValueVector*>* columns;
+  // Optional per-column NDV/min-max statistics; when present, comparison
+  // nodes get stats-driven selectivity estimates instead of CmpEst guesses.
+  const std::unordered_map<std::string, ColumnStat>* stats = nullptr;
 };
 
 BoolPtr CompileBool(const Expr& e, const CompileCtx& ctx);
@@ -817,6 +821,11 @@ ValPtr CompileVal(const Expr& e, const CompileCtx& ctx) {
       return std::make_unique<ColumnNode>(col);
     }
     case ExprOp::kConst:
+      return std::make_unique<ConstNode>(e.constant);
+    case ExprOp::kParam:
+      // An unbound placeholder inside a kernelized plan: BindPlanParams
+      // substitutes before execution, so (like BoundExpr) fall back to the
+      // first-seen literal hint defensively.
       return std::make_unique<ConstNode>(e.constant);
     case ExprOp::kAdd:
     case ExprOp::kSub:
@@ -851,7 +860,7 @@ bool CollectOperands(const Expr& e, ExprOp op, const CompileCtx& ctx,
   return true;
 }
 
-BoolPtr CompileCmp(const Expr& e, const CompileCtx& ctx) {
+BoolPtr CompileCmpNode(const Expr& e, const CompileCtx& ctx) {
   ValPtr a = CompileVal(*e.args[0], ctx);
   if (a == nullptr) return nullptr;
   ValPtr b = CompileVal(*e.args[1], ctx);
@@ -883,6 +892,18 @@ BoolPtr CompileCmp(const Expr& e, const CompileCtx& ctx) {
   // Mixed non-numeric types order by type tag — constant per static types.
   int c = ta == tb ? 0 : (ta < tb ? -1 : 1);
   return std::make_unique<ConstBoolNode>(CmpResult(e.op, c));
+}
+
+BoolPtr CompileCmp(const Expr& e, const CompileCtx& ctx) {
+  BoolPtr node = CompileCmpNode(e, ctx);
+  if (node != nullptr && ctx.stats != nullptr &&
+      dynamic_cast<ConstBoolNode*>(node.get()) == nullptr) {
+    // EstimateSelectivity falls back to the same static guesses as the
+    // node constructors, so this only changes the AND/OR ordering when the
+    // statistics actually know something about the compared column.
+    node->est = EstimateSelectivity(e, *ctx.stats);
+  }
+  return node;
 }
 
 BoolPtr CompileBool(const Expr& e, const CompileCtx& ctx) {
@@ -989,8 +1010,9 @@ CompiledExpr::~CompiledExpr() = default;
 
 std::unique_ptr<CompiledExpr> CompiledExpr::CompileFilter(
     const Expr& expr, const Schema& schema,
-    const std::vector<const ValueVector*>& columns) {
-  vexpr::CompileCtx ctx{&schema, &columns};
+    const std::vector<const ValueVector*>& columns,
+    const std::unordered_map<std::string, ColumnStat>* column_stats) {
+  vexpr::CompileCtx ctx{&schema, &columns, column_stats};
   auto root = vexpr::CompileBool(expr, ctx);
   if (root == nullptr) return nullptr;
   return std::unique_ptr<CompiledExpr>(

@@ -24,6 +24,8 @@
 #define GES_EXECUTOR_VECTOR_EXPR_H_
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/value.h"
@@ -43,9 +45,13 @@ class CompiledExpr {
   // schema column i, or nullptr when no materialized vector exists (the
   // leading column of a lazy block) — referencing such a column fails
   // compilation. Returns nullptr when the expression cannot be kernelized.
+  // `column_stats`, when provided, replaces the static per-op selectivity
+  // guesses with NDV/min-max estimates for the AND/OR conjunct ordering.
   static std::unique_ptr<CompiledExpr> CompileFilter(
       const Expr& expr, const Schema& schema,
-      const std::vector<const ValueVector*>& columns);
+      const std::vector<const ValueVector*>& columns,
+      const std::unordered_map<std::string, ColumnStat>* column_stats =
+          nullptr);
 
   // Compiles `expr` as a value producer (computed projections).
   static std::unique_ptr<CompiledExpr> CompileProject(

@@ -20,6 +20,7 @@ enum class Tok : uint8_t {
   kInt,
   kDouble,
   kString,
+  kParam,   // $<digits> positional parameter placeholder
   kSymbol,  // single punctuation character
   kEnd,
 };
@@ -84,6 +85,19 @@ class Lexer {
       }
       return;
     }
+    if (c == '$' && pos_ + 1 < in_.size() &&
+        std::isdigit(static_cast<unsigned char>(in_[pos_ + 1]))) {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+      cur_.kind = Tok::kParam;
+      cur_.text = in_.substr(start, pos_ - start);
+      cur_.int_val = std::atoll(cur_.text.c_str());
+      return;
+    }
     if (c == '\'' || c == '"') {
       char quote = c;
       ++pos_;
@@ -146,9 +160,10 @@ struct PropRef {
 struct Comparison {
   PropRef lhs;
   ExprOp op = ExprOp::kEq;
-  // Exactly one of rhs_literal / rhs_prop is engaged.
+  // Exactly one of rhs_literal / rhs_prop / rhs_param is engaged.
   std::optional<Value> rhs_literal;
   std::optional<PropRef> rhs_prop;
+  int rhs_param = -1;  // explicit $k placeholder
 };
 
 struct ReturnItem {
@@ -164,14 +179,30 @@ struct SortItem {
   bool ascending = true;
 };
 
+// id(v) = N | id(v) = $k seek predicate.
+struct SeekSpec {
+  int64_t ext_id = 0;
+  int param = -1;  // explicit $k placeholder when >= 0
+};
+
 struct ParsedQuery {
   std::vector<NodePat> nodes;
   std::vector<EdgePat> edges;
   std::vector<Comparison> where;
-  std::map<std::string, int64_t> seeks;  // id(v) = N predicates
+  std::map<std::string, SeekSpec> seeks;  // id(v) = ... predicates, by var
   std::vector<ReturnItem> returns;
   std::vector<SortItem> order_by;
   std::optional<uint64_t> limit;
+
+  bool HasExplicitParams() const {
+    for (const auto& [var, seek] : seeks) {
+      if (seek.param >= 0) return true;
+    }
+    for (const Comparison& cmp : where) {
+      if (cmp.rhs_param >= 0) return true;
+    }
+    return false;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -390,10 +421,16 @@ class Parser {
         lex_.Advance();
         GES_RETURN_IF_ERROR(ExpectSymbol(')'));
         GES_RETURN_IF_ERROR(ExpectSymbol('='));
-        if (lex_.cur().kind != Tok::kInt) {
-          return Status::InvalidArgument("id() comparison expects integer");
+        SeekSpec seek;
+        if (lex_.cur().kind == Tok::kInt) {
+          seek.ext_id = lex_.cur().int_val;
+        } else if (lex_.cur().kind == Tok::kParam) {
+          seek.param = static_cast<int>(lex_.cur().int_val);
+        } else {
+          return Status::InvalidArgument(
+              "id() comparison expects integer or parameter");
         }
-        out->seeks[var] = lex_.cur().int_val;
+        out->seeks[var] = seek;
         lex_.Advance();
       } else {
         Comparison cmp;
@@ -403,6 +440,9 @@ class Parser {
           PropRef rhs;
           GES_RETURN_IF_ERROR(ParsePropRef(&rhs));
           cmp.rhs_prop = rhs;
+        } else if (lex_.cur().kind == Tok::kParam) {
+          cmp.rhs_param = static_cast<int>(lex_.cur().int_val);
+          lex_.Advance();
         } else {
           Value lit;
           GES_RETURN_IF_ERROR(ParseLiteral(&lit));
@@ -471,13 +511,130 @@ class Parser {
 };
 
 // ---------------------------------------------------------------------------
+// Canonical rendering (plan-cache key normalization)
+// ---------------------------------------------------------------------------
+
+const char* CmpOpText(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+      return "=";
+    case ExprOp::kNe:
+      return "<>";
+    case ExprOp::kLt:
+      return "<";
+    case ExprOp::kLe:
+      return "<=";
+    case ExprOp::kGt:
+      return ">";
+    default:
+      return ">=";
+  }
+}
+
+// Literal rendering must re-lex to the same value (normalization is a fixed
+// point). std::to_string for doubles prints plain "1.500000", which the
+// lexer reads back without exponent support.
+std::string RenderLiteral(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kString:
+      return "'" + v.AsString() + "'";
+    case ValueType::kDouble:
+      return std::to_string(v.AsDouble());
+    default:
+      return std::to_string(v.AsInt());
+  }
+}
+
+std::string RenderNode(const NodePat& n) {
+  return n.label.empty() ? "(" + n.var + ")" : "(" + n.var + ":" + n.label + ")";
+}
+
+std::string RenderEdge(const EdgePat& e) {
+  std::string body = "[";
+  if (!e.type.empty()) body += ":" + e.type;
+  if (e.min_hops != 1 || e.max_hops != 1) {
+    body += "*" + std::to_string(e.min_hops) + ".." + std::to_string(e.max_hops);
+  }
+  body += "]";
+  return e.outgoing ? "-" + body + "->" : "<-" + body + "-";
+}
+
+std::string RenderItem(const ReturnItem& item) {
+  return item.is_prop ? item.prop.var + "." + item.prop.prop : item.var;
+}
+
+// Renders `q` back to canonical text. When `lift` is true every literal in
+// a parameterizable position becomes the next `$k` placeholder (the literal
+// is appended to *params); placeholder indices are assigned in render order
+// — seeks first (sorted by variable, the map order), then comparisons in
+// parse order. When `lift` is false explicit placeholders are kept as-is.
+std::string RenderCanonical(const ParsedQuery& q, bool lift,
+                            std::vector<Value>* params) {
+  std::string s = "MATCH ";
+  s += RenderNode(q.nodes[0]);
+  for (size_t i = 0; i < q.edges.size(); ++i) {
+    s += RenderEdge(q.edges[i]);
+    s += RenderNode(q.nodes[i + 1]);
+  }
+  auto slot = [&](const Value& v) {
+    std::string text = "$" + std::to_string(params->size());
+    params->push_back(v);
+    return text;
+  };
+  std::vector<std::string> conj;
+  for (const auto& [var, seek] : q.seeks) {
+    std::string rhs = seek.param >= 0 ? "$" + std::to_string(seek.param)
+                      : lift          ? slot(Value::Int(seek.ext_id))
+                                      : std::to_string(seek.ext_id);
+    conj.push_back("id(" + var + ") = " + rhs);
+  }
+  for (const Comparison& cmp : q.where) {
+    std::string rhs;
+    if (cmp.rhs_prop.has_value()) {
+      rhs = cmp.rhs_prop->var + "." + cmp.rhs_prop->prop;
+    } else if (cmp.rhs_param >= 0) {
+      rhs = "$" + std::to_string(cmp.rhs_param);
+    } else if (lift) {
+      rhs = slot(*cmp.rhs_literal);
+    } else {
+      rhs = RenderLiteral(*cmp.rhs_literal);
+    }
+    conj.push_back(cmp.lhs.var + "." + cmp.lhs.prop + " " + CmpOpText(cmp.op) +
+                   " " + rhs);
+  }
+  if (!conj.empty()) {
+    s += " WHERE ";
+    for (size_t i = 0; i < conj.size(); ++i) {
+      if (i > 0) s += " AND ";
+      s += conj[i];
+    }
+  }
+  s += " RETURN ";
+  for (size_t i = 0; i < q.returns.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += RenderItem(q.returns[i]);
+  }
+  if (!q.order_by.empty()) {
+    s += " ORDER BY ";
+    for (size_t i = 0; i < q.order_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += RenderItem(q.order_by[i].item);
+      s += q.order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (q.limit.has_value()) s += " LIMIT " + std::to_string(*q.limit);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // Plan compilation
 // ---------------------------------------------------------------------------
 
 class Compiler {
  public:
-  Compiler(const ParsedQuery& q, const Graph& graph)
-      : q_(q), graph_(graph), catalog_(graph.catalog()) {}
+  Compiler(const ParsedQuery& q, const Graph& graph,
+           const std::vector<Value>* hints = nullptr)
+      : q_(q), graph_(graph), catalog_(graph.catalog()), hints_(hints) {}
 
   Status Compile(Plan* plan) {
     GES_RETURN_IF_ERROR(ResolveLabels());
@@ -487,7 +644,13 @@ class Compiler {
     const NodePat& first = q_.nodes[0];
     auto seek = q_.seeks.find(first.var);
     if (seek != q_.seeks.end()) {
-      b.NodeByIdSeek(first.var, labels_.at(first.var), seek->second);
+      const SeekSpec& spec = seek->second;
+      if (spec.param >= 0) {
+        b.NodeByIdSeekParam(first.var, labels_.at(first.var), spec.param,
+                            HintValue(spec.param).AsInt());
+      } else {
+        b.NodeByIdSeek(first.var, labels_.at(first.var), spec.ext_id);
+      }
     } else {
       b.ScanByLabel(first.var, labels_.at(first.var));
     }
@@ -591,11 +754,24 @@ class Compiler {
     return Status::OK();
   }
 
+  // First-seen literal for parameter `k` (used as a costing hint only).
+  Value HintValue(int k) const {
+    if (hints_ != nullptr && k >= 0 && k < static_cast<int>(hints_->size())) {
+      return (*hints_)[k];
+    }
+    return Value();
+  }
+
   ExprPtr BuildCmpExpr(const Comparison& cmp) {
     ExprPtr lhs = Expr::Col(cmp.lhs.ColumnName());
-    ExprPtr rhs = cmp.rhs_prop.has_value()
-                      ? Expr::Col(cmp.rhs_prop->ColumnName())
-                      : Expr::Lit(*cmp.rhs_literal);
+    ExprPtr rhs;
+    if (cmp.rhs_prop.has_value()) {
+      rhs = Expr::Col(cmp.rhs_prop->ColumnName());
+    } else if (cmp.rhs_param >= 0) {
+      rhs = Expr::Param(cmp.rhs_param, HintValue(cmp.rhs_param));
+    } else {
+      rhs = Expr::Lit(*cmp.rhs_literal);
+    }
     return Expr::Cmp(cmp.op, std::move(lhs), std::move(rhs));
   }
 
@@ -613,11 +789,22 @@ class Compiler {
   const ParsedQuery& q_;
   const Graph& graph_;
   const Catalog& catalog_;
+  const std::vector<Value>* hints_;
   std::map<std::string, LabelId> labels_;
   std::set<std::string> bound_;
   std::set<PropRef> fetched_;
   std::set<const Comparison*> emitted_;
 };
+
+// Collects every explicit $k index used in `q` into *used.
+void CollectParamIndices(const ParsedQuery& q, std::set<int>* used) {
+  for (const auto& [var, seek] : q.seeks) {
+    if (seek.param >= 0) used->insert(seek.param);
+  }
+  for (const Comparison& cmp : q.where) {
+    if (cmp.rhs_param >= 0) used->insert(cmp.rhs_param);
+  }
+}
 
 }  // namespace
 
@@ -629,8 +816,130 @@ Status CompileQuery(const std::string& query, const Graph& graph,
   if (parsed.nodes.empty()) {
     return Status::InvalidArgument("empty pattern");
   }
+  if (parsed.HasExplicitParams()) {
+    return Status::InvalidArgument(
+        "query contains $k parameters; use Prepare/Execute");
+  }
   Compiler compiler(parsed, graph);
   return compiler.Compile(plan);
+}
+
+Status NormalizeQuery(const std::string& query, NormalizedQuery* out) {
+  ParsedQuery parsed;
+  Parser parser(query);
+  GES_RETURN_IF_ERROR(parser.Parse(&parsed));
+  if (parsed.nodes.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  out->params.clear();
+  if (parsed.HasExplicitParams()) {
+    std::set<int> used;
+    CollectParamIndices(parsed, &used);
+    int max_index = *used.rbegin();
+    for (int i = 0; i <= max_index; ++i) {
+      if (used.count(i) == 0) {
+        return Status::InvalidArgument(
+            "parameter indices must be dense: missing $" + std::to_string(i));
+      }
+    }
+    out->explicit_params = true;
+    out->param_count = max_index + 1;
+    out->text = RenderCanonical(parsed, /*lift=*/false, &out->params);
+  } else {
+    out->explicit_params = false;
+    out->text = RenderCanonical(parsed, /*lift=*/true, &out->params);
+    out->param_count = static_cast<int>(out->params.size());
+  }
+  return Status::OK();
+}
+
+Status CompileTemplate(const std::string& normalized_text, const Graph& graph,
+                       const std::vector<Value>& hints, Plan* plan) {
+  ParsedQuery parsed;
+  Parser parser(normalized_text);
+  GES_RETURN_IF_ERROR(parser.Parse(&parsed));
+  if (parsed.nodes.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  std::set<int> used;
+  CollectParamIndices(parsed, &used);
+  Compiler compiler(parsed, graph, &hints);
+  GES_RETURN_IF_ERROR(compiler.Compile(plan));
+  plan->param_count = used.empty() ? 0 : *used.rbegin() + 1;
+  return Status::OK();
+}
+
+namespace {
+
+bool ExprHasParam(const Expr& e) {
+  if (e.op == ExprOp::kParam) return true;
+  for (const ExprPtr& a : e.args) {
+    if (ExprHasParam(*a)) return true;
+  }
+  return false;
+}
+
+// Substitutes kParam nodes with kConst literals; subtrees without params
+// are shared, not copied.
+Status SubstituteExpr(const ExprPtr& e, const std::vector<Value>& params,
+                      ExprPtr* out) {
+  if (e->op == ExprOp::kParam) {
+    if (e->param_index < 0 ||
+        e->param_index >= static_cast<int>(params.size())) {
+      return Status::InvalidArgument("parameter $" +
+                                     std::to_string(e->param_index) +
+                                     " not bound");
+    }
+    *out = Expr::Lit(params[e->param_index]);
+    return Status::OK();
+  }
+  if (!ExprHasParam(*e)) {
+    *out = e;
+    return Status::OK();
+  }
+  auto copy = std::make_shared<Expr>(*e);
+  for (ExprPtr& a : copy->args) {
+    ExprPtr replaced;
+    GES_RETURN_IF_ERROR(SubstituteExpr(a, params, &replaced));
+    a = std::move(replaced);
+  }
+  *out = std::move(copy);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BindPlanParams(const Plan& tmpl, const std::vector<Value>& params,
+                      Plan* out) {
+  *out = tmpl;
+  for (PlanOp& op : out->ops) {
+    if (op.seek_param >= 0) {
+      if (op.seek_param >= static_cast<int>(params.size())) {
+        return Status::InvalidArgument(
+            "parameter $" + std::to_string(op.seek_param) + " not bound");
+      }
+      const Value& v = params[op.seek_param];
+      if (!IsIntegerPhysical(v.type())) {
+        return Status::InvalidArgument("id() parameter $" +
+                                       std::to_string(op.seek_param) +
+                                       " must be an integer");
+      }
+      op.seek_ext_id = v.AsInt();
+    }
+    if (op.predicate != nullptr) {
+      ExprPtr replaced;
+      GES_RETURN_IF_ERROR(SubstituteExpr(op.predicate, params, &replaced));
+      op.predicate = std::move(replaced);
+    }
+    for (ComputedColumn& c : op.computed) {
+      if (c.expr != nullptr) {
+        ExprPtr replaced;
+        GES_RETURN_IF_ERROR(SubstituteExpr(c.expr, params, &replaced));
+        c.expr = std::move(replaced);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace ges

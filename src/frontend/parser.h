@@ -25,8 +25,10 @@
 #define GES_FRONTEND_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "common/value.h"
 #include "executor/plan.h"
 #include "storage/graph.h"
 
@@ -35,8 +37,47 @@ namespace ges {
 // Compiles `query` against `graph`'s catalog. On success fills `*plan`.
 // Filters referencing a single property adjacent to their producing Expand
 // are left for the optimizer to fuse; seeks are detected from `id(v) = N`
-// predicates on the first pattern node.
+// predicates on the first pattern node. Queries containing `$k` parameter
+// placeholders are rejected here — use NormalizeQuery + CompileTemplate +
+// BindPlanParams (the prepared-statement path).
 Status CompileQuery(const std::string& query, const Graph& graph, Plan* plan);
+
+// Result of NormalizeQuery: the plan-cache key plus extracted bindings.
+struct NormalizedQuery {
+  // Canonical text: uppercase keywords, single spacing, literals in
+  // parameterizable positions replaced by `$k` placeholders. Normalization
+  // is a fixed point: NormalizeQuery(text).text == text.
+  std::string text;
+  // Literals lifted during auto-parameterization, in placeholder order
+  // ($0 first). Empty when the query used explicit `$k` placeholders.
+  std::vector<Value> params;
+  int param_count = 0;
+  bool explicit_params = false;
+};
+
+// Normalizes `query` for plan-cache keying. Two modes:
+//  * explicit — the query already contains `$k` placeholders (indices must
+//    be dense 0..n-1); remaining literals stay literal.
+//  * auto — no placeholders present: every `id(v) = N` integer and every
+//    comparison-RHS literal is lifted to the next placeholder, assigned in
+//    canonical render order (seeks sorted by variable, then comparisons in
+//    parse order). LIMIT stays literal (the TopK fusion depends on it).
+Status NormalizeQuery(const std::string& query, NormalizedQuery* out);
+
+// Compiles normalized text (possibly containing `$k`) into a parameterized
+// plan template: placeholders become ExprOp::kParam nodes / PlanOp::
+// seek_param slots. `hints` optionally supplies first-seen literals (from
+// auto-parameterization) used for cost estimation only. Sets
+// plan->param_count.
+Status CompileTemplate(const std::string& normalized_text, const Graph& graph,
+                       const std::vector<Value>& hints, Plan* plan);
+
+// Clones `tmpl`, substituting every `$k` with params[k] (kParam -> kConst,
+// seek_param -> seek_ext_id). Fails with kInvalidArgument on out-of-range
+// indices or a non-integer id() binding. The result contains no kParam
+// nodes and is safe for any executor.
+Status BindPlanParams(const Plan& tmpl, const std::vector<Value>& params,
+                      Plan* out);
 
 }  // namespace ges
 

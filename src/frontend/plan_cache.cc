@@ -1,0 +1,71 @@
+#include "frontend/plan_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace ges {
+
+std::shared_ptr<const PreparedPlan> PlanCache::Lookup(
+    const std::string& normalized, uint64_t stats_epoch) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(normalized);
+  if (it == entries_.end() || it->second->plan->stats_epoch != stats_epoch) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  it->second->last_used.store(
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(std::shared_ptr<const PreparedPlan> plan) {
+  if (capacity_ == 0 || plan == nullptr) return;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto it = entries_.find(plan->normalized);
+  if (it != entries_.end()) {
+    // Replacement (e.g. re-plan after a stats-epoch bump) is not an
+    // eviction: the key keeps its slot.
+    it->second->plan = std::move(plan);
+    it->second->last_used.store(now, std::memory_order_relaxed);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    auto victim = entries_.end();
+    uint64_t oldest = ~uint64_t{0};
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      uint64_t used = e->second->last_used.load(std::memory_order_relaxed);
+      if (used <= oldest) {
+        oldest = used;
+        victim = e;
+      }
+    }
+    if (victim != entries_.end()) {
+      entries_.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  std::string key = plan->normalized;
+  entry->plan = std::move(plan);
+  entry->last_used.store(now, std::memory_order_relaxed);
+  entries_.emplace(std::move(key), std::move(entry));
+}
+
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ges

@@ -16,7 +16,9 @@ using Clock = std::chrono::steady_clock;
 
 struct ConnResult {
   uint64_t completed = 0, ok = 0, rejected = 0, interrupted = 0, errors = 0;
+  uint64_t plan_cache_hits = 0;
   std::map<std::string, LatencyRecorder> per_query;
+  LatencyRecorder phase_parse, phase_plan, phase_bind, phase_exec;
 
   void Record(const service::QueryResponse& resp, const std::string& name,
               double millis) {
@@ -25,6 +27,11 @@ struct ConnResult {
       case service::WireStatus::kOk:
         ++ok;
         per_query[name].Add(millis);
+        phase_parse.Add(resp.parse_millis);
+        phase_plan.Add(resp.plan_millis);
+        phase_bind.Add(resp.bind_millis);
+        phase_exec.Add(resp.exec_millis);
+        if (resp.plan_cache_hit != 0) ++plan_cache_hits;
         break;
       case service::WireStatus::kResourceExhausted:
         ++rejected;
@@ -216,6 +223,11 @@ ServiceLoadReport RunServiceLoad(const ServiceLoadConfig& config,
     report.rejected += res.rejected;
     report.interrupted += res.interrupted;
     report.errors += res.errors;
+    report.plan_cache_hits += res.plan_cache_hits;
+    report.phase_parse.Merge(res.phase_parse);
+    report.phase_plan.Merge(res.phase_plan);
+    report.phase_bind.Merge(res.phase_bind);
+    report.phase_exec.Merge(res.phase_exec);
     for (const auto& [name, rec] : res.per_query) {
       report.per_query[name].Merge(rec);
     }

@@ -53,6 +53,13 @@ struct ServiceLoadReport {
   // Latency per query name, OK responses only. Closed loop: send ->
   // response. Open loop: scheduled arrival -> response.
   std::map<std::string, LatencyRecorder> per_query;
+  // Server-reported per-phase times (QueryResponse trailing fields), OK
+  // responses only: parse/normalize, plan + optimize, parameter bind,
+  // execute. Ad-hoc LDBC kinds spend nothing outside execute, so the
+  // first three stay at zero unless the load uses prepared statements.
+  LatencyRecorder phase_parse, phase_plan, phase_bind, phase_exec;
+  // OK responses whose plan came from the shared plan cache.
+  uint64_t plan_cache_hits = 0;
 
   LatencyRecorder AggregateAll() const;
   // Merge of all queries whose name starts with `prefix` ("IC", "IS", ...).

@@ -216,6 +216,40 @@ bool Client::RunIU(int number, uint64_t seed, QueryResponse* resp,
   return Run(req, resp);
 }
 
+bool Client::Prepare(const std::string& query_text, PrepareResult* out) {
+  if (!SendFrame(EncodePrepareRequest(query_text))) return false;
+  std::string payload;
+  if (!ReadExpected(MsgType::kPrepareOk, &payload)) return false;
+  WireReader in(payload);
+  in.GetU8();  // type
+  PrepareResult r;
+  WireStatus st = WireStatus::kOk;
+  std::string message;
+  if (!DecodePrepareOk(&in, &r, &st, &message)) {
+    return Fail("malformed PrepareOk");
+  }
+  if (st != WireStatus::kOk) {
+    // Clean refusal (parse error etc.); connection stays usable.
+    error_ = std::string(WireStatusName(st)) + ": " + message;
+    return false;
+  }
+  if (out != nullptr) *out = std::move(r);
+  return true;
+}
+
+bool Client::Execute(uint64_t handle, const std::vector<Value>& params,
+                     QueryResponse* resp, uint32_t deadline_ms) {
+  ExecuteRequest req;
+  req.query_id = AllocQueryId();
+  req.handle = handle;
+  req.deadline_ms = deadline_ms;
+  req.params = params;
+  if (!SendExecute(req)) return false;
+  if (!ReadResponse(resp)) return false;
+  if (resp->query_id != req.query_id) return Fail("response id mismatch");
+  return true;
+}
+
 bool Client::SetParam(const std::string& key, const std::string& value) {
   WireBuf b;
   b.PutU8(static_cast<uint8_t>(MsgType::kSetParam));

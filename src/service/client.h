@@ -78,6 +78,26 @@ class Client {
   // Cyclic census queries (number in [1, 3]; the WCOJ tier).
   bool RunBI(int number, QueryResponse* resp, uint32_t deadline_ms = 0);
 
+  // --- prepared statements ----------------------------------------------
+
+  // Sends kPrepare and blocks for kPrepareOk. On a clean server refusal
+  // (parse error, invalid parameter indices) returns false with
+  // last_error() set and the connection still usable. Handles are scoped
+  // to this connection; reconnecting invalidates them.
+  bool Prepare(const std::string& query_text, PrepareResult* out);
+
+  // Executes a prepared handle with positional parameters (empty = the
+  // Prepare-time literals). Server-side errors (unknown handle, arity
+  // mismatch) arrive as resp->status; false means connection failure.
+  // Not retried: a reconnect would invalidate the handle.
+  bool Execute(uint64_t handle, const std::vector<Value>& params,
+               QueryResponse* resp, uint32_t deadline_ms = 0);
+
+  // Pipelined variant of Execute (pair with ReadResponse).
+  bool SendExecute(const ExecuteRequest& req) {
+    return SendFrame(EncodeExecuteRequest(req));
+  }
+
   bool SetParam(const std::string& key, const std::string& value);
   bool GetParam(const std::string& key, std::string* value, bool* present);
   // Re-pins the session to the server's current version.

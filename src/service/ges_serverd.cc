@@ -74,7 +74,13 @@ void Usage(const char* argv0) {
       "                     N replicas acked it (default 0 = async)\n"
       "  --ack-timeout S    semi-sync ack wait bound (default 2)\n"
       "  --ryw-wait-ms N    max wait for a read's min_version floor before\n"
-      "                     answering LAGGING (default 50)\n",
+      "                     answering LAGGING (default 50)\n"
+      "  --plan-cache-entries N  prepared-plan LRU cache capacity\n"
+      "                     (default 128; 0 disables caching)\n"
+      "  --stats-refresh-seconds S  optimizer statistics refresh cadence;\n"
+      "                     a refresh is skipped while the graph version is\n"
+      "                     unchanged (default 5; <=0 disables periodic\n"
+      "                     refresh, stats are still built at startup)\n",
       argv0);
 }
 
@@ -154,6 +160,10 @@ int main(int argc, char** argv) {
       config.replica_ack_timeout_seconds = std::atof(next());
     } else if (arg == "--ryw-wait-ms") {
       config.ryw_wait_ms = std::atof(next());
+    } else if (arg == "--plan-cache-entries") {
+      config.plan_cache_entries = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--stats-refresh-seconds") {
+      config.stats_refresh_seconds = std::atof(next());
     } else {
       Usage(argv[0]);
       return arg == "--help" ? 0 : 2;

@@ -141,6 +141,44 @@ LdbcParams GetParams(WireReader* in) {
   return p;
 }
 
+void PutValue(WireBuf* out, const Value& v) {
+  out->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kDouble:
+      out->PutDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      out->PutString(v.AsString());
+      break;
+    default:  // bool / int64 / date / vertex: one int64 slot
+      out->PutI64(v.AsInt());
+  }
+}
+
+Value GetValue(WireReader* in) {
+  ValueType t = static_cast<ValueType>(in->GetU8());
+  switch (t) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool:
+      return Value::Bool(in->GetI64() != 0);
+    case ValueType::kDouble:
+      return Value::Double(in->GetDouble());
+    case ValueType::kString:
+      return Value::String(in->GetString());
+    case ValueType::kDate:
+      return Value::Date(in->GetI64());
+    case ValueType::kVertex:
+      return Value::Vertex(static_cast<VertexId>(in->GetU64()));
+    case ValueType::kInt64:
+      return Value::Int(in->GetI64());
+  }
+  in->MarkBad();  // unknown tag: the stream position is unknowable
+  return Value::Null();
+}
+
 void PutFlatBlock(WireBuf* out, const FlatBlock& block) {
   const Schema& s = block.schema();
   out->PutU32(static_cast<uint32_t>(s.size()));
@@ -248,6 +286,11 @@ std::string EncodeQueryResponse(const QueryResponse& resp) {
     PutFlatBlock(&b, resp.table);
   }
   b.PutU64(resp.snapshot_version);
+  b.PutDouble(resp.parse_millis);
+  b.PutDouble(resp.plan_millis);
+  b.PutDouble(resp.bind_millis);
+  b.PutDouble(resp.exec_millis);
+  b.PutU8(resp.plan_cache_hit);
   return b.Take();
 }
 
@@ -263,7 +306,82 @@ bool DecodeQueryResponse(WireReader* in, QueryResponse* resp) {
   }
   // Trailing executed-at version (old servers' frames end before it).
   resp->snapshot_version = in->AtEnd() ? 0 : in->GetU64();
+  // Trailing per-phase breakdown + cache flag (same compatibility rule).
+  resp->parse_millis = in->AtEnd() ? 0 : in->GetDouble();
+  resp->plan_millis = in->AtEnd() ? 0 : in->GetDouble();
+  resp->bind_millis = in->AtEnd() ? 0 : in->GetDouble();
+  resp->exec_millis = in->AtEnd() ? 0 : in->GetDouble();
+  resp->plan_cache_hit = in->AtEnd() ? 0 : in->GetU8();
   return in->ok();
+}
+
+std::string EncodePrepareRequest(const std::string& query_text) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kPrepare));
+  b.PutString(query_text);
+  return b.Take();
+}
+
+std::string EncodePrepareOk(const PrepareResult& r) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kPrepareOk));
+  b.PutU8(1);
+  b.PutU64(r.handle);
+  b.PutU32(r.param_count);
+  b.PutU8(r.cache_hit ? 1 : 0);
+  b.PutString(r.normalized);
+  return b.Take();
+}
+
+std::string EncodePrepareError(WireStatus status, const std::string& message) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kPrepareOk));
+  b.PutU8(0);
+  b.PutU8(static_cast<uint8_t>(status));
+  b.PutString(message);
+  return b.Take();
+}
+
+bool DecodePrepareOk(WireReader* in, PrepareResult* r, WireStatus* status,
+                     std::string* message) {
+  uint8_t ok = in->GetU8();
+  if (ok != 0) {
+    r->handle = in->GetU64();
+    r->param_count = in->GetU32();
+    r->cache_hit = in->GetU8() != 0;
+    r->normalized = in->GetString();
+    *status = WireStatus::kOk;
+    message->clear();
+  } else {
+    *status = static_cast<WireStatus>(in->GetU8());
+    *message = in->GetString();
+  }
+  return in->ok();
+}
+
+std::string EncodeExecuteRequest(const ExecuteRequest& req) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kExecute));
+  b.PutU64(req.query_id);
+  b.PutU64(req.handle);
+  b.PutU32(req.deadline_ms);
+  b.PutU64(req.min_version);
+  b.PutU32(static_cast<uint32_t>(req.params.size()));
+  for (const Value& v : req.params) PutValue(&b, v);
+  return b.Take();
+}
+
+bool DecodeExecuteRequest(WireReader* in, ExecuteRequest* req) {
+  req->query_id = in->GetU64();
+  req->handle = in->GetU64();
+  req->deadline_ms = in->GetU32();
+  req->min_version = in->GetU64();
+  uint32_t n = in->GetU32();
+  req->params.clear();
+  for (uint32_t i = 0; in->ok() && i < n; ++i) {
+    req->params.push_back(GetValue(in));
+  }
+  return in->ok() && in->AtEnd();
 }
 
 namespace {

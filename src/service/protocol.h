@@ -18,7 +18,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/value.h"
 #include "executor/flatblock.h"
 #include "queries/ldbc.h"
 
@@ -44,6 +46,14 @@ enum class MsgType : uint8_t {
   // replica sends only kReplicaAck frames back (DESIGN.md §13).
   kSubscribe = 10,
   kReplicaAck = 11,  // body: u64 applied commit version
+  // Prepared statements (DESIGN.md §14). kPrepare body: string query text
+  // (declarative frontend syntax, either literal or with $k placeholders).
+  // kExecute body: u64 query_id, u64 handle, u32 deadline_ms,
+  // u64 min_version, u32 nparams, then nparams tagged values (PutValue).
+  // Passing nparams == 0 executes with the literals captured at Prepare
+  // time (auto-parameterized statements). Response: kResult.
+  kPrepare = 12,
+  kExecute = 13,
   // server -> client
   kHelloOk = 16,  // body: u64 session_id, u64 snapshot version
   kResult = 17,
@@ -67,6 +77,10 @@ enum class MsgType : uint8_t {
   // BeginTx/CommitTx are implied by the frame itself).
   kWalFrame = 29,
   kWalHeartbeat = 30,    // body: u64 primary's current version
+  // Reply to kPrepare. Body: u8 ok; on success u64 handle,
+  // u32 param_count, u8 cache_hit, string normalized text; on failure
+  // u8 WireStatus, string message (connection stays usable).
+  kPrepareOk = 31,
 };
 
 inline constexpr uint32_t kReplicationProtocolVersion = 1;
@@ -100,6 +114,10 @@ enum class QueryKind : uint8_t {
   kStress = 3,  // number = max hops of a full knows-expansion (see server)
   kSleep = 4,   // `seed` = milliseconds of cooperative busy-wait
   kBI = 5,      // number in [1, 3]: cyclic censuses (WCOJ tier)
+  // Internal only: a kExecute frame re-packaged as a QueryRequest so
+  // prepared executions flow through the same admission / deadline / job
+  // machinery as ad-hoc queries. Never encoded by EncodeQueryRequest.
+  kPrepared = 6,
 };
 
 struct QueryRequest {
@@ -114,6 +132,9 @@ struct QueryRequest {
   // responds kLagging so the router can bounce the read to the primary.
   // 0 = no floor (trailing field; absent from old clients' frames).
   uint64_t min_version = 0;
+  // kPrepared only (decoded from kExecute frames, never from kQuery).
+  uint64_t handle = 0;
+  std::vector<Value> bind_params;
 };
 
 struct QueryResponse {
@@ -125,6 +146,33 @@ struct QueryResponse {
   // Version the query executed at (commit version for updates). Trailing
   // field: zero when talking to a server that predates it.
   uint64_t snapshot_version = 0;
+  // Per-phase server-side breakdown (trailing fields, zero from older
+  // servers): time spent parsing/normalizing, planning + optimizing,
+  // binding parameters, and executing. For ad-hoc LDBC kinds only
+  // exec_millis is populated.
+  double parse_millis = 0;
+  double plan_millis = 0;
+  double bind_millis = 0;
+  double exec_millis = 0;
+  // 1 when the plan came from the shared plan cache.
+  uint8_t plan_cache_hit = 0;
+};
+
+// Result of a kPrepare round-trip.
+struct PrepareResult {
+  uint64_t handle = 0;
+  uint32_t param_count = 0;
+  bool cache_hit = false;     // plan template was already cached
+  std::string normalized;     // canonical text with $k slots
+};
+
+// Client-side view of a kExecute frame.
+struct ExecuteRequest {
+  uint64_t query_id = 0;
+  uint64_t handle = 0;
+  uint32_t deadline_ms = 0;
+  uint64_t min_version = 0;
+  std::vector<Value> params;  // empty = use Prepare-time literals
 };
 
 // --- body builders / parsers -------------------------------------------
@@ -162,6 +210,9 @@ class WireReader {
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return p_ == end_; }
+  // Poisons the reader: a decoder that meets an unknown tag cannot know
+  // where the next field starts, so the whole frame is rejected.
+  void MarkBad() { ok_ = false; }
 
  private:
   bool Need(size_t n);
@@ -174,6 +225,12 @@ class WireReader {
 void PutParams(WireBuf* out, const LdbcParams& p);
 LdbcParams GetParams(WireReader* in);
 
+// Tagged value cell: u8 ValueType, then the FlatBlock cell payload
+// (nothing for kNull, double for kDouble, string for kString, one int64
+// slot otherwise).
+void PutValue(WireBuf* out, const Value& v);
+Value GetValue(WireReader* in);
+
 void PutFlatBlock(WireBuf* out, const FlatBlock& block);
 FlatBlock GetFlatBlock(WireReader* in);
 
@@ -182,6 +239,18 @@ std::string EncodeQueryRequest(const QueryRequest& req);
 bool DecodeQueryRequest(WireReader* in, QueryRequest* req);  // after type byte
 std::string EncodeQueryResponse(const QueryResponse& resp);
 bool DecodeQueryResponse(WireReader* in, QueryResponse* resp);
+
+// Prepared statements. Encode* include the MsgType byte; Decode* start
+// after it.
+std::string EncodePrepareRequest(const std::string& query_text);
+std::string EncodePrepareOk(const PrepareResult& r);
+std::string EncodePrepareError(WireStatus status, const std::string& message);
+// Decodes a kPrepareOk body. Returns true on a well-formed frame; `*r` is
+// filled on success frames, `*status`/`*message` on refusals.
+bool DecodePrepareOk(WireReader* in, PrepareResult* r, WireStatus* status,
+                     std::string* message);
+std::string EncodeExecuteRequest(const ExecuteRequest& req);
+bool DecodeExecuteRequest(WireReader* in, ExecuteRequest* req);
 
 // --- frame I/O over a connected socket ---------------------------------
 

@@ -14,6 +14,8 @@
 #include <sstream>
 
 #include "common/timer.h"
+#include "executor/optimizer.h"
+#include "frontend/parser.h"
 
 namespace ges::service {
 
@@ -33,6 +35,9 @@ std::string ServiceStats::ToString() const {
      << " watermark=" << gc_watermark.load()
      << " watermark_held_by_session=" << watermark_held_by_session.load()
      << " stalls=" << watermark_stalls.load()
+     << "\nplan_cache: hits=" << plan_cache_hits.load()
+     << " misses=" << plan_cache_misses.load()
+     << " evictions=" << plan_cache_evictions.load()
      << "\nintersect: probes=" << intersect_probes.load()
      << " gallops=" << intersect_gallops.load()
      << " skipped=" << intersect_skipped.load()
@@ -109,6 +114,8 @@ std::string QueryName(const QueryRequest& req) {
       return "SLEEP";
     case QueryKind::kBI:
       return "BI" + std::to_string(req.number);
+    case QueryKind::kPrepared:
+      return "PREPARED";
   }
   return "?";
 }
@@ -126,7 +133,8 @@ Server::Server(Graph* graph, const SnbData* data, ServiceConfig config)
       config_(std::move(config)),
       ldbc_(LdbcContext::Resolve(*graph, data->schema)),
       param_gen_(graph, data, /*seed=*/1),
-      cost_model_(config_.short_threshold_ms) {
+      cost_model_(config_.short_threshold_ms),
+      plan_cache_(config_.plan_cache_entries) {
   replica_mode_.store(config_.replica, std::memory_order_release);
 }
 
@@ -172,6 +180,9 @@ bool Server::Start(std::string* error) {
   // per commit.
   shipper_ = std::make_unique<replication::LogShipper>(graph_);
   shipper_->Start();
+  // Initial statistics snapshot so the optimizer is costed from the first
+  // query on; the reaper refreshes it on the stats_refresh_seconds cadence.
+  graph_->RebuildStats();
   acceptor_ = std::thread([this] { AcceptLoop(); });
   reaper_ = std::thread([this] { ReaperLoop(); });
   return true;
@@ -245,14 +256,30 @@ void Server::ReaperLoop() {
   // NOT tied to idle_timeout_seconds (the default 0 disables idle reaping
   // only), so a server that never reaps sessions still collects garbage.
   int64_t last_gc_ns = QueryContext::NowNanos();
+  int64_t last_stats_ns = QueryContext::NowNanos();
   while (!stop_reaper_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     ReapDoneSessions();
     ReapIdleSessions();
     MaybeRunGc(&last_gc_ns);
+    MaybeRefreshStats(&last_stats_ns);
     CheckWatermarkStall();
     RefreshReplicationStats();
   }
+}
+
+void Server::MaybeRefreshStats(int64_t* last_stats_ns) {
+  if (config_.stats_refresh_seconds <= 0) return;
+  int64_t now = QueryContext::NowNanos();
+  if (now - *last_stats_ns <
+      static_cast<int64_t>(config_.stats_refresh_seconds * 1e9)) {
+    return;
+  }
+  *last_stats_ns = now;
+  // Incremental: RebuildStats returns without installing (and without
+  // bumping the plan-cache-invalidating epoch) while the graph version is
+  // unchanged since the last snapshot.
+  graph_->RebuildStats();
 }
 
 void Server::RefreshReplicationStats() {
@@ -489,6 +516,15 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
     case MsgType::kQuery:
       HandleQuery(session, &in);
       return true;
+    case MsgType::kPrepare: {
+      std::string text = in.GetString();
+      if (!in.ok() || !in.AtEnd()) return refuse("malformed prepare frame");
+      HandlePrepare(session, text);
+      return true;
+    }
+    case MsgType::kExecute:
+      HandleExecute(session, &in);
+      return true;
     case MsgType::kCancel: {
       uint64_t id = in.GetU64();
       if (!in.ok()) return refuse("malformed cancel frame");
@@ -667,6 +703,109 @@ void Server::HandleQuery(const std::shared_ptr<Session>& session,
     SendToSession(session.get(), EncodeQueryResponse(resp));
     return;
   }
+  AdmitQuery(session, std::move(req));
+}
+
+void Server::HandlePrepare(const std::shared_ptr<Session>& session,
+                           const std::string& text) {
+  NormalizedQuery norm;
+  Status s = NormalizeQuery(text, &norm);
+  if (!s.ok()) {
+    SendToSession(session.get(), EncodePrepareError(
+                                     WireStatus::kInvalidArgument,
+                                     s.message()));
+    return;
+  }
+  std::shared_ptr<const PreparedPlan> plan;
+  bool hit = false;
+  s = PrepareStatement(norm.text, norm.params, &plan, &hit);
+  if (!s.ok()) {
+    SendToSession(session.get(), EncodePrepareError(
+                                     WireStatus::kInvalidArgument,
+                                     s.message()));
+    return;
+  }
+  PrepareResult r;
+  {
+    std::lock_guard<std::mutex> lk(session->prepared_mu);
+    r.handle = session->next_handle++;
+    session->prepared[r.handle] = Session::PreparedHandle{plan, norm.params};
+  }
+  r.param_count = static_cast<uint32_t>(plan->param_count);
+  r.cache_hit = hit;
+  r.normalized = plan->normalized;
+  SendToSession(session.get(), EncodePrepareOk(r));
+}
+
+void Server::HandleExecute(const std::shared_ptr<Session>& session,
+                           WireReader* in) {
+  ExecuteRequest ereq;
+  if (!DecodeExecuteRequest(in, &ereq)) {
+    QueryResponse resp;
+    resp.query_id = ereq.query_id;
+    resp.status = WireStatus::kInvalidArgument;
+    resp.message = "malformed execute frame";
+    SendToSession(session.get(), EncodeQueryResponse(resp));
+    return;
+  }
+  QueryRequest req;
+  req.query_id = ereq.query_id;
+  req.kind = QueryKind::kPrepared;
+  req.deadline_ms = ereq.deadline_ms;
+  req.min_version = ereq.min_version;
+  req.handle = ereq.handle;
+  req.bind_params = std::move(ereq.params);
+  AdmitQuery(session, std::move(req));
+}
+
+Status Server::PrepareStatement(const std::string& normalized_text,
+                                const std::vector<Value>& hints,
+                                std::shared_ptr<const PreparedPlan>* out,
+                                bool* cache_hit) {
+  uint64_t epoch = graph_->catalog().stats_epoch();
+  if (auto cached = plan_cache_.Lookup(normalized_text, epoch)) {
+    *out = std::move(cached);
+    if (cache_hit != nullptr) *cache_hit = true;
+    SyncPlanCacheStats();
+    return Status::OK();
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  Plan compiled;
+  Status s = CompileTemplate(normalized_text, *graph_, hints, &compiled);
+  if (!s.ok()) {
+    SyncPlanCacheStats();
+    return s;
+  }
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->normalized = normalized_text;
+  plan->default_params = hints;
+  plan->stats_epoch = epoch;
+  plan->param_count = compiled.param_count;
+  if (config_.exec_mode == ExecMode::kFactorizedFused) {
+    // Optimize the template once; executions run it with
+    // plan_is_optimized so the per-query rewrite pass is skipped.
+    GraphView view(graph_);
+    compiled = OptimizePlan(compiled, ExecOptions{}, &view);
+    plan->optimized = true;
+  }
+  plan->column_stats = CollectPlanColumnStats(compiled, *graph_);
+  plan->plan = std::move(compiled);
+  *out = plan;
+  plan_cache_.Insert(std::move(plan));
+  SyncPlanCacheStats();
+  return Status::OK();
+}
+
+void Server::SyncPlanCacheStats() {
+  stats_.plan_cache_hits.store(plan_cache_.hits(), std::memory_order_relaxed);
+  stats_.plan_cache_misses.store(plan_cache_.misses(),
+                                 std::memory_order_relaxed);
+  stats_.plan_cache_evictions.store(plan_cache_.evictions(),
+                                    std::memory_order_relaxed);
+}
+
+void Server::AdmitQuery(const std::shared_ptr<Session>& session,
+                        QueryRequest req) {
   stats_.queries_received.fetch_add(1, std::memory_order_relaxed);
 
   // Read-your-writes floor (DESIGN.md §13): the request carries the
@@ -795,6 +934,8 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
   }
 
   switch (req.kind) {
+    case QueryKind::kPrepared:
+      return ExecutePrepared(session, req, snapshot, ctx);
     case QueryKind::kIC:
     case QueryKind::kIS:
     case QueryKind::kBI:
@@ -830,7 +971,9 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
       opts.context = ctx;
       Executor exec(config_.exec_mode, opts);
       GraphView view(graph_, snapshot);
+      Timer exec_t;
       QueryResult result = exec.Run(plan, view);
+      resp.exec_millis = exec_t.ElapsedMillis();
       // Query-wide intersection counters are collected even with per-op
       // stats off; aggregate them so galloping behaviour stays observable
       // in production (ServiceStats::ToString).
@@ -948,6 +1091,104 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
   }
   resp.status = WireStatus::kInvalidArgument;
   resp.message = "unknown query kind";
+  return resp;
+}
+
+QueryResponse Server::ExecutePrepared(Session* session,
+                                      const QueryRequest& req,
+                                      Version snapshot, QueryContext* ctx) {
+  QueryResponse resp;
+  resp.snapshot_version = snapshot;
+
+  Session::PreparedHandle handle;
+  {
+    std::lock_guard<std::mutex> lk(session->prepared_mu);
+    auto it = session->prepared.find(req.handle);
+    if (it == session->prepared.end()) {
+      resp.status = WireStatus::kNotFound;
+      resp.message = "unknown prepared-statement handle " +
+                     std::to_string(req.handle);
+      return resp;
+    }
+    handle = it->second;
+  }
+
+  // Fetch the template through the shared cache: the common case is a hit
+  // (recency bump + counter); after a stats-epoch bump or an eviction this
+  // transparently re-plans, billed to plan_millis and counted as a miss.
+  Timer plan_t;
+  std::shared_ptr<const PreparedPlan> tmpl;
+  bool hit = false;
+  Status s = PrepareStatement(
+      handle.plan->normalized,
+      !handle.params.empty() ? handle.params : handle.plan->default_params,
+      &tmpl, &hit);
+  if (!s.ok()) {
+    resp.status = WireStatus::kError;
+    resp.message = "re-prepare failed: " + s.message();
+    return resp;
+  }
+  resp.plan_millis = plan_t.ElapsedMillis();
+  resp.plan_cache_hit = hit ? 1 : 0;
+  if (tmpl != handle.plan) {
+    std::lock_guard<std::mutex> lk(session->prepared_mu);
+    auto it = session->prepared.find(req.handle);
+    if (it != session->prepared.end()) it->second.plan = tmpl;
+  }
+
+  // Positional bindings: a full set overrides; an empty set falls back to
+  // the Prepare-time literals (auto-parameterized statements only).
+  const std::vector<Value>* params = nullptr;
+  size_t got = req.bind_params.size();
+  if (got == static_cast<size_t>(tmpl->param_count)) {
+    params = &req.bind_params;
+  } else if (got == 0 &&
+             handle.params.size() == static_cast<size_t>(tmpl->param_count)) {
+    params = &handle.params;
+  } else {
+    resp.status = WireStatus::kInvalidArgument;
+    resp.message = "statement takes " + std::to_string(tmpl->param_count) +
+                   " parameter(s), got " + std::to_string(got);
+    return resp;
+  }
+
+  Timer bind_t;
+  Plan bound;
+  Status bs = BindPlanParams(tmpl->plan, *params, &bound);
+  if (!bs.ok()) {
+    resp.status = WireStatus::kInvalidArgument;
+    resp.message = bs.message();
+    return resp;
+  }
+  resp.bind_millis = bind_t.ElapsedMillis();
+
+  ExecOptions opts;
+  opts.intra_query_threads = config_.intra_query_threads;
+  opts.collect_stats = false;
+  opts.context = ctx;
+  opts.column_stats = &tmpl->column_stats;  // tmpl outlives the run
+  opts.plan_is_optimized = tmpl->optimized;
+  Executor exec(config_.exec_mode, opts);
+  GraphView view(graph_, snapshot);
+  Timer exec_t;
+  QueryResult result = exec.Run(bound, view);
+  resp.exec_millis = exec_t.ElapsedMillis();
+  if (result.stats.intersect.Any()) {
+    stats_.intersect_probes.fetch_add(result.stats.intersect.probes,
+                                      std::memory_order_relaxed);
+    stats_.intersect_gallops.fetch_add(result.stats.intersect.gallops,
+                                       std::memory_order_relaxed);
+    stats_.intersect_skipped.fetch_add(result.stats.intersect.skipped,
+                                       std::memory_order_relaxed);
+    stats_.intersect_emitted.fetch_add(result.stats.intersect.emitted,
+                                       std::memory_order_relaxed);
+  }
+  if (result.interrupted != InterruptReason::kNone) {
+    resp.status = StatusOfInterrupt(result.interrupted);
+    resp.message = InterruptReasonName(result.interrupted);
+    return resp;
+  }
+  resp.table = std::move(result.table);
   return resp;
 }
 

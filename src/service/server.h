@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "executor/executor.h"
+#include "frontend/plan_cache.h"
 #include "queries/ldbc.h"
 #include "replication/log_shipper.h"
 #include "service/admission.h"
@@ -93,6 +94,16 @@ struct ServiceConfig {
   // Read-your-writes: how long a query carrying min_version may wait for
   // the applied version to catch up before answering LAGGING.
   double ryw_wait_ms = 50.0;
+
+  // --- prepared statements + statistics (DESIGN.md §14) ---
+  // Capacity of the shared plan cache (entries keyed by normalized query
+  // text); 0 disables caching — every Execute re-plans.
+  size_t plan_cache_entries = 128;
+  // Reaper cadence for Graph::RebuildStats. A rebuild is skipped while the
+  // graph version is unchanged, so a read-only server settles into zero
+  // stats churn (and zero epoch bumps). <= 0 disables periodic refresh;
+  // Start() still builds one initial snapshot.
+  double stats_refresh_seconds = 5.0;
 };
 
 struct ServiceStats {
@@ -117,6 +128,12 @@ struct ServiceStats {
   // many distinct offenders were flagged.
   std::atomic<uint64_t> watermark_held_by_session{0};
   std::atomic<uint64_t> watermark_stalls{0};
+
+  // Plan cache (gauges mirrored from the shared PlanCache after every
+  // prepare / prepared execution).
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> plan_cache_misses{0};
+  std::atomic<uint64_t> plan_cache_evictions{0};
 
   // WCOJ intersection counters aggregated across all read queries
   // (IntersectExpand + galloping membership probes; DESIGN.md §12).
@@ -208,6 +225,20 @@ class Server {
     std::mutex inflight_mu;
     std::unordered_map<uint64_t, std::shared_ptr<QueryContext>> inflight;
 
+    // Prepared-statement handles (kPrepare/kExecute). Handles are scoped
+    // to the session and die with it; the plan templates they point into
+    // live in the server-wide PlanCache and are shared across sessions.
+    // `params` keeps THIS session's Prepare-time literals — the shared
+    // template's defaults may belong to whichever session populated the
+    // cache first.
+    struct PreparedHandle {
+      std::shared_ptr<const PreparedPlan> plan;
+      std::vector<Value> params;
+    };
+    std::mutex prepared_mu;
+    std::unordered_map<uint64_t, PreparedHandle> prepared;
+    uint64_t next_handle = 1;
+
     // Queries admitted but not yet answered; the connection must outlive
     // them (cleanup waits for pending == 0).
     std::mutex pending_mu;
@@ -227,6 +258,8 @@ class Server {
   // and the watermark-stall detector. All run on the reaper cadence.
   void ReapIdleSessions();
   void MaybeRunGc(int64_t* last_gc_ns);
+  // Reaper-thread statistics refresh (stats_refresh_seconds cadence).
+  void MaybeRefreshStats(int64_t* last_stats_ns);
   void CheckWatermarkStall();
   // Copies the shipper's per-replica lag view into ServiceStats.
   void RefreshReplicationStats();
@@ -247,8 +280,28 @@ class Server {
   bool HandleSubscribe(const std::shared_ptr<Session>& session,
                        WireReader* in);
   void HandleQuery(const std::shared_ptr<Session>& session, WireReader* in);
+  // Admission + snapshot pinning + job dispatch for an already-decoded
+  // request (shared by ad-hoc kQuery and prepared kExecute frames).
+  void AdmitQuery(const std::shared_ptr<Session>& session, QueryRequest req);
+  // kPrepare: normalize, fetch-or-build the shared plan template, mint a
+  // session handle, answer kPrepareOk. Runs on the connection thread.
+  void HandlePrepare(const std::shared_ptr<Session>& session,
+                     const std::string& text);
+  void HandleExecute(const std::shared_ptr<Session>& session, WireReader* in);
+  // Cache lookup / compile+optimize+insert for `normalized_text` (which
+  // must already be canonical). `hints` are per-slot literal values used
+  // for costing; `cache_hit` reports whether the template came from the
+  // cache.
+  Status PrepareStatement(const std::string& normalized_text,
+                          const std::vector<Value>& hints,
+                          std::shared_ptr<const PreparedPlan>* out,
+                          bool* cache_hit);
+  // Mirrors the PlanCache counters into ServiceStats.
+  void SyncPlanCacheStats();
   QueryResponse ExecuteQuery(Session* session, const QueryRequest& req,
                              Version snapshot, QueryContext* ctx);
+  QueryResponse ExecutePrepared(Session* session, const QueryRequest& req,
+                                Version snapshot, QueryContext* ctx);
   // Writes a frame honoring session->closed / write_mu.
   bool SendToSession(Session* session, const std::string& payload);
   void CancelInflight(Session* session);
@@ -282,6 +335,10 @@ class Server {
   // every subscriber connection thread has exited.
   std::unique_ptr<replication::LogShipper> shipper_;
   std::atomic<bool> replica_mode_{false};
+
+  // Shared across sessions; entries invalidate via the catalog stats
+  // epoch. Initialized in the constructor from plan_cache_entries.
+  PlanCache plan_cache_;
 
   ServiceStats stats_;
 };

@@ -9,6 +9,7 @@ LabelId Catalog::AddVertexLabel(const std::string& name) {
   vertex_labels_.push_back(name);
   vertex_label_ids_[name] = id;
   label_properties_.emplace_back();
+  BumpStatsEpoch();
   return id;
 }
 
@@ -18,6 +19,7 @@ LabelId Catalog::AddEdgeLabel(const std::string& name) {
   LabelId id = static_cast<LabelId>(edge_labels_.size());
   edge_labels_.push_back(name);
   edge_label_ids_[name] = id;
+  BumpStatsEpoch();
   return id;
 }
 
@@ -37,7 +39,21 @@ PropertyId Catalog::AddProperty(LabelId label, const std::string& name,
     if (pid == id) return id;
   }
   label_properties_[label].emplace_back(id, type);
+  BumpStatsEpoch();
   return id;
+}
+
+void Catalog::InstallStats(std::shared_ptr<const GraphStats> stats) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = std::move(stats);
+  }
+  BumpStatsEpoch();
+}
+
+std::shared_ptr<const GraphStats> Catalog::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 LabelId Catalog::VertexLabel(const std::string& name) const {

@@ -2,6 +2,9 @@
 #ifndef GES_STORAGE_CATALOG_H_
 #define GES_STORAGE_CATALOG_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +13,8 @@
 #include "common/value.h"
 
 namespace ges {
+
+struct GraphStats;
 
 // The catalog owns the mapping between human-readable schema names and the
 // dense ids used everywhere else. Properties are declared per vertex label;
@@ -55,7 +60,25 @@ class Catalog {
     return label_properties_[label];
   }
 
+  // --- statistics (DESIGN.md §14) ---
+  // Publishes a new immutable statistics snapshot (built by
+  // Graph::RebuildStats) and bumps the stats epoch. Thread-safe against
+  // concurrent stats() readers.
+  void InstallStats(std::shared_ptr<const GraphStats> stats);
+  // The current snapshot, or nullptr before the first rebuild.
+  std::shared_ptr<const GraphStats> stats() const;
+  // Monotonic epoch, bumped on every InstallStats and on schema
+  // registration. Plan-cache entries record the epoch they were costed at
+  // and are invalidated when it moves.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpStatsEpoch() {
+    stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   std::vector<std::string> vertex_labels_;
   std::vector<std::string> edge_labels_;
   std::vector<std::string> property_names_;
@@ -64,6 +87,10 @@ class Catalog {
   std::unordered_map<std::string, PropertyId> property_ids_;
   // label -> ordered list of (property, type); index is the column slot.
   std::vector<std::vector<std::pair<PropertyId, ValueType>>> label_properties_;
+
+  mutable std::mutex stats_mu_;
+  std::shared_ptr<const GraphStats> stats_;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace ges

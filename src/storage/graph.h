@@ -176,6 +176,20 @@ class Graph {
   };
   std::vector<RelationInfo> Relations() const;
 
+  // Dense RelationId iteration (both directions), used by the statistics
+  // builder and the cost model.
+  size_t NumRelations() const { return tables_.size(); }
+  const RelationKey& RelationKeyOf(RelationId rel) const {
+    return tables_[rel].table->key();
+  }
+
+  // Rebuilds the catalog-owned GraphStats snapshot (graph_stats.cc) at the
+  // current version: degree histograms per relation, NDV/min-max per base
+  // property column, vertex counts per label. Returns false when the graph
+  // version is unchanged since the last build (no install, no epoch bump).
+  // Sampling-bounded; called from the service reaper thread.
+  bool RebuildStats();
+
   // --- bulk load ---
   VertexId AddVertexBulk(LabelId label, int64_t ext_id);
   void SetPropertyBulk(VertexId v, PropertyId prop, const Value& val);

@@ -162,5 +162,108 @@ TEST_F(FrontendTest, ErrorOnMismatchedDirection) {
   EXPECT_FALSE(s.ok());
 }
 
+// --- query normalization (the plan-cache key) ---------------------------
+
+TEST_F(FrontendTest, NormalizeLiftsLiteralsToPlaceholders) {
+  NormalizedQuery norm;
+  ASSERT_TRUE(NormalizeQuery("match (p:PERSON) where id(p) = 2 and "
+                             "p.id < 9 return p.id",
+                             &norm)
+                  .ok());
+  EXPECT_FALSE(norm.explicit_params);
+  EXPECT_EQ(norm.param_count, 2);
+  ASSERT_EQ(norm.params.size(), 2u);
+  EXPECT_EQ(norm.params[0].AsInt(), 2);
+  EXPECT_EQ(norm.params[1].AsInt(), 9);
+  EXPECT_NE(norm.text.find("$0"), std::string::npos) << norm.text;
+  EXPECT_NE(norm.text.find("$1"), std::string::npos) << norm.text;
+  // Keywords are canonicalized even though the input was lowercase.
+  EXPECT_NE(norm.text.find("MATCH"), std::string::npos) << norm.text;
+}
+
+TEST_F(FrontendTest, NormalizationIsAFixedPoint) {
+  // Normalizing already-normalized text must change nothing — the
+  // property that makes the text usable as the plan-cache key.
+  const char* kQueries[] = {
+      "MATCH (p:PERSON) WHERE id(p) = 2 RETURN p.id",
+      "MATCH (p:PERSON)-[:KNOWS]->(f:PERSON) WHERE id(p) = 0 RETURN f.id",
+      "MATCH (m:MESSAGE) WHERE m.len > 125 RETURN m.id, m.len "
+      "ORDER BY m.len DESC LIMIT 3",
+      "MATCH (p:PERSON) WHERE p.firstName = 'Jan' RETURN p.id LIMIT 5",
+      "MATCH (p:PERSON) WHERE id(p) = $0 RETURN p.id",
+  };
+  for (const char* q : kQueries) {
+    SCOPED_TRACE(q);
+    NormalizedQuery once;
+    ASSERT_TRUE(NormalizeQuery(q, &once).ok());
+    NormalizedQuery twice;
+    ASSERT_TRUE(NormalizeQuery(once.text, &twice).ok());
+    EXPECT_EQ(once.text, twice.text);
+    EXPECT_EQ(once.param_count, twice.param_count);
+  }
+}
+
+TEST_F(FrontendTest, NormalizeSameShapeSameKey) {
+  // Different literals, identical shape: one cache key, different params.
+  NormalizedQuery a;
+  NormalizedQuery b;
+  ASSERT_TRUE(NormalizeQuery(
+                  "MATCH (m:MESSAGE) WHERE m.len > 100 RETURN m.id", &a)
+                  .ok());
+  ASSERT_TRUE(NormalizeQuery(
+                  "MATCH (m:MESSAGE) WHERE m.len > 200 RETURN m.id", &b)
+                  .ok());
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.params[0].AsInt(), 100);
+  EXPECT_EQ(b.params[0].AsInt(), 200);
+}
+
+TEST_F(FrontendTest, NormalizeKeepsLimitLiteral) {
+  // LIMIT must stay a literal: the TopK fusion specializes on its value.
+  NormalizedQuery norm;
+  ASSERT_TRUE(NormalizeQuery(
+                  "MATCH (m:MESSAGE) RETURN m.id ORDER BY m.len ASC LIMIT 3",
+                  &norm)
+                  .ok());
+  EXPECT_NE(norm.text.find("LIMIT 3"), std::string::npos) << norm.text;
+  EXPECT_EQ(norm.param_count, 0);
+}
+
+TEST_F(FrontendTest, NormalizeExplicitPlaceholdersMustBeDense) {
+  NormalizedQuery norm;
+  ASSERT_TRUE(NormalizeQuery("MATCH (p:PERSON) WHERE id(p) = $0 RETURN p.id",
+                             &norm)
+                  .ok());
+  EXPECT_TRUE(norm.explicit_params);
+  EXPECT_EQ(norm.param_count, 1);
+  EXPECT_TRUE(norm.params.empty());
+  // $1 without $0 is a hole in the index space: rejected.
+  EXPECT_FALSE(
+      NormalizeQuery("MATCH (p:PERSON) WHERE id(p) = $1 RETURN p.id", &norm)
+          .ok());
+}
+
+TEST_F(FrontendTest, TemplateBindMatchesDirectCompile) {
+  // Normalize -> CompileTemplate -> BindPlanParams must answer the same
+  // rows as compiling the literal query directly.
+  const char* kLiteral =
+      "MATCH (p:PERSON)-[:KNOWS]->(f:PERSON) WHERE id(p) = 0 RETURN f.id";
+  NormalizedQuery norm;
+  ASSERT_TRUE(NormalizeQuery(kLiteral, &norm).ok());
+  Plan tmpl;
+  ASSERT_TRUE(
+      CompileTemplate(norm.text, *tiny_.graph, norm.params, &tmpl).ok());
+  Plan bound;
+  ASSERT_TRUE(BindPlanParams(tmpl, norm.params, &bound).ok());
+  GraphView view(tiny_.graph.get());
+  auto via_template =
+      SortedRows(Executor(ExecMode::kFactorizedFused).Run(bound, view).table);
+  EXPECT_EQ(via_template, RunQuery(kLiteral));
+
+  // Out-of-range parameter vectors are rejected at bind time.
+  Plan bad;
+  EXPECT_FALSE(BindPlanParams(tmpl, {}, &bad).ok());
+}
+
 }  // namespace
 }  // namespace ges

@@ -156,6 +156,120 @@ TEST_F(FuzzServer, EmptyAndTruncatedBodiesGetErrorFrames) {
   ExpectServerHealthy();
 }
 
+TEST_F(FuzzServer, MalformedPrepareFramesGetErrorFrames) {
+  struct Case {
+    std::string name;
+    std::string body;
+  };
+  std::vector<Case> cases;
+  {
+    WireBuf b;  // kPrepare with no query text at all
+    b.PutU8(static_cast<uint8_t>(MsgType::kPrepare));
+    cases.push_back({"truncated prepare", b.Take()});
+  }
+  {
+    WireBuf b;  // kPrepare claiming a 500-byte text, providing 3
+    b.PutU8(static_cast<uint8_t>(MsgType::kPrepare));
+    b.PutU32(500);
+    b.PutU8('M');
+    b.PutU8('A');
+    b.PutU8('T');
+    cases.push_back({"lying prepare", b.Take()});
+  }
+  {
+    WireBuf b;  // kPrepare with trailing junk after the text
+    b.PutU8(static_cast<uint8_t>(MsgType::kPrepare));
+    b.PutString("MATCH (p:PERSON) RETURN p.id");
+    b.PutU64(0xdeadbeef);
+    cases.push_back({"oversupplied prepare", b.Take()});
+  }
+  for (const Case& c : cases) {
+    int fd = ConnectRaw();
+    WriteRaw(fd, LengthPrefix(static_cast<uint32_t>(c.body.size())) + c.body);
+    std::string payload;
+    ASSERT_EQ(ReadFrame(fd, &payload), ReadResult::kOk) << c.name;
+    WireReader in(payload);
+    EXPECT_EQ(static_cast<MsgType>(in.GetU8()), MsgType::kError) << c.name;
+    EXPECT_EQ(static_cast<WireStatus>(in.GetU8()),
+              WireStatus::kInvalidArgument)
+        << c.name;
+    ::close(fd);
+  }
+  ExpectServerHealthy();
+}
+
+TEST_F(FuzzServer, MalformedExecuteFramesAnswerStatusNotCrash) {
+  // Well-framed kExecute bodies with broken content answer a kResult
+  // status frame (the decoder could recover the query id) or an error
+  // frame — never silence, never a crash.
+  struct Case {
+    std::string name;
+    std::string body;
+    WireStatus want;
+  };
+  std::vector<Case> cases;
+  {
+    // Unknown handle, otherwise perfectly formed.
+    ExecuteRequest req;
+    req.query_id = 7;
+    req.handle = 0xdeadbeefULL;
+    cases.push_back({"unknown handle", EncodeExecuteRequest(req),
+                     WireStatus::kNotFound});
+  }
+  {
+    WireBuf b;  // truncated before the handle
+    b.PutU8(static_cast<uint8_t>(MsgType::kExecute));
+    b.PutU64(9);  // query id only
+    cases.push_back({"truncated execute", b.Take(),
+                     WireStatus::kInvalidArgument});
+  }
+  {
+    WireBuf b;  // claims 3 bindings, carries 1
+    b.PutU8(static_cast<uint8_t>(MsgType::kExecute));
+    b.PutU64(11);  // query id
+    b.PutU64(1);   // handle
+    b.PutU32(0);   // deadline
+    b.PutU64(0);   // min_version
+    b.PutU32(3);   // binding count lies
+    PutValue(&b, Value::Int(42));
+    cases.push_back({"truncated bindings", b.Take(),
+                     WireStatus::kInvalidArgument});
+  }
+  {
+    WireBuf b;  // binding with a garbage type tag
+    b.PutU8(static_cast<uint8_t>(MsgType::kExecute));
+    b.PutU64(13);
+    b.PutU64(1);
+    b.PutU32(0);
+    b.PutU64(0);
+    b.PutU32(1);
+    b.PutU8(0xee);  // no such ValueType
+    b.PutU64(1);
+    cases.push_back({"garbage value tag", b.Take(),
+                     WireStatus::kInvalidArgument});
+  }
+  for (const Case& c : cases) {
+    int fd = ConnectRaw();
+    WriteRaw(fd, LengthPrefix(static_cast<uint32_t>(c.body.size())) + c.body);
+    std::string payload;
+    ASSERT_EQ(ReadFrame(fd, &payload), ReadResult::kOk) << c.name;
+    WireReader in(payload);
+    MsgType got = static_cast<MsgType>(in.GetU8());
+    if (got == MsgType::kResult) {
+      QueryResponse resp;
+      ASSERT_TRUE(DecodeQueryResponse(&in, &resp)) << c.name;
+      EXPECT_EQ(resp.status, c.want) << c.name << ": " << resp.message;
+    } else {
+      EXPECT_EQ(got, MsgType::kError) << c.name;
+      EXPECT_EQ(static_cast<WireStatus>(in.GetU8()),
+                WireStatus::kInvalidArgument)
+          << c.name;
+    }
+    ::close(fd);
+  }
+  ExpectServerHealthy();
+}
+
 TEST_F(FuzzServer, RandomByteStreamsDontWedgeTheServer) {
   uint64_t seed = 0x5eed5eed5eed5eedull;
   for (int conn = 0; conn < 24; ++conn) {

@@ -433,9 +433,12 @@ TEST(WcojOptimizerTest, AblationFlagKeepsBinaryPlan) {
   EXPECT_EQ(CountOps(plan, OpType::kExpandInto), 1u);
 }
 
-TEST(WcojOptimizerTest, ZeroDegreeStatsRejectRewrite) {
-  // A relation with no edges: the cost model sees d_drv == 0 and the
-  // intersection buys nothing, so the binary plan is kept.
+TEST(WcojOptimizerTest, ZeroDegreeStatsUseDefaultCardinality) {
+  // A relation with no sampled edges used to make both sides of the cost
+  // model collapse to 0, silently disabling the rewrite. The gate now
+  // substitutes kDefaultDegree, under which the intersection is strictly
+  // cheaper (it is never asymptotically worse), so the rewrite applies —
+  // same as the rule-based no-view path.
   Graph graph;
   Catalog& c = graph.catalog();
   LabelId node = c.AddVertexLabel("N");
@@ -453,8 +456,8 @@ TEST(WcojOptimizerTest, ZeroDegreeStatsRejectRewrite) {
       .ExpandInto("a", "b", {rel}, /*anti=*/false);
   Plan plan = CountTail(&b);
   Plan opt = OptimizePlan(plan, ExecOptions{}, &view);
-  EXPECT_EQ(CountOps(opt, OpType::kIntersectExpand), 0u);
-  EXPECT_EQ(CountOps(opt, OpType::kExpandInto), 1u);
+  EXPECT_EQ(CountOps(opt, OpType::kIntersectExpand), 1u);
+  EXPECT_EQ(CountOps(opt, OpType::kExpandInto), 0u);
 }
 
 // --- EXPLAIN ANALYZE ----------------------------------------------------
