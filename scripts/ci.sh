@@ -9,9 +9,12 @@
 #   3. GES_SANITIZE=undefined — kernels / executor / durability labels
 #      plus one pass of bench_filter_selectivity (GES_ITERS=1): the WAL
 #      codec and CRC32C are bit-twiddling-heavy
+#   4. GES_SANITIZE=address   — governor / service labels: the resource
+#      governor's unwind paths (budget kills mid-allocation, watchdog
+#      shots, watermark sheds) must be leak- and overflow-clean
 #
-# Usage: scripts/ci.sh [flavor...]     (default: all three)
-#   flavors: release, tsan, ubsan
+# Usage: scripts/ci.sh [flavor...]     (default: all four)
+#   flavors: release, tsan, ubsan, asan
 # Knobs: GES_CI_JOBS (parallel build/test jobs, default nproc),
 #        GES_CI_BUILD_ROOT (default build-ci).
 set -euo pipefail
@@ -20,7 +23,7 @@ cd "$(dirname "$0")/.."
 JOBS=${GES_CI_JOBS:-$(nproc)}
 ROOT=${GES_CI_BUILD_ROOT:-build-ci}
 FLAVORS=("$@")
-[[ ${#FLAVORS[@]} -eq 0 ]] && FLAVORS=(release tsan ubsan)
+[[ ${#FLAVORS[@]} -eq 0 ]] && FLAVORS=(release tsan ubsan asan)
 
 build() {  # build <dir> [extra cmake args...]
   local dir=$1; shift
@@ -51,8 +54,14 @@ for flavor in "${FLAVORS[@]}"; do
         -L 'kernels|executor|durability'
       GES_ITERS=1 "$ROOT/ubsan/bench/bench_filter_selectivity"
       ;;
+    asan)
+      echo "=== [ci] AddressSanitizer: governor|service ==="
+      build "$ROOT/asan" -DGES_SANITIZE=address
+      ctest --test-dir "$ROOT/asan" --output-on-failure -j "$JOBS" \
+        -L 'governor|service'
+      ;;
     *)
-      echo "[ci] unknown flavor '$flavor' (release, tsan, ubsan)" >&2
+      echo "[ci] unknown flavor '$flavor' (release, tsan, ubsan, asan)" >&2
       exit 2
       ;;
   esac

@@ -6,6 +6,16 @@ namespace ges {
 
 Arena::Arena(size_t slab_bytes) : slab_bytes_(slab_bytes) {}
 
+Arena::~Arena() {
+  if (budget_ != nullptr) budget_->Release(budget_charged_);
+}
+
+void Arena::SetBudget(MemoryBudget* budget) {
+  if (budget_ != nullptr) budget_->Release(budget_charged_);
+  budget_ = budget;
+  budget_charged_ = 0;
+}
+
 void* Arena::Allocate(size_t bytes, size_t align) {
   if (bytes == 0) bytes = 1;
   uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
@@ -29,6 +39,10 @@ void Arena::Reset() {
   limit_ = nullptr;
   bytes_allocated_ = 0;
   bytes_reserved_ = 0;
+  if (budget_ != nullptr) {
+    budget_->Release(budget_charged_);
+    budget_charged_ = 0;
+  }
 }
 
 void Arena::AddSlab(size_t min_bytes) {
@@ -37,6 +51,10 @@ void Arena::AddSlab(size_t min_bytes) {
   cursor_ = slabs_.back().get();
   limit_ = cursor_ + size;
   bytes_reserved_ += size;
+  if (budget_ != nullptr) {
+    budget_->Charge(size);
+    budget_charged_ += size;
+  }
 }
 
 }  // namespace ges

@@ -13,12 +13,15 @@
 #include <mutex>
 #include <vector>
 
+#include "common/memory_budget.h"
+
 namespace ges {
 
 class Arena {
  public:
   // `slab_bytes` is the granularity of allocations requested from the OS.
   explicit Arena(size_t slab_bytes = 1 << 20);
+  ~Arena();
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -38,6 +41,14 @@ class Arena {
   size_t bytes_allocated() const { return bytes_allocated_; }
   size_t bytes_reserved() const { return bytes_reserved_; }
 
+  // Attaches a per-query MemoryBudget charged on slab growth (resource
+  // governor, DESIGN.md §15). Only growth after the attach is charged;
+  // Reset(), destruction, or SetBudget(nullptr) return the charged bytes.
+  // The budget must stay alive until one of those happens — so only
+  // query-scoped arenas may be attached, never the long-lived per-worker
+  // scratch arenas the scheduler reuses across queries.
+  void SetBudget(MemoryBudget* budget);
+
  private:
   void AddSlab(size_t min_bytes);
 
@@ -47,6 +58,8 @@ class Arena {
   uint8_t* limit_ = nullptr;
   size_t bytes_allocated_ = 0;
   size_t bytes_reserved_ = 0;
+  MemoryBudget* budget_ = nullptr;
+  size_t budget_charged_ = 0;
 };
 
 // Minimal STL-compatible allocator over an Arena: allocation bumps the

@@ -347,7 +347,7 @@ FlatBlock FlatScan(const PlanOp& op, const GraphView& view) {
 }
 
 FlatBlock FlatExpand(const FlatBlock& in, const PlanOp& op,
-                     const GraphView& view) {
+                     const GraphView& view, const QueryContext* ctx) {
   int src_idx = in.schema().IndexOf(op.in_column);
   assert(src_idx >= 0);
   Schema s = in.schema();
@@ -359,7 +359,19 @@ FlatBlock FlatExpand(const FlatBlock& in, const PlanOp& op,
   FlatBlock out(s);
   std::vector<std::pair<VertexId, int>> nbrs;
   std::vector<int64_t> stamps;
+  // Mid-operator governor charges: full tuple replication is the flat
+  // engine's memory hot spot, so the budget must see the growth before the
+  // operator returns. The O(1) row-width estimate stands in for the exact
+  // MemoryBytes() walk; the per-op accounting in RunFlat trues it up.
+  BudgetTracker tracker(ctx != nullptr ? ctx->budget() : nullptr);
+  const size_t row_bytes =
+      s.size() * sizeof(Value) + sizeof(std::vector<Value>);
+  size_t rows_in = 0;
   for (const auto& row : in.rows()) {
+    if ((++rows_in & 255u) == 0) {
+      tracker.Update(out.NumRows() * row_bytes);
+      ThrowIfInterrupted(ctx);
+    }
     nbrs.clear();
     stamps.clear();
     CollectNeighbors(view, op.rels, row[src_idx].AsVertex(), op.min_hops,
@@ -375,6 +387,7 @@ FlatBlock FlatExpand(const FlatBlock& in, const PlanOp& op,
       out.AppendRow(std::move(r));
     }
   }
+  tracker.Update(0);  // the caller's per-op delta re-charges the exact size
   return out;
 }
 
@@ -470,14 +483,14 @@ FlatBlock FlatLimit(const FlatBlock& in, uint64_t n) {
 namespace internal {
 
 FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op, const GraphView& view,
-                      IntersectOpStats* istats) {
+                      IntersectOpStats* istats, const QueryContext* ctx) {
   switch (op.type) {
     case OpType::kNodeByIdSeek:
       return FlatSeek(op, view);
     case OpType::kScanByLabel:
       return FlatScan(op, view);
     case OpType::kExpand:
-      return FlatExpand(state, op, view);
+      return FlatExpand(state, op, view, ctx);
     case OpType::kGetProperty:
       return FlatGetProperty(std::move(state), op, view);
     case OpType::kFilter:
@@ -516,7 +529,7 @@ FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op, const GraphView& view,
       return op.procedure(view);
     case OpType::kExpandFiltered: {
       // Stepwise fallback: expand, fetch the fused property, filter.
-      state = FlatExpand(state, op, view);
+      state = FlatExpand(state, op, view, ctx);
       PlanOp gp;
       gp.type = OpType::kGetProperty;
       gp.in_column = op.out_column;
@@ -556,11 +569,16 @@ QueryResult Executor::RunFlat(const Plan& plan, const GraphView& view) const {
   QueryResult result;
   Timer total;
   FlatBlock state;
+  MemoryBudget* budget =
+      options_.context != nullptr ? options_.context->budget() : nullptr;
+  BudgetTracker tracker(budget);
   for (const PlanOp& op : plan.ops) {
     ThrowIfInterrupted(options_.context);
     Timer t;
     IntersectOpStats istats;
-    state = internal::ApplyFlatOp(std::move(state), op, view, &istats);
+    state = internal::ApplyFlatOp(std::move(state), op, view, &istats,
+                                  options_.context);
+    if (budget != nullptr) tracker.Update(state.MemoryBytes());
     result.stats.intersect.Add(istats);
     OpStats os;
     os.op = OpTypeName(op.type);
@@ -581,28 +599,42 @@ QueryResult Executor::RunFlat(const Plan& plan, const GraphView& view) const {
 }
 
 QueryResult Executor::Run(const Plan& plan, const GraphView& view) const {
+  MemoryBudget* budget =
+      options_.context != nullptr ? options_.context->budget() : nullptr;
+  QueryResult result;
   try {
     switch (mode_) {
       case ExecMode::kVolcano:
-        return RunVolcano(plan, view);
+        result = RunVolcano(plan, view);
+        break;
       case ExecMode::kFlat:
-        return RunFlat(plan, view);
+        result = RunFlat(plan, view);
+        break;
       case ExecMode::kFactorized:
-        return RunFactorized(plan, view);
+        result = RunFactorized(plan, view);
+        break;
       case ExecMode::kFactorizedFused: {
-        if (options_.plan_is_optimized) return RunFactorized(plan, view);
-        Plan fused = OptimizePlan(plan, options_, &view);
-        return RunFactorized(fused, view);
+        if (options_.plan_is_optimized) {
+          result = RunFactorized(plan, view);
+        } else {
+          Plan fused = OptimizePlan(plan, options_, &view);
+          result = RunFactorized(fused, view);
+        }
+        break;
       }
     }
   } catch (const QueryInterrupted& e) {
-    // A checkpoint fired (deadline/cancel via options_.context). Surface it
-    // as data, not as an exception: no caller outside the engine unwinds.
-    QueryResult result;
+    // A checkpoint fired (deadline/cancel/memory via options_.context).
+    // Surface it as data, not as an exception: no caller outside the engine
+    // unwinds. The budget keeps whatever was charged until its owner (the
+    // service) destroys it, which squares the global gauge.
+    result = QueryResult{};
     result.interrupted = e.reason;
-    return result;
   }
-  return QueryResult{};
+  if (budget != nullptr) {
+    result.stats.peak_memory_bytes = budget->peak();
+  }
+  return result;
 }
 
 }  // namespace ges

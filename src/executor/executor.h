@@ -110,6 +110,10 @@ struct QueryStats {
   double total_millis = 0;
   // Peak intermediate-result footprint across the pipeline (Table 2).
   size_t peak_intermediate_bytes = 0;
+  // Peak bytes charged to the query's MemoryBudget (resource governor,
+  // DESIGN.md §15); collected even with collect_stats off. Zero when no
+  // budget was attached (direct engine use without a context).
+  size_t peak_memory_bytes = 0;
   std::vector<OpStats> ops;
   // Query-wide intersection counters, collected even when per-op stats are
   // off (collect_stats=false): the service aggregates these into

@@ -14,9 +14,13 @@ namespace ges::internal {
 // Applies one plan operator to a flat state. Handles every OpType,
 // including fused operators (executed stepwise). `istats`, when non-null,
 // accumulates intersection/galloping counters (kIntersectExpand,
-// kExpandInto membership probes).
+// kExpandInto membership probes). `ctx`, when non-null, is polled inside
+// the replication-heavy operators (Expand) so a flat-mode memory hog is
+// interruptible mid-operator, with its output growth charged against the
+// query's MemoryBudget.
 FlatBlock ApplyFlatOp(FlatBlock state, const PlanOp& op, const GraphView& view,
-                      IntersectOpStats* istats = nullptr);
+                      IntersectOpStats* istats = nullptr,
+                      const QueryContext* ctx = nullptr);
 
 // Final output projection (keeps all columns when `output` is empty).
 FlatBlock ProjectOutput(const FlatBlock& in,

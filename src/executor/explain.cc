@@ -227,6 +227,12 @@ std::string ExplainAnalyze(const Plan& plan, const QueryResult& result) {
   }
   os << "  total: millis=" << result.stats.total_millis
      << " peak_bytes=" << result.stats.peak_intermediate_bytes;
+  if (result.stats.peak_memory_bytes > 0) {
+    // Governor accounting (DESIGN.md §15): peak bytes charged against the
+    // query's MemoryBudget, a superset of the per-op intermediate gauge
+    // (it also sees transient expansion scratch and flatten pre-sizing).
+    os << " peak_memory=" << result.stats.peak_memory_bytes;
+  }
   const IntersectOpStats& t = result.stats.intersect;
   if (t.Any()) {
     os << " probes=" << t.probes << " gallops=" << t.gallops

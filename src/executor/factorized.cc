@@ -184,9 +184,21 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
     };
     size_t num_morsels = (rows + kExpandMorselRows - 1) / kExpandMorselRows;
     std::vector<Part> parts(num_morsels);
+    // Governor charge point: each morsel's scratch buffers are charged as
+    // they grow (ValueVector::MemoryBytes is O(1) for non-string columns),
+    // so a hog expansion trips its budget mid-operator instead of after the
+    // stitch. Per-morsel trackers write the budget concurrently — that is
+    // its contract. Released after the stitch, whose output the caller's
+    // per-op accounting charges.
+    auto part_bytes = [](const Part& p) {
+      return p.ids.MemoryBytes() + p.dist.MemoryBytes() +
+             p.stamps.MemoryBytes() + p.counts.capacity() * sizeof(uint32_t);
+    };
 
     auto expand_morsel = [&](size_t begin_row, size_t end_row) {
       Part& part = parts[begin_row / kExpandMorselRows];
+      BudgetTracker tracker(
+          options.context != nullptr ? options.context->budget() : nullptr);
       // BFS working set from the per-worker arena: multi-hop expansion of
       // a morsel reuses one visited set / frontier, never touching the
       // global allocator row-to-row.
@@ -197,6 +209,7 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
       for (size_t r = begin_row; r < end_row; ++r) {
         // Per-source-row checkpoint: a multi-hop BFS morsel over high-degree
         // vertices can run for milliseconds, far past the per-morsel poll.
+        tracker.Update(part_bytes(part));
         ThrowIfInterrupted(options.context);
         VertexId v = src->RowValid(r)
                          ? src->block.GetValue(r, src_col).AsVertex()
@@ -217,6 +230,7 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
         }
         part.counts.push_back(static_cast<uint32_t>(nbrs.size()));
       }
+      tracker.Update(part_bytes(part));
     };
     TaskScheduler::Global().ParallelFor(0, rows, kExpandMorselRows,
                                         options.intra_query_threads,
@@ -241,6 +255,11 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
         off += n;
         ++row;
       }
+    }
+    if (options.context != nullptr && options.context->budget() != nullptr) {
+      size_t transient = 0;
+      for (const Part& part : parts) transient += part_bytes(part);
+      options.context->budget()->Release(transient);
     }
     child->block.AddColumn(op.out_column, std::move(ids));
     if (want_dist) {
@@ -325,14 +344,22 @@ bool TryFactIntersectExpand(FactState* state, const PlanOp& op,
   };
   size_t num_morsels = (rows + kExpandMorselRows - 1) / kExpandMorselRows;
   std::vector<Part> parts(num_morsels);
+  // Governor charge point for the WCOJ probe output buffers; same
+  // charge-while-growing / release-after-stitch protocol as FactExpand.
+  auto part_bytes = [](const Part& p) {
+    return p.ids.MemoryBytes() + p.counts.capacity() * sizeof(uint32_t);
+  };
 
   auto morsel = [&](size_t begin_row, size_t end_row) {
     Part& part = parts[begin_row / kExpandMorselRows];
+    BudgetTracker tracker(
+        options.context != nullptr ? options.context->budget() : nullptr);
     internal::IntersectExpandRunner runner(op);
     std::vector<VertexId> probe_vals(probes.size());
     part.counts.reserve(end_row - begin_row);
     for (size_t r = begin_row; r < end_row; ++r) {
       // Per-row checkpoint: a high-degree driver can gallop for a while.
+      tracker.Update(part_bytes(part));
       ThrowIfInterrupted(options.context);
       VertexId v = src->RowValid(r)
                        ? src->block.GetValue(r, src_col).AsVertex()
@@ -356,6 +383,7 @@ bool TryFactIntersectExpand(FactState* state, const PlanOp& op,
       });
       part.counts.push_back(n);
     }
+    tracker.Update(part_bytes(part));
   };
   TaskScheduler::Global().ParallelFor(0, rows, kExpandMorselRows,
                                       options.intra_query_threads, morsel,
@@ -372,6 +400,11 @@ bool TryFactIntersectExpand(FactState* state, const PlanOp& op,
       off += n;
       ++row;
     }
+  }
+  if (options.context != nullptr && options.context->budget() != nullptr) {
+    size_t transient = 0;
+    for (const Part& part : parts) transient += part_bytes(part);
+    options.context->budget()->Release(transient);
   }
   child->block.AddColumn(op.out_column, std::move(ids));
   tree.RegisterColumns(child);
@@ -409,7 +442,16 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
     // materialize into the column before filtering.
     std::vector<VertexId> cand;
     std::vector<IndexRange> cand_range(rows, IndexRange{0, 0});
+    // Governor charge point: the candidate buffer is the fused operator's
+    // memory spike (every neighbor before filtering); charged as it grows,
+    // released once survivors are compacted into the child block.
+    BudgetTracker cand_tracker(
+        options.context != nullptr ? options.context->budget() : nullptr);
     for (size_t r = 0; r < rows; ++r) {
+      if ((r & 255u) == 0) {
+        cand_tracker.Update(cand.capacity() * sizeof(VertexId));
+        ThrowIfInterrupted(options.context);
+      }
       if (!src->RowValid(r)) continue;
       VertexId v = src->block.GetValue(r, src_col).AsVertex();
       if (v == kInvalidVertex) continue;
@@ -426,6 +468,9 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
     ValueVector cand_props(op.property_type);
     view.GatherProperties(cand.data(), cand.size(), nullptr, op.property,
                           &cand_props);
+    cand_tracker.Update(cand.capacity() * sizeof(VertexId) +
+                        cand_props.MemoryBytes() + cand.size());
+    ThrowIfInterrupted(options.context);
 
     std::vector<uint8_t> keep(cand.size(), 1);
     std::vector<const ValueVector*> phys{&cand_props};
@@ -462,10 +507,12 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
       }
       child->parent_index[r] = IndexRange{begin, off};
     }
+    cand_tracker.Update(0);  // survivors are charged by per-op accounting
   } else {
     BoundExpr pred = BoundExpr::Bind(*op.predicate, pred_schema);
     uint64_t off = 0;
     for (size_t r = 0; r < rows; ++r) {
+      if ((r & 255u) == 0) ThrowIfInterrupted(options.context);
       if (!src->RowValid(r)) continue;
       VertexId v = src->block.GetValue(r, src_col).AsVertex();
       if (v == kInvalidVertex) continue;
@@ -854,13 +901,17 @@ QueryResult Executor::RunFactorized(const Plan& plan,
   QueryResult result;
   Timer total;
   FactState state;
+  MemoryBudget* budget =
+      options_.context != nullptr ? options_.context->budget() : nullptr;
+  BudgetTracker tracker(budget);
 
   for (const PlanOp& op : plan.ops) {
     ThrowIfInterrupted(options_.context);
     Timer t;
     IntersectOpStats istats;
     if (!state.is_tree()) {
-      state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats);
+      state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats,
+                               options_.context);
     } else {
       switch (op.type) {
         case OpType::kNodeByIdSeek:
@@ -878,7 +929,8 @@ QueryResult Executor::RunFactorized(const Plan& plan,
         case OpType::kIntersectExpand:
           if (!TryFactIntersectExpand(&state, op, view, options_, &istats)) {
             FlattenState(&state, options_);
-            state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats,
+                                     options_.context);
           }
           break;
         case OpType::kGetProperty:
@@ -887,13 +939,15 @@ QueryResult Executor::RunFactorized(const Plan& plan,
         case OpType::kFilter:
           if (!TryFactFilter(&state, op, options_)) {
             FlattenState(&state, options_);
-            state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view, nullptr,
+                                     options_.context);
           }
           break;
         case OpType::kProject:
           if (!TryFactProject(&state, op, options_)) {
             FlattenState(&state, options_);
-            state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view, nullptr,
+                                     options_.context);
           }
           break;
         case OpType::kAggregate: {
@@ -913,7 +967,8 @@ QueryResult Executor::RunFactorized(const Plan& plan,
                 StreamingAggregate(*state.tree, op.group_by, op.aggs));
           } else {
             FlattenState(&state, options_);
-            state.flat = ApplyFlatOp(std::move(state.flat), op, view);
+            state.flat = ApplyFlatOp(std::move(state.flat), op, view, nullptr,
+                                     options_.context);
           }
           break;
         }
@@ -944,7 +999,8 @@ QueryResult Executor::RunFactorized(const Plan& plan,
         case OpType::kExpandInto:
           // Cyclic / global-dedup logic: revert to flat execution.
           FlattenState(&state, options_);
-          state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats);
+          state.flat = ApplyFlatOp(std::move(state.flat), op, view, &istats,
+                                   options_.context);
           break;
         case OpType::kProcedure:
           state.SwitchToFlat(op.procedure(view));
@@ -957,6 +1013,14 @@ QueryResult Executor::RunFactorized(const Plan& plan,
     os.est_rows = op.est_rows;
     os.intersect = istats;
     result.stats.intersect.Add(istats);
+    if (budget != nullptr) {
+      // Per-op governor accounting: true the budget up to the exact live
+      // state (the intra-op trackers charged approximations and released
+      // them), then let the checkpoint at the top of the next iteration —
+      // or the one below for the last op — kill an over-budget query.
+      tracker.Update(state.MemoryBytes());
+      ThrowIfInterrupted(options_.context);
+    }
     if (options_.collect_stats) {
       os.intermediate_bytes =
           std::max(state.MemoryBytes(), state.transient_bytes);
@@ -990,6 +1054,11 @@ QueryResult Executor::RunFactorized(const Plan& plan,
                                   options_.context);
     } else {
       state.tree->Flatten(cols, &shaped, UINT64_MAX, options_.context);
+    }
+    if (budget != nullptr) {
+      // The de-factored answer replaces the tree as the live state.
+      tracker.Update(shaped.MemoryBytes());
+      ThrowIfInterrupted(options_.context);
     }
     result.table = std::move(shaped);
   } else {

@@ -1,6 +1,7 @@
 #include "executor/ftree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <sstream>
 
@@ -163,9 +164,20 @@ void FTree::Flatten(const std::vector<std::string>& columns, FlatBlock* out,
     assert(col >= 0);
     slots.push_back(Slot{e.IndexOf(node), static_cast<size_t>(col)});
   }
+  // Governor charge point: de-factoring is where a compact f-Tree explodes
+  // into O(#tuples) flat rows, so the budget must see the growth while the
+  // loop runs, not after. The O(1) row-width estimate is trued up by the
+  // caller's exact per-op accounting; the release below keeps this site's
+  // charge strictly transient.
+  BudgetTracker tracker(ctx != nullptr ? ctx->budget() : nullptr);
+  const size_t row_bytes =
+      sizeof(std::vector<Value>) + slots.size() * sizeof(Value);
   uint64_t n = 0;
   while (n < limit && e.Next()) {
-    if (n % kFlattenCheckTuples == 0) ThrowIfInterrupted(ctx);
+    if (n % kFlattenCheckTuples == 0) {
+      tracker.Update(n * row_bytes);
+      ThrowIfInterrupted(ctx);
+    }
     std::vector<Value> row;
     row.reserve(slots.size());
     for (const Slot& s : slots) {
@@ -175,6 +187,7 @@ void FTree::Flatten(const std::vector<std::string>& columns, FlatBlock* out,
     out->AppendRow(std::move(row));
     ++n;
   }
+  tracker.Update(0);
 }
 
 void FTree::FlattenParallel(const std::vector<std::string>& columns,
@@ -218,14 +231,30 @@ void FTree::FlattenParallel(const std::vector<std::string>& columns,
 
   size_t base = out->NumRows();
   std::vector<std::vector<Value>>& rows = out->rows();
+  // Governor charge point (same transient protocol as Flatten): the DP
+  // pre-size is charged up front — it alone can be the hog's spike — and
+  // each morsel charges its emitted rows as it fills its slice. All of it
+  // is released here once the caller's exact per-op accounting takes over.
+  MemoryBudget* budget = ctx != nullptr ? ctx->budget() : nullptr;
+  const size_t row_bytes = slots.size() * sizeof(Value);
+  size_t presize_bytes = total * sizeof(std::vector<Value>);
+  if (budget != nullptr) {
+    budget->Charge(presize_bytes);
+    ThrowIfInterrupted(ctx);
+  }
   rows.resize(base + total);
+  std::atomic<size_t> morsel_charged{0};
   auto emit = [&](size_t begin_row, size_t end_row) {
     if (offsets[begin_row] == offsets[end_row]) return;
+    BudgetTracker tracker(budget);
     TupleEnumerator e(*this, begin_row, end_row);
     size_t i = base + offsets[begin_row];
     size_t emitted = 0;
     while (e.Next()) {
-      if (emitted++ % kFlattenCheckTuples == 0) ThrowIfInterrupted(ctx);
+      if (emitted++ % kFlattenCheckTuples == 0) {
+        tracker.Update(emitted * row_bytes);
+        ThrowIfInterrupted(ctx);
+      }
       std::vector<Value> row;
       row.reserve(slots.size());
       for (const Slot& s : slots) {
@@ -235,9 +264,15 @@ void FTree::FlattenParallel(const std::vector<std::string>& columns,
       rows[i++] = std::move(row);
     }
     assert(i == base + offsets[end_row] && "DP count != enumeration count");
+    tracker.Update(emitted * row_bytes);
+    morsel_charged.fetch_add(tracker.charged(), std::memory_order_relaxed);
   };
   TaskScheduler::Global().ParallelFor(0, root_rows, kFlattenMorselRoots,
                                       max_workers, emit, ctx);
+  if (budget != nullptr) {
+    budget->Release(presize_bytes +
+                    morsel_charged.load(std::memory_order_relaxed));
+  }
 }
 
 size_t FTree::MemoryBytes() const {

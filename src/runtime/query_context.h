@@ -19,12 +19,15 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/memory_budget.h"
+
 namespace ges {
 
 enum class InterruptReason : uint8_t {
   kNone = 0,
   kCancelled,          // explicit Cancel() (client CANCEL frame, disconnect)
   kDeadlineExceeded,   // steady-clock deadline passed
+  kMemoryExceeded,     // per-query MemoryBudget limit crossed
 };
 
 const char* InterruptReasonName(InterruptReason r);
@@ -53,17 +56,29 @@ class QueryContext {
     return deadline_ns_.load(std::memory_order_acquire) != 0;
   }
 
-  // The checkpoint poll: one atomic load, plus a clock read only when a
-  // deadline is armed. Cancel wins over deadline when both apply.
+  // The checkpoint poll: two relaxed/acquire loads, plus a clock read only
+  // when a deadline is armed. Precedence when several apply: cancel wins
+  // over memory, memory over deadline (a killed query should report the
+  // operator's intent; a hog that also timed out should report why it was
+  // a hog).
   InterruptReason Check() const {
     if (cancelled_.load(std::memory_order_acquire)) {
       return InterruptReason::kCancelled;
+    }
+    if (budget_ != nullptr && budget_->exceeded()) {
+      return InterruptReason::kMemoryExceeded;
     }
     int64_t dl = deadline_ns_.load(std::memory_order_acquire);
     if (dl != 0 && NowNanos() >= dl) {
       return InterruptReason::kDeadlineExceeded;
     }
     return InterruptReason::kNone;
+  }
+
+  // Steady-clock deadline in NowNanos() units; 0 = none. The watchdog uses
+  // this to find queries past deadline + grace.
+  int64_t deadline_nanos() const {
+    return deadline_ns_.load(std::memory_order_acquire);
   }
 
   static int64_t NowNanos() {
@@ -84,10 +99,22 @@ class QueryContext {
   }
   bool holds_snapshot_pin() const { return snapshot_pin_ != nullptr; }
 
+  // Attaches the query's memory budget (resource governor, DESIGN.md §15).
+  // Set once before execution starts, like the snapshot pin; the engine's
+  // charge sites and Check() read it concurrently afterwards, which is safe
+  // because the pointer itself never changes again. The budget must
+  // outlive the context (the service keeps it alive until the response is
+  // sent).
+  void AttachBudget(std::shared_ptr<MemoryBudget> budget) {
+    budget_ = std::move(budget);
+  }
+  MemoryBudget* budget() const { return budget_.get(); }
+
  private:
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_ns_{0};  // 0 = no deadline
   std::shared_ptr<void> snapshot_pin_;
+  std::shared_ptr<MemoryBudget> budget_;
 };
 
 // Thrown from cancellation checkpoints; converted to QueryResult::interrupted
@@ -113,8 +140,20 @@ inline const char* InterruptReasonName(InterruptReason r) {
       return "cancelled";
     case InterruptReason::kDeadlineExceeded:
       return "deadline_exceeded";
+    case InterruptReason::kMemoryExceeded:
+      return "memory_exceeded";
   }
   return "?";
+}
+
+// Charge-site helpers: record `bytes` of engine intermediate state against
+// the query's budget, if any. Both compile to a couple of branches when no
+// budget is attached (tests, benches, direct engine use).
+inline void ChargeMemory(const QueryContext* ctx, size_t bytes) {
+  if (ctx != nullptr && ctx->budget() != nullptr) ctx->budget()->Charge(bytes);
+}
+inline void ReleaseMemory(const QueryContext* ctx, size_t bytes) {
+  if (ctx != nullptr && ctx->budget() != nullptr) ctx->budget()->Release(bytes);
 }
 
 }  // namespace ges

@@ -20,8 +20,11 @@ const char* AdmissionPolicyName(AdmissionPolicy p) {
 double QueryCostModel::Prior(const std::string& name) const {
   // IC* and STRESS* are the complex-read class (multi-hop expansions);
   // until observed otherwise they must not be scheduled as shorts — one
-  // optimistic misclassification of an IC5 stalls the short lane.
-  bool long_prior = name.rfind("IC", 0) == 0 || name.rfind("STRESS", 0) == 0;
+  // optimistic misclassification of an IC5 stalls the short lane. HOG (the
+  // governor's memory-hog diagnostic) is long by construction: watermark
+  // shedding must classify it as sheddable from its first appearance.
+  bool long_prior = name.rfind("IC", 0) == 0 ||
+                    name.rfind("STRESS", 0) == 0 || name.rfind("HOG", 0) == 0;
   return long_prior ? 4.0 * short_threshold_ms_ : short_threshold_ms_ / 4.0;
 }
 
@@ -64,6 +67,8 @@ bool AdmissionQueue::TrySubmit(QueryJob job) {
     size_t depth = short_q_.size() + long_q_.size();
     if (depth >= capacity_) {
       stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      (is_short ? stats_.rejected_short : stats_.rejected_long)
+          .fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     Item item{next_seq_++, is_short, std::move(job)};

@@ -33,7 +33,7 @@ bool Client::Connect(const std::string& host, uint16_t port) {
   }
 }
 
-void Client::SleepBackoff(int attempt) {
+void Client::SleepBackoff(int attempt, uint32_t min_ms) {
   int64_t ms = std::max(1, retry_.base_backoff_ms);
   for (int i = 0; i < attempt && ms < retry_.max_backoff_ms; ++i) ms *= 2;
   ms = std::min<int64_t>(ms, std::max(1, retry_.max_backoff_ms));
@@ -43,6 +43,9 @@ void Client::SleepBackoff(int attempt) {
   int64_t half = ms / 2;
   ms = ms - half + static_cast<int64_t>((rng_state_ >> 33) %
                                         static_cast<uint64_t>(half + 1));
+  // An overloaded server knows its own recovery horizon better than our
+  // exponential guess: honor its retry-after hint as a floor.
+  ms = std::max<int64_t>(ms, min_ms);
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
@@ -156,7 +159,20 @@ bool Client::RunOnce(const QueryRequest& req, QueryResponse* resp,
 bool Client::Run(const QueryRequest& req, QueryResponse* resp) {
   for (int attempt = 0;; ++attempt) {
     bool delivered = false;
-    if (RunOnce(req, resp, &delivered)) return true;
+    if (RunOnce(req, resp, &delivered)) {
+      // Transient server refusals (watermark shedding, admission
+      // backpressure, a budget kill) are retryable for idempotent reads —
+      // the connection is fine, so no reconnect, just back off honoring
+      // the server's retry-after hint. Updates surface the refusal.
+      bool transient = resp->status == WireStatus::kOverloaded ||
+                       resp->status == WireStatus::kResourceExhausted;
+      if (transient && req.kind != QueryKind::kIU &&
+          attempt < retry_.max_retries) {
+        SleepBackoff(attempt, resp->retry_after_ms);
+        continue;
+      }
+      return true;
+    }
     if (delivered && req.kind == QueryKind::kIU) {
       // The update reached the server but was never acknowledged — it may
       // or may not have committed. Retrying could apply it twice; surface
@@ -213,6 +229,17 @@ bool Client::RunIU(int number, uint64_t seed, QueryResponse* resp,
   req.number = static_cast<uint8_t>(number);
   req.deadline_ms = deadline_ms;
   req.seed = seed;
+  return Run(req, resp);
+}
+
+bool Client::RunHog(uint64_t mib, QueryResponse* resp, uint32_t deadline_ms,
+                    uint8_t hold_ms) {
+  QueryRequest req;
+  req.query_id = AllocQueryId();
+  req.kind = QueryKind::kHog;
+  req.number = hold_ms;
+  req.deadline_ms = deadline_ms;
+  req.seed = mib;
   return Run(req, resp);
 }
 
@@ -332,6 +359,21 @@ bool Client::Cancel(uint64_t query_id) {
   b.PutU8(static_cast<uint8_t>(MsgType::kCancel));
   b.PutU64(query_id);
   return SendFrame(b.data());
+}
+
+bool Client::KillQuery(uint64_t query_id, uint32_t* killed) {
+  WireBuf b;
+  b.PutU8(static_cast<uint8_t>(MsgType::kKillQuery));
+  b.PutU64(query_id);
+  if (!SendFrame(b.data())) return false;
+  std::string payload;
+  if (!ReadExpected(MsgType::kKillQueryOk, &payload)) return false;
+  WireReader in(payload);
+  in.GetU8();  // type
+  uint32_t n = in.GetU32();
+  if (!in.ok()) return Fail("malformed KillQueryOk");
+  if (killed != nullptr) *killed = n;
+  return true;
 }
 
 }  // namespace ges::service

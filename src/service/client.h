@@ -25,6 +25,14 @@ namespace ges::service {
 // jitter, EXCEPT a non-idempotent update (kIU) whose request frame was
 // fully sent but never answered: the server may have committed it, so the
 // client reports the ambiguity instead of risking a double-apply.
+//
+// Server refusals that signal transient pressure — OVERLOADED (watermark
+// shedding) and RESOURCE_EXHAUSTED (admission backpressure / a budget
+// kill) — are also retried for idempotent reads, honoring the response's
+// retry_after_ms hint when it exceeds the computed backoff. Updates (kIU)
+// are never auto-retried on those statuses either: by the time a refusal
+// arrives the caller cannot know a retried commit would not double-apply
+// on a response lost mid-retry, so the first refusal surfaces.
 struct RetryPolicy {
   int max_retries = 0;       // extra attempts after the first
   int base_backoff_ms = 20;  // first backoff; doubles per attempt
@@ -77,6 +85,10 @@ class Client {
              uint32_t deadline_ms = 0);
   // Cyclic census queries (number in [1, 3]; the WCOJ tier).
   bool RunBI(int number, QueryResponse* resp, uint32_t deadline_ms = 0);
+  // Governor diagnostic: allocate `mib` MiB of budget-charged state on the
+  // server, hold it `hold_ms` (<= 255) ms, release. See QueryKind::kHog.
+  bool RunHog(uint64_t mib, QueryResponse* resp, uint32_t deadline_ms = 0,
+              uint8_t hold_ms = 0);
 
   // --- prepared statements ----------------------------------------------
 
@@ -123,6 +135,12 @@ class Client {
   // the race). Thread-safe.
   bool Cancel(uint64_t query_id);
 
+  // Admin force-kill (resource governor): cancels every in-flight query
+  // with this id across ALL sessions and reports how many were shot in
+  // `*killed` (0 = not found). Synchronous — do not interleave with
+  // pipelined reads; use a dedicated admin connection.
+  bool KillQuery(uint64_t query_id, uint32_t* killed = nullptr);
+
   // Next unused query id for hand-built QueryRequests.
   uint64_t AllocQueryId() { return next_query_id_++; }
 
@@ -135,8 +153,9 @@ class Client {
   // One request/response attempt; `*delivered` reports whether the full
   // request frame reached the kernel (the ambiguity boundary for updates).
   bool RunOnce(const QueryRequest& req, QueryResponse* resp, bool* delivered);
-  // Sleeps the exponential backoff for retry `attempt` (0-based), jittered.
-  void SleepBackoff(int attempt);
+  // Sleeps the exponential backoff for retry `attempt` (0-based),
+  // jittered; never less than `min_ms` (the server's retry-after hint).
+  void SleepBackoff(int attempt, uint32_t min_ms = 0);
   bool SendFrame(const std::string& payload);
   // Reads until a frame of `want` arrives; fails the connection on
   // kError/unexpected frames.

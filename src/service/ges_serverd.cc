@@ -75,6 +75,16 @@ void Usage(const char* argv0) {
       "  --ack-timeout S    semi-sync ack wait bound (default 2)\n"
       "  --ryw-wait-ms N    max wait for a read's min_version floor before\n"
       "                     answering LAGGING (default 50)\n"
+      "  --query-memory-limit-mb N  per-query memory budget; a query whose\n"
+      "                     charged intermediate state exceeds N MiB dies\n"
+      "                     with RESOURCE_EXHAUSTED (default 0 = unlimited)\n"
+      "  --memory-watermark-mb N  soft process watermark: at admission,\n"
+      "                     once in-flight budgets total N MiB, long\n"
+      "                     queries answer OVERLOADED; at 125%% of N\n"
+      "                     everything is shed (default 0 = off)\n"
+      "  --watchdog-grace-ms N  force-cancel queries still running N ms\n"
+      "                     past their deadline and log a slow-query\n"
+      "                     report (default 0 = off)\n"
       "  --plan-cache-entries N  prepared-plan LRU cache capacity\n"
       "                     (default 128; 0 disables caching)\n"
       "  --stats-refresh-seconds S  optimizer statistics refresh cadence;\n"
@@ -160,6 +170,14 @@ int main(int argc, char** argv) {
       config.replica_ack_timeout_seconds = std::atof(next());
     } else if (arg == "--ryw-wait-ms") {
       config.ryw_wait_ms = std::atof(next());
+    } else if (arg == "--query-memory-limit-mb") {
+      config.query_memory_limit_bytes =
+          static_cast<size_t>(std::atoll(next())) << 20;
+    } else if (arg == "--memory-watermark-mb") {
+      config.memory_watermark_bytes =
+          static_cast<size_t>(std::atoll(next())) << 20;
+    } else if (arg == "--watchdog-grace-ms") {
+      config.watchdog_grace_ms = std::atof(next());
     } else if (arg == "--plan-cache-entries") {
       config.plan_cache_entries = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--stats-refresh-seconds") {

@@ -31,6 +31,8 @@ const char* WireStatusName(WireStatus s) {
       return "READ_ONLY";
     case WireStatus::kLagging:
       return "LAGGING";
+    case WireStatus::kOverloaded:
+      return "OVERLOADED";
   }
   return "?";
 }
@@ -291,6 +293,8 @@ std::string EncodeQueryResponse(const QueryResponse& resp) {
   b.PutDouble(resp.bind_millis);
   b.PutDouble(resp.exec_millis);
   b.PutU8(resp.plan_cache_hit);
+  b.PutU64(resp.peak_memory_bytes);
+  b.PutU32(resp.retry_after_ms);
   return b.Take();
 }
 
@@ -312,6 +316,10 @@ bool DecodeQueryResponse(WireReader* in, QueryResponse* resp) {
   resp->bind_millis = in->AtEnd() ? 0 : in->GetDouble();
   resp->exec_millis = in->AtEnd() ? 0 : in->GetDouble();
   resp->plan_cache_hit = in->AtEnd() ? 0 : in->GetU8();
+  // Trailing governor fields (DESIGN.md §15): peak budget charge and the
+  // retry-after hint attached to kOverloaded / kResourceExhausted refusals.
+  resp->peak_memory_bytes = in->AtEnd() ? 0 : in->GetU64();
+  resp->retry_after_ms = in->AtEnd() ? 0 : in->GetU32();
   return in->ok();
 }
 

@@ -54,6 +54,12 @@ enum class MsgType : uint8_t {
   // time (auto-parameterized statements). Response: kResult.
   kPrepare = 12,
   kExecute = 13,
+  // Admin: force-cancel a runaway query (resource governor, DESIGN.md §15).
+  // Body: u64 query_id. Unlike kCancel it is not scoped to the sender's
+  // session — every session's in-flight queries with that client-assigned
+  // id are shot — and it DOES get a response (kKillQueryOk) so an operator
+  // knows whether the id was found.
+  kKillQuery = 14,
   // server -> client
   kHelloOk = 16,  // body: u64 session_id, u64 snapshot version
   kResult = 17,
@@ -81,6 +87,9 @@ enum class MsgType : uint8_t {
   // u32 param_count, u8 cache_hit, string normalized text; on failure
   // u8 WireStatus, string message (connection stays usable).
   kPrepareOk = 31,
+  // Reply to kKillQuery. Body: u32 number of in-flight queries cancelled
+  // (0 = id not found — already finished, or never existed).
+  kKillQueryOk = 32,
 };
 
 inline constexpr uint32_t kReplicationProtocolVersion = 1;
@@ -100,6 +109,11 @@ enum class WireStatus : uint8_t {
   // Replica could not satisfy the request's read-your-writes floor
   // (min_version) within the configured wait; route the read elsewhere.
   kLagging = 9,
+  // Watermark shedding (resource governor): the process is over its memory
+  // watermark and this query class is being refused at admission. The
+  // response's retry_after_ms hints when to come back; idempotent reads
+  // are safe to retry.
+  kOverloaded = 10,
 };
 
 const char* WireStatusName(WireStatus s);
@@ -112,12 +126,21 @@ enum class QueryKind : uint8_t {
   kIS = 1,      // number in [1, 7]
   kIU = 2,      // number in [1, 8]; `seed` feeds RunIU
   kStress = 3,  // number = max hops of a full knows-expansion (see server)
-  kSleep = 4,   // `seed` = milliseconds of cooperative busy-wait
+  kSleep = 4,   // `seed` = ms of cooperative busy-wait; `number` > 0
+                // stretches the checkpoint interval to that many ms
+                // (watchdog diagnostic: simulates a stuck operator)
   kBI = 5,      // number in [1, 3]: cyclic censuses (WCOJ tier)
   // Internal only: a kExecute frame re-packaged as a QueryRequest so
   // prepared executions flow through the same admission / deadline / job
   // machinery as ad-hoc queries. Never encoded by EncodeQueryRequest.
   kPrepared = 6,
+  // Governor diagnostic: cooperatively allocates `seed` MiB of real,
+  // budget-charged intermediate state in 1 MiB steps, polling the context
+  // between steps, then holds the allocation for `number` milliseconds
+  // (cancellation-responsive) before releasing — a deterministic memory
+  // hog for governor tests and bench_governor, the way kSleep is a
+  // deterministic delay.
+  kHog = 7,
 };
 
 struct QueryRequest {
@@ -156,6 +179,12 @@ struct QueryResponse {
   double exec_millis = 0;
   // 1 when the plan came from the shared plan cache.
   uint8_t plan_cache_hit = 0;
+  // Peak bytes the query charged against its MemoryBudget (resource
+  // governor, DESIGN.md §15). Trailing field, zero from older servers.
+  uint64_t peak_memory_bytes = 0;
+  // For kOverloaded / kResourceExhausted refusals: the server's hint for
+  // how long to back off before retrying (0 = no hint). Trailing field.
+  uint32_t retry_after_ms = 0;
 };
 
 // Result of a kPrepare round-trip.

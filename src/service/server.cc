@@ -35,6 +35,13 @@ std::string ServiceStats::ToString() const {
      << " watermark=" << gc_watermark.load()
      << " watermark_held_by_session=" << watermark_held_by_session.load()
      << " stalls=" << watermark_stalls.load()
+     << "\ngovernor: killed=" << governor_killed.load()
+     << " shed=" << governor_shed.load()
+     << " global_bytes=" << governor_global_bytes.load()
+     << " peak_global_bytes=" << governor_peak_global_bytes.load()
+     << "\nadmission: rejected_short=" << admission_rejected_short.load()
+     << " rejected_long=" << admission_rejected_long.load()
+     << " queue_depth=" << admission_queue_depth.load()
      << "\nplan_cache: hits=" << plan_cache_hits.load()
      << " misses=" << plan_cache_misses.load()
      << " evictions=" << plan_cache_evictions.load()
@@ -116,13 +123,33 @@ std::string QueryName(const QueryRequest& req) {
       return "BI" + std::to_string(req.number);
     case QueryKind::kPrepared:
       return "PREPARED";
+    case QueryKind::kHog:
+      return "HOG";
   }
   return "?";
 }
 
 WireStatus StatusOfInterrupt(InterruptReason r) {
-  return r == InterruptReason::kCancelled ? WireStatus::kCancelled
-                                          : WireStatus::kDeadlineExceeded;
+  switch (r) {
+    case InterruptReason::kCancelled:
+      return WireStatus::kCancelled;
+    case InterruptReason::kMemoryExceeded:
+      return WireStatus::kResourceExhausted;
+    default:
+      return WireStatus::kDeadlineExceeded;
+  }
+}
+
+// Response detail for an interrupted query; a budget kill names the bytes
+// so the client log is actionable without server access.
+std::string InterruptMessage(InterruptReason r, const QueryContext* ctx) {
+  if (r == InterruptReason::kMemoryExceeded && ctx != nullptr &&
+      ctx->budget() != nullptr) {
+    return "query memory budget exceeded: peak " +
+           std::to_string(ctx->budget()->peak()) + " bytes > limit " +
+           std::to_string(ctx->budget()->limit()) + " bytes";
+  }
+  return InterruptReasonName(r);
 }
 
 }  // namespace
@@ -185,6 +212,9 @@ bool Server::Start(std::string* error) {
   graph_->RebuildStats();
   acceptor_ = std::thread([this] { AcceptLoop(); });
   reaper_ = std::thread([this] { ReaperLoop(); });
+  if (config_.watchdog_grace_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
   return true;
 }
 
@@ -265,7 +295,79 @@ void Server::ReaperLoop() {
     MaybeRefreshStats(&last_stats_ns);
     CheckWatermarkStall();
     RefreshReplicationStats();
+    RefreshGovernorStats();
   }
+}
+
+void Server::RefreshGovernorStats() {
+  stats_.governor_global_bytes.store(memory_gauge_.used(),
+                                     std::memory_order_relaxed);
+  stats_.governor_peak_global_bytes.store(memory_gauge_.peak(),
+                                          std::memory_order_relaxed);
+  if (admission_ != nullptr) {
+    const AdmissionStats& a = admission_->stats();
+    stats_.admission_rejected_short.store(a.rejected_short.load(),
+                                          std::memory_order_relaxed);
+    stats_.admission_rejected_long.store(a.rejected_long.load(),
+                                         std::memory_order_relaxed);
+    stats_.admission_queue_depth.store(admission_->queued(),
+                                       std::memory_order_relaxed);
+  }
+}
+
+void Server::WatchdogLoop() {
+  const int64_t grace_ns =
+      static_cast<int64_t>(config_.watchdog_grace_ms * 1e6);
+  while (!stop_watchdog_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    int64_t now = QueryContext::NowNanos();
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [sid, entry] : sessions_) {
+      Session& s = *entry.session;
+      if (s.done.load(std::memory_order_acquire)) continue;
+      std::lock_guard<std::mutex> il(s.inflight_mu);
+      for (auto& [qid, q] : s.inflight) {
+        if (q.killed) continue;
+        int64_t dl = q.ctx->deadline_nanos();
+        if (dl == 0 || now < dl + grace_ns) continue;
+        // Past deadline + grace: either the query is stuck between
+        // cooperative checkpoints or a worker never picked up the
+        // cancellation. Force the flag (idempotent) and report it.
+        q.killed = true;
+        q.ctx->Cancel();
+        stats_.governor_killed.fetch_add(1, std::memory_order_relaxed);
+        size_t peak =
+            q.ctx->budget() != nullptr ? q.ctx->budget()->peak() : 0;
+        std::fprintf(stderr,
+                     "[ges_server] watchdog killed query %llu (%s) on "
+                     "session %llu: running %.1fms past its deadline "
+                     "(grace %.1fms), peak_memory=%zu bytes\n",
+                     static_cast<unsigned long long>(qid), q.name.c_str(),
+                     static_cast<unsigned long long>(sid), (now - dl) / 1e6,
+                     config_.watchdog_grace_ms, peak);
+      }
+    }
+  }
+}
+
+uint32_t Server::KillQuery(uint64_t query_id) {
+  uint32_t killed = 0;
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  for (auto& [sid, entry] : sessions_) {
+    Session& s = *entry.session;
+    if (s.done.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> il(s.inflight_mu);
+    auto it = s.inflight.find(query_id);
+    if (it != s.inflight.end() && !it->second.killed) {
+      it->second.killed = true;
+      it->second.ctx->Cancel();
+      ++killed;
+    }
+  }
+  if (killed > 0) {
+    stats_.governor_killed.fetch_add(killed, std::memory_order_relaxed);
+  }
+  return killed;
 }
 
 void Server::MaybeRefreshStats(int64_t* last_stats_ns) {
@@ -440,7 +542,7 @@ bool Server::SendToSession(Session* session, const std::string& payload) {
 
 void Server::CancelInflight(Session* session) {
   std::lock_guard<std::mutex> lk(session->inflight_mu);
-  for (auto& [id, ctx] : session->inflight) ctx->Cancel();
+  for (auto& [id, q] : session->inflight) q.ctx->Cancel();
 }
 
 void Server::HandleConnection(std::shared_ptr<Session> session) {
@@ -530,8 +632,21 @@ bool Server::HandleFrame(const std::shared_ptr<Session>& session,
       if (!in.ok()) return refuse("malformed cancel frame");
       std::lock_guard<std::mutex> lk(session->inflight_mu);
       auto it = session->inflight.find(id);
-      if (it != session->inflight.end()) it->second->Cancel();
+      if (it != session->inflight.end()) it->second.ctx->Cancel();
       return true;  // no response frame; the query answers CANCELLED
+    }
+    case MsgType::kKillQuery: {
+      // Admin force-kill (DESIGN.md §15): unlike kCancel this spans every
+      // session and answers with the number of queries actually shot, so
+      // an operator knows whether the id was still alive. Strict framing:
+      // an admin tool that appends junk is broken, not forward-versioned.
+      uint64_t id = in.GetU64();
+      if (!in.ok() || !in.AtEnd()) return refuse("malformed kill-query frame");
+      uint32_t killed = KillQuery(id);
+      WireBuf b;
+      b.PutU8(static_cast<uint8_t>(MsgType::kKillQueryOk));
+      b.PutU32(killed);
+      return SendToSession(session.get(), b.data());
     }
     case MsgType::kSubscribe:
       return HandleSubscribe(session, &in);
@@ -807,6 +922,35 @@ void Server::SyncPlanCacheStats() {
 void Server::AdmitQuery(const std::shared_ptr<Session>& session,
                         QueryRequest req) {
   stats_.queries_received.fetch_add(1, std::memory_order_relaxed);
+  const std::string name = QueryName(req);
+
+  // Watermark shedding (resource governor, DESIGN.md §15), decided BEFORE
+  // the query pins a snapshot or takes an inflight slot. Soft watermark:
+  // in-flight budgets already hold watermark bytes — refuse the long
+  // (memory-hungry) class and keep draining shorts, which finish fast and
+  // release. Hard watermark (125% of soft): the shorts-only diet did not
+  // stop the climb; refuse everything new and let in-flight work drain.
+  if (config_.memory_watermark_bytes > 0) {
+    size_t used = memory_gauge_.used();
+    size_t soft = config_.memory_watermark_bytes;
+    size_t hard = soft + soft / 4;
+    bool shed = used >= hard ||
+                (used >= soft && !cost_model_.IsShort(name));
+    if (shed) {
+      stats_.governor_shed.fetch_add(1, std::memory_order_relaxed);
+      stats_.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse resp;
+      resp.query_id = req.query_id;
+      resp.status = WireStatus::kOverloaded;
+      resp.message = "shed at the memory watermark: " + std::to_string(used) +
+                     " bytes in flight, " +
+                     (used >= hard ? "hard" : "soft") + " watermark " +
+                     std::to_string(used >= hard ? hard : soft) + " bytes";
+      resp.retry_after_ms = config_.shed_retry_after_ms;
+      SendToSession(session.get(), EncodeQueryResponse(resp));
+      return;
+    }
+  }
 
   // Read-your-writes floor (DESIGN.md §13): the request carries the
   // client's latest commit version. On a replica whose applier hasn't
@@ -853,6 +997,12 @@ void Server::AdmitQuery(const std::shared_ptr<Session>& session,
   // will read outlive the queue wait and every morsel worker.
   Version snapshot;
   auto ctx = std::make_shared<QueryContext>();
+  // Every query gets a budget (limit 0 = unlimited) so peak_memory_bytes
+  // and the global gauge are populated regardless of configuration. The
+  // budget lives exactly as long as the context: its destructor returns
+  // any bytes an exception unwind left charged to the global gauge.
+  ctx->AttachBudget(std::make_shared<MemoryBudget>(
+      config_.query_memory_limit_bytes, &memory_gauge_));
   {
     std::lock_guard<std::mutex> lk(session->snap_mu);
     snapshot = session->snapshot.load(std::memory_order_acquire);
@@ -866,7 +1016,8 @@ void Server::AdmitQuery(const std::shared_ptr<Session>& session,
   }
   {
     std::lock_guard<std::mutex> lk(session->inflight_mu);
-    session->inflight[req.query_id] = ctx;
+    session->inflight[req.query_id] = Session::InflightQuery{
+        ctx, name, QueryContext::NowNanos(), /*killed=*/false};
   }
   {
     std::lock_guard<std::mutex> lk(session->pending_mu);
@@ -892,12 +1043,15 @@ void Server::AdmitQuery(const std::shared_ptr<Session>& session,
   };
 
   QueryJob job;
-  job.name = QueryName(req);
+  job.name = name;
   job.run = [this, session, req, snapshot, ctx, guard] {
     Timer t;
     QueryResponse resp = ExecuteQuery(session.get(), req, snapshot, ctx.get());
     resp.query_id = req.query_id;
     resp.server_millis = t.ElapsedMillis();
+    if (ctx->budget() != nullptr) {
+      resp.peak_memory_bytes = ctx->budget()->peak();
+    }
     switch (resp.status) {
       case WireStatus::kOk:
         stats_.queries_ok.fetch_add(1, std::memory_order_relaxed);
@@ -905,6 +1059,13 @@ void Server::AdmitQuery(const std::shared_ptr<Session>& session,
       case WireStatus::kDeadlineExceeded:
       case WireStatus::kCancelled:
         stats_.queries_interrupted.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case WireStatus::kResourceExhausted:
+        // Only the budget produces RESOURCE_EXHAUSTED on this path
+        // (admission rejections never reach a worker): the governor
+        // terminated the query mid-flight.
+        stats_.queries_interrupted.fetch_add(1, std::memory_order_relaxed);
+        stats_.governor_killed.fetch_add(1, std::memory_order_relaxed);
         break;
       default:
         stats_.queries_error.fetch_add(1, std::memory_order_relaxed);
@@ -989,7 +1150,7 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
       }
       if (result.interrupted != InterruptReason::kNone) {
         resp.status = StatusOfInterrupt(result.interrupted);
-        resp.message = InterruptReasonName(result.interrupted);
+        resp.message = InterruptMessage(result.interrupted, ctx);
         return resp;
       }
       resp.table = std::move(result.table);
@@ -1071,19 +1232,64 @@ QueryResponse Server::ExecuteQuery(Session* session, const QueryRequest& req,
     case QueryKind::kSleep: {
       // Deterministic service-time stand-in for tests and benches: holds a
       // worker for `seed` ms but stays fully cancellation-responsive.
+      // `number` > 0 stretches the checkpoint interval to that many ms — a
+      // stand-in for an operator stuck between checkpoints, which is the
+      // gap the watchdog exists to cover.
+      const auto poll = std::chrono::microseconds(
+          req.number > 0 ? static_cast<int64_t>(req.number) * 1000 : 200);
       int64_t end =
           QueryContext::NowNanos() + static_cast<int64_t>(req.seed) * 1'000'000;
       while (QueryContext::NowNanos() < end) {
         InterruptReason r = ctx->Check();
         if (r != InterruptReason::kNone) {
           resp.status = StatusOfInterrupt(r);
-          resp.message = InterruptReasonName(r);
+          resp.message = InterruptMessage(r, ctx);
           return resp;
         }
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        std::this_thread::sleep_for(poll);
       }
       Schema s;
       s.Add("slept_ms", ValueType::kInt64);
+      resp.table = FlatBlock(std::move(s));
+      resp.table.AppendRow({Value::Int(static_cast<int64_t>(req.seed))});
+      return resp;
+    }
+    case QueryKind::kHog: {
+      // Governor diagnostic (the memory analogue of kSleep): allocate
+      // `seed` MiB of real, touched heap in 1 MiB budget-charged steps,
+      // hold it for `number` ms, release. Every step is a cooperative
+      // checkpoint, so a budget overrun or kill lands within one step.
+      const size_t kStep = 1u << 20;
+      const size_t target = static_cast<size_t>(req.seed) << 20;
+      MemoryBudget* budget = ctx->budget();
+      std::vector<std::vector<char>> slabs;
+      size_t charged = 0;
+      auto interrupted = [&](InterruptReason r) {
+        resp.status = StatusOfInterrupt(r);
+        resp.message = InterruptMessage(r, ctx);
+        if (budget != nullptr) budget->Release(charged);
+        return resp;
+      };
+      for (size_t got = 0; got < target; got += kStep) {
+        if (budget != nullptr) {
+          budget->Charge(kStep);
+          charged += kStep;
+        }
+        InterruptReason r = ctx->Check();
+        if (r != InterruptReason::kNone) return interrupted(r);
+        slabs.emplace_back(kStep, 'h');  // touched: real RSS, not a mapping
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      int64_t hold_end = QueryContext::NowNanos() +
+                         static_cast<int64_t>(req.number) * 1'000'000;
+      while (QueryContext::NowNanos() < hold_end) {
+        InterruptReason r = ctx->Check();
+        if (r != InterruptReason::kNone) return interrupted(r);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      if (budget != nullptr) budget->Release(charged);
+      Schema s;
+      s.Add("hogged_mb", ValueType::kInt64);
       resp.table = FlatBlock(std::move(s));
       resp.table.AppendRow({Value::Int(static_cast<int64_t>(req.seed))});
       return resp;
@@ -1185,7 +1391,7 @@ QueryResponse Server::ExecutePrepared(Session* session,
   }
   if (result.interrupted != InterruptReason::kNone) {
     resp.status = StatusOfInterrupt(result.interrupted);
-    resp.message = InterruptReasonName(result.interrupted);
+    resp.message = InterruptMessage(result.interrupted, ctx);
     return resp;
   }
   resp.table = std::move(result.table);
@@ -1234,6 +1440,8 @@ void Server::Drain(double grace_seconds) {
   }
   stop_reaper_.store(true, std::memory_order_release);
   if (reaper_.joinable()) reaper_.join();
+  stop_watchdog_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
   {
     std::lock_guard<std::mutex> lk(sessions_mu_);
     for (auto& [id, entry] : sessions_) {

@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "executor/executor.h"
 #include "frontend/plan_cache.h"
 #include "queries/ldbc.h"
@@ -95,6 +96,23 @@ struct ServiceConfig {
   // the applied version to catch up before answering LAGGING.
   double ryw_wait_ms = 50.0;
 
+  // --- resource governor (DESIGN.md §15) ---
+  // Per-query budget: a query whose charged intermediate state crosses
+  // this dies at its next cooperative checkpoint with RESOURCE_EXHAUSTED.
+  // 0 = unlimited (usage is still tracked and fed to the global gauge).
+  size_t query_memory_limit_bytes = 0;
+  // Soft watermark on the process-wide gauge: at admission, once the sum
+  // of all in-flight budgets reaches this, *long* queries are shed with
+  // OVERLOADED (+ retry_after_ms hint); at 125% of it (the hard
+  // watermark) everything is shed. 0 disables shedding.
+  size_t memory_watermark_bytes = 0;
+  // Watchdog: an in-flight query still running this long past its own
+  // deadline has ignored cooperative cancellation for too long — it is
+  // force-cancelled and logged as a slow-query report. <= 0 disables.
+  double watchdog_grace_ms = 0;
+  // Backoff hint attached to OVERLOADED refusals.
+  uint32_t shed_retry_after_ms = 100;
+
   // --- prepared statements + statistics (DESIGN.md §14) ---
   // Capacity of the shared plan cache (entries keyed by normalized query
   // text); 0 disables caching — every Execute re-plans.
@@ -128,6 +146,21 @@ struct ServiceStats {
   // many distinct offenders were flagged.
   std::atomic<uint64_t> watermark_held_by_session{0};
   std::atomic<uint64_t> watermark_stalls{0};
+
+  // Resource governor (DESIGN.md §15). `governor_killed` counts queries
+  // the governor terminated (budget overruns, watchdog force-cancels,
+  // admin kills); `governor_shed` counts admission refusals at the memory
+  // watermark. The byte gauges mirror the process-wide GlobalMemoryGauge
+  // on the reaper cadence.
+  std::atomic<uint64_t> governor_killed{0};
+  std::atomic<uint64_t> governor_shed{0};
+  std::atomic<uint64_t> governor_global_bytes{0};       // gauge: in use now
+  std::atomic<uint64_t> governor_peak_global_bytes{0};  // gauge: lifetime peak
+  // Admission per-class detail mirrored from AdmissionStats (reaper
+  // cadence), plus the current queue depth.
+  std::atomic<uint64_t> admission_rejected_short{0};
+  std::atomic<uint64_t> admission_rejected_long{0};
+  std::atomic<uint64_t> admission_queue_depth{0};
 
   // Plan cache (gauges mirrored from the shared PlanCache after every
   // prepare / prepared execution).
@@ -222,8 +255,16 @@ class Server {
     std::mutex param_mu;
     std::unordered_map<std::string, std::string> params;
 
+    // One admitted-but-unanswered query, as seen by control frames
+    // (kCancel/kKillQuery) and the governor's watchdog sweep.
+    struct InflightQuery {
+      std::shared_ptr<QueryContext> ctx;
+      std::string name;         // cost-model key, e.g. "IC5"
+      int64_t admitted_ns = 0;  // when the query entered admission
+      bool killed = false;      // watchdog already shot it (log/count once)
+    };
     std::mutex inflight_mu;
-    std::unordered_map<uint64_t, std::shared_ptr<QueryContext>> inflight;
+    std::unordered_map<uint64_t, InflightQuery> inflight;
 
     // Prepared-statement handles (kPrepare/kExecute). Handles are scoped
     // to the session and die with it; the plan templates they point into
@@ -253,6 +294,16 @@ class Server {
 
   void AcceptLoop();
   void ReaperLoop();
+  // Governor watchdog (own thread, started only when watchdog_grace_ms >
+  // 0): sweeps every session's in-flight queries and force-cancels any
+  // still running past deadline + grace, logging a slow-query report.
+  void WatchdogLoop();
+  // Cancels every in-flight query (any session) with this client-assigned
+  // id; returns how many were cancelled. Backs the kKillQuery admin frame.
+  uint32_t KillQuery(uint64_t query_id);
+  // Mirrors the global memory gauge + admission counters into
+  // ServiceStats (reaper cadence).
+  void RefreshGovernorStats();
   // Reaper-thread helpers: idle-session reaping (only when
   // idle_timeout_seconds > 0), the GC driver (interval + byte trigger),
   // and the watermark-stall detector. All run on the reaper cadence.
@@ -316,12 +367,18 @@ class Server {
   QueryCostModel cost_model_;
   std::unique_ptr<AdmissionQueue> admission_;
 
+  // Process-wide governor gauge; every query budget mirrors into it.
+  // Outlives all sessions (declared before them, destroyed after Drain).
+  GlobalMemoryGauge memory_gauge_;
+
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_reaper_{false};
+  std::atomic<bool> stop_watchdog_{false};
   std::thread acceptor_;
   std::thread reaper_;
+  std::thread watchdog_;
 
   mutable std::mutex sessions_mu_;
   std::unordered_map<uint64_t, SessionEntry> sessions_;

@@ -92,6 +92,16 @@ void ReplyOk(int conn, uint64_t query_id) {
   WriteFrame(conn, EncodeQueryResponse(resp));
 }
 
+// Replies with a non-OK status (a governor refusal) and a retry-after hint.
+void ReplyStatus(int conn, uint64_t query_id, WireStatus status,
+                 uint32_t retry_after_ms = 0) {
+  QueryResponse resp;
+  resp.query_id = query_id;
+  resp.status = status;
+  resp.retry_after_ms = retry_after_ms;
+  WriteFrame(conn, EncodeQueryResponse(resp));
+}
+
 // Grabs an ephemeral port that nothing listens on (bind + close).
 uint16_t FreePort() {
   Listener l;
@@ -245,6 +255,128 @@ TEST(ClientRetryTest, ReadRetriedAfterPartialResponseFrame) {
   EXPECT_EQ(queries_seen.load(), 2);
   c.Close();
   server.join();
+}
+
+TEST(ClientRetryTest, OverloadedReadRetriedHonoringRetryAfterHint) {
+  Listener listener;
+  std::atomic<int> queries_seen{0};
+  std::thread server([&listener, &queries_seen] {
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    // Watermark shed: refuse with a hint, then accept the retry on the
+    // SAME connection (a shed is a clean response, not a broken socket).
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ReplyStatus(conn, req.query_id, WireStatus::kOverloaded,
+                /*retry_after_ms=*/80);
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ReplyOk(conn, req.query_id);
+    std::string payload;
+    ReadFrame(conn, &payload);  // drain the Bye, if any
+    ::close(conn);
+  });
+
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 3;
+  p.base_backoff_ms = 1;  // tiny: the 80 ms hint must dominate
+  c.set_retry_policy(p);
+  ASSERT_TRUE(c.Connect("127.0.0.1", listener.port()));
+
+  QueryRequest req;
+  req.query_id = c.AllocQueryId();
+  req.kind = QueryKind::kIS;
+  req.number = 1;
+  QueryResponse resp;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(c.Run(req, &resp)) << c.last_error();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(queries_seen.load(), 2);
+  EXPECT_GE(ms, 70) << "the server's retry-after hint is a backoff floor";
+  c.Close();
+  server.join();
+}
+
+TEST(ClientRetryTest, ResourceExhaustedReadRetried) {
+  Listener listener;
+  std::atomic<int> queries_seen{0};
+  std::thread server([&listener, &queries_seen] {
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    // A budget kill / admission backpressure, then recovery.
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ReplyStatus(conn, req.query_id, WireStatus::kResourceExhausted);
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ReplyOk(conn, req.query_id);
+    std::string payload;
+    ReadFrame(conn, &payload);  // drain the Bye, if any
+    ::close(conn);
+  });
+
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 3;
+  p.base_backoff_ms = 5;
+  c.set_retry_policy(p);
+  ASSERT_TRUE(c.Connect("127.0.0.1", listener.port()));
+
+  QueryRequest req;
+  req.query_id = c.AllocQueryId();
+  req.kind = QueryKind::kIS;
+  req.number = 1;
+  QueryResponse resp;
+  EXPECT_TRUE(c.Run(req, &resp)) << c.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(queries_seen.load(), 2);
+  c.Close();
+  server.join();
+}
+
+TEST(ClientRetryTest, OverloadedUpdateIsNotRetried) {
+  Listener listener;
+  std::atomic<int> queries_seen{0};
+  std::atomic<int> bogus_retries{0};
+  std::thread server([&listener, &queries_seen, &bogus_retries] {
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(Handshake(conn));
+    QueryRequest req;
+    ASSERT_TRUE(ReadQuery(conn, &req));
+    queries_seen.fetch_add(1);
+    ReplyStatus(conn, req.query_id, WireStatus::kOverloaded,
+                /*retry_after_ms=*/10);
+    // Anything further that parses as a query is an illegal retry;
+    // the only legitimate next frame is the kBye from Close().
+    if (ReadQuery(conn, &req)) bogus_retries.fetch_add(1);
+    ::close(conn);
+  });
+
+  Client c;
+  RetryPolicy p;
+  p.max_retries = 3;  // retries ON — the update must still not retry
+  p.base_backoff_ms = 5;
+  c.set_retry_policy(p);
+  ASSERT_TRUE(c.Connect("127.0.0.1", listener.port()));
+
+  // The refusal is a clean response, so Run() reports delivery success and
+  // surfaces the status for the caller to decide — exactly once.
+  QueryResponse resp;
+  EXPECT_TRUE(c.RunIU(1, /*seed=*/42, &resp)) << c.last_error();
+  EXPECT_EQ(resp.status, WireStatus::kOverloaded);
+  EXPECT_EQ(queries_seen.load(), 1);
+  c.Close();
+  server.join();
+  EXPECT_EQ(bogus_retries.load(), 0) << "refused update was re-sent";
 }
 
 TEST(ClientRetryTest, RoutedReadFailsOverToAnotherEndpoint) {

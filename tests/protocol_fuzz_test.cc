@@ -270,6 +270,64 @@ TEST_F(FuzzServer, MalformedExecuteFramesAnswerStatusNotCrash) {
   ExpectServerHealthy();
 }
 
+TEST_F(FuzzServer, MalformedKillQueryFramesGetErrorFrames) {
+  // The admin kill frame is strictly framed: exactly one u64 id. Anything
+  // shorter or longer is refused with a clean error frame.
+  struct Case {
+    std::string name;
+    std::string body;
+  };
+  std::vector<Case> cases;
+  {
+    WireBuf b;  // no id at all
+    b.PutU8(static_cast<uint8_t>(MsgType::kKillQuery));
+    cases.push_back({"empty kill-query", b.Take()});
+  }
+  {
+    WireBuf b;  // half an id
+    b.PutU8(static_cast<uint8_t>(MsgType::kKillQuery));
+    b.PutU32(0x1234);
+    cases.push_back({"truncated kill-query", b.Take()});
+  }
+  {
+    WireBuf b;  // id plus trailing junk
+    b.PutU8(static_cast<uint8_t>(MsgType::kKillQuery));
+    b.PutU64(42);
+    b.PutU32(0xdead);
+    cases.push_back({"oversupplied kill-query", b.Take()});
+  }
+  for (const Case& c : cases) {
+    int fd = ConnectRaw();
+    WriteRaw(fd, LengthPrefix(static_cast<uint32_t>(c.body.size())) + c.body);
+    std::string payload;
+    ASSERT_EQ(ReadFrame(fd, &payload), ReadResult::kOk) << c.name;
+    WireReader in(payload);
+    EXPECT_EQ(static_cast<MsgType>(in.GetU8()), MsgType::kError) << c.name;
+    EXPECT_EQ(static_cast<WireStatus>(in.GetU8()),
+              WireStatus::kInvalidArgument)
+        << c.name;
+    ::close(fd);
+  }
+
+  // A well-formed kill for an id that does not exist is NOT an error: it
+  // answers kKillQueryOk with a zero count.
+  {
+    int fd = ConnectRaw();
+    WireBuf b;
+    b.PutU8(static_cast<uint8_t>(MsgType::kKillQuery));
+    b.PutU64(0x4242424242424242ull);
+    std::string body = b.Take();
+    WriteRaw(fd, LengthPrefix(static_cast<uint32_t>(body.size())) + body);
+    std::string payload;
+    ASSERT_EQ(ReadFrame(fd, &payload), ReadResult::kOk);
+    WireReader in(payload);
+    EXPECT_EQ(static_cast<MsgType>(in.GetU8()), MsgType::kKillQueryOk);
+    EXPECT_EQ(in.GetU32(), 0u);
+    ::close(fd);
+  }
+  ExpectServerHealthy();
+}
+
 TEST_F(FuzzServer, RandomByteStreamsDontWedgeTheServer) {
   uint64_t seed = 0x5eed5eed5eed5eedull;
   for (int conn = 0; conn < 24; ++conn) {
