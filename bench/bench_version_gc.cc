@@ -104,9 +104,10 @@ SoakResult RunSoak(Mode mode, int txns, int gc_every) {
       auto rstart = std::chrono::steady_clock::now();
       Version v = g.CurrentVersion();
       uint64_t sink = 0;
+      AdjScratch adj;
       for (int k = 0; k < 8; ++k) {
         VertexId probe = s.hot[(i + k * 7) % kHotVertices];
-        AdjSpan span = g.Neighbors(s.link_out, probe, v);
+        AdjSpan span = g.Neighbors(s.link_out, probe, v, &adj);
         for (uint32_t j = 0; j < span.size; ++j) sink += span.ids[j];
         sink += static_cast<uint64_t>(
             g.GetProperty(probe, s.val, v).AsInt());

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     std::printf("  %-10s %-10s score %.5f (%u friends)\n",
                 view.Property(v, s.first_name).AsString().c_str(),
                 view.Property(v, s.last_name).AsString().c_str(),
-                pr.scores[order[i]], view.Neighbors(knows, v).size);
+                pr.scores[order[i]], view.Degree(knows, v));
   }
 
   // --- communities ---

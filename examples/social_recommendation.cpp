@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   VertexId start = data.persons[0];
   uint32_t best = 0;
   for (VertexId p : data.persons) {
-    uint32_t deg = view.Neighbors(ctx.knows, p).size;
+    uint32_t deg = view.Degree(ctx.knows, p);
     if (deg > best) {
       best = deg;
       start = p;

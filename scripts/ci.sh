@@ -3,9 +3,10 @@
 # CMakeLists.txt sanitizer comment, in runnable form):
 #
 #   1. Release            — full test suite (the tier-1 gate)
-#   2. GES_SANITIZE=thread    — concurrency / gc / replication / planner
-#      labels (the replication stream + semisync ack path and the shared
-#      plan cache's lookup/insert/invalidate races must be TSan-clean)
+#   2. GES_SANITIZE=thread    — concurrency / gc / replication / planner /
+#      compaction labels (the replication stream + semisync ack path, the
+#      shared plan cache's lookup/insert/invalidate races, and the
+#      delta-merge segment swap under churn must be TSan-clean)
 #   3. GES_SANITIZE=undefined — kernels / executor / durability labels
 #      plus one pass of bench_filter_selectivity (GES_ITERS=1): the WAL
 #      codec and CRC32C are bit-twiddling-heavy
@@ -42,10 +43,10 @@ for flavor in "${FLAVORS[@]}"; do
       "$ROOT/release/bench/bench_plan_cache"
       ;;
     tsan)
-      echo "=== [ci] ThreadSanitizer: concurrency|gc|replication|planner ==="
+      echo "=== [ci] ThreadSanitizer: concurrency|gc|replication|planner|compaction ==="
       build "$ROOT/tsan" -DGES_SANITIZE=thread
       ctest --test-dir "$ROOT/tsan" --output-on-failure -j "$JOBS" \
-        -L 'concurrency|gc|replication|planner'
+        -L 'concurrency|gc|replication|planner|compaction'
       ;;
     ubsan)
       echo "=== [ci] UBSan: kernels|executor|durability + WAL-heavy bench ==="

@@ -32,11 +32,13 @@ PageRankResult PageRank(const GraphView& view, LabelId label,
   result.scores.assign(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
   if (n == 0) return result;
 
-  // Out-degrees restricted to in-label targets.
+  // Out-degrees restricted to in-label targets. Spans are drained before
+  // the next fetch, so one decode scratch serves the whole kernel.
+  AdjScratch adj;
   std::vector<uint32_t> out_degree(n, 0);
   for (size_t i = 0; i < n; ++i) {
     for (RelationId rel : out_rels) {
-      AdjSpan span = view.Neighbors(rel, dense.vertices[i]);
+      AdjSpan span = view.Neighbors(rel, dense.vertices[i], &adj);
       for (uint32_t k = 0; k < span.size; ++k) {
         if (span.ids[k] == kInvalidVertex) continue;
         if (dense.index.count(span.ids[k]) != 0) ++out_degree[i];
@@ -58,7 +60,7 @@ PageRankResult PageRank(const GraphView& view, LabelId label,
       double share =
           damping * result.scores[i] / static_cast<double>(out_degree[i]);
       for (RelationId rel : out_rels) {
-        AdjSpan span = view.Neighbors(rel, dense.vertices[i]);
+        AdjSpan span = view.Neighbors(rel, dense.vertices[i], &adj);
         for (uint32_t k = 0; k < span.size; ++k) {
           auto it2 = dense.index.find(span.ids[k]);
           if (it2 == dense.index.end()) continue;
@@ -79,6 +81,7 @@ WccResult WeaklyConnectedComponents(const GraphView& view, LabelId label,
   result.vertices = dense.vertices;
   result.component.assign(n, kInvalidVertex);
 
+  AdjScratch adj;
   for (size_t start = 0; start < n; ++start) {
     if (result.component[start] != kInvalidVertex) continue;
     // BFS labeling with the minimum VertexId of the component; the start
@@ -94,7 +97,7 @@ WccResult WeaklyConnectedComponents(const GraphView& view, LabelId label,
       members.push_back(u);
       min_id = std::min(min_id, dense.vertices[u]);
       for (RelationId rel : rels) {
-        AdjSpan span = view.Neighbors(rel, dense.vertices[u]);
+        AdjSpan span = view.Neighbors(rel, dense.vertices[u], &adj);
         for (uint32_t k = 0; k < span.size; ++k) {
           auto it = dense.index.find(span.ids[k]);
           if (it == dense.index.end()) continue;
@@ -117,8 +120,9 @@ uint64_t CountTriangles(const GraphView& view, LabelId label,
   // Sorted neighbor lists restricted to higher-indexed vertices ("forward"
   // edges); intersect forward lists of edge endpoints.
   std::vector<std::vector<uint32_t>> fwd(n);
+  AdjScratch adj;
   for (size_t i = 0; i < n; ++i) {
-    AdjSpan span = view.Neighbors(symmetric_rel, dense.vertices[i]);
+    AdjSpan span = view.Neighbors(symmetric_rel, dense.vertices[i], &adj);
     for (uint32_t k = 0; k < span.size; ++k) {
       auto it = dense.index.find(span.ids[k]);
       if (it == dense.index.end()) continue;
@@ -190,10 +194,13 @@ uint64_t CountTrianglesIntersect(const GraphView& view, LabelId label,
                                  IntersectOpStats* stats) {
   DenseIndex dense(view, label);
   std::vector<VertexId> scratch_u, scratch_v;
+  // Distinct decode scratches: NormalizeSpan keeps sorted_clean spans in
+  // place, and `su` stays live across the inner `sv` fetches.
+  AdjScratch adj_u, adj_v;
   uint64_t triangles = 0;
   for (VertexId u : dense.vertices) {
     SortedList su =
-        NormalizeSpan(view.Neighbors(symmetric_rel, u), &scratch_u);
+        NormalizeSpan(view.Neighbors(symmetric_rel, u, &adj_u), &scratch_u);
     for (uint32_t i = 0; i < su.size; ++i) {
       VertexId v = su.ids[i];
       if (v <= u) continue;
@@ -201,7 +208,7 @@ uint64_t CountTrianglesIntersect(const GraphView& view, LabelId label,
       if (dense.index.count(v) == 0) continue;
       if (stats != nullptr) ++stats->probes;
       SortedList sv =
-          NormalizeSpan(view.Neighbors(symmetric_rel, v), &scratch_v);
+          NormalizeSpan(view.Neighbors(symmetric_rel, v, &adj_v), &scratch_v);
       // Common neighbors w > v close a triangle u < v < w exactly once.
       uint32_t a = GallopLowerBound(su.ids, su.size, i + 1, v + 1, stats);
       uint32_t b = GallopLowerBound(sv.ids, sv.size, 0, v + 1, stats);
@@ -215,10 +222,11 @@ uint64_t CountDiamonds(const GraphView& view, LabelId label,
                        RelationId symmetric_rel, IntersectOpStats* stats) {
   DenseIndex dense(view, label);
   std::vector<VertexId> scratch_u, scratch_v;
+  AdjScratch adj_u, adj_v;
   uint64_t diamonds = 0;
   for (VertexId u : dense.vertices) {
     SortedList su =
-        NormalizeSpan(view.Neighbors(symmetric_rel, u), &scratch_u);
+        NormalizeSpan(view.Neighbors(symmetric_rel, u, &adj_u), &scratch_u);
     for (uint32_t i = 0; i < su.size; ++i) {
       VertexId v = su.ids[i];
       if (v <= u) continue;  // each edge once
@@ -226,7 +234,7 @@ uint64_t CountDiamonds(const GraphView& view, LabelId label,
       if (dense.index.count(v) == 0) continue;
       if (stats != nullptr) ++stats->probes;
       SortedList sv =
-          NormalizeSpan(view.Neighbors(symmetric_rel, v), &scratch_v);
+          NormalizeSpan(view.Neighbors(symmetric_rel, v, &adj_v), &scratch_v);
       // Every unordered pair of common neighbors spans a diamond whose
       // chord is (u, v).
       uint64_t c = IntersectCount(su, 0, sv, 0, dense.index, stats);
@@ -244,8 +252,9 @@ uint64_t CountFourCycles(const GraphView& view, LabelId label,
   // each 4-cycle is counted once per opposite pair (exactly two of them).
   std::unordered_map<uint64_t, uint32_t> codeg;
   std::vector<uint32_t> nbrs;
+  AdjScratch adj;
   for (size_t i = 0; i < n; ++i) {
-    AdjSpan span = view.Neighbors(symmetric_rel, dense.vertices[i]);
+    AdjSpan span = view.Neighbors(symmetric_rel, dense.vertices[i], &adj);
     nbrs.clear();
     for (uint32_t k = 0; k < span.size; ++k) {
       if (span.ids[k] == kInvalidVertex) continue;
@@ -274,13 +283,14 @@ std::unordered_map<VertexId, int> BfsDistances(
   std::unordered_map<VertexId, int> dist;
   dist[source] = 0;
   std::deque<VertexId> queue{source};
+  AdjScratch adj;
   while (!queue.empty()) {
     VertexId u = queue.front();
     queue.pop_front();
     int d = dist[u];
     if (max_depth >= 0 && d >= max_depth) continue;
     for (RelationId rel : rels) {
-      AdjSpan span = view.Neighbors(rel, u);
+      AdjSpan span = view.Neighbors(rel, u, &adj);
       for (uint32_t k = 0; k < span.size; ++k) {
         VertexId w = span.ids[k];
         if (w == kInvalidVertex || dist.count(w) != 0) continue;
@@ -297,8 +307,9 @@ std::vector<uint64_t> DegreeHistogram(const GraphView& view, LabelId label,
   std::vector<VertexId> vertices;
   view.ScanLabel(label, &vertices);
   std::vector<uint64_t> histogram;
+  AdjScratch adj;
   for (VertexId v : vertices) {
-    AdjSpan span = view.Neighbors(rel, v);
+    AdjSpan span = view.Neighbors(rel, v, &adj);
     uint32_t degree = 0;
     for (uint32_t k = 0; k < span.size; ++k) {
       if (span.ids[k] != kInvalidVertex) ++degree;

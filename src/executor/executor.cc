@@ -34,7 +34,7 @@ namespace {
 template <typename Set, typename Vec>
 void BfsCollect(const GraphView& view, const std::vector<RelationId>& rels,
                 VertexId src, int min_hops, int max_hops, Set& visited,
-                Vec& frontier, Vec& next,
+                Vec& frontier, Vec& next, AdjScratch* adj,
                 std::vector<std::pair<VertexId, int>>* out,
                 std::vector<int64_t>* stamps) {
   visited.insert(src);
@@ -43,7 +43,8 @@ void BfsCollect(const GraphView& view, const std::vector<RelationId>& rels,
     next.clear();
     for (VertexId v : frontier) {
       for (RelationId rel : rels) {
-        AdjSpan span = view.Neighbors(rel, v);
+        // One scratch suffices: the span is consumed before the next fetch.
+        AdjSpan span = view.Neighbors(rel, v, adj);
         for (uint32_t i = 0; i < span.size; ++i) {
           VertexId id = span.ids[i];
           if (id == kInvalidVertex) continue;
@@ -71,9 +72,11 @@ void CollectNeighbors(const GraphView& view,
                       std::vector<std::pair<VertexId, int>>* out,
                       std::vector<int64_t>* stamps,
                       NeighborScratch* scratch) {
+  AdjScratch local_adj;
+  AdjScratch* adj = scratch != nullptr ? &scratch->adj : &local_adj;
   if (max_hops == 1 && !distinct) {
     for (RelationId rel : rels) {
-      AdjSpan span = view.Neighbors(rel, src);
+      AdjSpan span = view.Neighbors(rel, src, adj);
       for (uint32_t i = 0; i < span.size; ++i) {
         VertexId id = span.ids[i];
         if (id == kInvalidVertex) continue;
@@ -91,14 +94,14 @@ void CollectNeighbors(const GraphView& view,
     scratch->frontier.clear();
     scratch->next.clear();
     BfsCollect(view, rels, src, min_hops, max_hops, scratch->visited,
-               scratch->frontier, scratch->next, out, stamps);
+               scratch->frontier, scratch->next, adj, out, stamps);
     return;
   }
   std::unordered_set<VertexId> visited;
   std::vector<VertexId> frontier;
   std::vector<VertexId> next;
   BfsCollect(view, rels, src, min_hops, max_hops, visited, frontier, next,
-             out, stamps);
+             adj, out, stamps);
 }
 
 namespace {
@@ -430,9 +433,10 @@ FlatBlock FlatExpandInto(const FlatBlock& in, const PlanOp& op,
   int b = in.schema().IndexOf(op.other_column);
   assert(a >= 0 && b >= 0);
   FlatBlock out(in.schema());
+  AdjScratch adj;
   for (const auto& row : in.rows()) {
-    bool has =
-        view.HasEdge(op.rels, row[a].AsVertex(), row[b].AsVertex(), istats);
+    bool has = view.HasEdge(op.rels, row[a].AsVertex(), row[b].AsVertex(),
+                            istats, &adj);
     if (has != op.anti) out.AppendRow(row);
   }
   return out;

@@ -174,6 +174,9 @@ struct NeighborScratch {
   Set visited;
   Vec frontier;
   Vec next;
+  // Decode buffer for compressed-segment adjacency (heap, not arena: the
+  // vectors manage their own capacity across clear/refill cycles).
+  AdjScratch adj;
 };
 
 // Collects the (multi-hop) neighbors of `src` via the union of `rels`,

@@ -69,6 +69,7 @@ class IntersectExpandRunner {
     size_t lists = 0;
     for (const auto& rels : op.probe_rels) lists += rels.size();
     scratch_.resize(lists);
+    adj_scratch_.resize(lists);
   }
 
   template <typename Emit>
@@ -79,8 +80,12 @@ class IntersectExpandRunner {
     size_t li = 0;
     for (size_t c = 0; c < op_->probe_rels.size(); ++c) {
       for (RelationId rel : op_->probe_rels[c]) {
-        lists_.push_back(
-            NormalizeSpan(view.Neighbors(rel, probe_vals[c]), &scratch_[li]));
+        // Per-list decode scratch: every bound probe list stays live for
+        // the whole leapfrog walk (NormalizeSpan keeps sorted_clean spans
+        // in place, decoded segment spans included).
+        lists_.push_back(NormalizeSpan(
+            view.Neighbors(rel, probe_vals[c], &adj_scratch_[li]),
+            &scratch_[li]));
         column_of_.push_back(static_cast<uint32_t>(c));
         ++li;
       }
@@ -88,7 +93,7 @@ class IntersectExpandRunner {
     prober_.Bind(lists_, column_of_, op_->probe_rels.size());
     if (prober_.AnyColumnEmpty()) return;
     for (RelationId rel : op_->rels) {
-      AdjSpan span = view.Neighbors(rel, src);
+      AdjSpan span = view.Neighbors(rel, src, &driver_adj_);
       prober_.BeginDriverList();
       for (uint32_t i = 0; i < span.size; ++i) {
         VertexId w = span.ids[i];
@@ -106,6 +111,8 @@ class IntersectExpandRunner {
   std::vector<SortedList> lists_;
   std::vector<uint32_t> column_of_;
   std::vector<std::vector<VertexId>> scratch_;
+  std::vector<AdjScratch> adj_scratch_;
+  AdjScratch driver_adj_;
 };
 
 // Incremental hash-grouped aggregation shared by the flat engine, the

@@ -115,10 +115,21 @@ void FactScan(FactState* state, const PlanOp& op, const GraphView& view) {
 
 // --- Expand -------------------------------------------------------------
 
-// True if the lazy (pointer-based join) representation applies.
-bool CanExpandLazy(const PlanOp& op, const ExecOptions& options) {
-  return options.pointer_join && op.max_hops == 1 && !op.distinct &&
-         !op.exclude_start && op.distance_column.empty();
+// True if the lazy (pointer-based join) representation applies. Relations
+// with a compressed segment installed are excluded: their spans decode into
+// a transient scratch, so storing raw pointers would save nothing (the copy
+// happens either way — see the AppendOwnedSegment fallback below for the
+// race where a segment lands mid-operator).
+bool CanExpandLazy(const PlanOp& op, const ExecOptions& options,
+                   const GraphView& view) {
+  if (!(options.pointer_join && op.max_hops == 1 && !op.distinct &&
+        !op.exclude_start && op.distance_column.empty())) {
+    return false;
+  }
+  for (RelationId rel : op.rels) {
+    if (view.graph().RelationCompacted(rel)) return false;
+  }
+  return true;
 }
 
 void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
@@ -132,10 +143,11 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
   FTreeNode* child = tree.AddChild(src);
   child->parent_index.assign(rows, IndexRange{0, 0});
 
-  if (CanExpandLazy(op, options)) {
+  if (CanExpandLazy(op, options, view)) {
     // Pointer-based join: store (ptr, len) per source row, never copying
     // neighbor ids.
     child->block.InitLazy(op.out_column);
+    AdjScratch adj;
     uint64_t off = 0;
     for (size_t r = 0; r < rows; ++r) {
       if (!src->RowValid(r)) continue;
@@ -143,9 +155,21 @@ void FactExpand(FactState* state, const PlanOp& op, const GraphView& view,
       if (v == kInvalidVertex) continue;
       uint64_t begin = off;
       for (RelationId rel : op.rels) {
-        AdjSpan span = view.Neighbors(rel, v);
+        AdjSpan span = view.Neighbors(rel, v, &adj);
         if (span.size == 0) continue;
-        child->block.AppendSegment(span);
+        if (!adj.ids.empty() && span.ids == adj.ids.data()) {
+          // A compressed segment was installed between the CanExpandLazy
+          // check and this fetch: the span lives in the reusable decode
+          // scratch, so move the buffers into the block instead of storing
+          // a pointer that the next decode would clobber.
+          std::vector<int64_t> stamps;
+          if (span.stamps != nullptr) stamps = std::move(adj.stamps);
+          child->block.AppendOwnedSegment(std::move(adj.ids),
+                                          std::move(stamps));
+          adj = AdjScratch{};
+        } else {
+          child->block.AppendSegment(span);
+        }
         off += span.size;
       }
       child->parent_index[r] = IndexRange{begin, off};
@@ -442,6 +466,9 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
     // materialize into the column before filtering.
     std::vector<VertexId> cand;
     std::vector<IndexRange> cand_range(rows, IndexRange{0, 0});
+    // Each span is drained into `cand` before the next fetch, so one
+    // decode scratch serves every (row, rel) pair.
+    AdjScratch adj;
     // Governor charge point: the candidate buffer is the fused operator's
     // memory spike (every neighbor before filtering); charged as it grows,
     // released once survivors are compacted into the child block.
@@ -457,7 +484,7 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
       if (v == kInvalidVertex) continue;
       uint64_t begin = cand.size();
       for (RelationId rel : op.rels) {
-        AdjSpan span = view.Neighbors(rel, v);
+        AdjSpan span = view.Neighbors(rel, v, &adj);
         for (uint32_t i = 0; i < span.size; ++i) {
           if (span.ids[i] != kInvalidVertex) cand.push_back(span.ids[i]);
         }
@@ -510,6 +537,7 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
     cand_tracker.Update(0);  // survivors are charged by per-op accounting
   } else {
     BoundExpr pred = BoundExpr::Bind(*op.predicate, pred_schema);
+    AdjScratch adj;
     uint64_t off = 0;
     for (size_t r = 0; r < rows; ++r) {
       if ((r & 255u) == 0) ThrowIfInterrupted(options.context);
@@ -518,7 +546,7 @@ void FactExpandFiltered(FactState* state, const PlanOp& op,
       if (v == kInvalidVertex) continue;
       uint64_t begin = off;
       for (RelationId rel : op.rels) {
-        AdjSpan span = view.Neighbors(rel, v);
+        AdjSpan span = view.Neighbors(rel, v, &adj);
         for (uint32_t i = 0; i < span.size; ++i) {
           VertexId id = span.ids[i];
           if (id == kInvalidVertex) continue;

@@ -20,6 +20,8 @@ void FBlock::Materialize() {
   lazy_ = false;
   segments_.clear();
   segments_.shrink_to_fit();
+  owned_.clear();
+  owned_.shrink_to_fit();
   seg_offsets_.clear();
   seg_offsets_.shrink_to_fit();
 }
@@ -29,6 +31,10 @@ size_t FBlock::MemoryBytes() const {
   for (const ValueVector& c : columns_) bytes += c.MemoryBytes();
   bytes += segments_.capacity() * sizeof(AdjSpan) +
            seg_offsets_.capacity() * sizeof(uint64_t);
+  for (const auto& o : owned_) {
+    bytes += sizeof(AdjScratch) + o->ids.capacity() * sizeof(VertexId) +
+             o->stamps.capacity() * sizeof(int64_t);
+  }
   return bytes;
 }
 

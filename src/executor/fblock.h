@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/value.h"
@@ -63,6 +64,20 @@ class FBlock {
   void AppendSegment(AdjSpan span) {
     segments_.push_back(span);
     seg_offsets_.push_back(seg_offsets_.back() + span.size);
+  }
+  // Appends a segment whose storage the block owns. Used when the span was
+  // decoded from a compressed adjacency segment (DESIGN.md §16): the decode
+  // scratch is reused on the next fetch, so the ids/stamps must move into
+  // the block to stay valid for the block's lifetime.
+  void AppendOwnedSegment(std::vector<VertexId> ids,
+                          std::vector<int64_t> stamps) {
+    owned_.push_back(
+        std::make_unique<AdjScratch>(AdjScratch{std::move(ids),
+                                                std::move(stamps)}));
+    const AdjScratch& o = *owned_.back();
+    AdjSpan span{o.ids.data(), o.stamps.empty() ? nullptr : o.stamps.data(),
+                 static_cast<uint32_t>(o.ids.size()), /*tombstones=*/0};
+    AppendSegment(span);
   }
   size_t NumSegments() const { return segments_.size(); }
   const AdjSpan& Segment(size_t i) const { return segments_[i]; }
@@ -153,6 +168,9 @@ class FBlock {
 
   bool lazy_ = false;
   std::vector<AdjSpan> segments_;
+  // Backing storage for AppendOwnedSegment spans (unique_ptr: spans hold
+  // raw pointers into the buffers, which must not move on vector growth).
+  std::vector<std::unique_ptr<AdjScratch>> owned_;
   std::vector<uint64_t> seg_offsets_;
   mutable std::atomic<size_t> last_seg_{0};
 };

@@ -23,8 +23,15 @@ class GraphView {
   const Graph& graph() const { return *graph_; }
   Version version() const { return version_; }
 
-  AdjSpan Neighbors(RelationId rel, VertexId v) const {
-    return graph_->Neighbors(rel, v, version_);
+  // `scratch` backs decoding when the relation has a compressed segment
+  // installed (DESIGN.md §16); the returned span is valid until the scratch
+  // is reused. Call sites holding one span at a time reuse one scratch.
+  AdjSpan Neighbors(RelationId rel, VertexId v,
+                    AdjScratch* scratch = nullptr) const {
+    return graph_->Neighbors(rel, v, version_, scratch);
+  }
+  uint32_t Degree(RelationId rel, VertexId v) const {
+    return graph_->Degree(rel, v, version_);
   }
   Value Property(VertexId v, PropertyId p) const {
     return graph_->GetProperty(v, p, version_);
@@ -46,11 +53,13 @@ class GraphView {
 
   // True if an edge v -> w exists in any of `rels` (tombstones skipped).
   // Galloping search over the sorted neighbor list (linear only for the
-  // rare tombstoned base span); `stats` may be null.
+  // rare tombstoned base span); `stats` may be null. The probe consumes
+  // each span before fetching the next, so one scratch serves all rels.
   bool HasEdge(const std::vector<RelationId>& rels, VertexId v, VertexId w,
-               IntersectOpStats* stats = nullptr) const {
+               IntersectOpStats* stats = nullptr,
+               AdjScratch* scratch = nullptr) const {
     for (RelationId rel : rels) {
-      if (SpanContains(Neighbors(rel, v), w, stats)) return true;
+      if (SpanContains(Neighbors(rel, v, scratch), w, stats)) return true;
     }
     return false;
   }

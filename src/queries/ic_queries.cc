@@ -260,10 +260,11 @@ int BfsDistance(const GraphView& view, RelationId knows, VertexId a,
   std::deque<std::pair<VertexId, int>> queue;
   queue.emplace_back(a, 0);
   parent[a] = a;
+  AdjScratch adj;
   while (!queue.empty()) {
     auto [v, d] = queue.front();
     queue.pop_front();
-    AdjSpan span = view.Neighbors(knows, v);
+    AdjSpan span = view.Neighbors(knows, v, &adj);
     for (uint32_t i = 0; i < span.size; ++i) {
       VertexId w = span.ids[i];
       if (w == kInvalidVertex || parent.count(w) != 0) continue;
@@ -330,12 +331,13 @@ Plan IC14(const LdbcContext& c, const LdbcParams& p) {
     std::deque<VertexId> queue{src};
     dist[src] = 0;
     int found_at = -1;
+    AdjScratch adj;
     while (!queue.empty()) {
       VertexId v = queue.front();
       queue.pop_front();
       int d = dist[v];
       if (found_at >= 0 && d >= found_at) break;
-      AdjSpan span = view.Neighbors(ctx.knows, v);
+      AdjSpan span = view.Neighbors(ctx.knows, v, &adj);
       for (uint32_t i = 0; i < span.size; ++i) {
         VertexId w = span.ids[i];
         if (w == kInvalidVertex) continue;
@@ -370,8 +372,12 @@ Plan IC14(const LdbcContext& c, const LdbcParams& p) {
     };
     walk(dst);
 
-    // Interaction weight of an adjacent pair, cached.
+    // Interaction weight of an adjacent pair, cached. Three nesting levels
+    // of live spans (comments -> reply chain -> creator), so each level
+    // gets its own decode scratch; `rp` is drained before `rc` is fetched,
+    // so the middle level shares one.
     std::unordered_map<uint64_t, double> pair_weight;
+    AdjScratch adj_comments, adj_reply, adj_creator;
     auto weight_of = [&](VertexId a, VertexId bb) {
       uint64_t key = a < bb ? (a << 32 | bb) : (bb << 32 | a);
       auto it = pair_weight.find(key);
@@ -379,23 +385,27 @@ Plan IC14(const LdbcContext& c, const LdbcParams& p) {
       double w = 0;
       for (auto [x, y] : {std::pair<VertexId, VertexId>{a, bb},
                           std::pair<VertexId, VertexId>{bb, a}}) {
-        AdjSpan comments = view.Neighbors(ctx.person_comments, x);
+        AdjSpan comments =
+            view.Neighbors(ctx.person_comments, x, &adj_comments);
         for (uint32_t i = 0; i < comments.size; ++i) {
           VertexId cmt = comments.ids[i];
           if (cmt == kInvalidVertex) continue;
-          AdjSpan rp = view.Neighbors(ctx.comment_reply_of_post, cmt);
+          AdjSpan rp =
+              view.Neighbors(ctx.comment_reply_of_post, cmt, &adj_reply);
           for (uint32_t j = 0; j < rp.size; ++j) {
             if (rp.ids[j] == kInvalidVertex) continue;
-            AdjSpan creator = view.Neighbors(ctx.post_has_creator, rp.ids[j]);
+            AdjSpan creator =
+                view.Neighbors(ctx.post_has_creator, rp.ids[j], &adj_creator);
             for (uint32_t k = 0; k < creator.size; ++k) {
               if (creator.ids[k] == y) w += 1.0;
             }
           }
-          AdjSpan rc = view.Neighbors(ctx.comment_reply_of_comment, cmt);
+          AdjSpan rc =
+              view.Neighbors(ctx.comment_reply_of_comment, cmt, &adj_reply);
           for (uint32_t j = 0; j < rc.size; ++j) {
             if (rc.ids[j] == kInvalidVertex) continue;
-            AdjSpan creator =
-                view.Neighbors(ctx.comment_has_creator, rc.ids[j]);
+            AdjSpan creator = view.Neighbors(ctx.comment_has_creator,
+                                             rc.ids[j], &adj_creator);
             for (uint32_t k = 0; k < creator.size; ++k) {
               if (creator.ids[k] == y) w += 0.5;
             }

@@ -76,6 +76,10 @@ void TaskScheduler::Shutdown() {
   while (TryPop(-1, &task)) Execute(task);
 }
 
+void TaskScheduler::Submit(std::function<void()> fn) {
+  Enqueue(Task{std::move(fn), nullptr});
+}
+
 void TaskScheduler::Enqueue(Task task) {
   int n = num_workers();
   if (n == 0 || stop_.load(std::memory_order_acquire)) {

@@ -85,6 +85,12 @@ class TaskScheduler {
   // TaskGroup::Wait never hangs. Idempotent.
   void Shutdown();
 
+  // Fire-and-forget background task, no group and no join: lands at the
+  // back of one worker's deque and is stolen FIFO behind queued morsels,
+  // so maintenance work (background compaction, DESIGN.md §16) yields to
+  // query work already in the pool. Runs inline when the pool is stopped.
+  void Submit(std::function<void()> fn);
+
   // Morsel-driven parallel loop over [begin, end): the range is claimed in
   // `morsel_size` chunks from a shared cursor and `body(chunk_begin,
   // chunk_end)` is invoked once per chunk, concurrently on up to

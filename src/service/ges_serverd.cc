@@ -57,6 +57,12 @@ void Usage(const char* argv0) {
       "                     N MiB (default 32; 0 disables the byte trigger)\n"
       "  --watermark-alert S  log + export a session holding the GC\n"
       "                     watermark longer than S seconds (default 30)\n"
+      "  --compact-interval-seconds S  background delta-merge compaction\n"
+      "                     cadence in seconds; runs as a low-priority\n"
+      "                     scheduler job (default 0 = disabled)\n"
+      "  --compact-trigger-frag-pct F  fragmentation threshold in [0,1]: a\n"
+      "                     relation is compacted once tombstones + slack\n"
+      "                     exceed F of its adjacency pool (default 0.3)\n"
       "  --grace S          drain grace period on shutdown (default 5)\n"
       "  --data-dir DIR     durable store directory (snapshot + WAL);\n"
       "                     recovers from it on restart (default: in-memory)\n"
@@ -146,6 +152,10 @@ int main(int argc, char** argv) {
       config.gc_trigger_bytes = static_cast<size_t>(std::atoll(next())) << 20;
     } else if (arg == "--watermark-alert") {
       config.watermark_alert_seconds = std::atof(next());
+    } else if (arg == "--compact-interval-seconds") {
+      config.compact_interval_seconds = std::atof(next());
+    } else if (arg == "--compact-trigger-frag-pct") {
+      config.compact_trigger_frag_pct = std::atof(next());
     } else if (arg == "--grace") {
       grace = std::atof(next());
     } else if (arg == "--data-dir") {

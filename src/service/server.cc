@@ -16,6 +16,7 @@
 #include "common/timer.h"
 #include "executor/optimizer.h"
 #include "frontend/parser.h"
+#include "runtime/scheduler.h"
 
 namespace ges::service {
 
@@ -35,6 +36,9 @@ std::string ServiceStats::ToString() const {
      << " watermark=" << gc_watermark.load()
      << " watermark_held_by_session=" << watermark_held_by_session.load()
      << " stalls=" << watermark_stalls.load()
+     << "\ncompaction: runs=" << compaction_runs.load()
+     << " bytes_reclaimed=" << compaction_bytes_reclaimed.load()
+     << " segments=" << compaction_segments.load()
      << "\ngovernor: killed=" << governor_killed.load()
      << " shed=" << governor_shed.load()
      << " global_bytes=" << governor_global_bytes.load()
@@ -287,11 +291,13 @@ void Server::ReaperLoop() {
   // only), so a server that never reaps sessions still collects garbage.
   int64_t last_gc_ns = QueryContext::NowNanos();
   int64_t last_stats_ns = QueryContext::NowNanos();
+  int64_t last_compact_ns = QueryContext::NowNanos();
   while (!stop_reaper_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     ReapDoneSessions();
     ReapIdleSessions();
     MaybeRunGc(&last_gc_ns);
+    MaybeRunCompaction(&last_compact_ns);
     MaybeRefreshStats(&last_stats_ns);
     CheckWatermarkStall();
     RefreshReplicationStats();
@@ -442,6 +448,49 @@ void Server::MaybeRunGc(int64_t* last_gc_ns) {
   stats_.gc_watermark.store(gc.watermark, std::memory_order_relaxed);
   stats_.overlay_bytes.store(graph_->OverlayBytes(),
                              std::memory_order_relaxed);
+}
+
+void Server::MirrorCompactionStats() {
+  stats_.compaction_runs.store(graph_->compaction_runs_total(),
+                               std::memory_order_relaxed);
+  stats_.compaction_bytes_reclaimed.store(
+      graph_->compaction_bytes_reclaimed_total(), std::memory_order_relaxed);
+  stats_.compaction_segments.store(graph_->CompactedSegments(),
+                                   std::memory_order_relaxed);
+}
+
+void Server::MaybeRunCompaction(int64_t* last_compact_ns) {
+  // Mirror the graph's lifetime compaction totals into the stats snapshot
+  // every reaper tick, so passes triggered elsewhere (snapshot load, admin
+  // paths, tests sharing the graph) show up without waiting for our timer.
+  MirrorCompactionStats();
+  if (config_.compact_interval_seconds <= 0) return;
+  int64_t now = QueryContext::NowNanos();
+  if (now - *last_compact_ns <
+      static_cast<int64_t>(config_.compact_interval_seconds * 1e9)) {
+    return;
+  }
+  *last_compact_ns = now;
+  bool expected = false;
+  if (!compaction_inflight_->compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;  // previous pass still running; try again next interval
+  }
+  // Run the pass off the reaper thread as a fire-and-forget scheduler task:
+  // it lands behind queued query morsels (de-facto low priority) and the
+  // reaper keeps its 50 ms cadence for session/GC work. Drain() waits for
+  // the inflight flag, so the captured `this` outlives the task.
+  CompactionOptions opts;
+  opts.trigger_frag_pct = config_.compact_trigger_frag_pct;
+  std::shared_ptr<std::atomic<bool>> inflight = compaction_inflight_;
+  TaskScheduler::Global().Submit([this, opts, inflight] {
+    graph_->CompactRelations(opts);
+    // Re-mirror here, not just on the next tick: Drain() may join the
+    // reaper while this pass is still running, and the final totals must
+    // not be lost.
+    MirrorCompactionStats();
+    inflight->store(false, std::memory_order_release);
+  });
 }
 
 void Server::CheckWatermarkStall() {
@@ -1440,6 +1489,12 @@ void Server::Drain(double grace_seconds) {
   }
   stop_reaper_.store(true, std::memory_order_release);
   if (reaper_.joinable()) reaper_.join();
+  // A compaction pass submitted to the shared TaskScheduler may still be
+  // running; it captures `this` (graph_, stats_), so wait it out before
+  // the server is torn down. Passes are short (merge + pointer swap).
+  while (compaction_inflight_->load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   stop_watchdog_.store(true, std::memory_order_release);
   if (watchdog_.joinable()) watchdog_.join();
   {

@@ -81,6 +81,16 @@ struct ServiceConfig {
   // hostage: log it once and export it in the stats. <= 0 disables.
   double watermark_alert_seconds = 30.0;
 
+  // --- background delta-merge compaction (DESIGN.md §16) ---
+  // Periodic cadence for Graph::CompactRelations, driven from the reaper
+  // and executed as a low-priority TaskScheduler job so it never displaces
+  // query morsels. <= 0 disables background compaction.
+  double compact_interval_seconds = 0;
+  // Per-relation trigger: compact once the reclaimable share
+  // (fragmentation + overlay bytes) reaches this fraction of the
+  // relation's footprint.
+  double compact_trigger_frag_pct = 0.30;
+
   // --- WAL-shipping replication (DESIGN.md §13) ---
   // Replica mode: the graph is fed by a replication::Replica applier; IU
   // requests answer READ_ONLY directing the client to the primary.
@@ -146,6 +156,14 @@ struct ServiceStats {
   // many distinct offenders were flagged.
   std::atomic<uint64_t> watermark_held_by_session{0};
   std::atomic<uint64_t> watermark_stalls{0};
+
+  // Background compaction (DESIGN.md §16). Mirrors of the graph's
+  // lifetime totals, refreshed every reaper tick: `compaction_runs` and
+  // `compaction_bytes_reclaimed` count all passes since startup (however
+  // triggered), `compaction_segments` is a gauge of installed segments.
+  std::atomic<uint64_t> compaction_runs{0};
+  std::atomic<uint64_t> compaction_bytes_reclaimed{0};
+  std::atomic<uint64_t> compaction_segments{0};
 
   // Resource governor (DESIGN.md §15). `governor_killed` counts queries
   // the governor terminated (budget overruns, watchdog force-cancels,
@@ -309,6 +327,13 @@ class Server {
   // and the watermark-stall detector. All run on the reaper cadence.
   void ReapIdleSessions();
   void MaybeRunGc(int64_t* last_gc_ns);
+  // Background compaction driver (compact_interval_seconds cadence): hands
+  // Graph::CompactRelations to the shared TaskScheduler as a low-priority
+  // job, at most one in flight.
+  void MaybeRunCompaction(int64_t* last_compact_ns);
+  // Copies the graph's lifetime compaction totals into stats_ (reaper tick
+  // + end of every background pass).
+  void MirrorCompactionStats();
   // Reaper-thread statistics refresh (stats_refresh_seconds cadence).
   void MaybeRefreshStats(int64_t* last_stats_ns);
   void CheckWatermarkStall();
@@ -386,6 +411,11 @@ class Server {
 
   // Last session already logged as a watermark stall (avoid log spam).
   uint64_t stall_logged_session_ = 0;
+
+  // One background compaction job in flight at a time; the reaper skips
+  // the cadence while the previous pass still runs on the scheduler.
+  std::shared_ptr<std::atomic<bool>> compaction_inflight_ =
+      std::make_shared<std::atomic<bool>>(false);
 
   // WAL shipping (always constructed, so a promoted replica can serve
   // subscribers without a restart). Shut down at the end of Drain, after

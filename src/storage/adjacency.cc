@@ -60,17 +60,18 @@ void AdjacencyTable::Finalize(size_t num_vertices) {
       for (uint32_t i = 0; i < d; ++i) stamps[i] = tmp_stamps[perm[i]];
     }
   }
-  num_sources_ = 0;
+  size_t sources = 0;
   for (size_t v = 0; v < num_vertices; ++v) {
     Meta& m = meta_[v];
     m.size = m.capacity = degree[v];
     if (degree[v] > 0) {
       m.ids = packed_ids_.data() + offset[v];
       if (has_stamp_) m.stamps = packed_stamps_.data() + offset[v];
-      ++num_sources_;
+      ++sources;
     }
   }
-  num_edges_ = total;
+  num_sources_.store(sources, std::memory_order_relaxed);
+  num_edges_.store(total, std::memory_order_relaxed);
   staged_src_.clear();
   staged_src_.shrink_to_fit();
   staged_dst_.clear();
@@ -87,16 +88,21 @@ void AdjacencyTable::EnsureVertexCapacity(size_t n) {
 void AdjacencyTable::Grow(Meta& m, uint32_t min_capacity) {
   uint32_t new_cap = m.capacity == 0 ? 4 : m.capacity * 2;
   while (new_cap < min_capacity) new_cap *= 2;
-  VertexId* new_ids = update_arena_.AllocateArray<VertexId>(new_cap);
+  if (update_arena_ == nullptr) update_arena_ = std::make_unique<Arena>();
+  VertexId* new_ids = update_arena_->AllocateArray<VertexId>(new_cap);
   if (m.size > 0) std::memcpy(new_ids, m.ids, m.size * sizeof(VertexId));
   m.ids = new_ids;
   if (has_stamp_) {
-    int64_t* new_stamps = update_arena_.AllocateArray<int64_t>(new_cap);
+    int64_t* new_stamps = update_arena_->AllocateArray<int64_t>(new_cap);
     if (m.size > 0) {
       std::memcpy(new_stamps, m.stamps, m.size * sizeof(int64_t));
     }
     m.stamps = new_stamps;
   }
+  // The vertex's old array is orphaned (packed buffers and arena slabs are
+  // never reused); the slack gauge follows the capacity change.
+  dead_slots_ += m.capacity;
+  slack_slots_ += new_cap - m.capacity;
   m.capacity = new_cap;
 }
 
@@ -116,6 +122,8 @@ void AdjacencyTable::InsertEdge(VertexId src, VertexId dst, int64_t stamp) {
       if (has_stamp_) stamps[w] = stamps[i];
       ++w;
     }
+    tombstone_slots_ -= m.tombstones;
+    slack_slots_ += m.size - w;  // freed slots become reusable slack
     m.size = w;
     m.tombstones = 0;
   }
@@ -124,7 +132,8 @@ void AdjacencyTable::InsertEdge(VertexId src, VertexId dst, int64_t stamp) {
     ids = const_cast<VertexId*>(m.ids);
     stamps = const_cast<int64_t*>(m.stamps);
   }
-  if (m.size == 0) ++num_sources_;
+  if (m.size == 0) num_sources_.fetch_add(1, std::memory_order_relaxed);
+  --slack_slots_;  // the inserted edge consumes one slot of capacity
   // Insert at the sorted position (upper bound: parallel edges keep
   // insertion order, matching Finalize's stable sort).
   uint32_t pos =
@@ -137,7 +146,7 @@ void AdjacencyTable::InsertEdge(VertexId src, VertexId dst, int64_t stamp) {
     stamps[pos] = stamp;
   }
   ++m.size;
-  ++num_edges_;
+  num_edges_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool AdjacencyTable::RemoveEdge(VertexId src, VertexId dst) {
@@ -147,8 +156,12 @@ bool AdjacencyTable::RemoveEdge(VertexId src, VertexId dst) {
     if (m.ids[i] == dst) {
       const_cast<VertexId*>(m.ids)[i] = kInvalidVertex;
       ++m.tombstones;
-      --num_edges_;
-      if (m.size == m.tombstones && num_sources_ > 0) --num_sources_;
+      ++tombstone_slots_;
+      num_edges_.fetch_sub(1, std::memory_order_relaxed);
+      if (m.size == m.tombstones &&
+          num_sources_.load(std::memory_order_relaxed) > 0) {
+        num_sources_.fetch_sub(1, std::memory_order_relaxed);
+      }
       return true;
     }
   }
@@ -156,9 +169,48 @@ bool AdjacencyTable::RemoveEdge(VertexId src, VertexId dst) {
 }
 
 size_t AdjacencyTable::MemoryBytes() const {
-  return packed_ids_.capacity() * sizeof(VertexId) +
+  // Capacity, not size, everywhere: the staging buffers (which used to be
+  // invisible, so bulk loads under-reported by the whole edge list), the
+  // packed arrays' slack, and every arena slab reserved for growth.
+  return staged_src_.capacity() * sizeof(VertexId) +
+         staged_dst_.capacity() * sizeof(VertexId) +
+         staged_stamp_.capacity() * sizeof(int64_t) +
+         packed_ids_.capacity() * sizeof(VertexId) +
          packed_stamps_.capacity() * sizeof(int64_t) +
-         meta_.capacity() * sizeof(Meta) + update_arena_.bytes_reserved();
+         meta_.capacity() * sizeof(Meta) +
+         (update_arena_ != nullptr ? update_arena_->bytes_reserved() : 0);
+}
+
+size_t AdjacencyTable::FragmentationBytes() const {
+  return (tombstone_slots_ + slack_slots_ + dead_slots_) * SlotBytes();
+}
+
+std::shared_ptr<const void> AdjacencyTable::DetachStorage() {
+  struct Holder {
+    std::vector<VertexId> packed_ids;
+    std::vector<int64_t> packed_stamps;
+    std::vector<Meta> meta;
+    std::unique_ptr<Arena> arena;
+  };
+  auto holder = std::make_shared<Holder>();
+  holder->packed_ids = std::move(packed_ids_);
+  holder->packed_stamps = std::move(packed_stamps_);
+  holder->meta = std::move(meta_);
+  holder->arena = std::move(update_arena_);
+  packed_ids_ = std::vector<VertexId>();
+  packed_stamps_ = std::vector<int64_t>();
+  meta_ = std::vector<Meta>();
+  update_arena_.reset();
+  tombstone_slots_ = slack_slots_ = dead_slots_ = 0;
+  num_edges_.store(0, std::memory_order_relaxed);
+  num_sources_.store(0, std::memory_order_relaxed);
+  return holder;
+}
+
+void AdjacencyTable::RestoreCompacted(size_t num_edges, size_t num_sources) {
+  num_edges_.store(num_edges, std::memory_order_relaxed);
+  num_sources_.store(num_sources, std::memory_order_relaxed);
+  finalized_ = true;
 }
 
 }  // namespace ges

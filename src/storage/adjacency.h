@@ -14,7 +14,9 @@
 #ifndef GES_STORAGE_ADJACENCY_H_
 #define GES_STORAGE_ADJACENCY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +52,16 @@ struct AdjSpan {
   bool sorted_clean() const { return tombstones == 0; }
 };
 
+// Caller-owned decode buffers for reads that may hit a compressed segment
+// (DESIGN.md §16). A span decoded into a scratch is valid until the scratch
+// is reused for another decode or destroyed, so a call site that holds two
+// spans live at once needs two scratches. Reusable across iterations of a
+// loop — the vectors keep their capacity.
+struct AdjScratch {
+  std::vector<VertexId> ids;
+  std::vector<int64_t> stamps;
+};
+
 // Hash key of an adjacency table, per the paper's storage design.
 struct RelationKey {
   LabelId src_label;
@@ -83,10 +95,14 @@ class AdjacencyTable {
 
   const RelationKey& key() const { return key_; }
   bool has_stamp() const { return has_stamp_; }
-  size_t num_edges() const { return num_edges_; }
+  size_t num_edges() const {
+    return num_edges_.load(std::memory_order_relaxed);
+  }
   // Vertices with at least one live out-slot; with num_edges() this gives
   // the average degree the optimizer's intersection cost model uses.
-  size_t num_sources() const { return num_sources_; }
+  size_t num_sources() const {
+    return num_sources_.load(std::memory_order_relaxed);
+  }
 
   // --- bulk load (two-phase: stage edges, then Finalize packs them) ---
   void StageEdge(VertexId src, VertexId dst, int64_t stamp = 0);
@@ -116,7 +132,28 @@ class AdjacencyTable {
   // Ensures adjMeta covers vertices [0, n).
   void EnsureVertexCapacity(size_t n);
 
+  // Everything the table holds, staged buffers and growth slack included
+  // (the governor watermark and the compaction trigger must see capacity,
+  // not just live size — DESIGN.md §16).
   size_t MemoryBytes() const;
+
+  // Bytes held but not serving live edges: grow-on-insert slack (capacity
+  // beyond size), tombstoned slots, and storage abandoned by doubling
+  // reallocation inside the update arena. This is the compaction trigger's
+  // numerator.
+  size_t FragmentationBytes() const;
+  size_t tombstone_slots() const { return tombstone_slots_; }
+
+  // --- compaction handoff (DESIGN.md §16) ---
+  // Detaches all neighbor storage (packed buffers, adjMeta, update arena)
+  // into an opaque keepalive and leaves the table empty-but-finalized.
+  // Pinned readers may still hold AdjSpans into the detached storage, so
+  // the caller parks the keepalive on the graph's retire list until the GC
+  // watermark passes the swap version. Called with the commit mutex held.
+  std::shared_ptr<const void> DetachStorage();
+  // Restores the edge totals after a detach so AvgDegree and the optimizer
+  // cost model keep working while a compressed segment serves the reads.
+  void RestoreCompacted(size_t num_edges, size_t num_sources);
 
  private:
   struct Meta {
@@ -128,12 +165,28 @@ class AdjacencyTable {
   };
 
   void Grow(Meta& m, uint32_t min_capacity);
+  size_t SlotBytes() const {
+    return sizeof(VertexId) + (has_stamp_ ? sizeof(int64_t) : 0);
+  }
 
   RelationKey key_;
   bool has_stamp_;
   bool finalized_ = false;
-  size_t num_edges_ = 0;
-  size_t num_sources_ = 0;
+  // Relaxed atomics: the compaction swap rewrites both under the commit
+  // mutex while the optimizer's cost model reads them lock-free mid-plan;
+  // a slightly stale degree estimate is fine, a torn read is not.
+  std::atomic<size_t> num_edges_{0};
+  std::atomic<size_t> num_sources_{0};
+
+  // Fragmentation gauges (O(1), maintained by the update path):
+  //   tombstone_slots_  live array slots holding kInvalidVertex
+  //   slack_slots_      capacity - size summed over all vertices
+  //   dead_slots_       slots orphaned in the arena / packed buffers when
+  //                     Grow moved a vertex's array (the old storage is
+  //                     never reused)
+  size_t tombstone_slots_ = 0;
+  size_t slack_slots_ = 0;
+  size_t dead_slots_ = 0;
 
   // Staged (bulk) edges before Finalize.
   std::vector<VertexId> staged_src_;
@@ -142,10 +195,12 @@ class AdjacencyTable {
 
   // Packed storage after Finalize. meta_[v].ids points either into these
   // buffers or into arena-allocated per-vertex arrays after growth.
+  // update_arena_ is heap-held so DetachStorage can hand the whole pool to
+  // the retire list while readers drain.
   std::vector<VertexId> packed_ids_;
   std::vector<int64_t> packed_stamps_;
   std::vector<Meta> meta_;
-  Arena update_arena_;  // memory pool backing post-load growth
+  std::unique_ptr<Arena> update_arena_;  // pool backing post-load growth
 };
 
 }  // namespace ges

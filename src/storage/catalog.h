@@ -73,6 +73,11 @@ class Catalog {
   uint64_t stats_epoch() const {
     return stats_epoch_.load(std::memory_order_acquire);
   }
+  // Storage-layer change notification: a compaction swap rewrites the
+  // physical layout (and the degree distributions the histograms were
+  // sampled from) without a commit, so cached plans costed against the
+  // pre-swap stats must stop validating. Bumps the epoch.
+  void NoteStorageChanged() { BumpStatsEpoch(); }
 
  private:
   void BumpStatsEpoch() {

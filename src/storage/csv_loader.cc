@@ -266,9 +266,10 @@ Status ExportEdgesCsv(const Graph& graph, LabelId edge_label,
   // Probe one span for stamps.
   bool has_stamp = false;
   std::vector<VertexId> sources;
+  AdjScratch adj;
   graph.ScanLabel(src_label, snap, &sources);
   for (VertexId v : sources) {
-    AdjSpan span = graph.Neighbors(rel, v, snap);
+    AdjSpan span = graph.Neighbors(rel, v, snap, &adj);
     if (span.size > 0) {
       has_stamp = span.stamps != nullptr;
       break;
@@ -281,7 +282,7 @@ Status ExportEdgesCsv(const Graph& graph, LabelId edge_label,
   out << '\n';
 
   for (VertexId v : sources) {
-    AdjSpan span = graph.Neighbors(rel, v, snap);
+    AdjSpan span = graph.Neighbors(rel, v, snap, &adj);
     int64_t src_ext = graph.GetProperty(v, id_prop, snap).AsInt();
     for (uint32_t i = 0; i < span.size; ++i) {
       if (span.ids[i] == kInvalidVertex) continue;  // tombstone

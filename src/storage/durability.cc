@@ -39,7 +39,7 @@ constexpr char kWalName[] = "/wal.log";
 Status WriteSnapshotAtomic(const Graph& graph, FileSystem* fs,
                            const std::string& dir) {
   std::string tmp = dir + kSnapshotTmpName;
-  GES_RETURN_IF_ERROR(SaveGraphFile(graph, tmp, SnapshotFormat::kV3));
+  GES_RETURN_IF_ERROR(SaveGraphFile(graph, tmp, SnapshotFormat::kV4));
   GES_RETURN_IF_ERROR(fs->SyncFile(tmp));
   GES_RETURN_IF_ERROR(fs->Rename(tmp, dir + kSnapshotName));
   GES_RETURN_IF_ERROR(fs->SyncDir(dir));

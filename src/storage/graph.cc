@@ -106,7 +106,18 @@ void Graph::FinalizeBulk() {
 }
 
 uint32_t Graph::Degree(RelationId rel, VertexId v, Version snapshot) const {
-  AdjSpan span = Neighbors(rel, v, snapshot);
+  const TableEntry& t = tables_[rel];
+  if (!t.overlay->empty()) {
+    const AdjOverlayEntry* e = t.overlay->Find(v, snapshot);
+    if (e != nullptr) {
+      // Overlay entries are tombstone-free: the size is the degree.
+      return static_cast<uint32_t>(e->ids.size());
+    }
+  }
+  // Segment degrees are precomputed — no decode needed.
+  const CompressedSegment* seg = t.segment.load(std::memory_order_acquire);
+  if (seg != nullptr && seg->Covers(v)) return seg->DegreeOf(v);
+  AdjSpan span = t.table->Neighbors(v);
   uint32_t n = 0;
   for (uint32_t i = 0; i < span.size; ++i) {
     if (span.ids[i] != kInvalidVertex) ++n;
@@ -267,7 +278,11 @@ size_t Graph::OverlayBytes() const {
 
 size_t Graph::MemoryBytes() const {
   size_t bytes = 0;
-  for (const TableEntry& t : tables_) bytes += t.table->MemoryBytes();
+  for (const TableEntry& t : tables_) {
+    bytes += t.table->MemoryBytes();
+    const CompressedSegment* seg = t.segment.load(std::memory_order_acquire);
+    if (seg != nullptr) bytes += seg->MemoryBytes();
+  }
   for (const auto& pt : property_tables_) {
     if (pt != nullptr) bytes += pt->MemoryBytes();
   }
@@ -279,6 +294,9 @@ size_t Graph::MemoryBytes() const {
   // update traffic this is where the memory actually is, and the GC
   // trigger compares against this total.
   bytes += OverlayBytes();
+  // Storage a compaction swap replaced but the watermark has not yet let
+  // go of. Counting it keeps the gauge honest between swap and drain.
+  bytes += retired_bytes_.load(std::memory_order_relaxed);
   return bytes;
 }
 
@@ -299,7 +317,204 @@ GcStats Graph::PruneVersions() {
                                    std::memory_order_relaxed);
   gc_bytes_reclaimed_total_.fetch_add(stats.bytes_reclaimed,
                                       std::memory_order_relaxed);
+  // Compaction retire list: batches the watermark has passed are free to
+  // go (counted in the compaction totals, not this pass's GcStats).
+  ReclaimRetired();
   return stats;
+}
+
+CompactionStats Graph::CompactRelations(const CompactionOptions& opts) {
+  // One compactor at a time; concurrent passes would fight over the same
+  // relations and double-park their storage.
+  std::lock_guard<std::mutex> compaction_lock(compaction_mu_);
+  CompactionStats stats;
+  if (!finalized_) return stats;
+
+  // Fix the merge cut at the GC watermark, pinned so it holds while the
+  // merge runs. Every live and future reader is at or above the cut, so a
+  // list merged at the cut is exactly what those readers resolve beneath
+  // their own overlay entries; concurrent Prune passes (watermark <= cut)
+  // never free a chain floor the merge still reads.
+  SnapshotHandle pin = version_manager_.AcquireOldestSnapshot();
+  const Version cut = pin.version();
+  stats.cut = cut;
+
+  // Vertices created after this load are beyond the segment's coverage and
+  // keep resolving through overlays (their entries are all > cut).
+  const size_t num_vertices = NumVerticesTotal();
+
+  AdjScratch decode_scratch;
+  AdjScratch clean_scratch;
+  for (RelationId rel = 0; rel < tables_.size(); ++rel) {
+    TableEntry& t = tables_[rel];
+    if (!t.table->finalized()) continue;
+    if (!opts.only.empty() &&
+        std::find(opts.only.begin(), opts.only.end(), rel) ==
+            opts.only.end()) {
+      continue;
+    }
+    const CompressedSegment* old_seg =
+        t.segment.load(std::memory_order_acquire);
+    const size_t bytes_before = t.table->MemoryBytes() +
+                                t.overlay->MemoryBytes() +
+                                (old_seg != nullptr ? old_seg->MemoryBytes()
+                                                    : 0);
+    if (t.table->num_edges() == 0 && t.overlay->empty() &&
+        old_seg == nullptr) {
+      continue;  // nothing stored, nothing to merge
+    }
+    if (!opts.force) {
+      // Reclaimable share: base-array fragmentation plus the overlay
+      // chains the merge will collapse (entries above the cut survive, so
+      // this is an upper-bound estimate — fine for a trigger).
+      const size_t reclaimable =
+          t.table->FragmentationBytes() + t.overlay->MemoryBytes();
+      if (bytes_before == 0 ||
+          static_cast<double>(reclaimable) /
+                  static_cast<double>(bytes_before) <
+              opts.trigger_frag_pct) {
+        continue;
+      }
+    }
+
+    // Merge phase, lock-free: base arrays are immutable after
+    // FinalizeBulk, overlay entries <= cut are immutable and pinned, the
+    // old segment is immutable. Commits racing this loop publish at
+    // versions > cut and are untouched by the collapse below.
+    const bool has_stamp = t.table->has_stamp();
+    CompressedSegment::Builder builder(has_stamp);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      AdjSpan span;
+      const AdjOverlayEntry* e =
+          t.overlay->empty() ? nullptr : t.overlay->Find(v, cut);
+      if (e != nullptr) {
+        span = AdjSpan{e->ids.data(),
+                       has_stamp ? e->stamps.data() : nullptr,
+                       static_cast<uint32_t>(e->ids.size()), 0};
+      } else if (old_seg != nullptr && old_seg->Covers(v)) {
+        span = old_seg->Decode(v, &decode_scratch);
+      } else {
+        span = t.table->Neighbors(v);
+      }
+      if (span.sorted_clean()) {
+        builder.Add(span.ids, span.stamps, span.size);
+      } else {
+        // Base spans may carry tombstones; the merge drops them for good.
+        clean_scratch.ids.clear();
+        clean_scratch.stamps.clear();
+        for (uint32_t i = 0; i < span.size; ++i) {
+          if (span.ids[i] == kInvalidVertex) continue;
+          clean_scratch.ids.push_back(span.ids[i]);
+          if (has_stamp) clean_scratch.stamps.push_back(span.stamps[i]);
+        }
+        builder.Add(clean_scratch.ids.data(),
+                    has_stamp ? clean_scratch.stamps.data() : nullptr,
+                    static_cast<uint32_t>(clean_scratch.ids.size()));
+      }
+    }
+    std::shared_ptr<const CompressedSegment> seg = builder.Build(cut);
+
+    // Swap phase: checkpoint mutex before commit mutex — the same atomic
+    // cut CollectReplicationBacklog and Checkpoint take, so a bootstrap
+    // snapshot or checkpoint never interleaves with a half-swapped
+    // relation.
+    RetiredBatch batch;
+    {
+      std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+      std::lock_guard<std::mutex> commit_lock(
+          version_manager_.commit_mutex());
+      batch.install_version = CurrentVersion();
+      const size_t table_bytes = t.table->MemoryBytes();
+      PruneStats collapsed = t.overlay->CollapseBelow(cut, &batch.chains);
+      if (old_seg != nullptr) {
+        batch.bytes += old_seg->MemoryBytes();
+        batch.keepalives.push_back(
+            std::shared_ptr<const void>(std::move(t.segment_owner)));
+      }
+      t.segment_owner = seg;
+      t.segment.store(seg.get(), std::memory_order_release);
+      batch.keepalives.push_back(t.table->DetachStorage());
+      t.table->RestoreCompacted(seg->num_edges(), seg->num_sources());
+      batch.bytes += table_bytes + collapsed.bytes;
+      stats.entries_collapsed += collapsed.entries;
+    }
+    {
+      std::lock_guard<std::mutex> retired_lock(retired_mu_);
+      retired_bytes_.fetch_add(batch.bytes, std::memory_order_relaxed);
+      stats.bytes_retired += batch.bytes;
+      retired_.push_back(std::move(batch));
+    }
+
+    ++stats.relations_compacted;
+    stats.edges_encoded += seg->num_edges();
+    stats.bytes_before += bytes_before;
+    stats.bytes_after += seg->MemoryBytes() + t.table->MemoryBytes() +
+                         t.overlay->MemoryBytes();
+  }
+  pin.Release();
+
+  if (stats.relations_compacted > 0) {
+    // The physical layout (and the degree distributions the planner's
+    // histograms sampled) changed without a commit: invalidate cached
+    // plans and flag the stats builder to re-sample.
+    catalog_.NoteStorageChanged();
+    stats_dirty_.store(true, std::memory_order_release);
+    compaction_segments_total_.fetch_add(stats.relations_compacted,
+                                         std::memory_order_relaxed);
+  }
+  compaction_runs_total_.fetch_add(1, std::memory_order_relaxed);
+  return stats;
+}
+
+size_t Graph::ReclaimRetired() {
+  const Version watermark = OldestActiveSnapshot();
+  std::vector<RetiredBatch> free_now;
+  {
+    std::lock_guard<std::mutex> retired_lock(retired_mu_);
+    for (size_t i = 0; i < retired_.size();) {
+      // Strictly greater: readers pinned at the install version itself may
+      // have resolved spans from the old storage just before the swap.
+      if (watermark > retired_[i].install_version) {
+        free_now.push_back(std::move(retired_[i]));
+        retired_[i] = std::move(retired_.back());
+        retired_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  size_t freed = 0;
+  for (RetiredBatch& batch : free_now) {
+    for (auto& chain : batch.chains) UnlinkDetachedChain(std::move(chain));
+    batch.keepalives.clear();
+    freed += batch.bytes;
+  }
+  if (freed > 0) {
+    retired_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    compaction_bytes_reclaimed_total_.fetch_add(freed,
+                                                std::memory_order_relaxed);
+  }
+  return freed;
+}
+
+size_t Graph::ForceReclaimRetiredForRecovery() {
+  std::vector<RetiredBatch> free_now;
+  {
+    std::lock_guard<std::mutex> retired_lock(retired_mu_);
+    free_now.swap(retired_);
+  }
+  size_t freed = 0;
+  for (RetiredBatch& batch : free_now) {
+    for (auto& chain : batch.chains) UnlinkDetachedChain(std::move(chain));
+    batch.keepalives.clear();
+    freed += batch.bytes;
+  }
+  if (freed > 0) {
+    retired_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    compaction_bytes_reclaimed_total_.fetch_add(freed,
+                                                std::memory_order_relaxed);
+  }
+  return freed;
 }
 
 std::unique_ptr<WriteTxn> Graph::BeginWrite(std::vector<VertexId> write_set) {
@@ -508,16 +723,25 @@ Status WriteTxn::Commit(Version* commit_version) {
       bool has_stamp = entry.table->has_stamp();
       auto ver = std::make_shared<AdjOverlayEntry>();
       ver->version = version;
-      // Seed with the newest existing list (overlay head or base),
-      // compacting tombstones away.
+      // Seed with the newest existing list — overlay head, else the
+      // compressed segment (a compaction may have collapsed the chain and
+      // detached the base array), else the base array — compacting
+      // tombstones away.
       std::shared_ptr<AdjOverlayEntry> head =
           entry.overlay->Head(first.vertex);
+      const CompressedSegment* seg =
+          entry.segment.load(std::memory_order_acquire);
       if (head != nullptr) {
         for (size_t k = 0; k < head->ids.size(); ++k) {
           if (head->ids[k] == kInvalidVertex) continue;
           ver->ids.push_back(head->ids[k]);
           if (has_stamp) ver->stamps.push_back(head->stamps[k]);
         }
+      } else if (seg != nullptr && seg->Covers(first.vertex)) {
+        AdjScratch scratch;
+        AdjSpan s = seg->Decode(first.vertex, &scratch);
+        ver->ids.assign(s.ids, s.ids + s.size);
+        if (has_stamp) ver->stamps.assign(s.stamps, s.stamps + s.size);
       } else {
         AdjSpan base = entry.table->Neighbors(first.vertex);
         for (uint32_t k = 0; k < base.size; ++k) {

@@ -22,6 +22,7 @@
 #include "common/value.h"
 #include "storage/adjacency.h"
 #include "storage/catalog.h"
+#include "storage/compressed_segment.h"
 #include "storage/property_store.h"
 #include "storage/version_manager.h"
 #include "storage/wal.h"
@@ -55,6 +56,31 @@ struct GcStats {
   Version watermark = 0;
   uint64_t entries_pruned = 0;
   uint64_t bytes_reclaimed = 0;
+};
+
+// Knobs for one Graph::CompactRelations() pass (DESIGN.md §16).
+struct CompactionOptions {
+  // A relation is compacted when its reclaimable share — fragmentation
+  // bytes in the base table plus overlay chain bytes — is at least this
+  // fraction of its total footprint.
+  double trigger_frag_pct = 0.30;
+  // Ignore the trigger and compact every non-empty relation (tests,
+  // GESSNAP4 load, `force` service admin path).
+  bool force = false;
+  // When non-empty, only these relations are considered (GESSNAP4 load
+  // rebuilds exactly the segments the snapshot manifest lists).
+  std::vector<RelationId> only;
+};
+
+// What one Graph::CompactRelations() pass did.
+struct CompactionStats {
+  Version cut = 0;                  // merge cut (the GC watermark)
+  uint32_t relations_compacted = 0; // segments built and installed
+  uint64_t entries_collapsed = 0;   // overlay entries merged away
+  uint64_t edges_encoded = 0;       // edges in the new segments
+  uint64_t bytes_before = 0;        // footprint of compacted relations
+  uint64_t bytes_after = 0;         // same relations post-swap (live only)
+  uint64_t bytes_retired = 0;       // parked until the watermark passes
 };
 
 // Everything a new replication subscriber needs to catch up to the primary
@@ -228,8 +254,63 @@ class Graph {
 
   // Cuts every overlay version chain at the watermark and frees the
   // unreachable tails. Cheap when nothing is reclaimable; safe against
-  // concurrent reads (at pinned or current versions) and commits.
+  // concurrent reads (at pinned or current versions) and commits. Also
+  // drains the compaction retire list once the watermark passes a swap.
   GcStats PruneVersions();
+
+  // --- background delta-merge compaction (DESIGN.md §16) ---
+  // Merges base arrays + overlay entries at the GC watermark into fresh
+  // immutable delta/varint-compressed segments and swaps them in under the
+  // checkpoint + commit mutexes (the replication backlog's atomic-cut
+  // order). Pinned readers stay byte-identical: the cut is at or below
+  // every pin, and the replaced storage is parked on the retire list until
+  // the watermark passes the install version. One pass at a time; safe
+  // against concurrent commits, reads, GC, and checkpoints.
+  CompactionStats CompactRelations(const CompactionOptions& opts);
+
+  // Frees retire-list batches whose install version the watermark has
+  // passed (no reader can still hold spans into them). Returns bytes
+  // freed. Called from PruneVersions; callable directly.
+  size_t ReclaimRetired();
+  // Recovery-time drain (no concurrent readers exist): frees everything
+  // parked regardless of the watermark. Used after a GESSNAP4 load
+  // rebuilds segments on a freshly recovered graph.
+  size_t ForceReclaimRetiredForRecovery();
+
+  // True once a compressed segment is installed for `rel`. The factorized
+  // executor's lazy-expand path keys off this: decoded spans are
+  // scratch-backed and cannot be stored across operator boundaries.
+  bool RelationCompacted(RelationId rel) const {
+    return tables_[rel].segment.load(std::memory_order_acquire) != nullptr;
+  }
+  size_t CompactedSegments() const {
+    size_t n = 0;
+    for (const TableEntry& t : tables_) {
+      if (t.segment.load(std::memory_order_acquire) != nullptr) ++n;
+    }
+    return n;
+  }
+  // Bytes parked on the retire list (freed-pending-watermark).
+  size_t RetiredBytes() const {
+    return retired_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // Lifetime compaction totals (service stats).
+  uint64_t compaction_runs_total() const {
+    return compaction_runs_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t compaction_segments_total() const {
+    return compaction_segments_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t compaction_bytes_reclaimed_total() const {
+    return compaction_bytes_reclaimed_total_.load(std::memory_order_relaxed);
+  }
+  // Set by a compaction swap; consumed by RebuildStats so the reaper's
+  // next refresh re-samples degree distributions even though the graph
+  // version did not move.
+  bool stats_dirty() const {
+    return stats_dirty_.load(std::memory_order_acquire);
+  }
 
   // Lifetime totals across PruneVersions() calls (service stats).
   uint64_t versions_pruned_total() const {
@@ -247,7 +328,15 @@ class Graph {
   // contain kInvalidVertex (tombstones); callers skip them. Overlay entries
   // are tombstone-free and sorted (commit publishes compacted sorted
   // copies), so their spans are always sorted_clean().
-  AdjSpan Neighbors(RelationId rel, VertexId v, Version snapshot) const {
+  //
+  // Resolution order: overlay chain, then the installed compressed segment
+  // (DESIGN.md §16), then the base array. Decoding a segment materializes
+  // into `scratch`, so the returned span is only valid until the scratch is
+  // reused; call sites that can observe a compacted relation must pass one
+  // (a decode with a null scratch aborts loudly — never-compacted graphs,
+  // e.g. most unit-test fixtures, are unaffected).
+  AdjSpan Neighbors(RelationId rel, VertexId v, Version snapshot,
+                    AdjScratch* scratch = nullptr) const {
     const TableEntry& t = tables_[rel];
     if (!t.overlay->empty()) {
       const AdjOverlayEntry* e = t.overlay->Find(v, snapshot);
@@ -257,6 +346,8 @@ class Graph {
                        static_cast<uint32_t>(e->ids.size())};
       }
     }
+    const CompressedSegment* seg = t.segment.load(std::memory_order_acquire);
+    if (seg != nullptr && seg->Covers(v)) return seg->Decode(v, scratch);
     return t.table->Neighbors(v);
   }
 
@@ -340,8 +431,33 @@ class Graph {
   Status CheckpointLocked();
 
   struct TableEntry {
+    TableEntry() = default;
+    // Moves happen only during single-threaded relation registration
+    // (tables_ growth), so copying the atomic's value is race-free.
+    TableEntry(TableEntry&& o) noexcept
+        : table(std::move(o.table)),
+          overlay(std::move(o.overlay)),
+          segment_owner(std::move(o.segment_owner)),
+          segment(o.segment.load(std::memory_order_relaxed)) {}
+    TableEntry& operator=(TableEntry&&) = delete;
+
     std::unique_ptr<AdjacencyTable> table;
     std::unique_ptr<AdjOverlay> overlay;
+    // Installed compressed segment (DESIGN.md §16). `segment_owner` keeps
+    // it alive (and feeds the retire list on replacement); the raw atomic
+    // is the lock-free reader-side acquire point.
+    std::shared_ptr<const CompressedSegment> segment_owner;
+    std::atomic<const CompressedSegment*> segment{nullptr};
+  };
+
+  // One compaction swap's replaced storage, parked until the GC watermark
+  // passes `install_version` (readers pinned at or below it may still hold
+  // AdjSpans into the old arrays / collapsed chain entries).
+  struct RetiredBatch {
+    Version install_version = 0;
+    size_t bytes = 0;
+    std::vector<std::shared_ptr<const void>> keepalives;
+    std::vector<std::shared_ptr<AdjOverlayEntry>> chains;
   };
 
   static uint64_t ExtKey(LabelId label, int64_t ext_id) {
@@ -392,6 +508,17 @@ class Graph {
   std::mutex gc_mu_;
   std::atomic<uint64_t> versions_pruned_total_{0};
   std::atomic<uint64_t> gc_bytes_reclaimed_total_{0};
+
+  // Compaction bookkeeping (DESIGN.md §16): one pass at a time; the retire
+  // list holds replaced storage until the watermark drains it.
+  std::mutex compaction_mu_;
+  mutable std::mutex retired_mu_;
+  std::vector<RetiredBatch> retired_;
+  std::atomic<size_t> retired_bytes_{0};
+  std::atomic<uint64_t> compaction_runs_total_{0};
+  std::atomic<uint64_t> compaction_segments_total_{0};
+  std::atomic<uint64_t> compaction_bytes_reclaimed_total_{0};
+  std::atomic<bool> stats_dirty_{false};
 };
 
 // A single MV2PL write transaction. Stage operations, then Commit() (or

@@ -100,7 +100,11 @@ bool Graph::RebuildStats() {
   std::shared_ptr<const GraphStats> prev = catalog_.stats();
   SnapshotHandle pin = PinSnapshot();  // keep version chains resolvable
   Version at = pin.version();
-  if (prev != nullptr && prev->built_at == at) return false;
+  // A compaction swap changes the sampled degree distributions without
+  // advancing the version; its dirty flag forces a re-sample that the
+  // built_at short-circuit would otherwise skip.
+  const bool dirty = stats_dirty_.exchange(false, std::memory_order_acq_rel);
+  if (!dirty && prev != nullptr && prev->built_at == at) return false;
 
   auto stats = std::make_shared<GraphStats>();
   stats->built_at = at;

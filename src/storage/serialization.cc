@@ -1,5 +1,6 @@
 #include "storage/serialization.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -15,6 +16,7 @@ namespace {
 constexpr char kMagicV1[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '1'};
 constexpr char kMagicV2[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '2'};
 constexpr char kMagicV3[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '3'};
+constexpr char kMagicV4[8] = {'G', 'E', 'S', 'S', 'N', 'A', 'P', '4'};
 
 // V2/V3 string-value subtags.
 constexpr uint8_t kStrInline = 0;  // length + bytes follow
@@ -65,6 +67,36 @@ bool ReadU32(std::istream& in, uint32_t* v) {
           << (8 * i);
   }
   return true;
+}
+
+// LEB128 varints + zigzag, used by the V4 delta-compressed edge sections
+// (the same codec the in-memory compressed segments use).
+void WriteVarint(std::ostream& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.put(static_cast<char>(static_cast<uint8_t>(v) | 0x80));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+bool ReadVarint(std::istream& in, uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (true) {
+    int c = in.get();
+    if (c < 0 || shift > 63) return false;
+    *v |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return true;
+    shift += 7;
+  }
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
 void WriteString(std::ostream& out, const std::string& s) {
@@ -243,18 +275,19 @@ void WriteEdgeSection(std::ostream& out, const Graph& graph,
   RelationId rel = graph.FindRelation(r.key.src_label, r.key.edge_label,
                                       r.key.dst_label, Direction::kOut);
   std::vector<VertexId> sources;
+  AdjScratch adj;
   graph.ScanLabel(r.key.src_label, snap, &sources);
   // Count live edges first (tombstones are dropped by the snapshot).
   uint64_t count = 0;
   for (VertexId v : sources) {
-    AdjSpan span = graph.Neighbors(rel, v, snap);
+    AdjSpan span = graph.Neighbors(rel, v, snap, &adj);
     for (uint32_t i = 0; i < span.size; ++i) {
       if (span.ids[i] != kInvalidVertex) ++count;
     }
   }
   WriteU64(out, count);
   for (VertexId v : sources) {
-    AdjSpan span = graph.Neighbors(rel, v, snap);
+    AdjSpan span = graph.Neighbors(rel, v, snap, &adj);
     int64_t src_ext = graph.ExtIdOf(v, snap);
     for (uint32_t i = 0; i < span.size; ++i) {
       if (span.ids[i] == kInvalidVertex) continue;
@@ -264,6 +297,94 @@ void WriteEdgeSection(std::ostream& out, const Graph& graph,
         WriteI64(out, span.stamps == nullptr ? 0 : span.stamps[i]);
       }
     }
+  }
+}
+
+// V4 edge section: edges grouped by source, destinations sorted by
+// external id and delta+varint compressed (zigzag first, non-negative
+// gaps). Stamps ride along in destination order with the same null
+// suppression as the in-memory segment codec: one mode byte per source, 0
+// when every stamp is zero.
+//
+//   varint num_sources
+//   per source:
+//     zigzag src_ext | varint degree |
+//     zigzag dst_ext[0], varint dst_ext[i]-dst_ext[i-1] ... |
+//     [has_stamp: mode | mode==1: zigzag s[0], zigzag s[i]-s[i-1] ...]
+void WriteEdgeSectionV4(std::ostream& out, const Graph& graph,
+                        const Graph::RelationInfo& r, Version snap) {
+  RelationId rel = graph.FindRelation(r.key.src_label, r.key.edge_label,
+                                      r.key.dst_label, Direction::kOut);
+  std::vector<VertexId> sources;
+  AdjScratch adj;
+  graph.ScanLabel(r.key.src_label, snap, &sources);
+  uint64_t num_sources = 0;
+  for (VertexId v : sources) {
+    AdjSpan span = graph.Neighbors(rel, v, snap, &adj);
+    for (uint32_t i = 0; i < span.size; ++i) {
+      if (span.ids[i] != kInvalidVertex) {
+        ++num_sources;
+        break;
+      }
+    }
+  }
+  WriteVarint(out, num_sources);
+  std::vector<std::pair<int64_t, int64_t>> dsts;  // (dst_ext, stamp)
+  for (VertexId v : sources) {
+    AdjSpan span = graph.Neighbors(rel, v, snap, &adj);
+    dsts.clear();
+    for (uint32_t i = 0; i < span.size; ++i) {
+      if (span.ids[i] == kInvalidVertex) continue;
+      dsts.emplace_back(graph.ExtIdOf(span.ids[i], snap),
+                        span.stamps == nullptr ? 0 : span.stamps[i]);
+    }
+    if (dsts.empty()) continue;
+    std::sort(dsts.begin(), dsts.end());
+    WriteVarint(out, ZigZag(graph.ExtIdOf(v, snap)));
+    WriteVarint(out, dsts.size());
+    WriteVarint(out, ZigZag(dsts[0].first));
+    for (size_t i = 1; i < dsts.size(); ++i) {
+      WriteVarint(out,
+                  static_cast<uint64_t>(dsts[i].first - dsts[i - 1].first));
+    }
+    if (r.has_stamp) {
+      bool all_zero = true;
+      for (const auto& [d, s] : dsts) {
+        if (s != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        out.put(0);
+      } else {
+        out.put(1);
+        WriteVarint(out, ZigZag(dsts[0].second));
+        for (size_t i = 1; i < dsts.size(); ++i) {
+          WriteVarint(out, ZigZag(dsts[i].second - dsts[i - 1].second));
+        }
+      }
+    }
+  }
+}
+
+// V4 segments manifest: the relations with a compressed CSR segment
+// installed at save time, identified by their catalog keys.
+void WriteSegmentsManifest(std::ostream& out, const Graph& graph,
+                           const std::vector<Graph::RelationInfo>& rels) {
+  std::vector<const Graph::RelationInfo*> compacted;
+  for (const Graph::RelationInfo& r : rels) {
+    RelationId rel = graph.FindRelation(r.key.src_label, r.key.edge_label,
+                                        r.key.dst_label, Direction::kOut);
+    if (rel != kInvalidRelation && graph.RelationCompacted(rel)) {
+      compacted.push_back(&r);
+    }
+  }
+  WriteU64(out, compacted.size());
+  for (const Graph::RelationInfo* r : compacted) {
+    WriteU64(out, r->key.src_label);
+    WriteU64(out, r->key.edge_label);
+    WriteU64(out, r->key.dst_label);
   }
 }
 
@@ -376,6 +497,76 @@ Status ParseEdgeSection(std::istream& in, Graph* graph, const RelSpec& spec) {
   return Status::OK();
 }
 
+Status ParseEdgeSectionV4(std::istream& in, Graph* graph,
+                          const RelSpec& spec) {
+  uint64_t num_sources;
+  if (!ReadVarint(in, &num_sources)) return Status::Error("truncated edges");
+  for (uint64_t s = 0; s < num_sources; ++s) {
+    uint64_t zsrc, degree;
+    if (!ReadVarint(in, &zsrc) || !ReadVarint(in, &degree)) {
+      return Status::Error("truncated edge group");
+    }
+    if (degree == 0 || degree > (1ull << 32)) {
+      return Status::Error("invalid edge group degree");
+    }
+    int64_t src_ext = UnZigZag(zsrc);
+    VertexId src = graph->FindByExtId(spec.src, src_ext, 0);
+    if (src == kInvalidVertex) {
+      return Status::Error("edge references unknown source vertex");
+    }
+    std::vector<int64_t> dst_exts(degree);
+    uint64_t zfirst;
+    if (!ReadVarint(in, &zfirst)) return Status::Error("truncated edge");
+    dst_exts[0] = UnZigZag(zfirst);
+    for (uint64_t i = 1; i < degree; ++i) {
+      uint64_t gap;
+      if (!ReadVarint(in, &gap)) return Status::Error("truncated edge");
+      dst_exts[i] = dst_exts[i - 1] + static_cast<int64_t>(gap);
+    }
+    std::vector<int64_t> stamps(degree, 0);
+    if (spec.has_stamp) {
+      int mode = in.get();
+      if (mode < 0) return Status::Error("truncated stamp mode");
+      if (mode == 1) {
+        uint64_t z;
+        if (!ReadVarint(in, &z)) return Status::Error("truncated stamp");
+        stamps[0] = UnZigZag(z);
+        for (uint64_t i = 1; i < degree; ++i) {
+          if (!ReadVarint(in, &z)) return Status::Error("truncated stamp");
+          stamps[i] = stamps[i - 1] + UnZigZag(z);
+        }
+      } else if (mode != 0) {
+        return Status::Error("invalid stamp mode");
+      }
+    }
+    for (uint64_t i = 0; i < degree; ++i) {
+      VertexId dst = graph->FindByExtId(spec.dst, dst_exts[i], 0);
+      if (dst == kInvalidVertex) {
+        return Status::Error("edge references unknown vertex");
+      }
+      graph->AddEdgeBulk(spec.edge, src, dst, stamps[i]);
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseSegmentsManifest(std::istream& in,
+                             std::vector<RelationKey>* keys) {
+  uint64_t count;
+  if (!ReadU64(in, &count)) return Status::Error("truncated manifest");
+  if (count > (1u << 20)) return Status::Error("manifest too large");
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t src, edge, dst;
+    if (!ReadU64(in, &src) || !ReadU64(in, &edge) || !ReadU64(in, &dst)) {
+      return Status::Error("truncated manifest entry");
+    }
+    keys->push_back(RelationKey{static_cast<LabelId>(src),
+                                static_cast<LabelId>(edge),
+                                static_cast<LabelId>(dst), Direction::kOut});
+  }
+  return Status::OK();
+}
+
 // --- V3 section framing: [u64 len][u32 crc32c(bytes)][bytes] ---
 
 void WriteFramed(std::ostream& out, const std::string& payload) {
@@ -436,9 +627,13 @@ Status SaveGraph(const Graph& graph, std::ostream& out,
     case SnapshotFormat::kV3:
       out.write(kMagicV3, 8);
       break;
+    case SnapshotFormat::kV4:
+      out.write(kMagicV4, 8);
+      break;
   }
 
-  if (format == SnapshotFormat::kV3) {
+  if (format == SnapshotFormat::kV3 || format == SnapshotFormat::kV4) {
+    const bool v4 = format == SnapshotFormat::kV4;
     auto framed = [&out](auto&& fill) {
       std::ostringstream section;
       fill(section);
@@ -456,7 +651,17 @@ Status SaveGraph(const Graph& graph, std::ostream& out,
       });
     }
     for (const Graph::RelationInfo& r : rels) {
-      framed([&](std::ostream& s) { WriteEdgeSection(s, graph, r, snap); });
+      framed([&](std::ostream& s) {
+        if (v4) {
+          WriteEdgeSectionV4(s, graph, r, snap);
+        } else {
+          WriteEdgeSection(s, graph, r, snap);
+        }
+      });
+    }
+    if (v4) {
+      framed(
+          [&](std::ostream& s) { WriteSegmentsManifest(s, graph, rels); });
     }
   } else {
     if (dict != nullptr) WriteDictSection(out, *dict);
@@ -478,19 +683,20 @@ Status LoadGraph(std::istream& in, Graph* graph) {
   if (!in.read(magic, 8)) {
     return Status::InvalidArgument("not a GES snapshot (bad magic)");
   }
+  bool v4 = std::memcmp(magic, kMagicV4, 8) == 0;
   bool v3 = std::memcmp(magic, kMagicV3, 8) == 0;
   bool v2 = std::memcmp(magic, kMagicV2, 8) == 0;
-  if (!v3 && !v2 && std::memcmp(magic, kMagicV1, 8) != 0) {
+  if (!v4 && !v3 && !v2 && std::memcmp(magic, kMagicV1, 8) != 0) {
     return Status::InvalidArgument("not a GES snapshot (bad magic)");
   }
 
   std::vector<std::string> dict_strings;
   const std::vector<std::string>* dict =
-      (v2 || v3) ? &dict_strings : nullptr;
+      (v2 || v3 || v4) ? &dict_strings : nullptr;
   std::vector<std::vector<std::pair<PropertyId, ValueType>>> label_props;
   std::vector<RelSpec> rels;
 
-  if (v3) {
+  if (v3 || v4) {
     // Every section is read fully, CRC-verified, then parsed; any framing
     // or parse failure names the section instead of loading partial data.
     auto section = [&in](const std::string& name, auto&& parse) -> Status {
@@ -531,11 +737,36 @@ Status LoadGraph(std::istream& in, Graph* graph) {
     for (const RelSpec& spec : rels) {
       GES_RETURN_IF_ERROR(
           section(EdgeSectionName(catalog, spec), [&](std::istream& s) {
-            return ParseEdgeSection(s, graph, spec);
+            return v4 ? ParseEdgeSectionV4(s, graph, spec)
+                      : ParseEdgeSection(s, graph, spec);
           }));
+    }
+    std::vector<RelationKey> segment_keys;
+    if (v4) {
+      GES_RETURN_IF_ERROR(section("segments", [&](std::istream& s) {
+        return ParseSegmentsManifest(s, &segment_keys);
+      }));
     }
     graph->FinalizeBulk();
     graph->RestoreVersionForRecovery(snapshot_version);
+    if (!segment_keys.empty()) {
+      // Rebuild the compressed segments the snapshot had installed.
+      // Internal vertex ids are not stable across a save/load cycle, so
+      // the blobs are re-encoded by a forced compaction pass over exactly
+      // the manifested relations; the parked pre-swap storage is freed
+      // immediately (no reader can exist during load).
+      CompactionOptions copts;
+      copts.force = true;
+      for (const RelationKey& key : segment_keys) {
+        RelationId rel = graph->FindRelation(key.src_label, key.edge_label,
+                                             key.dst_label, Direction::kOut);
+        if (rel != kInvalidRelation) copts.only.push_back(rel);
+      }
+      if (!copts.only.empty()) {
+        graph->CompactRelations(copts);
+        graph->ForceReclaimRetiredForRecovery();
+      }
+    }
     return Status::OK();
   }
 

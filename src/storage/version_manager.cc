@@ -87,6 +87,15 @@ SnapshotHandle SnapshotRegistry::AcquireAt(Version v) {
   return SnapshotHandle(this, v);
 }
 
+SnapshotHandle SnapshotRegistry::AcquireOldest(
+    const std::atomic<Version>& current) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Version v = current.load(std::memory_order_acquire);
+  if (!pins_.empty()) v = std::min(v, pins_.begin()->first);
+  ++pins_[v];
+  return SnapshotHandle(this, v);
+}
+
 void SnapshotRegistry::Release(Version v) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = pins_.find(v);
@@ -173,6 +182,47 @@ PruneStats AdjOverlay::Prune(Version watermark) {
 
 size_t AdjOverlay::MemoryBytes() const {
   return bytes_.load(std::memory_order_relaxed);
+}
+
+void UnlinkDetachedChain(std::shared_ptr<AdjOverlayEntry> head) {
+  UnlinkChain(std::move(head));
+}
+
+PruneStats AdjOverlay::CollapseBelow(
+    Version cut, std::vector<std::shared_ptr<AdjOverlayEntry>>* retired) {
+  PruneStats stats;
+  if (empty()) return stats;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto it = heads_.begin(); it != heads_.end();) {
+    // Everything <= cut leaves the chain; the segment built at `cut`
+    // serves those reads from now on.
+    if (it->second->version <= cut) {
+      // Whole chain collapses; the map slot goes with it.
+      for (const AdjOverlayEntry* e = it->second.get(); e != nullptr;
+           e = e->prev.get()) {
+        ++stats.entries;
+        stats.bytes += EntryBytes(*e);
+      }
+      stats.bytes += sizeof(void*) * 4;  // map-slot overhead from Publish
+      retired->push_back(std::move(it->second));
+      it = heads_.erase(it);
+      continue;
+    }
+    AdjOverlayEntry* e = it->second.get();
+    while (e->prev != nullptr && e->prev->version > cut) e = e->prev.get();
+    if (e->prev != nullptr) {
+      for (const AdjOverlayEntry* dead = e->prev.get(); dead != nullptr;
+           dead = dead->prev.get()) {
+        ++stats.entries;
+        stats.bytes += EntryBytes(*dead);
+      }
+      retired->push_back(std::move(e->prev));  // leaves e->prev == nullptr
+    }
+    ++it;
+  }
+  count_.fetch_sub(stats.entries, std::memory_order_release);
+  bytes_.fetch_sub(stats.bytes, std::memory_order_relaxed);
+  return stats;
 }
 
 // --- PropOverlay ---------------------------------------------------------

@@ -90,6 +90,14 @@ class SnapshotRegistry {
   // version and commits are excluded).
   SnapshotHandle AcquireAt(Version v);
 
+  // Registers a reader at the GC watermark: min(oldest pin, current).
+  // Computed under the registry mutex, so a concurrent Prune either derived
+  // its watermark before this pin existed (then that watermark is <= the
+  // pinned version and the chain floor at the pin survives as Prune's
+  // floor) or it sees the pin. The compactor uses this to fix its merge cut
+  // at a version every live and future reader is at or above.
+  SnapshotHandle AcquireOldest(const std::atomic<Version>& current);
+
   // The watermark: the oldest registered snapshot, or `current` when no
   // reader is registered.
   Version OldestActive(Version current) const;
@@ -124,6 +132,12 @@ struct AdjOverlayEntry {
   std::shared_ptr<AdjOverlayEntry> prev;
 };
 
+// Iteratively tears down a detached overlay chain. Naive shared_ptr
+// teardown recurses once per entry and can overflow the stack on the long
+// chains a sustained update workload builds; holders of retired chains
+// (the compaction retire list) must free through this.
+void UnlinkDetachedChain(std::shared_ptr<AdjOverlayEntry> head);
+
 // Per-relation overlay of versioned adjacency lists.
 class AdjOverlay {
  public:
@@ -150,6 +164,17 @@ class AdjOverlay {
   // concurrent Find: links are rewritten under the exclusive lock; the
   // freed tails are destroyed after it drops.
   PruneStats Prune(Version watermark);
+
+  // Compaction collapse (DESIGN.md §16): removes every entry with version
+  // <= cut from every chain — unlike Prune, the floors too, because the
+  // compressed segment built at `cut` replaces them. Readers at snapshots
+  // >= cut (the compactor pinned the watermark, so that is all of them)
+  // resolve overlay entries in (cut, snapshot] or fall through to the
+  // segment. Removed chains are appended to `retired` instead of freed:
+  // concurrent readers may be mid-walk on them until the watermark passes
+  // the swap version.
+  PruneStats CollapseBelow(
+      Version cut, std::vector<std::shared_ptr<AdjOverlayEntry>>* retired);
 
   // Live chain bytes (entries + their ids/stamps vectors + map slots).
   // O(1): maintained at Publish/Prune time.
@@ -264,6 +289,11 @@ class VersionManager {
   // the protection precondition.
   SnapshotHandle AcquireSnapshotAt(Version v) {
     return snapshots_.AcquireAt(v);
+  }
+  // Registers a reader at the GC watermark (the compaction cut); see
+  // SnapshotRegistry::AcquireOldest.
+  SnapshotHandle AcquireOldestSnapshot() {
+    return snapshots_.AcquireOldest(global_version_);
   }
   // Prune watermark: oldest registered snapshot, or the current version.
   Version OldestActiveSnapshot() const {

@@ -274,6 +274,42 @@ TEST(PreparedStatementTest, StatsEpochBumpInvalidatesCachedTemplate) {
   EXPECT_EQ(rewarmed.plan_cache_hit, 1);
 }
 
+TEST(PreparedStatementTest, CompactionInstallInvalidatesCachedTemplate) {
+  testutil::SnbFixture& fx = testutil::SnbFixture::Shared();
+  auto server = StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()));
+  PrepareResult pr;
+  ASSERT_TRUE(client.Prepare(kKnowsTemplate, &pr));
+
+  QueryResponse warm;
+  ASSERT_TRUE(client.Execute(pr.handle, {Value::Int(0)}, &warm));
+  ASSERT_EQ(warm.status, WireStatus::kOk) << warm.message;
+  EXPECT_EQ(warm.plan_cache_hit, 1);
+
+  // A delta-merge pass swaps relations into compressed segments: the
+  // physical layout the cached plan was costed against is gone, so the
+  // install must bump the stats epoch and force a re-plan. (Regression:
+  // the install path used to leave the epoch untouched and stale plans
+  // kept validating against pre-swap statistics.)
+  uint64_t epoch_before = fx.graph.catalog().stats_epoch();
+  CompactionOptions copts;
+  copts.force = true;
+  ASSERT_GT(fx.graph.CompactRelations(copts).relations_compacted, 0u);
+  EXPECT_GT(fx.graph.catalog().stats_epoch(), epoch_before);
+
+  QueryResponse replanned;
+  ASSERT_TRUE(client.Execute(pr.handle, {Value::Int(0)}, &replanned));
+  ASSERT_EQ(replanned.status, WireStatus::kOk) << replanned.message;
+  EXPECT_EQ(replanned.plan_cache_hit, 0);
+  EXPECT_EQ(Bytes(replanned.table), Bytes(warm.table));
+
+  QueryResponse rewarmed;
+  ASSERT_TRUE(client.Execute(pr.handle, {Value::Int(0)}, &rewarmed));
+  ASSERT_EQ(rewarmed.status, WireStatus::kOk) << rewarmed.message;
+  EXPECT_EQ(rewarmed.plan_cache_hit, 1);
+}
+
 TEST(PreparedStatementTest, EvictedTemplateIsReplannedTransparently) {
   ServiceConfig config;
   config.plan_cache_entries = 1;
